@@ -1,0 +1,41 @@
+"""Shared plumbing for the benchmark suite.
+
+Every bench regenerates one row-group of the paper's Table 1 (or one of
+the two tradeoff-frontier figures implied by the theorems):
+
+* it runs the relevant algorithm/experiment over a sweep,
+* prints a paper-vs-measured table (visible with ``pytest -s``),
+* writes the same table under ``benchmarks/results/`` so EXPERIMENTS.md
+  can reference concrete artifacts,
+* asserts the *shape* claims (fitted exponents, orderings, bound
+  domination) — the benches double as end-to-end verification.
+
+Wall-clock timing is taken once per bench via ``benchmark.pedantic`` —
+the interesting output is the tables, not the timings, so we do not
+re-run expensive sweeps for statistical timing confidence.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a results table and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def bench_once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The sweeps inside benches are deterministic, so a single timed pass
+    is representative; warmup/extra rounds would multiply multi-second
+    sweeps for no informational gain.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,74 @@
+"""Context bench (§1.2) — rings vs cliques, the related-work frame.
+
+Not a Table 1 row, but the comparison the paper's introduction and §1.2
+use to position the results:
+
+* rings pay the Frederickson–Lynch Ω(n log n) message floor (our HS
+  baseline realizes Θ(n log n); LCR degrades to Θ(n²) adversarially);
+* cliques escape the generic Ω(m) bound — m = Θ(n²) links, yet
+  Korach–Moran–Zaks style costs of O(n log n) and below are achievable,
+  down to o(n log n) with a linear ID universe (Theorem 3.15).
+"""
+
+import math
+import random
+
+from repro.analysis import Table
+from repro.core import ImprovedTradeoffElection, SmallIdElection
+from repro.ids import assign_random, small_universe, tradeoff_universe
+from repro.ring import ChangRoberts, HirschbergSinclair, RingNetwork
+from repro.sync.engine import SyncNetwork
+
+from _harness import bench_once, emit
+
+NS = [128, 512, 2048]
+
+
+def run_comparison():
+    table = Table(
+        ["n", "system", "messages", "n*log2(n)", "m = n(n-1)/2"],
+        title="Rings vs cliques: the Section 1.2 positioning",
+    )
+    rows = []
+    for n in NS:
+        rng = random.Random(n)
+        ids = assign_random(tradeoff_universe(n), n, rng)
+        nlogn = n * math.log2(n)
+        m_edges = n * (n - 1) // 2
+
+        lcr_adversarial = RingNetwork(
+            n, ChangRoberts, ids=sorted(ids, reverse=True)
+        ).run()
+        hs = RingNetwork(n, HirschbergSinclair, ids=ids).run()
+        clique = SyncNetwork(
+            n, lambda: ImprovedTradeoffElection(ell=5), ids=ids, seed=0
+        ).run()
+        small_ids = assign_random(small_universe(n, 1), n, rng)
+        small = SyncNetwork(
+            n, lambda: SmallIdElection(d=2, g=1), ids=small_ids, seed=0
+        ).run()
+
+        for label, result in (
+            ("ring LCR (adversarial order)", lcr_adversarial),
+            ("ring Hirschberg-Sinclair", hs),
+            ("clique Thm 3.10 (ell=5)", clique),
+            ("clique Thm 3.15 (d=2, small IDs)", small),
+        ):
+            assert result.unique_leader
+            table.add_row(n, label, result.messages, nlogn, m_edges)
+        rows.append((n, lcr_adversarial, hs, clique, small, nlogn, m_edges))
+        table.add_section(f"n={n}")
+    return table, rows
+
+
+def test_bench_ring_vs_clique(benchmark):
+    table, rows = bench_once(benchmark, run_comparison)
+    emit("context_ring_vs_clique", table.render())
+    for n, lcr, hs, clique, small, nlogn, m_edges in rows:
+        # Frederickson-Lynch floor is real on rings...
+        assert hs.messages >= nlogn / 2
+        assert lcr.messages >= n * (n - 1) // 2
+        # ...while cliques go below m by a widening factor...
+        assert clique.messages < m_edges / 2
+        # ...and below n log n with a small ID universe.
+        assert small.messages < nlogn

@@ -1,0 +1,73 @@
+"""T1.11 — Table 1 row "Lower Bound, Theorem 4.2" (Ω(n^(3/2)), 2 rounds).
+
+Theorem 4.2: any 2-round algorithm that wakes every node with constant
+probability sends Ω(n^(3/2)) expected messages (adversarial wake-up).
+
+Falsification experiment over the two-parameter spray family (root
+fan-out ``n^α``, child fan-out ``~n^β``):
+
+* budgets with ``α + β < 1`` *fail* against a single root — there is no
+  cheap 2-round wake-up;
+* calibrated budgets (``β = 1 - α`` with the coupon-collector boost)
+  succeed, but their cost against a ``√n``-root adversary is ≥ n^(3/2)
+  for *every* α — the barrier has no way around it, only a best point
+  near α = 1/2 (which is exactly Theorem 4.1's choice).
+"""
+
+import math
+
+from repro.analysis import Table
+from repro.lowerbound import bounds, wakeup_success_rate
+
+from _harness import bench_once, emit
+
+N = 1024
+ALPHAS = [0.25, 0.4, 0.5, 0.6, 0.75]
+TRIALS = 5
+
+
+def run_experiment():
+    boost = 2 * math.log(N)
+    table = Table(
+        [
+            "alpha",
+            "beta",
+            "1-root success",
+            "1-root msgs",
+            "sqrt(n)-roots msgs",
+            "n^1.5",
+        ],
+        title=f"Theorem 4.2 falsification sweep (n={N}, child boost 2 ln n)",
+    )
+    calibrated = []
+    for alpha in ALPHAS:
+        beta = 1 - alpha
+        rate1, msgs1 = wakeup_success_rate(
+            N, alpha, beta, boost=boost, root_count=1, trials=TRIALS
+        )
+        _, msgs_sqrt = wakeup_success_rate(
+            N, alpha, beta, boost=boost, root_count=int(N**0.5), trials=TRIALS
+        )
+        calibrated.append((alpha, rate1, msgs_sqrt))
+        table.add_row(alpha, beta, rate1, msgs1, msgs_sqrt, N**1.5)
+    # under-provisioned rows (alpha + beta < 1)
+    under = []
+    for alpha, beta in ((0.5, 0.3), (0.3, 0.5)):
+        rate, msgs = wakeup_success_rate(
+            N, alpha, beta, boost=boost, root_count=1, trials=TRIALS
+        )
+        under.append((alpha, beta, rate))
+        table.add_row(alpha, beta, rate, msgs, float("nan"), N**1.5)
+    table.add_section("last two rows: alpha + beta < 1 (sub-n^(3/2) budgets) fail")
+    return table, calibrated, under
+
+
+def test_bench_thm42(benchmark):
+    table, calibrated, under = bench_once(benchmark, run_experiment)
+    emit("thm42_wakeup_lb", table.render())
+    floor = bounds.thm42_message_lb(N)
+    for alpha, rate1, msgs_sqrt in calibrated:
+        assert rate1 >= 0.8, (alpha, rate1)  # calibrated budgets succeed
+        assert msgs_sqrt >= floor, (alpha, msgs_sqrt)  # ...and pay n^1.5
+    for alpha, beta, rate in under:
+        assert rate <= 0.2, (alpha, beta, rate)  # cheap budgets fail

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""How each algorithm's message bill scales — fitted exponents, plotted.
+
+Sweeps the clique size for four algorithms spanning the paper's spectrum
+and renders a log-log scatter of messages vs n in the terminal, next to
+the fitted power laws:
+
+* Theorem 3.10 at ℓ=3  → ~n^1.5   (fast and expensive)
+* Theorem 3.10 at ℓ=9  → ~n^1.2
+* Las Vegas (Thm 3.16) → ~n       (the randomized Ω(n) floor)
+* Monte Carlo [16]     → ~√n·polylog (below every deterministic bound)
+
+Run:  python examples/complexity_scaling.py
+"""
+
+from repro.analysis import fit_power_law, scatter, sweep_sync
+from repro.core import ImprovedTradeoffElection, Kutten16Election, LasVegasElection
+from repro.ids import assign_random, tradeoff_universe
+
+NS = [128, 256, 512, 1024, 2048, 4096]
+
+
+def measure(factory_for_n, seeds=(0, 1)):
+    records = sweep_sync(
+        NS,
+        factory_for_n,
+        seeds=list(seeds),
+        ids_for_n=lambda n, rng: assign_random(tradeoff_universe(n), n, rng),
+    )
+    by_n = {}
+    for r in records:
+        by_n.setdefault(r.n, []).append(r.messages)
+    return [(n, sum(v) / len(v)) for n, v in sorted(by_n.items())]
+
+
+def main() -> None:
+    print("Sweeping n =", NS, "(two seeds per point)\n")
+    series = {}
+    fits = {}
+    for name, factory in (
+        ("thm3.10 ell=3", lambda n: (lambda: ImprovedTradeoffElection(ell=3))),
+        ("thm3.10 ell=9", lambda n: (lambda: ImprovedTradeoffElection(ell=9))),
+        ("las vegas", lambda n: (lambda: LasVegasElection())),
+        ("monte carlo [16]", lambda n: (lambda: Kutten16Election())),
+    ):
+        points = measure(factory)
+        series[name] = points
+        fits[name] = fit_power_law([p[0] for p in points], [p[1] for p in points])
+
+    print(scatter(series, title="messages vs n (log-log)", width=60, height=16))
+    print("\nfitted power laws:")
+    for name, fit in fits.items():
+        print(f"  {name:<18} {fit}")
+    print("\nReading: four separated curves — the paper's hierarchy")
+    print("n^1.5 > n^1.2 > n > sqrt(n)·polylog.  (At laptop sizes the two")
+    print("randomized fits sit below their asymptotic slopes: Las Vegas")
+    print("mixes its Theta(n) announcement with a sqrt(n)·polylog compete")
+    print("term, and the Monte Carlo candidate count is noisy — see")
+    print("EXPERIMENTS.md for the variance discussion.)")
+
+
+if __name__ == "__main__":
+    main()

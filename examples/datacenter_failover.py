@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario: coordinator failover in an asynchronous datacenter cell.
+
+The motivating workload from the paper's introduction: a cell of worker
+machines (a clique at the network layer — everyone can reach everyone)
+loses its coordinator and must elect a replacement.  Constraints of the
+scenario:
+
+* machines notice the failure at slightly different times (adversarial
+  wake-up: the monitoring system pages a few machines first);
+* the network is asynchronous with heterogeneous link delays (some
+  racks are persistently slower);
+* we can spend either *time* (slow failover) or *messages* (network
+  load) — the Theorem 5.1 knob k.
+
+This script simulates the failover with three settings of k under a
+heterogeneous delay adversary and reports the time-to-new-leader and the
+message load per machine, then does a side-by-side with the
+asynchronous Afek–Gafni algorithm (Theorem 5.14) for the case where the
+monitoring system manages a synchronized restart (simultaneous wake-up).
+
+Run:  python examples/datacenter_failover.py
+"""
+
+import random
+
+from repro.asyncnet import AsyncNetwork, PerLinkDelayScheduler
+from repro.core import AsyncAfekGafniElection, AsyncTradeoffElection
+from repro.lowerbound import bounds
+
+CELL_SIZE = 512
+
+
+def failover_with_tradeoff(k: int, seed: int) -> None:
+    rng = random.Random(seed)
+    # Monitoring pages 3 machines within the first half time unit.
+    first_pages = {rng.randrange(CELL_SIZE): 0.0 for _ in range(3)}
+    net = AsyncNetwork(
+        CELL_SIZE,
+        lambda: AsyncTradeoffElection(k=k),
+        seed=seed,
+        scheduler=PerLinkDelayScheduler(random.Random(seed + 1)),
+        wake_times=first_pages,
+        max_events=8_000_000,
+    )
+    result = net.run()
+    per_machine = result.messages / CELL_SIZE
+    print(f"  k={k}:")
+    print(f"    new coordinator : machine id {result.elected_id}"
+          f" ({'unique' if result.unique_leader else 'FAILED'})")
+    print(f"    failover time   : {result.time:.2f} time units (budget {bounds.thm51_time(k)})")
+    print(f"    network load    : {result.messages:,} messages"
+          f" ({per_machine:.1f} per machine)")
+
+
+def failover_synchronized_restart(seed: int) -> None:
+    net = AsyncNetwork(
+        CELL_SIZE,
+        AsyncAfekGafniElection,
+        seed=seed,
+        scheduler=PerLinkDelayScheduler(random.Random(seed + 1)),
+        wake_times={u: 0.0 for u in range(CELL_SIZE)},
+        max_events=8_000_000,
+    )
+    result = net.run()
+    print("  async Afek-Gafni (deterministic, simultaneous wake-up):")
+    print(f"    new coordinator : machine id {result.elected_id}")
+    print(f"    failover time   : {result.time:.2f} time units (O(log n) = "
+          f"{bounds.thm514_time(CELL_SIZE):.1f})")
+    print(f"    network load    : {result.messages:,} messages "
+          f"(O(n log n) = {bounds.thm514_messages(CELL_SIZE):,.0f})")
+
+
+def main() -> None:
+    print(f"Coordinator failover in a {CELL_SIZE}-machine cell")
+    print("(heterogeneous per-link delays; monitoring pages 3 machines)\n")
+    print("Randomized tradeoff (Theorem 5.1) — pick your point on the curve:")
+    for k in (2, 3, 6):
+        failover_with_tradeoff(k, seed=11)
+    print()
+    print("If the cell supports a synchronized restart:")
+    failover_synchronized_restart(seed=13)
+    print()
+    print("Reading: k=2 converges fastest but floods the network (~n^1.5")
+    print("messages); k=6 cuts the load by an order of magnitude for a few")
+    print("extra time units — the tradeoff of Theorem 5.1.")
+
+
+if __name__ == "__main__":
+    main()

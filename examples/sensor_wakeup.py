@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Scenario: waking up a sensor field with a message budget.
+
+Energy-constrained networks (a motivation the paper cites) care about
+messages because radios dominate the power budget.  Suppose an operator
+node must wake an n-sensor cell and elect a cell head within two
+communication rounds.  Theorem 4.2 says there is no protocol that does
+this reliably with o(n^(3/2)) messages; Theorem 4.1's algorithm matches
+that cost.
+
+This script makes the barrier tangible:
+
+1. it tries naive two-round spray protocols with shrinking budgets and
+   shows where reliability collapses;
+2. it runs the Theorem 4.1 election at the optimal budget and shows the
+   success rate and the elected head;
+3. it prints the per-sensor radio cost for each option.
+
+Run:  python examples/sensor_wakeup.py
+"""
+
+import math
+import random
+
+from repro.core import AdversarialTwoRoundElection
+from repro.lowerbound import bounds, wakeup_success_rate
+from repro.sync import SyncNetwork
+
+N = 1024
+TRIALS = 8
+
+
+def naive_spray_budgets() -> None:
+    print("1) Naive two-round sprays (root fan-out n^a, sensor fan-out boosted n^b)")
+    print(f"   {'budget':<26} {'messages':>12} {'reliability':>12}")
+    boost = 2 * math.log(N)
+    for alpha, beta, label in (
+        (0.5, 0.5, "calibrated  (a+b = 1.0)"),
+        (0.5, 0.4, "10% cheaper (a+b = 0.9)"),
+        (0.5, 0.3, "20% cheaper (a+b = 0.8)"),
+    ):
+        rate, msgs = wakeup_success_rate(
+            N, alpha, beta, boost=boost, root_count=1, trials=TRIALS
+        )
+        print(f"   {label:<26} {msgs:>12,.0f} {rate:>11.0%}")
+    print(f"   (Theorem 4.2 floor: {bounds.thm42_message_lb(N):,.0f} messages)\n")
+
+
+def thm41_election() -> None:
+    print("2) Theorem 4.1 election at the optimal budget (eps = 5%)")
+    wins = 0
+    messages = []
+    head = None
+    for seed in range(TRIALS):
+        net = SyncNetwork(
+            N,
+            lambda: AdversarialTwoRoundElection(epsilon=0.05),
+            seed=seed,
+            awake=[0],  # the operator node
+        )
+        result = net.run()
+        wins += result.unique_leader
+        messages.append(result.messages)
+        head = result.elected_id or head
+    mean = sum(messages) / len(messages)
+    print(f"   reliability        : {wins}/{TRIALS}")
+    print(f"   mean radio messages: {mean:,.0f} "
+          f"(bound {bounds.thm41_expected_messages(N, 0.05):,.0f})")
+    print(f"   per-sensor cost    : {mean / N:.2f} messages")
+    print(f"   last elected head  : sensor id {head}\n")
+
+
+def main() -> None:
+    print(f"Sensor-field wake-up and cell-head election, n={N}\n")
+    naive_spray_budgets()
+    thm41_election()
+    print("Reading: below the n^1.5 budget the field reliably fails to wake")
+    print("in two rounds (Theorem 4.2); the Theorem 4.1 algorithm pays that")
+    print("bill exactly once and gets a unique cell head with it.")
+
+
+if __name__ == "__main__":
+    main()

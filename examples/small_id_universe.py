@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: leader election when IDs come from a small namespace.
+
+Theorem 3.11 says deterministic election needs Ω(n log n) messages for
+any time-bounded algorithm — but only when the ID universe is huge.
+Cluster schedulers often hand out *dense* IDs (slot numbers, pod
+indices): a universe of size O(n).  Algorithm 1 (Theorem 3.15) exploits
+that: with IDs in {1..n·g}, it elects in ⌈n/d⌉ rounds with ≤ n·d·g
+messages — beating the Ω(n log n) barrier.
+
+This script sweeps the knob d on a 4096-node clique with slot-number
+IDs and prints the resulting time/message menu, highlighting the
+``o(n log n)`` rows.  It also shows the failure mode: feeding the same
+algorithm IDs from a big universe is rejected at validation time.
+
+Run:  python examples/small_id_universe.py
+"""
+
+import math
+import random
+
+from repro.core import SmallIdElection
+from repro.ids import assign_random, small_universe
+from repro.lowerbound import bounds
+from repro.sync import SyncNetwork
+
+N = 4096
+G = 1  # universe {1..n}: dense slot numbers
+
+
+def sweep() -> None:
+    nlogn = bounds.thm311_message_lb(N)
+    print(f"n = {N}, universe {{1..{N * G}}}, Omega(n log n) barrier = {nlogn:,.0f}\n")
+    print(f"   {'d':>5} {'rounds':>8} {'bound':>8} {'messages':>12} {'bound':>12}  note")
+    rng = random.Random(0)
+    ids = assign_random(small_universe(N, G), N, rng)
+    for d in (1, 4, 16, 64, 256):
+        net = SyncNetwork(N, lambda: SmallIdElection(d=d, g=G), ids=ids, seed=0)
+        result = net.run()
+        assert result.unique_leader and result.elected_id == min(ids)
+        note = "o(n log n)!" if bounds.thm315_messages(N, d, G) < nlogn else ""
+        print(
+            f"   {d:>5} {result.last_send_round:>8} {bounds.thm315_rounds(N, d):>8}"
+            f" {result.messages:>12,} {bounds.thm315_messages(N, d, G):>12,}  {note}"
+        )
+    print()
+    print("Every row elected the minimum slot number as leader.")
+
+
+def wrong_universe_rejected() -> None:
+    print("\nGuard rail: IDs outside {1..n*g} are rejected up front:")
+    ids = list(range(10_000_000, 10_000_000 + N))
+    try:
+        SyncNetwork(N, lambda: SmallIdElection(d=16, g=G), ids=ids, seed=0).run()
+    except ValueError as exc:
+        print(f"   ValueError: {exc}")
+
+
+def main() -> None:
+    print("Algorithm 1 / Theorem 3.15: dense-ID leader election\n")
+    sweep()
+    wrong_universe_rejected()
+    print("\nReading: with dense IDs, d tunes a clean time/message menu;")
+    print("at d = O(1) the message bill is far below the n log n floor")
+    print("that binds large-universe deterministic algorithms (Thm 3.11).")
+
+
+if __name__ == "__main__":
+    main()

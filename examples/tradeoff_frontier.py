@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper's central picture: the message/time tradeoff frontier.
+
+For a fixed clique size this script sweeps the round budget ℓ and plots
+(in ASCII) three curves on a log scale:
+
+* the Theorem 3.8 lower bound  — no deterministic algorithm can be
+  below this line;
+* the measured message counts of the improved algorithm (Theorem 3.10);
+* the measured message counts of the Afek–Gafni baseline.
+
+It then does the same for the asynchronous tradeoff (Theorem 5.1) over
+the parameter k.  The takeaways visible in the output:
+
+* Theorem 3.10 sits strictly below Afek–Gafni at every budget — the
+  paper's improvement — and strictly above the lower bound;
+* a couple of extra rounds buys a polynomial message reduction, with
+  diminishing returns as ℓ approaches log n.
+
+Run:  python examples/tradeoff_frontier.py [n]
+"""
+
+import math
+import random
+import sys
+
+from repro import AfekGafniElection, ImprovedTradeoffElection, SyncNetwork
+from repro.asyncnet import AsyncNetwork, UnitDelayScheduler
+from repro.core import AsyncTradeoffElection
+from repro.ids import assign_random, tradeoff_universe
+from repro.lowerbound import bounds
+
+
+def ascii_chart(rows, value_columns, width=46):
+    """Log-scale horizontal bars: rows of (label, {name: value})."""
+    values = [v for _, vals in rows for v in vals.values() if v > 0]
+    lo, hi = math.log(min(values)), math.log(max(values))
+    span = max(hi - lo, 1e-9)
+    lines = []
+    for label, vals in rows:
+        lines.append(label)
+        for name in value_columns:
+            v = vals[name]
+            bar = int((math.log(v) - lo) / span * width) if v > 0 else 0
+            lines.append(f"    {name:<22} {'#' * max(bar, 1):<{width}} {v:,.0f}")
+    return "\n".join(lines)
+
+
+def sync_frontier(n: int) -> None:
+    print(f"=== Synchronous frontier, n={n} (messages on a log scale) ===")
+    ids = assign_random(tradeoff_universe(n), n, random.Random(5))
+    rows = []
+    for ell in (3, 5, 7, 9):
+        improved = SyncNetwork(
+            n, lambda: ImprovedTradeoffElection(ell=ell), ids=ids, seed=0
+        ).run()
+        ag = SyncNetwork(n, lambda: AfekGafniElection(ell=ell - 1), ids=ids, seed=0).run()
+        assert improved.unique_leader and ag.unique_leader
+        rows.append(
+            (
+                f"round budget ell = {ell}",
+                {
+                    "Thm 3.8 lower bound": bounds.thm38_message_lb(n, ell),
+                    "Thm 3.10 (measured)": improved.messages,
+                    "Afek-Gafni (measured)": ag.messages,
+                },
+            )
+        )
+    print(ascii_chart(rows, ["Thm 3.8 lower bound", "Thm 3.10 (measured)", "Afek-Gafni (measured)"]))
+    print()
+
+
+def async_frontier(n: int) -> None:
+    print(f"=== Asynchronous frontier, n={n} (Theorem 5.1 over k) ===")
+    rows = []
+    for k in (2, 3, 4, 6):
+        result = AsyncNetwork(
+            n,
+            lambda: AsyncTradeoffElection(k=k),
+            seed=3,
+            scheduler=UnitDelayScheduler(),
+            max_events=8_000_000,
+        ).run()
+        status = "ok" if result.unique_leader else "failed (whp event missed)"
+        rows.append(
+            (
+                f"k = {k}: time {result.time:.0f} of budget {bounds.thm51_time(k)} [{status}]",
+                {
+                    "measured messages": result.messages,
+                    "O(n^(1+1/k)) curve": bounds.thm51_messages(n, k),
+                },
+            )
+        )
+    print(ascii_chart(rows, ["measured messages", "O(n^(1+1/k)) curve"]))
+    print()
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    sync_frontier(n)
+    async_frontier(n)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

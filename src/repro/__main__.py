@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show every registered algorithm with its paper reference and
+    complexity formulas.
+
+``run NAME``
+    Run one election and print the outcome and complexity counters.
+    Algorithm parameters are passed as ``--param key=value``.
+
+``bounds N``
+    Print the full Table 1 bound formulas evaluated at ``N``.
+
+Examples
+--------
+
+::
+
+    python -m repro list
+    python -m repro run improved_tradeoff --n 1024 --param ell=5
+    python -m repro run async_tradeoff --n 512 --param k=3 --seeds 0 1 2
+    python -m repro run adversarial_2round --n 1024 --roots 1 --param epsilon=0.05
+    python -m repro bounds 4096
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.analysis import Table, run_async_trial, run_sync_trial
+from repro.core import ALGORITHMS, get_algorithm
+from repro.ids import assign_random, small_universe, tradeoff_universe
+from repro.lowerbound import bounds
+
+
+def _parse_param(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    table = Table(
+        ["name", "engine", "wake-up", "paper", "messages", "time"],
+        title="Registered algorithms",
+    )
+    for spec in ALGORITHMS.values():
+        table.add_row(
+            spec.name,
+            spec.engine,
+            "+".join(spec.wakeup),
+            spec.paper_ref,
+            spec.messages_formula,
+            spec.time_formula,
+        )
+    print(table.render())
+    return 0
+
+
+def _ids_for(name: str, n: int, params: Dict[str, Any], rng: random.Random) -> Optional[List[int]]:
+    if name == "small_id":
+        g = int(params.get("g", 1))
+        return assign_random(small_universe(n, g), n, rng)
+    spec = get_algorithm(name)
+    if spec.deterministic:
+        return assign_random(tradeoff_universe(n), n, rng)
+    return None  # randomized algorithms: default 1..n is fine
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = get_algorithm(args.name)
+    params = dict(kv.split("=", 1) for kv in args.param)
+    params = {k: _parse_param(v) for k, v in params.items()}
+    table = Table(
+        ["seed", "unique leader", "elected id", "messages", "time", "decided"],
+        title=f"{spec.name} (n={args.n}, {spec.paper_ref}) params={params}",
+    )
+    failures = 0
+    for seed in args.seeds:
+        rng = random.Random(f"cli:{args.n}:{seed}")
+        ids = _ids_for(args.name, args.n, params, rng)
+        if spec.engine == "sync":
+            awake = None
+            if args.roots is not None:
+                awake = rng.sample(range(args.n), args.roots)
+            elif spec.wakeup == ("adversarial",):
+                awake = [0]
+            record = run_sync_trial(
+                args.n, spec.make(**params), seed=seed, ids=ids, awake=awake
+            )
+        else:
+            wake_times = None
+            if args.name == "async_afek_gafni":
+                wake_times = {u: 0.0 for u in range(args.n)}
+            elif args.roots is not None:
+                wake_times = {u: 0.0 for u in rng.sample(range(args.n), args.roots)}
+            record = run_async_trial(
+                args.n,
+                spec.make(**params),
+                seed=seed,
+                ids=ids,
+                wake_times=wake_times,
+                max_events=20_000_000,
+            )
+        failures += not record.unique_leader
+        table.add_row(
+            seed,
+            record.unique_leader,
+            record.elected_id,
+            record.messages,
+            record.time,
+            record.decided,
+        )
+    print(table.render())
+    if failures:
+        print(f"note: {failures}/{len(args.seeds)} runs failed "
+              "(expected occasionally for Monte Carlo algorithms)")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    n = args.n
+    table = Table(["Table 1 row", "bound at n"], title=f"Paper bounds evaluated at n={n}")
+    table.add_row("Thm 3.8 LB, k=2 rounds", bounds.thm38_message_lb(n, 2))
+    table.add_row("Thm 3.8 LB, k=5 rounds", bounds.thm38_message_lb(n, 5))
+    table.add_row("Thm 3.10 UB, ell=3", bounds.thm310_messages(n, 3))
+    table.add_row("Thm 3.10 UB, ell=9", bounds.thm310_messages(n, 9))
+    table.add_row("Thm 3.11 LB (n log n)", bounds.thm311_message_lb(n))
+    table.add_row("Thm 3.15 UB (d=2, g=1)", bounds.thm315_messages(n, 2, 1))
+    table.add_row("AG [1] UB, ell=4", bounds.ag_messages(n, 4))
+    table.add_row("AG [1] LB, k=2", bounds.ag_k_round_lb(n, 2))
+    table.add_row("[16] MC UB", bounds.kutten16_messages(n))
+    table.add_row("[16] LB (sqrt n)", bounds.kutten16_lb(n))
+    table.add_row("Thm 3.16 Las Vegas LB", bounds.thm316_las_vegas_lb(n))
+    table.add_row("Thm 4.1 UB (eps=0.05)", bounds.thm41_expected_messages(n, 0.05))
+    table.add_row("Thm 4.2 LB", bounds.thm42_message_lb(n))
+    table.add_row("Thm 5.1 UB, k=2", bounds.thm51_messages(n, 2))
+    table.add_row(f"Thm 5.1 UB, k_max={bounds.thm51_max_k(n)}",
+                  bounds.thm51_messages(n, bounds.thm51_max_k(n)))
+    table.add_row("Thm 5.14 UB (n log n)", bounds.thm514_messages(n))
+    table.add_row("[14] reference (n)", bounds.kmp14_messages(n))
+    print(table.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import table1_report
+
+    print(table1_report(n=args.n, seeds=args.seeds).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Improved Tradeoffs for Leader Election — reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered algorithms").set_defaults(func=cmd_list)
+
+    run_p = sub.add_parser("run", help="run one algorithm")
+    run_p.add_argument("name", choices=sorted(ALGORITHMS))
+    run_p.add_argument("--n", type=int, default=1024, help="clique size")
+    run_p.add_argument("--seeds", type=int, nargs="+", default=[0], help="seeds to run")
+    run_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm parameter (repeatable), e.g. --param ell=5",
+    )
+    run_p.add_argument(
+        "--roots", type=int, default=None,
+        help="adversarial wake-up: number of initially awake nodes",
+    )
+    run_p.set_defaults(func=cmd_run)
+
+    bounds_p = sub.add_parser("bounds", help="evaluate the Table 1 formulas")
+    bounds_p.add_argument("n", type=int)
+    bounds_p.set_defaults(func=cmd_bounds)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate the paper's Table 1 with measured columns"
+    )
+    report_p.add_argument("--n", type=int, default=512)
+    report_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    report_p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Exporting sweep results for downstream analysis.
+
+`RunRecord` sweeps serialize to JSON-lines or CSV so results can be
+archived next to the benchmark tables and loaded into any plotting or
+stats stack.  Loading round-trips exactly (the formats keep every
+field, with params/extra flattened into prefixed columns for CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.analysis.runner import RunRecord
+
+__all__ = ["records_to_jsonl", "records_from_jsonl", "records_to_csv", "records_from_csv"]
+
+_FIELDS = [
+    "n",
+    "seed",
+    "messages",
+    "time",
+    "unique_leader",
+    "elected_id",
+    "leaders",
+    "decided",
+    "awake",
+]
+
+
+def records_to_jsonl(records: Iterable[RunRecord]) -> str:
+    """One JSON object per line, fully faithful."""
+    lines = []
+    for r in records:
+        payload = {field: getattr(r, field) for field in _FIELDS}
+        payload["params"] = r.params
+        payload["extra"] = r.extra
+        lines.append(json.dumps(payload, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def records_from_jsonl(text: str) -> List[RunRecord]:
+    records = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        records.append(
+            RunRecord(
+                n=payload["n"],
+                seed=payload["seed"],
+                messages=payload["messages"],
+                time=payload["time"],
+                unique_leader=payload["unique_leader"],
+                elected_id=payload["elected_id"],
+                leaders=payload["leaders"],
+                decided=payload["decided"],
+                awake=payload["awake"],
+                params=payload.get("params", {}),
+                extra=payload.get("extra", {}),
+            )
+        )
+    return records
+
+
+def records_to_csv(records: Sequence[RunRecord]) -> str:
+    """Flat CSV; params/extra keys become ``param_*`` / ``extra_*`` columns."""
+    param_keys = sorted({k for r in records for k in r.params})
+    extra_keys = sorted({k for r in records for k in r.extra})
+    header = (
+        _FIELDS
+        + [f"param_{k}" for k in param_keys]
+        + [f"extra_{k}" for k in extra_keys]
+    )
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(header)
+    for r in records:
+        row: List[Any] = [getattr(r, field) for field in _FIELDS]
+        row += [r.params.get(k, "") for k in param_keys]
+        row += [r.extra.get(k, "") for k in extra_keys]
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def _coerce(value: str) -> Any:
+    if value == "":
+        return None
+    if value in ("True", "False"):
+        return value == "True"
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def records_from_csv(text: str) -> List[RunRecord]:
+    reader = csv.DictReader(io.StringIO(text))
+    records = []
+    for row in reader:
+        params = {
+            k[len("param_"):]: _coerce(v)
+            for k, v in row.items()
+            if k.startswith("param_") and v != ""
+        }
+        extra = {
+            k[len("extra_"):]: _coerce(v)
+            for k, v in row.items()
+            if k.startswith("extra_") and v != ""
+        }
+        records.append(
+            RunRecord(
+                n=int(row["n"]),
+                seed=int(row["seed"]),
+                messages=int(row["messages"]),
+                time=float(row["time"]),
+                unique_leader=row["unique_leader"] == "True",
+                elected_id=_coerce(row["elected_id"]),
+                leaders=int(row["leaders"]),
+                decided=int(row["decided"]),
+                awake=int(row["awake"]),
+                params=params,
+                extra=extra,
+            )
+        )
+    return records

@@ -1,0 +1,98 @@
+"""Power-law fitting for complexity curves.
+
+The paper's statements are asymptotic (``messages = Θ(n^e)`` or
+``Θ(n^e · polylog n)``); reproduction quality is judged by whether the
+*fitted exponent* of a measured sweep matches the theory.  We fit by
+least squares in log-log space — the standard estimator for power laws
+over a geometric grid of sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["PowerLawFit", "fit_power_law", "fit_polylog", "local_exponents"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Fit of ``y ≈ coefficient · x^exponent`` (optionally ``·log2(x)^log_power``)."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    log_power: float = 0.0
+
+    def predict(self, x: float) -> float:
+        value = self.coefficient * x**self.exponent
+        if self.log_power:
+            value *= math.log2(x) ** self.log_power
+        return value
+
+    def __str__(self) -> str:
+        log_part = f" * log2(n)^{self.log_power:g}" if self.log_power else ""
+        return (
+            f"{self.coefficient:.3g} * n^{self.exponent:.3f}{log_part} "
+            f"(R^2={self.r_squared:.4f})"
+        )
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Ordinary least squares ``y = a + b·x``; returns ``(a, b, r2)``."""
+    m = len(xs)
+    if m < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / m
+    mean_y = sum(ys) / m
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("x values are all equal; cannot fit")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    b = sxy / sxx
+    a = mean_y - b * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (a + b * x)) ** 2 for x, y in zip(xs, ys))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return a, b, r2
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ c · x^e`` by least squares on ``(log x, log y)``."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs positive data")
+    log_a, exponent, r2 = _linear_fit(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return PowerLawFit(exponent=exponent, coefficient=math.exp(log_a), r_squared=r2)
+
+
+def fit_polylog(
+    xs: Sequence[float], ys: Sequence[float], log_power: float
+) -> PowerLawFit:
+    """Fit ``y ≈ c · x^e · log2(x)^log_power`` with the log power fixed.
+
+    Useful for bounds like ``√n·log^(3/2) n`` where fitting the log
+    correction as a free parameter is ill-conditioned on small grids.
+    """
+    adjusted = [y / (math.log2(x) ** log_power) for x, y in zip(xs, ys)]
+    base = fit_power_law(xs, adjusted)
+    return PowerLawFit(
+        exponent=base.exponent,
+        coefficient=base.coefficient,
+        r_squared=base.r_squared,
+        log_power=log_power,
+    )
+
+
+def local_exponents(xs: Sequence[float], ys: Sequence[float]) -> List[float]:
+    """Pairwise slopes ``log(y_{i+1}/y_i) / log(x_{i+1}/x_i)``.
+
+    Exposes drift that a single global fit would average away (e.g. a
+    ``polylog`` factor shows up as slowly decaying local exponents).
+    """
+    out = []
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+        out.append(math.log(y1 / y0) / math.log(x1 / x0))
+    return out

@@ -1,0 +1,112 @@
+"""ASCII plotting for complexity curves (no plotting dependencies).
+
+Two renderers used by the examples and available to downstream users:
+
+* :func:`bar_chart` — grouped horizontal bars on a log or linear scale;
+* :func:`scatter` — a y-vs-x character grid with multiple series, for
+  visualizing frontier curves and fitted power laws in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "scatter"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], width: int) -> List[int]:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return [0 for _ in values]
+    lo = math.log(min(positive))
+    hi = math.log(max(positive))
+    span = max(hi - lo, 1e-12)
+    out = []
+    for v in values:
+        if v <= 0:
+            out.append(0)
+        else:
+            out.append(int(round((math.log(v) - lo) / span * (width - 1))))
+    return out
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    *,
+    width: int = 50,
+    log: bool = True,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per (label, value) row."""
+    if not rows:
+        raise ValueError("nothing to plot")
+    labels = [label for label, _v in rows]
+    values = [v for _label, v in rows]
+    if log:
+        lengths = [p + 1 for p in _log_positions(values, width)]
+    else:
+        top = max(values) or 1.0
+        lengths = [max(1, int(round(v / top * width))) for v in values]
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, value, length in zip(labels, values, lengths):
+        lines.append(f"{label:<{label_w}}  {'#' * length:<{width}} {value:,.4g}{unit}")
+    return "\n".join(lines)
+
+
+def scatter(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series character-grid scatter plot.
+
+    ``series`` maps a name to its (x, y) points; each series gets a
+    marker from ``o x + * ...``; collisions show the later marker.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+
+    def tx(v: float, log: bool) -> float:
+        if log:
+            if v <= 0:
+                raise ValueError("log scale needs positive data")
+            return math.log(v)
+        return v
+
+    xs = [tx(x, logx) for x, _y in points]
+    ys = [tx(y, logy) for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            col = int(round((tx(x, logx) - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((tx(y, logy) - y_lo) / y_span * (height - 1)))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    raw_ys = [y for _x, y in points]
+    lines.append(f"y: {min(raw_ys):,.4g} .. {max(raw_ys):,.4g}"
+                 f" ({'log' if logy else 'linear'})")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    raw_xs = [x for x, _y in points]
+    lines.append(f"x: {min(raw_xs):,.4g} .. {max(raw_xs):,.4g}"
+                 f" ({'log' if logx else 'linear'})")
+    legend = "  ".join(f"{mark}={name}" for mark, name in zip(_MARKS, series))
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""One-command regeneration of the paper's Table 1 with measured columns.
+
+``python -m repro report [--n N] [--seeds S]`` runs a compact version of
+every experiment in the benchmark harness (smaller grids, fewer seeds)
+and prints a single table shaped like the paper's Table 1: one row per
+result, with the paper's formula evaluated at N next to the measured
+numbers.  The full-size version with fitted exponents lives in
+``benchmarks/``; this is the fast, self-contained summary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.analysis.runner import run_async_trial, run_sync_trial
+from repro.analysis.tables import Table
+from repro.asyncnet.schedulers import UnitDelayScheduler
+from repro.core import (
+    AdversarialTwoRoundElection,
+    AfekGafniElection,
+    AsyncAfekGafniElection,
+    AsyncTradeoffElection,
+    ImprovedTradeoffElection,
+    Kutten16Election,
+    LasVegasElection,
+    SmallIdElection,
+)
+from repro.ids import assign_random, small_universe, tradeoff_universe
+from repro.lowerbound import bounds
+from repro.mathutil import ceil_sqrt
+
+__all__ = ["table1_report"]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
+    """Build the measured Table 1 at clique size ``n``."""
+    if seeds is None:
+        seeds = (0, 1, 2)
+    table = Table(
+        ["Table 1 row", "paper time", "paper messages", "measured time", "measured messages", "success"],
+        title=f"Table 1, regenerated at n={n} (means over {len(seeds)} seeds)",
+    )
+
+    def det_ids(seed: int) -> List[int]:
+        return assign_random(tradeoff_universe(n), n, random.Random(f"report:{n}:{seed}"))
+
+    # --- Synchronous, deterministic, simultaneous wake-up -------------- #
+    table.add_section("synchronous / deterministic / simultaneous wake-up")
+    table.add_row(
+        "LB Thm 3.8 (k=3 rounds)", "<= 3", f">= {bounds.thm38_message_lb(n, 3):,.0f}",
+        "-", "-", "-",
+    )
+    for ell in (3, 5):
+        runs = [
+            run_sync_trial(n, lambda: ImprovedTradeoffElection(ell=ell), seed=s, ids=det_ids(s))
+            for s in seeds
+        ]
+        table.add_row(
+            f"Alg Thm 3.10 (ell={ell})",
+            ell,
+            bounds.thm310_messages(n, ell),
+            _mean([r.time for r in runs]),
+            _mean([r.messages for r in runs]),
+            all(r.unique_leader for r in runs),
+        )
+    table.add_row(
+        "LB Thm 3.11 (time-bounded)", "any T(n)", f">= ~{bounds.thm311_message_lb(n):,.0f}",
+        "-", "-", "-",
+    )
+    small_ids_runs = [
+        run_sync_trial(
+            n,
+            lambda: SmallIdElection(d=2, g=1),
+            seed=s,
+            ids=assign_random(small_universe(n, 1), n, random.Random(f"rs:{n}:{s}")),
+        )
+        for s in seeds
+    ]
+    table.add_row(
+        "Alg Thm 3.15 (d=2, g=1)",
+        bounds.thm315_rounds(n, 2),
+        bounds.thm315_messages(n, 2, 1),
+        _mean([r.time for r in small_ids_runs]),
+        _mean([r.messages for r in small_ids_runs]),
+        all(r.unique_leader for r in small_ids_runs),
+    )
+
+    # --- Synchronous, deterministic, adversarial wake-up --------------- #
+    table.add_section("synchronous / deterministic / adversarial wake-up")
+    ag_runs = [
+        run_sync_trial(
+            n, lambda: AfekGafniElection(ell=4), seed=s, ids=det_ids(s), awake=[0, 1]
+        )
+        for s in seeds
+    ]
+    table.add_row(
+        "Alg [1] AG (ell=4)",
+        "4 (+1 announce)",
+        bounds.ag_messages(n, 4),
+        _mean([r.time for r in ag_runs]),
+        _mean([r.messages for r in ag_runs]),
+        all(r.unique_leader for r in ag_runs),
+    )
+    table.add_row(
+        "LB [1] (c=2)", "<= 0.5*log2 n", f">= {bounds.ag_tradeoff_lb(n, 2):,.0f}", "-", "-", "-"
+    )
+
+    # --- Synchronous, randomized, simultaneous wake-up ----------------- #
+    table.add_section("synchronous / randomized / simultaneous wake-up")
+    lv_runs = [run_sync_trial(n, lambda: LasVegasElection(), seed=s) for s in seeds]
+    table.add_row(
+        "Alg Thm 3.16 (Las Vegas)",
+        "3 (whp)",
+        f"O(n) = {bounds.thm316_las_vegas_messages(n):,.0f}",
+        _mean([r.time for r in lv_runs]),
+        _mean([r.messages for r in lv_runs]),
+        all(r.unique_leader for r in lv_runs),
+    )
+    table.add_row(
+        "LB Thm 3.16 (Las Vegas)", "-", f">= {bounds.thm316_las_vegas_lb(n):,.0f}", "-", "-", "-"
+    )
+    mc_runs = [run_sync_trial(n, lambda: Kutten16Election(), seed=s) for s in seeds]
+    table.add_row(
+        "Alg [16] (Monte Carlo)",
+        2,
+        bounds.kutten16_messages(n),
+        _mean([r.time for r in mc_runs]),
+        _mean([r.messages for r in mc_runs]),
+        sum(r.unique_leader for r in mc_runs) / len(mc_runs),
+    )
+
+    # --- Synchronous, randomized, adversarial wake-up ------------------ #
+    table.add_section("synchronous / randomized / adversarial wake-up")
+    adv_runs = [
+        run_sync_trial(
+            n,
+            lambda: AdversarialTwoRoundElection(epsilon=0.05),
+            seed=s,
+            awake=random.Random(f"roots:{n}:{s}").sample(range(n), ceil_sqrt(n)),
+        )
+        for s in seeds
+    ]
+    table.add_row(
+        "Alg Thm 4.1 (eps=0.05)",
+        2,
+        bounds.thm41_expected_messages(n, 0.05),
+        _mean([r.time for r in adv_runs]),
+        _mean([r.messages for r in adv_runs]),
+        sum(r.unique_leader for r in adv_runs) / len(adv_runs),
+    )
+    table.add_row(
+        "LB Thm 4.2 (2 rounds)", "<= 2", f">= {bounds.thm42_message_lb(n):,.0f}", "-", "-", "-"
+    )
+
+    # --- Asynchronous --------------------------------------------------- #
+    table.add_section("asynchronous / randomized")
+    for k in (2, 4):
+        runs = [
+            run_async_trial(
+                n,
+                lambda: AsyncTradeoffElection(k=k),
+                seed=s,
+                scheduler=UnitDelayScheduler(),
+                max_events=12_000_000,
+            )
+            for s in seeds
+        ]
+        table.add_row(
+            f"Alg Thm 5.1 (k={k})",
+            bounds.thm51_time(k),
+            bounds.thm51_messages(n, k),
+            max(r.time for r in runs),
+            _mean([r.messages for r in runs]),
+            sum(r.unique_leader for r in runs) / len(runs),
+        )
+    table.add_row(
+        "Alg [14] (reference, not reimplemented)",
+        f"O(log^2 n) = {bounds.kmp14_time(n):,.0f}",
+        f"O(n) = {bounds.kmp14_messages(n):,.0f}",
+        "-",
+        "-",
+        "-",
+    )
+    ag_async_runs = [
+        run_async_trial(
+            n,
+            AsyncAfekGafniElection,
+            seed=s,
+            scheduler=UnitDelayScheduler(),
+            wake_times={u: 0.0 for u in range(n)},
+            max_events=12_000_000,
+        )
+        for s in seeds
+    ]
+    table.add_row(
+        "Alg Thm 5.14 (async AG)",
+        f"O(log n) = {bounds.thm514_time(n):,.0f}",
+        f"O(n log n) = {bounds.thm514_messages(n):,.0f}",
+        max(r.time for r in ag_async_runs),
+        _mean([r.messages for r in ag_async_runs]),
+        all(r.unique_leader for r in ag_async_runs),
+    )
+    return table

@@ -1,0 +1,173 @@
+"""Experiment runner: parameter sweeps over the two engines.
+
+The runner flattens engine results into :class:`RunRecord` rows — the
+unit every bench and table works with — and guarantees determinism:
+record ``i`` of a sweep depends only on ``(n, seed)`` and the factory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.asyncnet.engine import AsyncNetwork, AsyncRunResult
+from repro.sync.engine import SyncNetwork, SyncRunResult
+
+__all__ = ["RunRecord", "run_sync_trial", "run_async_trial", "sweep_sync", "sweep_async"]
+
+
+@dataclass
+class RunRecord:
+    """One run, flattened for analysis."""
+
+    n: int
+    seed: int
+    messages: int
+    time: float  # rounds (sync: last send round) or time units (async)
+    unique_leader: bool
+    elected_id: Optional[int]
+    leaders: int
+    decided: int
+    awake: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _sync_record(n: int, seed: int, result: SyncRunResult, params: Dict[str, Any]) -> RunRecord:
+    return RunRecord(
+        n=n,
+        seed=seed,
+        messages=result.messages,
+        time=float(result.last_send_round),
+        unique_leader=result.unique_leader,
+        elected_id=result.elected_id,
+        leaders=len(result.leaders),
+        decided=result.decided_count,
+        awake=result.awake_count,
+        params=dict(params),
+        extra={"rounds_executed": result.rounds_executed},
+    )
+
+
+def _async_record(n: int, seed: int, result: AsyncRunResult, params: Dict[str, Any]) -> RunRecord:
+    return RunRecord(
+        n=n,
+        seed=seed,
+        messages=result.messages,
+        time=result.time,
+        unique_leader=result.unique_leader,
+        elected_id=result.elected_id,
+        leaders=len(result.leaders),
+        decided=result.decided_count,
+        awake=result.awake_count,
+        params=dict(params),
+        extra={"events": result.events},
+    )
+
+
+def run_sync_trial(
+    n: int,
+    algorithm_factory: Callable[[], Any],
+    *,
+    seed: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    awake: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Run one synchronous election and flatten the result."""
+    net = SyncNetwork(
+        n, algorithm_factory, ids=ids, seed=seed, awake=awake, max_rounds=max_rounds
+    )
+    return _sync_record(n, seed, net.run(), params or {})
+
+
+def run_async_trial(
+    n: int,
+    algorithm_factory: Callable[[], Any],
+    *,
+    seed: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    scheduler: Optional[Any] = None,
+    wake_times: Optional[Dict[int, float]] = None,
+    max_events: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Run one asynchronous election and flatten the result."""
+    net = AsyncNetwork(
+        n,
+        algorithm_factory,
+        ids=ids,
+        seed=seed,
+        scheduler=scheduler,
+        wake_times=wake_times,
+        max_events=max_events,
+    )
+    return _async_record(n, seed, net.run(), params or {})
+
+
+def sweep_sync(
+    ns: Sequence[int],
+    factory_for_n: Callable[[int], Callable[[], Any]],
+    *,
+    seeds: Sequence[int] = (0,),
+    ids_for_n: Optional[Callable[[int, random.Random], Sequence[int]]] = None,
+    awake_for_n: Optional[Callable[[int, random.Random], Sequence[int]]] = None,
+    max_rounds: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> List[RunRecord]:
+    """Grid sweep: every ``n`` × every seed, deterministic.
+
+    ``ids_for_n`` / ``awake_for_n`` receive a seeded RNG so workloads are
+    reproducible per (n, seed).
+    """
+    records = []
+    for n in ns:
+        for seed in seeds:
+            rng = random.Random(f"{n}:{seed}:workload")
+            ids = ids_for_n(n, rng) if ids_for_n else None
+            awake = awake_for_n(n, rng) if awake_for_n else None
+            records.append(
+                run_sync_trial(
+                    n,
+                    factory_for_n(n),
+                    seed=seed,
+                    ids=ids,
+                    awake=awake,
+                    max_rounds=max_rounds,
+                    params=params,
+                )
+            )
+    return records
+
+
+def sweep_async(
+    ns: Sequence[int],
+    factory_for_n: Callable[[int], Callable[[], Any]],
+    *,
+    seeds: Sequence[int] = (0,),
+    scheduler_for_n: Optional[Callable[[int, random.Random], Any]] = None,
+    wake_times_for_n: Optional[Callable[[int, random.Random], Dict[int, float]]] = None,
+    max_events: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> List[RunRecord]:
+    """Asynchronous grid sweep (see :func:`sweep_sync`)."""
+    records = []
+    for n in ns:
+        for seed in seeds:
+            rng = random.Random(f"{n}:{seed}:workload")
+            scheduler = scheduler_for_n(n, rng) if scheduler_for_n else None
+            wake_times = wake_times_for_n(n, rng) if wake_times_for_n else None
+            records.append(
+                run_async_trial(
+                    n,
+                    factory_for_n(n),
+                    seed=seed,
+                    scheduler=scheduler,
+                    wake_times=wake_times,
+                    max_events=max_events,
+                    params=params,
+                )
+            )
+    return records

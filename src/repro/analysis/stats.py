@@ -1,0 +1,118 @@
+"""Trial aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["Summary", "summarize", "success_rate", "bootstrap_mean_ci", "ConfidenceInterval"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.3g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics (population std)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    ordered = sorted(data)
+    mid = count // 2
+    if count % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2.0
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )
+
+
+def success_rate(items: Iterable[T], predicate: Callable[[T], bool]) -> float:
+    """Fraction of items satisfying ``predicate``."""
+    total = 0
+    good = 0
+    for item in items:
+        total += 1
+        good += bool(predicate(item))
+    if total == 0:
+        raise ValueError("cannot compute a rate over zero items")
+    return good / total
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> "ConfidenceInterval":
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Used by benches that aggregate noisy whp quantities (candidate
+    counts, restart counts) where normal-theory intervals would be
+    dubious at small sample sizes.
+    """
+    import random as _random
+
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("need 0 < confidence < 1")
+    rng = _random.Random(seed)
+    m = len(data)
+    means = sorted(
+        sum(rng.choice(data) for _ in range(m)) / m for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = int(alpha * resamples)
+    hi_index = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return ConfidenceInterval(
+        mean=sum(data) / m,
+        low=means[lo_index],
+        high=means[hi_index],
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap interval around a sample mean."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        pct = int(self.confidence * 100)
+        return f"{self.mean:.4g} [{self.low:.4g}, {self.high:.4g}] ({pct}% CI)"

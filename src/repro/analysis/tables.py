@@ -1,0 +1,69 @@
+"""Aligned text tables in the style of the paper's Table 1.
+
+Benches print one of these per experiment: a column of workloads, a
+column with the paper's bound evaluated on that workload, and measured
+columns next to it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_quantity"]
+
+
+def format_quantity(value: Any) -> str:
+    """Human-friendly numbers: thousands separators, short floats."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:,.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+class Table:
+    """A minimal aligned-text table."""
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells; table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_quantity(v) for v in values])
+
+    def add_section(self, label: str) -> None:
+        """A full-width separator row."""
+        self.rows.append([f"-- {label}"] + [""] * (len(self.columns) - 1))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,49 @@
+"""Election-validity checks shared by tests and benches.
+
+Leader election (Section 2): exactly one node outputs LEADER, every other
+participating node outputs NON_LEADER; in the explicit variant non-leaders
+additionally name the leader's ID.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common import Decision
+
+__all__ = ["election_valid", "assert_unique_leader", "agreement_ok"]
+
+
+def election_valid(result: Any, *, require_all_decided: bool = True) -> bool:
+    """Exactly one leader; (optionally) every awake node decided."""
+    if len(result.leaders) != 1:
+        return False
+    if require_all_decided and result.decided_count < result.awake_count:
+        return False
+    return True
+
+
+def assert_unique_leader(result: Any) -> None:
+    """Raise ``AssertionError`` with diagnostics unless exactly one leader."""
+    if len(result.leaders) != 1:
+        raise AssertionError(
+            f"expected exactly one leader, got {len(result.leaders)} "
+            f"(nodes {result.leaders}, ids {result.leader_ids}); "
+            f"decided {result.decided_count}/{result.n}"
+        )
+
+
+def agreement_ok(result: Any) -> bool:
+    """Explicit agreement: every named leader output matches the winner.
+
+    Nodes that decided NON_LEADER without naming a leader (implicit
+    election) are ignored.
+    """
+    if not result.unique_leader:
+        return False
+    expected = result.elected_id
+    for u, decision in enumerate(result.decisions):
+        if decision is Decision.NON_LEADER and result.outputs[u] is not None:
+            if result.outputs[u] != expected:
+                return False
+    return True

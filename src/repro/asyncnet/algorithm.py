@@ -1,0 +1,31 @@
+"""Base class for asynchronous per-node algorithms."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.asyncnet.engine import AsyncContext
+
+
+class AsyncAlgorithm:
+    """One node's asynchronous protocol.
+
+    The engine instantiates one object per node.  Handlers:
+
+    * :meth:`on_wake` — called once, when the node is woken (by the
+      adversary or by the arrival of a first message);
+    * :meth:`on_message` — called for every delivered message, after
+      ``on_wake`` if the message is what woke the node.
+
+    Handlers run atomically (no other event is processed while a handler
+    runs), which matches the standard asynchronous message-passing model:
+    a node's step is triggered by a single message receipt.
+    """
+
+    def on_wake(self, ctx: "AsyncContext") -> None:
+        """Hook invoked once upon wake-up."""
+
+    def on_message(self, ctx: "AsyncContext", port: int, payload: Any) -> None:
+        """Handle one delivered message."""
+        raise NotImplementedError

@@ -1,0 +1,284 @@
+"""The asynchronous event-driven engine.
+
+Implementation notes:
+
+* Events live in a binary heap keyed by ``(time, seq)`` where ``seq`` is a
+  global monotonic counter; ties in time are therefore broken by
+  scheduling order, making runs fully deterministic.
+* FIFO links: the delivery time of a message on directed link ``u → v``
+  is clamped to be no earlier than the previously scheduled delivery on
+  the same link.
+* A sleeping node is woken by its first delivery: ``on_wake`` runs first,
+  then ``on_message`` for the waking message, at the same timestamp —
+  matching Algorithm 2's "if an asleep node receives a message ... then"
+  step.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.asyncnet.metrics import AsyncMetrics
+from repro.asyncnet.schedulers import DelayScheduler, UnitDelayScheduler
+from repro.net.ports import LazyPortMap, PortMap, RandomPortPolicy
+
+__all__ = ["AsyncContext", "AsyncNetwork", "AsyncRunResult"]
+
+_EVENT_WAKE = 0
+_EVENT_DELIVER = 1
+
+
+class AsyncContext:
+    """Per-node handle for interacting with the asynchronous clique."""
+
+    __slots__ = ("_net", "node", "my_id", "n", "rng", "now", "wake_time")
+
+    def __init__(self, net: "AsyncNetwork", node: int, my_id: int, rng: random.Random):
+        self._net = net
+        self.node = node
+        self.my_id = my_id
+        self.n = net.n
+        self.rng = rng
+        self.now = 0.0
+        self.wake_time = 0.0
+
+    @property
+    def port_count(self) -> int:
+        return self.n - 1
+
+    def sample_ports(self, m: int) -> List[int]:
+        """``m`` distinct ports sampled uniformly (no replacement)."""
+        if m > self.port_count:
+            raise ValueError(f"cannot sample {m} of {self.port_count} ports")
+        return self.rng.sample(range(self.port_count), m)
+
+    def send(self, port: int, payload: Any) -> None:
+        self._net._send(self.node, port, payload)
+
+    def send_many(self, ports: Sequence[int], payload: Any) -> None:
+        for port in ports:
+            self._net._send(self.node, port, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        self.send_many(range(self.port_count), payload)
+
+    @property
+    def decision(self) -> Optional[Decision]:
+        return self._net.decisions[self.node]
+
+    def decide_leader(self) -> None:
+        self._net._decide(self.node, Decision.LEADER, self.my_id)
+
+    def decide_follower(self, leader_id: Optional[int] = None) -> None:
+        self._net._decide(self.node, Decision.NON_LEADER, leader_id)
+
+    def halt(self) -> None:
+        """Stop processing messages (deliveries to this node are dropped)."""
+        self._net._halt(self.node)
+
+
+@dataclass
+class AsyncRunResult:
+    """Summary of one asynchronous execution."""
+
+    n: int
+    ids: List[int]
+    messages: int
+    time: float
+    events: int
+    leaders: List[int]
+    decisions: List[Optional[Decision]]
+    outputs: List[Optional[int]]
+    awake_count: int
+    dropped_deliveries: int
+    metrics: AsyncMetrics
+
+    @property
+    def leader_ids(self) -> List[int]:
+        return [self.ids[u] for u in self.leaders]
+
+    @property
+    def unique_leader(self) -> bool:
+        return len(self.leaders) == 1
+
+    @property
+    def elected_id(self) -> Optional[int]:
+        return self.ids[self.leaders[0]] if self.unique_leader else None
+
+    @property
+    def decided_count(self) -> int:
+        return sum(1 for d in self.decisions if d is not None)
+
+
+class AsyncNetwork:
+    """An asynchronous ``n``-clique with adversarial delays and wake-up."""
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[], AsyncAlgorithm],
+        *,
+        ids: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        port_map: Optional[PortMap] = None,
+        scheduler: Optional[DelayScheduler] = None,
+        wake_times: Optional[Dict[int, float]] = None,
+        max_events: Optional[int] = None,
+        recorder: Optional[Any] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need n >= 1")
+        self.n = n
+        self.seed = seed
+        master = random.Random(seed)
+        if ids is None:
+            ids = list(range(1, n + 1))
+        if len(ids) != n or len(set(ids)) != n:
+            raise ValueError("need n distinct IDs")
+        self.ids = list(ids)
+        if port_map is None:
+            # The paper requires the async adversary to fix the port
+            # mapping *obliviously* (before the first wake-up); a random
+            # policy seeded independently of node randomness satisfies
+            # that.
+            port_map = LazyPortMap(n, RandomPortPolicy(random.Random(master.getrandbits(64))))
+        self.port_map = port_map
+        self.scheduler = scheduler if scheduler is not None else UnitDelayScheduler()
+        self.recorder = recorder
+        self.max_events = max_events if max_events is not None else max(200_000, 400 * n)
+
+        self.algorithms: List[AsyncAlgorithm] = [algorithm_factory() for _ in range(n)]
+        self.contexts: List[AsyncContext] = [
+            AsyncContext(self, u, self.ids[u], random.Random(master.getrandbits(64)))
+            for u in range(n)
+        ]
+        self.decisions: List[Optional[Decision]] = [None] * n
+        self.outputs: List[Optional[int]] = [None] * n
+        self.leaders: List[int] = []
+        self.metrics = AsyncMetrics()
+
+        self._awake: List[bool] = [False] * n
+        self._halted: List[bool] = [False] * n
+        self._heap: List[Tuple[float, int, int, int, int, Any]] = []
+        self._seq = 0
+        self._link_last_delivery: Dict[Tuple[int, int], float] = {}
+        self._dropped = 0
+        self._now = 0.0
+
+        if wake_times is None:
+            wake_times = {0: 0.0}
+        if not wake_times:
+            raise ValueError("the adversary must wake at least one node")
+        for node, t in sorted(wake_times.items()):
+            if not 0 <= node < n:
+                raise ValueError("wake-time node indices must be in [0, n)")
+            if t < 0:
+                raise ValueError("wake times must be >= 0")
+            self._push(t, _EVENT_WAKE, node, -1, None)
+
+    # ------------------------------------------------------------------ #
+    # event plumbing
+
+    def _push(self, time: float, kind: int, node: int, port: int, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, self._seq, kind, node, port, payload))
+        self._seq += 1
+
+    def _send(self, u: int, port: int, payload: Any) -> None:
+        if self._halted[u]:
+            raise ProtocolError(f"halted node {u} attempted to send")
+        v, j = self.port_map.resolve(u, port)
+        delay = self.scheduler.delay(u, v, self._now, payload)
+        if not 0.0 < delay <= 1.0:
+            raise ProtocolError(f"scheduler produced delay {delay!r} outside (0, 1]")
+        deliver_at = self._now + delay
+        link = (u, v)
+        previous = self._link_last_delivery.get(link)
+        if previous is not None and deliver_at < previous:
+            deliver_at = previous  # FIFO: never overtake on the same link
+        self._link_last_delivery[link] = deliver_at
+        self.metrics.messages_total += 1
+        self.metrics.messages_by_kind[message_kind(payload)] += 1
+        if self.recorder is not None:
+            self.recorder.on_send(self._now, u, port, v, j, payload)
+        self._push(deliver_at, _EVENT_DELIVER, v, j, payload)
+
+    def _decide(self, u: int, decision: Decision, output: Optional[int]) -> None:
+        previous = self.decisions[u]
+        if previous is not None:
+            if previous is decision and self.outputs[u] == output:
+                return
+            raise ProtocolError(
+                f"node {u} tried to change its decision from {previous} to {decision}"
+            )
+        self.decisions[u] = decision
+        self.outputs[u] = output
+        if decision is Decision.LEADER:
+            self.leaders.append(u)
+        if self.recorder is not None:
+            self.recorder.on_decide(self._now, u, decision, output)
+
+    def _halt(self, u: int) -> None:
+        self._halted[u] = True
+
+    def _wake(self, u: int) -> None:
+        if self._awake[u] or self._halted[u]:
+            return
+        self._awake[u] = True
+        self.metrics.wake_count += 1
+        self.metrics.first_wake_time = min(self.metrics.first_wake_time, self._now)
+        ctx = self.contexts[u]
+        ctx.now = self._now
+        ctx.wake_time = self._now
+        if self.recorder is not None:
+            self.recorder.on_wake(self._now, u)
+        self.algorithms[u].on_wake(ctx)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def run(self) -> AsyncRunResult:
+        """Process events until quiescence (empty event queue)."""
+        while self._heap:
+            if self.metrics.events_processed >= self.max_events:
+                raise SimulationLimitExceeded(
+                    f"no quiescence after {self.max_events} events (n={self.n})"
+                )
+            time, _seq, kind, node, port, payload = heapq.heappop(self._heap)
+            self._now = time
+            self.metrics.events_processed += 1
+            self.metrics.last_event_time = max(self.metrics.last_event_time, time)
+            if kind == _EVENT_WAKE:
+                self._wake(node)
+                continue
+            # delivery
+            if self._halted[node]:
+                self._dropped += 1
+                continue
+            if not self._awake[node]:
+                self._wake(node)
+            ctx = self.contexts[node]
+            ctx.now = time
+            if self.recorder is not None:
+                self.recorder.on_deliver(time, node, port, payload)
+            self.algorithms[node].on_message(ctx, port, payload)
+        return self._result()
+
+    def _result(self) -> AsyncRunResult:
+        return AsyncRunResult(
+            n=self.n,
+            ids=self.ids,
+            messages=self.metrics.messages_total,
+            time=self.metrics.time_span,
+            events=self.metrics.events_processed,
+            leaders=list(self.leaders),
+            decisions=list(self.decisions),
+            outputs=list(self.outputs),
+            awake_count=sum(self._awake),
+            dropped_deliveries=self._dropped,
+            metrics=self.metrics,
+        )

@@ -1,0 +1,36 @@
+"""Message/time accounting for asynchronous executions."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["AsyncMetrics"]
+
+
+@dataclass
+class AsyncMetrics:
+    messages_total: int = 0
+    events_processed: int = 0
+    wake_count: int = 0
+    first_wake_time: float = float("inf")
+    last_event_time: float = 0.0
+    messages_by_kind: Counter = field(default_factory=Counter)
+
+    @property
+    def time_span(self) -> float:
+        """Asynchronous time complexity: first wake-up → last event.
+
+        Delays are normalized to at most 1 unit, so this is directly
+        comparable to the paper's ``k + 8``-style statements.
+        """
+        if self.first_wake_time == float("inf"):
+            return 0.0
+        return self.last_event_time - self.first_wake_time
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.messages_by_kind.items()))
+        return (
+            f"messages={self.messages_total} time={self.time_span:.3f} "
+            f"events={self.events_processed} [{kinds}]"
+        )

@@ -1,0 +1,48 @@
+"""Common value types shared by the synchronous and asynchronous engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Decision",
+    "ProtocolError",
+    "SimulationLimitExceeded",
+    "message_kind",
+]
+
+
+class Decision(enum.Enum):
+    """Irrevocable output of a node in (implicit) leader election.
+
+    Exactly one node must output :attr:`LEADER`; every other node outputs
+    :attr:`NON_LEADER`.  In the *explicit* variant nodes additionally
+    output the leader's ID.
+    """
+
+    LEADER = "leader"
+    NON_LEADER = "non_leader"
+
+
+class ProtocolError(RuntimeError):
+    """An algorithm violated the model (e.g. revoked a decision)."""
+
+
+class SimulationLimitExceeded(RuntimeError):
+    """The engine hit a safety limit (rounds/events) without terminating."""
+
+
+def message_kind(payload: Any) -> str:
+    """Best-effort message kind for metrics.
+
+    By convention, algorithm payloads are tuples whose first element is a
+    short string tag (``("compete", rank)``); bare strings are their own
+    kind; anything else is bucketed by type name.
+    """
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0]
+    if isinstance(payload, str):
+        return payload
+    return type(payload).__name__

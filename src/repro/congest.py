@@ -1,0 +1,100 @@
+"""CONGEST-model accounting: message sizes in bits.
+
+The paper's algorithms "have their claimed complexities also under the
+CONGEST model" (§2), i.e. every message fits in ``O(log n)`` bits.  This
+module estimates the wire size of the tuple payloads used by the
+algorithms so that benches and tests can check the CONGEST claim: no
+message may need more than ``c·log2(n)`` bits.
+
+The convention (see :func:`repro.common.message_kind`) is that payloads
+are tuples ``(kind, field, ...)`` where fields are ints (IDs, ranks,
+levels) or bools.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["payload_bits", "assert_congest", "CongestViolation"]
+
+# Distinct message kinds per algorithm are O(1), so a fixed-width tag is
+# enough; 8 bits covers all kinds used in this package.
+_KIND_BITS = 8
+
+
+class CongestViolation(AssertionError):
+    """A message exceeded the CONGEST budget."""
+
+
+def payload_bits(payload: Any) -> int:
+    """Estimated wire size of one message payload, in bits."""
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length())
+    if isinstance(payload, str):
+        return _KIND_BITS
+    if isinstance(payload, tuple):
+        return sum(payload_bits(field) for field in payload)
+    raise TypeError(f"cannot size payload field of type {type(payload).__name__}")
+
+
+def congest_budget(n: int, factor: float = 8.0) -> float:
+    """The per-message CONGEST budget ``factor·log2(n)`` bits.
+
+    ``factor`` absorbs the constant number of O(log n)-bit fields per
+    message (ranks live in ``[n^4]`` — four words — plus an ID and a
+    tag).
+    """
+    return factor * math.log2(max(n, 2)) + _KIND_BITS
+
+
+__all__.append("congest_budget")
+
+
+def assert_congest(payload: Any, n: int, factor: float = 8.0) -> None:
+    """Raise :class:`CongestViolation` if a payload exceeds the budget."""
+    bits = payload_bits(payload)
+    budget = congest_budget(n, factor)
+    if bits > budget:
+        raise CongestViolation(
+            f"payload {payload!r} needs {bits} bits > CONGEST budget "
+            f"{budget:.0f} bits for n={n}"
+        )
+
+
+class CongestAuditor:
+    """Engine recorder that audits every sent message against CONGEST.
+
+    Attach as (part of) a network ``recorder``; raises on the first
+    violating message and tallies total bits otherwise.
+    """
+
+    def __init__(self, n: int, factor: float = 8.0) -> None:
+        self.n = n
+        self.factor = factor
+        self.total_bits = 0
+        self.max_bits = 0
+        self.messages = 0
+
+    def on_send(self, when, u, port, v, peer_port, payload) -> None:
+        assert_congest(payload, self.n, self.factor)
+        bits = payload_bits(payload)
+        self.total_bits += bits
+        self.max_bits = max(self.max_bits, bits)
+        self.messages += 1
+
+    def on_wake(self, when, u) -> None:  # pragma: no cover - no-op hook
+        pass
+
+    def on_decide(self, when, u, decision, output) -> None:  # pragma: no cover
+        pass
+
+    def on_deliver(self, when, v, port, payload) -> None:  # pragma: no cover
+        pass
+
+
+__all__.append("CongestAuditor")

@@ -1,0 +1,145 @@
+"""Theorem 4.1: optimal 2-round election under adversarial wake-up.
+
+Setting: synchronous clique; the adversary wakes an arbitrary nonempty
+subset of nodes ("roots") in round 1; everyone else sleeps until a message
+arrives.  The algorithm succeeds with probability ``≥ 1 - ε - 1/n``, sends
+``O(n^(3/2)·log(1/ε))`` messages in expectation and never more than
+``O(n^(3/2) log n)`` whp, and matches the Ω(n^(3/2)) lower bound of
+Theorem 4.2.
+
+* Round 1 — every root sends a wake-up message over ``⌈√n⌉`` ports
+  sampled uniformly without replacement.
+* Round 2 — every node that *received* a round-1 wake-up message
+  becomes a candidate with probability ``log(1/ε)/⌈√n⌉``; a candidate
+  draws a rank from ``[n^4]`` and broadcasts it.  (At least ``⌈√n⌉``
+  nodes receive round-1 messages, so a candidate exists with
+  probability ``≥ 1 - ε``.)
+* End of round 2 — a candidate becomes leader iff every rank it received
+  is lower than its own; every other awake node becomes a non-leader.
+
+One reading note: the paper words the candidacy rule as "awoken by the
+receipt of a round-1 message (i.e., not by the adversary)".  Under the
+literal not-a-root reading, an adversary that wakes *every* node leaves
+zero candidates and the algorithm fails deterministically — contradicting
+the theorem's "at least ⌈√n⌉ nodes will be awoken by a message" step.
+We therefore implement the receipt-based reading (roots that receive a
+round-1 message may also become candidates), which restores the proof for
+every root set and keeps the expected message complexity at
+``O(n^(3/2)·log(1/ε))``: at most ``min(n, |R|·⌈√n⌉)`` receivers flip coins,
+so the expected number of candidates is ``O(√n·log(1/ε))`` and their rank
+broadcasts cost ``O(n^(3/2)·log(1/ε))``.
+
+A node distinguishes the phases by its wake-up round alone (the adversary
+wakes roots in round 1 only — the paper makes the same simplifying
+assumption): wake-up messages are only ever received in round 2, and rank
+broadcasts only in round 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from repro.mathutil import ceil_sqrt
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncContext
+
+__all__ = ["AdversarialTwoRoundElection"]
+
+WAKE = "wake"
+RANK = "rank"
+
+
+class AdversarialTwoRoundElection(SyncAlgorithm):
+    """Theorem 4.1's 2-round randomized algorithm.
+
+    Parameters
+    ----------
+    epsilon:
+        Target failure probability ``ε ≥ 1/poly(n)``; the candidacy
+        probability is ``log(1/ε)/⌈√n⌉``.
+    """
+
+    def __init__(self, epsilon: float = 0.05) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("need 0 < epsilon < 1")
+        self.epsilon = epsilon
+        self.is_root = False
+        self.candidate = False
+        self.rank: Optional[int] = None
+
+    def candidate_probability(self, n: int) -> float:
+        return min(1.0, math.log(1.0 / self.epsilon) / ceil_sqrt(n))
+
+    def on_wake(self, ctx: SyncContext) -> None:
+        self.is_root = ctx.wake_round == 1
+
+    def _maybe_compete(self, ctx: SyncContext) -> None:
+        """Receipt of a round-1 wake-up message: flip candidacy."""
+        n = ctx.n
+        if ctx.rng.random() < self.candidate_probability(n):
+            self.candidate = True
+            self.rank = ctx.rng.randrange(1, n**4 + 1)
+            ctx.broadcast((RANK, self.rank, ctx.my_id))
+        elif not self.is_root:
+            # "Non-candidate nodes immediately become non-leaders"; they
+            # stay up one more round so in-flight rank broadcasts are not
+            # dropped.  (Roots decide in their own final step.)
+            ctx.decide_follower()
+
+    def on_round(self, ctx: SyncContext, inbox: List[Tuple[int, Any]]) -> None:
+        n = ctx.n
+        if n == 1:
+            ctx.decide_leader()
+            ctx.halt()
+            return
+        offset = ctx.round - ctx.wake_round
+        woken_by_message = any(p[0] == WAKE for _port, p in inbox)
+        ranks = [p[1:] for _port, p in inbox if p[0] == RANK]
+        if self.is_root:
+            if offset == 0:
+                ports = ctx.sample_ports(min(ceil_sqrt(n), n - 1))
+                ctx.send_many(ports, (WAKE,))
+            elif offset == 1 and woken_by_message:
+                # A root that received another root's wake-up message is
+                # also eligible for candidacy (see the reading note in
+                # the module docstring).
+                self._maybe_compete(ctx)
+            elif offset == 2:
+                # Ranks broadcast in round 2 arrive at the start of round 3.
+                self._decide(ctx, ranks)
+        else:
+            if offset == 0 and ctx.wake_round == 2:
+                self._maybe_compete(ctx)
+            elif ctx.wake_round == 2 and offset == 1:
+                self._decide(ctx, ranks)
+            elif ctx.wake_round >= 3:
+                # First woken by a rank broadcast: adopt the outcome.
+                self._decide(ctx, ranks)
+
+    def _decide(self, ctx: SyncContext, ranks: List[Tuple[int, int]]) -> None:
+        """Final step: the unique maximum rank (if any) leads."""
+        if ctx.decision is not None:
+            ctx.halt()
+            return
+        if self.candidate:
+            assert self.rank is not None
+            beaten = any(rank >= self.rank for rank, _sender in ranks)
+            if not beaten:
+                ctx.decide_leader()
+                ctx.halt()
+                return
+        if ranks:
+            best_rank, best_sender = max(ranks)
+            tie = sum(1 for rank, _s in ranks if rank == best_rank) > 1
+            is_own_tie = self.candidate and self.rank == best_rank
+            if tie or is_own_tie:
+                ctx.decide_follower()  # rank collision: nobody leads
+            else:
+                ctx.decide_follower(best_sender)
+        else:
+            ctx.decide_follower()
+        ctx.halt()
+    # NOTE: nodes never woken at all (possible only when no candidate
+    # emerged) remain asleep; the run then has zero leaders and counts as
+    # the ε-probability failure.

@@ -1,0 +1,272 @@
+"""§5.4 / Theorem 5.14: the asynchronous Afek–Gafni translation.
+
+Setting: asynchronous clique, **simultaneous wake-up** (or, equivalently,
+time counted from the last spontaneous wake-up), adversarial FIFO delays.
+Deterministic.  ``O(log n)`` time and ``O(n log n)`` messages.
+
+Every node starts as a *candidate* at level 0 and supports itself
+("``v`` is its own neighbor number 1").  A candidate at level ``i`` asks
+its first ``2^i`` neighbors — itself plus ports ``0 .. 2^i - 2`` — for
+support (``⟨req, id, level⟩``); when all of them acknowledge, it climbs to
+level ``i + 1``, and it becomes leader once it holds the support of all
+``n`` nodes.
+
+A node ``v`` supports at most one candidate at a time (its *owner*,
+initially itself).  When a request from a challenger ``w ≠ owner``
+arrives, ``v`` sends a *conditional cancel* to the owner ``u``:
+
+* ``u`` **refuses** if it already became leader, or if its
+  ``(level, id)`` pair lexicographically beats the challenger's
+  ``(level, id)`` — in that case ``v`` *kills* ``w``;
+* otherwise ``u`` is killed (drops its candidacy), and ``v`` transfers
+  its support: it stores ``w`` and acknowledges.
+
+While a cancel is in flight, further requests at ``v`` are queued FIFO.
+When the owner is ``v`` itself, the consultation is resolved locally.
+
+The paper's prose only spells out the ``w > u`` (by ID) challenge; the
+symmetric case follows the same conditional-cancel route with the
+``(level, id)`` order, which is exactly what the proofs of Lemmas 5.11
+and 5.12 require: a candidate that is the highest to reach level ``i``
+can only be killed by a refusal issued from level ``> i`` (progress,
+Lemma 5.11), and support is exclusive — a supporter acknowledges a new
+candidate only after its previous owner verifiably died (counting,
+Lemma 5.12, giving at most ``n/2^i`` candidates at level ``i``).
+
+Safety is deterministic and unconditional: for two leaders each would
+need the support of the other's node, but a node's support moves only
+over its owner's dead body, and a leader never dies.
+
+**The full tradeoff (§5.4's opening claim).**  The paper stresses that
+the translation preserves "the very same tradeoff" Afek–Gafni obtained
+synchronously.  The ``iterations`` parameter realizes it: with
+``iterations = K``, level ``i`` asks for ``⌈n^(i/K)⌉`` supporters
+(instead of ``2^i``), giving ``K`` capture waves — ``O(K)`` time from
+the last wake-up — and ``O(K·n^(1+1/K))`` messages, exactly the
+synchronous tradeoff shape.  ``iterations=None`` (default) keeps the
+doubling schedule, i.e. the ``O(log n)`` time / ``O(n log n)`` message
+point stated by Theorem 5.14.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.asyncnet.engine import AsyncContext
+from repro.mathutil import ceil_log2
+
+__all__ = ["AsyncAfekGafniElection"]
+
+REQ = "req"
+ACK = "ack"
+KILL = "kill"
+CANCEL = "cancel"
+CANCEL_REPLY = "cancel_reply"
+ELECTED = "elected"
+
+
+class AsyncAfekGafniElection(AsyncAlgorithm):
+    """Deterministic asynchronous election via level-based capture.
+
+    Parameters
+    ----------
+    iterations:
+        ``None`` (default) — doubling levels ``2^i`` (Theorem 5.14's
+        ``O(log n)``-time point).  An integer ``K >= 2`` — the general
+        tradeoff schedule with supporter targets ``⌈n^(i/K)⌉``:
+        ``O(K)`` time, ``O(K·n^(1+1/K))`` messages.
+    """
+
+    def __init__(self, iterations: Optional[int] = None) -> None:
+        if iterations is not None and iterations < 2:
+            raise ValueError("need iterations >= 2 (or None for doubling levels)")
+        self.iterations = iterations
+        # candidate state
+        self.alive = True
+        self.leader = False
+        self.level = 0
+        self.acks = 0
+        self.needed = 0
+        # supporter (referee) state
+        self.owner_id: Optional[int] = None
+        self.owner_port: Optional[int] = None  # None while the owner is me
+        self.busy = False
+        self.pending: Optional[Tuple[int, int, int]] = None  # (port, id, level)
+        self.queue: Deque[Tuple[int, int, int]] = deque()
+
+    # ------------------------------------------------------------------ #
+    # candidate side
+
+    def on_wake(self, ctx: AsyncContext) -> None:
+        if ctx.n == 1:
+            ctx.decide_leader()
+            return
+        self.owner_id = ctx.my_id  # support myself (neighbor number 1)
+        self._enter_level(ctx, 1)
+        # Degenerate schedules can make level 1 free (one supporter: me);
+        # climb immediately until a level actually needs acknowledgements.
+        while self.alive and not self.leader and self.needed == 0:
+            if self._targets(ctx, self.level) >= ctx.n:
+                self.leader = True
+                ctx.decide_leader()
+                ctx.broadcast((ELECTED, ctx.my_id))
+            else:
+                self._enter_level(ctx, self.level + 1)
+
+    def _targets(self, ctx: AsyncContext, level: int) -> int:
+        """Number of supporters (including myself) required at ``level``."""
+        if self.iterations is None:
+            return min(2**level, ctx.n)
+        from repro.mathutil import ceil_pow_frac
+
+        return min(ceil_pow_frac(ctx.n, level, self.iterations), ctx.n)
+
+    def _enter_level(self, ctx: AsyncContext, level: int) -> None:
+        self.level = level
+        self.acks = 0
+        self.needed = self._targets(ctx, level) - 1
+        ctx.send_many(range(self.needed), (REQ, ctx.my_id, level))
+
+    def _die(self, ctx: AsyncContext) -> None:
+        if self.leader:
+            return  # a leader never dies
+        self.alive = False
+        if ctx.decision is None:
+            ctx.decide_follower()
+
+    def _handle_ack(self, ctx: AsyncContext, level: int) -> None:
+        if not self.alive or self.leader or level != self.level:
+            return  # stale acknowledgement of an abandoned level
+        self.acks += 1
+        if self.acks < self.needed:
+            return
+        if self._targets(ctx, self.level) >= ctx.n:
+            self.leader = True
+            ctx.decide_leader()
+            ctx.broadcast((ELECTED, ctx.my_id))
+        else:
+            self._enter_level(ctx, self.level + 1)
+
+    def _beats_challenger(self, challenger_id: int, challenger_level: int, ctx: AsyncContext) -> bool:
+        """Does my live candidacy lexicographically beat the challenger?"""
+        if not self.alive:
+            return False
+        if self.leader:
+            return True
+        return (self.level, ctx.my_id) > (challenger_level, challenger_id)
+
+    # ------------------------------------------------------------------ #
+    # supporter side
+
+    def _handle_req(self, ctx: AsyncContext, port: int, cand_id: int, level: int) -> None:
+        if self.busy:
+            # A cancel is in flight.  The eventual owner will carry a
+            # (level, id) priority at least the pool maximum, so weaker
+            # challengers can be killed right away — without this
+            # fast-kill, cancel round-trips would stack and the O(K)
+            # time of the level schedule would degrade (the synchronous
+            # algorithm gets the same effect from per-round batching).
+            assert self.pending is not None
+            pool_best = max(
+                (self.pending[2], self.pending[1]),
+                max(((lv, cid) for _p, cid, lv in self.queue), default=(-1, -1)),
+            )
+            if cand_id == self.owner_id or (level, cand_id) > pool_best:
+                self.queue.append((port, cand_id, level))
+            else:
+                ctx.send(port, (KILL,))
+            return
+        if cand_id == self.owner_id:
+            ctx.send(port, (ACK, level))
+            return
+        if self.owner_port is None:
+            # The owner is me: resolve the conditional cancel locally.
+            if self._beats_challenger(cand_id, level, ctx):
+                ctx.send(port, (KILL,))
+            else:
+                self._die(ctx)
+                self.owner_id = cand_id
+                self.owner_port = port
+                ctx.send(port, (ACK, level))
+            return
+        self.busy = True
+        self.pending = (port, cand_id, level)
+        ctx.send(self.owner_port, (CANCEL, cand_id, level))
+
+    def _handle_cancel(self, ctx: AsyncContext, port: int, challenger_id: int, challenger_level: int) -> None:
+        # I am some node's current owner; a challenger wants my slot.
+        if self._beats_challenger(challenger_id, challenger_level, ctx):
+            ctx.send(port, (CANCEL_REPLY, False))
+        else:
+            self._die(ctx)
+            ctx.send(port, (CANCEL_REPLY, True))
+
+    def _handle_cancel_reply(self, ctx: AsyncContext, accepted: bool) -> None:
+        assert self.pending is not None, "cancel_reply without a pending request"
+        pool = [self.pending]
+        pending_level, pending_id = self.pending[2], self.pending[1]
+        requeue = []
+        for q_port, q_id, q_level in self.queue:
+            if q_id == self.owner_id:
+                requeue.append((q_port, q_id, q_level))  # owner re-request
+            else:
+                pool.append((q_port, q_id, q_level))
+        self.pending = None
+        self.busy = False
+        self.queue.clear()
+        if accepted:
+            # The old owner died; the strongest pooled challenger takes
+            # the slot, everyone else pooled is killed (they lose to the
+            # new owner by the priority order).
+            best = max(pool, key=lambda entry: (entry[2], entry[1]))
+            b_port, b_id, b_level = best
+            self.owner_id = b_id
+            self.owner_port = b_port
+            ctx.send(b_port, (ACK, b_level))
+            for q_port, _q_id, _q_level in pool:
+                if q_port != b_port:
+                    ctx.send(q_port, (KILL,))
+            # Old owner's re-requests are moot (it is dead); drop them.
+            requeue = []
+        else:
+            # The owner refused (it outranks the pending challenger).
+            # Everything pooled at or below the pending priority loses
+            # outright; a strictly stronger pooled challenger needs its
+            # own consultation of the (possibly higher-level) owner.
+            stronger = []
+            for q_port, q_id, q_level in pool:
+                if (q_level, q_id) > (pending_level, pending_id):
+                    stronger.append((q_port, q_id, q_level))
+                else:
+                    ctx.send(q_port, (KILL,))
+            requeue = stronger + requeue
+        for q_port, q_id, q_level in requeue:
+            if self.busy:
+                self.queue.append((q_port, q_id, q_level))
+            else:
+                self._handle_req(ctx, q_port, q_id, q_level)
+
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, ctx: AsyncContext, port: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == REQ:
+            self._handle_req(ctx, port, payload[1], payload[2])
+        elif kind == ACK:
+            self._handle_ack(ctx, payload[1])
+        elif kind == KILL:
+            self._die(ctx)
+        elif kind == CANCEL:
+            self._handle_cancel(ctx, port, payload[1], payload[2])
+        elif kind == CANCEL_REPLY:
+            self._handle_cancel_reply(ctx, payload[1])
+        elif kind == ELECTED:
+            if ctx.decision is None:
+                ctx.decide_follower(payload[1])
+
+    @staticmethod
+    def max_level(n: int) -> int:
+        """The level at which a candidate holds everyone's support."""
+        return max(1, ceil_log2(n))

@@ -1,0 +1,254 @@
+"""Algorithm 2 / Theorem 5.1: the asynchronous message/time tradeoff.
+
+Setting: asynchronous clique, adversarial wake-up, adversarial (≤ 1 time
+unit) FIFO message delays, obliviously-chosen port mapping.  For a
+parameter ``k ∈ [2, O(log n / log log n)]`` the algorithm elects a unique
+leader whp within ``k + 8`` time units while sending ``O(n^(1 + 1/k))``
+messages whp.
+
+Protocol (paper's Algorithm 2):
+
+* **Wake-up spray** — upon waking (by the adversary or by any message), a
+  node sends ``⟨wake⟩`` over ``Θ(n^(1/k))`` uniformly random ports.  The
+  cover-tree argument (Lemmas 5.4–5.8) shows every node wakes within
+  ``k + 4`` time units whp.
+* **Candidacy** — a waking node becomes a candidate with probability
+  ``Θ(log n / n)``; a candidate draws a rank from ``[n^4]``, stores it in
+  its own ``ρ_winner``, and sends ``⟨compete, rank⟩`` to
+  ``⌈4√(n·log n)⌉`` random *referees*.
+* **Refereeing** — a node ``v`` holds the best rank seen so far in
+  ``ρ_winner`` (plus how to reach the candidate that owns it):
+
+  - empty ``ρ_winner`` → store the rank, grant ``⟨win⟩``;
+  - ``rank ≤ ρ_winner`` → reply ``⟨lose⟩``;
+  - ``rank > ρ_winner`` → *consult* the stored winner ``w``: if ``w`` has
+    already become leader it stays the winner and the newcomer gets
+    ``⟨lose⟩``; otherwise ``w`` drops out of the race, and the newcomer is
+    stored and granted ``⟨win⟩``.  (If the stored winner is ``v`` itself,
+    the consultation is local.)  While one consultation is in flight,
+    further competes are queued FIFO — a faithful serialization of the
+    paper's per-referee processing.
+
+* **Decision** — a candidate that collected ``⟨win⟩`` from *all* its
+  referees (and never dropped out) decides LEADER and broadcasts
+  ``⟨leader⟩``; every other node decides NON_LEADER upon that
+  announcement (dropped candidates decide as soon as they drop).
+
+Uniqueness (Lemma 5.9): any two candidates share a referee whp, and a
+shared referee's win grants are linearized by the consult protocol — the
+earlier winner provably was not yet leader and drops.  The maximum-rank
+candidate never drops (nobody outranks it), so whp exactly one leader
+emerges.
+
+Parameters expose the paper's constants: ``gamma`` (wake-up fan-out
+coefficient), ``candidate_coeff`` (the paper's 4 in ``4 log n / n``),
+``referee_coeff`` (the paper's 4 in ``⌈4√(n log n)⌉``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.asyncnet.engine import AsyncContext
+from repro.mathutil import ceil_pow_frac
+
+__all__ = ["AsyncTradeoffElection"]
+
+WAKE = "wake"
+COMPETE = "compete"
+WIN = "win"
+LOSE = "lose"
+CONFIRM = "confirm"
+CONFIRM_REPLY = "confirm_reply"
+LEADER = "leader"
+
+
+class AsyncTradeoffElection(AsyncAlgorithm):
+    """Algorithm 2 with tradeoff parameter ``k``."""
+
+    def __init__(
+        self,
+        k: int = 2,
+        gamma: float = 3.0,
+        candidate_coeff: float = 4.0,
+        referee_coeff: float = 2.0,
+    ) -> None:
+        if k < 2:
+            raise ValueError("Theorem 5.1 requires k >= 2")
+        if gamma <= 0 or candidate_coeff <= 0 or referee_coeff <= 0:
+            raise ValueError("coefficients must be positive")
+        self.k = k
+        self.gamma = gamma
+        self.candidate_coeff = candidate_coeff
+        self.referee_coeff = referee_coeff
+        # candidate state
+        self.candidate = False
+        self.rank: Optional[int] = None
+        self.needed = 0
+        self.wins = 0
+        self.dropped = False
+        self.leader = False
+        # referee state
+        self.rho_winner: Optional[int] = None
+        self.winner_port: Optional[int] = None  # None while the winner is me
+        self.busy = False
+        self.pending: Optional[Tuple[int, int]] = None
+        self.queue: Deque[Tuple[int, int]] = deque()
+
+    # ------------------------------------------------------------------ #
+    # parameter schedule
+
+    def wake_fanout(self, n: int) -> int:
+        """``min(n-1, ⌈γ·n^(1/k)⌉)`` wake-up messages per waking node."""
+        return min(n - 1, math.ceil(self.gamma * ceil_pow_frac(n, 1, self.k)))
+
+    def candidate_probability(self, n: int) -> float:
+        return min(1.0, self.candidate_coeff * math.log(n) / n)
+
+    def referee_count(self, n: int) -> int:
+        return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
+
+    # ------------------------------------------------------------------ #
+    # wake-up phase
+
+    def on_wake(self, ctx: AsyncContext) -> None:
+        n = ctx.n
+        if n == 1:
+            ctx.decide_leader()
+            return
+        ctx.send_many(ctx.sample_ports(self.wake_fanout(n)), (WAKE,))
+        if ctx.rng.random() < self.candidate_probability(n):
+            self.candidate = True
+            self.rank = ctx.rng.randrange(1, n**4 + 1)
+            self.rho_winner = self.rank
+            self.winner_port = None  # the stored winner is me
+            referees = ctx.sample_ports(self.referee_count(n))
+            ctx.send_many(referees, (COMPETE, self.rank))
+            self.needed = len(referees)
+
+    # ------------------------------------------------------------------ #
+    # message handlers
+
+    def on_message(self, ctx: AsyncContext, port: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == WAKE:
+            return  # waking is handled by the engine via on_wake
+        if kind == COMPETE:
+            self._handle_compete(ctx, port, payload[1])
+        elif kind == WIN:
+            self._handle_win(ctx)
+        elif kind == LOSE:
+            self._drop_out(ctx)
+        elif kind == CONFIRM:
+            self._handle_confirm(ctx, port)
+        elif kind == CONFIRM_REPLY:
+            self._handle_confirm_reply(ctx, payload[1])
+        elif kind == LEADER:
+            if ctx.decision is None:
+                ctx.decide_follower(payload[1])
+
+    # ------------------------------------------------------------------ #
+    # candidate side
+
+    def _handle_win(self, ctx: AsyncContext) -> None:
+        if not self.candidate or self.dropped or self.leader:
+            return
+        self.wins += 1
+        if self.wins >= self.needed:
+            self.leader = True
+            ctx.decide_leader()
+            ctx.broadcast((LEADER, ctx.my_id))
+
+    def _drop_out(self, ctx: AsyncContext) -> None:
+        """This candidate leaves the race (lose verdict or consultation)."""
+        if self.leader:
+            return  # cannot happen in a correct run; kept for robustness
+        self.dropped = True
+        if ctx.decision is None:
+            ctx.decide_follower()
+
+    def _handle_confirm(self, ctx: AsyncContext, port: int) -> None:
+        # I am the stored winner at some referee; a higher rank arrived
+        # there.  If I already became leader I stay leader; otherwise I
+        # drop out of the race (paper lines 21-29).
+        if self.leader:
+            ctx.send(port, (CONFIRM_REPLY, True))
+        else:
+            self._drop_out(ctx)
+            ctx.send(port, (CONFIRM_REPLY, False))
+
+    # ------------------------------------------------------------------ #
+    # referee side
+
+    def _handle_compete(self, ctx: AsyncContext, port: int, rank: int) -> None:
+        if self.busy:
+            # A consultation is in flight.  Ranks that cannot become the
+            # new winner lose immediately (the settled winner's rank will
+            # be at least the pool maximum, or the old winner turned out
+            # to be the leader and everything pending loses anyway);
+            # genuinely higher ranks join the pool and are settled in one
+            # batch when the consultation answer arrives.  This keeps the
+            # win-grant chain serialized — which the uniqueness argument
+            # of Lemma 5.9 requires — without stacking consultation
+            # round-trips, which would break the ``k + 8`` time bound.
+            assert self.pending is not None
+            pool_max = max(
+                self.rho_winner or 0,
+                self.pending[1],
+                max((r for _p, r in self.queue), default=0),
+            )
+            if rank <= pool_max:
+                ctx.send(port, (LOSE,))
+            else:
+                self.queue.append((port, rank))
+            return
+        if self.rho_winner is None:
+            self.rho_winner = rank
+            self.winner_port = port
+            ctx.send(port, (WIN,))
+            return
+        if rank <= self.rho_winner:
+            ctx.send(port, (LOSE,))
+            return
+        # rank beats the stored winner: consult it.
+        if self.winner_port is None:
+            # The stored winner is me (I am a candidate holding my own
+            # rank): the consultation is local.
+            if self.leader:
+                ctx.send(port, (LOSE,))
+            else:
+                self._drop_out(ctx)
+                self.rho_winner = rank
+                self.winner_port = port
+                ctx.send(port, (WIN,))
+            return
+        self.busy = True
+        self.pending = (port, rank)
+        ctx.send(self.winner_port, (CONFIRM,))
+
+    def _handle_confirm_reply(self, ctx: AsyncContext, winner_is_leader: bool) -> None:
+        assert self.pending is not None, "confirm_reply without pending compete"
+        pool = [self.pending]
+        pool.extend(self.queue)
+        self.pending = None
+        self.queue.clear()
+        self.busy = False
+        if winner_is_leader:
+            # The stored winner already became leader: everyone pending
+            # loses and the stored winner stays.
+            for port, _rank in pool:
+                ctx.send(port, (LOSE,))
+            return
+        # The old winner dropped out; the best pooled rank is the new
+        # winner (this is the "unless v meanwhile received a request from
+        # some z > u" clause of the paper), everyone else loses.
+        best_port, best_rank = max(pool, key=lambda entry: entry[1])
+        self.rho_winner = best_rank
+        self.winner_port = best_port
+        for port, _rank in pool:
+            if port != best_port:
+                ctx.send(port, (LOSE,))
+        ctx.send(best_port, (WIN,))

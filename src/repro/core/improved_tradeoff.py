@@ -1,0 +1,129 @@
+"""The improved deterministic tradeoff algorithm (Theorem 3.10).
+
+Setting: synchronous clique, simultaneous wake-up, unique IDs.
+
+For a parameter ``k ≥ 3`` the algorithm runs ``k - 2`` two-round
+*iterations* followed by a single broadcast round — ``ℓ = 2k - 3`` rounds
+in total — and sends ``O(ℓ · n^(1 + 2/(ℓ+1)))`` messages:
+
+* In round 1 of iteration ``i`` every *survivor* (initially: everyone)
+  sends its ID to ``⌈n^(i/(k-1))⌉`` other nodes, its *referees*.
+* In round 2 each referee responds only to the highest ID it received
+  this iteration and discards the rest.
+* A node stays a survivor for iteration ``i + 1`` iff **every** one of
+  its referees responded.
+* After iteration ``k - 2``, the remaining survivors broadcast their IDs
+  to everyone; a survivor terminates as leader iff its own ID exceeds all
+  IDs it received, and every other node adopts the maximum received ID as
+  the leader (explicit election).
+
+Why it works (paper, §3.3): a referee responds to at most one survivor
+per iteration, and a surviving survivor needs all ``m_i`` of its referees,
+so at most ``n / m_i`` survivors survive iteration ``i``; the node with
+the globally maximal ID always survives.  Message count per iteration is
+``(survivors entering i) · m_i ≤ n^(1 - (i-1)/(k-1)) · n^(i/(k-1)) =
+n^(1 + 1/(k-1))`` plus at most as many responses.
+
+The round at which each event happens is fixed and globally known
+(simultaneous wake-up), so nodes switch roles purely on the round number:
+
+====================  ==========================================
+round ``2i - 1``      survivors send ``compete`` (``i ≤ k-2``);
+                      survivors also tally iteration ``i-1``'s
+                      responses at the start of this round
+round ``2i``          referees answer the max compete
+round ``2k - 3``      survivors broadcast ``final``
+round ``2k - 2``      everyone decides (no messages)
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.mathutil import ceil_pow_frac
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncContext
+
+__all__ = ["ImprovedTradeoffElection"]
+
+COMPETE = "compete"
+RESPONSE = "response"
+FINAL = "final"
+
+
+class ImprovedTradeoffElection(SyncAlgorithm):
+    """Theorem 3.10: ``ℓ``-round, ``O(ℓ·n^(1+2/(ℓ+1)))``-message election.
+
+    Parameters
+    ----------
+    ell:
+        The round budget; any odd integer ``≥ 3``.  Internally
+        ``k = (ell + 3) / 2`` so that ``ell = 2k - 3``.
+    """
+
+    def __init__(self, ell: int = 3) -> None:
+        if ell < 3 or ell % 2 == 0:
+            raise ValueError("Theorem 3.10 requires an odd round budget ell >= 3")
+        self.ell = ell
+        self.k = (ell + 3) // 2
+        self.survivor = True
+        self.awaiting = 0
+        self._referee_count_cache: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # parameter schedule
+
+    def referee_count(self, n: int, iteration: int) -> int:
+        """``m_i = min(⌈n^(i/(k-1))⌉, n - 1)`` referees in iteration ``i``."""
+        if not self._referee_count_cache:
+            self._referee_count_cache = [
+                min(ceil_pow_frac(n, i, self.k - 1), n - 1)
+                for i in range(1, self.k - 1)
+            ]
+        return self._referee_count_cache[iteration - 1]
+
+    # ------------------------------------------------------------------ #
+    # protocol
+
+    def on_round(self, ctx: SyncContext, inbox: List[Tuple[int, Any]]) -> None:
+        r = ctx.round
+        k = self.k
+        final_round = 2 * k - 3
+        if r % 2 == 1 and r <= final_round:
+            # Start of iteration (i = (r+1)/2) or the final broadcast
+            # round: first tally the previous iteration's responses.
+            if r > 1 and self.survivor:
+                responses = sum(1 for _port, payload in inbox if payload[0] == RESPONSE)
+                if responses < self.awaiting:
+                    self.survivor = False
+            if r < final_round:
+                if self.survivor:
+                    i = (r + 1) // 2
+                    m = self.referee_count(ctx.n, i)
+                    ctx.send_many(range(m), (COMPETE, ctx.my_id))
+                    self.awaiting = m
+            else:
+                if self.survivor:
+                    ctx.broadcast((FINAL, ctx.my_id))
+        elif r % 2 == 0 and r < final_round:
+            # Referee round: respond to the single highest compete.
+            best_port: Optional[int] = None
+            best_id = -1
+            for port, payload in inbox:
+                if payload[0] == COMPETE and payload[1] > best_id:
+                    best_id = payload[1]
+                    best_port = port
+            if best_port is not None:
+                ctx.send(best_port, (RESPONSE,))
+        elif r == final_round + 1:
+            # Decision round (silent): the maximum broadcast ID leads.
+            best = ctx.my_id if self.survivor else -1
+            for _port, payload in inbox:
+                if payload[0] == FINAL and payload[1] > best:
+                    best = payload[1]
+            if self.survivor and best == ctx.my_id:
+                ctx.decide_leader()
+            else:
+                ctx.decide_follower(best if best >= 0 else None)
+            ctx.halt()

@@ -1,0 +1,121 @@
+"""The 2-round Monte Carlo baseline of Kutten et al. [16] (reconstruction).
+
+The paper contrasts its Las Vegas bound (Theorem 3.16) with the sublinear
+Monte Carlo algorithm of Kutten, Pandurangan, Peleg, Robinson and Trehan
+(*Sublinear bounds for randomized leader election*, TCS 2015): 2 rounds,
+``O(√n · log^(3/2) n)`` messages, success with high probability,
+*implicit* election, simultaneous wake-up.
+
+Reconstruction (matching the stated complexity):
+
+* Round 1 — every node independently becomes a *candidate* with
+  probability ``c1 · ln n / n`` (so ``Θ(log n)`` candidates in
+  expectation).  A candidate draws a uniform *rank* from ``[n^4]`` and
+  sends ``⟨compete, rank⟩`` to ``m = ⌈c2 · √(n · ln n)⌉`` referees chosen
+  uniformly without replacement — ``Θ(√n log^(3/2) n)`` messages total.
+* Round 2 — every referee replies ``⟨win⟩`` to the unique maximum-rank
+  compete it received (ties get no winner — safe) and ``⟨lose⟩`` to the
+  rest.
+* A candidate that received ``⟨win⟩`` from *all* its referees outputs
+  LEADER; everyone else outputs NON_LEADER.
+
+Why whp: with ``Θ(log n)`` candidates, any two candidates share a referee
+whp (``m² = Ω(n log n)``, birthday bound), ranks are distinct whp, and a
+shared referee grants ``win`` to at most one of them; the globally
+maximum-rank candidate wins all its referees.  Failure modes (no
+candidate, disjoint referee sets, rank collision) each have probability
+``n^(-Ω(1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncContext
+
+__all__ = ["Kutten16Election"]
+
+COMPETE = "compete"
+WIN = "win"
+LOSE = "lose"
+
+
+class Kutten16Election(SyncAlgorithm):
+    """2-round Monte Carlo election of [16].
+
+    Parameters
+    ----------
+    candidate_coeff:
+        ``c1`` in the candidacy probability ``min(1, c1 · ln n / n)``.
+    referee_coeff:
+        ``c2`` in the referee count ``⌈c2 · √(n · ln n)⌉`` (capped at
+        ``n - 1``).
+    """
+
+    def __init__(self, candidate_coeff: float = 2.0, referee_coeff: float = 2.0) -> None:
+        if candidate_coeff <= 0 or referee_coeff <= 0:
+            raise ValueError("coefficients must be positive")
+        self.candidate_coeff = candidate_coeff
+        self.referee_coeff = referee_coeff
+        self.candidate = False
+        self.rank: Optional[int] = None
+        self.awaiting = 0
+        self.wins = 0
+
+    def candidate_probability(self, n: int) -> float:
+        if n < 2:
+            return 1.0
+        return min(1.0, self.candidate_coeff * math.log(n) / n)
+
+    def referee_count(self, n: int) -> int:
+        if n < 2:
+            return 0
+        return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
+
+    def on_round(self, ctx: SyncContext, inbox: List[Tuple[int, Any]]) -> None:
+        n = ctx.n
+        if ctx.round == 1:
+            if n == 1:
+                ctx.decide_leader()
+                ctx.halt()
+                return
+            if ctx.rng.random() < self.candidate_probability(n):
+                self.candidate = True
+                self.rank = ctx.rng.randrange(1, n**4 + 1)
+                ports = ctx.sample_ports(self.referee_count(n))
+                ctx.send_many(ports, (COMPETE, self.rank))
+                self.awaiting = len(ports)
+            else:
+                ctx.decide_follower()
+        elif ctx.round == 2:
+            # Referee: win to the unique maximum rank, lose to the rest.
+            best_rank = -1
+            best_unique = False
+            for _port, payload in inbox:
+                if payload[0] == COMPETE:
+                    if payload[1] > best_rank:
+                        best_rank = payload[1]
+                        best_unique = True
+                    elif payload[1] == best_rank:
+                        best_unique = False
+            for port, payload in inbox:
+                if payload[0] == COMPETE:
+                    is_winner = best_unique and payload[1] == best_rank
+                    ctx.send(port, (WIN,) if is_winner else (LOSE,))
+            if not self.candidate:
+                ctx.halt()
+        else:
+            # Round 3 (silent): candidates tally their referees' verdicts.
+            self.wins = sum(1 for _port, payload in inbox if payload[0] == WIN)
+            if self.candidate and self.wins == self.awaiting and self.awaiting > 0:
+                ctx.decide_leader()
+            elif ctx.decision is None:
+                ctx.decide_follower()
+            ctx.halt()
+
+    def message_bound(self, n: int) -> int:
+        """Deterministic upper bound on messages actually sent in a run."""
+        # Every compete triggers at most one response.
+        return 2 * n * self.referee_count(n)

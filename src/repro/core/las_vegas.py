@@ -1,0 +1,150 @@
+"""Theorem 3.16 (upper bound): a 3-round Las Vegas election with O(n) messages.
+
+The paper observes that the 2-round Monte Carlo algorithm of [16] turns
+into a *Las Vegas* (never wrong) and *explicit* algorithm by adding an
+announcement round: the winner announces itself in round 3, and every node
+that cannot certify "exactly one leader" restarts the algorithm.  The
+announcement costs ``Θ(n)`` messages, which Theorem 3.16 shows is optimal
+for Las Vegas algorithms (``Ω(n)`` in expectation).
+
+Phase structure (phase ``p`` occupies rounds ``3p+1 .. 3p+3``; all nodes
+share the round counter — simultaneous wake-up):
+
+* round ``3p+1`` — *verify/compete*: each node first inspects the
+  announcements delivered from round ``3p`` of the previous phase:
+
+  - exactly one announcement, not mine → decide NON_LEADER (explicit,
+    with the leader's ID) and halt;
+  - I announced and heard no other announcement → decide LEADER, halt;
+  - anything else (zero announcements, or several) → *restart*: flip a
+    fresh candidacy coin (probability ``c1·ln n/n``), candidates draw a
+    rank from ``[n^4]`` and send ``⟨compete, rank⟩`` to
+    ``⌈c2·√(n·ln n)⌉`` random referees.
+
+* round ``3p+2`` — referees grant ``⟨win⟩`` to the unique maximum rank,
+  ``⟨lose⟩`` to the rest.
+
+* round ``3p+3`` — a candidate whose referees all granted ``win``
+  broadcasts ``⟨announce, id⟩``.
+
+Correctness is unconditional: every node sees the same multiset of
+announcements per phase (announcements are broadcasts), so either all
+nodes certify the same unique leader, or all nodes restart — the
+algorithm can never terminate with zero or two leaders.  Each phase
+succeeds with probability ``1 - n^(-Ω(1))``, so both the number of phases
+and the expected message complexity ``O(n)`` hold with high probability
+(the first phase already sends only ``O(√n log^(3/2) n + n)`` messages).
+
+The constructor's ``candidate_prob_fn`` hook exists for failure-injection
+tests (force a phase with zero candidates and observe the restart).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncContext
+
+__all__ = ["LasVegasElection"]
+
+COMPETE = "compete"
+WIN = "win"
+LOSE = "lose"
+ANNOUNCE = "announce"
+
+
+class LasVegasElection(SyncAlgorithm):
+    """Las Vegas 3-round (per phase) explicit leader election (Thm 3.16).
+
+    Parameters
+    ----------
+    candidate_coeff, referee_coeff:
+        As in :class:`repro.core.kutten16.Kutten16Election`.
+    candidate_prob_fn:
+        Optional override ``(n, phase) -> probability`` used by tests to
+        inject failing phases; default is ``min(1, c1·ln n/n)`` for every
+        phase.
+    """
+
+    def __init__(
+        self,
+        candidate_coeff: float = 2.0,
+        referee_coeff: float = 2.0,
+        candidate_prob_fn: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        if candidate_coeff <= 0 or referee_coeff <= 0:
+            raise ValueError("coefficients must be positive")
+        self.candidate_coeff = candidate_coeff
+        self.referee_coeff = referee_coeff
+        self.candidate_prob_fn = candidate_prob_fn
+        self.candidate = False
+        self.announced = False
+        self.rank = 0
+        self.awaiting = 0
+        self.phases_run = 0
+
+    def candidate_probability(self, n: int, phase: int) -> float:
+        if self.candidate_prob_fn is not None:
+            return self.candidate_prob_fn(n, phase)
+        if n < 2:
+            return 1.0
+        return min(1.0, self.candidate_coeff * math.log(n) / n)
+
+    def referee_count(self, n: int) -> int:
+        if n < 2:
+            return 0
+        return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
+
+    # ------------------------------------------------------------------ #
+
+    def on_round(self, ctx: SyncContext, inbox: List[Tuple[int, Any]]) -> None:
+        n = ctx.n
+        if n == 1:
+            ctx.decide_leader()
+            ctx.halt()
+            return
+        step = (ctx.round - 1) % 3
+        phase = (ctx.round - 1) // 3
+        if step == 0:
+            announcements = [p[1] for _port, p in inbox if p[0] == ANNOUNCE]
+            if self.announced and not announcements:
+                ctx.decide_leader()
+                ctx.halt()
+                return
+            if not self.announced and len(announcements) == 1:
+                ctx.decide_follower(announcements[0])
+                ctx.halt()
+                return
+            # Restart (zero announcements while nobody won, or a collision
+            # of several winners): run a fresh phase.
+            self.announced = False
+            self.candidate = False
+            self.phases_run = phase + 1
+            if ctx.rng.random() < self.candidate_probability(n, phase):
+                self.candidate = True
+                self.rank = ctx.rng.randrange(1, n**4 + 1)
+                ports = ctx.sample_ports(self.referee_count(n))
+                ctx.send_many(ports, (COMPETE, self.rank))
+                self.awaiting = len(ports)
+        elif step == 1:
+            best_rank = -1
+            best_unique = False
+            for _port, payload in inbox:
+                if payload[0] == COMPETE:
+                    if payload[1] > best_rank:
+                        best_rank = payload[1]
+                        best_unique = True
+                    elif payload[1] == best_rank:
+                        best_unique = False
+            for port, payload in inbox:
+                if payload[0] == COMPETE:
+                    is_winner = best_unique and payload[1] == best_rank
+                    ctx.send(port, (WIN,) if is_winner else (LOSE,))
+        else:
+            if self.candidate:
+                wins = sum(1 for _port, p in inbox if p[0] == WIN)
+                if self.awaiting > 0 and wins == self.awaiting:
+                    self.announced = True
+                    ctx.broadcast((ANNOUNCE, ctx.my_id))

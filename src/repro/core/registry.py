@@ -1,0 +1,137 @@
+"""Name-indexed registry of the paper's algorithms.
+
+Used by the experiment runner, the benchmark harness and the examples to
+construct algorithms uniformly.  Each entry records which engine the
+algorithm runs under and which wake-up regimes it supports, so harness
+code can refuse meaningless combinations early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.adversarial_2round import AdversarialTwoRoundElection
+from repro.core.afek_gafni import AfekGafniElection
+from repro.core.async_afek_gafni import AsyncAfekGafniElection
+from repro.core.async_tradeoff import AsyncTradeoffElection
+from repro.core.improved_tradeoff import ImprovedTradeoffElection
+from repro.core.kutten16 import Kutten16Election
+from repro.core.las_vegas import LasVegasElection
+from repro.core.small_id import SmallIdElection
+
+__all__ = ["AlgorithmSpec", "ALGORITHMS", "get_algorithm"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Metadata for one algorithm of the paper."""
+
+    name: str
+    factory: Callable[..., Any]
+    engine: str  # "sync" | "async"
+    deterministic: bool
+    wakeup: Tuple[str, ...]  # supported regimes: "simultaneous", "adversarial"
+    paper_ref: str
+    messages_formula: str
+    time_formula: str
+
+    def make(self, **params: Any) -> Callable[[], Any]:
+        """A zero-argument factory suitable for the engines."""
+        return lambda: self.factory(**params)
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in [
+        AlgorithmSpec(
+            name="improved_tradeoff",
+            factory=ImprovedTradeoffElection,
+            engine="sync",
+            deterministic=True,
+            wakeup=("simultaneous",),
+            paper_ref="Theorem 3.10",
+            messages_formula="O(ell * n^(1 + 2/(ell+1)))",
+            time_formula="ell (odd, >= 3)",
+        ),
+        AlgorithmSpec(
+            name="afek_gafni",
+            factory=AfekGafniElection,
+            engine="sync",
+            deterministic=True,
+            wakeup=("simultaneous", "adversarial"),
+            paper_ref="Afek-Gafni [1] (baseline)",
+            messages_formula="O(ell * n^(1 + 2/ell))",
+            time_formula="ell (+1 announcement round)",
+        ),
+        AlgorithmSpec(
+            name="small_id",
+            factory=SmallIdElection,
+            engine="sync",
+            deterministic=True,
+            wakeup=("simultaneous",),
+            paper_ref="Algorithm 1 / Theorem 3.15",
+            messages_formula="<= n * d * g",
+            time_formula="<= ceil(n/d)",
+        ),
+        AlgorithmSpec(
+            name="kutten16",
+            factory=Kutten16Election,
+            engine="sync",
+            deterministic=False,
+            wakeup=("simultaneous",),
+            paper_ref="Kutten et al. [16] (baseline)",
+            messages_formula="O(sqrt(n) * log^(3/2) n) whp",
+            time_formula="2",
+        ),
+        AlgorithmSpec(
+            name="las_vegas",
+            factory=LasVegasElection,
+            engine="sync",
+            deterministic=False,
+            wakeup=("simultaneous",),
+            paper_ref="Theorem 3.16",
+            messages_formula="O(n) whp; Omega(n) necessary",
+            time_formula="3 whp",
+        ),
+        AlgorithmSpec(
+            name="adversarial_2round",
+            factory=AdversarialTwoRoundElection,
+            engine="sync",
+            deterministic=False,
+            wakeup=("adversarial",),
+            paper_ref="Theorem 4.1",
+            messages_formula="O(n^(3/2) log(1/eps)) expected",
+            time_formula="2",
+        ),
+        AlgorithmSpec(
+            name="async_tradeoff",
+            factory=AsyncTradeoffElection,
+            engine="async",
+            deterministic=False,
+            wakeup=("adversarial", "simultaneous"),
+            paper_ref="Algorithm 2 / Theorem 5.1",
+            messages_formula="O(n^(1 + 1/k)) whp",
+            time_formula="k + 8 whp",
+        ),
+        AlgorithmSpec(
+            name="async_afek_gafni",
+            factory=AsyncAfekGafniElection,
+            engine="async",
+            deterministic=True,
+            wakeup=("simultaneous",),
+            paper_ref="Section 5.4 / Theorem 5.14",
+            messages_formula="O(n log n)",
+            time_formula="O(log n)",
+        ),
+    ]
+}
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up an algorithm spec; raises ``KeyError`` with suggestions."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None

@@ -1,0 +1,179 @@
+"""ID universes and ID assignments for clique leader election.
+
+The paper (Section 2 and Section 3.1) assumes that every node carries a
+unique integer ID drawn by an adversary from an *ID universe* ``U``.  The
+size of the universe matters for the lower bounds:
+
+* Theorem 3.8 requires a universe of size at least ``2 n log2(n) + n``
+  (i.e. ``Θ(n log n)`` — notably *not* the huge Ramsey-style universes of
+  earlier lower bounds).
+* Theorem 3.11 requires a universe of size at least
+  ``n · log2(n) · T(n)^(log2(n) - 1)``.
+* Algorithm 1 (Theorem 3.15) assumes the *small* universe
+  ``{1, ..., n · g(n)}`` for an integer-valued ``g(n) ≥ 1``.
+
+This module provides an explicit :class:`IdUniverse` value type plus
+constructors for each of the universes used in the paper, and both random
+and adversarial assignment strategies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "IdUniverse",
+    "tradeoff_universe",
+    "time_bounded_universe",
+    "small_universe",
+    "log_universe_size",
+    "assign_random",
+    "assign_adversarial_spread",
+    "assign_contiguous",
+]
+
+
+@dataclass(frozen=True)
+class IdUniverse:
+    """A contiguous integer ID universe ``{lo, lo+1, ..., hi}``.
+
+    The paper's universes are abstract sets of integers; a contiguous
+    range is fully general for our purposes because only the *size* of
+    the universe and the relative order of IDs matter to the algorithms
+    and bounds.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty ID universe: lo={self.lo} > hi={self.hi}")
+
+    @property
+    def size(self) -> int:
+        """Number of IDs in the universe."""
+        return self.hi - self.lo + 1
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def sample(self, n: int, rng: random.Random) -> List[int]:
+        """Sample ``n`` distinct IDs uniformly at random."""
+        if n > self.size:
+            raise ValueError(
+                f"cannot draw {n} distinct IDs from universe of size {self.size}"
+            )
+        return rng.sample(range(self.lo, self.hi + 1), n)
+
+
+def tradeoff_universe(n: int) -> IdUniverse:
+    """The ``Θ(n log n)``-sized universe assumed by Theorem 3.8.
+
+    Theorem 3.8 holds whenever IDs come from a set of size at least
+    ``2 n log2(n) + n``; we use exactly that size.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    size = int(2 * n * math.log2(n)) + n
+    return IdUniverse(1, size)
+
+
+def time_bounded_universe(n: int, time_bound: int) -> IdUniverse:
+    """The universe assumed by Theorem 3.11 for ``T(n)``-bounded algorithms.
+
+    Size ``n · log2(n) · T(n)^(log2(n) - 1)``.  This grows extremely fast;
+    callers performing *experiments* (rather than evaluating formulas)
+    should cap it — the constructor therefore refuses absurd sizes instead
+    of eating all memory.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if time_bound < 1:
+        raise ValueError("need time_bound >= 1")
+    log_size = (
+        math.log2(n)
+        + math.log2(math.log2(n))
+        + (math.log2(n) - 1) * math.log2(max(time_bound, 1))
+    )
+    if log_size > 62:
+        raise OverflowError(
+            "Theorem 3.11 universe does not fit in 63 bits "
+            f"(log2 size ≈ {log_size:.1f}); evaluate bounds with "
+            "repro.lowerbound.bounds instead of materializing it"
+        )
+    size = int(n * math.log2(n) * (time_bound ** (math.log2(n) - 1)))
+    return IdUniverse(1, max(size, n))
+
+
+def small_universe(n: int, g: int = 1) -> IdUniverse:
+    """The small universe ``{1, ..., n·g}`` of Algorithm 1 (Theorem 3.15)."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if g < 1:
+        raise ValueError("Theorem 3.15 requires integer g(n) >= 1")
+    return IdUniverse(1, n * g)
+
+
+def log_universe_size(universe: IdUniverse) -> float:
+    """``log2`` of the universe size (bits needed per ID, CONGEST-style)."""
+    return math.log2(universe.size)
+
+
+def assign_random(universe: IdUniverse, n: int, rng: random.Random) -> List[int]:
+    """Uniform random assignment of ``n`` distinct IDs (the common case)."""
+    return universe.sample(n, rng)
+
+
+def assign_adversarial_spread(universe: IdUniverse, n: int) -> List[int]:
+    """A deterministic adversarial assignment that spreads IDs maximally.
+
+    Used by lower-bound experiments: picking IDs spread evenly across the
+    universe maximizes the number of disjoint ID blocks available to the
+    pruning adversary of Lemma 3.9.
+    """
+    if n > universe.size:
+        raise ValueError("assignment larger than universe")
+    if n == 1:
+        return [universe.lo]
+    step = (universe.size - 1) / (n - 1)
+    ids = [universe.lo + round(i * step) for i in range(n)]
+    # Rounding can collide for tiny universes; repair while preserving order.
+    for i in range(1, n):
+        if ids[i] <= ids[i - 1]:
+            ids[i] = ids[i - 1] + 1
+    if ids[-1] > universe.hi:
+        raise ValueError("universe too small for spread assignment")
+    return ids
+
+
+def assign_contiguous(universe: IdUniverse, n: int, offset: int = 0) -> List[int]:
+    """The contiguous assignment ``{lo+offset, ..., lo+offset+n-1}``.
+
+    The best case for Algorithm 1 and the canonical "small ID space"
+    workload.
+    """
+    if offset < 0 or offset + n > universe.size:
+        raise ValueError("contiguous block does not fit in universe")
+    start = universe.lo + offset
+    return list(range(start, start + n))
+
+
+def validate_assignment(ids: Sequence[int], universe: Optional[IdUniverse] = None) -> None:
+    """Raise ``ValueError`` unless ``ids`` is a valid ID assignment.
+
+    Valid means: all distinct, and (when a universe is given) all members
+    of the universe.
+    """
+    if len(set(ids)) != len(ids):
+        raise ValueError("ID assignment contains duplicates")
+    if universe is not None:
+        for value in ids:
+            if value not in universe:
+                raise ValueError(f"ID {value} outside universe [{universe.lo}, {universe.hi}]")
+
+
+__all__.append("validate_assignment")

@@ -1,0 +1,256 @@
+"""Closed-form evaluators for every bound in Table 1 of the paper.
+
+Each function documents the exact statement it renders.  Asymptotic
+bounds (Ω/O without explicit constants) are evaluated with constant 1 —
+benches treat them as *shape* references: measured curves are compared
+against these in log-log space (fitted exponents), not pointwise.
+
+Synchronous, deterministic, simultaneous wake-up
+    * :func:`thm38_round_lb`, :func:`thm38_message_lb` — Theorem 3.8.
+    * :func:`thm311_message_lb` — Theorem 3.11 (Ω(n log n)).
+    * :func:`thm310_messages` / :func:`thm310_rounds` — Theorem 3.10.
+    * :func:`thm315_messages` / :func:`thm315_rounds` — Theorem 3.15.
+
+Synchronous, deterministic, adversarial wake-up (Afek–Gafni rows)
+    * :func:`ag_messages` — the [1] algorithm's O(ℓ·n^(1+2/ℓ)).
+    * :func:`ag_tradeoff_lb` — the [1] lower bound (c-1)/2·n·log_c n.
+    * :func:`ag_nlogn_lb` — the [1] unconditional Ω(n log n).
+
+Synchronous, randomized
+    * :func:`thm316_las_vegas_lb` (Ω(n)), :func:`thm316_las_vegas_messages`.
+    * :func:`kutten16_messages` — [16]'s O(√n·log^(3/2) n).
+    * :func:`kutten16_lb` — [16]'s Ω(√n).
+    * :func:`thm41_expected_messages`, :func:`thm42_message_lb`.
+
+Asynchronous
+    * :func:`thm51_messages` / :func:`thm51_time` — Theorem 5.1.
+    * :func:`thm514_messages` / :func:`thm514_time` — Theorem 5.14.
+    * :func:`kmp14_messages` / :func:`kmp14_time` — the [14] row.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "thm38_round_lb",
+    "thm38_message_lb",
+    "thm310_messages",
+    "thm310_rounds",
+    "thm311_message_lb",
+    "thm315_messages",
+    "thm315_rounds",
+    "ag_messages",
+    "ag_tradeoff_lb",
+    "ag_nlogn_lb",
+    "thm316_las_vegas_lb",
+    "thm316_las_vegas_messages",
+    "kutten16_messages",
+    "kutten16_lb",
+    "thm41_expected_messages",
+    "thm42_message_lb",
+    "thm51_messages",
+    "thm51_time",
+    "thm514_messages",
+    "thm514_time",
+    "kmp14_messages",
+    "kmp14_time",
+]
+
+
+# --------------------------------------------------------------------- #
+# Theorem 3.8 — tradeoff lower bound (simultaneous wake-up)
+
+
+def thm38_round_lb(n: int, f: float) -> float:
+    """Theorem 3.8: an algorithm sending ≤ n·f(n) messages (f > 1) needs
+    strictly more than ``(log2 n - 1)/(log2 f + 1) + 1`` rounds."""
+    if n < 2 or f <= 1.0:
+        raise ValueError("need n >= 2 and f > 1")
+    return (math.log2(n) - 1.0) / (math.log2(f) + 1.0) + 1.0
+
+
+def thm38_message_lb(n: int, k: int) -> float:
+    """Theorem 3.8 (contrapositive): any deterministic ``k``-round
+    algorithm needs ``Ω((n/2)^(1 + 1/(k-1)))`` messages."""
+    if k < 2:
+        # A 1-round algorithm trivially needs Θ(n^2) messages (§1.2).
+        return (n / 2.0) ** 2
+    return (n / 2.0) ** (1.0 + 1.0 / (k - 1))
+
+
+# --------------------------------------------------------------------- #
+# Theorem 3.10 — the improved algorithm
+
+
+def thm310_messages(n: int, ell: int) -> float:
+    """Theorem 3.10: ``O(ℓ·n^(1 + 2/(ℓ+1)))`` messages in ``ℓ`` rounds."""
+    if ell < 3 or ell % 2 == 0:
+        raise ValueError("Theorem 3.10 needs odd ell >= 3")
+    return ell * n ** (1.0 + 2.0 / (ell + 1))
+
+
+def thm310_rounds(ell: int) -> int:
+    return ell
+
+
+# --------------------------------------------------------------------- #
+# Theorem 3.11 — Ω(n log n) for time-bounded algorithms
+
+
+def thm311_message_lb(n: int) -> float:
+    """Theorem 3.11: Ω(n log n) messages for any time-bounded algorithm
+    given an ID space of size ≥ n·log2(n)·T(n)^(log2 n − 1)."""
+    return n * math.log2(n)
+
+
+def thm311_universe_log2_size(n: int, time_bound: int) -> float:
+    """log2 of the Theorem 3.11 ID-universe size requirement."""
+    return (
+        math.log2(n)
+        + math.log2(math.log2(n))
+        + (math.log2(n) - 1) * math.log2(max(time_bound, 2))
+    )
+
+
+__all__.append("thm311_universe_log2_size")
+
+
+# --------------------------------------------------------------------- #
+# Theorem 3.15 — small ID universes
+
+
+def thm315_messages(n: int, d: int, g: int = 1) -> int:
+    """Theorem 3.15: at most ``n·d·g(n)`` messages."""
+    return n * d * g
+
+
+def thm315_rounds(n: int, d: int) -> int:
+    """Theorem 3.15: at most ``⌈n/d⌉`` rounds."""
+    return -(-n // d)
+
+
+# --------------------------------------------------------------------- #
+# Afek–Gafni rows
+
+
+def ag_messages(n: int, ell: int) -> float:
+    """[1]'s algorithm: ``O(ℓ·n^(1+2/ℓ))`` messages in ``ℓ`` rounds."""
+    if ell < 2:
+        raise ValueError("need ell >= 2")
+    return ell * n ** (1.0 + 2.0 / ell)
+
+
+def ag_tradeoff_lb(n: int, c: float) -> float:
+    """[1]: an algorithm finishing within ``(1/2)·log_c n`` rounds sends
+    at least ``((c-1)/2)·n·log_c n`` messages (adversarial wake-up)."""
+    if c < 2:
+        raise ValueError("need c >= 2")
+    return (c - 1) / 2.0 * n * math.log(n, c)
+
+
+def ag_k_round_lb(n: int, k: int) -> float:
+    """[1] restated per §1.2: a ``k``-round algorithm sends
+    ``Ω(k·n^(1 + 1/(2k)))`` messages — compare :func:`thm38_message_lb`,
+    which is polynomially stronger for constant ``k``."""
+    return k * n ** (1.0 + 1.0 / (2 * k))
+
+
+__all__.append("ag_k_round_lb")
+
+
+def ag_nlogn_lb(n: int) -> float:
+    """[1]: unconditional Ω(n log n) under adversarial wake-up."""
+    return n * math.log2(n)
+
+
+# --------------------------------------------------------------------- #
+# Randomized, simultaneous wake-up
+
+
+def thm316_las_vegas_lb(n: int) -> float:
+    """Theorem 3.16: Las Vegas algorithms need Ω(n) messages (expected)."""
+    return float(n)
+
+
+def thm316_las_vegas_messages(n: int) -> float:
+    """Theorem 3.16: O(n) messages and 3 rounds, whp."""
+    return float(n)
+
+
+def kutten16_messages(n: int) -> float:
+    """[16]: ``O(√n · log^(3/2) n)`` messages, 2 rounds, whp."""
+    return math.sqrt(n) * math.log2(n) ** 1.5
+
+
+def kutten16_lb(n: int) -> float:
+    """[16]: Ω(√n) messages for any small-constant-error algorithm."""
+    return math.sqrt(n)
+
+
+# --------------------------------------------------------------------- #
+# Randomized, adversarial wake-up (Section 4)
+
+
+def thm41_expected_messages(n: int, epsilon: float) -> float:
+    """Theorem 4.1: expected ``O(n^(3/2)·log(1/ε))`` messages."""
+    if not 0 < epsilon < 1:
+        raise ValueError("need 0 < epsilon < 1")
+    return n**1.5 * (1.0 + math.log(1.0 / epsilon))
+
+
+def thm42_message_lb(n: int) -> float:
+    """Theorem 4.2: 2-round algorithms (even for wake-up alone) send
+    Ω(n^(3/2)) messages in expectation."""
+    return n**1.5
+
+
+# --------------------------------------------------------------------- #
+# Asynchronous rows (Section 5)
+
+
+def thm51_messages(n: int, k: int) -> float:
+    """Theorem 5.1: ``O(n^(1+1/k))`` messages whp."""
+    if k < 2:
+        raise ValueError("need k >= 2")
+    return n ** (1.0 + 1.0 / k)
+
+
+def thm51_time(k: int) -> int:
+    """Theorem 5.1: at most ``k + 8`` time units whp."""
+    return k + 8
+
+
+def thm51_max_k(n: int) -> int:
+    """The largest admissible ``k``: ``O(log n / log log n)`` — we use
+    the natural concrete choice ``⌊log2 n / log2 log2 n⌋``."""
+    if n < 4:
+        return 2
+    return max(2, int(math.log2(n) / math.log2(max(2.0, math.log2(n)))))
+
+
+__all__.append("thm51_max_k")
+
+
+def thm514_messages(n: int) -> float:
+    """Theorem 5.14: ``O(n log n)`` messages."""
+    return n * math.log2(n)
+
+
+def thm514_time(n: int) -> float:
+    """Theorem 5.14: ``O(log n)`` time (from the last spontaneous wake)."""
+    return math.log2(n)
+
+
+# --------------------------------------------------------------------- #
+# Kutten et al. [14] reference rows (not reimplemented; see DESIGN.md)
+
+
+def kmp14_messages(n: int) -> float:
+    """[14]: O(n) messages (asynchronous, adversarial wake-up)."""
+    return float(n)
+
+
+def kmp14_time(n: int) -> float:
+    """[14]: O(log^2 n) asynchronous time."""
+    return math.log2(n) ** 2

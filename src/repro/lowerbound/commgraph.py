@@ -1,0 +1,154 @@
+"""Communication graphs (Definition 3.1) and component capacity (Def. 3.2).
+
+The round-``r`` communication graph has a directed edge ``(u, v)`` iff
+``u`` sent a message over a port connected to ``v`` in some round
+``< r``.  The lower-bound arguments reason about its *weakly connected
+components*: nodes in a component behave independently of the IDs outside
+it (isolation), and a component's *capacity* — the least number of
+in-component peers a member has not yet talked to — bounds how many new
+messages the adversary can keep internal (Lemma 3.3).
+
+:class:`CommGraph` maintains the components incrementally with a
+union–find structure plus per-node contact sets, so capacity queries and
+growth traces are cheap even for large executions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["CommGraph", "CommGraphRecorder"]
+
+
+class CommGraph:
+    """Incrementally-built communication graph over ``n`` nodes."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("need n >= 1")
+        self.n = n
+        self.edge_count = 0
+        # contacts[u]: nodes u has an (in- or out-) edge with.
+        self.contacts: List[Set[int]] = [set() for _ in range(n)]
+        self.out_edges: List[Set[int]] = [set() for _ in range(n)]
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._members: Dict[int, List[int]] = {u: [u] for u in range(n)}
+        self.component_count = n
+
+    # ------------------------------------------------------------------ #
+    # union-find
+
+    def find(self, u: int) -> int:
+        root = u
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[u] != root:  # path compression
+            self._parent[u], u = root, self._parent[u]
+        return root
+
+    def _union(self, u: int, v: int) -> None:
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            return
+        if self._size[ru] < self._size[rv]:
+            ru, rv = rv, ru
+        self._parent[rv] = ru
+        self._size[ru] += self._size[rv]
+        self._members[ru].extend(self._members.pop(rv))
+        self.component_count -= 1
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Record that ``u`` sent a message received by ``v``.
+
+        Returns True if this is a new directed edge.
+        """
+        if u == v:
+            raise ValueError("no self-loops in a clique execution")
+        if v in self.out_edges[u]:
+            return False
+        self.out_edges[u].add(v)
+        self.contacts[u].add(v)
+        self.contacts[v].add(u)
+        self.edge_count += 1
+        self._union(u, v)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def same_component(self, u: int, v: int) -> bool:
+        return self.find(u) == self.find(v)
+
+    def component_members(self, u: int) -> List[int]:
+        """All nodes in ``u``'s weakly connected component."""
+        return list(self._members[self.find(u)])
+
+    def component_size(self, u: int) -> int:
+        return self._size[self.find(u)]
+
+    def component_sizes(self) -> List[int]:
+        """Sizes of all components, descending."""
+        return sorted((self._size[r] for r in self._members), reverse=True)
+
+    def largest_component_size(self) -> int:
+        return max(self._size[r] for r in self._members)
+
+    def roots(self) -> Iterable[int]:
+        return self._members.keys()
+
+    def node_capacity(self, u: int) -> int:
+        """Peers of ``u`` inside its component that ``u`` has not contacted."""
+        size = self.component_size(u)
+        # contacts are all inside the component by construction of the
+        # union, so no intersection is needed.
+        return size - 1 - len(self.contacts[u])
+
+    def capacity(self, u: int) -> int:
+        """Definition 3.2: the capacity of ``u``'s component.
+
+        The largest λ such that every member still has λ uncontacted
+        peers inside the component.
+        """
+        root = self.find(u)
+        members = self._members[root]
+        size = len(members)
+        return min(size - 1 - len(self.contacts[w]) for w in members)
+
+    def uncontacted_in_component(self, u: int) -> List[int]:
+        """In-component peers ``u`` has no edge with (either direction)."""
+        root = self.find(u)
+        contacts = self.contacts[u]
+        return [w for w in self._members[root] if w != u and w not in contacts]
+
+
+class CommGraphRecorder:
+    """Engine recorder that keeps a :class:`CommGraph` up to date.
+
+    Also snapshots the largest component size at the end of every round,
+    which is the growth trace that the Theorem 3.8 adversary experiment
+    plots (components must exceed ``n/2`` before termination, and the
+    adversary bounds their per-round growth factor).
+    """
+
+    def __init__(self, graph: CommGraph) -> None:
+        self.graph = graph
+        self.largest_by_round: Dict[int, int] = {}
+        self._last_round = 0
+
+    def on_send(self, round_no, u, port, v, j, payload) -> None:
+        self.graph.add_edge(u, v)
+        self._last_round = max(self._last_round, int(round_no))
+        self.largest_by_round[int(round_no)] = self.graph.largest_component_size()
+
+    def on_wake(self, round_no, u) -> None:  # pragma: no cover - no-op hook
+        pass
+
+    def on_decide(self, round_no, u, decision, output) -> None:  # pragma: no cover
+        pass
+
+    def on_deliver(self, time, u, port, payload) -> None:  # pragma: no cover
+        pass

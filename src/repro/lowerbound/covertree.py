@@ -1,0 +1,126 @@
+"""Cover trees (Lemmas 5.4–5.8): the wake-up phase's combinatorial core.
+
+The time analysis of Algorithm 2 hinges on the *cover tree* ``T``:
+its root is the adversary-woken node, and ``u`` is the parent of ``v``
+iff ``v`` was woken by a message sent by ``u``.  The paper proves:
+
+* every non-leaf has between ``c·n^(1/k)`` and ``γ·n^(1/k)`` children
+  while fewer than ``n/16`` nodes are covered (Lemmas 5.4/5.6);
+* consequently every root-to-leaf path has length ``O(k)`` (Lemma 5.7),
+  which is where the ``k + 4`` wake-up bound comes from.
+
+This module reconstructs the cover tree of a *measured* execution from
+a :class:`repro.trace.MemoryRecorder` trace, so tests and benches can
+check the lemmas' quantities (depth, branching) directly instead of
+trusting the end-to-end time number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CoverTree", "build_cover_tree"]
+
+
+@dataclass
+class CoverTree:
+    """The wake-forest of one asynchronous execution.
+
+    ``parent[v]`` is the node whose message woke ``v`` (``None`` for
+    adversary-woken roots and for nodes never woken).  Multiple roots
+    arise when the adversary wakes several nodes.
+    """
+
+    n: int
+    parent: Dict[int, Optional[int]] = field(default_factory=dict)
+    wake_time: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def roots(self) -> List[int]:
+        return [v for v, p in self.parent.items() if p is None]
+
+    @property
+    def covered(self) -> int:
+        """Number of woken nodes."""
+        return len(self.parent)
+
+    def children(self, u: int) -> List[int]:
+        return [v for v, p in self.parent.items() if p == u]
+
+    def depth(self, v: int) -> int:
+        """Edge-distance from ``v`` to its root."""
+        d = 0
+        seen = set()
+        while True:
+            p = self.parent.get(v)
+            if p is None:
+                return d
+            if v in seen:  # pragma: no cover - defensive, trees are acyclic
+                raise ValueError("cycle in cover tree")
+            seen.add(v)
+            v = p
+            d += 1
+
+    def height(self) -> int:
+        """Maximum depth over woken nodes (Lemma 5.7's path length)."""
+        return max((self.depth(v) for v in self.parent), default=0)
+
+    def branching(self) -> List[int]:
+        """Child counts of the non-leaf nodes (Lemma 5.6's degrees)."""
+        counts: Dict[int, int] = {}
+        for v, p in self.parent.items():
+            if p is not None:
+                counts[p] = counts.get(p, 0) + 1
+        return sorted(counts.values())
+
+    def wake_times_by_depth(self) -> Dict[int, float]:
+        """Latest wake time at each depth — the wave front's progress."""
+        front: Dict[int, float] = {}
+        for v in self.parent:
+            d = self.depth(v)
+            t = self.wake_time.get(v, 0.0)
+            front[d] = max(front.get(d, 0.0), t)
+        return front
+
+
+def build_cover_tree(n: int, recorder) -> CoverTree:
+    """Reconstruct the cover tree from a ``MemoryRecorder`` trace.
+
+    A node's parent is the sender of the message whose delivery is the
+    earliest event at that node (the delivery that woke it).  Works for
+    any asynchronous algorithm whose wake-up is message-driven.
+    """
+    tree = CoverTree(n=n)
+    # Map (dst) -> wake event time; (dst) -> parent via the send that
+    # produced the waking delivery.  MemoryRecorder logs sends with
+    # (port, v, peer_port, payload) detail and delivers with
+    # (port, payload); to attribute a delivery to its sender we replay
+    # sends per destination in FIFO order per (src, dst) pair — the
+    # engine guarantees per-link FIFO, and the recorder preserves global
+    # chronology, so matching the i-th delivery at (dst, port) to the
+    # i-th send targeting (dst, port) is exact.
+    wake_events: Dict[int, float] = {}
+    for event in recorder.events:
+        if event.kind == "wake":
+            wake_events[event.node] = event.when
+    pending: Dict[tuple, List[int]] = {}
+    for event in recorder.events:
+        if event.kind == "send":
+            port, v, peer_port, _payload = event.detail
+            pending.setdefault((v, peer_port), []).append(event.node)
+        elif event.kind == "deliver":
+            port, _payload = event.detail
+            queue = pending.get((event.node, port))
+            sender = queue.pop(0) if queue else None
+            woke_at = wake_events.get(event.node)
+            if woke_at is not None and event.node not in tree.parent:
+                if abs(event.when - woke_at) < 1e-12 and sender is not None:
+                    tree.parent[event.node] = sender
+                    tree.wake_time[event.node] = woke_at
+    # Adversary-woken nodes: wake events with no waking delivery.
+    for node, t in wake_events.items():
+        if node not in tree.parent:
+            tree.parent[node] = None
+            tree.wake_time[node] = t
+    return tree

@@ -1,0 +1,146 @@
+"""Lemma 3.12: the multicast → single-send transformation, executable.
+
+A *single-send* algorithm sends at most one message per node per round.
+Lemma 3.12 shows that any multicast algorithm ``A`` with message
+complexity ``M(n)`` and time ``T(n)`` can be simulated by a single-send
+algorithm with the same message complexity and time ``n · T(n)``: round
+``r`` of ``A`` is stretched over the block of rounds
+``(r-1)·n + 1 .. r·n``, the messages ``A`` wanted to send leave one per
+round, and received messages are buffered and handed to ``A`` at the
+start of the next block.
+
+The transformation matters because the Ω(n log n) bound of Theorem 3.11
+is proved against single-send algorithms (Lemma 3.13) and transfers to
+all time-bounded algorithms through exactly this reduction.  Having it
+executable lets the tests check the lemma's guarantees *behaviourally*:
+identical decisions and message counts, and an exactly-``n``-fold time
+dilation, for any wrapped algorithm under a fixed port mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.common import ProtocolError
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncContext
+
+__all__ = ["SingleSendAdapter", "single_send_factory"]
+
+
+class _ShimContext:
+    """The context handed to the wrapped algorithm.
+
+    Sends are captured into the adapter's queue instead of leaving
+    immediately; decisions and topology queries pass straight through to
+    the real context.  ``round`` is the *virtual* (inner) round number.
+    """
+
+    def __init__(self, real: SyncContext, adapter: "SingleSendAdapter") -> None:
+        self._real = real
+        self._adapter = adapter
+        self.round = 0
+
+    # topology / identity passthrough
+    @property
+    def node(self) -> int:
+        return self._real.node
+
+    @property
+    def my_id(self) -> int:
+        return self._real.my_id
+
+    @property
+    def n(self) -> int:
+        return self._real.n
+
+    @property
+    def rng(self):
+        return self._real.rng
+
+    @property
+    def wake_round(self) -> int:
+        return 1  # the transformation is stated for simultaneous wake-up
+
+    @property
+    def port_count(self) -> int:
+        return self._real.port_count
+
+    def all_ports(self) -> range:
+        return self._real.all_ports()
+
+    def sample_ports(self, m: int) -> List[int]:
+        return self._real.sample_ports(m)
+
+    # captured communication
+    def send(self, port: int, payload: Any) -> None:
+        self._adapter.outbox.append((port, payload))
+
+    def send_many(self, ports, payload: Any) -> None:
+        for port in ports:
+            self.send(port, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        self.send_many(range(self.port_count), payload)
+
+    # decisions passthrough
+    @property
+    def decision(self):
+        return self._real.decision
+
+    def decide_leader(self) -> None:
+        self._real.decide_leader()
+
+    def decide_follower(self, leader_id: Optional[int] = None) -> None:
+        self._real.decide_follower(leader_id)
+
+    def halt(self) -> None:
+        self._adapter.inner_halted = True
+
+
+class SingleSendAdapter(SyncAlgorithm):
+    """Wrap a multicast :class:`SyncAlgorithm` into a single-send one."""
+
+    def __init__(self, inner: SyncAlgorithm) -> None:
+        self.inner = inner
+        self.outbox: Deque[Tuple[int, Any]] = deque()
+        self.buffer: List[Tuple[int, Any]] = []
+        self.inner_halted = False
+        self._shim: Optional[_ShimContext] = None
+
+    def on_wake(self, ctx: SyncContext) -> None:
+        self._shim = _ShimContext(ctx, self)
+        self.inner.on_wake(self._shim)
+
+    def on_round(self, ctx: SyncContext, inbox: List[Tuple[int, Any]]) -> None:
+        n = ctx.n
+        self.buffer.extend(inbox)
+        position = (ctx.round - 1) % n
+        if position == 0 and not self.inner_halted:
+            # Start of a block: hand the previous block's deliveries to
+            # the inner algorithm as one inner round.
+            assert self._shim is not None
+            inner_round = (ctx.round - 1) // n + 1
+            self._shim.round = inner_round
+            delivered, self.buffer = self.buffer, []
+            self.inner.on_round(self._shim, delivered)
+            if len(self.outbox) > n - 1:
+                raise ProtocolError(
+                    "wrapped algorithm sent more than n-1 messages in one "
+                    "round; Lemma 3.12 requires at most one per port"
+                )
+        if self.outbox:
+            port, payload = self.outbox.popleft()
+            ctx.send(port, payload)
+        if self.inner_halted and not self.outbox:
+            ctx.halt()
+
+
+def single_send_factory(inner_factory: Callable[[], SyncAlgorithm]):
+    """Factory combinator: ``single_send_factory(f)() == SingleSendAdapter(f())``."""
+
+    def factory() -> SingleSendAdapter:
+        return SingleSendAdapter(inner_factory())
+
+    return factory

@@ -1,0 +1,70 @@
+"""Exact integer helpers for the paper's parameter formulas.
+
+The algorithms use referee counts like ``⌈n^(i/(k-1))⌉``.  Computing these
+through floating point (``math.ceil(n ** (i / j))``) silently inflates
+exact powers (``1024 ** 0.5`` → ``32.000000000000004`` → ceil 33), which
+would distort message counts in benches.  These helpers compute the exact
+values with integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ceil_pow_frac", "floor_pow_frac", "ceil_log2", "floor_log2", "ceil_sqrt"]
+
+
+def ceil_pow_frac(n: int, num: int, den: int) -> int:
+    """Exact ``⌈n^(num/den)⌉`` for integers ``n ≥ 1, num ≥ 0, den ≥ 1``.
+
+    This is the smallest integer ``m`` with ``m**den ≥ n**num``.
+    """
+    if n < 1 or num < 0 or den < 1:
+        raise ValueError("need n >= 1, num >= 0, den >= 1")
+    if num == 0 or n == 1:
+        return 1
+    target = n**num
+    # Float guess, then correct exactly; the guess is within a few units.
+    m = max(1, int(round(target ** (1.0 / den))))
+    while m**den < target:
+        m += 1
+    while m > 1 and (m - 1) ** den >= target:
+        m -= 1
+    return m
+
+
+def floor_pow_frac(n: int, num: int, den: int) -> int:
+    """Exact ``⌊n^(num/den)⌋``: the largest ``m`` with ``m**den ≤ n**num``."""
+    if n < 1 or num < 0 or den < 1:
+        raise ValueError("need n >= 1, num >= 0, den >= 1")
+    if num == 0 or n == 1:
+        return 1
+    target = n**num
+    m = max(1, int(round(target ** (1.0 / den))))
+    while m**den > target:
+        m -= 1
+    while (m + 1) ** den <= target:
+        m += 1
+    return m
+
+
+def ceil_log2(n: int) -> int:
+    """``⌈log2 n⌉`` for ``n ≥ 1``."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    return (n - 1).bit_length()
+
+
+def floor_log2(n: int) -> int:
+    """``⌊log2 n⌋`` for ``n ≥ 1``."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    return n.bit_length() - 1
+
+
+def ceil_sqrt(n: int) -> int:
+    """``⌈√n⌉`` computed exactly."""
+    if n < 0:
+        raise ValueError("need n >= 0")
+    root = math.isqrt(n)
+    return root if root * root == n else root + 1

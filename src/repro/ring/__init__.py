@@ -1,0 +1,29 @@
+"""Ring leader election — the related-work context of §1.2.
+
+The paper positions its clique results against the classic ring setting:
+Frederickson–Lynch's Ω(n log n) message lower bound for synchronous
+rings (which needed Ramsey's theorem and an enormous ID space — the
+contrast for Theorem 3.8's Θ(n log n)-universe technique), and the fact
+that cliques escape the generic Ω(m) bound (Korach–Moran–Zaks elect with
+O(n log n) messages although m = Θ(n²)).
+
+This subpackage provides a minimal synchronous ring simulator and the
+two canonical algorithms, so benches can put the paper's clique numbers
+side by side with the ring baseline:
+
+* :class:`ChangRoberts` — unidirectional, O(n log n) expected /
+  O(n²) worst-case messages;
+* :class:`HirschbergSinclair` — bidirectional, O(n log n) worst case.
+"""
+
+from repro.ring.engine import RingNetwork, RingContext, RingAlgorithm, RingRunResult
+from repro.ring.algorithms import ChangRoberts, HirschbergSinclair
+
+__all__ = [
+    "RingNetwork",
+    "RingContext",
+    "RingAlgorithm",
+    "RingRunResult",
+    "ChangRoberts",
+    "HirschbergSinclair",
+]

@@ -1,0 +1,114 @@
+"""Classic ring election algorithms (the §1.2 baselines).
+
+Both algorithms are the textbook constructions; they elect the maximum
+ID and finish with an announcement circulation so every node learns the
+leader (explicit election).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Set, Tuple
+
+from repro.ring.engine import LEFT, RIGHT, RingAlgorithm, RingContext
+
+__all__ = ["ChangRoberts", "HirschbergSinclair"]
+
+PROBE = "probe"
+OUT = "out"
+IN = "in"
+ELECTED = "elected"
+
+
+def _opposite(port: int) -> int:
+    return RIGHT if port == LEFT else LEFT
+
+
+class ChangRoberts(RingAlgorithm):
+    """Unidirectional Chang–Roberts (LCR).
+
+    Every node launches its ID clockwise; a node relays only IDs larger
+    than its own; an ID that returns to its owner crowns it.  Expected
+    ``O(n log n)`` messages over random ID placements, ``Θ(n²)`` in the
+    worst case — the baseline that Hirschberg–Sinclair improves on.
+    """
+
+    def on_round(self, ctx: RingContext, inbox: List[Tuple[int, Any]]) -> None:
+        if ctx.round == 1:
+            ctx.send(RIGHT, (PROBE, ctx.my_id))
+        for _port, payload in inbox:
+            kind = payload[0]
+            if kind == PROBE:
+                probe_id = payload[1]
+                if probe_id > ctx.my_id:
+                    ctx.send(RIGHT, payload)
+                elif probe_id == ctx.my_id:
+                    ctx.decide_leader()
+                    ctx.send(RIGHT, (ELECTED, ctx.my_id))
+                # smaller IDs are swallowed
+            elif kind == ELECTED:
+                if payload[1] == ctx.my_id:
+                    ctx.halt()  # announcement completed the circle
+                else:
+                    ctx.decide_follower(payload[1])
+                    ctx.send(RIGHT, payload)
+                    ctx.halt()
+
+
+class HirschbergSinclair(RingAlgorithm):
+    """Bidirectional Hirschberg–Sinclair: ``O(n log n)`` worst case.
+
+    Phase ``p``: every surviving candidate probes ``2^p`` hops both
+    ways; a probe survives a relay only if it dominates the relay's ID;
+    the last node on the path turns it around.  A candidate that gets
+    both echoes enters the next phase; a probe that comes home still
+    outbound has dominated the full ring — its owner is the leader.
+    """
+
+    def __init__(self) -> None:
+        self.candidate = True
+        self.phase = 0
+        self.echoes: Set[int] = set()
+
+    def _launch(self, ctx: RingContext) -> None:
+        hops = 2**self.phase
+        ctx.send(LEFT, (OUT, ctx.my_id, hops))
+        ctx.send(RIGHT, (OUT, ctx.my_id, hops))
+        self.echoes = set()
+
+    def on_round(self, ctx: RingContext, inbox: List[Tuple[int, Any]]) -> None:
+        if ctx.round == 1:
+            self._launch(ctx)
+        for port, payload in inbox:
+            kind = payload[0]
+            if kind == OUT:
+                _k, probe_id, hops = payload
+                if probe_id == ctx.my_id:
+                    # My own probe circled the ring outbound: I dominate
+                    # everyone.
+                    if ctx.decision is None:
+                        ctx.decide_leader()
+                        ctx.send(RIGHT, (ELECTED, ctx.my_id))
+                elif probe_id > ctx.my_id:
+                    self.candidate = False
+                    if hops > 1:
+                        ctx.send(_opposite(port), (OUT, probe_id, hops - 1))
+                    else:
+                        ctx.send(port, (IN, probe_id))  # turn it around
+                # else: dominated probe is swallowed
+            elif kind == IN:
+                probe_id = payload[1]
+                if probe_id == ctx.my_id:
+                    self.echoes.add(port)
+                    if len(self.echoes) == 2 and self.candidate:
+                        self.phase += 1
+                        self._launch(ctx)
+                else:
+                    ctx.send(_opposite(port), payload)
+            elif kind == ELECTED:
+                if payload[1] == ctx.my_id:
+                    ctx.halt()
+                else:
+                    if ctx.decision is None:
+                        ctx.decide_follower(payload[1])
+                    ctx.send(RIGHT, payload)
+                    ctx.halt()

@@ -1,0 +1,182 @@
+"""A minimal synchronous ring simulator.
+
+Kept deliberately separate from the clique engine (`repro.sync`): the
+clique engine's port model is the paper's KT0 clique and should not grow
+topology generality it does not need.  Ring nodes have exactly two
+ports, ``LEFT`` and ``RIGHT``; the ring orientation is consistent (every
+node's RIGHT leads to the next node clockwise).  Nodes know the ring
+direction but, as usual, not their neighbors' IDs.
+
+Semantics mirror the clique engine: all nodes wake in round 1, messages
+sent in round ``r`` arrive at the start of round ``r + 1``, decisions
+are irrevocable, and the engine stops when every node has halted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
+
+__all__ = ["LEFT", "RIGHT", "RingAlgorithm", "RingContext", "RingNetwork", "RingRunResult"]
+
+LEFT = 0
+RIGHT = 1
+
+
+class RingAlgorithm:
+    """One ring node's protocol (same contract as the clique engines)."""
+
+    def on_round(self, ctx: "RingContext", inbox: List[Tuple[int, Any]]) -> None:
+        raise NotImplementedError
+
+
+class RingContext:
+    __slots__ = ("_net", "node", "my_id", "n", "rng", "round")
+
+    def __init__(self, net: "RingNetwork", node: int, my_id: int, rng: random.Random):
+        self._net = net
+        self.node = node
+        self.my_id = my_id
+        self.n = net.n
+        self.rng = rng
+        self.round = 0
+
+    def send(self, direction: int, payload: Any) -> None:
+        if direction not in (LEFT, RIGHT):
+            raise ValueError("ring ports are LEFT (0) and RIGHT (1)")
+        self._net._send(self.node, direction, payload)
+
+    @property
+    def decision(self) -> Optional[Decision]:
+        return self._net.decisions[self.node]
+
+    def decide_leader(self) -> None:
+        self._net._decide(self.node, Decision.LEADER, self.my_id)
+
+    def decide_follower(self, leader_id: Optional[int] = None) -> None:
+        self._net._decide(self.node, Decision.NON_LEADER, leader_id)
+
+    def halt(self) -> None:
+        self._net._halt(self.node)
+
+
+@dataclass
+class RingRunResult:
+    n: int
+    ids: List[int]
+    rounds_executed: int
+    messages: int
+    last_send_round: int
+    leaders: List[int]
+    decisions: List[Optional[Decision]]
+    outputs: List[Optional[int]]
+
+    @property
+    def unique_leader(self) -> bool:
+        return len(self.leaders) == 1
+
+    @property
+    def elected_id(self) -> Optional[int]:
+        return self.ids[self.leaders[0]] if self.unique_leader else None
+
+    @property
+    def decided_count(self) -> int:
+        return sum(1 for d in self.decisions if d is not None)
+
+
+class RingNetwork:
+    """Synchronous bidirectional ring of ``n`` nodes.
+
+    Node ``i``'s RIGHT neighbor is ``(i+1) mod n``; a message sent RIGHT
+    arrives on the neighbor's LEFT port, and vice versa.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[], RingAlgorithm],
+        *,
+        ids: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if n < 2:
+            raise ValueError("need a ring of at least 2 nodes")
+        self.n = n
+        master = random.Random(seed)
+        if ids is None:
+            ids = list(range(1, n + 1))
+        if len(ids) != n or len(set(ids)) != n:
+            raise ValueError("need n distinct IDs")
+        self.ids = list(ids)
+        self.max_rounds = max_rounds if max_rounds is not None else 64 * n
+        self.algorithms = [algorithm_factory() for _ in range(n)]
+        self.contexts = [
+            RingContext(self, u, self.ids[u], random.Random(master.getrandbits(64)))
+            for u in range(n)
+        ]
+        self.decisions: List[Optional[Decision]] = [None] * n
+        self.outputs: List[Optional[int]] = [None] * n
+        self.leaders: List[int] = []
+        self.messages = 0
+        self.last_send_round = 0
+        self._halted = [False] * n
+        self._active = set(range(n))
+        self._inboxes_next: Dict[int, List[Tuple[int, Any]]] = {}
+        self.round = 0
+
+    def _send(self, u: int, direction: int, payload: Any) -> None:
+        if self._halted[u]:
+            raise ProtocolError(f"halted node {u} attempted to send")
+        if direction == RIGHT:
+            v, arrive_port = (u + 1) % self.n, LEFT
+        else:
+            v, arrive_port = (u - 1) % self.n, RIGHT
+        self.messages += 1
+        self.last_send_round = max(self.last_send_round, self.round)
+        self._inboxes_next.setdefault(v, []).append((arrive_port, payload))
+
+    def _decide(self, u: int, decision: Decision, output: Optional[int]) -> None:
+        previous = self.decisions[u]
+        if previous is not None:
+            if previous is decision and self.outputs[u] == output:
+                return
+            raise ProtocolError(f"node {u} changed its decision")
+        self.decisions[u] = decision
+        self.outputs[u] = output
+        if decision is Decision.LEADER:
+            self.leaders.append(u)
+
+    def _halt(self, u: int) -> None:
+        self._halted[u] = True
+        self._active.discard(u)
+
+    def run(self) -> RingRunResult:
+        self.round = 1
+        while True:
+            if self.round > self.max_rounds:
+                raise SimulationLimitExceeded(
+                    f"ring did not terminate within {self.max_rounds} rounds"
+                )
+            inboxes = self._inboxes_next
+            self._inboxes_next = {}
+            for u in sorted(self._active):
+                ctx = self.contexts[u]
+                ctx.round = self.round
+                self.algorithms[u].on_round(ctx, inboxes.get(u, []))
+            if not self._active and not self._inboxes_next:
+                break
+            self.round += 1
+        return RingRunResult(
+            n=self.n,
+            ids=self.ids,
+            rounds_executed=self.round,
+            messages=self.messages,
+            last_send_round=self.last_send_round,
+            leaders=list(self.leaders),
+            decisions=list(self.decisions),
+            outputs=list(self.outputs),
+        )

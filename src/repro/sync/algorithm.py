@@ -1,0 +1,38 @@
+"""Base class for synchronous per-node algorithms."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sync.engine import SyncContext
+
+# An inbox entry: (receive_port, payload).  Plain tuples are used because
+# simulations move millions of messages; the convention is documented in
+# repro.sync.engine as well.
+Inbox = List[Tuple[int, Any]]
+
+
+class SyncAlgorithm:
+    """One node's synchronous protocol.
+
+    The engine instantiates one object per node (via the factory passed to
+    :class:`repro.sync.SyncNetwork`), so instance attributes are the
+    node-local state.  The engine calls:
+
+    * :meth:`on_wake` exactly once, at the start of the node's first round
+      (round 1 for initially-awake nodes, or the round a first message is
+      delivered);
+    * :meth:`on_round` every round while the node is awake and has not
+      halted, with the messages delivered at the start of that round.
+
+    All interaction with the network goes through the
+    :class:`repro.sync.SyncContext` handed to these methods.
+    """
+
+    def on_wake(self, ctx: "SyncContext") -> None:
+        """Hook invoked once when the node wakes up (before ``on_round``)."""
+
+    def on_round(self, ctx: "SyncContext", inbox: Inbox) -> None:
+        """One synchronous step; ``inbox`` holds (port, payload) pairs."""
+        raise NotImplementedError

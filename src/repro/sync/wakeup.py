@@ -1,0 +1,49 @@
+"""Wake-up schedules for the synchronous clique.
+
+The paper considers two regimes:
+
+* **simultaneous wake-up** (Section 3): every node starts executing in
+  round 1;
+* **adversarial wake-up** (Section 4): the adversary wakes an arbitrary
+  nonempty subset in round 1; every other node sleeps until it receives a
+  message.  (The paper notes that restricting the adversary to round-1
+  wake-ups only is without loss of generality for its results; we adopt
+  the same convention.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable
+
+__all__ = [
+    "simultaneous_wakeup",
+    "adversarial_wakeup",
+    "single_wakeup",
+    "random_wakeup",
+]
+
+
+def simultaneous_wakeup(n: int) -> FrozenSet[int]:
+    """All ``n`` nodes awake in round 1."""
+    return frozenset(range(n))
+
+
+def adversarial_wakeup(nodes: Iterable[int]) -> FrozenSet[int]:
+    """An explicit adversary-chosen initially-awake set (must be nonempty)."""
+    awake = frozenset(nodes)
+    if not awake:
+        raise ValueError("the adversary must wake at least one node")
+    return awake
+
+
+def single_wakeup(node: int = 0) -> FrozenSet[int]:
+    """Only one node awake — the hardest case for wake-up style bounds."""
+    return frozenset({node})
+
+
+def random_wakeup(n: int, size: int, rng: random.Random) -> FrozenSet[int]:
+    """A uniformly random initially-awake subset of the given size."""
+    if not 1 <= size <= n:
+        raise ValueError("need 1 <= size <= n")
+    return frozenset(rng.sample(range(n), size))

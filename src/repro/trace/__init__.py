@@ -1,0 +1,23 @@
+"""Structured execution traces.
+
+Both engines accept a ``recorder`` with (a subset of) the hooks
+
+* ``on_send(time_or_round, u, port, v, peer_port, payload)``
+* ``on_deliver(time, v, port, payload)`` (asynchronous engine only)
+* ``on_wake(time_or_round, u)``
+* ``on_decide(time_or_round, u, decision, output)``
+
+This package provides ready-made recorders: an in-memory event log for
+tests and debugging, a printing recorder for the examples, and a
+composite that fans hooks out to several recorders (e.g. a communication
+graph plus an event log).
+"""
+
+from repro.trace.events import (
+    CompositeRecorder,
+    MemoryRecorder,
+    PrintRecorder,
+    TraceEvent,
+)
+
+__all__ = ["TraceEvent", "MemoryRecorder", "PrintRecorder", "CompositeRecorder"]

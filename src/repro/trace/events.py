@@ -1,0 +1,107 @@
+"""Recorder implementations for engine hooks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["TraceEvent", "MemoryRecorder", "PrintRecorder", "CompositeRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is one of ``send``, ``deliver``, ``wake``, ``decide``;
+    ``when`` is the round number (sync) or timestamp (async).
+    """
+
+    kind: str
+    when: float
+    node: int
+    detail: tuple
+
+    def __str__(self) -> str:
+        return f"[{self.when:>7.2f}] {self.kind:<7} node={self.node} {self.detail}"
+
+
+class MemoryRecorder:
+    """Collects every event in order; convenient in tests."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def on_send(self, when, u, port, v, peer_port, payload) -> None:
+        self.events.append(TraceEvent("send", float(when), u, (port, v, peer_port, payload)))
+
+    def on_deliver(self, when, v, port, payload) -> None:
+        self.events.append(TraceEvent("deliver", float(when), v, (port, payload)))
+
+    def on_wake(self, when, u) -> None:
+        self.events.append(TraceEvent("wake", float(when), u, ()))
+
+    def on_decide(self, when, u, decision, output) -> None:
+        self.events.append(TraceEvent("decide", float(when), u, (decision, output)))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def sends_from(self, node: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "send" and e.node == node]
+
+
+class PrintRecorder:
+    """Prints events as they happen (capped), for the examples."""
+
+    def __init__(self, limit: int = 50, kinds: Optional[Sequence[str]] = None) -> None:
+        self.limit = limit
+        self.kinds = set(kinds) if kinds else None
+        self._printed = 0
+
+    def _emit(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if self._printed < self.limit:
+            print(event)
+        elif self._printed == self.limit:
+            print(f"... (suppressing further trace output after {self.limit} events)")
+        self._printed += 1
+
+    def on_send(self, when, u, port, v, peer_port, payload) -> None:
+        self._emit(TraceEvent("send", float(when), u, (port, v, peer_port, payload)))
+
+    def on_deliver(self, when, v, port, payload) -> None:
+        self._emit(TraceEvent("deliver", float(when), v, (port, payload)))
+
+    def on_wake(self, when, u) -> None:
+        self._emit(TraceEvent("wake", float(when), u, ()))
+
+    def on_decide(self, when, u, decision, output) -> None:
+        self._emit(TraceEvent("decide", float(when), u, (decision, output)))
+
+
+class CompositeRecorder:
+    """Fans every hook out to several recorders."""
+
+    def __init__(self, *recorders: Any) -> None:
+        self.recorders = recorders
+
+    def on_send(self, *args) -> None:
+        for r in self.recorders:
+            if hasattr(r, "on_send"):
+                r.on_send(*args)
+
+    def on_deliver(self, *args) -> None:
+        for r in self.recorders:
+            if hasattr(r, "on_deliver"):
+                r.on_deliver(*args)
+
+    def on_wake(self, *args) -> None:
+        for r in self.recorders:
+            if hasattr(r, "on_wake"):
+                r.on_wake(*args)
+
+    def on_decide(self, *args) -> None:
+        for r in self.recorders:
+            if hasattr(r, "on_decide"):
+                r.on_decide(*args)

@@ -1,0 +1,14 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.helpers import make_ids, run_sync  # noqa: F401  (re-exported)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)

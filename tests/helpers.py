@@ -1,0 +1,27 @@
+"""Shared helpers for the test suite (imported as ``tests.helpers``)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.sync.engine import SyncNetwork
+
+
+def make_ids(n: int, seed: int = 0, spread: int = 8) -> list:
+    """A scrambled ID assignment from a Θ(n·spread) universe."""
+    rng = random.Random(f"ids:{n}:{seed}")
+    return rng.sample(range(1, spread * n + 1), n)
+
+
+def run_sync(n, factory, *, seed=0, ids=None, awake=None, port_map=None, max_rounds=None):
+    """One-liner synchronous run used throughout the tests."""
+    net = SyncNetwork(
+        n,
+        factory,
+        ids=ids,
+        seed=seed,
+        awake=awake,
+        port_map=port_map,
+        max_rounds=max_rounds,
+    )
+    return net.run()

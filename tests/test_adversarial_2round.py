@@ -1,0 +1,147 @@
+"""Theorem 4.1's 2-round algorithm under adversarial wake-up."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AdversarialTwoRoundElection
+from repro.lowerbound import bounds
+from repro.mathutil import ceil_sqrt
+from repro.analysis import success_rate
+
+from tests.helpers import make_ids, run_sync
+
+
+class TestParameters:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            AdversarialTwoRoundElection(epsilon=0.0)
+        with pytest.raises(ValueError):
+            AdversarialTwoRoundElection(epsilon=1.0)
+
+    def test_candidate_probability(self):
+        algo = AdversarialTwoRoundElection(epsilon=math.exp(-4))
+        assert algo.candidate_probability(256) == pytest.approx(4 / 16)
+
+
+class TestCorrectness:
+    def test_two_rounds(self):
+        result = run_sync(
+            512, lambda: AdversarialTwoRoundElection(epsilon=0.02), awake=[0], seed=1
+        )
+        assert result.last_send_round <= 2
+
+    @pytest.mark.parametrize("roots", [[0], [1, 5, 9], list(range(64))])
+    def test_whp_unique_leader_any_root_set(self, roots):
+        results = [
+            run_sync(
+                512, lambda: AdversarialTwoRoundElection(epsilon=0.01), awake=roots, seed=s
+            )
+            for s in range(10)
+        ]
+        rate = success_rate(results, lambda r: r.unique_leader)
+        assert rate >= 0.9, rate
+
+    def test_all_nodes_wake_when_candidate_exists(self):
+        for seed in range(5):
+            result = run_sync(
+                256, lambda: AdversarialTwoRoundElection(epsilon=0.01), awake=[3], seed=seed
+            )
+            if result.unique_leader:
+                assert result.awake_count == 256
+                assert result.decided_count == 256
+
+    def test_all_roots_adversary_still_elects(self):
+        # The adversary's nastiest set: every node is a root, so nobody
+        # is *woken* by a message — candidacy must trigger on message
+        # *receipt* (see the algorithm's reading note) or the run could
+        # never elect anyone.
+        results = [
+            run_sync(
+                256,
+                lambda: AdversarialTwoRoundElection(epsilon=0.01),
+                awake=list(range(256)),
+                seed=s,
+            )
+            for s in range(10)
+        ]
+        rate = success_rate(results, lambda r: r.unique_leader)
+        assert rate >= 0.9, rate
+
+    def test_never_two_leaders(self):
+        for seed in range(25):
+            result = run_sync(
+                128, lambda: AdversarialTwoRoundElection(epsilon=0.05), awake=[0], seed=seed
+            )
+            assert len(result.leaders) <= 1
+
+    def test_explicit_agreement_on_success(self):
+        for seed in range(5):
+            result = run_sync(
+                256, lambda: AdversarialTwoRoundElection(epsilon=0.01), awake=[0], seed=seed
+            )
+            if result.unique_leader:
+                assert result.explicit_agreement()
+
+    def test_no_dropped_deliveries(self):
+        result = run_sync(
+            128, lambda: AdversarialTwoRoundElection(epsilon=0.05), awake=[0, 1], seed=2
+        )
+        assert result.dropped_deliveries == 0
+
+    @given(st.integers(16, 200), st.integers(0, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_at_most_one_leader_property(self, n, seed):
+        result = run_sync(
+            n,
+            lambda: AdversarialTwoRoundElection(epsilon=0.1),
+            ids=make_ids(n, seed),
+            awake=[seed % n],
+            seed=seed,
+        )
+        assert len(result.leaders) <= 1
+
+
+class TestComplexity:
+    def test_root_spray_is_sqrt_n(self):
+        n = 400
+        result = run_sync(
+            n, lambda: AdversarialTwoRoundElection(epsilon=0.05), awake=[7], seed=0
+        )
+        assert result.metrics.sends_by_round[1] == ceil_sqrt(n)
+
+    def test_worst_case_roots_message_bound(self):
+        # All-but-candidates scenario: n/2 roots spraying sqrt(n) each.
+        n = 256
+        roots = list(range(n // 2))
+        eps = 0.05
+        totals = [
+            run_sync(
+                n, lambda: AdversarialTwoRoundElection(epsilon=eps), awake=roots, seed=s
+            ).messages
+            for s in range(5)
+        ]
+        mean = sum(totals) / len(totals)
+        assert mean <= 4 * bounds.thm41_expected_messages(n, eps), mean
+
+    def test_expected_messages_scale_like_n_to_1_5(self):
+        # Fitted exponent over a sweep with *all* nodes as roots should
+        # sit near 1.5 (the n^{3/2} term dominates the candidates' term).
+        from repro.analysis import fit_power_law
+
+        ns = [256, 1024, 4096]
+        means = []
+        for n in ns:
+            totals = [
+                run_sync(
+                    n,
+                    lambda: AdversarialTwoRoundElection(epsilon=0.05),
+                    awake=list(range(n)),
+                    seed=s,
+                ).messages
+                for s in range(3)
+            ]
+            means.append(sum(totals) / 3)
+        fit = fit_power_law(ns, means)
+        assert 1.3 <= fit.exponent <= 1.7, fit

@@ -1,0 +1,116 @@
+"""The Afek-Gafni baseline reconstruction (repro.core.afek_gafni)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AfekGafniElection, ImprovedTradeoffElection
+from repro.lowerbound import bounds
+from repro.net.ports import CanonicalPortMap
+from repro.sync.engine import SyncNetwork
+
+from tests.helpers import make_ids, run_sync
+
+
+class TestParameters:
+    def test_rejects_ell_below_two(self):
+        with pytest.raises(ValueError):
+            AfekGafniElection(ell=1)
+
+    def test_iterations(self):
+        assert AfekGafniElection(ell=2).iterations == 1
+        assert AfekGafniElection(ell=7).iterations == 3
+        assert AfekGafniElection(ell=8).iterations == 4
+
+    def test_implicit_rounds(self):
+        assert AfekGafniElection(ell=6).implicit_rounds == 6
+
+    def test_last_iteration_contacts_everyone(self):
+        algo = AfekGafniElection(ell=6)
+        assert algo.referee_count(100, 3) == 99
+
+
+class TestSimultaneousWakeup:
+    @pytest.mark.parametrize("ell", [2, 4, 6, 8])
+    @pytest.mark.parametrize("n", [2, 3, 20, 64])
+    def test_max_id_elected(self, ell, n):
+        ids = make_ids(n, seed=ell)
+        result = run_sync(n, lambda: AfekGafniElection(ell=ell), ids=ids, seed=4)
+        assert result.unique_leader
+        assert result.elected_id == max(ids)
+
+    def test_everyone_decides_with_leader_id(self):
+        result = run_sync(50, lambda: AfekGafniElection(ell=4), seed=1)
+        assert result.decided_count == 50
+        assert result.explicit_agreement()
+
+    def test_round_budget(self):
+        for ell in (2, 4, 6):
+            result = run_sync(64, lambda: AfekGafniElection(ell=ell), seed=0)
+            # implicit election in 2K <= ell rounds + 1 announcement round
+            assert result.last_send_round == 2 * (ell // 2) + 1
+
+    @given(st.integers(2, 60), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_unique_leader_property(self, n, seed):
+        ids = make_ids(n, seed=seed)
+        result = run_sync(n, lambda: AfekGafniElection(ell=4), ids=ids, seed=seed)
+        assert result.unique_leader
+        assert result.elected_id == max(ids)
+
+
+class TestAdversarialWakeup:
+    @pytest.mark.parametrize("awake", [[0], [3, 7], [1, 2, 3, 4]])
+    def test_max_awake_id_elected(self, awake):
+        n = 32
+        ids = make_ids(n, seed=9)
+        result = run_sync(n, lambda: AfekGafniElection(ell=4), ids=ids, awake=awake, seed=2)
+        assert result.unique_leader
+        assert result.elected_id == max(ids[u] for u in awake)
+
+    def test_sleepers_serve_as_referees_and_decide(self):
+        n = 24
+        result = run_sync(n, lambda: AfekGafniElection(ell=4), awake=[0], seed=3)
+        assert result.unique_leader
+        # Announcement wakes and decides everyone.
+        assert result.decided_count == n
+
+    def test_single_root_becomes_leader(self):
+        result = run_sync(16, lambda: AfekGafniElection(ell=2), awake=[5], seed=0)
+        assert result.unique_leader
+        assert result.leaders == [5]
+
+    @given(st.integers(0, 40), st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_unique_leader_any_root_set(self, seed, root_count):
+        import random as _r
+
+        n = 24
+        rng = _r.Random(seed)
+        awake = rng.sample(range(n), min(root_count, n))
+        result = run_sync(n, lambda: AfekGafniElection(ell=4), awake=awake, seed=seed)
+        assert result.unique_leader
+
+
+class TestComplexityComparison:
+    @pytest.mark.parametrize("ell", [2, 4, 6])
+    def test_messages_within_paper_bound(self, ell):
+        for n in (64, 256, 1024):
+            result = run_sync(n, lambda: AfekGafniElection(ell=ell), seed=0)
+            bound = bounds.ag_messages(n, ell)
+            assert result.messages <= 3 * bound, (n, ell, result.messages, bound)
+
+    def test_improved_beats_ag_for_equal_rounds(self):
+        """The paper's head-to-head: Thm 3.10 sends fewer messages than
+        AG for the same odd round budget (polynomially fewer for small ell)."""
+        n = 1024
+        for ell in (3, 5):
+            improved = run_sync(n, lambda: ImprovedTradeoffElection(ell=ell), seed=0)
+            # AG with the same number of *message* rounds (2K+1 = ell -> K=(ell-1)/2);
+            # its implicit variant uses ell-1 rounds, one less — still more messages.
+            ag = run_sync(n, lambda: AfekGafniElection(ell=ell - 1), seed=0)
+            assert improved.messages < ag.messages, (ell, improved.messages, ag.messages)
+
+    def test_canonical_ports(self):
+        n = 30
+        result = run_sync(n, lambda: AfekGafniElection(ell=4), port_map=CanonicalPortMap(n))
+        assert result.unique_leader and result.elected_id == n

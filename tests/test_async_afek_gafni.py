@@ -1,0 +1,328 @@
+"""Section 5.4 / Theorem 5.14 (repro.core.async_afek_gafni)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asyncnet import (
+    AsyncNetwork,
+    PerLinkDelayScheduler,
+    RushScheduler,
+    UniformDelayScheduler,
+    UnitDelayScheduler,
+)
+from repro.core import AsyncAfekGafniElection
+from repro.lowerbound import bounds
+
+from tests.helpers import make_ids
+
+
+def run_async_ag(n, seed=0, scheduler=None, ids=None, stagger=None):
+    """Simultaneous wake-up by default (the Theorem 5.14 setting)."""
+    if stagger is None:
+        wake_times = {u: 0.0 for u in range(n)}
+    else:
+        wake_times = stagger
+    net = AsyncNetwork(
+        n,
+        AsyncAfekGafniElection,
+        ids=ids,
+        seed=seed,
+        scheduler=scheduler,
+        wake_times=wake_times,
+        max_events=5_000_000,
+    )
+    return net.run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 33, 64, 100])
+    def test_unique_leader_every_size(self, n):
+        result = run_async_ag(n, seed=n)
+        assert result.unique_leader
+        assert result.decided_count == n
+
+    def test_deterministic_under_fixed_ports(self):
+        from repro.net.ports import CanonicalPortMap
+
+        runs = [
+            AsyncNetwork(
+                32,
+                AsyncAfekGafniElection,
+                seed=0,
+                port_map=CanonicalPortMap(32),
+                scheduler=UnitDelayScheduler(),
+                wake_times={u: 0.0 for u in range(32)},
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].leaders == runs[1].leaders
+        assert runs[0].messages == runs[1].messages
+
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda rng: UnitDelayScheduler(),
+            lambda rng: UniformDelayScheduler(rng),
+            lambda rng: RushScheduler(),
+            lambda rng: PerLinkDelayScheduler(rng),
+        ],
+        ids=["unit", "uniform", "rush", "perlink"],
+    )
+    def test_unique_leader_under_every_delay_adversary(self, make_scheduler):
+        for seed in range(5):
+            scheduler = make_scheduler(random.Random(seed))
+            result = run_async_ag(48, seed=seed, scheduler=scheduler)
+            assert result.unique_leader, seed
+            assert result.decided_count == 48
+
+    def test_explicit_outputs_available(self):
+        result = run_async_ag(32, seed=1)
+        assert result.unique_leader
+        # Nodes that learned the winner via 'elected' name it; nodes that
+        # died via 'kill' hold None (implicit) — but never a wrong name.
+        winner = result.elected_id
+        for out in result.outputs:
+            assert out is None or out == winner
+
+    def test_stragglers_time_counted_from_last_wake(self):
+        # Theorem 5.14 counts time from the last spontaneous wake-up;
+        # a staggered start must still elect exactly one leader.
+        stagger = {u: (u % 7) * 0.13 for u in range(40)}
+        result = run_async_ag(40, seed=2, stagger=stagger)
+        assert result.unique_leader
+
+    @given(st.integers(2, 64), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_unique_leader_property(self, n, seed):
+        result = run_async_ag(n, seed=seed, ids=make_ids(n, seed))
+        assert result.unique_leader
+        assert result.decided_count == n
+
+
+class TestComplexity:
+    def test_messages_o_n_log_n(self):
+        for n in (64, 256, 1024):
+            result = run_async_ag(n, seed=0)
+            # O(n log n) with an explicit constant: requests sum to
+            # ~2n per full level sweep, and each request costs at most
+            # ~4 messages (req + cancel + reply + verdict).
+            assert result.messages <= 16 * bounds.thm514_messages(n), (
+                n,
+                result.messages,
+            )
+
+    def test_time_o_log_n_under_unit_delays(self):
+        for n in (64, 256, 1024):
+            result = run_async_ag(n, seed=0, scheduler=UnitDelayScheduler())
+            # Each level costs at most ~4 unit-delay hops, plus the
+            # final announcement.
+            assert result.time <= 5 * math.log2(n) + 3, (n, result.time)
+
+    def test_message_growth_is_near_linear(self):
+        from repro.analysis import fit_power_law
+
+        ns = [128, 512, 2048]
+        totals = [run_async_ag(n, seed=1).messages for n in ns]
+        fit = fit_power_law(ns, totals)
+        # n log n fits as exponent ~1.0-1.25 on this grid.
+        assert 0.95 <= fit.exponent <= 1.3, fit
+
+    def test_levels_bounded(self):
+        assert AsyncAfekGafniElection.max_level(1024) == 10
+        assert AsyncAfekGafniElection.max_level(1000) == 10
+        assert AsyncAfekGafniElection.max_level(2) == 1
+
+
+class TestProtocolInternals:
+    def test_supporters_are_exclusive(self):
+        """Lemma 5.12's invariant: at quiescence each node supports at
+        most one candidate — the eventual leader or a dead candidate that
+        captured it last."""
+        n = 32
+        net = AsyncNetwork(
+            n,
+            AsyncAfekGafniElection,
+            seed=5,
+            wake_times={u: 0.0 for u in range(n)},
+        )
+        result = net.run()
+        assert result.unique_leader
+        owners = [algo.owner_id for algo in net.algorithms]
+        assert all(owner is not None for owner in owners)
+
+    def test_leader_survived_all_levels(self):
+        n = 64
+        net = AsyncNetwork(
+            n,
+            AsyncAfekGafniElection,
+            seed=6,
+            wake_times={u: 0.0 for u in range(n)},
+        )
+        result = net.run()
+        leader_algo = net.algorithms[result.leaders[0]]
+        assert leader_algo.leader
+        assert 2**leader_algo.level >= n
+
+    def test_all_non_leaders_dead(self):
+        n = 48
+        net = AsyncNetwork(
+            n,
+            AsyncAfekGafniElection,
+            seed=7,
+            wake_times={u: 0.0 for u in range(n)},
+        )
+        result = net.run()
+        for u, algo in enumerate(net.algorithms):
+            if u in result.leaders:
+                assert algo.alive
+            else:
+                assert not algo.alive
+
+    def test_no_pending_consults_at_quiescence(self):
+        n = 40
+        net = AsyncNetwork(
+            n,
+            AsyncAfekGafniElection,
+            seed=8,
+            wake_times={u: 0.0 for u in range(n)},
+        )
+        net.run()
+        for algo in net.algorithms:
+            assert not algo.busy
+            assert not algo.queue
+
+
+class TestTimeFromLastWake:
+    """Theorem 5.14's accounting: time counted from the last spontaneous
+    wake-up (the paper's alternative to simultaneous wake-up)."""
+
+    def test_staggered_start_log_time_from_last_wake(self):
+        import math
+
+        from repro.asyncnet import UnitDelayScheduler
+
+        n = 256
+        last_wake = 3.0
+        stagger = {u: (u % 16) * 0.2 for u in range(n)}  # wakes in [0, 3]
+        net = AsyncNetwork(
+            n,
+            AsyncAfekGafniElection,
+            seed=11,
+            scheduler=UnitDelayScheduler(),
+            wake_times=stagger,
+            max_events=5_000_000,
+        )
+        result = net.run()
+        assert result.unique_leader
+        from_last_wake = result.metrics.last_event_time - last_wake
+        assert from_last_wake <= 5 * math.log2(n) + 3
+
+    def test_election_valid_for_any_stagger_pattern(self):
+        for seed in range(4):
+            import random as _r
+
+            rng = _r.Random(seed)
+            n = 48
+            stagger = {u: rng.random() for u in range(n)}
+            net = AsyncNetwork(
+                n,
+                AsyncAfekGafniElection,
+                seed=seed,
+                wake_times=stagger,
+                max_events=5_000_000,
+            )
+            result = net.run()
+            assert result.unique_leader
+            assert result.decided_count == n
+
+
+class TestGeneralTradeoffSchedule:
+    """§5.4's opening claim: the translation preserves the full AG
+    tradeoff — K capture waves, O(K·n^(1+1/K)) messages."""
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            AsyncAfekGafniElection(iterations=1)
+
+    @pytest.mark.parametrize("K", [2, 3, 5])
+    def test_unique_leader_all_schedules(self, K):
+        for n in (2, 7, 32, 100):
+            net = AsyncNetwork(
+                n,
+                lambda: AsyncAfekGafniElection(iterations=K),
+                seed=K * 100 + n,
+                wake_times={u: 0.0 for u in range(n)},
+                max_events=5_000_000,
+            )
+            result = net.run()
+            assert result.unique_leader, (K, n)
+            assert result.decided_count == n
+
+    def test_tradeoff_direction(self):
+        """More waves -> fewer messages, more time (unit delays)."""
+        n = 512
+        stats = {}
+        for K in (2, 4, 8):
+            net = AsyncNetwork(
+                n,
+                lambda: AsyncAfekGafniElection(iterations=K),
+                seed=3,
+                scheduler=UnitDelayScheduler(),
+                wake_times={u: 0.0 for u in range(n)},
+                max_events=8_000_000,
+            )
+            r = net.run()
+            assert r.unique_leader
+            stats[K] = (r.messages, r.time)
+        assert stats[2][0] > stats[4][0] > stats[8][0]
+        assert stats[2][1] < stats[8][1]
+
+    def test_k2_matches_n_to_3_2_shape(self):
+        n = 1024
+        net = AsyncNetwork(
+            n,
+            lambda: AsyncAfekGafniElection(iterations=2),
+            seed=1,
+            scheduler=UnitDelayScheduler(),
+            wake_times={u: 0.0 for u in range(n)},
+            max_events=12_000_000,
+        )
+        r = net.run()
+        assert r.unique_leader
+        assert r.messages <= 4 * n**1.5
+        assert r.time <= 16  # O(K) waves, ~4 hops each, plus announcement
+
+    def test_schedule_targets(self):
+        from repro.asyncnet.engine import AsyncNetwork as _N
+
+        n = 256
+        net = _N(
+            n,
+            lambda: AsyncAfekGafniElection(iterations=4),
+            seed=0,
+            wake_times={u: 0.0 for u in range(n)},
+            max_events=5_000_000,
+        )
+        result = net.run()
+        assert result.unique_leader
+        leader_algo = net.algorithms[result.leaders[0]]
+        assert leader_algo.level == 4  # exactly K waves
+
+    def test_safe_under_targeted_delays(self):
+        from repro.asyncnet import TargetedDelayScheduler
+
+        n = 128
+        for delays in ({"req": 0.01, "cancel": 1.0}, {"ack": 1.0}):
+            net = AsyncNetwork(
+                n,
+                lambda: AsyncAfekGafniElection(iterations=3),
+                seed=5,
+                scheduler=TargetedDelayScheduler(delays),
+                wake_times={u: 0.0 for u in range(n)},
+                max_events=8_000_000,
+            )
+            result = net.run()
+            assert result.unique_leader, delays

@@ -1,0 +1,233 @@
+"""Algorithm 2 / Theorem 5.1 (repro.core.async_tradeoff)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asyncnet import (
+    AsyncNetwork,
+    PerLinkDelayScheduler,
+    RushScheduler,
+    UniformDelayScheduler,
+    UnitDelayScheduler,
+)
+from repro.core import AsyncTradeoffElection
+from repro.lowerbound import bounds
+from repro.analysis import success_rate
+
+
+def run_async(n, k=2, seed=0, scheduler=None, wake_times=None, **kw):
+    net = AsyncNetwork(
+        n,
+        lambda: AsyncTradeoffElection(k=k, **kw),
+        seed=seed,
+        scheduler=scheduler,
+        wake_times=wake_times,
+        max_events=5_000_000,
+    )
+    return net.run()
+
+
+class TestParameters:
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            AsyncTradeoffElection(k=1)
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            AsyncTradeoffElection(k=2, gamma=0)
+
+    def test_wake_fanout_scales(self):
+        algo = AsyncTradeoffElection(k=2, gamma=1.0)
+        assert algo.wake_fanout(1024) == 32
+        algo3 = AsyncTradeoffElection(k=3, gamma=1.0)
+        assert algo3.wake_fanout(1000) == 10
+
+    def test_fanout_capped(self):
+        algo = AsyncTradeoffElection(k=2, gamma=100.0)
+        assert algo.wake_fanout(10) == 9
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_whp_unique_leader(self, k):
+        results = [run_async(256, k=k, seed=s) for s in range(10)]
+        rate = success_rate(results, lambda r: r.unique_leader)
+        assert rate >= 0.9, (k, rate)
+
+    def test_everyone_wakes_and_decides(self):
+        result = run_async(512, k=2, seed=1)
+        assert result.awake_count == 512
+        if result.unique_leader:
+            assert result.decided_count == 512
+
+    def test_never_two_leaders(self):
+        for seed in range(20):
+            result = run_async(128, k=2, seed=seed)
+            assert len(result.leaders) <= 1, seed
+
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda rng: UnitDelayScheduler(),
+            lambda rng: UniformDelayScheduler(rng),
+            lambda rng: RushScheduler(),
+            lambda rng: PerLinkDelayScheduler(rng),
+        ],
+        ids=["unit", "uniform", "rush", "perlink"],
+    )
+    def test_correct_under_every_delay_adversary(self, make_scheduler):
+        for seed in range(5):
+            scheduler = make_scheduler(random.Random(seed))
+            result = run_async(128, k=2, seed=seed, scheduler=scheduler)
+            assert len(result.leaders) <= 1
+
+    def test_staggered_adversarial_wakeup(self):
+        wake_times = {0: 0.0, 5: 0.7, 9: 1.9}
+        result = run_async(128, k=2, seed=4, wake_times=wake_times)
+        assert len(result.leaders) <= 1
+        assert result.awake_count == 128
+
+    def test_simultaneous_wakeup(self):
+        wake_times = {u: 0.0 for u in range(64)}
+        results = [run_async(64, k=2, seed=s, wake_times=wake_times) for s in range(5)]
+        rate = success_rate(results, lambda r: r.unique_leader)
+        assert rate >= 0.8
+
+    def test_n_one(self):
+        result = run_async(1, k=2)
+        assert result.unique_leader
+
+    @given(st.integers(16, 128), st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_at_most_one_leader_property(self, n, seed):
+        result = run_async(n, k=2, seed=seed)
+        assert len(result.leaders) <= 1
+
+
+class TestComplexity:
+    def test_time_within_k_plus_8(self):
+        # Unit delays, default single-root adversarial wake-up; allow +1
+        # for the final announcement delivery (the paper's bound counts
+        # until the leader is elected).
+        for k in (2, 3, 4):
+            for seed in range(3):
+                result = run_async(1024, k=k, seed=seed, scheduler=UnitDelayScheduler())
+                if result.unique_leader:
+                    assert result.time <= bounds.thm51_time(k) + 1, (k, result.time)
+
+    def test_messages_within_bound(self):
+        for k in (2, 3):
+            for n in (256, 1024):
+                result = run_async(n, k=k, seed=0)
+                # gamma=3 wake spray + competes + consults + announcement;
+                # 6x covers the constants.
+                assert result.messages <= 6 * bounds.thm51_messages(n, k), (n, k)
+
+    def test_larger_k_fewer_messages(self):
+        n = 1024
+        msgs = [run_async(n, k=k, seed=0).messages for k in (2, 3, 5)]
+        assert msgs[0] > msgs[1] > msgs[2]
+
+    def test_message_exponent_matches_theory(self):
+        # Total messages mix the n^(1+1/k) wake-up term with the
+        # ~sqrt(n)·polylog election term; at bench sizes the mixture pulls
+        # the total's fitted exponent slightly below 1+1/k, so check the
+        # dominant wake-up component (exactly n·Θ(n^(1/k)) messages)
+        # against theory and the total against a generous band.
+        from repro.analysis import fit_power_law
+
+        for k, lo, hi in ((2, 1.4, 1.6), (3, 1.25, 1.45)):
+            ns = [256, 1024, 4096]
+            wake_counts = []
+            totals = []
+            for n in ns:
+                result = run_async(n, k=k, seed=0)
+                wake_counts.append(result.metrics.messages_by_kind["wake"])
+                totals.append(result.messages)
+            wake_fit = fit_power_law(ns, wake_counts)
+            assert lo <= wake_fit.exponent <= hi, (k, wake_fit)
+            total_fit = fit_power_law(ns, totals)
+            assert total_fit.exponent <= hi + 0.05, (k, total_fit)
+
+    def test_wake_message_count_dominates_for_k2(self):
+        result = run_async(1024, k=2, seed=0)
+        wake = result.metrics.messages_by_kind["wake"]
+        assert wake >= 0.5 * result.messages
+
+
+class TestProtocolInternals:
+    def test_gamma_ablation_coverage(self):
+        """Wake-up coverage degrades when gamma is too small relative to
+        the k+4 deadline, but correctness (at most one leader) holds."""
+        for gamma in (0.25, 1.0, 3.0):
+            result = run_async(256, k=2, seed=3, gamma=gamma)
+            assert len(result.leaders) <= 1
+
+    def test_zero_candidates_is_clean_failure(self):
+        # Forcing candidate probability to ~0 (tiny coefficient): nobody
+        # competes, the run quiesces with no leader and no crash.
+        result = run_async(128, k=2, seed=0, candidate_coeff=1e-9)
+        assert result.leaders == []
+        assert result.awake_count == 128
+
+    def test_all_candidates_stress(self):
+        # Maximal contention: every node competes.
+        for seed in range(3):
+            result = run_async(64, k=2, seed=seed, candidate_coeff=1e9)
+            assert len(result.leaders) <= 1
+
+    def test_referee_sets_shared_whp(self):
+        # With default coefficients the referee overlap is what prevents
+        # two leaders; verify on a run that at least one referee handled
+        # two or more competes (so the consult path executed).
+        result = run_async(512, k=2, seed=2)
+        kinds = result.metrics.messages_by_kind
+        assert kinds.get("confirm", 0) >= 1
+        assert kinds.get("confirm_reply", 0) == kinds.get("confirm", 0)
+
+
+class TestWakeupCoverageLemma52:
+    """Lemma 5.2's claim in isolation: the wake-up spray covers the
+    clique within k+4 units whp for admissible k."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_all_awake_within_k_plus_4(self, k):
+        from repro.lowerbound import build_cover_tree
+        from repro.trace import MemoryRecorder
+
+        n = 512
+        covered = 0
+        for seed in range(5):
+            rec = MemoryRecorder()
+            net = AsyncNetwork(
+                n,
+                lambda: AsyncTradeoffElection(k=k),
+                seed=seed,
+                scheduler=UnitDelayScheduler(),
+                recorder=rec,
+                max_events=8_000_000,
+            )
+            net.run()
+            tree = build_cover_tree(n, rec)
+            if tree.covered == n and max(tree.wake_time.values()) <= k + 4:
+                covered += 1
+        assert covered >= 4  # whp over seeds
+
+    def test_inadmissible_k_degrades_spray_coverage(self):
+        # k far above log n / log log n: fan-out ~2, below the
+        # Omega(log n) threshold Lemma 5.2 needs.  With candidacy
+        # disabled (no election, so no leader broadcast to paper over
+        # the gap), the spray alone strands some nodes asleep.
+        n = 512
+        fails = 0
+        for seed in range(5):
+            result = AsyncNetwork(
+                n,
+                lambda: AsyncTradeoffElection(k=30, gamma=1.0, candidate_coeff=1e-12),
+                seed=seed,
+                max_events=8_000_000,
+            ).run()
+            fails += result.awake_count < n
+        assert fails >= 3  # the admissibility condition is real

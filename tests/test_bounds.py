@@ -1,0 +1,152 @@
+"""Table 1 bound formulas (repro.lowerbound.bounds)."""
+
+import math
+
+import pytest
+
+from repro.lowerbound import bounds
+
+
+class TestThm38:
+    def test_round_lb_matches_formula(self):
+        n, f = 1024, 4.0
+        expected = (math.log2(n) - 1) / (math.log2(f) + 1) + 1
+        assert bounds.thm38_round_lb(n, f) == pytest.approx(expected)
+
+    def test_round_lb_decreases_in_f(self):
+        n = 4096
+        assert bounds.thm38_round_lb(n, 2) > bounds.thm38_round_lb(n, 16)
+
+    def test_round_lb_rejects_f_at_most_1(self):
+        with pytest.raises(ValueError):
+            bounds.thm38_round_lb(64, 1.0)
+
+    def test_message_lb_k2(self):
+        assert bounds.thm38_message_lb(1024, 2) == pytest.approx(512.0**2)
+
+    def test_message_lb_one_round_quadratic(self):
+        assert bounds.thm38_message_lb(100, 1) == pytest.approx(2500.0)
+
+    def test_message_lb_decreases_in_k(self):
+        n = 4096
+        values = [bounds.thm38_message_lb(n, k) for k in (2, 3, 5, 9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_consistency_round_vs_message_form(self):
+        # If an algorithm sends n·f messages, the round LB applied at f
+        # and the message LB applied at that round count must agree
+        # directionally: fewer messages -> more rounds.
+        n = 2**16
+        for k in (2, 3, 4, 6):
+            messages = bounds.thm38_message_lb(n, k)
+            f = messages / n
+            rounds_needed = bounds.thm38_round_lb(n, f)
+            # An algorithm with exactly the LB message budget cannot be
+            # much faster than k rounds.
+            assert rounds_needed <= k + 1.5, (k, rounds_needed)
+
+
+class TestUpperBoundsDominateLowerBounds:
+    """UB >= LB wherever both are defined — the sanity the paper's
+    Table 1 encodes."""
+
+    @pytest.mark.parametrize("n", [256, 4096, 2**16])
+    def test_thm310_above_thm38(self, n):
+        for ell in (3, 5, 7, 9):
+            ub = bounds.thm310_messages(n, ell)
+            lb = bounds.thm38_message_lb(n, ell)
+            assert ub >= lb, (n, ell)
+
+    @pytest.mark.parametrize("n", [256, 4096])
+    def test_ag_above_its_lb(self, n):
+        for k in (2, 3, 4):
+            assert bounds.ag_messages(n, 2 * k) >= bounds.ag_k_round_lb(n, k)
+
+    @pytest.mark.parametrize("n", [256, 4096, 2**20])
+    def test_thm41_above_thm42(self, n):
+        assert bounds.thm41_expected_messages(n, 0.1) >= bounds.thm42_message_lb(n)
+
+    @pytest.mark.parametrize("n", [256, 4096])
+    def test_las_vegas_tight(self, n):
+        assert bounds.thm316_las_vegas_messages(n) >= bounds.thm316_las_vegas_lb(n)
+
+    @pytest.mark.parametrize("n", [1024, 2**16])
+    def test_kutten16_above_its_lb(self, n):
+        assert bounds.kutten16_messages(n) >= bounds.kutten16_lb(n)
+
+
+class TestPaperComparisons:
+    def test_thm38_beats_ag_lb_for_constant_k(self):
+        """Section 1.2: for constant-round algorithms the new bound is
+        polynomially stronger than Afek-Gafni's."""
+        n = 2**20
+        for k in (2, 3, 4):
+            assert bounds.thm38_message_lb(n, k) > bounds.ag_k_round_lb(n, k)
+
+    def test_ag_lb_wins_at_logarithmic_k(self):
+        """...whereas at k = Θ(log n) the AG bound is a log factor larger."""
+        n = 2**20
+        k = int(math.log2(n))
+        assert bounds.ag_k_round_lb(n, k) > bounds.thm38_message_lb(n, k)
+
+    def test_thm310_beats_ag_algorithm(self):
+        n = 2**20
+        for ell in (3, 5, 7):
+            assert bounds.thm310_messages(n, ell) < bounds.ag_messages(n, ell)
+
+    def test_monte_carlo_vs_las_vegas_gap(self):
+        """The polynomial gap of Section 3.5 (widens with n)."""
+        for n, factor in ((2**20, 10), (2**30, 100)):
+            assert bounds.kutten16_messages(n) < bounds.thm316_las_vegas_lb(n) / factor
+
+    def test_small_id_beats_nlogn(self):
+        """Theorem 3.15's point: n·d·g = o(n log n) for d = o(log n)."""
+        n = 2**20
+        d, g = 2, 1
+        assert bounds.thm315_messages(n, d, g) < bounds.thm311_message_lb(n)
+
+
+class TestAsyncBounds:
+    def test_thm51_extremes(self):
+        n = 2**16
+        # k=2 matches the synchronous adversarial-wake-up bound n^{3/2}
+        assert bounds.thm51_messages(n, 2) == pytest.approx(bounds.thm42_message_lb(n))
+        # max k gives ~n polylog messages and ~log n time
+        kmax = bounds.thm51_max_k(n)
+        assert bounds.thm51_messages(n, kmax) <= n * math.log2(n) ** 2
+        assert bounds.thm51_time(kmax) <= math.log2(n) + 8
+
+    def test_thm51_time(self):
+        assert bounds.thm51_time(2) == 10
+        assert bounds.thm51_time(6) == 14
+
+    def test_max_k_reasonable(self):
+        assert bounds.thm51_max_k(2**10) >= 2
+        assert bounds.thm51_max_k(2**20) in range(3, 8)
+
+    def test_thm514(self):
+        n = 1024
+        assert bounds.thm514_messages(n) == pytest.approx(n * 10)
+        assert bounds.thm514_time(n) == pytest.approx(10)
+
+    def test_kmp14_rows(self):
+        n = 4096
+        assert bounds.kmp14_messages(n) == n
+        assert bounds.kmp14_time(n) == pytest.approx(144.0)
+
+
+class TestUniverseRequirement:
+    def test_thm311_universe_grows_fast(self):
+        small = bounds.thm311_universe_log2_size(64, 4)
+        large = bounds.thm311_universe_log2_size(1024, 4)
+        assert large > small > math.log2(64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.thm41_expected_messages(100, 0.0)
+        with pytest.raises(ValueError):
+            bounds.thm51_messages(100, 1)
+        with pytest.raises(ValueError):
+            bounds.ag_tradeoff_lb(100, 1.5)
+        with pytest.raises(ValueError):
+            bounds.thm310_messages(100, 4)

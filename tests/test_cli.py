@@ -1,0 +1,88 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_all_algorithms(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "improved_tradeoff",
+            "afek_gafni",
+            "small_id",
+            "kutten16",
+            "las_vegas",
+            "adversarial_2round",
+            "async_tradeoff",
+            "async_afek_gafni",
+        ):
+            assert name in out
+
+
+class TestRun:
+    def test_run_sync_deterministic(self, capsys):
+        assert main(["run", "improved_tradeoff", "--n", "64", "--param", "ell=3"]) == 0
+        out = capsys.readouterr().out
+        assert "unique leader" in out
+        assert "yes" in out
+
+    def test_run_multiple_seeds(self, capsys):
+        assert (
+            main(["run", "las_vegas", "--n", "64", "--seeds", "0", "1", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("yes") >= 3
+
+    def test_run_adversarial_roots(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "adversarial_2round",
+                    "--n",
+                    "128",
+                    "--roots",
+                    "4",
+                    "--param",
+                    "epsilon=0.02",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Theorem 4.1" in out
+
+    def test_run_async(self, capsys):
+        assert main(["run", "async_tradeoff", "--n", "64", "--param", "k=2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 5.1" in out
+
+    def test_run_async_ag_simultaneous(self, capsys):
+        assert main(["run", "async_afek_gafni", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out
+
+    def test_run_small_id_gets_small_universe(self, capsys):
+        assert main(["run", "small_id", "--n", "64", "--param", "d=8"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+
+class TestBounds:
+    def test_bounds_table(self, capsys):
+        assert main(["bounds", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 3.8" in out
+        assert "Thm 5.14" in out
+        assert "262,144" in out  # (n/2)^2 at n=1024
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

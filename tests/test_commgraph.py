@@ -1,0 +1,127 @@
+"""Communication graphs and component capacity (repro.lowerbound.commgraph)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ImprovedTradeoffElection
+from repro.lowerbound import CommGraph, CommGraphRecorder
+from repro.sync.engine import SyncNetwork
+
+
+class TestUnionFind:
+    def test_initially_all_singletons(self):
+        g = CommGraph(5)
+        assert g.component_count == 5
+        assert g.largest_component_size() == 1
+        assert g.component_sizes() == [1, 1, 1, 1, 1]
+
+    def test_add_edge_merges(self):
+        g = CommGraph(5)
+        assert g.add_edge(0, 1)
+        assert g.same_component(0, 1)
+        assert g.component_count == 4
+        assert g.component_size(0) == 2
+
+    def test_duplicate_edge_no_effect(self):
+        g = CommGraph(5)
+        g.add_edge(0, 1)
+        assert not g.add_edge(0, 1)
+        assert g.edge_count == 1
+
+    def test_reverse_edge_counts_separately(self):
+        g = CommGraph(5)
+        g.add_edge(0, 1)
+        assert g.add_edge(1, 0)
+        assert g.edge_count == 2
+        assert g.component_size(0) == 2  # still one component
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CommGraph(3).add_edge(1, 1)
+
+    def test_members(self):
+        g = CommGraph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert sorted(g.component_members(2)) == [0, 1, 2]
+
+    def test_chain_merge(self):
+        g = CommGraph(8)
+        for u in range(7):
+            g.add_edge(u, u + 1)
+        assert g.component_count == 1
+        assert g.largest_component_size() == 8
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_component_sizes_sum_to_n(self, edges):
+        g = CommGraph(20)
+        for u, v in edges:
+            if u != v:
+                g.add_edge(u, v)
+        assert sum(g.component_sizes()) == 20
+        assert g.component_count == len(g.component_sizes())
+
+
+class TestCapacity:
+    def test_fresh_pair_capacity_zero(self):
+        # Two nodes that talked: each has 0 uncontacted peers inside.
+        g = CommGraph(4)
+        g.add_edge(0, 1)
+        assert g.capacity(0) == 0
+
+    def test_triangle_missing_one_contact(self):
+        g = CommGraph(5)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        # component {0,1,2}: node 0 contacted 1 (not 2) -> 1 free;
+        # node 1 contacted both -> 0 free; capacity = 0.
+        assert g.capacity(0) == 0
+        assert g.node_capacity(0) == 1
+        assert g.node_capacity(1) == 0
+
+    def test_star_capacity(self):
+        g = CommGraph(6)
+        for v in range(1, 5):
+            g.add_edge(0, v)
+        # leaves have 3 uncontacted peers each; center has 0.
+        assert g.node_capacity(1) == 3
+        assert g.capacity(1) == 0
+
+    def test_uncontacted_in_component(self):
+        g = CommGraph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.uncontacted_in_component(0) == [2]
+        assert g.uncontacted_in_component(1) == []
+
+
+class TestRecorder:
+    def test_recorder_tracks_algorithm_run(self):
+        n = 64
+        graph = CommGraph(n)
+        recorder = CommGraphRecorder(graph)
+        net = SyncNetwork(
+            n, lambda: ImprovedTradeoffElection(ell=3), seed=2, recorder=recorder
+        )
+        result = net.run()
+        assert result.unique_leader
+        # Final broadcast connects everything into one component.
+        assert graph.largest_component_size() == n
+        # Growth snapshots exist for every send round.
+        assert set(recorder.largest_by_round) == set(result.metrics.sends_by_round)
+        # Largest component is monotone in rounds.
+        series = [recorder.largest_by_round[r] for r in sorted(recorder.largest_by_round)]
+        assert series == sorted(series)
+
+    def test_edge_count_at_most_messages(self):
+        n = 32
+        graph = CommGraph(n)
+        net = SyncNetwork(
+            n,
+            lambda: ImprovedTradeoffElection(ell=3),
+            seed=0,
+            recorder=CommGraphRecorder(graph),
+        )
+        result = net.run()
+        assert graph.edge_count <= result.messages

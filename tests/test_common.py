@@ -1,0 +1,33 @@
+"""Shared value types (repro.common)."""
+
+import pytest
+
+from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
+
+
+class TestMessageKind:
+    def test_tuple_with_tag(self):
+        assert message_kind(("compete", 42)) == "compete"
+
+    def test_bare_string(self):
+        assert message_kind("wake") == "wake"
+
+    def test_untagged_tuple(self):
+        assert message_kind((1, 2)) == "tuple"
+
+    def test_empty_tuple(self):
+        assert message_kind(()) == "tuple"
+
+    def test_other_types(self):
+        assert message_kind(42) == "int"
+        assert message_kind(None) == "NoneType"
+
+
+class TestDecision:
+    def test_values(self):
+        assert Decision.LEADER.value == "leader"
+        assert Decision.NON_LEADER.value == "non_leader"
+
+    def test_exceptions_are_runtime_errors(self):
+        assert issubclass(ProtocolError, RuntimeError)
+        assert issubclass(SimulationLimitExceeded, RuntimeError)

@@ -1,0 +1,97 @@
+"""CONGEST bit accounting (repro.congest)."""
+
+import pytest
+
+from repro.congest import (
+    CongestAuditor,
+    CongestViolation,
+    assert_congest,
+    congest_budget,
+    payload_bits,
+)
+from repro.core import (
+    AsyncAfekGafniElection,
+    AsyncTradeoffElection,
+    ImprovedTradeoffElection,
+    Kutten16Election,
+    LasVegasElection,
+)
+from repro.asyncnet.engine import AsyncNetwork
+from repro.sync.engine import SyncNetwork
+
+
+class TestPayloadBits:
+    def test_tag_only(self):
+        assert payload_bits(("win",)) == 8
+
+    def test_int_field(self):
+        assert payload_bits(("compete", 255)) == 8 + 8
+        assert payload_bits(("compete", 1)) == 8 + 1
+
+    def test_bool_field(self):
+        assert payload_bits(("confirm_reply", True)) == 8 + 1
+
+    def test_nested_fields(self):
+        assert payload_bits(("rank", 7, 3)) == 8 + 3 + 2
+
+    def test_none(self):
+        assert payload_bits(None) == 1
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            payload_bits(("x", [1, 2]))
+
+    def test_budget_scales_with_log_n(self):
+        assert congest_budget(2**20) > congest_budget(2**10)
+
+    def test_assert_congest(self):
+        assert_congest(("compete", 100), 1024)
+        with pytest.raises(CongestViolation):
+            assert_congest(("huge", 2 ** (64 * 20)), 1024, factor=1.0)
+
+
+class TestAlgorithmsAreCongest:
+    """§2: 'our algorithms have their claimed complexities also under the
+    CONGEST model' — every message must fit in O(log n) bits."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ImprovedTradeoffElection(ell=5),
+            lambda: Kutten16Election(),
+            lambda: LasVegasElection(),
+        ],
+        ids=["improved", "kutten16", "las_vegas"],
+    )
+    def test_sync_algorithms(self, factory):
+        n = 128
+        auditor = CongestAuditor(n)
+        result = SyncNetwork(n, factory, seed=1, recorder=auditor).run()
+        assert auditor.messages == result.messages
+        assert 0 < auditor.max_bits <= congest_budget(n)
+
+    @pytest.mark.parametrize(
+        "factory,simultaneous",
+        [
+            (lambda: AsyncTradeoffElection(k=2), False),
+            (AsyncAfekGafniElection, True),
+        ],
+        ids=["async_tradeoff", "async_ag"],
+    )
+    def test_async_algorithms(self, factory, simultaneous):
+        n = 128
+        auditor = CongestAuditor(n)
+        wake_times = {u: 0.0 for u in range(n)} if simultaneous else None
+        result = AsyncNetwork(
+            n, factory, seed=1, recorder=auditor, wake_times=wake_times
+        ).run()
+        assert auditor.messages == result.messages
+        assert auditor.max_bits <= congest_budget(n)
+
+    def test_total_bits_accumulate(self):
+        n = 64
+        auditor = CongestAuditor(n)
+        SyncNetwork(
+            n, lambda: ImprovedTradeoffElection(ell=3), seed=0, recorder=auditor
+        ).run()
+        assert auditor.total_bits >= auditor.messages  # >= 1 bit each

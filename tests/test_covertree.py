@@ -1,0 +1,162 @@
+"""Cover-tree reconstruction (Lemmas 5.4-5.8 machinery)."""
+
+import pytest
+
+from repro.asyncnet import AsyncNetwork, TargetedDelayScheduler, UnitDelayScheduler
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.core import AsyncTradeoffElection
+from repro.lowerbound.covertree import CoverTree, build_cover_tree
+from repro.net.ports import CanonicalPortMap
+from repro.trace import MemoryRecorder
+
+
+class Chain(AsyncAlgorithm):
+    """Node i wakes node i+1 (canonical ports): a path cover tree."""
+
+    def on_wake(self, ctx):
+        if ctx.node < ctx.n - 1:
+            ctx.send(0, ("next",))  # canonical port 0 -> node+1
+
+    def on_message(self, ctx, port, payload):
+        pass
+
+
+class Star(AsyncAlgorithm):
+    """Node 0 wakes everyone directly: a star cover tree."""
+
+    def on_wake(self, ctx):
+        if ctx.node == 0:
+            ctx.broadcast(("hi",))
+
+    def on_message(self, ctx, port, payload):
+        pass
+
+
+def run_with_tree(n, factory, **kw):
+    rec = MemoryRecorder()
+    net = AsyncNetwork(
+        n, factory, recorder=rec, scheduler=UnitDelayScheduler(), **kw
+    )
+    result = net.run()
+    return result, build_cover_tree(n, rec)
+
+
+class TestSyntheticTrees:
+    def test_chain_is_a_path(self):
+        n = 6
+        _, tree = run_with_tree(n, Chain, port_map=CanonicalPortMap(n))
+        assert tree.covered == n
+        assert tree.roots == [0]
+        assert tree.height() == n - 1
+        assert tree.parent[3] == 2
+        assert tree.branching() == [1] * (n - 1)
+
+    def test_star_has_depth_one(self):
+        n = 8
+        _, tree = run_with_tree(n, Star)
+        assert tree.height() == 1
+        assert tree.branching() == [n - 1]
+        assert tree.children(0) and len(tree.children(0)) == n - 1
+
+    def test_multiple_roots(self):
+        n = 6
+        _, tree = run_with_tree(
+            n, Chain, port_map=CanonicalPortMap(n), wake_times={0: 0.0, 3: 0.0}
+        )
+        assert sorted(tree.roots) == [0, 3]
+        assert tree.depth(2) == 2  # 0 -> 1 -> 2
+        assert tree.depth(4) == 1  # 3 -> 4
+
+    def test_never_woken_nodes_absent(self):
+        class Silent(AsyncAlgorithm):
+            def on_message(self, ctx, port, payload):
+                pass
+
+        n = 5
+        _, tree = run_with_tree(n, Silent, wake_times={2: 0.0})
+        assert tree.covered == 1
+        assert tree.roots == [2]
+
+    def test_wake_front_progression(self):
+        n = 5
+        _, tree = run_with_tree(n, Chain, port_map=CanonicalPortMap(n))
+        front = tree.wake_times_by_depth()
+        assert front == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+
+class TestAlgorithm2CoverTree:
+    """The Lemma 5.7 claims on the real wake-up phase."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_height_at_most_k_plus_2(self, k):
+        n = 512
+        result, tree = run_with_tree(n, lambda: AsyncTradeoffElection(k=k), seed=k, max_events=8_000_000)
+        assert tree.covered == n  # Lemma 5.2: everyone wakes
+        assert tree.height() <= k + 2, (k, tree.height())
+
+    def test_single_root_by_default(self):
+        _, tree = run_with_tree(256, lambda: AsyncTradeoffElection(k=2), max_events=8_000_000)
+        assert tree.roots == [0]
+
+    def test_wake_completion_within_k_plus_4(self):
+        k, n = 3, 512
+        _, tree = run_with_tree(n, lambda: AsyncTradeoffElection(k=k), seed=1, max_events=8_000_000)
+        assert max(tree.wake_time.values()) <= k + 4  # Lemma 5.2
+
+    def test_branching_at_least_one_for_internal(self):
+        _, tree = run_with_tree(256, lambda: AsyncTradeoffElection(k=2), seed=2, max_events=8_000_000)
+        assert min(tree.branching()) >= 1
+
+
+class TestTargetedScheduler:
+    def test_kind_delays_validated(self):
+        with pytest.raises(ValueError):
+            TargetedDelayScheduler({"win": 0.0})
+        with pytest.raises(ValueError):
+            TargetedDelayScheduler({}, default=2.0)
+
+    def test_kind_routing(self):
+        sched = TargetedDelayScheduler({"fast": 0.01, "slow": 1.0}, default=0.5)
+        assert sched.delay(0, 1, 0.0, ("fast", 1)) == 0.01
+        assert sched.delay(0, 1, 0.0, ("slow",)) == 1.0
+        assert sched.delay(0, 1, 0.0, ("other",)) == 0.5
+        assert sched.delay(0, 1, 0.0, "slow") == 1.0
+        assert sched.delay(0, 1, 0.0, 42) == 0.5
+
+    @pytest.mark.parametrize(
+        "delays",
+        [
+            {"compete": 0.01, "win": 1.0},  # rush competes, stall verdicts
+            {"wake": 1.0, "compete": 0.01},  # competes overtake the wave
+            {"confirm": 1.0, "confirm_reply": 1.0},  # stretch consultations
+        ],
+        ids=["stall-wins", "rush-competes", "slow-consults"],
+    )
+    def test_algorithm2_safe_under_targeted_adversary(self, delays):
+        """The Lemma 5.9 interleavings: whatever the per-kind delays,
+        never two leaders."""
+        for seed in range(5):
+            net = AsyncNetwork(
+                256,
+                lambda: AsyncTradeoffElection(k=2),
+                seed=seed,
+                scheduler=TargetedDelayScheduler(delays),
+                max_events=8_000_000,
+            )
+            result = net.run()
+            assert len(result.leaders) <= 1, (delays, seed)
+
+    def test_async_ag_safe_under_targeted_adversary(self):
+        from repro.core import AsyncAfekGafniElection
+
+        for delays in ({"req": 0.01, "ack": 1.0}, {"cancel": 1.0}):
+            net = AsyncNetwork(
+                128,
+                AsyncAfekGafniElection,
+                seed=3,
+                scheduler=TargetedDelayScheduler(delays),
+                wake_times={u: 0.0 for u in range(128)},
+                max_events=8_000_000,
+            )
+            result = net.run()
+            assert result.unique_leader, delays

@@ -1,0 +1,119 @@
+"""Engine fuzzing: randomized protocols must never break engine invariants.
+
+A seeded "chaos protocol" takes arbitrary actions (sends over random
+ports, broadcasts, decisions, halts) driven by its node RNG.  Whatever it
+does, the engines must preserve:
+
+* conservation — delivered + in-flight-dropped == sent;
+* addressing — a message sent over (u, i) arrives exactly at the
+  resolved endpoint, on the reverse port;
+* FIFO per link (async);
+* monotone time / rounds;
+* decision irrevocability is enforced (the protocol is written to only
+  decide once — the enforcement tests live in the engine suites).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.asyncnet.engine import AsyncNetwork
+from repro.asyncnet.schedulers import UniformDelayScheduler
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncNetwork
+from repro.trace import MemoryRecorder
+
+
+class SyncChaos(SyncAlgorithm):
+    """Random sends/decisions for a bounded number of rounds."""
+
+    LIFETIME = 6
+
+    def on_round(self, ctx, inbox):
+        rng = ctx.rng
+        if ctx.round - ctx.wake_round >= self.LIFETIME:
+            if ctx.decision is None:
+                ctx.decide_follower()
+            ctx.halt()
+            return
+        for _ in range(rng.randrange(0, 3)):
+            ctx.send(rng.randrange(ctx.port_count), ("c", ctx.my_id, ctx.round))
+        if rng.random() < 0.1 and ctx.decision is None:
+            ctx.decide_follower()
+
+
+class AsyncChaos(AsyncAlgorithm):
+    """Random fan-out on wake; random forwarding with decaying TTL."""
+
+    def on_wake(self, ctx):
+        rng = ctx.rng
+        for _ in range(rng.randrange(1, 4)):
+            ctx.send(rng.randrange(ctx.port_count), ("m", 3))
+
+    def on_message(self, ctx, port, payload):
+        _kind, ttl = payload
+        if ttl > 0 and ctx.rng.random() < 0.7:
+            ctx.send(ctx.rng.randrange(ctx.port_count), ("m", ttl - 1))
+
+
+@given(n=st.integers(2, 40), seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_sync_chaos_conservation(n, seed):
+    rec = MemoryRecorder()
+    net = SyncNetwork(n, SyncChaos, seed=seed, recorder=rec, max_rounds=200)
+    result = net.run()
+    sends = rec.of_kind("send")
+    assert len(sends) == result.messages
+    # Addressing: every send's recorded endpoint respects the port map.
+    for event in sends:
+        port, v, peer_port, _payload = event.detail
+        assert net.port_map.resolve(event.node, port) == (v, peer_port)
+        assert net.port_map.resolve(v, peer_port) == (event.node, port)
+    # Time monotonicity of the trace.
+    whens = [e.when for e in rec.events]
+    assert whens == sorted(whens)
+    # All awake nodes eventually halted (engine quiescence).
+    assert result.rounds_executed <= 200
+
+
+@given(n=st.integers(2, 32), seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_async_chaos_conservation_and_fifo(n, seed):
+    rec = MemoryRecorder()
+    scheduler = UniformDelayScheduler(random.Random(seed))
+    net = AsyncNetwork(
+        n, AsyncChaos, seed=seed, scheduler=scheduler, recorder=rec, max_events=100_000
+    )
+    result = net.run()
+    sends = rec.of_kind("send")
+    delivers = rec.of_kind("deliver")
+    # conservation: nothing halted here, so every send is delivered.
+    assert len(sends) == result.messages
+    assert len(delivers) == len(sends) - result.dropped_deliveries
+    # FIFO per link: per (dst, port), deliveries carry the payloads in
+    # send order.
+    sent_per_link = {}
+    for event in sends:
+        port, v, peer_port, payload = event.detail
+        sent_per_link.setdefault((v, peer_port), []).append(payload)
+    got_per_link = {}
+    for event in delivers:
+        port, payload = event.detail
+        got_per_link.setdefault((event.node, port), []).append(payload)
+    for link, got in got_per_link.items():
+        assert got == sent_per_link[link][: len(got)], link
+    # Event times monotone.
+    whens = [e.when for e in rec.events]
+    assert whens == sorted(whens)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_chaos_is_reproducible(seed):
+    def once():
+        rec = MemoryRecorder()
+        SyncNetwork(24, SyncChaos, seed=seed, recorder=rec, max_rounds=200).run()
+        return [(e.kind, e.when, e.node, e.detail) for e in rec.events]
+
+    assert once() == once()

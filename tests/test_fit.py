@@ -1,0 +1,93 @@
+"""Power-law fitting (repro.analysis.fit)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import fit_polylog, fit_power_law
+from repro.analysis.fit import local_exponents
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_power_law(self):
+        xs = [2**i for i in range(5, 12)]
+        ys = [3.5 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.5, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100, 1000], [20, 200, 2000])
+        assert fit.predict(500) == pytest.approx(1000, rel=1e-6)
+
+    def test_noisy_data_reasonable(self):
+        xs = [2**i for i in range(6, 14)]
+        ys = [x**2 * (1 + 0.05 * ((i * 37) % 7 - 3) / 3) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 0], [1, 2, 3])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, -2, 3])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [100])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5, 5], [1, 2, 3])
+
+    @given(
+        st.floats(0.2, 3.0),
+        st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, exponent, coefficient):
+        xs = [10.0, 100.0, 1000.0, 10000.0]
+        ys = [coefficient * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+
+    def test_str_contains_exponent(self):
+        fit = fit_power_law([10, 100], [10, 1000])
+        assert "n^2.000" in str(fit)
+
+
+class TestFitPolylog:
+    def test_removes_log_factor(self):
+        xs = [2**i for i in range(6, 14)]
+        ys = [x**0.5 * math.log2(x) ** 1.5 for x in xs]
+        plain = fit_power_law(xs, ys)
+        corrected = fit_polylog(xs, ys, log_power=1.5)
+        # The plain fit over-estimates the exponent; the corrected fit
+        # recovers 0.5 exactly.
+        assert plain.exponent > 0.6
+        assert corrected.exponent == pytest.approx(0.5, abs=1e-9)
+        assert corrected.log_power == 1.5
+
+    def test_predict_includes_log(self):
+        xs = [2**i for i in range(6, 12)]
+        ys = [7 * x * math.log2(x) for x in xs]
+        fit = fit_polylog(xs, ys, log_power=1.0)
+        assert fit.predict(4096) == pytest.approx(7 * 4096 * 12, rel=1e-6)
+
+
+class TestLocalExponents:
+    def test_constant_for_pure_power(self):
+        xs = [10, 100, 1000]
+        ys = [x**1.3 for x in xs]
+        slopes = local_exponents(xs, ys)
+        assert all(s == pytest.approx(1.3) for s in slopes)
+
+    def test_detects_drift(self):
+        xs = [2**i for i in range(4, 12)]
+        ys = [x * math.log2(x) for x in xs]  # exponent drifts toward 1
+        slopes = local_exponents(xs, ys)
+        assert slopes == sorted(slopes, reverse=True)
+        assert all(s > 1.0 for s in slopes)

@@ -1,0 +1,118 @@
+"""ID universes and assignments (repro.ids)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ids import (
+    IdUniverse,
+    assign_adversarial_spread,
+    assign_contiguous,
+    assign_random,
+    log_universe_size,
+    small_universe,
+    time_bounded_universe,
+    tradeoff_universe,
+    validate_assignment,
+)
+
+
+class TestIdUniverse:
+    def test_size(self):
+        assert IdUniverse(1, 10).size == 10
+
+    def test_membership(self):
+        u = IdUniverse(5, 9)
+        assert 5 in u and 9 in u
+        assert 4 not in u and 10 not in u
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IdUniverse(3, 2)
+
+    def test_sample_distinct(self):
+        u = IdUniverse(1, 100)
+        ids = u.sample(50, random.Random(0))
+        assert len(set(ids)) == 50
+        assert all(i in u for i in ids)
+
+    def test_sample_too_many(self):
+        with pytest.raises(ValueError):
+            IdUniverse(1, 5).sample(6, random.Random(0))
+
+
+class TestUniverseConstructors:
+    def test_tradeoff_universe_size(self):
+        # Theorem 3.8 needs >= 2 n log2 n + n.
+        n = 1024
+        u = tradeoff_universe(n)
+        assert u.size >= 2 * n * math.log2(n) + n - 1
+
+    def test_tradeoff_universe_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            tradeoff_universe(1)
+
+    def test_small_universe(self):
+        u = small_universe(100, g=3)
+        assert u.lo == 1 and u.hi == 300
+
+    def test_small_universe_rejects_nonpositive_g(self):
+        with pytest.raises(ValueError):
+            small_universe(10, g=0)
+
+    def test_time_bounded_universe_small_case(self):
+        u = time_bounded_universe(16, 2)
+        # size n * log2(n) * T^(log2 n - 1) = 16*4*2^3 = 512
+        assert u.size >= 512
+
+    def test_time_bounded_universe_overflows(self):
+        with pytest.raises(OverflowError):
+            time_bounded_universe(1 << 16, 1 << 16)
+
+    def test_log_universe_size(self):
+        assert log_universe_size(IdUniverse(1, 1024)) == 10.0
+
+
+class TestAssignments:
+    def test_random_assignment_valid(self):
+        u = tradeoff_universe(64)
+        ids = assign_random(u, 64, random.Random(1))
+        validate_assignment(ids, u)
+
+    def test_spread_assignment_monotone_distinct(self):
+        u = IdUniverse(1, 1000)
+        ids = assign_adversarial_spread(u, 100)
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+        assert ids[0] == 1 and ids[-1] == 1000
+
+    def test_spread_single(self):
+        assert assign_adversarial_spread(IdUniverse(7, 20), 1) == [7]
+
+    def test_spread_full_universe(self):
+        u = IdUniverse(1, 10)
+        assert assign_adversarial_spread(u, 10) == list(range(1, 11))
+
+    def test_contiguous(self):
+        u = small_universe(10, g=2)
+        assert assign_contiguous(u, 5, offset=3) == [4, 5, 6, 7, 8]
+
+    def test_contiguous_overflow(self):
+        with pytest.raises(ValueError):
+            assign_contiguous(IdUniverse(1, 10), 8, offset=5)
+
+    def test_validate_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            validate_assignment([1, 2, 2])
+
+    def test_validate_rejects_outside(self):
+        with pytest.raises(ValueError):
+            validate_assignment([1, 99], IdUniverse(1, 10))
+
+    @given(st.integers(2, 200), st.integers(0, 5))
+    def test_spread_always_valid(self, n, seed):
+        u = tradeoff_universe(max(n, 2))
+        ids = assign_adversarial_spread(u, n)
+        validate_assignment(ids, u)

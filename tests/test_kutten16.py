@@ -1,0 +1,150 @@
+"""The Kutten et al. [16] 2-round Monte Carlo baseline (repro.core.kutten16)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Kutten16Election
+from repro.lowerbound import bounds
+from repro.analysis import success_rate
+
+from tests.helpers import make_ids, run_sync
+
+
+class TestParameters:
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            Kutten16Election(candidate_coeff=0)
+        with pytest.raises(ValueError):
+            Kutten16Election(referee_coeff=-1)
+
+    def test_candidate_probability_shrinks(self):
+        algo = Kutten16Election()
+        assert algo.candidate_probability(64) > algo.candidate_probability(4096)
+
+    def test_referee_count_scales_like_sqrt_n_log_n(self):
+        algo = Kutten16Election(referee_coeff=1.0)
+        n = 4096
+        expected = math.sqrt(n * math.log(n))
+        assert abs(algo.referee_count(n) - expected) <= 1
+
+    def test_referee_count_capped(self):
+        algo = Kutten16Election(referee_coeff=100.0)
+        assert algo.referee_count(16) == 15
+
+
+class TestCorrectness:
+    def test_two_rounds_only(self):
+        result = run_sync(512, Kutten16Election, seed=0)
+        assert result.last_send_round == 2
+
+    def test_whp_unique_leader(self):
+        results = [run_sync(512, Kutten16Election, seed=s) for s in range(20)]
+        rate = success_rate(results, lambda r: r.unique_leader)
+        assert rate >= 0.95, rate
+
+    def test_all_nodes_decide(self):
+        result = run_sync(256, Kutten16Election, seed=3)
+        assert result.decided_count == 256
+
+    def test_implicit_election_no_two_leaders(self):
+        # Two leaders are a catastrophic failure; zero leaders is the
+        # tolerated whp failure mode.
+        for seed in range(30):
+            result = run_sync(256, Kutten16Election, seed=seed)
+            assert len(result.leaders) <= 1
+
+    def test_n_one(self):
+        result = run_sync(1, Kutten16Election, seed=0)
+        assert result.unique_leader
+
+    def test_forced_all_candidates_still_at_most_one_leader(self):
+        # candidate_coeff huge -> every node competes; the max rank holder
+        # must win all its referees or nobody does.
+        for seed in range(5):
+            result = run_sync(64, lambda: Kutten16Election(candidate_coeff=1e9), seed=seed)
+            assert len(result.leaders) <= 1
+
+    @given(st.integers(16, 256), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_never_two_leaders_property(self, n, seed):
+        result = run_sync(n, Kutten16Election, ids=make_ids(n, seed), seed=seed)
+        assert len(result.leaders) <= 1
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n", [256, 1024, 4096])
+    def test_messages_scale_sublinearly(self, n):
+        result = run_sync(n, Kutten16Election, seed=1)
+        # paper bound with generous constant (candidates ~ 2 ln n, each
+        # sending ~2 sqrt(n ln n) competes plus as many responses)
+        bound = 12 * bounds.kutten16_messages(n)
+        assert result.messages <= bound, (n, result.messages, bound)
+
+    def test_relative_cost_shrinks_with_n(self):
+        # Sublinearity in relative terms: the per-node message cost
+        # decreases as n grows (theory: ~log^1.5(n)/sqrt(n)).  The
+        # candidate count is random, so average over seeds and compare
+        # the endpoints of the sweep.
+        def mean_per_node(n):
+            totals = [run_sync(n, Kutten16Election, seed=s).messages for s in range(6)]
+            return sum(totals) / (6 * n)
+
+        assert mean_per_node(1024) > 1.5 * mean_per_node(16384)
+
+    def test_deterministic_message_bound_holds(self):
+        algo = Kutten16Election()
+        n = 512
+        result = run_sync(n, Kutten16Election, seed=5)
+        assert result.messages <= algo.message_bound(n)
+
+    def test_above_sqrt_n_lower_bound(self):
+        # [16]'s own Omega(sqrt n) lower bound: any run that elects a
+        # leader moved at least ~sqrt(n) messages.
+        for seed in range(5):
+            result = run_sync(1024, Kutten16Election, seed=seed)
+            if result.unique_leader:
+                assert result.messages >= bounds.kutten16_lb(1024)
+
+
+class TestRefereeOverlapInvariant:
+    """[16]'s uniqueness engine: with m = Theta(sqrt(n log n)) referees,
+    any two candidates share one whp — check it holds in actual runs."""
+
+    def test_pairwise_overlap_in_practice(self):
+        from repro.sync.engine import SyncNetwork
+        from repro.trace import MemoryRecorder
+
+        n = 1024
+        overlaps_checked = 0
+        for seed in range(5):
+            rec = MemoryRecorder()
+            net = SyncNetwork(n, Kutten16Election, seed=seed, recorder=rec)
+            net.run()
+            referees = {}
+            for e in rec.of_kind("send"):
+                port, v, peer_port, payload = e.detail
+                if payload[0] == "compete":
+                    referees.setdefault(e.node, set()).add(v)
+            candidates = sorted(referees)
+            for i, a in enumerate(candidates):
+                for b in candidates[i + 1 :]:
+                    overlaps_checked += 1
+                    assert referees[a] & referees[b], (seed, a, b)
+        assert overlaps_checked >= 10  # enough pairs to be meaningful
+
+    def test_winner_is_max_rank_candidate(self):
+        from repro.sync.engine import SyncNetwork
+
+        for seed in range(5):
+            net = SyncNetwork(512, Kutten16Election, seed=seed)
+            result = net.run()
+            if not result.unique_leader:
+                continue
+            ranks = {
+                u: algo.rank
+                for u, algo in enumerate(net.algorithms)
+                if algo.candidate
+            }
+            assert result.leaders[0] == max(ranks, key=ranks.get)

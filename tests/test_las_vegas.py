@@ -1,0 +1,124 @@
+"""Theorem 3.16 Las Vegas election (repro.core.las_vegas)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LasVegasElection
+from repro.lowerbound import bounds
+
+from tests.helpers import make_ids, run_sync
+
+
+class TestBasics:
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            LasVegasElection(candidate_coeff=0)
+
+    def test_three_rounds_whp(self):
+        successes = 0
+        for seed in range(15):
+            result = run_sync(256, LasVegasElection, seed=seed)
+            assert result.unique_leader  # Las Vegas: never wrong
+            successes += result.last_send_round == 3
+        assert successes >= 13
+
+    def test_explicit_agreement(self):
+        result = run_sync(128, LasVegasElection, seed=1)
+        assert result.unique_leader
+        assert result.decided_count == 128
+        assert result.explicit_agreement()
+
+    def test_n_one(self):
+        result = run_sync(1, LasVegasElection, seed=0)
+        assert result.unique_leader
+
+
+class TestLasVegasProperty:
+    """Las Vegas means: however the coins fall, the output is correct."""
+
+    @given(st.integers(8, 128), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_always_exactly_one_leader(self, n, seed):
+        result = run_sync(n, LasVegasElection, ids=make_ids(n, seed), seed=seed)
+        assert result.unique_leader
+        assert result.decided_count == n
+
+    def test_all_candidates_every_phase_still_correct(self):
+        # Maximal contention: everyone is a candidate.
+        for seed in range(5):
+            result = run_sync(
+                64, lambda: LasVegasElection(candidate_prob_fn=lambda n, p: 1.0), seed=seed
+            )
+            assert result.unique_leader
+
+
+class TestRestarts:
+    def test_forced_restart_no_candidates_phase_zero(self):
+        """Failure injection: phase 0 has zero candidates, so every node
+        must restart; phase 1 runs normally and elects."""
+
+        def prob(n, phase):
+            return 0.0 if phase == 0 else 1.0
+
+        result = run_sync(32, lambda: LasVegasElection(candidate_prob_fn=prob), seed=0)
+        assert result.unique_leader
+        # Phase 1 decision round is 3*1 + 4 = round 7; announcements in
+        # round 6.
+        assert result.last_send_round == 6
+
+    def test_multiple_forced_restarts(self):
+        def prob(n, phase):
+            return 0.0 if phase < 3 else 1.0
+
+        result = run_sync(24, lambda: LasVegasElection(candidate_prob_fn=prob), seed=0)
+        assert result.unique_leader
+        assert result.last_send_round == 3 * 3 + 3
+
+    def test_restart_counter_recorded(self):
+        def prob(n, phase):
+            return 0.0 if phase == 0 else 1.0
+
+        from repro.sync.engine import SyncNetwork
+
+        net = SyncNetwork(16, lambda: LasVegasElection(candidate_prob_fn=prob), seed=0)
+        net.run()
+        assert all(a.phases_run >= 1 for a in net.algorithms)
+
+    def test_collision_restart_is_consistent(self):
+        """With every node a candidate and referee sets small enough for
+        frequent multi-winner collisions, no run may ever end with two
+        leaders — nodes restart in lockstep until a clean phase."""
+        saw_restart = False
+        for seed in range(10):
+            result = run_sync(
+                16,
+                lambda: LasVegasElection(candidate_coeff=1e9, referee_coeff=0.4),
+                seed=seed,
+                max_rounds=2000,
+            )
+            assert result.unique_leader
+            saw_restart |= result.last_send_round > 3
+        assert saw_restart  # the parameterization did exercise restarts
+
+
+class TestComplexity:
+    def test_expected_messages_linear(self):
+        n = 1024
+        totals = [run_sync(n, LasVegasElection, seed=s).messages for s in range(10)]
+        mean = sum(totals) / len(totals)
+        # O(n) with a modest constant: announcement (n-1) + competes.
+        assert mean <= 20 * bounds.thm316_las_vegas_messages(n), mean
+
+    def test_messages_at_least_announcement(self):
+        # The Omega(n) side: a correct Las Vegas run must move >= n-1
+        # messages (here: the announcement broadcast alone is n-1).
+        for seed in range(5):
+            result = run_sync(512, LasVegasElection, seed=seed)
+            assert result.messages >= bounds.thm316_las_vegas_lb(512) - 1
+
+    def test_dominated_by_announcement_for_large_n(self):
+        n = 4096
+        result = run_sync(n, LasVegasElection, seed=3)
+        announce = result.metrics.messages_by_kind.get("announce", 0)
+        assert announce >= n - 1
+        assert announce <= result.messages <= announce + 12 * bounds.kutten16_messages(n)

@@ -1,0 +1,117 @@
+"""Exact integer power/log helpers (repro.mathutil)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutil import (
+    ceil_log2,
+    ceil_pow_frac,
+    ceil_sqrt,
+    floor_log2,
+    floor_pow_frac,
+)
+
+
+class TestCeilPowFrac:
+    def test_square_root_exact(self):
+        assert ceil_pow_frac(1024, 1, 2) == 32
+
+    def test_square_root_inexact(self):
+        assert ceil_pow_frac(1000, 1, 2) == 32  # 31^2=961 < 1000 <= 1024
+
+    def test_identity_power(self):
+        assert ceil_pow_frac(77, 1, 1) == 77
+
+    def test_power_greater_than_one(self):
+        assert ceil_pow_frac(10, 3, 2) == 32  # 10^1.5 = 31.62...
+
+    def test_num_zero(self):
+        assert ceil_pow_frac(99, 0, 3) == 1
+
+    def test_n_one(self):
+        assert ceil_pow_frac(1, 5, 2) == 1
+
+    def test_cube_root(self):
+        assert ceil_pow_frac(27, 1, 3) == 3
+        assert ceil_pow_frac(28, 1, 3) == 4
+
+    def test_no_float_inflation(self):
+        # 2^20 with exponent 1/2: float gives 1024.0000000000001-style
+        # noise; the exact result must be 1024, not 1025.
+        assert ceil_pow_frac(2**20, 1, 2) == 1024
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_pow_frac(0, 1, 2)
+        with pytest.raises(ValueError):
+            ceil_pow_frac(4, -1, 2)
+        with pytest.raises(ValueError):
+            ceil_pow_frac(4, 1, 0)
+
+    @given(st.integers(2, 10_000), st.integers(1, 4), st.integers(1, 4))
+    def test_is_exact_ceiling(self, n, num, den):
+        m = ceil_pow_frac(n, num, den)
+        assert m**den >= n**num
+        assert (m - 1) ** den < n**num
+
+
+class TestFloorPowFrac:
+    def test_square_root(self):
+        assert floor_pow_frac(1000, 1, 2) == 31
+
+    def test_exact(self):
+        assert floor_pow_frac(1024, 1, 2) == 32
+
+    @given(st.integers(2, 10_000), st.integers(1, 4), st.integers(1, 4))
+    def test_is_exact_floor(self, n, num, den):
+        m = floor_pow_frac(n, num, den)
+        assert m**den <= n**num
+        assert (m + 1) ** den > n**num
+
+
+class TestLogs:
+    def test_ceil_log2_powers(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(1024) == 10
+
+    def test_ceil_log2_between(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1025) == 11
+
+    def test_floor_log2(self):
+        assert floor_log2(1) == 0
+        assert floor_log2(1023) == 9
+        assert floor_log2(1024) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+        with pytest.raises(ValueError):
+            floor_log2(0)
+
+    @given(st.integers(1, 1 << 40))
+    def test_log_consistency(self, n):
+        assert 2 ** ceil_log2(n) >= n
+        assert 2 ** floor_log2(n) <= n
+
+
+class TestCeilSqrt:
+    def test_small(self):
+        assert ceil_sqrt(0) == 0
+        assert ceil_sqrt(1) == 1
+        assert ceil_sqrt(2) == 2
+        assert ceil_sqrt(4) == 2
+        assert ceil_sqrt(5) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ceil_sqrt(-1)
+
+    @given(st.integers(0, 1 << 50))
+    def test_is_ceiling(self, n):
+        r = ceil_sqrt(n)
+        assert r * r >= n
+        assert r == 0 or (r - 1) * (r - 1) < n

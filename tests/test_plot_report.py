@@ -1,0 +1,107 @@
+"""ASCII plotting and the Table 1 report generator."""
+
+import pytest
+
+from repro.analysis import bar_chart, scatter
+from repro.analysis.report import table1_report
+
+
+class TestBarChart:
+    def test_log_scale_bars(self):
+        text = bar_chart([("a", 10.0), ("b", 1000.0)], width=20)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "1,000" in lines[1]
+
+    def test_linear_scale(self):
+        text = bar_chart([("x", 5.0), ("y", 10.0)], width=10, log=False)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart([("a", 3.0)], unit="ms")
+
+
+class TestScatter:
+    def test_markers_and_legend(self):
+        text = scatter(
+            {"lb": [(10, 100), (100, 1000)], "ub": [(10, 500), (100, 20000)]},
+            width=30,
+            height=8,
+        )
+        assert "o=lb" in text
+        assert "x=ub" in text
+        assert text.count("o") >= 2  # both lb points rendered (plus legend)
+
+    def test_extremes_on_borders(self):
+        text = scatter({"s": [(1, 1), (1000, 1000)]}, width=20, height=5)
+        grid_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert grid_lines[0].rstrip("|").endswith("o")  # max in top-right
+        assert grid_lines[-1].lstrip("|").startswith("o")  # min bottom-left
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            scatter({"s": [(0, 1)]})
+
+    def test_linear_axes(self):
+        text = scatter({"s": [(0, 0), (10, 5)]}, logx=False, logy=False)
+        assert "linear" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter({})
+
+    def test_title_shown(self):
+        assert scatter({"s": [(1, 1), (2, 2)]}, title="frontier").startswith("frontier")
+
+
+class TestTable1Report:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return table1_report(n=128, seeds=(0,)).render()
+
+    def test_every_row_group_present(self, report_text):
+        for fragment in (
+            "LB Thm 3.8",
+            "Alg Thm 3.10 (ell=3)",
+            "Alg Thm 3.10 (ell=5)",
+            "LB Thm 3.11",
+            "Alg Thm 3.15",
+            "Alg [1] AG",
+            "LB [1]",
+            "Alg Thm 3.16 (Las Vegas)",
+            "LB Thm 3.16",
+            "Alg [16] (Monte Carlo)",
+            "Alg Thm 4.1",
+            "LB Thm 4.2",
+            "Alg Thm 5.1 (k=2)",
+            "Alg Thm 5.1 (k=4)",
+            "Alg [14]",
+            "Alg Thm 5.14",
+        ):
+            assert fragment in report_text, fragment
+
+    def test_sections_match_paper_groups(self, report_text):
+        assert "synchronous / deterministic / simultaneous wake-up" in report_text
+        assert "synchronous / deterministic / adversarial wake-up" in report_text
+        assert "synchronous / randomized / simultaneous wake-up" in report_text
+        assert "synchronous / randomized / adversarial wake-up" in report_text
+        assert "asynchronous / randomized" in report_text
+
+    def test_deterministic_rows_always_succeed(self, report_text):
+        # the deterministic algorithms must print success == yes
+        for line in report_text.splitlines():
+            if line.startswith(("Alg Thm 3.10", "Alg Thm 3.15", "Alg [1] AG", "Alg Thm 5.14")):
+                assert line.rstrip().endswith("yes"), line
+
+    def test_cli_report_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["report", "--n", "64", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1, regenerated at n=64" in out

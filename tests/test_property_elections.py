@@ -1,0 +1,154 @@
+"""Cross-algorithm property-based invariants (hypothesis).
+
+These are the paper's Section 2 requirements, checked uniformly across
+every algorithm: never more than one leader; decisions are never revoked;
+message conservation (everything delivered was sent); determinism per
+seed.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asyncnet.engine import AsyncNetwork
+from repro.core import (
+    AdversarialTwoRoundElection,
+    AfekGafniElection,
+    AsyncAfekGafniElection,
+    AsyncTradeoffElection,
+    ImprovedTradeoffElection,
+    Kutten16Election,
+    LasVegasElection,
+    SmallIdElection,
+)
+from repro.ids import assign_random, small_universe
+from repro.sync.engine import SyncNetwork
+from repro.trace import MemoryRecorder
+
+from tests.helpers import make_ids
+
+SYNC_CASES = [
+    ("improved3", lambda n, rng: ImprovedTradeoffElection(ell=3), None),
+    ("improved7", lambda n, rng: ImprovedTradeoffElection(ell=7), None),
+    ("afek_gafni", lambda n, rng: AfekGafniElection(ell=4), None),
+    ("kutten16", lambda n, rng: Kutten16Election(), None),
+    ("las_vegas", lambda n, rng: LasVegasElection(), None),
+    (
+        "adversarial2r",
+        lambda n, rng: AdversarialTwoRoundElection(epsilon=0.1),
+        lambda n, rng: rng.sample(range(n), rng.randint(1, n)),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,make,awake_fn", SYNC_CASES, ids=[c[0] for c in SYNC_CASES])
+@given(n=st.integers(4, 96), seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_sync_at_most_one_leader_and_sane_accounting(name, make, awake_fn, n, seed):
+    rng = random.Random(seed)
+    awake = awake_fn(n, rng) if awake_fn else None
+    rec = MemoryRecorder()
+    net = SyncNetwork(
+        n,
+        lambda: make(n, rng),
+        ids=make_ids(n, seed),
+        seed=seed,
+        awake=awake,
+        recorder=rec,
+        max_rounds=3000,
+    )
+    result = net.run()
+    # safety: never two leaders
+    assert len(result.leaders) <= 1
+    # accounting: recorder sends == metric sends; delivered <= sent
+    assert len(rec.of_kind("send")) == result.messages
+    # decisions only from awake nodes
+    assert result.decided_count <= result.awake_count
+    # time metric sanity
+    assert result.last_send_round <= result.rounds_executed
+
+
+@given(n=st.integers(4, 64), seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_small_id_always_elects_minimum(n, seed):
+    rng = random.Random(seed)
+    g = rng.randint(1, 3)
+    d = rng.randint(1, n)
+    ids = assign_random(small_universe(n, g), n, rng)
+    result = SyncNetwork(
+        n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=seed
+    ).run()
+    assert result.unique_leader
+    assert result.elected_id == min(ids)
+
+
+ASYNC_CASES = [
+    ("async_k2", lambda: AsyncTradeoffElection(k=2), False),
+    ("async_k4", lambda: AsyncTradeoffElection(k=4), False),
+    ("async_ag", AsyncAfekGafniElection, True),
+]
+
+
+@pytest.mark.parametrize("name,factory,simultaneous", ASYNC_CASES, ids=[c[0] for c in ASYNC_CASES])
+@given(n=st.integers(4, 64), seed=st.integers(0, 10_000))
+@settings(max_examples=12, deadline=None)
+def test_async_at_most_one_leader(name, factory, simultaneous, n, seed):
+    wake_times = {u: 0.0 for u in range(n)} if simultaneous else None
+    result = AsyncNetwork(
+        n,
+        factory,
+        ids=make_ids(n, seed),
+        seed=seed,
+        wake_times=wake_times,
+        max_events=2_000_000,
+    ).run()
+    assert len(result.leaders) <= 1
+    if name == "async_ag":
+        assert result.unique_leader  # deterministic safety + liveness
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_sync_runs_are_reproducible(seed):
+    def once():
+        rec = MemoryRecorder()
+        result = SyncNetwork(
+            48, Kutten16Election, seed=seed, recorder=rec
+        ).run()
+        return result.messages, result.leaders, len(rec.events)
+
+    assert once() == once()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_async_runs_are_reproducible(seed):
+    def once():
+        result = AsyncNetwork(
+            48, lambda: AsyncTradeoffElection(k=2), seed=seed, max_events=2_000_000
+        ).run()
+        return result.messages, result.leaders, result.time
+
+    assert once() == once()
+
+
+@given(n=st.integers(2, 64), seed=st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_deterministic_algorithms_ignore_node_rng(n, seed):
+    """The deterministic algorithms' outcome depends only on IDs (not on
+    the engine seed) once the port mapping is fixed."""
+    from repro.net.ports import CanonicalPortMap
+
+    ids = make_ids(n, seed)
+    outcomes = set()
+    for engine_seed in (seed, seed + 1):
+        result = SyncNetwork(
+            n,
+            lambda: ImprovedTradeoffElection(ell=3),
+            ids=ids,
+            seed=engine_seed,
+            port_map=CanonicalPortMap(n),
+        ).run()
+        outcomes.add((result.elected_id, result.messages, result.last_send_round))
+    assert len(outcomes) == 1

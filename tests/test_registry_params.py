@@ -1,0 +1,96 @@
+"""Registry factories accept their documented parameters end to end."""
+
+import pytest
+
+from repro.asyncnet.engine import AsyncNetwork
+from repro.core import get_algorithm
+from repro.sync.engine import SyncNetwork
+
+
+class TestParameterizedFactories:
+    def test_improved_tradeoff_ell(self):
+        spec = get_algorithm("improved_tradeoff")
+        result = SyncNetwork(64, spec.make(ell=7), seed=0).run()
+        assert result.unique_leader
+        assert result.last_send_round == 7
+
+    def test_afek_gafni_ell(self):
+        spec = get_algorithm("afek_gafni")
+        result = SyncNetwork(64, spec.make(ell=6), seed=0).run()
+        assert result.unique_leader
+        assert result.last_send_round == 7  # 2K+1
+
+    def test_small_id_d_and_g(self):
+        spec = get_algorithm("small_id")
+        ids = list(range(1, 65))
+        result = SyncNetwork(64, spec.make(d=16, g=1), ids=ids, seed=0).run()
+        assert result.unique_leader and result.elected_id == 1
+
+    def test_kutten16_coefficients(self):
+        spec = get_algorithm("kutten16")
+        result = SyncNetwork(
+            256, spec.make(candidate_coeff=8.0, referee_coeff=3.0), seed=0
+        ).run()
+        assert len(result.leaders) <= 1
+
+    def test_las_vegas_injection_hook(self):
+        spec = get_algorithm("las_vegas")
+        result = SyncNetwork(
+            32,
+            spec.make(candidate_prob_fn=lambda n, p: 0.0 if p == 0 else 1.0),
+            seed=0,
+        ).run()
+        assert result.unique_leader
+        assert result.last_send_round == 6  # one forced restart
+
+    def test_adversarial_2round_epsilon(self):
+        spec = get_algorithm("adversarial_2round")
+        result = SyncNetwork(
+            256, spec.make(epsilon=0.01), seed=1, awake=[0]
+        ).run()
+        assert len(result.leaders) <= 1
+
+    def test_async_tradeoff_full_params(self):
+        spec = get_algorithm("async_tradeoff")
+        result = AsyncNetwork(
+            128,
+            spec.make(k=3, gamma=4.0, candidate_coeff=6.0, referee_coeff=3.0),
+            seed=2,
+            max_events=5_000_000,
+        ).run()
+        assert len(result.leaders) <= 1
+
+    def test_async_afek_gafni_iterations(self):
+        spec = get_algorithm("async_afek_gafni")
+        result = AsyncNetwork(
+            64,
+            spec.make(iterations=3),
+            seed=3,
+            wake_times={u: 0.0 for u in range(64)},
+            max_events=5_000_000,
+        ).run()
+        assert result.unique_leader
+
+    def test_bad_parameters_surface_at_construction(self):
+        spec = get_algorithm("improved_tradeoff")
+        factory = spec.make(ell=4)  # even: invalid
+        with pytest.raises(ValueError):
+            factory()
+
+    def test_cli_param_plumbs_through(self, capsys):
+        from repro.__main__ import main
+
+        assert (
+            main(
+                [
+                    "run",
+                    "async_afek_gafni",
+                    "--n",
+                    "32",
+                    "--param",
+                    "iterations=2",
+                ]
+            )
+            == 0
+        )
+        assert "yes" in capsys.readouterr().out

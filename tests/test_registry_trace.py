@@ -1,0 +1,128 @@
+"""Algorithm registry and trace recorders."""
+
+import pytest
+
+from repro.core import ALGORITHMS, get_algorithm
+from repro.core.registry import AlgorithmSpec
+from repro.sync.engine import SyncNetwork
+from repro.asyncnet.engine import AsyncNetwork
+from repro.trace import CompositeRecorder, MemoryRecorder, PrintRecorder
+
+
+class TestRegistry:
+    def test_all_eight_algorithms_registered(self):
+        expected = {
+            "improved_tradeoff",
+            "afek_gafni",
+            "small_id",
+            "kutten16",
+            "las_vegas",
+            "adversarial_2round",
+            "async_tradeoff",
+            "async_afek_gafni",
+        }
+        assert set(ALGORITHMS) == expected
+
+    def test_lookup(self):
+        spec = get_algorithm("improved_tradeoff")
+        assert spec.engine == "sync"
+        assert spec.deterministic
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_algorithm("nope")
+        assert "improved_tradeoff" in str(excinfo.value)
+
+    def test_every_sync_spec_runs(self):
+        for spec in ALGORITHMS.values():
+            if spec.engine != "sync":
+                continue
+            params = {}
+            if spec.name == "improved_tradeoff":
+                params = {"ell": 3}
+            elif spec.name == "afek_gafni":
+                params = {"ell": 4}
+            elif spec.name == "small_id":
+                params = {"d": 4, "g": 1}
+            awake = [0] if spec.wakeup == ("adversarial",) else None
+            result = SyncNetwork(32, spec.make(**params), seed=1, awake=awake).run()
+            assert len(result.leaders) <= 1, spec.name
+
+    def test_every_async_spec_runs(self):
+        for spec in ALGORITHMS.values():
+            if spec.engine != "async":
+                continue
+            params = {"k": 2} if spec.name == "async_tradeoff" else {}
+            wake_times = (
+                {u: 0.0 for u in range(32)}
+                if spec.name == "async_afek_gafni"
+                else None
+            )
+            result = AsyncNetwork(
+                32, spec.make(**params), seed=1, wake_times=wake_times
+            ).run()
+            assert len(result.leaders) <= 1, spec.name
+
+    def test_specs_carry_paper_references(self):
+        for spec in ALGORITHMS.values():
+            assert spec.paper_ref
+            assert spec.messages_formula
+            assert spec.time_formula
+            assert spec.wakeup
+
+
+class TestRecorders:
+    def test_memory_recorder_filters(self):
+        rec = MemoryRecorder()
+        rec.on_send(1, 0, 2, 1, 3, ("x",))
+        rec.on_wake(1, 0)
+        rec.on_decide(2, 0, "leader", 5)
+        assert len(rec.events) == 3
+        assert len(rec.of_kind("send")) == 1
+        assert rec.sends_from(0)[0].detail[1] == 1
+
+    def test_print_recorder_caps_output(self, capsys):
+        rec = PrintRecorder(limit=2)
+        for i in range(5):
+            rec.on_wake(i, i)
+        out = capsys.readouterr().out
+        assert out.count("wake") == 2
+        assert "suppressing" in out
+
+    def test_print_recorder_kind_filter(self, capsys):
+        rec = PrintRecorder(limit=10, kinds=["decide"])
+        rec.on_wake(1, 0)
+        rec.on_decide(1, 0, "leader", None)
+        out = capsys.readouterr().out
+        assert "wake" not in out
+        assert "decide" in out
+
+    def test_composite_fans_out(self):
+        a, b = MemoryRecorder(), MemoryRecorder()
+        comp = CompositeRecorder(a, b)
+        comp.on_send(1, 0, 1, 2, 3, ("m",))
+        comp.on_deliver(2.0, 2, 3, ("m",))
+        assert len(a.events) == 2
+        assert len(b.events) == 2
+
+    def test_composite_in_real_run(self):
+        from repro.core import ImprovedTradeoffElection
+        from repro.lowerbound import CommGraph, CommGraphRecorder
+
+        n = 32
+        graph = CommGraph(n)
+        mem = MemoryRecorder()
+        net = SyncNetwork(
+            n,
+            lambda: ImprovedTradeoffElection(ell=3),
+            seed=0,
+            recorder=CompositeRecorder(mem, CommGraphRecorder(graph)),
+        )
+        result = net.run()
+        assert len(mem.of_kind("send")) == result.messages
+        assert graph.largest_component_size() == n
+
+    def test_event_str(self):
+        rec = MemoryRecorder()
+        rec.on_wake(3, 7)
+        assert "wake" in str(rec.events[0])

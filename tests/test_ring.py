@@ -1,0 +1,154 @@
+"""Ring substrate and classic algorithms (repro.ring)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import ProtocolError, SimulationLimitExceeded
+from repro.ring import ChangRoberts, HirschbergSinclair, RingNetwork
+from repro.ring.engine import LEFT, RIGHT, RingAlgorithm
+
+
+class TestRingEngine:
+    def test_ring_delivery_directions(self):
+        seen = {}
+
+        class Probe(RingAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.node == 0:
+                    ctx.send(RIGHT, ("r",))
+                    ctx.send(LEFT, ("l",))
+                for port, payload in inbox:
+                    seen[(ctx.node, port)] = payload
+                if ctx.round >= 2:
+                    ctx.halt()
+
+        RingNetwork(4, Probe).run()
+        assert seen == {(1, LEFT): ("r",), (3, RIGHT): ("l",)}
+
+    def test_bad_direction_rejected(self):
+        class Bad(RingAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.send(7, ("x",))
+
+        with pytest.raises(ValueError):
+            RingNetwork(3, Bad).run()
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ValueError):
+            RingNetwork(1, ChangRoberts)
+
+    def test_nontermination_guard(self):
+        class Forever(RingAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.send(RIGHT, ("spin",))
+
+        with pytest.raises(SimulationLimitExceeded):
+            RingNetwork(4, Forever, max_rounds=16).run()
+
+    def test_halted_cannot_send(self):
+        class HaltSend(RingAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+                ctx.send(RIGHT, ("x",))
+
+        with pytest.raises(ProtocolError):
+            RingNetwork(3, HaltSend).run()
+
+
+class TestChangRoberts:
+    @pytest.mark.parametrize("n", [2, 3, 10, 64])
+    def test_elects_maximum(self, n):
+        ids = random.Random(n).sample(range(1, 8 * n), n)
+        result = RingNetwork(n, ChangRoberts, ids=ids).run()
+        assert result.unique_leader
+        assert result.elected_id == max(ids)
+        assert result.decided_count == n
+
+    def test_worst_case_quadratic(self):
+        # IDs descending clockwise: probe of ID j survives j-1 hops.
+        n = 64
+        ids = list(range(n, 0, -1))
+        result = RingNetwork(n, ChangRoberts, ids=ids).run()
+        assert result.messages >= n * (n - 1) // 2
+
+    def test_best_case_linear(self):
+        # IDs ascending clockwise: every probe dies after one hop.
+        n = 64
+        ids = list(range(1, n + 1))
+        result = RingNetwork(n, ChangRoberts, ids=ids).run()
+        # n probes + n-1 relays of the max's probe + n announcement
+        assert result.messages <= 4 * n
+
+    @given(st.integers(2, 48), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_unique_max_leader_property(self, n, seed):
+        ids = random.Random(seed).sample(range(1, 10 * n), n)
+        result = RingNetwork(n, ChangRoberts, ids=ids).run()
+        assert result.unique_leader and result.elected_id == max(ids)
+
+
+class TestHirschbergSinclair:
+    @pytest.mark.parametrize("n", [2, 3, 10, 64, 100])
+    def test_elects_maximum(self, n):
+        ids = random.Random(n * 7).sample(range(1, 8 * n), n)
+        result = RingNetwork(n, HirschbergSinclair, ids=ids).run()
+        assert result.unique_leader
+        assert result.elected_id == max(ids)
+        assert result.decided_count == n
+
+    def test_worst_case_n_log_n(self):
+        # The adversarial LCR ordering is harmless for HS.
+        n = 128
+        ids = list(range(n, 0, -1))
+        result = RingNetwork(n, HirschbergSinclair, ids=ids).run()
+        import math
+
+        assert result.messages <= 12 * n * math.log2(n)
+
+    def test_beats_lcr_on_adversarial_order(self):
+        n = 128
+        ids = list(range(n, 0, -1))
+        lcr = RingNetwork(n, ChangRoberts, ids=ids).run()
+        hs = RingNetwork(n, HirschbergSinclair, ids=ids).run()
+        assert hs.messages < lcr.messages / 2
+
+    @given(st.integers(2, 48), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_unique_max_leader_property(self, n, seed):
+        ids = random.Random(seed ^ 99).sample(range(1, 10 * n), n)
+        result = RingNetwork(n, HirschbergSinclair, ids=ids).run()
+        assert result.unique_leader and result.elected_id == max(ids)
+
+
+class TestRingVsCliqueContext:
+    """§1.2 context: rings pay Ω(n log n); cliques escape Ω(m)."""
+
+    def test_ring_floor_vs_clique_smallid(self):
+        # On the clique with a linear ID universe, Algorithm 1 with d=2
+        # goes below the ring's n log n floor.
+        from repro.core import SmallIdElection
+        from repro.ids import assign_random, small_universe
+        from repro.sync import SyncNetwork
+        import math
+
+        n = 256
+        rng = random.Random(0)
+        clique_ids = assign_random(small_universe(n, 1), n, rng)
+        clique = SyncNetwork(
+            n, lambda: SmallIdElection(d=2, g=1), ids=clique_ids, seed=0
+        ).run()
+        ring = RingNetwork(n, HirschbergSinclair, ids=clique_ids).run()
+        assert clique.messages < n * math.log2(n) <= 4 * ring.messages
+
+    def test_clique_escapes_omega_m(self):
+        # m = n(n-1)/2 edges in the clique, yet elections cost far less
+        # (Korach-Moran-Zaks; here: Theorem 3.10 at ell=5).
+        from repro.core import ImprovedTradeoffElection
+        from repro.sync import SyncNetwork
+
+        n = 256
+        result = SyncNetwork(n, lambda: ImprovedTradeoffElection(ell=5), seed=0).run()
+        m_edges = n * (n - 1) // 2
+        assert result.messages < m_edges / 4

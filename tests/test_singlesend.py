@@ -1,0 +1,146 @@
+"""Lemma 3.12's multicast -> single-send transformation."""
+
+import pytest
+
+from repro.common import ProtocolError
+from repro.core import ImprovedTradeoffElection, SmallIdElection
+from repro.lowerbound import SingleSendAdapter, single_send_factory
+from repro.net.ports import CanonicalPortMap
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncNetwork
+
+from tests.helpers import run_sync
+
+
+def run_pair(n, inner_factory, max_inner_rounds=64):
+    """Run an algorithm directly and through the transformation with the
+    same deterministic port mapping; return both results."""
+    direct = SyncNetwork(
+        n, inner_factory, seed=7, port_map=CanonicalPortMap(n)
+    ).run()
+    wrapped = SyncNetwork(
+        n,
+        single_send_factory(inner_factory),
+        seed=7,
+        port_map=CanonicalPortMap(n),
+        max_rounds=n * max_inner_rounds,
+    ).run()
+    return direct, wrapped
+
+
+class TestLemma312Guarantees:
+    @pytest.mark.parametrize("ell", [3, 5])
+    def test_same_leader_same_messages(self, ell):
+        n = 32
+        direct, wrapped = run_pair(n, lambda: ImprovedTradeoffElection(ell=ell))
+        assert wrapped.leaders == direct.leaders
+        assert wrapped.messages == direct.messages
+
+    def test_time_dilated_by_n(self):
+        n = 16
+        direct, wrapped = run_pair(n, lambda: ImprovedTradeoffElection(ell=3))
+        # Round r of A runs at outer round (r-1)n + 1; the last inner
+        # round T implies outer time in ((T-1)·n, T·n].
+        t_inner = direct.rounds_executed
+        assert (t_inner - 1) * n < wrapped.rounds_executed <= t_inner * n + n
+
+    def test_single_send_property_holds(self):
+        """At most one message per node per round — the defining property."""
+        n = 16
+
+        class CountingRecorder:
+            def __init__(self):
+                self.per_round_sender = {}
+
+            def on_send(self, rnd, u, port, v, j, payload):
+                key = (rnd, u)
+                self.per_round_sender[key] = self.per_round_sender.get(key, 0) + 1
+
+            def on_wake(self, *a):
+                pass
+
+            def on_decide(self, *a):
+                pass
+
+        rec = CountingRecorder()
+        SyncNetwork(
+            n,
+            single_send_factory(lambda: ImprovedTradeoffElection(ell=3)),
+            seed=7,
+            port_map=CanonicalPortMap(n),
+            max_rounds=n * 64,
+            recorder=rec,
+        ).run()
+        assert rec.per_round_sender  # something was sent
+        assert max(rec.per_round_sender.values()) == 1
+
+    def test_works_for_small_id_algorithm(self):
+        n = 16
+        direct, wrapped = run_pair(n, lambda: SmallIdElection(d=4, g=1))
+        assert wrapped.leaders == direct.leaders
+        assert wrapped.messages == direct.messages
+
+    def test_decisions_complete(self):
+        n = 16
+        _, wrapped = run_pair(n, lambda: ImprovedTradeoffElection(ell=3))
+        assert wrapped.decided_count == n
+        assert wrapped.explicit_agreement()
+
+
+class TestAdapterEdgeCases:
+    def test_rejects_overfull_round(self):
+        class Blaster(SyncAlgorithm):
+            """Sends 2 messages over the same port in one round: more
+            than n-1 total for n=2."""
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.send(0, ("a",))
+                    ctx.send(0, ("b",))
+                ctx.halt()
+
+        with pytest.raises(ProtocolError):
+            run_sync(
+                2,
+                single_send_factory(Blaster),
+                port_map=CanonicalPortMap(2),
+                max_rounds=64,
+            )
+
+    def test_inner_rng_stream_preserved(self):
+        """The wrapped algorithm sees the same per-node RNG stream, so
+        randomized inner algorithms behave identically under a fixed
+        port mapping."""
+        from repro.core import Kutten16Election
+
+        n = 64
+        direct = SyncNetwork(
+            n, Kutten16Election, seed=3, port_map=CanonicalPortMap(n)
+        ).run()
+        wrapped = SyncNetwork(
+            n,
+            single_send_factory(Kutten16Election),
+            seed=3,
+            port_map=CanonicalPortMap(n),
+            max_rounds=n * 16,
+        ).run()
+        assert wrapped.leaders == direct.leaders
+        assert wrapped.messages == direct.messages
+
+    def test_halt_waits_for_outbox_drain(self):
+        class SendAndHalt(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    for port in range(3):
+                        ctx.send(port, ("bye",))
+                ctx.decide_follower()
+                ctx.halt()
+
+        result = run_sync(
+            8,
+            single_send_factory(SendAndHalt),
+            port_map=CanonicalPortMap(8),
+            max_rounds=256,
+        )
+        # All 3 queued messages leave even though the inner halted at once.
+        assert result.messages == 8 * 3

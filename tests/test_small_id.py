@@ -1,0 +1,136 @@
+"""Algorithm 1 / Theorem 3.15 (repro.core.small_id)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SmallIdElection
+from repro.ids import assign_random, small_universe
+from repro.lowerbound import bounds
+from repro.net.ports import CanonicalPortMap
+
+from tests.helpers import run_sync
+
+
+def small_ids(n, g, seed):
+    return assign_random(small_universe(n, g), n, random.Random(seed))
+
+
+class TestParameters:
+    def test_rejects_bad_d(self):
+        with pytest.raises(ValueError):
+            SmallIdElection(d=0)
+
+    def test_rejects_bad_g(self):
+        with pytest.raises(ValueError):
+            SmallIdElection(d=2, g=0)
+
+    def test_window_computation(self):
+        algo = SmallIdElection(d=4, g=2)  # width 8
+        assert algo.my_window(1) == 1
+        assert algo.my_window(8) == 1
+        assert algo.my_window(9) == 2
+
+    def test_rejects_oversized_ids(self):
+        with pytest.raises(ValueError):
+            run_sync(8, lambda: SmallIdElection(d=2, g=1), ids=[1, 2, 3, 4, 5, 6, 7, 100])
+
+    def test_rejects_d_above_n(self):
+        with pytest.raises(ValueError):
+            run_sync(4, lambda: SmallIdElection(d=8, g=1))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("d", [1, 2, 8, 16])
+    @pytest.mark.parametrize("g", [1, 3])
+    def test_min_id_elected(self, d, g):
+        n = 32
+        ids = small_ids(n, g, seed=d * 10 + g)
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=1)
+        assert result.unique_leader
+        assert result.elected_id == min(ids)
+        assert result.decided_count == n
+        assert result.explicit_agreement()
+
+    def test_identity_assignment_one_round(self):
+        # IDs 1..n with any d: ID 1 is in window 1, election ends round 1.
+        result = run_sync(20, lambda: SmallIdElection(d=4, g=1), seed=0)
+        assert result.unique_leader and result.elected_id == 1
+        assert result.last_send_round == 1
+
+    def test_late_window_workload(self):
+        # All IDs packed into the top windows: the election ends exactly
+        # in the window of the minimum ID, within the ceil(n/d) worst
+        # case of Theorem 3.15.
+        n, d, g = 16, 4, 2
+        width = d * g
+        ids = list(range(n * g - n + 1, n * g + 1))  # the top n IDs
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=0)
+        assert result.unique_leader and result.elected_id == min(ids)
+        expected_round = -(-min(ids) // width)
+        assert result.last_send_round == expected_round
+        assert result.last_send_round <= bounds.thm315_rounds(n, d)
+
+    def test_single_broadcaster_becomes_leader_alone(self):
+        # Exactly one ID (the 1) falls in the first nonempty window, so
+        # exactly one node broadcasts: n-1 messages total.
+        n, d, g = 8, 1, 2  # window width 2: windows {1,2}, {3,4}, ...
+        ids = [1, 16, 15, 14, 13, 12, 11, 10]
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=0)
+        assert result.unique_leader
+        assert result.leaders == [0]
+        assert result.messages == n - 1
+
+    @given(st.integers(2, 48), st.integers(1, 4), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_unique_min_leader_property(self, n, g, seed):
+        d = random.Random(seed).randint(1, n)
+        ids = small_ids(n, g, seed)
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=seed)
+        assert result.unique_leader
+        assert result.elected_id == min(ids)
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("d", [2, 4, 8])
+    def test_message_bound_n_d_g(self, d):
+        n, g = 64, 2
+        ids = small_ids(n, g, seed=d)
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=0)
+        assert result.messages <= bounds.thm315_messages(n, d, g)
+
+    @pytest.mark.parametrize("d", [2, 4, 8])
+    def test_round_bound(self, d):
+        n, g = 64, 1
+        ids = small_ids(n, g, seed=d)
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=0)
+        assert result.last_send_round <= bounds.thm315_rounds(n, d)
+
+    def test_tradeoff_direction(self):
+        """Larger d: fewer rounds possible, more messages allowed."""
+        n, g = 64, 1
+        ids = small_ids(n, g, seed=9)
+        small_d = run_sync(n, lambda: SmallIdElection(d=1, g=g), ids=ids, seed=0)
+        large_d = run_sync(n, lambda: SmallIdElection(d=32, g=g), ids=ids, seed=0)
+        assert large_d.last_send_round <= small_d.last_send_round
+        assert large_d.messages >= small_d.messages
+
+    def test_sublinear_messages_beats_nlogn(self):
+        """The Theorem 3.15 point: with g=O(1) and d = o(log n), message
+        complexity o(n log n) — beating the Theorem 3.11 bound, which is
+        only possible because the universe is linear in size."""
+        n, d, g = 256, 2, 1
+        ids = small_ids(n, g, seed=1)
+        result = run_sync(n, lambda: SmallIdElection(d=d, g=g), ids=ids, seed=0)
+        assert result.messages < bounds.thm311_message_lb(n)
+
+
+class TestPortIndependence:
+    def test_canonical_ports(self):
+        n = 24
+        ids = small_ids(n, 2, seed=4)
+        result = run_sync(
+            n, lambda: SmallIdElection(d=4, g=2), ids=ids, port_map=CanonicalPortMap(n)
+        )
+        assert result.unique_leader and result.elected_id == min(ids)

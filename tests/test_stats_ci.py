@@ -1,0 +1,46 @@
+"""Bootstrap confidence intervals (repro.analysis.stats)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import ConfidenceInterval, bootstrap_mean_ci
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_clean_data(self):
+        ci = bootstrap_mean_ci([10.0] * 20, seed=0)
+        assert ci.mean == 10.0
+        assert ci.low == ci.high == 10.0
+        assert ci.contains(10.0)
+
+    def test_interval_ordering(self):
+        ci = bootstrap_mean_ci([1, 5, 9, 2, 8, 3, 7], seed=1)
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_wider_at_higher_confidence(self):
+        data = list(range(30))
+        narrow = bootstrap_mean_ci(data, confidence=0.5, seed=2)
+        wide = bootstrap_mean_ci(data, confidence=0.99, seed=2)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_deterministic_given_seed(self):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert bootstrap_mean_ci(data, seed=7) == bootstrap_mean_ci(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.0)
+
+    def test_str_format(self):
+        text = str(bootstrap_mean_ci([1.0, 2.0], seed=0))
+        assert "95% CI" in text
+
+    @given(st.lists(st.floats(0, 100), min_size=5, max_size=40), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_interval_well_formed(self, data, seed):
+        ci = bootstrap_mean_ci(data, seed=seed, resamples=300)
+        assert ci.low <= ci.high
+        # Resampled means cannot leave the sample's range.
+        assert min(data) - 1e-9 <= ci.low and ci.high <= max(data) + 1e-9

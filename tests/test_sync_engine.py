@@ -1,0 +1,291 @@
+"""The synchronous round engine (repro.sync.engine)."""
+
+import pytest
+
+from repro.common import Decision, ProtocolError, SimulationLimitExceeded
+from repro.net.ports import CanonicalPortMap
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncNetwork
+from repro.trace import MemoryRecorder
+
+
+class Silent(SyncAlgorithm):
+    """Decides follower instantly."""
+
+    def on_round(self, ctx, inbox):
+        ctx.decide_follower()
+        ctx.halt()
+
+
+class PingOnce(SyncAlgorithm):
+    """Node 0-like behaviour: send one message on port 0 in round 1."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 1 and ctx.my_id == 1:
+            ctx.send(0, ("ping",))
+        if inbox:
+            self.got = inbox
+            ctx.decide_leader()
+        if ctx.round >= 2:
+            ctx.halt()
+
+
+class EchoForever(SyncAlgorithm):
+    """Bounces every message back; never halts by itself."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 1 and ctx.my_id == 1:
+            ctx.send(0, ("ball",))
+        for port, payload in inbox:
+            ctx.send(port, payload)
+
+
+class TestDeliverySemantics:
+    def test_round_r_sends_arrive_round_r_plus_1(self):
+        events = []
+
+        class Probe(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if inbox:
+                    events.append(("recv", ctx.my_id, ctx.round))
+                if ctx.round == 1 and ctx.my_id == 1:
+                    ctx.send(0, ("x",))
+                    events.append(("send", ctx.my_id, ctx.round))
+                if ctx.round == 3:
+                    ctx.halt()
+
+        SyncNetwork(3, Probe, port_map=CanonicalPortMap(3)).run()
+        assert ("send", 1, 1) in events
+        recvs = [e for e in events if e[0] == "recv"]
+        assert recvs == [("recv", 2, 2)]  # canonical: node 0 port 0 -> node 1
+
+    def test_reply_port_reaches_sender(self):
+        outcome = {}
+
+        class Reply(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.my_id == 1:
+                    ctx.send(0, ("ask",))
+                for port, payload in inbox:
+                    if payload[0] == "ask":
+                        ctx.send(port, ("answer",))
+                    if payload[0] == "answer":
+                        outcome["who"] = ctx.my_id
+                if ctx.round == 3:
+                    ctx.halt()
+
+        SyncNetwork(4, Reply, seed=7).run()
+        assert outcome["who"] == 1
+
+    def test_broadcast_reaches_everyone(self):
+        seen = set()
+
+        class Broadcast(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.my_id == 1:
+                    ctx.broadcast(("hello",))
+                if inbox:
+                    seen.add(ctx.my_id)
+                if ctx.round == 2:
+                    ctx.halt()
+
+        result = SyncNetwork(10, Broadcast, seed=1).run()
+        assert seen == set(range(2, 11))
+        assert result.messages == 9
+
+
+class TestWakeup:
+    def test_simultaneous_default(self):
+        result = SyncNetwork(5, Silent).run()
+        assert result.awake_count == 5
+        assert result.rounds_executed == 1
+
+    def test_adversarial_subset_only_roots_run(self):
+        acted = []
+
+        class Mark(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                acted.append(ctx.node)
+                ctx.halt()
+
+        result = SyncNetwork(6, Mark, awake=[2, 4]).run()
+        assert sorted(acted) == [2, 4]
+        assert result.awake_count == 2
+
+    def test_message_wakes_sleeper_same_round_inbox(self):
+        wake_info = {}
+
+        class Waker(SyncAlgorithm):
+            def on_wake(self, ctx):
+                wake_info[ctx.node] = ctx.wake_round
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.wake_round == 1:
+                    ctx.send(0, ("wake",))
+                if inbox:
+                    assert inbox[0][1] == ("wake",)
+                ctx.halt() if ctx.round >= 2 else None
+
+        net = SyncNetwork(3, Waker, awake=[0], port_map=CanonicalPortMap(3))
+        net.run()
+        assert wake_info[0] == 1
+        assert wake_info[1] == 2  # woken by node 0's port 0 message
+
+    def test_empty_wake_set_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(3, Silent, awake=[])
+
+
+class TestDecisions:
+    def test_decision_is_irrevocable(self):
+        class Flip(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.decide_leader()
+                ctx.decide_follower()
+
+        with pytest.raises(ProtocolError):
+            SyncNetwork(2, Flip).run()
+
+    def test_same_decision_twice_is_noop(self):
+        class Twice(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.decide_follower(None)
+                ctx.decide_follower(None)
+                ctx.halt()
+
+        result = SyncNetwork(2, Twice).run()
+        assert result.decided_count == 2
+
+    def test_leader_list_and_ids(self):
+        class LeaderIfMax(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.my_id == ctx.n:
+                    ctx.decide_leader()
+                else:
+                    ctx.decide_follower(ctx.n)
+                ctx.halt()
+
+        result = SyncNetwork(5, LeaderIfMax).run()
+        assert result.unique_leader
+        assert result.elected_id == 5
+        assert result.explicit_agreement()
+
+    def test_halted_node_cannot_send(self):
+        class SendAfterHalt(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+                ctx.send(0, ("x",))
+
+        with pytest.raises(ProtocolError):
+            SyncNetwork(2, SendAfterHalt).run()
+
+
+class TestTermination:
+    def test_max_rounds_guard(self):
+        with pytest.raises(SimulationLimitExceeded):
+            SyncNetwork(2, EchoForever, max_rounds=20).run()
+
+    def test_dropped_deliveries_counted(self):
+        class HaltThenReceive(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    if ctx.my_id == 1:
+                        ctx.send(0, ("late",))
+                    else:
+                        ctx.halt()
+                if ctx.round >= 2:
+                    ctx.halt()
+
+        result = SyncNetwork(2, HaltThenReceive, port_map=CanonicalPortMap(2)).run()
+        assert result.dropped_deliveries == 1
+
+    def test_engine_stops_on_quiescence(self):
+        result = SyncNetwork(4, Silent).run()
+        assert result.rounds_executed == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        from repro.core import Kutten16Election
+
+        r1 = SyncNetwork(128, Kutten16Election, seed=42).run()
+        r2 = SyncNetwork(128, Kutten16Election, seed=42).run()
+        assert r1.messages == r2.messages
+        assert r1.leaders == r2.leaders
+
+    def test_different_seed_differs(self):
+        from repro.core import Kutten16Election
+
+        r1 = SyncNetwork(256, Kutten16Election, seed=1).run()
+        r2 = SyncNetwork(256, Kutten16Election, seed=2).run()
+        # Message counts are random; identical runs would be a (tiny)
+        # coincidence — the leaders' identities differ with near
+        # certainty.
+        assert (r1.messages, r1.leaders) != (r2.messages, r2.leaders)
+
+
+class TestMetrics:
+    def test_message_count_and_kinds(self):
+        class TwoKinds(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.my_id == 1:
+                    ctx.send(0, ("a",))
+                    ctx.send(1, ("b", 1))
+                ctx.halt() if ctx.round >= 2 else None
+
+        result = SyncNetwork(3, TwoKinds, seed=0).run()
+        assert result.messages == 2
+        assert result.metrics.messages_by_kind == {"a": 1, "b": 1}
+
+    def test_last_send_round(self):
+        class LateSend(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 3 and ctx.my_id == 1:
+                    ctx.send(0, ("late",))
+                if ctx.round >= 4:
+                    ctx.halt()
+
+        result = SyncNetwork(2, LateSend).run()
+        assert result.last_send_round == 3
+
+    def test_port_opens_counts_first_use_only(self):
+        class Resend(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.my_id == 1 and ctx.round <= 3:
+                    ctx.send(0, ("x",))
+                if ctx.round >= 4:
+                    ctx.halt()
+
+        result = SyncNetwork(2, Resend).run()
+        assert result.messages == 3
+        assert result.metrics.port_opens == 1
+
+    def test_recorder_hooks(self):
+        rec = MemoryRecorder()
+
+        class One(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.my_id == 1:
+                    ctx.send(0, ("x",))
+                ctx.decide_follower()
+                if ctx.round >= 2:
+                    ctx.halt()
+
+        SyncNetwork(2, One, recorder=rec).run()
+        assert len(rec.of_kind("send")) == 1
+        assert len(rec.of_kind("wake")) == 2
+        assert len(rec.of_kind("decide")) == 2
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(3, Silent, ids=[1, 1, 2])
+
+    def test_wrong_id_count_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(3, Silent, ids=[1, 2])
+
+    def test_n_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(0, Silent)

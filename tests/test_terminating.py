@@ -1,0 +1,130 @@
+"""Definition 3.5 executable search (repro.lowerbound.terminating)."""
+
+import pytest
+
+from repro.core import AfekGafniElection, ImprovedTradeoffElection
+from repro.lowerbound.terminating import (
+    IsolationOutcome,
+    forms_terminating_components,
+    isolated_execution,
+)
+from repro.sync.algorithm import SyncAlgorithm
+
+
+class SilentFollower(SyncAlgorithm):
+    """Decides instantly; trivially forms terminating components.
+
+    (Not a correct election — exactly what Lemma 3.6 exploits: if too
+    many sets terminate on their own, gluing them yields two leaders.)
+    """
+
+    def on_round(self, ctx, inbox):
+        ctx.decide_follower()
+        ctx.halt()
+
+
+class PairPing(SyncAlgorithm):
+    """Sends one ping over port 0, halts after one reply round."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 1:
+            ctx.send(0, ("ping",))
+        if ctx.round == 2:
+            ctx.halt()
+
+
+class TriplePing(SyncAlgorithm):
+    """Opens three ports in round 1 — escapes any set of size <= 3."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 1:
+            for port in range(3):
+                ctx.send(port, ("ping",))
+        ctx.halt()
+
+
+class TestIsolatedExecution:
+    def test_silent_terminates(self):
+        outcome = isolated_execution(SilentFollower, 8, [1, 2])
+        assert outcome.terminated and not outcome.escaped
+        assert outcome.messages == 0
+
+    def test_pair_ping_terminates_in_pairs(self):
+        outcome = isolated_execution(PairPing, 8, [5, 9])
+        assert outcome.terminated and not outcome.escaped
+        assert outcome.messages == 2
+
+    def test_single_node_ping_escapes(self):
+        outcome = isolated_execution(PairPing, 8, [5])
+        assert outcome.escaped
+
+    def test_triple_ping_escapes_small_sets(self):
+        outcome = isolated_execution(TriplePing, 8, [1, 2, 3])
+        assert outcome.escaped
+
+    def test_triple_ping_contained_by_four(self):
+        outcome = isolated_execution(TriplePing, 8, [1, 2, 3, 4])
+        assert outcome.terminated and not outcome.escaped
+
+    def test_set_size_validation(self):
+        with pytest.raises(ValueError):
+            isolated_execution(SilentFollower, 8, [1, 2, 3, 4, 5])
+
+    def test_nontermination_detected(self):
+        class Chatter(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1 and ctx.node == 0:
+                    ctx.send(0, ("ball",))
+                for port, payload in inbox:
+                    ctx.send(port, payload)
+
+        outcome = isolated_execution(Chatter, 8, [1, 2], max_rounds=16)
+        assert not outcome.terminated and not outcome.escaped
+        assert outcome.rounds == 16
+
+
+class TestFormsTerminatingComponents:
+    def test_silent_protocol_terminating(self):
+        ok, explored = forms_terminating_components(SilentFollower, 8, [1, 2])
+        assert ok
+        assert explored >= 1
+
+    def test_pair_ping_terminating_all_routings(self):
+        ok, explored = forms_terminating_components(PairPing, 8, [3, 4])
+        assert ok
+        # both nodes open port 0; the only in-set routing target is the
+        # other node, so the tree is small but branched at least once.
+        assert explored >= 1
+
+    def test_branching_explored(self):
+        ok, explored = forms_terminating_components(PairPing, 8, [3, 4, 5])
+        assert ok
+        assert explored >= 3  # several in-set routings for the pings
+
+    def test_improved_tradeoff_sets_always_expand(self):
+        """Corollary 3.7's situation for our algorithm: no small ID set
+        can terminate on its own — the final broadcast escapes."""
+        for size in (2, 3):
+            ok, _ = forms_terminating_components(
+                lambda: ImprovedTradeoffElection(ell=3), 8, list(range(1, size + 1))
+            )
+            assert not ok
+
+    def test_afek_gafni_sets_always_expand(self):
+        ok, _ = forms_terminating_components(
+            lambda: AfekGafniElection(ell=2), 8, [1, 2, 3, 4]
+        )
+        assert not ok
+
+    def test_exploration_budget_enforced(self):
+        class WideFanout(SyncAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round <= 3:
+                    ctx.send_many(range(3), ("x", ctx.round))
+                else:
+                    ctx.halt()
+
+        with pytest.raises(RuntimeError):
+            forms_terminating_components(
+                WideFanout, 16, [1, 2, 3, 4, 5, 6, 7], max_explorations=10
+            )

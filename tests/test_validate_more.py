@@ -1,0 +1,32 @@
+"""Additional validation-helper coverage (repro.analysis.validate)."""
+
+from repro.analysis import election_valid
+from repro.common import Decision
+
+
+class FakeResult:
+    def __init__(self, leaders, decided, awake, n=8):
+        self.leaders = leaders
+        self.decided_count = decided
+        self.awake_count = awake
+        self.n = n
+        self.leader_ids = leaders
+
+
+class TestElectionValid:
+    def test_valid(self):
+        assert election_valid(FakeResult([3], decided=8, awake=8))
+
+    def test_zero_leaders_invalid(self):
+        assert not election_valid(FakeResult([], decided=8, awake=8))
+
+    def test_two_leaders_invalid(self):
+        assert not election_valid(FakeResult([1, 2], decided=8, awake=8))
+
+    def test_undecided_awake_nodes_invalid_by_default(self):
+        assert not election_valid(FakeResult([3], decided=5, awake=8))
+
+    def test_undecided_ok_when_relaxed(self):
+        assert election_valid(
+            FakeResult([3], decided=5, awake=8), require_all_decided=False
+        )

@@ -1,0 +1,110 @@
+"""The Section 4.2 wake-up experiment (repro.lowerbound.wakeup_experiment)."""
+
+import math
+
+import pytest
+
+from repro.lowerbound import (
+    TwoRoundWakeupSpray,
+    run_wakeup_trial,
+    wakeup_success_rate,
+)
+from repro.lowerbound.wakeup_experiment import spray_message_bound
+
+
+class TestProtocol:
+    def test_rejects_bad_exponents(self):
+        with pytest.raises(ValueError):
+            TwoRoundWakeupSpray(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            TwoRoundWakeupSpray(0.5, 1.5)
+        with pytest.raises(ValueError):
+            TwoRoundWakeupSpray(0.5, 0.5, boost=0)
+
+    def test_fanouts(self):
+        p = TwoRoundWakeupSpray(0.5, 1.0, boost=2.0)
+        assert p.root_fanout(100) == 10
+        assert p.child_fanout(100) == 99  # capped at n-1
+
+    def test_trial_counts_messages_and_awake(self):
+        out = run_wakeup_trial(64, 0.5, 0.5, boost=1.0, root_count=1, seed=0)
+        assert out.n == 64
+        assert out.root_count == 1
+        assert 1 <= out.awake <= 64
+        assert out.messages >= 8  # the root's ceil(sqrt(64)) sprays
+
+    def test_full_budget_always_succeeds(self):
+        # beta = 1: children broadcast; any root set covers everyone.
+        out = run_wakeup_trial(128, 0.5, 1.0, root_count=1, seed=1)
+        assert out.success
+
+    def test_explicit_roots_accepted(self):
+        out = run_wakeup_trial(32, 0.5, 1.0, roots=[3, 7], seed=0)
+        assert out.success
+        assert out.root_count == 2
+
+
+class TestTheorem42Shape:
+    N = 512
+
+    def test_underprovisioned_budgets_fail(self):
+        """alpha + beta < 1: even with the log boost, a single root
+        cannot cover the clique in two rounds."""
+        rate, _ = wakeup_success_rate(
+            self.N, 0.5, 0.3, boost=2 * math.log(self.N), root_count=1, trials=5
+        )
+        assert rate <= 0.2
+
+    def test_calibrated_budgets_succeed(self):
+        """alpha + beta = 1 with the coupon-collector boost succeeds."""
+        for alpha in (0.3, 0.5, 0.7):
+            rate, _ = wakeup_success_rate(
+                self.N,
+                alpha,
+                1 - alpha,
+                boost=2 * math.log(self.N),
+                root_count=1,
+                trials=5,
+            )
+            assert rate >= 0.8, alpha
+
+    def test_sqrt_n_roots_cost_at_least_n_to_3_2(self):
+        """The theorem's core: any successful calibration pays
+        ~n^(3/2) (or more) against a Θ(√n)-size root set."""
+        n = self.N
+        boost = 2 * math.log(n)
+        for alpha in (0.3, 0.5, 0.7):
+            _, msgs = wakeup_success_rate(
+                n, alpha, 1 - alpha, boost=boost, root_count=int(n**0.5), trials=3
+            )
+            assert msgs >= n**1.5, (alpha, msgs)
+
+    def test_closed_form_matches_measured_order(self):
+        n = self.N
+        boost = 2 * math.log(n)
+        alpha = 0.5
+        predicted = spray_message_bound(n, alpha, 1 - alpha, int(n**0.5), boost)
+        _, measured = wakeup_success_rate(
+            n, alpha, 1 - alpha, boost=boost, root_count=int(n**0.5), trials=3
+        )
+        assert 0.3 * predicted <= measured <= 1.2 * predicted
+
+    def test_thm41_style_thinning_is_what_saves_messages(self):
+        """Context check: the spray protocol's √n-roots cost exceeds the
+        Theorem 4.1 algorithm's cost, because Thm 4.1 thins the children
+        via candidacy instead of letting all of them spray."""
+        from repro.core import AdversarialTwoRoundElection
+        from tests.helpers import run_sync
+
+        n = self.N
+        boost = 2 * math.log(n)
+        _, spray_msgs = wakeup_success_rate(
+            n, 0.5, 0.5, boost=boost, root_count=int(n**0.5), trials=3
+        )
+        algo_msgs = run_sync(
+            n,
+            lambda: AdversarialTwoRoundElection(epsilon=0.05),
+            awake=list(range(int(n**0.5))),
+            seed=0,
+        ).messages
+        assert algo_msgs < spray_msgs
