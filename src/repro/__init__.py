@@ -14,7 +14,10 @@ The package provides:
   single-send transformation, bound formulas for every Table 1 row, and
   the §4.2 wake-up falsification experiment;
 * :mod:`repro.analysis` — experiment runner, power-law fitting, paper
-  style tables and validation helpers.
+  style tables and validation helpers;
+* :mod:`repro.faults` — crash-fault injection, failure-detector oracles,
+  and fault-tolerant (monarchical / epoch re-election) algorithms for
+  failover scenarios on both engines.
 
 Quickstart::
 

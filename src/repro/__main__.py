@@ -14,6 +14,13 @@ Commands
 ``bounds N``
     Print the full Table 1 bound formulas evaluated at ``N``.
 
+``faults NAME``
+    Run one election under a fault plan (crash schedules, kill-the-
+    frontrunner churn, message drop/duplication, failure detectors) and
+    report failover metrics: detection latency, re-election time, and
+    message cost after the first crash.  ``monarchical`` and ``reelect``
+    additionally accept ``--engine async``.
+
 Examples
 --------
 
@@ -24,6 +31,10 @@ Examples
     python -m repro run async_tradeoff --n 512 --param k=3 --seeds 0 1 2
     python -m repro run adversarial_2round --n 1024 --roots 1 --param epsilon=0.05
     python -m repro bounds 4096
+    python -m repro faults monarchical --n 64 --crash 63@2 --lag 2
+    python -m repro faults reelect --n 128 --kill-leader --param inner=afek_gafni
+    python -m repro faults reelect --n 64 --engine async --kill-leader --roots 1
+    python -m repro faults monarchical --n 256 --drop 0.02 --seeds 0 1 2
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from repro.analysis import Table, run_async_trial, run_sync_trial
+from repro.common import SimulationLimitExceeded
 from repro.core import ALGORITHMS, get_algorithm
 from repro.ids import assign_random, small_universe, tradeoff_universe
 from repro.lowerbound import bounds
@@ -159,6 +171,158 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(text: str):
+    from repro.faults import CrashFault
+
+    try:
+        node, at = text.split("@", 1)
+        return CrashFault(node=int(node), at=float(at))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"crash spec {text!r} is not NODE@WHEN (e.g. 63@2)"
+        ) from None
+
+
+def _build_fault_plan(args: argparse.Namespace):
+    from repro.faults import DetectorSpec, FaultPlan, LeaderKillPolicy, LinkFaults
+
+    links = ()
+    if args.drop or args.duplicate:
+        links = (LinkFaults(drop_prob=args.drop, duplicate_prob=args.duplicate),)
+    policies = ()
+    if args.kill_leader:
+        policies = (
+            LeaderKillPolicy(delay=args.kill_delay, max_kills=args.max_kills),
+        )
+    detector = DetectorSpec(
+        kind=args.detector,
+        lag=args.lag,
+        noise_horizon=args.noise_horizon,
+        false_prob=args.false_prob,
+    )
+    return FaultPlan(
+        crashes=tuple(args.crash), links=links, policies=policies, detector=detector
+    )
+
+
+def _fault_factory(name: str, engine: str, params: Dict[str, Any]):
+    """Factory for a faults run; the two fault algorithms are dual-engine."""
+    from repro.faults import (
+        AsyncMonarchicalElection,
+        AsyncReElectionElection,
+        MonarchicalElection,
+        ReElectionElection,
+    )
+
+    dual = {
+        "monarchical": (MonarchicalElection, AsyncMonarchicalElection),
+        "reelect": (ReElectionElection, AsyncReElectionElection),
+    }
+    if name in dual:
+        cls = dual[name][0] if engine == "sync" else dual[name][1]
+        return lambda: cls(**params)
+    spec = get_algorithm(name)
+    if spec.engine != engine:
+        raise SystemExit(
+            f"error: {name} runs on the {spec.engine} engine (got --engine {engine})"
+        )
+    return spec.make(**params)
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import run_failover_trial
+
+    engine = args.engine
+    if engine is None:
+        engine = get_algorithm(args.name).engine if args.name not in (
+            "monarchical",
+            "reelect",
+        ) else "sync"
+    try:
+        plan = _build_fault_plan(args)
+        plan.validate_for(args.n)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = dict(kv.split("=", 1) for kv in args.param)
+    params = {k: _parse_param(v) for k, v in params.items()}
+    factory = _fault_factory(args.name, engine, params)
+    table = Table(
+        [
+            "seed",
+            "survivor leader",
+            "elected id",
+            "crashes",
+            "detect lat",
+            "re-elect time",
+            "messages",
+            "after crash",
+            "time",
+        ],
+        title=(
+            f"faults: {args.name} on {engine} engine "
+            f"(n={args.n}) params={params} plan={plan_summary(plan)}"
+        ),
+    )
+    failures = 0
+    for seed in args.seeds:
+        rng = random.Random(f"cli-faults:{args.n}:{seed}")
+        kwargs: Dict[str, Any] = {}
+        if engine == "sync":
+            if args.roots is not None:
+                kwargs["awake"] = rng.sample(range(args.n), args.roots)
+        else:
+            if args.roots is not None:
+                kwargs["wake_times"] = {
+                    u: 0.0 for u in rng.sample(range(args.n), args.roots)
+                }
+            else:
+                kwargs["wake_times"] = {u: 0.0 for u in range(args.n)}
+            kwargs["max_events"] = 20_000_000
+        try:
+            report = run_failover_trial(
+                engine, args.n, factory, plan, seed=seed, **kwargs
+            )
+        except SimulationLimitExceeded as exc:
+            # Crash-oblivious algorithms may stall forever under faults
+            # (e.g. waiting on a reply the network dropped).
+            failures += 1
+            table.add_row(seed, "STALLED", "-", "-", "-", "-", "-", "-", str(exc))
+            continue
+        failures += not report.unique_surviving_leader
+        latency = report.mean_detection_latency
+        table.add_row(
+            seed,
+            report.unique_surviving_leader,
+            report.surviving_leader_id,
+            report.crashes,
+            "-" if latency is None else f"{latency:.2f}",
+            "-" if report.reelection_time is None else f"{report.reelection_time:.2f}",
+            report.record.messages,
+            report.messages_after_first_crash,
+            f"{report.record.time:.2f}",
+        )
+    print(table.render())
+    if failures:
+        print(
+            f"note: {failures}/{len(args.seeds)} runs ended without a unique "
+            "surviving leader"
+        )
+    return 1 if failures else 0
+
+
+def plan_summary(plan) -> str:
+    parts = []
+    if plan.crashes:
+        parts.append(f"{len(plan.crashes)} crash(es)")
+    if plan.policies:
+        parts.append("kill-leader")
+    if plan.links:
+        parts.append("lossy links")
+    parts.append(plan.detector.kind)
+    return "+".join(parts)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Improved Tradeoffs for Leader Election — reproduction CLI"
@@ -184,6 +348,46 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_p = sub.add_parser("bounds", help="evaluate the Table 1 formulas")
     bounds_p.add_argument("n", type=int)
     bounds_p.set_defaults(func=cmd_bounds)
+
+    faults_p = sub.add_parser(
+        "faults", help="run one election under a crash/link fault plan"
+    )
+    faults_p.add_argument("name", choices=sorted(ALGORITHMS))
+    faults_p.add_argument("--n", type=int, default=64, help="clique size")
+    faults_p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    faults_p.add_argument(
+        "--engine", choices=["sync", "async"], default=None,
+        help="engine for monarchical/reelect (default: sync)",
+    )
+    faults_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm parameter (repeatable), e.g. --param inner=afek_gafni",
+    )
+    faults_p.add_argument(
+        "--crash", action="append", default=[], type=_parse_crash,
+        metavar="NODE@WHEN", help="crash node NODE at round/time WHEN (repeatable)",
+    )
+    faults_p.add_argument(
+        "--kill-leader", action="store_true",
+        help="adversarial churn: crash whoever announces leadership first",
+    )
+    faults_p.add_argument("--kill-delay", type=float, default=1.0)
+    faults_p.add_argument("--max-kills", type=int, default=1)
+    faults_p.add_argument("--drop", type=float, default=0.0, help="per-message drop probability")
+    faults_p.add_argument(
+        "--duplicate", type=float, default=0.0, help="per-message duplication probability"
+    )
+    faults_p.add_argument(
+        "--detector", choices=["perfect", "eventually_perfect"], default="perfect"
+    )
+    faults_p.add_argument("--lag", type=float, default=1.0, help="detector detection lag")
+    faults_p.add_argument("--noise-horizon", type=float, default=0.0)
+    faults_p.add_argument("--false-prob", type=float, default=0.0)
+    faults_p.add_argument(
+        "--roots", type=int, default=None,
+        help="number of initially awake nodes (default: all)",
+    )
+    faults_p.set_defaults(func=cmd_faults)
 
     report_p = sub.add_parser(
         "report", help="regenerate the paper's Table 1 with measured columns"

@@ -34,6 +34,16 @@ class RunRecord:
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
+def _fault_extra(result: Any, extra: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge failure accounting into a record's ``extra`` when present."""
+    if result.crashed or result.fault_metrics is not None:
+        extra["crashed"] = list(result.crashed)
+        extra["unique_surviving_leader"] = result.unique_surviving_leader
+        extra["surviving_leader_id"] = result.surviving_leader_id
+        extra["fault_metrics"] = result.fault_metrics
+    return extra
+
+
 def _sync_record(n: int, seed: int, result: SyncRunResult, params: Dict[str, Any]) -> RunRecord:
     return RunRecord(
         n=n,
@@ -46,7 +56,7 @@ def _sync_record(n: int, seed: int, result: SyncRunResult, params: Dict[str, Any
         decided=result.decided_count,
         awake=result.awake_count,
         params=dict(params),
-        extra={"rounds_executed": result.rounds_executed},
+        extra=_fault_extra(result, {"rounds_executed": result.rounds_executed}),
     )
 
 
@@ -62,7 +72,7 @@ def _async_record(n: int, seed: int, result: AsyncRunResult, params: Dict[str, A
         decided=result.decided_count,
         awake=result.awake_count,
         params=dict(params),
-        extra={"events": result.events},
+        extra=_fault_extra(result, {"events": result.events}),
     )
 
 
@@ -75,12 +85,31 @@ def run_sync_trial(
     awake: Optional[Sequence[int]] = None,
     max_rounds: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
+    faults: Optional[Any] = None,
+    recorder: Optional[Any] = None,
+    keep_result: bool = False,
 ) -> RunRecord:
-    """Run one synchronous election and flatten the result."""
+    """Run one synchronous election and flatten the result.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`; ``keep_result``
+    stashes the raw engine result under ``extra["result"]`` for callers
+    that need more than the flattened record (the failover runner).
+    """
     net = SyncNetwork(
-        n, algorithm_factory, ids=ids, seed=seed, awake=awake, max_rounds=max_rounds
+        n,
+        algorithm_factory,
+        ids=ids,
+        seed=seed,
+        awake=awake,
+        max_rounds=max_rounds,
+        faults=faults,
+        recorder=recorder,
     )
-    return _sync_record(n, seed, net.run(), params or {})
+    result = net.run()
+    record = _sync_record(n, seed, result, params or {})
+    if keep_result:
+        record.extra["result"] = result
+    return record
 
 
 def run_async_trial(
@@ -93,6 +122,9 @@ def run_async_trial(
     wake_times: Optional[Dict[int, float]] = None,
     max_events: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
+    faults: Optional[Any] = None,
+    recorder: Optional[Any] = None,
+    keep_result: bool = False,
 ) -> RunRecord:
     """Run one asynchronous election and flatten the result."""
     net = AsyncNetwork(
@@ -103,8 +135,14 @@ def run_async_trial(
         scheduler=scheduler,
         wake_times=wake_times,
         max_events=max_events,
+        faults=faults,
+        recorder=recorder,
     )
-    return _async_record(n, seed, net.run(), params or {})
+    result = net.run()
+    record = _async_record(n, seed, result, params or {})
+    if keep_result:
+        record.extra["result"] = result
+    return record
 
 
 def sweep_sync(

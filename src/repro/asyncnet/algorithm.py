@@ -29,3 +29,11 @@ class AsyncAlgorithm:
     def on_message(self, ctx: "AsyncContext", port: int, payload: Any) -> None:
         """Handle one delivered message."""
         raise NotImplementedError
+
+    def on_timer(self, ctx: "AsyncContext", tag: Any) -> None:
+        """Handle a timer set via :meth:`AsyncContext.set_timer`.
+
+        The default ignores timers, so message-driven algorithms need not
+        care that the facility exists.  Fault-tolerant algorithms use
+        timers to poll their failure detector and to pace commits.
+        """

@@ -18,10 +18,16 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
+from repro.common import (
+    Decision,
+    ProtocolError,
+    SimulationLimitExceeded,
+    SurvivorAccounting,
+    message_kind,
+)
 from repro.asyncnet.algorithm import AsyncAlgorithm
 from repro.asyncnet.metrics import AsyncMetrics
 from repro.asyncnet.schedulers import DelayScheduler, UnitDelayScheduler
@@ -31,6 +37,8 @@ __all__ = ["AsyncContext", "AsyncNetwork", "AsyncRunResult"]
 
 _EVENT_WAKE = 0
 _EVENT_DELIVER = 1
+_EVENT_CRASH = 2
+_EVENT_TIMER = 3
 
 
 class AsyncContext:
@@ -81,9 +89,31 @@ class AsyncContext:
         """Stop processing messages (deliveries to this node are dropped)."""
         self._net._halt(self.node)
 
+    # ------------------------------------------------------------------ #
+    # timers and failure detection (faults subsystem)
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        """Schedule :meth:`AsyncAlgorithm.on_timer` at ``now + delay``.
+
+        Timers are node-local (they are not messages, cost nothing and
+        bypass the fault plan); a timer pending when its owner halts or
+        crashes is silently discarded.  Unlike message delays, ``delay``
+        may exceed one time unit.
+        """
+        self._net._set_timer(self.node, delay, tag)
+
+    @property
+    def detector(self):
+        """This node's failure-detector oracle (see :mod:`repro.faults`).
+
+        Always available; without a fault plan it is a perfect detector
+        over a crash-free run (it never suspects anyone).
+        """
+        return self._net.detector_for(self.node)
+
 
 @dataclass
-class AsyncRunResult:
+class AsyncRunResult(SurvivorAccounting):
     """Summary of one asynchronous execution."""
 
     n: int
@@ -97,6 +127,8 @@ class AsyncRunResult:
     awake_count: int
     dropped_deliveries: int
     metrics: AsyncMetrics
+    crashed: List[int] = field(default_factory=list)
+    fault_metrics: Optional[Any] = None  # FaultMetrics when a plan was active
 
     @property
     def leader_ids(self) -> List[int]:
@@ -130,6 +162,7 @@ class AsyncNetwork:
         wake_times: Optional[Dict[int, float]] = None,
         max_events: Optional[int] = None,
         recorder: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need n >= 1")
@@ -162,13 +195,25 @@ class AsyncNetwork:
         self.leaders: List[int] = []
         self.metrics = AsyncMetrics()
 
+        self.fault_plan = faults
+        self.fault_runtime = None
+        self._detectors: Dict[int, Any] = {}
+
         self._awake: List[bool] = [False] * n
         self._halted: List[bool] = [False] * n
+        self._crashed: List[bool] = [False] * n
         self._heap: List[Tuple[float, int, int, int, int, Any]] = []
         self._seq = 0
         self._link_last_delivery: Dict[Tuple[int, int], float] = {}
         self._dropped = 0
         self._now = 0.0
+
+        if faults is not None:
+            from repro.faults.runtime import FaultRuntime
+
+            self.fault_runtime = FaultRuntime(faults, n, self.ids, seed)
+            for at, node in self.fault_runtime.static_crashes():
+                self._push(at, _EVENT_CRASH, node, -1, None)
 
         if wake_times is None:
             wake_times = {0: 0.0}
@@ -189,8 +234,8 @@ class AsyncNetwork:
         self._seq += 1
 
     def _send(self, u: int, port: int, payload: Any) -> None:
-        if self._halted[u]:
-            raise ProtocolError(f"halted node {u} attempted to send")
+        if self._halted[u] or self._crashed[u]:
+            raise ProtocolError(f"halted/crashed node {u} attempted to send")
         v, j = self.port_map.resolve(u, port)
         delay = self.scheduler.delay(u, v, self._now, payload)
         if not 0.0 < delay <= 1.0:
@@ -201,11 +246,25 @@ class AsyncNetwork:
         if previous is not None and deliver_at < previous:
             deliver_at = previous  # FIFO: never overtake on the same link
         self._link_last_delivery[link] = deliver_at
+        kind = message_kind(payload)
         self.metrics.messages_total += 1
-        self.metrics.messages_by_kind[message_kind(payload)] += 1
+        self.metrics.messages_by_kind[kind] += 1
         if self.recorder is not None:
             self.recorder.on_send(self._now, u, port, v, j, payload)
-        self._push(deliver_at, _EVENT_DELIVER, v, j, payload)
+        copies = 1
+        if self.fault_runtime is not None:
+            for when, node in self.fault_runtime.observe_send(self._now, u, kind):
+                self._push(when, _EVENT_CRASH, node, -1, None)
+            copies = self.fault_runtime.deliveries(u, v, kind)
+        for _ in range(copies):
+            self._push(deliver_at, _EVENT_DELIVER, v, j, payload)
+
+    def _set_timer(self, u: int, delay: float, tag: Any) -> None:
+        if self._halted[u] or self._crashed[u]:
+            raise ProtocolError(f"halted/crashed node {u} attempted to set a timer")
+        if delay <= 0:
+            raise ProtocolError(f"timer delay must be > 0, got {delay!r}")
+        self._push(self._now + delay, _EVENT_TIMER, u, -1, tag)
 
     def _decide(self, u: int, decision: Decision, output: Optional[int]) -> None:
         previous = self.decisions[u]
@@ -225,8 +284,27 @@ class AsyncNetwork:
     def _halt(self, u: int) -> None:
         self._halted[u] = True
 
+    def _crash(self, u: int) -> None:
+        """Crash-stop ``u`` now; its pending deliveries/timers are dropped."""
+        self._crashed[u] = True
+        self.fault_runtime.note_crash(u, self._now)
+        if self.recorder is not None and hasattr(self.recorder, "on_crash"):
+            self.recorder.on_crash(self._now, u)
+
+    def detector_for(self, u: int):
+        """The failure-detector oracle of node ``u`` (cached per run)."""
+        detector = self._detectors.get(u)
+        if detector is None:
+            from repro.faults.detectors import engine_detector
+
+            detector = engine_detector(
+                self.fault_plan, u, self.ids, self.fault_runtime, port_map=self.port_map
+            )
+            self._detectors[u] = detector
+        return detector
+
     def _wake(self, u: int) -> None:
-        if self._awake[u] or self._halted[u]:
+        if self._awake[u] or self._halted[u] or self._crashed[u]:
             return
         self._awake[u] = True
         self.metrics.wake_count += 1
@@ -251,12 +329,27 @@ class AsyncNetwork:
             time, _seq, kind, node, port, payload = heapq.heappop(self._heap)
             self._now = time
             self.metrics.events_processed += 1
+            if kind == _EVENT_CRASH:
+                # Crashes are adversary actions, not protocol activity:
+                # they do not extend the measured time span by themselves.
+                if self.fault_runtime.approve_crash(node):
+                    self._crash(node)
+                continue
+            if kind == _EVENT_TIMER:
+                if self._halted[node] or self._crashed[node]:
+                    continue  # discarded with its owner; no time-span effect
+                self.metrics.last_event_time = max(self.metrics.last_event_time, time)
+                self.metrics.timers_fired += 1
+                ctx = self.contexts[node]
+                ctx.now = time
+                self.algorithms[node].on_timer(ctx, payload)
+                continue
             self.metrics.last_event_time = max(self.metrics.last_event_time, time)
             if kind == _EVENT_WAKE:
                 self._wake(node)
                 continue
             # delivery
-            if self._halted[node]:
+            if self._halted[node] or self._crashed[node]:
                 self._dropped += 1
                 continue
             if not self._awake[node]:
@@ -281,4 +374,8 @@ class AsyncNetwork:
             awake_count=sum(self._awake),
             dropped_deliveries=self._dropped,
             metrics=self.metrics,
+            crashed=[u for u in range(self.n) if self._crashed[u]],
+            fault_metrics=(
+                self.fault_runtime.metrics if self.fault_runtime is not None else None
+            ),
         )

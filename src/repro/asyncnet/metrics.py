@@ -13,6 +13,7 @@ class AsyncMetrics:
     messages_total: int = 0
     events_processed: int = 0
     wake_count: int = 0
+    timers_fired: int = 0
     first_wake_time: float = float("inf")
     last_event_time: float = 0.0
     messages_by_kind: Counter = field(default_factory=Counter)

@@ -10,6 +10,7 @@ __all__ = [
     "Decision",
     "ProtocolError",
     "SimulationLimitExceeded",
+    "SurvivorAccounting",
     "message_kind",
 ]
 
@@ -32,6 +33,41 @@ class ProtocolError(RuntimeError):
 
 class SimulationLimitExceeded(RuntimeError):
     """The engine hit a safety limit (rounds/events) without terminating."""
+
+
+class SurvivorAccounting:
+    """Crash-aware leader accounting shared by both engines' run results.
+
+    Expects ``ids``, ``leaders`` (node indices that decided LEADER) and
+    ``crashed`` (node indices that crash-stopped) on the instance.
+    Under crash faults a committed leader may die and be replaced, in
+    which case ``leaders`` legitimately has two entries; failover
+    correctness is judged by :attr:`unique_surviving_leader`.
+    """
+
+    ids: List[int]
+    leaders: List[int]
+    crashed: List[int]
+
+    @property
+    def crashed_count(self) -> int:
+        return len(self.crashed)
+
+    @property
+    def surviving_leaders(self) -> List[int]:
+        """Leaders that were still alive when the run ended."""
+        dead = set(self.crashed)
+        return [u for u in self.leaders if u not in dead]
+
+    @property
+    def unique_surviving_leader(self) -> bool:
+        """Exactly one *alive* node holds LEADER at the end of the run."""
+        return len(self.surviving_leaders) == 1
+
+    @property
+    def surviving_leader_id(self) -> Optional[int]:
+        survivors = self.surviving_leaders
+        return self.ids[survivors[0]] if len(survivors) == 1 else None
 
 
 def message_kind(payload: Any) -> str:

@@ -19,6 +19,8 @@ from repro.core.improved_tradeoff import ImprovedTradeoffElection
 from repro.core.kutten16 import Kutten16Election
 from repro.core.las_vegas import LasVegasElection
 from repro.core.small_id import SmallIdElection
+from repro.faults.monarchical import MonarchicalElection
+from repro.faults.reelect import ReElectionElection
 
 __all__ = ["AlgorithmSpec", "ALGORITHMS", "get_algorithm"]
 
@@ -123,6 +125,26 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             paper_ref="Section 5.4 / Theorem 5.14",
             messages_formula="O(n log n)",
             time_formula="O(log n)",
+        ),
+        AlgorithmSpec(
+            name="monarchical",
+            factory=MonarchicalElection,
+            engine="sync",
+            deterministic=True,
+            wakeup=("simultaneous",),
+            paper_ref="faults: Algo 2.6/2.8 (monarchical, detector oracle)",
+            messages_formula="n - 1 per reign (one coord broadcast)",
+            time_formula="detector lag + stable_rounds",
+        ),
+        AlgorithmSpec(
+            name="reelect",
+            factory=ReElectionElection,
+            engine="sync",
+            deterministic=False,  # depends on the wrapped inner algorithm
+            wakeup=("simultaneous", "adversarial"),
+            paper_ref="faults: epoch re-election wrapper",
+            messages_formula="inner per epoch + n' coord/commit",
+            time_formula="inner + commit_rounds per epoch",
         ),
     ]
 }

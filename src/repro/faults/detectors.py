@@ -1,0 +1,227 @@
+"""Failure-detector oracles (Chandra–Toueg style) for the clique engines.
+
+A failure detector is an *oracle*: each node owns one instance and may
+query it at any point of its execution for the set of peers it currently
+suspects to have crashed.  Suspicions are expressed in node **IDs**, and
+the detector also exposes the membership (the sorted ID list) — the
+fault-tolerant layer therefore runs in a known-membership (KT1-style)
+variant of the model, unlike the paper's KT0 algorithms.  This deviation
+is deliberate and documented in ``docs/MODEL.md``: crash-recovery
+coordination without membership knowledge is a different (and much
+harder) problem than the message-complexity tradeoffs the paper studies.
+
+Two oracles are provided, mirroring the classic hierarchy:
+
+* :class:`PerfectDetector` (P) — strong completeness + strong accuracy,
+  modulo a fixed detection ``lag``: node ``u`` crashed at time ``t`` is
+  suspected by every alive node exactly from ``t + lag`` on, and no
+  alive node is ever suspected.  Because the lag is shared, all alive
+  nodes transition to the new suspicion set *simultaneously*, which the
+  re-election wrapper exploits to keep epochs synchronized.
+* :class:`EventuallyPerfectDetector` (◇P) — before ``noise_horizon``
+  each (observer, peer) pair may undergo one seed-deterministic *false
+  suspicion window*, after which the peer is trusted again; from
+  ``noise_horizon`` on the detector is perfect.  This is the standard
+  increasing-timeout construction: early timeouts fire spuriously until
+  the timeout outgrows the real message delay.
+
+Queries against the ground truth are instrumented: the first time any
+node's query reveals a crashed peer, the crash's *detection time* is
+recorded in :class:`~repro.faults.runtime.FaultMetrics`, so measured
+detection latency reflects actual query cadence, not just the configured
+lag.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.faults.plan import DetectorSpec
+from repro.faults.runtime import FaultRuntime
+
+__all__ = [
+    "FailureDetector",
+    "PerfectDetector",
+    "EventuallyPerfectDetector",
+    "make_detector",
+    "engine_detector",
+]
+
+
+class FailureDetector:
+    """Base oracle: suspicion queries over the run's ground truth."""
+
+    def __init__(
+        self,
+        node: int,
+        ids: List[int],
+        runtime: Optional[FaultRuntime] = None,
+        port_map=None,
+        lag: float = 1.0,
+    ) -> None:
+        self.node = node
+        self.ids = list(ids)
+        self.membership: Tuple[int, ...] = tuple(sorted(ids))
+        self.runtime = runtime
+        self.port_map = port_map
+        self.lag = lag
+
+    # ------------------------------------------------------------------ #
+    # the oracle interface algorithms use
+
+    def suspects(self, now: float) -> FrozenSet[int]:
+        """IDs of the peers this node currently suspects."""
+        return frozenset(self.ids[u] for u in self._suspect_indices(now))
+
+    def alive(self, now: float) -> List[int]:
+        """Membership minus suspects, sorted ascending."""
+        sus = self.suspects(now)
+        return [i for i in self.membership if i not in sus]
+
+    def trusted(self, now: float) -> int:
+        """The monarchical trust rule: the maximum unsuspected ID."""
+        alive = self.alive(now)
+        if not alive:
+            # Cannot happen under the runtime's last-survivor guard; a
+            # fully-noisy ◇P could still reach it, so fail loudly.
+            raise RuntimeError("detector suspects the entire membership")
+        return alive[-1]
+
+    def live_ports(self, now: float) -> List[int]:
+        """Ports of this node that lead to unsuspected peers, ascending.
+
+        Resolving every port materializes the (lazy) port map for this
+        node — oracle power the fault-tolerant wrappers are allowed, see
+        the module docstring.  Requires the engine to have attached a
+        port map.
+        """
+        if self.port_map is None:
+            raise RuntimeError("detector has no port map attached")
+        suspected = self._suspect_indices(now)
+        return [
+            port
+            for port in range(len(self.ids) - 1)
+            if self.port_map.peer(self.node, port) not in suspected
+        ]
+
+    def last_transition(self, now: float) -> float:
+        """When the (ground-truth) suspicion set last grew; 0 if never.
+
+        For a perfect detector this is the detection time of the newest
+        crash already visible at ``now`` — the epoch start the
+        re-election wrapper renumbers inner rounds from.
+        """
+        if self.runtime is None:
+            return 0.0
+        times = [
+            when + self.lag
+            for when in self.runtime.crashed_at.values()
+            if when + self.lag <= now
+        ]
+        return max(times, default=0.0)
+
+    # ------------------------------------------------------------------ #
+    # ground truth plumbing
+
+    def _crashed_indices(self, now: float) -> FrozenSet[int]:
+        """Crashes old enough to have been detected (crash + lag <= now)."""
+        if self.runtime is None:
+            return frozenset()
+        detected = frozenset(
+            u
+            for u, when in self.runtime.crashed_at.items()
+            if when + self.lag <= now
+        )
+        for u in detected:
+            self.runtime.note_suspicion(u, now)
+        return detected
+
+    def _suspect_indices(self, now: float) -> FrozenSet[int]:
+        raise NotImplementedError
+
+
+class PerfectDetector(FailureDetector):
+    """P: never wrong, complete after ``lag``."""
+
+    def _suspect_indices(self, now: float) -> FrozenSet[int]:
+        return self._crashed_indices(now)
+
+
+class EventuallyPerfectDetector(FailureDetector):
+    """◇P: perfect after ``noise_horizon``, noisy (per observer) before."""
+
+    def __init__(
+        self,
+        node: int,
+        ids: List[int],
+        runtime: Optional[FaultRuntime] = None,
+        port_map=None,
+        lag: float = 1.0,
+        noise_horizon: float = 0.0,
+        false_prob: float = 0.0,
+    ) -> None:
+        super().__init__(node, ids, runtime=runtime, port_map=port_map, lag=lag)
+        self.noise_horizon = noise_horizon
+        self.false_prob = false_prob
+        self._windows: Optional[List[Optional[Tuple[float, float]]]] = None
+
+    def _false_windows(self) -> List[Optional[Tuple[float, float]]]:
+        """One optional false-suspicion window per peer, seed-deterministic."""
+        if self._windows is None:
+            seed = self.runtime.seed if self.runtime is not None else 0
+            windows: List[Optional[Tuple[float, float]]] = []
+            for peer in range(len(self.ids)):
+                if peer == self.node:
+                    windows.append(None)
+                    continue
+                rng = random.Random(f"dP:{seed}:{self.node}:{peer}")
+                if rng.random() >= self.false_prob:
+                    windows.append(None)
+                    continue
+                start = rng.uniform(0.0, self.noise_horizon)
+                end = rng.uniform(start, self.noise_horizon)
+                windows.append((start, end))
+            self._windows = windows
+        return self._windows
+
+    def _suspect_indices(self, now: float) -> FrozenSet[int]:
+        suspected = set(self._crashed_indices(now))
+        if now < self.noise_horizon and self.false_prob > 0.0:
+            for peer, window in enumerate(self._false_windows()):
+                if window is not None and window[0] <= now < window[1]:
+                    suspected.add(peer)
+        return frozenset(suspected)
+
+
+def engine_detector(
+    plan, node: int, ids: List[int], runtime: Optional[FaultRuntime], port_map=None
+) -> FailureDetector:
+    """Detector construction shared by both engines' ``detector_for``.
+
+    ``plan`` may be ``None`` (no faults configured): the node then gets
+    a default perfect detector over a crash-free ground truth.
+    """
+    spec = plan.detector if plan is not None else DetectorSpec()
+    return make_detector(spec, node, ids, runtime, port_map=port_map)
+
+
+def make_detector(
+    spec: DetectorSpec,
+    node: int,
+    ids: List[int],
+    runtime: Optional[FaultRuntime],
+    port_map=None,
+) -> FailureDetector:
+    """Instantiate the oracle described by a :class:`DetectorSpec`."""
+    if spec.kind == "perfect":
+        return PerfectDetector(node, ids, runtime=runtime, port_map=port_map, lag=spec.lag)
+    return EventuallyPerfectDetector(
+        node,
+        ids,
+        runtime=runtime,
+        port_map=port_map,
+        lag=spec.lag,
+        noise_horizon=spec.noise_horizon,
+        false_prob=spec.false_prob,
+    )

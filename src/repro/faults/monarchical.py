@@ -1,0 +1,146 @@
+"""Monarchical eventual leader election over a failure-detector oracle.
+
+The classic textbook algorithm (Algo 2.6 / 2.8 of the reliable-broadcast
+literature): every node trusts the *maximum unsuspected ID*.  With a
+perfect detector this is crash-fault-tolerant leader election; with ◇P
+it is eventual leader election (Ω-style): after the detector stabilizes,
+all alive nodes trust the same alive node.
+
+Simulation-shaped termination
+-----------------------------
+
+The textbook algorithm never terminates (trust may change forever).  To
+fit the engines' run-to-quiescence model, a node commits its trust as an
+irrevocable engine decision once the trust value has been *stable* for
+``stable_rounds`` consecutive rounds (sync) or ``stable_polls`` detector
+polls (async), then halts.  With a perfect detector and a finite crash
+schedule this always terminates; with ◇P the stability window must
+exceed the detector's ``noise_horizon`` or two nodes may commit
+different leaders during the noisy prefix (eventual election is exactly
+that weak — pick ``stable_rounds`` accordingly, see
+:func:`safe_stable_rounds`).
+
+Because detector output already carries IDs, followers can decide
+*explicitly* (naming the leader) without any communication.  The leader
+still broadcasts one ``("coord", id)`` announcement per reign — that is
+the traffic failover metrics count, it wakes sleeping peers on the
+asynchronous engine, and it mirrors what a datacenter coordinator would
+actually do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.sync.algorithm import Inbox, SyncAlgorithm
+
+__all__ = [
+    "MonarchicalElection",
+    "AsyncMonarchicalElection",
+    "safe_stable_rounds",
+]
+
+COORD = "coord"
+
+
+def safe_stable_rounds(noise_horizon: float, lag: float) -> int:
+    """A stability window that outlasts a ◇P detector's noisy prefix."""
+    return int(math.ceil(noise_horizon + lag)) + 2
+
+
+class MonarchicalElection(SyncAlgorithm):
+    """Synchronous monarchical (eventual) leader election."""
+
+    def __init__(self, stable_rounds: int = 4) -> None:
+        if stable_rounds < 1:
+            raise ValueError("need stable_rounds >= 1")
+        self.stable_rounds = stable_rounds
+        self.trust: Optional[int] = None
+        self.stable = 0
+        self.announced = False
+
+    def on_round(self, ctx, inbox: Inbox) -> None:
+        trust = ctx.detector.trusted(ctx.round)
+        if trust != self.trust:
+            self.trust = trust
+            self.stable = 1
+            self.announced = False
+        else:
+            self.stable += 1
+        if trust == ctx.my_id and not self.announced and ctx.n > 1:
+            ctx.broadcast((COORD, ctx.my_id))
+            self.announced = True
+        if self.stable >= self.stable_rounds:
+            if trust == ctx.my_id:
+                ctx.decide_leader()
+            else:
+                ctx.decide_follower(trust)
+            ctx.halt()
+
+
+class AsyncMonarchicalElection(AsyncAlgorithm):
+    """Asynchronous monarchical election, paced by polling timers.
+
+    Each node polls its detector every ``poll_interval`` time units and
+    commits after ``stable_polls`` consecutive polls with an unchanged
+    trust value.  Detection latency on this engine is therefore real:
+    crash + detector lag + however long until the next poll.
+    """
+
+    POLL = "monarch-poll"
+
+    def __init__(self, poll_interval: float = 0.5, stable_polls: int = 6) -> None:
+        if poll_interval <= 0:
+            raise ValueError("need poll_interval > 0")
+        if stable_polls < 1:
+            raise ValueError("need stable_polls >= 1")
+        self.poll_interval = poll_interval
+        self.stable_polls = stable_polls
+        self.trust: Optional[int] = None
+        self.stable = 0
+        self.announced = False
+        self.done = False
+
+    def on_wake(self, ctx) -> None:
+        if ctx.n == 1:
+            ctx.decide_leader()
+            ctx.halt()
+            self.done = True
+            return
+        self._poll(ctx)
+        if not self.done:
+            ctx.set_timer(self.poll_interval, self.POLL)
+
+    def on_message(self, ctx, port: int, payload: Any) -> None:
+        # ``coord`` announcements carry no decision authority (the
+        # detector does); their role is waking sleeping peers and
+        # generating accountable failover traffic.
+        return
+
+    def on_timer(self, ctx, tag: Any) -> None:
+        if tag != self.POLL or self.done:
+            return
+        self._poll(ctx)
+        if not self.done:
+            ctx.set_timer(self.poll_interval, self.POLL)
+
+    def _poll(self, ctx) -> None:
+        trust = ctx.detector.trusted(ctx.now)
+        if trust != self.trust:
+            self.trust = trust
+            self.stable = 1
+            self.announced = False
+        else:
+            self.stable += 1
+        if trust == ctx.my_id and not self.announced:
+            ctx.broadcast((COORD, ctx.my_id))
+            self.announced = True
+        if self.stable >= self.stable_polls:
+            if trust == ctx.my_id:
+                ctx.decide_leader()
+            else:
+                ctx.decide_follower(trust)
+            ctx.halt()
+            self.done = True

@@ -1,0 +1,193 @@
+"""Declarative, seed-reproducible fault schedules.
+
+A :class:`FaultPlan` is the immutable description of *everything that can
+go wrong* in one run: which nodes crash and when, which links drop or
+duplicate messages, which adversarial policies may schedule additional
+crashes while the run executes, and which failure-detector oracle the
+surviving nodes are given.  The plan itself contains no randomness — all
+stochastic choices (link-level drops, detector noise) are derived inside
+:class:`repro.faults.runtime.FaultRuntime` from the run seed, so the same
+``(seed, FaultPlan)`` pair always produces the same execution on a given
+engine (see ``tests/test_fault_determinism.py``).
+
+Time units follow the host engine: on the synchronous engine ``at`` is a
+round number (the crash takes effect at the *start* of that round, before
+deliveries); on the asynchronous engine ``at`` is a timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "CrashFault",
+    "LinkFaults",
+    "LeaderKillPolicy",
+    "DetectorSpec",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash node ``node`` (index, not ID) at round/time ``at``.
+
+    A crashed node takes no further steps, sends nothing, and every
+    message or timer delivered to it afterwards is silently dropped —
+    the classic crash-stop fault model.  Messages the node sent *before*
+    crashing remain in flight (the network does not retract them).
+    """
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("crash target must be a node index >= 0")
+        if self.at < 0:
+            raise ValueError("crash schedule entries need at >= 0")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Message-level drop/duplication on a (possibly wildcarded) link.
+
+    ``src``/``dst`` are node indices; ``None`` means "any".  ``kinds``
+    optionally restricts the rule to specific payload kinds (see
+    :func:`repro.common.message_kind`).  The first rule whose scope
+    matches a send decides its fate; later rules are ignored for that
+    message.  Duplication delivers a second copy over the same link at
+    the same nominal delivery time (the duplicate never overtakes — FIFO
+    still holds).
+    """
+
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    kinds: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "duplicate_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        if self.drop_prob == 0.0 and self.duplicate_prob == 0.0:
+            raise ValueError("a LinkFaults rule must drop or duplicate something")
+
+    def matches(self, src: int, dst: int, kind: str) -> bool:
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class LeaderKillPolicy:
+    """Adversarial churn: crash whoever announces leadership first.
+
+    The policy watches every send; when it sees a payload whose kind is
+    in ``kinds`` (the announcement vocabulary of the registered
+    algorithms plus the fault-tolerant wrappers), it schedules the
+    *sender* — the current frontrunner — to crash ``delay`` rounds/time
+    units later.  ``max_kills`` bounds the total number of crashes the
+    policy may inject, so runs always terminate with at least one
+    survivor (the runtime additionally refuses to crash the last alive
+    node).
+    """
+
+    kinds: Tuple[str, ...] = ("leader", "elected", "announce", "coord", "ree_coord")
+    delay: float = 1.0
+    max_kills: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ValueError("kill delay must be > 0 (crashes apply strictly later)")
+        if self.max_kills < 1:
+            raise ValueError("max_kills must be >= 1")
+        if not self.kinds:
+            raise ValueError("policy needs at least one payload kind to watch")
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """Which failure-detector oracle the nodes are given.
+
+    * ``kind="perfect"`` — strong completeness and strong accuracy: a
+      crashed node is suspected by every alive node exactly ``lag``
+      rounds/time units after its crash, and alive nodes are never
+      suspected.
+    * ``kind="eventually_perfect"`` — ◇P à la the increasing-timeout
+      detectors: before ``noise_horizon`` each (observer, peer) pair may
+      additionally go through one *false-suspicion window* (probability
+      ``false_prob``, drawn deterministically from the run seed); after
+      ``noise_horizon`` the detector behaves exactly like the perfect
+      one.  This models a timeout detector that wrongly suspects slow
+      peers until its timeout has grown past the true message delay.
+    """
+
+    kind: str = "perfect"
+    lag: float = 1.0
+    noise_horizon: float = 0.0
+    false_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("perfect", "eventually_perfect"):
+            raise ValueError(f"unknown detector kind {self.kind!r}")
+        if self.lag < 0:
+            raise ValueError("detector lag must be >= 0")
+        if self.kind == "perfect" and (self.noise_horizon or self.false_prob):
+            raise ValueError("a perfect detector cannot have noise parameters")
+        if not 0.0 <= self.false_prob <= 1.0:
+            raise ValueError("false_prob must be in [0, 1]")
+        if self.false_prob > 0 and self.noise_horizon <= 0:
+            raise ValueError("false suspicions need a positive noise_horizon")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one run.
+
+    ``protect`` lists node indices the runtime must never crash (useful
+    to pin a known survivor in adversarial sweeps).  Independently of
+    ``protect``, the runtime refuses any crash that would leave zero
+    alive nodes.
+    """
+
+    crashes: Tuple[CrashFault, ...] = ()
+    links: Tuple[LinkFaults, ...] = ()
+    policies: Tuple[LeaderKillPolicy, ...] = ()
+    detector: DetectorSpec = field(default_factory=DetectorSpec)
+    protect: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for crash in self.crashes:
+            if crash.node in seen:
+                raise ValueError(f"node {crash.node} is scheduled to crash twice")
+            seen.add(crash.node)
+        if seen & set(self.protect):
+            raise ValueError("a node cannot be both protected and scheduled to crash")
+
+    @property
+    def has_link_faults(self) -> bool:
+        return bool(self.links)
+
+    def validate_for(self, n: int) -> None:
+        """Check node indices against a concrete clique size."""
+        for crash in self.crashes:
+            if crash.node >= n:
+                raise ValueError(f"crash target {crash.node} out of range for n={n}")
+        if len(self.crashes) >= n:
+            raise ValueError("cannot schedule every node to crash")
+        for u in self.protect:
+            if not 0 <= u < n:
+                raise ValueError(f"protected node {u} out of range for n={n}")
+        for rule in self.links:
+            for endpoint in (rule.src, rule.dst):
+                if endpoint is not None and not 0 <= endpoint < n:
+                    raise ValueError(f"link rule endpoint {endpoint} out of range")

@@ -1,0 +1,439 @@
+"""Epoch-based re-election: run any registered election, survive crashes.
+
+The wrapper turns a crash-oblivious clique election (anything in
+:data:`repro.core.ALGORITHMS`) into a crash-tolerant one, following the
+fast-path / recovery-path split used by real coordination services: the
+paper's message-optimal algorithm runs untouched while nothing fails,
+and a detector-triggered *epoch restart* re-runs it from scratch among
+the survivors whenever the membership shrinks.
+
+Mechanics
+---------
+
+* **Epochs.**  A node's epoch is the size of its detector's suspicion
+  set.  With a :class:`~repro.faults.detectors.PerfectDetector` every
+  alive node observes each crash at exactly the same round/at the same
+  oracle time, so epoch numbers are globally consistent without any
+  agreement protocol.  (The wrapper is specified for perfect detectors;
+  under ◇P epochs can diverge during the noisy prefix.)
+* **Sub-clique virtualization.**  At each epoch start the wrapper asks
+  the detector which of its ports lead to unsuspected peers
+  (:meth:`~repro.faults.detectors.FailureDetector.live_ports` — oracle
+  power, see ``docs/MODEL.md``) and presents the inner algorithm with a
+  *virtual clique* of the ``n' = n - crashed`` survivors: virtual ports
+  ``0 .. n'-2``, ``ctx.n == n'``, and rounds renumbered from the epoch
+  start.  The inner algorithm therefore runs on a perfectly healthy
+  clique and keeps its correctness guarantees verbatim; the wrapper
+  never needs to know how it works inside.
+* **Tagging.**  Inner messages travel as ``("ree", epoch, payload)``;
+  anything tagged with a stale epoch is dropped on receipt (a crashed
+  leader's last words cannot pollute the next epoch).
+* **Commit.**  When the inner algorithm elects, the winner broadcasts
+  ``("ree_coord", epoch, id)`` to the survivors and every node commits —
+  turns its tentative leader into an irrevocable engine decision — only
+  after ``commit_rounds`` further rounds (``commit_delay`` time units on
+  the asynchronous engine) without a new suspicion.  A crash detected
+  inside the commit window aborts the commit everywhere and starts the
+  next epoch, which is what makes "kill the frontrunner the moment it
+  declares victory" survivable.
+
+Any crash — leader or not — advances the epoch: membership changed, so
+the election re-runs among the new survivor set.  That keeps the epoch
+counter equal to the suspicion-set size at every node, which is the
+whole synchronization argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.common import Decision
+from repro.sync.algorithm import Inbox, SyncAlgorithm
+
+__all__ = ["ReElectionElection", "AsyncReElectionElection"]
+
+TAG = "ree"
+COORD = "ree_coord"
+
+
+def _resolve_factory(
+    inner: Union[str, Callable[[], Any]], inner_params: Optional[Dict[str, Any]]
+) -> Callable[[], Any]:
+    """Accept a registry name or a zero-argument factory."""
+    if callable(inner):
+        if inner_params:
+            raise ValueError("inner_params only apply to registry names")
+        return inner
+    from repro.core import get_algorithm  # deferred: registry imports us
+
+    spec = get_algorithm(inner)
+    return spec.make(**(inner_params or {}))
+
+
+# --------------------------------------------------------------------- #
+# synchronous wrapper
+
+
+class _SyncSubClique:
+    """Virtual survivor-clique context handed to the inner algorithm."""
+
+    def __init__(self, owner: "ReElectionElection", ctx, live_ports: List[int]):
+        self._owner = owner
+        self._ctx = ctx
+        self._v2r = live_ports  # virtual port -> real port
+        self.n = len(live_ports) + 1
+        self.my_id = ctx.my_id
+        self.node = ctx.node
+        self.rng = ctx.rng
+        self.round = 0  # virtual (epoch-relative); owner refreshes it
+        self.wake_round = 0
+        self._decision: Optional[Decision] = None
+
+    # topology ---------------------------------------------------------- #
+
+    @property
+    def port_count(self) -> int:
+        return self.n - 1
+
+    def all_ports(self) -> range:
+        return range(self.n - 1)
+
+    def sample_ports(self, m: int) -> List[int]:
+        if m > self.port_count:
+            raise ValueError(f"cannot sample {m} of {self.port_count} ports")
+        return self.rng.sample(range(self.port_count), m)
+
+    # communication ------------------------------------------------------ #
+
+    def send(self, port: int, payload: Any) -> None:
+        self._ctx.send(self._v2r[port], (TAG, self._owner.epoch, payload))
+
+    def send_many(self, ports, payload: Any) -> None:
+        for port in ports:
+            self.send(port, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        self.send_many(range(self.port_count), payload)
+
+    # decisions ---------------------------------------------------------- #
+
+    @property
+    def decision(self) -> Optional[Decision]:
+        return self._decision
+
+    def decide_leader(self) -> None:
+        self._decision = Decision.LEADER
+        self._owner._inner_elected(self._ctx)
+
+    def decide_follower(self, leader_id: Optional[int] = None) -> None:
+        self._decision = Decision.NON_LEADER
+        self._owner._inner_followed(leader_id)
+
+    def halt(self) -> None:
+        self._owner.inner_halted = True
+
+
+class ReElectionElection(SyncAlgorithm):
+    """Synchronous re-election wrapper (see module docstring)."""
+
+    def __init__(
+        self,
+        inner: Union[str, Callable[[], Any]] = "afek_gafni",
+        commit_rounds: int = 4,
+        inner_params: Optional[Dict[str, Any]] = None,
+        **extra_inner_params: Any,
+    ) -> None:
+        if commit_rounds < 1:
+            raise ValueError("need commit_rounds >= 1")
+        params = dict(inner_params or {})
+        params.update(extra_inner_params)
+        self.factory = _resolve_factory(inner, params if params else None)
+        self.commit_rounds = commit_rounds
+        self.epoch = -1
+        self.inner: Optional[SyncAlgorithm] = None
+        self.proxy: Optional[_SyncSubClique] = None
+        self.inner_halted = False
+        self.epoch_start = 1
+        self.tentative: Optional[int] = None
+        self.commit_left: Optional[int] = None
+        self.pending_coord_round: Optional[int] = None
+        self.leader_hint: Optional[int] = None
+        self.epochs_run = 0
+
+    # ------------------------------------------------------------------ #
+    # wrapper <- inner callbacks
+
+    def _inner_elected(self, ctx) -> None:
+        # Announce over the survivor ports; activate my own tentative
+        # one round later, in lockstep with the followers receiving it.
+        assert self.proxy is not None
+        ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+        self.pending_coord_round = ctx.round + 1
+
+    def _inner_followed(self, leader_id: Optional[int]) -> None:
+        if leader_id is not None:
+            self.leader_hint = leader_id
+
+    # ------------------------------------------------------------------ #
+    # epoch machinery
+
+    def _restart(self, ctx, suspects: frozenset) -> None:
+        self.epoch = len(suspects)
+        self.epochs_run += 1
+        self.epoch_start = max(1, int(ctx.detector.last_transition(ctx.round)))
+        self.inner_halted = False
+        self.tentative = None
+        self.commit_left = None
+        self.pending_coord_round = None
+        self.leader_hint = None
+        live = ctx.detector.live_ports(ctx.round)
+        self.proxy = _SyncSubClique(self, ctx, live)
+        self._r2v = {real: v for v, real in enumerate(live)}
+        if self.proxy.n == 1:
+            # Sole survivor: nothing to elect.
+            self.inner = None
+            self.inner_halted = True
+            self.tentative = ctx.my_id
+            self.commit_left = self.commit_rounds
+            return
+        self.inner = self.factory()
+        self.proxy.round = ctx.round - self.epoch_start + 1
+        self.proxy.wake_round = self.proxy.round
+        self.inner.on_wake(self.proxy)
+
+    def on_wake(self, ctx) -> None:
+        self._restart(ctx, ctx.detector.suspects(ctx.round))
+
+    def on_round(self, ctx, inbox: Inbox) -> None:
+        suspects = ctx.detector.suspects(ctx.round)
+        if len(suspects) > self.epoch:
+            self._restart(ctx, suspects)
+        # Activate my own leadership announcement (symmetric with the
+        # round in which followers receive the coord broadcast).
+        if (
+            self.pending_coord_round is not None
+            and ctx.round >= self.pending_coord_round
+        ):
+            self.tentative = ctx.my_id
+            self.commit_left = self.commit_rounds
+            self.pending_coord_round = None
+        # Route the inbox: current-epoch inner traffic is translated onto
+        # the virtual sub-clique, stale epochs are dropped.
+        inner_inbox: List[Tuple[int, Any]] = []
+        for port, payload in inbox:
+            kind = payload[0]
+            if kind == TAG:
+                _tag, epoch, inner_payload = payload
+                if epoch == self.epoch and not self.inner_halted:
+                    virtual = self._r2v.get(port)
+                    if virtual is not None:
+                        inner_inbox.append((virtual, inner_payload))
+            elif kind == COORD:
+                _tag, epoch, leader_id = payload
+                if epoch == self.epoch and self.tentative is None:
+                    self.tentative = leader_id
+                    self.commit_left = self.commit_rounds
+        if self.inner is not None and not self.inner_halted:
+            self.proxy.round = ctx.round - self.epoch_start + 1
+            self.inner.on_round(self.proxy, inner_inbox)
+        # Commit countdown: crash-free rounds since the announcement.
+        if self.commit_left is not None:
+            self.commit_left -= 1
+            if self.commit_left <= 0:
+                if self.tentative == ctx.my_id:
+                    # Re-announce once at commit so a follower that lost
+                    # the first coord to link faults still learns it.
+                    ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+                    ctx.decide_leader()
+                else:
+                    ctx.decide_follower(self.tentative)
+                ctx.halt()
+
+
+# --------------------------------------------------------------------- #
+# asynchronous wrapper
+
+
+class _AsyncSubClique:
+    """Virtual survivor-clique context for asynchronous inner algorithms."""
+
+    def __init__(self, owner: "AsyncReElectionElection", ctx, live_ports: List[int]):
+        self._owner = owner
+        self._ctx = ctx
+        self._v2r = live_ports
+        self.n = len(live_ports) + 1
+        self.my_id = ctx.my_id
+        self.node = ctx.node
+        self.rng = ctx.rng
+        self.wake_time = ctx.now
+        self._decision: Optional[Decision] = None
+
+    @property
+    def now(self) -> float:
+        return self._ctx.now
+
+    @property
+    def port_count(self) -> int:
+        return self.n - 1
+
+    def sample_ports(self, m: int) -> List[int]:
+        if m > self.port_count:
+            raise ValueError(f"cannot sample {m} of {self.port_count} ports")
+        return self.rng.sample(range(self.port_count), m)
+
+    def send(self, port: int, payload: Any) -> None:
+        self._ctx.send(self._v2r[port], (TAG, self._owner.epoch, payload))
+
+    def send_many(self, ports, payload: Any) -> None:
+        for port in ports:
+            self.send(port, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        self.send_many(range(self.port_count), payload)
+
+    @property
+    def decision(self) -> Optional[Decision]:
+        return self._decision
+
+    def decide_leader(self) -> None:
+        self._decision = Decision.LEADER
+        self._owner._inner_elected(self._ctx)
+
+    def decide_follower(self, leader_id: Optional[int] = None) -> None:
+        self._decision = Decision.NON_LEADER
+        self._owner._inner_followed(leader_id)
+
+    def halt(self) -> None:
+        self._owner.inner_halted = True
+
+
+class AsyncReElectionElection(AsyncAlgorithm):
+    """Asynchronous re-election wrapper.
+
+    Epoch transitions are discovered by polling the detector every
+    ``poll_interval`` time units (and opportunistically whenever a
+    higher-epoch message arrives — the oracle is global, so a higher tag
+    proves the suspicion is already visible).  Commits are armed by a
+    ``commit_delay`` timer and verified against the epoch on expiry.
+
+    For every planned crash to abort the right commit, choose
+    ``commit_delay`` greater than ``detector lag + 1 (max message delay)
+    + poll_interval``.
+    """
+
+    POLL = "reelect-poll"
+    COMMIT = "reelect-commit"
+
+    def __init__(
+        self,
+        inner: Union[str, Callable[[], Any]] = "async_tradeoff",
+        commit_delay: float = 4.0,
+        poll_interval: float = 0.5,
+        inner_params: Optional[Dict[str, Any]] = None,
+        **extra_inner_params: Any,
+    ) -> None:
+        if commit_delay <= 0 or poll_interval <= 0:
+            raise ValueError("commit_delay and poll_interval must be > 0")
+        params = dict(inner_params or {})
+        params.update(extra_inner_params)
+        self.factory = _resolve_factory(inner, params if params else None)
+        self.commit_delay = commit_delay
+        self.poll_interval = poll_interval
+        self.epoch = -1
+        self.inner: Optional[AsyncAlgorithm] = None
+        self.proxy: Optional[_AsyncSubClique] = None
+        self.inner_halted = False
+        self.tentative: Optional[int] = None
+        self.commit_token: Optional[Tuple[int, int]] = None
+        self.leader_hint: Optional[int] = None
+        self.done = False
+        self.epochs_run = 0
+
+    # ------------------------------------------------------------------ #
+    # wrapper <- inner callbacks
+
+    def _inner_elected(self, ctx) -> None:
+        assert self.proxy is not None
+        ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+        self._arm_commit(ctx, ctx.my_id)
+
+    def _inner_followed(self, leader_id: Optional[int]) -> None:
+        if leader_id is not None:
+            self.leader_hint = leader_id
+
+    def _arm_commit(self, ctx, leader_id: int) -> None:
+        self.tentative = leader_id
+        self.commit_token = (self.epoch, leader_id)
+        ctx.set_timer(self.commit_delay, (self.COMMIT, self.epoch, leader_id))
+
+    # ------------------------------------------------------------------ #
+    # epoch machinery
+
+    def _restart(self, ctx, suspects: frozenset) -> None:
+        self.epoch = len(suspects)
+        self.epochs_run += 1
+        self.inner_halted = False
+        self.tentative = None
+        self.commit_token = None
+        self.leader_hint = None
+        live = ctx.detector.live_ports(ctx.now)
+        self.proxy = _AsyncSubClique(self, ctx, live)
+        self._r2v = {real: v for v, real in enumerate(live)}
+        if self.proxy.n == 1:
+            self.inner = None
+            self.inner_halted = True
+            self._arm_commit(ctx, ctx.my_id)
+            return
+        self.inner = self.factory()
+        self.inner.on_wake(self.proxy)
+
+    def _check_epoch(self, ctx) -> None:
+        suspects = ctx.detector.suspects(ctx.now)
+        if len(suspects) > self.epoch:
+            self._restart(ctx, suspects)
+
+    def on_wake(self, ctx) -> None:
+        self._restart(ctx, ctx.detector.suspects(ctx.now))
+        ctx.set_timer(self.poll_interval, self.POLL)
+
+    def on_message(self, ctx, port: int, payload: Any) -> None:
+        if self.done:
+            return
+        kind = payload[0]
+        if kind == TAG:
+            _tag, epoch, inner_payload = payload
+            if epoch > self.epoch:
+                self._check_epoch(ctx)
+            if epoch == self.epoch and not self.inner_halted:
+                virtual = self._r2v.get(port)
+                if virtual is not None:
+                    self.inner.on_message(self.proxy, virtual, inner_payload)
+        elif kind == COORD:
+            _tag, epoch, leader_id = payload
+            if epoch > self.epoch:
+                self._check_epoch(ctx)
+            if epoch == self.epoch and self.tentative is None:
+                self._arm_commit(ctx, leader_id)
+
+    def on_timer(self, ctx, tag: Any) -> None:
+        if self.done:
+            return
+        if tag == self.POLL:
+            self._check_epoch(ctx)
+            ctx.set_timer(self.poll_interval, self.POLL)
+            return
+        if isinstance(tag, tuple) and tag[0] == self.COMMIT:
+            _name, epoch, leader_id = tag
+            if self.commit_token != (epoch, leader_id) or epoch != self.epoch:
+                return  # aborted by an epoch restart
+            self._check_epoch(ctx)
+            if self.commit_token != (epoch, leader_id) or epoch != self.epoch:
+                return
+            if leader_id == ctx.my_id:
+                ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+                ctx.decide_leader()
+            else:
+                ctx.decide_follower(leader_id)
+            ctx.halt()
+            self.done = True

@@ -1,0 +1,128 @@
+"""Failover trials: run an election under a fault plan, measure recovery.
+
+Wraps the analysis runner with fault-aware instrumentation: every trial
+runs with a :class:`~repro.trace.MemoryRecorder` so the failover numbers
+(detection latency, re-election time, message cost after the first
+crash) are measured from the actual event trace rather than inferred
+from configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.runner import RunRecord, run_async_trial, run_sync_trial
+from repro.common import Decision
+from repro.faults.plan import FaultPlan
+from repro.trace.events import MemoryRecorder, TraceEvent
+
+__all__ = ["FailoverReport", "run_failover_trial"]
+
+
+@dataclass
+class FailoverReport:
+    """One fault-injected run, flattened for churn analysis."""
+
+    record: RunRecord
+    crashes: int
+    unique_surviving_leader: bool
+    surviving_leader_id: Optional[int]
+    # crash -> first suspicion by any alive node, one entry per detected crash
+    detection_latencies: List[float] = field(default_factory=list)
+    # first crash -> last LEADER decision (None if no crash or no leader)
+    reelection_time: Optional[float] = None
+    messages_after_first_crash: int = 0
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def mean_detection_latency(self) -> Optional[float]:
+        if not self.detection_latencies:
+            return None
+        return sum(self.detection_latencies) / len(self.detection_latencies)
+
+
+def _measure(record: RunRecord, result: Any, events: List[TraceEvent]) -> FailoverReport:
+    metrics = result.fault_metrics
+    crash_times = sorted(when for when, _u in metrics.crashes) if metrics else []
+    first_crash = crash_times[0] if crash_times else None
+    reelection_time = None
+    messages_after = 0
+    if first_crash is not None:
+        leader_decides = [
+            e.when
+            for e in events
+            if e.kind == "decide" and e.detail[0] is Decision.LEADER
+        ]
+        if leader_decides and leader_decides[-1] >= first_crash:
+            reelection_time = leader_decides[-1] - first_crash
+        messages_after = sum(
+            1 for e in events if e.kind == "send" and e.when >= first_crash
+        )
+    dead = set(result.crashed)
+    crashed_at = {u: when for when, u in (metrics.crashes if metrics else [])}
+    return FailoverReport(
+        record=record,
+        crashes=len(dead),
+        unique_surviving_leader=result.unique_surviving_leader,
+        surviving_leader_id=result.surviving_leader_id,
+        detection_latencies=(
+            metrics.detection_latencies(crashed_at) if metrics else []
+        ),
+        reelection_time=reelection_time,
+        messages_after_first_crash=messages_after,
+        dropped_messages=metrics.dropped_messages if metrics else 0,
+        duplicated_messages=metrics.duplicated_messages if metrics else 0,
+        events=events,
+    )
+
+
+def run_failover_trial(
+    engine: str,
+    n: int,
+    algorithm_factory: Callable[[], Any],
+    plan: FaultPlan,
+    *,
+    seed: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    awake: Optional[Sequence[int]] = None,
+    wake_times: Optional[Dict[int, float]] = None,
+    scheduler: Optional[Any] = None,
+    max_rounds: Optional[int] = None,
+    max_events: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> FailoverReport:
+    """One fault-injected election with measured failover metrics."""
+    recorder = MemoryRecorder()
+    if engine == "sync":
+        record = run_sync_trial(
+            n,
+            algorithm_factory,
+            seed=seed,
+            ids=ids,
+            awake=awake,
+            max_rounds=max_rounds,
+            params=params,
+            faults=plan,
+            recorder=recorder,
+            keep_result=True,
+        )
+    elif engine == "async":
+        record = run_async_trial(
+            n,
+            algorithm_factory,
+            seed=seed,
+            ids=ids,
+            scheduler=scheduler,
+            wake_times=wake_times,
+            max_events=max_events,
+            params=params,
+            faults=plan,
+            recorder=recorder,
+            keep_result=True,
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r} (want 'sync' or 'async')")
+    return _measure(record, record.extra["result"], recorder.events)

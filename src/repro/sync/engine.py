@@ -23,7 +23,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
+from repro.common import (
+    Decision,
+    ProtocolError,
+    SimulationLimitExceeded,
+    SurvivorAccounting,
+    message_kind,
+)
 from repro.net.ports import LazyPortMap, PortMap, RandomPortPolicy
 from repro.sync.algorithm import SyncAlgorithm
 from repro.sync.metrics import SyncMetrics
@@ -104,9 +110,21 @@ class SyncContext:
         """Terminate this node; it takes no further steps."""
         self._net._halt(self.node)
 
+    # ------------------------------------------------------------------ #
+    # failure detection (faults subsystem)
+
+    @property
+    def detector(self):
+        """This node's failure-detector oracle (see :mod:`repro.faults`).
+
+        Always available; without a fault plan it is a perfect detector
+        over a crash-free run (it never suspects anyone).
+        """
+        return self._net.detector_for(self.node)
+
 
 @dataclass
-class SyncRunResult:
+class SyncRunResult(SurvivorAccounting):
     """Summary of one synchronous execution."""
 
     n: int
@@ -121,6 +139,8 @@ class SyncRunResult:
     halted_count: int
     dropped_deliveries: int
     metrics: SyncMetrics
+    crashed: List[int] = field(default_factory=list)
+    fault_metrics: Optional[Any] = None  # FaultMetrics when a plan was active
 
     @property
     def leader_ids(self) -> List[int]:
@@ -171,6 +191,7 @@ class SyncNetwork:
         awake: Optional[Sequence[int]] = None,
         max_rounds: Optional[int] = None,
         recorder: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need n >= 1")
@@ -200,8 +221,17 @@ class SyncNetwork:
         self.leaders: List[int] = []
         self.metrics = SyncMetrics()
 
+        self.fault_plan = faults
+        self.fault_runtime = None
+        if faults is not None:
+            from repro.faults.runtime import FaultRuntime
+
+            self.fault_runtime = FaultRuntime(faults, n, self.ids, seed)
+        self._detectors: Dict[int, Any] = {}
+
         self._awake: List[bool] = [False] * n
         self._halted: List[bool] = [False] * n
+        self._crashed: List[bool] = [False] * n
         self._active: Set[int] = set()
         self._used_send_ports: List[Set[int]] = [set() for _ in range(n)]
         self._inboxes_next: Dict[int, List[Tuple[int, Any]]] = {}
@@ -219,16 +249,22 @@ class SyncNetwork:
     # engine internals (called by contexts)
 
     def _send(self, u: int, port: int, payload: Any) -> None:
-        if self._halted[u]:
-            raise ProtocolError(f"halted node {u} attempted to send")
+        if self._halted[u] or self._crashed[u]:
+            raise ProtocolError(f"halted/crashed node {u} attempted to send")
         v, j = self.port_map.resolve(u, port)
         opened = port not in self._used_send_ports[u]
         if opened:
             self._used_send_ports[u].add(port)
-        self.metrics.record_send(self.round, message_kind(payload), opened)
+        kind = message_kind(payload)
+        self.metrics.record_send(self.round, kind, opened)
         if self.recorder is not None:
             self.recorder.on_send(self.round, u, port, v, j, payload)
-        self._inboxes_next.setdefault(v, []).append((j, payload))
+        copies = 1
+        if self.fault_runtime is not None:
+            self.fault_runtime.observe_send(self.round, u, kind)
+            copies = self.fault_runtime.deliveries(u, v, kind)
+        for _ in range(copies):
+            self._inboxes_next.setdefault(v, []).append((j, payload))
 
     def _decide(self, u: int, decision: Decision, output: Optional[int]) -> None:
         previous = self.decisions[u]
@@ -250,13 +286,43 @@ class SyncNetwork:
             self._halted[u] = True
             self._active.discard(u)
 
+    def _crash(self, u: int, when: Optional[float] = None) -> None:
+        """Crash-stop ``u`` (at the start of the current round by default)."""
+        if when is None:
+            when = self.round
+        self._crashed[u] = True
+        self._active.discard(u)
+        self.fault_runtime.note_crash(u, when)
+        if self.recorder is not None and hasattr(self.recorder, "on_crash"):
+            self.recorder.on_crash(when, u)
+
+    def _apply_due_crashes(self) -> None:
+        if self.fault_runtime is None:
+            return
+        for u in self.fault_runtime.due_crashes(self.round):
+            if self.fault_runtime.approve_crash(u):
+                self._crash(u)
+
+    def detector_for(self, u: int):
+        """The failure-detector oracle of node ``u`` (cached per run)."""
+        detector = self._detectors.get(u)
+        if detector is None:
+            from repro.faults.detectors import engine_detector
+
+            detector = engine_detector(
+                self.fault_plan, u, self.ids, self.fault_runtime, port_map=self.port_map
+            )
+            self._detectors[u] = detector
+        return detector
+
     def _wake(self, u: int) -> None:
-        if self._awake[u] or self._halted[u]:
+        if self._awake[u] or self._halted[u] or self._crashed[u]:
             return
         self._awake[u] = True
         self._active.add(u)
         self.metrics.wake_count += 1
         ctx = self.contexts[u]
+        ctx.round = self.round
         ctx.wake_round = self.round
         if self.recorder is not None:
             self.recorder.on_wake(self.round, u)
@@ -268,6 +334,7 @@ class SyncNetwork:
     def run(self) -> SyncRunResult:
         """Execute rounds until every non-asleep node has halted."""
         self.round = 1
+        self._apply_due_crashes()
         for u in sorted(self._initial_wake):
             self._wake(u)
         while True:
@@ -281,7 +348,7 @@ class SyncNetwork:
             # Deliveries wake sleeping destinations (in index order, for
             # determinism of the wake hooks).
             for v in sorted(inboxes):
-                if self._halted[v]:
+                if self._halted[v] or self._crashed[v]:
                     self._dropped_deliveries += len(inboxes[v])
                 elif not self._awake[v]:
                     self._wake(v)
@@ -293,6 +360,13 @@ class SyncNetwork:
             if not self._active and not self._inboxes_next:
                 break
             self.round += 1
+            self._apply_due_crashes()
+        # Post-quiescence crashes still happen (to the machines, not the
+        # protocol): record them so survivor accounting matches reality.
+        if self.fault_runtime is not None:
+            for at, u in self.fault_runtime.drain_pending():
+                if self.fault_runtime.approve_crash(u):
+                    self._crash(u, when=at)
         return self._result()
 
     def _result(self) -> SyncRunResult:
@@ -309,4 +383,8 @@ class SyncNetwork:
             halted_count=sum(self._halted),
             dropped_deliveries=self._dropped_deliveries,
             metrics=self.metrics,
+            crashed=[u for u in range(self.n) if self._crashed[u]],
+            fault_metrics=(
+                self.fault_runtime.metrics if self.fault_runtime is not None else None
+            ),
         )

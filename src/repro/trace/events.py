@@ -12,8 +12,8 @@ __all__ = ["TraceEvent", "MemoryRecorder", "PrintRecorder", "CompositeRecorder"]
 class TraceEvent:
     """One recorded event.
 
-    ``kind`` is one of ``send``, ``deliver``, ``wake``, ``decide``;
-    ``when`` is the round number (sync) or timestamp (async).
+    ``kind`` is one of ``send``, ``deliver``, ``wake``, ``decide``,
+    ``crash``; ``when`` is the round number (sync) or timestamp (async).
     """
 
     kind: str
@@ -42,6 +42,9 @@ class MemoryRecorder:
 
     def on_decide(self, when, u, decision, output) -> None:
         self.events.append(TraceEvent("decide", float(when), u, (decision, output)))
+
+    def on_crash(self, when, u) -> None:
+        self.events.append(TraceEvent("crash", float(when), u, ()))
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -79,6 +82,9 @@ class PrintRecorder:
     def on_decide(self, when, u, decision, output) -> None:
         self._emit(TraceEvent("decide", float(when), u, (decision, output)))
 
+    def on_crash(self, when, u) -> None:
+        self._emit(TraceEvent("crash", float(when), u, ()))
+
 
 class CompositeRecorder:
     """Fans every hook out to several recorders."""
@@ -105,3 +111,8 @@ class CompositeRecorder:
         for r in self.recorders:
             if hasattr(r, "on_decide"):
                 r.on_decide(*args)
+
+    def on_crash(self, *args) -> None:
+        for r in self.recorders:
+            if hasattr(r, "on_crash"):
+                r.on_crash(*args)

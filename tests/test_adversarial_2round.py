@@ -33,6 +33,7 @@ class TestCorrectness:
         assert result.last_send_round <= 2
 
     @pytest.mark.parametrize("roots", [[0], [1, 5, 9], list(range(64))])
+    @pytest.mark.slow
     def test_whp_unique_leader_any_root_set(self, roots):
         results = [
             run_sync(
@@ -52,6 +53,7 @@ class TestCorrectness:
                 assert result.awake_count == 256
                 assert result.decided_count == 256
 
+    @pytest.mark.slow
     def test_all_roots_adversary_still_elects(self):
         # The adversary's nastiest set: every node is a root, so nobody
         # is *woken* by a message — candidacy must trigger on message
@@ -103,6 +105,7 @@ class TestCorrectness:
         assert len(result.leaders) <= 1
 
 
+@pytest.mark.slow
 class TestComplexity:
     def test_root_spray_is_sqrt_n(self):
         n = 400

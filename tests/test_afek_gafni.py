@@ -91,6 +91,7 @@ class TestAdversarialWakeup:
         assert result.unique_leader
 
 
+@pytest.mark.slow
 class TestComplexityComparison:
     @pytest.mark.parametrize("ell", [2, 4, 6])
     def test_messages_within_paper_bound(self, ell):

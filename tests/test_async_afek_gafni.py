@@ -280,6 +280,7 @@ class TestGeneralTradeoffSchedule:
         assert stats[2][0] > stats[4][0] > stats[8][0]
         assert stats[2][1] < stats[8][1]
 
+    @pytest.mark.slow
     def test_k2_matches_n_to_3_2_shape(self):
         n = 1024
         net = AsyncNetwork(

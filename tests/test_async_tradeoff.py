@@ -51,6 +51,7 @@ class TestParameters:
 
 class TestCorrectness:
     @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.slow
     def test_whp_unique_leader(self, k):
         results = [run_async(256, k=k, seed=s) for s in range(10)]
         rate = success_rate(results, lambda r: r.unique_leader)
@@ -62,6 +63,7 @@ class TestCorrectness:
         if result.unique_leader:
             assert result.decided_count == 512
 
+    @pytest.mark.slow
     def test_never_two_leaders(self):
         for seed in range(20):
             result = run_async(128, k=2, seed=seed)
@@ -106,6 +108,7 @@ class TestCorrectness:
         assert len(result.leaders) <= 1
 
 
+@pytest.mark.slow
 class TestComplexity:
     def test_time_within_k_plus_8(self):
         # Unit delays, default single-root adversarial wake-up; allow +1
@@ -188,6 +191,7 @@ class TestProtocolInternals:
         assert kinds.get("confirm_reply", 0) == kinds.get("confirm", 0)
 
 
+@pytest.mark.slow
 class TestWakeupCoverageLemma52:
     """Lemma 5.2's claim in isolation: the wake-up spray covers the
     clique within k+4 units whp for admissible k."""

@@ -1,0 +1,107 @@
+"""The ``python -m repro faults`` subcommand."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParsing:
+    def test_crash_spec(self):
+        args = build_parser().parse_args(
+            ["faults", "monarchical", "--crash", "3@2", "--crash", "5@4.5"]
+        )
+        assert [(c.node, c.at) for c in args.crash] == [(3, 2.0), (5, 4.5)]
+
+    def test_bad_crash_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "monarchical", "--crash", "nope"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "nope"])
+
+
+class TestRuns:
+    def test_monarchical_crash(self, capsys):
+        assert main(["faults", "monarchical", "--n", "16", "--crash", "15@2"]) == 0
+        out = capsys.readouterr().out
+        assert "survivor leader" in out
+        assert "yes" in out
+
+    def test_reelect_kill_leader(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "reelect",
+                    "--n",
+                    "24",
+                    "--kill-leader",
+                    "--param",
+                    "inner=afek_gafni",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kill-leader" in out
+        assert "yes" in out
+
+    def test_async_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "monarchical",
+                    "--n",
+                    "12",
+                    "--engine",
+                    "async",
+                    "--crash",
+                    "11@0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "async engine" in out
+
+    def test_crash_oblivious_algorithm_fails_visibly(self, capsys):
+        # The paper's algorithms are crash-oblivious by design; the CLI
+        # must report the failed failover (exit 1) rather than hide it.
+        assert (
+            main(["faults", "kutten16", "--n", "64", "--duplicate", "0.05"]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "kutten16" in out
+        assert "without a unique surviving leader" in out
+
+    def test_engine_mismatch_errors(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "las_vegas", "--engine", "async"])
+
+    def test_eventually_perfect_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "monarchical",
+                    "--n",
+                    "16",
+                    "--detector",
+                    "eventually_perfect",
+                    "--lag",
+                    "1",
+                    "--noise-horizon",
+                    "3",
+                    "--false-prob",
+                    "0.2",
+                    "--param",
+                    "stable_rounds=6",
+                    "--crash",
+                    "15@2",
+                ]
+            )
+            == 0
+        )
+        assert "eventually_perfect" in capsys.readouterr().out

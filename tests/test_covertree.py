@@ -88,6 +88,7 @@ class TestAlgorithm2CoverTree:
     """The Lemma 5.7 claims on the real wake-up phase."""
 
     @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.slow
     def test_height_at_most_k_plus_2(self, k):
         n = 512
         result, tree = run_with_tree(n, lambda: AsyncTradeoffElection(k=k), seed=k, max_events=8_000_000)
@@ -108,6 +109,7 @@ class TestAlgorithm2CoverTree:
         assert min(tree.branching()) >= 1
 
 
+@pytest.mark.slow
 class TestTargetedScheduler:
     def test_kind_delays_validated(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,225 @@
+"""Engine-level fault semantics: crash-stop, lossy links, timers."""
+
+import pytest
+
+from repro.asyncnet.algorithm import AsyncAlgorithm
+from repro.asyncnet.engine import AsyncNetwork
+from repro.common import ProtocolError
+from repro.faults import CrashFault, DetectorSpec, FaultPlan, LinkFaults
+from repro.sync.algorithm import SyncAlgorithm
+from repro.sync.engine import SyncNetwork
+from repro.trace import MemoryRecorder
+
+
+class ChattySync(SyncAlgorithm):
+    """Broadcasts for a few rounds, then halts (no election)."""
+
+    def __init__(self, rounds=3):
+        self.rounds = rounds
+
+    def on_round(self, ctx, inbox):
+        if ctx.round > self.rounds:
+            ctx.halt()
+            return
+        ctx.broadcast(("ping", ctx.round))
+
+
+class ChattyAsync(AsyncAlgorithm):
+    def on_wake(self, ctx):
+        ctx.broadcast(("ping",))
+
+    def on_message(self, ctx, port, payload):
+        ctx.halt()
+
+
+class TimerAsync(AsyncAlgorithm):
+    def __init__(self):
+        self.fired = []
+
+    def on_wake(self, ctx):
+        ctx.set_timer(0.5, "a")
+        ctx.set_timer(1.5, "b")
+
+    def on_message(self, ctx, port, payload):
+        pass
+
+    def on_timer(self, ctx, tag):
+        self.fired.append((ctx.now, tag))
+        if tag == "b":
+            ctx.halt()
+
+
+class TestSyncCrashes:
+    def test_crashed_node_stops_stepping_and_receiving(self):
+        rec = MemoryRecorder()
+        plan = FaultPlan(crashes=(CrashFault(node=1, at=2),))
+        net = SyncNetwork(4, ChattySync, seed=0, faults=plan, recorder=rec)
+        result = net.run()
+        # Node 1 broadcast in round 1 only (3 sends); survivors 3 rounds.
+        sends_by_node = {u: 0 for u in range(4)}
+        for e in rec.events:
+            if e.kind == "send":
+                sends_by_node[e.node] += 1
+        assert sends_by_node[1] == 3
+        assert all(sends_by_node[u] == 9 for u in (0, 2, 3))
+        assert result.crashed == [1]
+        assert result.crashed_count == 1
+        # Round-2/3 messages aimed at node 1 are dropped.
+        assert result.dropped_deliveries >= 6
+        assert result.fault_metrics.crashes == [(2, 1)]
+
+    def test_crash_event_recorded(self):
+        rec = MemoryRecorder()
+        plan = FaultPlan(crashes=(CrashFault(node=2, at=1),))
+        SyncNetwork(4, ChattySync, seed=0, faults=plan, recorder=rec).run()
+        crashes = rec.of_kind("crash")
+        assert [(e.when, e.node) for e in crashes] == [(1.0, 2)]
+
+    def test_crash_before_wake_prevents_participation(self):
+        plan = FaultPlan(crashes=(CrashFault(node=0, at=1),))
+        result = SyncNetwork(4, ChattySync, seed=0, faults=plan).run()
+        assert result.awake_count == 3
+
+    def test_last_survivor_never_crashes(self):
+        from repro.faults import LeaderKillPolicy
+
+        # Both nodes announce "ping" in round 1, so the policy schedules
+        # both kills; the second is suppressed by the survivor guard.
+        plan = FaultPlan(
+            policies=(LeaderKillPolicy(kinds=("ping",), delay=1, max_kills=2),)
+        )
+        result = SyncNetwork(2, ChattySync, seed=0, faults=plan).run()
+        assert len(result.crashed) == 1
+        assert result.fault_metrics.suppressed_crashes == 1
+
+    def test_drop_all_messages(self):
+        plan = FaultPlan(links=(LinkFaults(drop_prob=1.0),))
+        rec = MemoryRecorder()
+        result = SyncNetwork(4, ChattySync, seed=0, faults=plan, recorder=rec).run()
+        # Sends still happen (and are billed), deliveries never arrive.
+        assert result.messages == 4 * 3 * 3
+        assert result.fault_metrics.dropped_messages == result.messages
+        assert not rec.of_kind("deliver")  # sync engine records no delivers anyway
+
+    def test_duplication_doubles_inboxes(self):
+        class CountInbox(SyncAlgorithm):
+            def __init__(self):
+                self.got = 0
+
+            def on_round(self, ctx, inbox):
+                self.got += len(inbox)
+                if ctx.round >= 2:
+                    ctx.halt()
+                elif ctx.round == 1:
+                    ctx.broadcast(("ping",))
+
+        plan = FaultPlan(links=(LinkFaults(duplicate_prob=1.0),))
+        net = SyncNetwork(3, CountInbox, seed=0, faults=plan)
+        net.run()
+        assert all(alg.got == 4 for alg in net.algorithms)  # 2 peers x 2 copies
+
+    def test_detector_available_without_plan(self):
+        net = SyncNetwork(3, lambda: ChattySync(rounds=1), seed=0)
+        result = net.run()
+        assert result.crashed == [] and result.fault_metrics is None
+        det = net.contexts[0].detector
+        assert det.suspects(99.0) == frozenset()
+
+
+class TestAsyncCrashes:
+    def test_crash_stops_processing(self):
+        rec = MemoryRecorder()
+        plan = FaultPlan(crashes=(CrashFault(node=1, at=0.5),))
+        net = AsyncNetwork(
+            4, ChattyAsync, seed=0, faults=plan,
+            wake_times={u: 0.0 for u in range(4)}, recorder=rec,
+        )
+        result = net.run()
+        assert result.crashed == [1]
+        assert result.dropped_deliveries >= 3  # node 1's deliveries at t=1
+        assert [(e.when, e.node) for e in rec.of_kind("crash")] == [(0.5, 1)]
+
+    def test_crash_does_not_extend_time_span(self):
+        # The node halts long before its scheduled crash at t=50; the
+        # crash still lands (ground truth: the machine died), but the
+        # measured time span stays protocol-bound.
+        plan = FaultPlan(crashes=(CrashFault(node=1, at=50.0),))
+        result = AsyncNetwork(
+            4, ChattyAsync, seed=0, faults=plan,
+            wake_times={u: 0.0 for u in range(4)},
+        ).run()
+        assert result.crashed == [1]
+        assert result.time <= 2.0
+
+    def test_timers_fire_in_order_and_die_with_halt(self):
+        net = AsyncNetwork(1, TimerAsync, seed=0, wake_times={0: 0.0})
+        result = net.run()
+        assert net.algorithms[0].fired == [(0.5, "a"), (1.5, "b")]
+        assert result.metrics.timers_fired == 2
+        assert result.time == 1.5
+
+    def test_pending_timer_of_halted_node_dropped(self):
+        class HaltEarly(TimerAsync):
+            def on_timer(self, ctx, tag):
+                self.fired.append((ctx.now, tag))
+                ctx.halt()  # halts at the first timer; second must not fire
+
+        net = AsyncNetwork(1, HaltEarly, seed=0, wake_times={0: 0.0})
+        result = net.run()
+        assert net.algorithms[0].fired == [(0.5, "a")]
+        assert result.time == 0.5
+
+    def test_timer_validation(self):
+        class BadTimer(AsyncAlgorithm):
+            def on_wake(self, ctx):
+                ctx.set_timer(0.0, "bad")
+
+            def on_message(self, ctx, port, payload):
+                pass
+
+        with pytest.raises(ProtocolError):
+            AsyncNetwork(1, BadTimer, seed=0, wake_times={0: 0.0}).run()
+
+    def test_drop_all_messages_async(self):
+        plan = FaultPlan(links=(LinkFaults(drop_prob=1.0),))
+        result = AsyncNetwork(
+            3, ChattyAsync, seed=0, faults=plan,
+            wake_times={u: 0.0 for u in range(3)},
+        ).run()
+        assert result.messages == 6
+        assert result.fault_metrics.dropped_messages == 6
+        assert result.dropped_deliveries == 0  # dropped in flight, not at door
+
+    def test_duplicates_delivered_async(self):
+        got = []
+
+        class Count(AsyncAlgorithm):
+            def on_wake(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(0, ("ping",))
+
+            def on_message(self, ctx, port, payload):
+                got.append(ctx.node)
+
+        plan = FaultPlan(links=(LinkFaults(duplicate_prob=1.0),))
+        AsyncNetwork(
+            2, Count, seed=0, faults=plan, wake_times={0: 0.0, 1: 0.0}
+        ).run()
+        assert len(got) == 2
+
+    def test_detector_available_without_plan(self):
+        net = AsyncNetwork(2, ChattyAsync, seed=0, wake_times={0: 0.0, 1: 0.0})
+        net.run()
+        assert net.contexts[0].detector.suspects(10.0) == frozenset()
+
+
+class TestDetectorSpecPlumbing:
+    def test_engine_hands_out_spec_detector(self):
+        plan = FaultPlan(
+            detector=DetectorSpec(kind="eventually_perfect", lag=2.0,
+                                  noise_horizon=5.0, false_prob=0.5)
+        )
+        net = SyncNetwork(3, lambda: ChattySync(rounds=1), seed=0, faults=plan)
+        det = net.detector_for(0)
+        assert det.lag == 2.0
+        assert det is net.detector_for(0)  # cached

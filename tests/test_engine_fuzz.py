@@ -15,9 +15,13 @@ does, the engines must preserve:
 
 import random
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.asyncnet.algorithm import AsyncAlgorithm
+
+pytestmark = pytest.mark.slow
 from repro.asyncnet.engine import AsyncNetwork
 from repro.asyncnet.schedulers import UniformDelayScheduler
 from repro.sync.algorithm import SyncAlgorithm

@@ -37,11 +37,13 @@ class TestExamples:
         assert "Afek-Gafni (measured)" in out
         assert "k = 2" in out
 
+    @pytest.mark.slow
     def test_small_id_universe(self):
         out = run_example("small_id_universe.py")
         assert "o(n log n)!" in out
         assert "ValueError" in out  # the guard-rail demo
 
+    @pytest.mark.slow
     def test_sensor_wakeup(self):
         out = run_example("sensor_wakeup.py")
         assert "reliability" in out
@@ -63,6 +65,7 @@ class TestExamples:
         assert "you-win!" in out
         assert "leader id 99" in out
 
+    @pytest.mark.slow
     def test_complexity_scaling_runs(self):
         # full size but fast enough (~1 min); asserts the plot renders.
         out = run_example("complexity_scaling.py", timeout=400)

@@ -1,0 +1,111 @@
+"""Failure-detector oracles: completeness, accuracy, determinism."""
+
+from repro.faults import (
+    DetectorSpec,
+    EventuallyPerfectDetector,
+    FaultPlan,
+    FaultRuntime,
+    PerfectDetector,
+    make_detector,
+)
+
+IDS = [10, 20, 30, 40]
+
+
+def runtime(seed=0):
+    return FaultRuntime(FaultPlan(), len(IDS), IDS, seed=seed)
+
+
+class TestPerfectDetector:
+    def test_no_runtime_never_suspects(self):
+        det = PerfectDetector(0, IDS)
+        assert det.suspects(100.0) == frozenset()
+        assert det.trusted(100.0) == 40
+
+    def test_lag_gates_detection(self):
+        rt = runtime()
+        rt.note_crash(3, 5.0)
+        det = PerfectDetector(0, IDS, runtime=rt, lag=2.0)
+        assert det.suspects(6.9) == frozenset()
+        assert det.suspects(7.0) == frozenset({40})
+        assert det.trusted(7.0) == 30
+
+    def test_membership_sorted(self):
+        det = PerfectDetector(0, [3, 1, 2])
+        assert det.membership == (1, 2, 3)
+
+    def test_first_suspicion_recorded(self):
+        rt = runtime()
+        rt.note_crash(1, 2.0)
+        det = PerfectDetector(0, IDS, runtime=rt, lag=1.0)
+        det.suspects(2.5)  # too early: not recorded
+        assert 1 not in rt.metrics.first_suspected
+        det.suspects(4.0)
+        assert rt.metrics.first_suspected[1] == 4.0
+        det.suspects(9.0)  # later queries do not overwrite the first
+        assert rt.metrics.first_suspected[1] == 4.0
+        assert rt.metrics.detection_latencies(rt.crashed_at) == [2.0]
+
+    def test_last_transition(self):
+        rt = runtime()
+        det = PerfectDetector(0, IDS, runtime=rt, lag=1.0)
+        assert det.last_transition(10.0) == 0.0
+        rt.note_crash(1, 2.0)
+        rt.note_crash(2, 5.0)
+        assert det.last_transition(4.0) == 3.0
+        assert det.last_transition(10.0) == 6.0
+
+
+class TestEventuallyPerfectDetector:
+    def make(self, seed=0, **kw):
+        rt = runtime(seed)
+        defaults = dict(lag=1.0, noise_horizon=8.0, false_prob=0.9)
+        defaults.update(kw)
+        return rt, EventuallyPerfectDetector(0, IDS, runtime=rt, **defaults)
+
+    def test_eventually_accurate(self):
+        rt, det = self.make()
+        assert det.suspects(100.0) == frozenset()  # past the horizon: perfect
+
+    def test_noise_is_deterministic(self):
+        probes = [t / 2 for t in range(20)]
+        _, det_a = self.make(seed=7)
+        _, det_b = self.make(seed=7)
+        assert [det_a.suspects(t) for t in probes] == [
+            det_b.suspects(t) for t in probes
+        ]
+
+    def test_noise_varies_with_seed(self):
+        probes = [t / 2 for t in range(20)]
+        _, det_a = self.make(seed=1)
+        _, det_b = self.make(seed=2)
+        assert [det_a.suspects(t) for t in probes] != [
+            det_b.suspects(t) for t in probes
+        ]
+
+    def test_false_suspicions_actually_happen(self):
+        _, det = self.make(seed=3)
+        seen = set()
+        for t in [x / 4 for x in range(32)]:
+            seen |= det.suspects(t)
+        assert seen, "false_prob=0.9 over 3 peers should produce suspicions"
+
+    def test_crashes_still_detected_during_noise(self):
+        rt, det = self.make(seed=0)
+        rt.note_crash(3, 1.0)
+        assert 40 in det.suspects(2.0)
+
+
+class TestFactory:
+    def test_make_detector_dispatch(self):
+        rt = runtime()
+        perfect = make_detector(DetectorSpec(), 0, IDS, rt)
+        assert isinstance(perfect, PerfectDetector)
+        dp = make_detector(
+            DetectorSpec(kind="eventually_perfect", noise_horizon=4.0, false_prob=0.5),
+            0,
+            IDS,
+            rt,
+        )
+        assert isinstance(dp, EventuallyPerfectDetector)
+        assert dp.noise_horizon == 4.0

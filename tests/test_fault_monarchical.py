@@ -1,0 +1,148 @@
+"""Monarchical (eventual) leader election under crash faults."""
+
+import pytest
+
+from repro.asyncnet.engine import AsyncNetwork
+from repro.common import Decision
+from repro.faults import (
+    AsyncMonarchicalElection,
+    CrashFault,
+    DetectorSpec,
+    FaultPlan,
+    MonarchicalElection,
+    safe_stable_rounds,
+)
+from repro.sync.engine import SyncNetwork
+
+from tests.helpers import make_ids
+
+
+def sync_run(n, plan=None, ids=None, seed=0, **params):
+    net = SyncNetwork(
+        n, lambda: MonarchicalElection(**params), ids=ids, seed=seed, faults=plan
+    )
+    return net.run()
+
+
+def async_run(n, plan=None, ids=None, seed=0, **params):
+    net = AsyncNetwork(
+        n,
+        lambda: AsyncMonarchicalElection(**params),
+        ids=ids,
+        seed=seed,
+        faults=plan,
+        wake_times={u: 0.0 for u in range(n)},
+    )
+    return net.run()
+
+
+class TestSyncMonarchical:
+    def test_fault_free_elects_max_id(self):
+        ids = make_ids(16, seed=3)
+        result = sync_run(16, ids=ids)
+        assert result.unique_leader
+        assert result.elected_id == max(ids)
+        # Explicit election: every follower names the leader.
+        assert result.explicit_agreement()
+        # One coord broadcast per reign.
+        assert result.messages == 15
+
+    def test_crash_of_max_promotes_second_max(self):
+        ids = list(range(1, 17))
+        plan = FaultPlan(crashes=(CrashFault(node=15, at=2),), detector=DetectorSpec(lag=1))
+        result = sync_run(16, plan=plan, ids=ids)
+        assert result.unique_surviving_leader
+        assert result.surviving_leader_id == 15
+        assert result.crashed == [15]
+
+    def test_crash_after_commit_leaves_dead_leader(self):
+        # Crash far after stabilization: the max committed LEADER, died
+        # later, and nobody re-elects (all halted) — surviving check fails.
+        ids = list(range(1, 9))
+        plan = FaultPlan(crashes=(CrashFault(node=7, at=30),), detector=DetectorSpec(lag=1))
+        result = sync_run(8, plan=plan, ids=ids, stable_rounds=3)
+        assert result.unique_leader  # a unique LEADER decision exists...
+        assert not result.unique_surviving_leader  # ...but it is dead
+
+    def test_cascading_crashes(self):
+        ids = list(range(1, 13))
+        plan = FaultPlan(
+            crashes=(CrashFault(node=11, at=2), CrashFault(node=10, at=5)),
+            detector=DetectorSpec(lag=1),
+        )
+        result = sync_run(12, plan=plan, ids=ids, stable_rounds=4)
+        assert result.unique_surviving_leader
+        assert result.surviving_leader_id == 10
+        # Two reigns were announced before the final one: 11 then 10.
+        assert result.fault_metrics.crash_count == 2
+
+    def test_eventually_perfect_with_safe_window(self):
+        ids = list(range(1, 17))
+        plan = FaultPlan(
+            crashes=(CrashFault(node=15, at=2),),
+            detector=DetectorSpec(
+                kind="eventually_perfect", lag=1, noise_horizon=6.0, false_prob=0.4
+            ),
+        )
+        result = sync_run(
+            16, plan=plan, ids=ids, seed=5,
+            stable_rounds=safe_stable_rounds(6.0, 1),
+        )
+        assert result.unique_surviving_leader
+        assert result.surviving_leader_id == 15
+
+    def test_single_node(self):
+        result = SyncNetwork(1, MonarchicalElection, seed=0).run()
+        assert result.unique_leader
+
+
+class TestAsyncMonarchical:
+    def test_fault_free_elects_max_id(self):
+        ids = make_ids(12, seed=1)
+        result = async_run(12, ids=ids)
+        assert result.unique_leader
+        assert result.elected_id == max(ids)
+
+    def test_crash_of_max_promotes_second_max(self):
+        ids = list(range(1, 13))
+        plan = FaultPlan(
+            crashes=(CrashFault(node=11, at=0.7),), detector=DetectorSpec(lag=1.0)
+        )
+        result = async_run(12, plan=plan, ids=ids)
+        assert result.unique_surviving_leader
+        assert result.surviving_leader_id == 11
+        assert result.crashed == [11]
+
+    def test_followers_learn_leader_explicitly(self):
+        ids = list(range(1, 9))
+        result = async_run(8, ids=ids)
+        for u, decision in enumerate(result.decisions):
+            if decision is Decision.NON_LEADER:
+                assert result.outputs[u] == 8
+
+    def test_detection_latency_includes_poll_cadence(self):
+        ids = list(range(1, 9))
+        plan = FaultPlan(
+            crashes=(CrashFault(node=7, at=0.6),), detector=DetectorSpec(lag=1.0)
+        )
+        net = AsyncNetwork(
+            8,
+            lambda: AsyncMonarchicalElection(poll_interval=0.5, stable_polls=6),
+            ids=ids,
+            seed=0,
+            faults=plan,
+            wake_times={u: 0.0 for u in range(8)},
+        )
+        result = net.run()
+        latencies = result.fault_metrics.detection_latencies(
+            {u: when for when, u in result.fault_metrics.crashes}
+        )
+        assert len(latencies) == 1
+        # crash at 0.6, visible from 1.6, first poll at a multiple of 0.5
+        assert 1.0 <= latencies[0] <= 1.5
+
+    @pytest.mark.parametrize("n", [2, 5])
+    def test_small_cliques(self, n):
+        result = async_run(n, ids=list(range(1, n + 1)))
+        assert result.unique_leader
+        assert result.elected_id == n

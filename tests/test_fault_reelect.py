@@ -1,0 +1,185 @@
+"""The epoch re-election wrapper: kill leaders, keep electing survivors."""
+
+import pytest
+
+from repro.asyncnet.engine import AsyncNetwork
+from repro.core import LasVegasElection
+from repro.faults import (
+    AsyncReElectionElection,
+    CrashFault,
+    DetectorSpec,
+    FaultPlan,
+    LeaderKillPolicy,
+    ReElectionElection,
+    run_failover_trial,
+)
+from repro.sync.engine import SyncNetwork
+
+KILL_SYNC = FaultPlan(
+    policies=(LeaderKillPolicy(kinds=("ree_coord",), delay=1, max_kills=1),),
+    detector=DetectorSpec(lag=1),
+)
+KILL_ASYNC = FaultPlan(
+    policies=(LeaderKillPolicy(kinds=("ree_coord",), delay=0.5, max_kills=1),),
+    detector=DetectorSpec(lag=1.0),
+)
+
+
+class TestSyncReElection:
+    def test_fault_free_matches_inner_outcome(self):
+        # Without faults the wrapper is a thin shell: afek_gafni elects
+        # the max ID under simultaneous wake-up, and so does the wrapper.
+        result = SyncNetwork(
+            32, lambda: ReElectionElection(inner="afek_gafni"), seed=0
+        ).run()
+        assert result.unique_leader
+        assert result.elected_id == 32
+        assert result.decided_count == 32
+
+    def test_frontrunner_kill_reelects_survivor(self):
+        net = SyncNetwork(
+            32,
+            lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+            seed=1,
+            faults=KILL_SYNC,
+        )
+        result = net.run()
+        assert result.crashed, "the kill policy must have fired"
+        assert result.unique_surviving_leader
+        # The dead frontrunner held the max ID; the survivor is second-max.
+        assert result.surviving_leader_id == 31
+        # Epoch restarted exactly once on every surviving node.
+        assert all(
+            alg.epochs_run == 2
+            for u, alg in enumerate(net.algorithms)
+            if u not in result.crashed
+        )
+
+    def test_wrapped_las_vegas(self):
+        report = run_failover_trial(
+            "sync",
+            48,
+            lambda: ReElectionElection(inner="las_vegas", commit_rounds=4),
+            KILL_SYNC,
+            seed=3,
+        )
+        assert report.crashes == 1
+        assert report.unique_surviving_leader
+        assert report.reelection_time is not None and report.reelection_time > 0
+
+    def test_callable_inner_factory(self):
+        result = SyncNetwork(
+            16,
+            lambda: ReElectionElection(inner=lambda: LasVegasElection()),
+            seed=0,
+        ).run()
+        assert result.unique_leader
+
+    def test_inner_params_plumb_through(self):
+        result = SyncNetwork(
+            16, lambda: ReElectionElection(inner="afek_gafni", ell=6), seed=0
+        ).run()
+        assert result.unique_leader
+
+    def test_adversarial_wakeup_with_kill(self):
+        report = run_failover_trial(
+            "sync",
+            48,
+            lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+            KILL_SYNC,
+            seed=5,
+            awake=[0, 7, 13],
+        )
+        assert report.crashes == 1
+        assert report.unique_surviving_leader
+
+    def test_static_crash_of_nonleader_restarts_epoch(self):
+        # Any membership change restarts the election; node 0 is almost
+        # surely not the max-ID winner, yet the epoch still advances.
+        plan = FaultPlan(crashes=(CrashFault(node=0, at=2),), detector=DetectorSpec(lag=1))
+        net = SyncNetwork(
+            24,
+            lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+            seed=2,
+            faults=plan,
+        )
+        result = net.run()
+        assert result.unique_surviving_leader
+        assert result.surviving_leader_id == 24
+        survivors = [alg for u, alg in enumerate(net.algorithms) if u != 0]
+        assert all(alg.epochs_run == 2 for alg in survivors)
+
+    def test_two_kills_three_epochs(self):
+        plan = FaultPlan(
+            policies=(LeaderKillPolicy(kinds=("ree_coord",), delay=1, max_kills=2),),
+            detector=DetectorSpec(lag=1),
+        )
+        report = run_failover_trial(
+            "sync",
+            32,
+            lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+            plan,
+            seed=4,
+        )
+        assert report.crashes == 2
+        assert report.unique_surviving_leader
+        # Max and second-max died announcing; third-max survives.
+        assert report.surviving_leader_id == 30
+
+    def test_bad_commit_rounds(self):
+        with pytest.raises(ValueError):
+            ReElectionElection(commit_rounds=0)
+
+    def test_inner_params_conflict_with_callable(self):
+        with pytest.raises(ValueError):
+            ReElectionElection(inner=lambda: LasVegasElection(), ell=3)
+
+
+class TestAsyncReElection:
+    def test_fault_free(self):
+        result = AsyncNetwork(
+            32,
+            lambda: AsyncReElectionElection(inner="async_tradeoff"),
+            seed=0,
+            wake_times={0: 0.0},
+            max_events=2_000_000,
+        ).run()
+        assert result.unique_leader
+
+    def test_frontrunner_kill_reelects_survivor(self):
+        report = run_failover_trial(
+            "async",
+            32,
+            lambda: AsyncReElectionElection(
+                inner="async_tradeoff", commit_delay=4.0, poll_interval=0.5
+            ),
+            KILL_ASYNC,
+            seed=3,
+            wake_times={0: 0.0},
+            max_events=2_000_000,
+        )
+        assert report.crashes == 1
+        assert report.unique_surviving_leader
+        assert report.reelection_time is not None and report.reelection_time > 0
+        assert report.detection_latencies and report.detection_latencies[0] >= 1.0
+
+    def test_all_awake_with_kill(self):
+        report = run_failover_trial(
+            "async",
+            24,
+            lambda: AsyncReElectionElection(
+                inner="async_tradeoff", commit_delay=4.0, poll_interval=0.5
+            ),
+            KILL_ASYNC,
+            seed=6,
+            wake_times={u: 0.0 for u in range(24)},
+            max_events=2_000_000,
+        )
+        assert report.crashes == 1
+        assert report.unique_surviving_leader
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AsyncReElectionElection(commit_delay=0)
+        with pytest.raises(ValueError):
+            AsyncReElectionElection(poll_interval=-1)

@@ -59,6 +59,7 @@ class TestRoundsToMajority:
         assert out.trace.largest_by_round
         assert out.messages > 0
 
+    @pytest.mark.slow
     def test_linear_growth_regime(self):
         """The insight the probe surfaces: against capacity-first
         routing, uniform flooding grows the largest component roughly

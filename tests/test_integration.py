@@ -29,6 +29,8 @@ from repro.net.ports import LazyPortMap, SequentialPortPolicy
 
 from tests.helpers import make_ids, run_sync
 
+pytestmark = pytest.mark.slow
+
 
 class TestIdUniverseIntegration:
     def test_tradeoff_universe_feeds_deterministic_algorithms(self):

@@ -82,6 +82,7 @@ class TestComplexity:
         bound = 12 * bounds.kutten16_messages(n)
         assert result.messages <= bound, (n, result.messages, bound)
 
+    @pytest.mark.slow
     def test_relative_cost_shrinks_with_n(self):
         # Sublinearity in relative terms: the per-node message cost
         # decreases as n grows (theory: ~log^1.5(n)/sqrt(n)).  The

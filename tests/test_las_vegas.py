@@ -102,6 +102,7 @@ class TestRestarts:
 
 
 class TestComplexity:
+    @pytest.mark.slow
     def test_expected_messages_linear(self):
         n = 1024
         totals = [run_sync(n, LasVegasElection, seed=s).messages for s in range(10)]

@@ -10,8 +10,9 @@ from repro.trace import CompositeRecorder, MemoryRecorder, PrintRecorder
 
 
 class TestRegistry:
-    def test_all_eight_algorithms_registered(self):
+    def test_all_algorithms_registered(self):
         expected = {
+            # the paper's eight
             "improved_tradeoff",
             "afek_gafni",
             "small_id",
@@ -20,6 +21,9 @@ class TestRegistry:
             "adversarial_2round",
             "async_tradeoff",
             "async_afek_gafni",
+            # the fault-tolerant layer
+            "monarchical",
+            "reelect",
         }
         assert set(ALGORITHMS) == expected
 

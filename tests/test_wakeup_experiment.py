@@ -44,6 +44,7 @@ class TestProtocol:
         assert out.root_count == 2
 
 
+@pytest.mark.slow
 class TestTheorem42Shape:
     N = 512
 
