@@ -17,8 +17,9 @@ re-run expensive sweeps for statistical timing confidence.
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Callable
+from typing import Callable, Dict, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -29,6 +30,37 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(
+    path: str,
+    bench: str,
+    metrics: Dict[str, float],
+    *,
+    smoke: bool,
+    directions: Optional[Dict[str, str]] = None,
+    info: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write one ``BENCH_<name>.json`` trajectory artifact.
+
+    ``metrics`` must be *seed-deterministic* quantities (message/round
+    counts, rates) — ``benchmarks/check_regression.py`` compares them
+    against the checked-in ``benchmarks/baselines/`` copy with a relative
+    threshold.  ``directions`` marks metrics where higher is better
+    (default: lower is better).  Machine-dependent observations (wall
+    times) belong in ``info``, which the comparator ignores.
+    """
+    payload = {
+        "bench": bench,
+        "smoke": smoke,
+        "metrics": metrics,
+        "directions": directions or {},
+        "info": info or {},
+    }
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
 
 
 def bench_once(benchmark, fn: Callable[[], object]):

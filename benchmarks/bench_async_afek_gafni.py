@@ -13,7 +13,6 @@ Reproduced shape:
 """
 
 import math
-import random
 
 from repro.analysis import Table, fit_power_law, sweep_async
 from repro.asyncnet import PerLinkDelayScheduler, RushScheduler, UnitDelayScheduler

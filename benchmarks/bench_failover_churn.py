@@ -21,11 +21,14 @@ re-election time, and post-crash message cost.  Shape assertions:
   factor of a fresh run of the inner algorithm (the recovery path costs
   one more election, not more).
 
-Run standalone (CI smoke): ``python benchmarks/bench_failover_churn.py --smoke``
+Run standalone (CI smoke): ``python benchmarks/bench_failover_churn.py --smoke``;
+``--json PATH`` additionally writes the BENCH_*.json trajectory artifact
+that ``check_regression.py`` gates against ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.analysis import Table
@@ -40,7 +43,7 @@ from repro.faults import (
     run_failover_trial,
 )
 
-from _harness import bench_once, emit
+from _harness import bench_once, emit, emit_json
 
 NS = [64, 128, 256]
 SEEDS = list(range(5))
@@ -154,6 +157,19 @@ def check(rows) -> None:
         assert after >= 0, (label, n)
 
 
+def metrics_from(rows):
+    """Seed-deterministic metrics (+ directions) for the regression gate."""
+    metrics = {}
+    directions = {}
+    for label, _engine, n, survivors, _lat, _reelect, mean_msgs, after in rows:
+        key = f"{label}/n={n}"
+        metrics[f"{key}/messages"] = mean_msgs
+        metrics[f"{key}/after_crash_messages"] = after
+        metrics[f"{key}/survivor_rate"] = survivors
+        directions[f"{key}/survivor_rate"] = "higher"
+    return metrics, directions
+
+
 def test_bench_failover_churn(benchmark):
     table, rows = bench_once(benchmark, run_sweep)
     emit("failover_churn", table.render())
@@ -161,12 +177,20 @@ def test_bench_failover_churn(benchmark):
 
 
 def main(argv) -> int:
-    smoke = "--smoke" in argv
-    ns = [32, 64] if smoke else NS
-    seeds = [0, 1] if smoke else SEEDS
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized sweep")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a BENCH_*.json trajectory artifact")
+    args = parser.parse_args(argv)
+    ns = [32, 64] if args.smoke else NS
+    seeds = [0, 1] if args.smoke else SEEDS
     table, rows = run_sweep(ns=ns, seeds=seeds)
     print(table.render())
     check(rows)
+    if args.json:
+        metrics, directions = metrics_from(rows)
+        emit_json(args.json, "failover_churn", metrics,
+                  smoke=args.smoke, directions=directions)
     print("OK: unique surviving leader in every run")
     return 0
 

@@ -13,7 +13,6 @@ Reproduced shape:
   curve that binds large-universe algorithms.
 """
 
-import random
 
 from repro.analysis import Table, sweep_sync
 from repro.core import SmallIdElection

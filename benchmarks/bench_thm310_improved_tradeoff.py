@@ -9,7 +9,6 @@ Reproduced shape:
 * the fitted message exponent over an n-sweep matches ``1 + 2/(ℓ+1)``.
 """
 
-import random
 
 from repro.analysis import Table, fit_power_law, sweep_sync
 from repro.core import ImprovedTradeoffElection

@@ -59,7 +59,6 @@ def run_single_send_demo():
 
 
 def run_nlogn_table():
-    import math
 
     table = Table(
         ["n", "Omega(n log n)", "thm310 ell=3 msgs", "port opens", "universe log2-size (T=ell)"],

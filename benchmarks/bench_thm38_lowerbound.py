@@ -46,7 +46,9 @@ def run_formula_table():
 
 def run_dominance_check():
     rows = []
-    ids_for_n = lambda n, rng: assign_random(tradeoff_universe(n), n, rng)
+    def ids_for_n(n, rng):
+        return assign_random(tradeoff_universe(n), n, rng)
+
     for ell in (3, 5, 7):
         for rec in sweep_sync(
             [1024, 4096],

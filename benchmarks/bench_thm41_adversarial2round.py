@@ -11,7 +11,6 @@ Reproduced shape:
   all-roots adversary (the algorithm is tight).
 """
 
-import math
 
 from repro.analysis import Table, fit_power_law, sweep_sync
 from repro.core import AdversarialTwoRoundElection

@@ -15,10 +15,9 @@ Reproduced shape:
 Also prints the γ (wake fan-out constant) ablation: DESIGN.md ablation #2.
 """
 
-import random
 
 from repro.analysis import Table, fit_power_law, sweep_async
-from repro.asyncnet import UniformDelayScheduler, UnitDelayScheduler
+from repro.asyncnet import UnitDelayScheduler
 from repro.core import AsyncTradeoffElection
 from repro.lowerbound import bounds
 

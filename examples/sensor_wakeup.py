@@ -20,7 +20,6 @@ Run:  python examples/sensor_wakeup.py
 """
 
 import math
-import random
 
 from repro.core import AdversarialTwoRoundElection
 from repro.lowerbound import bounds, wakeup_success_rate

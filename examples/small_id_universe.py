@@ -16,7 +16,6 @@ algorithm IDs from a big universe is rejected at validation time.
 Run:  python examples/small_id_universe.py
 """
 
-import math
 import random
 
 from repro.core import SmallIdElection

@@ -35,6 +35,8 @@ Examples
     python -m repro faults reelect --n 128 --kill-leader --param inner=afek_gafni
     python -m repro faults reelect --n 64 --engine async --kill-leader --roots 1
     python -m repro faults monarchical --n 256 --drop 0.02 --seeds 0 1 2
+    python -m repro faults reelect --n 64 --kill-leader --drop 1.0 --drop-kinds ree_coord --max-drops 3
+    python -m repro run improved_tradeoff --n 100000 --engine fast --param ell=5
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ import random
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.analysis import Table, run_async_trial, run_sync_trial
+from repro.analysis import Table, run_async_trial, run_fast_trial, run_sync_trial
 from repro.common import SimulationLimitExceeded
 from repro.core import ALGORITHMS, get_algorithm
 from repro.ids import assign_random, small_universe, tradeoff_universe
@@ -62,13 +64,14 @@ def _parse_param(text: str) -> Any:
 
 def cmd_list(_args: argparse.Namespace) -> int:
     table = Table(
-        ["name", "engine", "wake-up", "paper", "messages", "time"],
+        ["name", "engine", "fast", "wake-up", "paper", "messages", "time"],
         title="Registered algorithms",
     )
     for spec in ALGORITHMS.values():
         table.add_row(
             spec.name,
             spec.engine,
+            "yes" if spec.has_fast else "-",
             "+".join(spec.wakeup),
             spec.paper_ref,
             spec.messages_formula,
@@ -90,17 +93,38 @@ def _ids_for(name: str, n: int, params: Dict[str, Any], rng: random.Random) -> O
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec = get_algorithm(args.name)
+    engine = spec.engine if args.engine == "auto" else args.engine
+    if engine in ("sync", "async") and engine != spec.engine:
+        raise SystemExit(
+            f"error: {spec.name} runs on the {spec.engine} engine (got --engine {engine})"
+        )
+    if engine == "fast":
+        if spec.engine != "sync":
+            raise SystemExit("error: the fast engine vectorizes sync algorithms only")
+        if args.roots is not None:
+            raise SystemExit("error: the fast engine supports simultaneous wake-up only")
+        try:
+            spec.make_fast()
+        except ImportError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
     params = dict(kv.split("=", 1) for kv in args.param)
     params = {k: _parse_param(v) for k, v in params.items()}
+    columns = ["seed", "unique leader", "elected id", "messages", "time", "decided"]
+    if engine == "fast":
+        columns.append("wall s")
     table = Table(
-        ["seed", "unique leader", "elected id", "messages", "time", "decided"],
-        title=f"{spec.name} (n={args.n}, {spec.paper_ref}) params={params}",
+        columns,
+        title=f"{spec.name} (n={args.n}, {spec.paper_ref}, engine={engine}) params={params}",
     )
     failures = 0
     for seed in args.seeds:
         rng = random.Random(f"cli:{args.n}:{seed}")
         ids = _ids_for(args.name, args.n, params, rng)
-        if spec.engine == "sync":
+        if engine == "fast":
+            record = run_fast_trial(args.n, args.name, seed=seed, ids=ids, params=params)
+        elif spec.engine == "sync":
             awake = None
             if args.roots is not None:
                 awake = rng.sample(range(args.n), args.roots)
@@ -124,14 +148,17 @@ def cmd_run(args: argparse.Namespace) -> int:
                 max_events=20_000_000,
             )
         failures += not record.unique_leader
-        table.add_row(
+        row = [
             seed,
             record.unique_leader,
             record.elected_id,
             record.messages,
             record.time,
             record.decided,
-        )
+        ]
+        if engine == "fast":
+            row.append(f"{record.extra['wall_time_s']:.3f}")
+        table.add_row(*row)
     print(table.render())
     if failures:
         print(f"note: {failures}/{len(args.seeds)} runs failed "
@@ -188,7 +215,16 @@ def _build_fault_plan(args: argparse.Namespace):
 
     links = ()
     if args.drop or args.duplicate:
-        links = (LinkFaults(drop_prob=args.drop, duplicate_prob=args.duplicate),)
+        links = (
+            LinkFaults(
+                drop_prob=args.drop,
+                duplicate_prob=args.duplicate,
+                kinds=tuple(args.drop_kinds) if args.drop_kinds else None,
+                max_drops=args.max_drops,
+            ),
+        )
+    elif args.drop_kinds or args.max_drops is not None:
+        raise ValueError("--drop-kinds/--max-drops need --drop or --duplicate")
     policies = ()
     if args.kill_leader:
         policies = (
@@ -343,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--roots", type=int, default=None,
         help="adversarial wake-up: number of initially awake nodes",
     )
+    run_p.add_argument(
+        "--engine", choices=["auto", "sync", "async", "fast"], default="auto",
+        help="engine override; 'fast' selects the vectorized numpy engine "
+        "(improved_tradeoff/afek_gafni/las_vegas, simultaneous wake-up)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     bounds_p = sub.add_parser("bounds", help="evaluate the Table 1 formulas")
@@ -376,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--drop", type=float, default=0.0, help="per-message drop probability")
     faults_p.add_argument(
         "--duplicate", type=float, default=0.0, help="per-message duplication probability"
+    )
+    faults_p.add_argument(
+        "--drop-kinds", nargs="+", default=None, metavar="KIND",
+        help="restrict drop/duplicate to these payload kinds "
+        "(e.g. ree_coord to stress the commit path only)",
+    )
+    faults_p.add_argument(
+        "--max-drops", type=int, default=None,
+        help="bound the total drops (deterministic drop schedules with --drop 1.0)",
     )
     faults_p.add_argument(
         "--detector", choices=["perfect", "eventually_perfect"], default="perfect"

@@ -11,8 +11,10 @@ from repro.analysis.plot import bar_chart, scatter
 from repro.analysis.runner import (
     RunRecord,
     run_async_trial,
+    run_fast_trial,
     run_sync_trial,
     sweep_async,
+    sweep_fast,
     sweep_sync,
 )
 from repro.analysis.stats import Summary, success_rate, summarize
@@ -30,8 +32,10 @@ __all__ = [
     "RunRecord",
     "run_sync_trial",
     "run_async_trial",
+    "run_fast_trial",
     "sweep_sync",
     "sweep_async",
+    "sweep_fast",
     "Summary",
     "summarize",
     "success_rate",

@@ -14,7 +14,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.asyncnet.engine import AsyncNetwork, AsyncRunResult
 from repro.sync.engine import SyncNetwork, SyncRunResult
 
-__all__ = ["RunRecord", "run_sync_trial", "run_async_trial", "sweep_sync", "sweep_async"]
+__all__ = [
+    "RunRecord",
+    "run_sync_trial",
+    "run_async_trial",
+    "run_fast_trial",
+    "sweep_sync",
+    "sweep_async",
+    "sweep_fast",
+]
 
 
 @dataclass
@@ -145,6 +153,54 @@ def run_async_trial(
     return record
 
 
+def run_fast_trial(
+    n: int,
+    algorithm: Any,
+    *,
+    seed: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    mode: str = "auto",
+    max_rounds: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Run one election on the vectorized engine and flatten the result.
+
+    ``algorithm`` is a registry name (constructed with ``params``), a
+    zero-argument factory, or a ready :class:`~repro.fastsync.VectorAlgorithm`.
+    Imports :mod:`repro.fastsync` lazily, so the runner module itself
+    keeps working without numpy; ``mode`` selects the port model
+    (``auto``/``exact``/``scale``, see the fastsync engine docs).
+    """
+    from repro.fastsync import FastSyncNetwork, get_fast_algorithm
+
+    if isinstance(algorithm, str):
+        alg = get_fast_algorithm(algorithm)(**(params or {}))
+    elif callable(algorithm):
+        alg = algorithm()
+    else:
+        alg = algorithm
+    net = FastSyncNetwork(n, ids=ids, seed=seed, mode=mode, max_rounds=max_rounds)
+    result = net.run(alg)
+    return RunRecord(
+        n=n,
+        seed=seed,
+        messages=result.messages,
+        time=float(result.last_send_round),
+        unique_leader=result.unique_leader,
+        elected_id=result.elected_id,
+        leaders=len(result.leaders),
+        decided=result.decided_count,
+        awake=result.awake_count,
+        params=dict(params or {}),
+        extra={
+            "rounds_executed": result.rounds_executed,
+            "engine": "fast",
+            "mode": result.mode,
+            "wall_time_s": result.wall_time_s,
+        },
+    )
+
+
 def sweep_sync(
     ns: Sequence[int],
     factory_for_n: Callable[[int], Callable[[], Any]],
@@ -173,6 +229,40 @@ def sweep_sync(
                     seed=seed,
                     ids=ids,
                     awake=awake,
+                    max_rounds=max_rounds,
+                    params=params,
+                )
+            )
+    return records
+
+
+def sweep_fast(
+    ns: Sequence[int],
+    name: str,
+    *,
+    seeds: Sequence[int] = (0,),
+    ids_for_n: Optional[Callable[[int, random.Random], Sequence[int]]] = None,
+    mode: str = "auto",
+    max_rounds: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> List[RunRecord]:
+    """Vectorized-engine grid sweep (see :func:`sweep_sync`).
+
+    ``name`` must be a registry algorithm with a fast port; record ``i``
+    depends only on ``(n, seed, mode)`` like the other sweeps.
+    """
+    records = []
+    for n in ns:
+        for seed in seeds:
+            rng = random.Random(f"{n}:{seed}:workload")
+            ids = ids_for_n(n, rng) if ids_for_n else None
+            records.append(
+                run_fast_trial(
+                    n,
+                    name,
+                    seed=seed,
+                    ids=ids,
+                    mode=mode,
                     max_rounds=max_rounds,
                     params=params,
                 )

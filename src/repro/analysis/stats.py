@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 __all__ = ["Summary", "summarize", "success_rate", "bootstrap_mean_ci", "ConfidenceInterval"]
 

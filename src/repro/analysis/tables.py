@@ -7,7 +7,7 @@ columns next to it.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 __all__ = ["Table", "format_quantity"]
 

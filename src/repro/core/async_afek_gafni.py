@@ -50,7 +50,7 @@ point stated by Theorem 5.14.
 
 from __future__ import annotations
 
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Optional, Tuple
 from collections import deque
 
 from repro.asyncnet.algorithm import AsyncAlgorithm

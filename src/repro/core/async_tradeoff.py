@@ -48,7 +48,7 @@ coefficient), ``candidate_coeff`` (the paper's 4 in ``4 log n / n``),
 from __future__ import annotations
 
 import math
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Optional, Tuple
 from collections import deque
 
 from repro.asyncnet.algorithm import AsyncAlgorithm

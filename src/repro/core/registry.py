@@ -42,6 +42,32 @@ class AlgorithmSpec:
         """A zero-argument factory suitable for the engines."""
         return lambda: self.factory(**params)
 
+    @property
+    def has_fast(self) -> bool:
+        """Whether a vectorized port exists (and numpy is importable).
+
+        The fast registry lives in :mod:`repro.fastsync`, which needs the
+        optional numpy dependency; without numpy every spec simply
+        reports no fast twin instead of breaking the core registry.
+        """
+        try:
+            from repro.fastsync import FAST_ALGORITHMS
+        except ImportError:
+            return False
+        return self.name in FAST_ALGORITHMS
+
+    def make_fast(self, **params: Any) -> Callable[[], Any]:
+        """A zero-argument factory for the ``engine="fast"`` port.
+
+        Raises the guidance-carrying ``ImportError`` of
+        :mod:`repro.fastsync` when numpy is missing, or ``KeyError`` when
+        the algorithm has no vectorized twin.
+        """
+        from repro.fastsync import get_fast_algorithm
+
+        factory = get_fast_algorithm(self.name)
+        return lambda: factory(**params)
+
 
 ALGORITHMS: Dict[str, AlgorithmSpec] = {
     spec.name: spec
@@ -143,7 +169,7 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             deterministic=False,  # depends on the wrapped inner algorithm
             wakeup=("simultaneous", "adversarial"),
             paper_ref="faults: epoch re-election wrapper",
-            messages_formula="inner per epoch + n' coord/commit",
+            messages_formula="inner per epoch + (commit_rounds+1)*n' coord",
             time_formula="inner + commit_rounds per epoch",
         ),
     ]

@@ -1,0 +1,52 @@
+"""Vectorized synchronous round engine for large-``n`` sweeps.
+
+The object-model engine (:mod:`repro.sync`) instantiates one algorithm
+object, one context and one inbox list per node, which tops out around
+``n ≈ 10^3`` before sweeps take minutes.  This package re-implements the
+synchronous clique as flat numpy arrays — ids, candidate flags and
+per-round message batches — so the paper's tradeoff frontiers can be
+measured at ``n ≥ 10^5`` (see ``benchmarks/bench_fastsync_scale.py``).
+
+Three registry algorithms have vectorized ports (the Theorem 3.10
+tradeoff family, the Afek–Gafni baseline and the Theorem 3.16 Las Vegas
+sampler); each is cross-validated against its object-model twin — same
+seed, same port map, identical winner and message/round counts — in
+``tests/test_fastsync_equivalence.py``.  See DESIGN.md ("Fast vectorized
+engine") for the array layout and the equivalence guarantees.
+
+numpy is an *optional* dependency: the rest of the ``repro`` package
+works without it, and importing :mod:`repro.fastsync` without numpy
+raises this guidance instead of a bare ``ModuleNotFoundError``.
+"""
+
+try:
+    import numpy  # noqa: F401
+except ImportError as exc:  # pragma: no cover - exercised via sys.modules stub
+    raise ImportError(
+        "repro.fastsync needs numpy, which is not installed. The vectorized "
+        "engine is an optional extra: install it with `pip install numpy` "
+        "(or, from a checkout, `pip install -e '.[fast]'`). Every other repro "
+        "subpackage works without numpy — use repro.sync / repro.asyncnet "
+        "instead."
+    ) from exc
+
+from repro.fastsync.algorithm import VectorAlgorithm
+from repro.fastsync.algorithms import (
+    VectorAfekGafniElection,
+    VectorImprovedTradeoffElection,
+    VectorLasVegasElection,
+)
+from repro.fastsync.engine import ArrayPortMap, FastRunResult, FastSyncNetwork
+from repro.fastsync.registry import FAST_ALGORITHMS, get_fast_algorithm
+
+__all__ = [
+    "ArrayPortMap",
+    "FastRunResult",
+    "FastSyncNetwork",
+    "VectorAlgorithm",
+    "VectorAfekGafniElection",
+    "VectorImprovedTradeoffElection",
+    "VectorLasVegasElection",
+    "FAST_ALGORITHMS",
+    "get_fast_algorithm",
+]

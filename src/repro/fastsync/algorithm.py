@@ -1,0 +1,43 @@
+"""Protocol for whole-clique vectorized algorithms.
+
+A :class:`VectorAlgorithm` is a port of a *protocol*, not of one node:
+where a :class:`repro.sync.SyncAlgorithm` describes what a single node
+does with its inbox, a vector algorithm describes what the entire clique
+does per round, operating on index arrays.  The contract:
+
+* call :meth:`FastSyncNetwork.tick` exactly once per synchronous round
+  of the original schedule — including silent decision rounds — so
+  ``rounds_executed`` and ``last_send_round`` match the object engine;
+* account every message batch with :meth:`FastSyncNetwork.count_messages`
+  under the same payload kind the object algorithm uses;
+* draw all randomness through the engine's sampling primitives
+  (:meth:`bernoulli`, :meth:`rank_draws`, :meth:`first_ports`,
+  :meth:`sampled_targets`) so ``exact`` mode can replay the per-node
+  ``random.Random`` streams of the object engine bit-for-bit;
+* finish by calling :meth:`FastSyncNetwork.decide` with the leader
+  node(s).
+
+Ports assume the simultaneous wake-up regime (every node awake in round
+1), which is the regime all three currently ported algorithms are
+registered for at scale.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.fastsync.engine import FastSyncNetwork
+
+__all__ = ["VectorAlgorithm"]
+
+
+class VectorAlgorithm:
+    """One whole-clique synchronous protocol, vectorized."""
+
+    #: Registry name of the object-model twin (for diagnostics).
+    name: str = "?"
+
+    def run(self, net: "FastSyncNetwork") -> None:
+        """Execute the full round schedule on ``net`` (see module docs)."""
+        raise NotImplementedError

@@ -1,0 +1,257 @@
+"""Vectorized ports of three registry algorithms.
+
+Each port reproduces its object-model twin's round schedule, message
+kinds and survivor logic on index arrays — see the twins' module
+docstrings (:mod:`repro.core.improved_tradeoff`,
+:mod:`repro.core.afek_gafni`, :mod:`repro.core.las_vegas`) for the
+protocol rationale; only the vectorization is documented here.
+
+Full-fan-out iterations (``m = n - 1``) are never materialized: when a
+survivor contacts *every* peer the referee outcome is analytic — every
+referee sees the globally maximal competing ID, so the survivor set and
+response count follow in O(S) — and this is what keeps the final
+broadcast rounds O(1) memory at ``n = 10^5``.  The analytic branches are
+exercised by the small-``n`` cross-engine equivalence tests (``n = 2``
+hits them on every iteration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.fastsync.algorithm import VectorAlgorithm
+from repro.mathutil import ceil_pow_frac
+
+__all__ = [
+    "VectorAfekGafniElection",
+    "VectorImprovedTradeoffElection",
+    "VectorLasVegasElection",
+]
+
+#: Cap on temporary row elements per scatter/gather chunk (keeps peak
+#: memory for an n = 10^5, m ≈ 300 iteration in the tens of megabytes).
+_ROW_CHUNK = 8_000_000
+
+
+def _compete_iteration(
+    net, senders: np.ndarray, m: int, init: np.ndarray, compete_kind: str, response_kind: str
+) -> Tuple[np.ndarray, int]:
+    """One materialized compete/response iteration (rounds ``2i-1``/``2i``).
+
+    Every node in ``senders`` contacts its first ``m`` ports; a referee
+    responds to the highest competing ID that beats its ``init`` floor
+    (``-1``, or its own ID for self-comparing referees à la Afek–Gafni);
+    a sender survives iff all ``m`` of its referees responded to it.
+    Returns ``(survivors, response_count)`` and accounts both message
+    batches; the referee round's :meth:`tick` happens inside.
+    """
+    ids = net.ids
+    dst = net.first_ports(senders, m)
+    net.count_messages(dst.size, compete_kind)
+    net.tick()
+    sid = ids[senders]
+    best = init.copy()
+    rows = len(senders)
+    chunk = max(1, _ROW_CHUNK // max(m, 1))
+    for start in range(0, rows, chunk):
+        stop = min(rows, start + chunk)
+        np.maximum.at(
+            best, dst[start:stop].reshape(-1), np.repeat(sid[start:stop], m)
+        )
+    responses = int(np.count_nonzero(best > init))
+    net.count_messages(responses, response_kind)
+    ok = np.empty(rows, dtype=bool)
+    for start in range(0, rows, chunk):
+        stop = min(rows, start + chunk)
+        ok[start:stop] = (best[dst[start:stop]] == sid[start:stop, None]).all(axis=1)
+    return senders[ok], responses
+
+
+class VectorImprovedTradeoffElection(VectorAlgorithm):
+    """Vectorized Theorem 3.10 tradeoff election (twin: ``improved_tradeoff``)."""
+
+    name = "improved_tradeoff"
+
+    COMPETE = "compete"
+    RESPONSE = "response"
+    FINAL = "final"
+
+    def __init__(self, ell: int = 3) -> None:
+        if ell < 3 or ell % 2 == 0:
+            raise ValueError("Theorem 3.10 requires an odd round budget ell >= 3")
+        self.ell = ell
+        self.k = (ell + 3) // 2
+
+    def referee_count(self, n: int, iteration: int) -> int:
+        """``m_i = min(⌈n^(i/(k-1))⌉, n - 1)`` — same schedule as the twin."""
+        return min(ceil_pow_frac(n, iteration, self.k - 1), n - 1)
+
+    def run(self, net) -> None:
+        n, ids = net.n, net.ids
+        survivors = np.arange(n, dtype=np.int64)
+        for i in range(1, self.k - 1):
+            m = self.referee_count(n, i)
+            net.tick()  # round 2i-1: competes (prior tally already applied)
+            if m == 0:  # n == 1: the lone node competes at nobody
+                net.tick()
+                continue
+            if m == n - 1:
+                s_count = len(survivors)
+                net.count_messages(s_count * m, self.COMPETE)
+                net.tick()
+                # Full fan-out, floor -1: every contacted referee responds.
+                # With >= 2 survivors every node gets a compete (n responses)
+                # and only the max-ID survivor keeps all its referees —
+                # except at n == 2, where each node referees only for the
+                # other, so both survive (the final broadcast disambiguates).
+                if s_count == 1:
+                    net.count_messages(n - 1, self.RESPONSE)
+                elif s_count >= 2:
+                    net.count_messages(n, self.RESPONSE)
+                    if n > 2:
+                        survivors = survivors[[int(np.argmax(ids[survivors]))]]
+                continue
+            init = np.full(n, -1, dtype=np.int64)
+            survivors, _ = _compete_iteration(
+                net, survivors, m, init, self.COMPETE, self.RESPONSE
+            )
+        net.tick()  # round 2k-3: surviving IDs are broadcast
+        net.count_messages(len(survivors) * (n - 1), self.FINAL)
+        net.tick()  # round 2k-2: silent decision round
+        winner = int(survivors[int(np.argmax(ids[survivors]))])
+        net.decide([winner])
+
+
+class VectorAfekGafniElection(VectorAlgorithm):
+    """Vectorized Afek–Gafni reconstruction (twin: ``afek_gafni``).
+
+    Simultaneous wake-up only: at scale every node starts as a candidate,
+    which is the head-to-head configuration the benchmarks sweep.
+    """
+
+    name = "afek_gafni"
+
+    COMPETE = "compete"
+    RESPONSE = "response"
+    ELECTED = "elected"
+
+    def __init__(self, ell: int = 4) -> None:
+        if ell < 2:
+            raise ValueError("Afek-Gafni requires ell >= 2")
+        self.ell = ell
+        self.iterations = max(1, ell // 2)
+
+    def referee_count(self, n: int, iteration: int) -> int:
+        return min(ceil_pow_frac(n, iteration, self.iterations), n - 1)
+
+    def run(self, net) -> None:
+        n, ids = net.n, net.ids
+        candidates = np.arange(n, dtype=np.int64)
+        for i in range(1, self.iterations + 1):
+            m = self.referee_count(n, i)
+            net.tick()  # round 2i-1: competes
+            if m == 0:  # n == 1
+                net.tick()
+                continue
+            if m == n - 1:
+                s_count = len(candidates)
+                net.count_messages(s_count * m, self.COMPETE)
+                net.tick()
+                # Full fan-out with self-comparing referees: the max-ID
+                # candidate beats every referee's floor and is the only
+                # referee that never responds, so it alone survives and
+                # exactly n - 1 responses flow.
+                if s_count:
+                    net.count_messages(n - 1, self.RESPONSE)
+                    candidates = candidates[[int(np.argmax(ids[candidates]))]]
+                continue
+            init = np.full(n, -1, dtype=np.int64)
+            init[candidates] = ids[candidates]
+            candidates, _ = _compete_iteration(
+                net, candidates, m, init, self.COMPETE, self.RESPONSE
+            )
+        net.tick()  # round 2K+1: the surviving candidate announces
+        if len(candidates) == 0:  # pragma: no cover - the max ID always survives
+            raise RuntimeError("afek_gafni lost every candidate")
+        net.count_messages(len(candidates) * (n - 1), self.ELECTED)
+        if n >= 2:
+            net.tick()  # round 2K+2: followers receive the announcement
+        net.decide(candidates.tolist())
+
+
+class VectorLasVegasElection(VectorAlgorithm):
+    """Vectorized Theorem 3.16 Las Vegas election (twin: ``las_vegas``)."""
+
+    name = "las_vegas"
+
+    COMPETE = "compete"
+    WIN = "win"
+    LOSE = "lose"
+    ANNOUNCE = "announce"
+
+    def __init__(
+        self,
+        candidate_coeff: float = 2.0,
+        referee_coeff: float = 2.0,
+        candidate_prob_fn: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        if candidate_coeff <= 0 or referee_coeff <= 0:
+            raise ValueError("coefficients must be positive")
+        self.candidate_coeff = candidate_coeff
+        self.referee_coeff = referee_coeff
+        self.candidate_prob_fn = candidate_prob_fn
+        self.phases_run = 0
+
+    def candidate_probability(self, n: int, phase: int) -> float:
+        if self.candidate_prob_fn is not None:
+            return self.candidate_prob_fn(n, phase)
+        if n < 2:
+            return 1.0
+        return min(1.0, self.candidate_coeff * math.log(n) / n)
+
+    def referee_count(self, n: int) -> int:
+        if n < 2:
+            return 0
+        return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
+
+    def run(self, net) -> None:
+        n, ids = net.n, net.ids
+        if n == 1:
+            net.tick()
+            net.decide([0])
+            return
+        m = self.referee_count(n)
+        announcers = np.empty(0, dtype=np.int64)
+        phase = 0
+        while True:
+            net.tick()  # round 3p+1: verify previous announcements / compete
+            if len(announcers) == 1:
+                net.decide([int(announcers[0])])
+                return
+            # Zero or several announcers: every node restarts the phase.
+            self.phases_run = phase + 1
+            prob = self.candidate_probability(n, phase)
+            cand = np.nonzero(net.bernoulli(prob))[0]
+            ranks = net.rank_draws(cand, n**4)
+            dst = net.sampled_targets(cand, m)
+            net.count_messages(dst.size, self.COMPETE)
+            net.tick()  # round 3p+2: referees grant win/lose per compete
+            flat = dst.reshape(-1)
+            rep = np.repeat(ranks, m)
+            best = np.zeros(n, dtype=np.int64)
+            np.maximum.at(best, flat, rep)
+            hits = rep == best[flat]
+            top_count = np.zeros(n, dtype=np.int64)
+            np.add.at(top_count, flat[hits], 1)
+            is_win = hits & (top_count[flat] == 1)
+            wins = int(np.count_nonzero(is_win))
+            net.count_messages(wins, self.WIN)
+            net.count_messages(flat.size - wins, self.LOSE)
+            net.tick()  # round 3p+3: all-win candidates broadcast
+            ok = is_win.reshape(len(cand), m).all(axis=1) if len(cand) else np.empty(0, bool)
+            announcers = cand[ok]
+            net.count_messages(len(announcers) * (n - 1), self.ANNOUNCE)
+            phase += 1

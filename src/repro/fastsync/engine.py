@@ -1,0 +1,367 @@
+"""The vectorized synchronous round engine.
+
+Instead of one algorithm object, context and inbox per node, the whole
+clique is a handful of flat arrays:
+
+* ``ids``      — ``int64[n]``, the unique node identifiers;
+* per-round message *batches* — ``(senders, destinations)`` index arrays
+  built by the algorithm with the engine's sampling primitives;
+* metric counters identical in meaning to :class:`repro.sync.SyncMetrics`
+  (``messages_total``, ``last_send_round``, ``rounds_executed``,
+  per-kind counts).
+
+A :class:`~repro.fastsync.algorithm.VectorAlgorithm` drives the whole
+round schedule itself (it is a port of the *protocol*, not of one node),
+calling :meth:`FastSyncNetwork.tick` once per synchronous round and the
+sampling/accounting primitives in between.  The engine owns everything
+that must be shared between algorithms: id layout, randomness, the port
+model, round/message accounting and the termination limit.
+
+Two port-model modes
+--------------------
+
+``mode="exact"``
+    The clique's port mapping is materialized up front as an
+    ``(n, n-1)`` permutation matrix — row ``u`` is a uniformly random
+    ordering of the other nodes, exactly the distribution the
+    object-model engine's :class:`~repro.net.ports.RandomPortPolicy`
+    resolves lazily.  Per-node ``random.Random`` streams are seeded with
+    the same ``master.getrandbits(64)`` schedule as
+    :class:`repro.sync.SyncNetwork`, so an object-model run given
+    :meth:`FastSyncNetwork.port_map` and the same seed consumes
+    *identical* randomness: winners and message/round counts match
+    exactly (``tests/test_fastsync_equivalence.py``).  Memory is
+    ``O(n^2)`` — intended for ``n ≤ exact_limit``.
+
+``mode="scale"``
+    No materialized port map.  "Send over ports ``0..m-1``" and "send
+    over ``m`` sampled ports" both become "send to ``m`` distinct
+    uniformly random peers", which is the same *distribution* a random
+    port mapping induces, drawn from one ``numpy`` PCG64 generator.
+    Memory is ``O(messages per round)``, which is what unlocks
+    ``n ≥ 10^5`` (sub-quadratic algorithms never materialize ``n^2``
+    anything).  Runs are deterministic per ``(n, seed, mode)`` but do
+    not replay the object engine bit-for-bit; see DESIGN.md for the
+    exact equivalence contract.
+
+``mode="auto"`` picks ``exact`` for ``n ≤ exact_limit`` (default 2048)
+and ``scale`` above.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common import SimulationLimitExceeded
+from repro.net.ports import PortMap
+
+__all__ = ["ArrayPortMap", "FastRunResult", "FastSyncNetwork"]
+
+#: Above this many row elements, distinct-target generation falls back to
+#: chunked argpartition instead of whole-matrix rejection sampling.
+_KEY_CHUNK_ELEMS = 30_000_000
+
+
+class ArrayPortMap(PortMap):
+    """A fully materialized port mapping backed by a permutation matrix.
+
+    ``dest[u, i]`` is the node reached through port ``i`` of node ``u``;
+    each row is a permutation of the other ``n - 1`` nodes.  The reverse
+    port of a link is recovered from the inverse permutation, so the
+    mapping is involutive as required by the model.  This is the adapter
+    that lets the *object-model* engine run on the exact wiring a
+    :class:`FastSyncNetwork` used, which is what the cross-engine
+    equivalence tests rely on.
+    """
+
+    def __init__(self, dest: np.ndarray) -> None:
+        n = dest.shape[0]
+        super().__init__(n)
+        if dest.shape != (n, max(0, n - 1)):
+            raise ValueError(f"need an (n, n-1) destination matrix, got {dest.shape}")
+        self._dest = dest
+        # rank[v, u] = the port of node v that leads to node u.
+        rank = np.full((n, n), -1, dtype=np.int64)
+        if n > 1:
+            rows = np.arange(n)[:, None]
+            rank[rows, dest] = np.arange(n - 1, dtype=np.int64)[None, :]
+        self._rank = rank
+
+    def resolve(self, u: int, port: int):
+        self.check_port(u, port)
+        v = int(self._dest[u, port])
+        return (v, int(self._rank[v, u]))
+
+    def is_resolved(self, u: int, port: int) -> bool:
+        self.check_port(u, port)
+        return True
+
+    def linked_peers(self, u: int):
+        return (v for v in range(self.n) if v != u)
+
+
+@dataclass
+class FastRunResult:
+    """Summary of one vectorized execution (mirrors ``SyncRunResult``)."""
+
+    n: int
+    mode: str
+    rounds_executed: int
+    messages: int
+    last_send_round: int
+    leaders: List[int]
+    leader_ids: List[int]
+    decided_count: int
+    awake_count: int
+    halted_count: int
+    messages_by_kind: Dict[str, int]
+    sends_by_round: Dict[int, int]
+    wall_time_s: float
+    crashed: List[int] = field(default_factory=list)  # fastsync runs fault-free
+    fault_metrics: Optional[object] = None
+
+    @property
+    def unique_leader(self) -> bool:
+        return len(self.leaders) == 1
+
+    @property
+    def elected_id(self) -> Optional[int]:
+        return self.leader_ids[0] if self.unique_leader else None
+
+
+class FastSyncNetwork:
+    """An ``n``-clique executing one :class:`VectorAlgorithm` end to end."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        mode: str = "auto",
+        exact_limit: int = 2048,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need n >= 1")
+        if mode not in ("auto", "exact", "scale"):
+            raise ValueError(f"mode must be auto|exact|scale, got {mode!r}")
+        self.n = n
+        self.seed = seed
+        self.mode = ("exact" if n <= exact_limit else "scale") if mode == "auto" else mode
+        if ids is None:
+            id_array = np.arange(1, n + 1, dtype=np.int64)
+        else:
+            id_array = np.asarray(list(ids), dtype=np.int64)
+            if id_array.shape != (n,):
+                raise ValueError(f"need {n} IDs, got {id_array.shape}")
+            if np.unique(id_array).size != n:
+                raise ValueError("IDs must be distinct")
+        self.ids = id_array
+        self.max_rounds = max_rounds if max_rounds is not None else max(4096, 32 * n)
+
+        if self.mode == "exact":
+            # Mirror SyncNetwork's seeding schedule: one master stream,
+            # one 64-bit draw per node, in node order.  (SyncNetwork only
+            # skips its port-policy draw when a port map is supplied —
+            # which is exactly how the twin run is constructed.)
+            master = random.Random(seed)
+            self._node_rngs = [random.Random(master.getrandbits(64)) for _ in range(n)]
+            self._rng = np.random.default_rng(np.random.PCG64(seed))
+            self._ports = self._random_port_matrix()
+        else:
+            self._node_rngs = None
+            self._rng = np.random.default_rng(np.random.PCG64(seed))
+            self._ports = None
+
+        self.round = 0
+        self.messages_total = 0
+        self.last_send_round = 0
+        self.messages_by_kind: Dict[str, int] = {}
+        self.sends_by_round: Dict[int, int] = {}
+        self._leaders: Optional[List[int]] = None
+        self._decided_count = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # port model
+
+    def _random_port_matrix(self) -> np.ndarray:
+        """An ``(n, n-1)`` matrix whose rows are random orderings of peers."""
+        n = self.n
+        if n == 1:
+            return np.empty((1, 0), dtype=np.int64)
+        keys = self._rng.random((n, n))
+        np.fill_diagonal(keys, np.inf)  # self is never a peer: sorts last
+        return np.argsort(keys, axis=1, kind="stable")[:, : n - 1]
+
+    def port_map(self) -> ArrayPortMap:
+        """The materialized mapping, for running an object-model twin.
+
+        Only available in ``exact`` mode — ``scale`` mode never holds the
+        ``O(n^2)`` matrix, by design.
+        """
+        if self._ports is None:
+            raise RuntimeError(
+                "port_map() needs mode='exact'; scale mode does not materialize "
+                "the O(n^2) port matrix"
+            )
+        return ArrayPortMap(self._ports)
+
+    # ------------------------------------------------------------------ #
+    # round/message accounting (called by algorithms)
+
+    def tick(self) -> int:
+        """Advance the global round counter by one synchronous round."""
+        self.round += 1
+        if self.round > self.max_rounds:
+            raise SimulationLimitExceeded(
+                f"no termination after {self.max_rounds} rounds (n={self.n})"
+            )
+        return self.round
+
+    def count_messages(self, count: int, kind: str) -> None:
+        """Record ``count`` messages of ``kind`` sent in the current round."""
+        if count <= 0:
+            return
+        count = int(count)
+        self.messages_total += count
+        self.last_send_round = self.round
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + count
+        self.sends_by_round[self.round] = self.sends_by_round.get(self.round, 0) + count
+
+    def decide(self, leader_nodes: Sequence[int], decided_count: Optional[int] = None) -> None:
+        """Record the election outcome (every node has decided and halted)."""
+        self._leaders = [int(u) for u in leader_nodes]
+        self._decided_count = self.n if decided_count is None else int(decided_count)
+
+    # ------------------------------------------------------------------ #
+    # sampling primitives (mode-dependent)
+
+    def first_ports(self, src: np.ndarray, m: int) -> np.ndarray:
+        """Destinations of "send over ports ``0..m-1``" for each node in ``src``.
+
+        Exact mode reads the materialized matrix (so repeated calls see
+        the *same* ports, like the object engine); scale mode draws
+        fresh distinct peers, the distribution a random port mapping
+        induces on first use.
+        """
+        if m > self.n - 1:
+            raise ValueError(f"cannot use {m} of {self.n - 1} ports")
+        if self._ports is not None:
+            return self._ports[src, :m]
+        return self._distinct_targets(src, m)
+
+    def sampled_targets(self, src: np.ndarray, m: int) -> np.ndarray:
+        """Destinations of "send over ``m`` sampled ports" (``ctx.sample_ports``)."""
+        if m > self.n - 1:
+            raise ValueError(f"cannot sample {m} of {self.n - 1} ports")
+        if self._node_rngs is not None:
+            out = np.empty((len(src), m), dtype=np.int64)
+            port_range = range(self.n - 1)
+            for row, u in enumerate(src):
+                ports = self._node_rngs[u].sample(port_range, m)
+                out[row] = self._ports[u, ports]
+            return out
+        return self._distinct_targets(src, m)
+
+    def bernoulli(self, p: float) -> np.ndarray:
+        """One biased coin per node (all ``n`` nodes draw, in node order)."""
+        if self._node_rngs is not None:
+            return np.fromiter(
+                (rng.random() < p for rng in self._node_rngs), dtype=bool, count=self.n
+            )
+        return self._rng.random(self.n) < p
+
+    def rank_draws(self, src: np.ndarray, high: int) -> np.ndarray:
+        """One uniform draw from ``[1, high]`` per node in ``src``.
+
+        Scale mode caps ``high`` at ``2^62`` so draws stay in int64 —
+        ranks only need to be near-collision-free, not exactly
+        ``[n^4]``-distributed (exact mode keeps the true range).
+        """
+        if self._node_rngs is not None:
+            return np.fromiter(
+                (self._node_rngs[u].randrange(1, high + 1) for u in src),
+                dtype=np.int64,
+                count=len(src),
+            )
+        return self._rng.integers(1, min(high, 2**62) + 1, size=len(src), dtype=np.int64)
+
+    def _distinct_targets(self, src: np.ndarray, m: int) -> np.ndarray:
+        """``m`` distinct uniform peers (≠ self) per row, vectorized.
+
+        Small ``m`` uses whole-matrix rejection (draw, detect duplicate
+        rows, redraw those rows); large ``m`` switches to argpartition
+        over per-row random keys, chunked so the key matrix never
+        exceeds ~``_KEY_CHUNK_ELEMS`` floats.
+        """
+        n = self.n
+        rows = len(src)
+        if m == 0 or rows == 0:
+            return np.empty((rows, m), dtype=np.int64)
+        src_col = np.asarray(src, dtype=np.int64)[:, None]
+        if m == n - 1:
+            full = np.arange(n - 1, dtype=np.int64)[None, :]
+            return full + (full >= src_col)
+        if m * m <= 4 * n:
+            draw = self._rng.integers(0, n - 1, size=(rows, m), dtype=np.int64)
+            dst = draw + (draw >= src_col)
+            if m > 1:
+                pending = np.arange(rows)
+                for _ in range(500):
+                    chk = np.sort(dst[pending], axis=1)
+                    bad = (chk[:, 1:] == chk[:, :-1]).any(axis=1)
+                    if not bad.any():
+                        break
+                    pending = pending[bad]
+                    draw = self._rng.integers(0, n - 1, size=(len(pending), m), dtype=np.int64)
+                    dst[pending] = draw + (draw >= src_col[pending])
+                else:  # pragma: no cover - statistically unreachable
+                    raise RuntimeError("distinct-target rejection failed to converge")
+            return dst
+        out = np.empty((rows, m), dtype=np.int64)
+        chunk = max(1, _KEY_CHUNK_ELEMS // n)
+        src_flat = np.asarray(src, dtype=np.int64)
+        for start in range(0, rows, chunk):
+            stop = min(rows, start + chunk)
+            keys = self._rng.random((stop - start, n))
+            keys[np.arange(stop - start), src_flat[start:stop]] = np.inf
+            out[start:stop] = np.argpartition(keys, m, axis=1)[:, :m]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def run(self, algorithm) -> FastRunResult:
+        """Execute ``algorithm`` once and summarize the run."""
+        if self._ran:
+            raise RuntimeError("a FastSyncNetwork is single-use, like SyncNetwork")
+        self._ran = True
+        start = time.perf_counter()
+        algorithm.run(self)
+        wall = time.perf_counter() - start
+        if self._leaders is None:
+            raise RuntimeError(
+                f"{type(algorithm).__name__}.run() returned without calling decide()"
+            )
+        return FastRunResult(
+            n=self.n,
+            mode=self.mode,
+            rounds_executed=self.round,
+            messages=self.messages_total,
+            last_send_round=self.last_send_round,
+            leaders=list(self._leaders),
+            leader_ids=[int(self.ids[u]) for u in self._leaders],
+            decided_count=self._decided_count,
+            awake_count=self.n,
+            halted_count=self.n,
+            messages_by_kind=dict(self.messages_by_kind),
+            sends_by_round=dict(self.sends_by_round),
+            wall_time_s=wall,
+        )

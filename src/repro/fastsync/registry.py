@@ -1,0 +1,38 @@
+"""Name-indexed registry of the vectorized algorithm ports.
+
+Keys match :data:`repro.core.ALGORITHMS` so front-ends can treat
+``engine="fast"`` as a drop-in engine selection for any algorithm that
+has a vectorized twin (``repro.core.AlgorithmSpec.has_fast`` /
+``make_fast`` wrap this lazily so the core registry keeps importing
+without numpy).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.fastsync.algorithm import VectorAlgorithm
+from repro.fastsync.algorithms import (
+    VectorAfekGafniElection,
+    VectorImprovedTradeoffElection,
+    VectorLasVegasElection,
+)
+
+__all__ = ["FAST_ALGORITHMS", "get_fast_algorithm"]
+
+FAST_ALGORITHMS: Dict[str, Callable[..., VectorAlgorithm]] = {
+    "improved_tradeoff": VectorImprovedTradeoffElection,
+    "afek_gafni": VectorAfekGafniElection,
+    "las_vegas": VectorLasVegasElection,
+}
+
+
+def get_fast_algorithm(name: str) -> Callable[..., VectorAlgorithm]:
+    """Look up a vectorized port; raises ``KeyError`` with suggestions."""
+    try:
+        return FAST_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAST_ALGORITHMS))
+        raise KeyError(
+            f"no vectorized port of {name!r}; fast engine supports: {known}"
+        ) from None

@@ -60,6 +60,13 @@ class LinkFaults:
     message.  Duplication delivers a second copy over the same link at
     the same nominal delivery time (the duplicate never overtakes — FIFO
     still holds).
+
+    ``max_drops`` bounds how many messages the rule may drop over the
+    whole run; after the budget is spent the rule stops dropping (it
+    still claims matching messages and may still duplicate).  With
+    ``drop_prob=1.0`` this gives deterministic *drop schedules* — "lose
+    the first k ``ree_coord`` messages into node 3" — which is how the
+    loss-tolerance regression tests pin their scenarios.
     """
 
     drop_prob: float = 0.0
@@ -67,6 +74,7 @@ class LinkFaults:
     src: Optional[int] = None
     dst: Optional[int] = None
     kinds: Optional[Tuple[str, ...]] = None
+    max_drops: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "duplicate_prob"):
@@ -75,6 +83,11 @@ class LinkFaults:
                 raise ValueError(f"{name} must be in [0, 1], got {p!r}")
         if self.drop_prob == 0.0 and self.duplicate_prob == 0.0:
             raise ValueError("a LinkFaults rule must drop or duplicate something")
+        if self.max_drops is not None:
+            if self.max_drops < 1:
+                raise ValueError("max_drops must be >= 1 when set")
+            if self.drop_prob == 0.0:
+                raise ValueError("max_drops needs a positive drop_prob")
 
     def matches(self, src: int, dst: int, kind: str) -> bool:
         if self.src is not None and src != self.src:

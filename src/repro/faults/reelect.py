@@ -36,6 +36,14 @@ Mechanics
   inside the commit window aborts the commit everywhere and starts the
   next epoch, which is what makes "kill the frontrunner the moment it
   declares victory" survivable.
+* **Lossy links.**  The coord broadcast is *retransmitted* every
+  commit-window round (every poll tick on the asynchronous engine) and
+  once more at commit — a bounded ``commit_rounds + 1`` copies per link
+  — so a dropped ``ree_coord`` message, or any loss burst shorter than
+  the commit window, cannot leave a follower wedged without a leader.
+  Followers ignore duplicate coords, so retransmission costs messages
+  but never correctness (regression: ``tests/test_fault_reelect.py``,
+  lossy-commit cases).
 
 Any crash — leader or not — advances the epoch: membership changed, so
 the election re-runs among the new survivor set.  That keeps the epoch
@@ -242,13 +250,23 @@ class ReElectionElection(SyncAlgorithm):
             self.commit_left -= 1
             if self.commit_left <= 0:
                 if self.tentative == ctx.my_id:
-                    # Re-announce once at commit so a follower that lost
-                    # the first coord to link faults still learns it.
+                    # Final retransmit at commit: a follower that lost
+                    # every window copy still learns the leader.
                     ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
                     ctx.decide_leader()
                 else:
                     ctx.decide_follower(self.tentative)
                 ctx.halt()
+            elif self.tentative == ctx.my_id:
+                # Bounded retransmit (commit_rounds - 1 copies): the links
+                # are not assumed reliable, so the coord broadcast is
+                # repeated every commit-window round.  Any single lost
+                # ree_coord message — or any burst shorter than the
+                # window — can no longer wedge the epoch with a follower
+                # that never learns its leader (ROADMAP: message-loss-
+                # tolerant re-election).  Followers treat duplicates as
+                # no-ops, so retransmits only cost messages.
+                ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
 
 
 # --------------------------------------------------------------------- #
@@ -421,6 +439,14 @@ class AsyncReElectionElection(AsyncAlgorithm):
             return
         if tag == self.POLL:
             self._check_epoch(ctx)
+            if self.commit_token is not None and self.commit_token == (
+                self.epoch,
+                ctx.my_id,
+            ):
+                # Bounded retransmit while my commit timer runs (at most
+                # commit_delay / poll_interval copies) — the async twin of
+                # the sync wrapper's lossy-link guard.
+                ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
             ctx.set_timer(self.poll_interval, self.POLL)
             return
         if isinstance(tag, tuple) and tag[0] == self.COMMIT:

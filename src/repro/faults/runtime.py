@@ -81,6 +81,8 @@ class FaultRuntime:
         heapq.heapify(self._pending)
         self._kills_left: List[int] = [policy.max_kills for policy in plan.policies]
         self._kill_marked: set = set()  # nodes already targeted by a policy
+        # Per-link-rule remaining drop budget (None = unbounded).
+        self._drops_left: List[Optional[int]] = [rule.max_drops for rule in plan.links]
 
     # ------------------------------------------------------------------ #
     # ground truth queries
@@ -166,10 +168,14 @@ class FaultRuntime:
         Consumes randomness only when a rule matches, so fault-free
         traffic does not perturb the fault RNG stream.
         """
-        for rule in self.plan.links:
+        for i, rule in enumerate(self.plan.links):
             if not rule.matches(src, dst, kind):
                 continue
-            if rule.drop_prob and self.rng.random() < rule.drop_prob:
+            drops_left = self._drops_left[i]
+            may_drop = rule.drop_prob and (drops_left is None or drops_left > 0)
+            if may_drop and self.rng.random() < rule.drop_prob:
+                if drops_left is not None:
+                    self._drops_left[i] = drops_left - 1
                 self.metrics.dropped_messages += 1
                 return 0
             if rule.duplicate_prob and self.rng.random() < rule.duplicate_prob:

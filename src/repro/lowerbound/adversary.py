@@ -32,7 +32,6 @@ bound formulas it yields are evaluated in :mod:`repro.lowerbound.bounds`.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 

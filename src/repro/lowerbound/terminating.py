@@ -31,10 +31,10 @@ while an (artificial) quiet protocol shows termination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.common import Decision, SimulationLimitExceeded
-from repro.net.ports import LazyPortMap, CallbackPortPolicy, PortMapExhausted
+from repro.common import SimulationLimitExceeded
+from repro.net.ports import LazyPortMap, CallbackPortPolicy
 from repro.sync.engine import SyncNetwork
 
 __all__ = [
@@ -61,8 +61,6 @@ class _EscapeError(Exception):
 def _make_policy(
     members: Sequence[int], routing: Callable[[int, int, List[int]], int]
 ) -> CallbackPortPolicy:
-    member_set = set(members)
-
     def choose(port_map: LazyPortMap, u: int, port: int) -> int:
         candidates = [
             v for v in members if v != u and not port_map.linked(u, v)
@@ -93,7 +91,8 @@ def isolated_execution(
     if not 1 <= m <= n // 2:
         raise ValueError("Definition 3.5 considers sets of size at most n/2")
     if routing is None:
-        routing = lambda u, port, candidates: candidates[0]
+        def routing(u, port, candidates):
+            return candidates[0]
 
     # Build a miniature network of m nodes, each claiming port_count n-1.
     # We reuse SyncNetwork with n_virtual = n by instantiating n nodes but

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
+from repro.common import Decision, ProtocolError, SimulationLimitExceeded
 
 __all__ = ["LEFT", "RIGHT", "RingAlgorithm", "RingContext", "RingNetwork", "RingRunResult"]
 

@@ -34,7 +34,7 @@ class TestPolicyMechanics:
         # 0-1 talk both ways: capacity of {0,1} is 0.
         t1, _ = pm.resolve(0, 0)
         graph.add_edge(0, t1)
-        back = pm.resolve(t1, pm.resolve(0, 0)[1])  # ensure link both ways known
+        pm.resolve(t1, pm.resolve(0, 0)[1])  # ensure link both ways known
         graph.add_edge(t1, 0)
         target, _ = pm.resolve(0, 1)
         assert target not in (0, t1)

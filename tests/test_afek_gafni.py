@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core import AfekGafniElection, ImprovedTradeoffElection
 from repro.lowerbound import bounds
 from repro.net.ports import CanonicalPortMap
-from repro.sync.engine import SyncNetwork
 
 from tests.helpers import make_ids, run_sync
 

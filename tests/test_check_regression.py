@@ -1,0 +1,126 @@
+"""The benchmark-regression comparator (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def payload(metrics, directions=None):
+    return {"bench": "x", "smoke": True, "metrics": metrics, "directions": directions or {}}
+
+
+class TestCompareMetrics:
+    def test_identical_metrics_pass(self, checker):
+        base = payload({"a/messages": 100, "a/rounds": 3})
+        failures, notes = checker.compare_metrics(base, payload(dict(base["metrics"])), 0.25)
+        assert failures == [] and notes == []
+
+    def test_within_threshold_passes(self, checker):
+        base = payload({"a/messages": 100})
+        failures, _ = checker.compare_metrics(base, payload({"a/messages": 124}), 0.25)
+        assert failures == []
+
+    def test_lower_is_better_regression_fails(self, checker):
+        base = payload({"a/messages": 100})
+        failures, _ = checker.compare_metrics(base, payload({"a/messages": 126}), 0.25)
+        assert len(failures) == 1 and "a/messages" in failures[0]
+
+    def test_higher_is_better_direction(self, checker):
+        base = payload({"a/rate": 1.0}, directions={"a/rate": "higher"})
+        failures, _ = checker.compare_metrics(base, payload({"a/rate": 0.5}), 0.25)
+        assert len(failures) == 1
+        # Increases of a higher-is-better metric never fail.
+        failures, _ = checker.compare_metrics(base, payload({"a/rate": 2.0}), 0.25)
+        assert failures == []
+
+    def test_large_improvement_is_a_note_not_a_failure(self, checker):
+        base = payload({"a/messages": 100})
+        failures, notes = checker.compare_metrics(base, payload({"a/messages": 40}), 0.25)
+        assert failures == []
+        assert notes and "refreshing" in notes[0]
+
+    def test_missing_metric_fails(self, checker):
+        base = payload({"a/messages": 100, "a/rounds": 3})
+        failures, _ = checker.compare_metrics(base, payload({"a/messages": 100}), 0.25)
+        assert any("disappeared" in f for f in failures)
+
+    def test_new_metric_is_a_note(self, checker):
+        base = payload({"a/messages": 100})
+        _, notes = checker.compare_metrics(
+            base, payload({"a/messages": 100, "b/messages": 5}), 0.25
+        )
+        assert any("new metric" in n for n in notes)
+
+    def test_zero_baseline_fails_on_any_bad_move(self, checker):
+        base = payload({"a/drops": 0})
+        failures, _ = checker.compare_metrics(base, payload({"a/drops": 1}), 0.25)
+        assert len(failures) == 1
+        failures, _ = checker.compare_metrics(base, payload({"a/drops": 0}), 0.25)
+        assert failures == []
+
+
+class TestDirectoryGate:
+    def write(self, directory, name, data):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(data))
+
+    def test_end_to_end_pass_and_fail(self, checker, tmp_path):
+        baselines = tmp_path / "baselines"
+        artifacts = tmp_path / "artifacts"
+        self.write(baselines, "BENCH_demo.json", payload({"m": 10}))
+        self.write(artifacts, "BENCH_demo.json", payload({"m": 11}))
+        assert checker.main(
+            ["--artifact-dir", str(artifacts), "--baseline-dir", str(baselines)]
+        ) == 0
+        self.write(artifacts, "BENCH_demo.json", payload({"m": 20}))
+        assert checker.main(
+            ["--artifact-dir", str(artifacts), "--baseline-dir", str(baselines)]
+        ) == 1
+
+    def test_missing_artifact_fails(self, checker, tmp_path):
+        baselines = tmp_path / "baselines"
+        self.write(baselines, "BENCH_demo.json", payload({"m": 10}))
+        (tmp_path / "artifacts").mkdir()
+        failures, _ = checker.check_directory(baselines, tmp_path / "artifacts", 0.25)
+        assert any("artifact missing" in f for f in failures)
+
+    def test_empty_baseline_dir_fails(self, checker, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "artifacts").mkdir()
+        failures, _ = checker.check_directory(
+            tmp_path / "baselines", tmp_path / "artifacts", 0.25
+        )
+        assert failures
+
+    def test_unbaselined_artifact_is_a_note(self, checker, tmp_path):
+        baselines = tmp_path / "baselines"
+        artifacts = tmp_path / "artifacts"
+        self.write(baselines, "BENCH_demo.json", payload({"m": 10}))
+        self.write(artifacts, "BENCH_demo.json", payload({"m": 10}))
+        self.write(artifacts, "BENCH_new.json", payload({"m": 1}))
+        failures, notes = checker.check_directory(baselines, artifacts, 0.25)
+        assert failures == []
+        assert any("no baseline" in n for n in notes)
+
+    def test_checked_in_baselines_are_wellformed(self, checker):
+        """The repo's own baselines parse and carry gateable metrics."""
+        for path in (ROOT / "benchmarks" / "baselines").glob("BENCH_*.json"):
+            data = json.loads(path.read_text())
+            assert data["metrics"], path
+            assert data["smoke"] is True, path
+            for key, value in data["metrics"].items():
+                assert isinstance(value, (int, float)), (path, key)

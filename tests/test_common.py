@@ -1,6 +1,5 @@
 """Shared value types (repro.common)."""
 
-import pytest
 
 from repro.common import Decision, ProtocolError, SimulationLimitExceeded, message_kind
 

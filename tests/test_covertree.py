@@ -5,7 +5,7 @@ import pytest
 from repro.asyncnet import AsyncNetwork, TargetedDelayScheduler, UnitDelayScheduler
 from repro.asyncnet.algorithm import AsyncAlgorithm
 from repro.core import AsyncTradeoffElection
-from repro.lowerbound.covertree import CoverTree, build_cover_tree
+from repro.lowerbound.covertree import build_cover_tree
 from repro.net.ports import CanonicalPortMap
 from repro.trace import MemoryRecorder
 

@@ -3,7 +3,6 @@
 import pathlib
 import re
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -84,6 +83,53 @@ class TestExperimentsDoc:
         for exp_id in ("T1.1", "T1.2", "T1.3", "T1.4", "T1.6", "T1.8",
                        "T1.9", "T1.10", "T1.11", "T1.12", "T1.14", "F1", "F2"):
             assert exp_id in text, exp_id
+
+
+class TestCIConsistency:
+    """The CI workflow, benches and docs must agree on the smoke recipes."""
+
+    def workflow(self) -> str:
+        return read(".github/workflows/ci.yml")
+
+    def test_ci_smoke_benches_exist_and_are_documented(self):
+        text = self.workflow()
+        smoke = set(re.findall(r"benchmarks/(bench_\w+\.py) --smoke", text))
+        assert smoke, "CI should run smoke benchmarks"
+        experiments = read("EXPERIMENTS.md")
+        for bench in smoke:
+            assert (ROOT / "benchmarks" / bench).exists(), bench
+            assert bench in experiments, f"{bench} smoke run not in EXPERIMENTS.md"
+
+    def test_ci_runs_the_scale_and_churn_smokes(self):
+        text = self.workflow()
+        assert "bench_fastsync_scale.py --smoke" in text
+        assert "bench_failover_churn.py --smoke" in text
+
+    def test_ci_gates_bench_regressions(self):
+        text = self.workflow()
+        assert "check_regression.py" in text
+        assert "bench-artifacts" in text
+        assert "upload-artifact" in text
+
+    def test_every_json_emitting_smoke_has_a_baseline(self):
+        text = self.workflow()
+        for name in re.findall(r"--json bench-artifacts/(BENCH_\w+\.json)", text):
+            assert (ROOT / "benchmarks" / "baselines" / name).exists(), (
+                f"CI emits {name} but benchmarks/baselines/ has no baseline for it"
+            )
+
+    def test_ci_matrix_covers_supported_pythons(self):
+        text = self.workflow()
+        assert '"3.10"' in text and '"3.11"' in text and '"3.12"' in text
+
+    def test_lint_job_runs_ruff_with_config(self):
+        assert "ruff check" in self.workflow()
+        assert (ROOT / "ruff.toml").exists()
+
+    def test_experiments_documents_the_regression_gate(self):
+        experiments = read("EXPERIMENTS.md")
+        assert "check_regression.py" in experiments
+        assert "baselines" in experiments
 
 
 class TestModelDoc:

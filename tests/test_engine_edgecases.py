@@ -3,8 +3,8 @@
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.asyncnet.algorithm import AsyncAlgorithm
 from repro.asyncnet.engine import AsyncNetwork

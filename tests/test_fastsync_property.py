@@ -1,0 +1,70 @@
+"""Property-based cross-engine equivalence (hypothesis).
+
+Random clique sizes, random seeds, scrambled ID universes: for every
+ported algorithm, the object-model engine and the fastsync engine must
+agree on the winner and on the total message count when run from the
+same seed over the same port map.  Complements the fixed-case suite in
+``test_fastsync_equivalence.py`` with adversarially-searched inputs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy")
+
+from repro.core import (  # noqa: E402
+    AfekGafniElection,
+    ImprovedTradeoffElection,
+    LasVegasElection,
+)
+from repro.fastsync import (  # noqa: E402
+    FastSyncNetwork,
+    VectorAfekGafniElection,
+    VectorImprovedTradeoffElection,
+    VectorLasVegasElection,
+)
+from repro.sync.engine import SyncNetwork  # noqa: E402
+
+from tests.helpers import make_ids  # noqa: E402
+
+PAIRS = {
+    "improved_tradeoff": (
+        lambda ell: VectorImprovedTradeoffElection(ell=ell),
+        lambda ell: ImprovedTradeoffElection(ell=ell),
+        st.sampled_from([3, 5, 7]),
+    ),
+    "afek_gafni": (
+        lambda ell: VectorAfekGafniElection(ell=ell),
+        lambda ell: AfekGafniElection(ell=ell),
+        st.sampled_from([2, 3, 4, 6]),
+    ),
+    "las_vegas": (
+        lambda ell: VectorLasVegasElection(),
+        lambda ell: LasVegasElection(),
+        st.just(0),
+    ),
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(PAIRS))
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_engines_agree_on_winner_and_messages(algorithm, data):
+    vector_make, object_make, param_strategy = PAIRS[algorithm]
+    n = data.draw(st.integers(min_value=2, max_value=128), label="n")
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1), label="seed")
+    ell = data.draw(param_strategy, label="ell")
+    id_seed = data.draw(st.integers(min_value=0, max_value=7), label="id_seed")
+    ids = make_ids(n, seed=id_seed)
+
+    fast_net = FastSyncNetwork(n, ids=ids, seed=seed, mode="exact")
+    port_map = fast_net.port_map()
+    fast = fast_net.run(vector_make(ell))
+    obj = SyncNetwork(
+        n, lambda: object_make(ell), ids=ids, seed=seed, port_map=port_map
+    ).run()
+
+    assert fast.elected_id == obj.elected_id
+    assert fast.leaders == obj.leaders
+    assert fast.messages == obj.messages
+    assert fast.rounds_executed == obj.rounds_executed

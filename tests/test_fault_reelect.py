@@ -3,6 +3,7 @@
 import pytest
 
 from repro.asyncnet.engine import AsyncNetwork
+from repro.common import SimulationLimitExceeded
 from repro.core import LasVegasElection
 from repro.faults import (
     AsyncReElectionElection,
@@ -10,6 +11,7 @@ from repro.faults import (
     DetectorSpec,
     FaultPlan,
     LeaderKillPolicy,
+    LinkFaults,
     ReElectionElection,
     run_failover_trial,
 )
@@ -133,6 +135,103 @@ class TestSyncReElection:
     def test_inner_params_conflict_with_callable(self):
         with pytest.raises(ValueError):
             ReElectionElection(inner=lambda: LasVegasElection(), ell=3)
+
+
+class TestLossyCommit:
+    """Regression: dropped ``ree_coord`` messages must not wedge the epoch.
+
+    Before the bounded retransmit, the winner announced once (plus one
+    commit-time copy): losing both wedged the victim follower forever —
+    undecided, unhalted, spinning until ``SimulationLimitExceeded``.
+    The commit window now carries ``commit_rounds + 1`` copies per link.
+    """
+
+    def coord_drop_plan(self, max_drops, victim=3):
+        return FaultPlan(
+            links=(
+                LinkFaults(
+                    drop_prob=1.0, max_drops=max_drops, dst=victim, kinds=("ree_coord",)
+                ),
+            ),
+            detector=DetectorSpec(lag=1),
+        )
+
+    @pytest.mark.parametrize("max_drops", [1, 2, 4])
+    def test_coord_drop_burst_recovers(self, max_drops):
+        result = SyncNetwork(
+            16,
+            lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+            seed=0,
+            faults=self.coord_drop_plan(max_drops),
+        ).run()
+        assert result.unique_leader
+        assert result.elected_id == 16
+        assert result.decided_count == 16
+        assert result.fault_metrics.dropped_messages == max_drops
+
+    def test_retransmits_are_bounded(self):
+        # Fault-free run: the coord traffic is (commit_rounds + 1) copies
+        # per survivor link, not an unbounded stream.
+        net = SyncNetwork(
+            8, lambda: ReElectionElection(inner="afek_gafni", commit_rounds=3), seed=0
+        )
+        result = net.run()
+        assert result.unique_leader
+        assert result.metrics.messages_by_kind["ree_coord"] == (3 + 1) * 7
+
+    def test_unbounded_adversary_still_wedges(self):
+        # Losing *every* copy is beyond the bounded guarantee — the run
+        # must fail loudly (limit exceeded), not silently mis-elect.
+        with pytest.raises(SimulationLimitExceeded):
+            SyncNetwork(
+                16,
+                lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+                seed=0,
+                faults=self.coord_drop_plan(max_drops=None),
+                max_rounds=300,
+            ).run()
+
+    def test_drop_after_frontrunner_kill(self):
+        # Epoch 2's commit succeeds even when its first coord copy into
+        # the victim is dropped after a leader kill forced a re-election.
+        plan = FaultPlan(
+            policies=(LeaderKillPolicy(kinds=("ree_coord",), delay=1, max_kills=1),),
+            links=(
+                LinkFaults(drop_prob=1.0, max_drops=2, dst=5, kinds=("ree_coord",)),
+            ),
+            detector=DetectorSpec(lag=1),
+        )
+        report = run_failover_trial(
+            "sync",
+            24,
+            lambda: ReElectionElection(inner="afek_gafni", commit_rounds=4),
+            plan,
+            seed=2,
+        )
+        assert report.crashes == 1
+        assert report.unique_surviving_leader
+        assert report.surviving_leader_id == 23
+
+    def test_async_commit_survives_coord_drop(self):
+        plan = FaultPlan(
+            links=(
+                LinkFaults(drop_prob=1.0, max_drops=2, dst=3, kinds=("ree_coord",)),
+            ),
+            detector=DetectorSpec(lag=1.0),
+        )
+        result = AsyncNetwork(
+            16,
+            lambda: AsyncReElectionElection(
+                inner="async_tradeoff", commit_delay=4.0, poll_interval=0.5
+            ),
+            seed=1,
+            wake_times={u: 0.0 for u in range(16)},
+            max_events=2_000_000,
+            faults=plan,
+        ).run()
+        assert result.unique_leader
+        assert result.decided_count == 16
+        assert result.fault_metrics.dropped_messages >= 1
 
 
 class TestAsyncReElection:

@@ -39,6 +39,12 @@ class TestPlanValidation:
         with pytest.raises(ValueError):
             LeaderKillPolicy(delay=0)
 
+    def test_max_drops_validation(self):
+        with pytest.raises(ValueError, match="max_drops"):
+            LinkFaults(drop_prob=1.0, max_drops=0)
+        with pytest.raises(ValueError, match="drop_prob"):
+            LinkFaults(duplicate_prob=1.0, max_drops=2)
+
     def test_detector_spec_validation(self):
         with pytest.raises(ValueError):
             DetectorSpec(kind="psychic")
@@ -109,6 +115,23 @@ class TestRuntime:
         assert rt.deliveries(1, 0, "a") == 1  # wrong src
         assert rt.deliveries(0, 1, "b") == 1  # wrong kind
         assert rt.metrics.dropped_messages == 1
+
+    def test_max_drops_budget_exhausts(self):
+        plan = FaultPlan(links=(LinkFaults(drop_prob=1.0, max_drops=2, kinds=("a",)),))
+        rt = self.make(plan)
+        assert rt.deliveries(0, 1, "a") == 0
+        assert rt.deliveries(2, 1, "a") == 0
+        # Budget spent: the rule still claims the message but delivers it.
+        assert rt.deliveries(0, 1, "a") == 1
+        assert rt.metrics.dropped_messages == 2
+
+    def test_max_drops_can_still_duplicate_after_budget(self):
+        plan = FaultPlan(
+            links=(LinkFaults(drop_prob=1.0, duplicate_prob=1.0, max_drops=1),)
+        )
+        rt = self.make(plan)
+        assert rt.deliveries(0, 1, "x") == 0
+        assert rt.deliveries(0, 1, "x") == 2
 
     def test_duplication_counted(self):
         plan = FaultPlan(links=(LinkFaults(duplicate_prob=1.0),))

@@ -1,6 +1,5 @@
 """Theorem 3.10 algorithm (repro.core.improved_tradeoff)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -8,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core import ImprovedTradeoffElection
 from repro.lowerbound import bounds
 from repro.net.ports import CanonicalPortMap, LazyPortMap, SequentialPortPolicy
-from repro.sync.engine import SyncNetwork
 
 from tests.helpers import make_ids, run_sync
 

@@ -27,7 +27,7 @@ from repro.ids import assign_adversarial_spread, assign_random, tradeoff_univers
 from repro.lowerbound import bounds, run_under_capacity_adversary
 from repro.net.ports import LazyPortMap, SequentialPortPolicy
 
-from tests.helpers import make_ids, run_sync
+from tests.helpers import run_sync
 
 pytestmark = pytest.mark.slow
 

@@ -1,6 +1,5 @@
 """Exact integer power/log helpers (repro.mathutil)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

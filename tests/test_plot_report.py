@@ -40,7 +40,7 @@ class TestScatter:
 
     def test_extremes_on_borders(self):
         text = scatter({"s": [(1, 1), (1000, 1000)]}, width=20, height=5)
-        grid_lines = [l for l in text.splitlines() if l.startswith("|")]
+        grid_lines = [line for line in text.splitlines() if line.startswith("|")]
         assert grid_lines[0].rstrip("|").endswith("o")  # max in top-right
         assert grid_lines[-1].lstrip("|").startswith("o")  # min bottom-left
 

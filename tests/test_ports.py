@@ -10,7 +10,6 @@ from repro.net.ports import (
     CanonicalPortMap,
     LazyPortMap,
     PortMapExhausted,
-    RandomPortPolicy,
     SequentialPortPolicy,
     random_port_map,
 )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ALGORITHMS, get_algorithm
-from repro.core.registry import AlgorithmSpec
 from repro.sync.engine import SyncNetwork
 from repro.asyncnet.engine import AsyncNetwork
 from repro.trace import CompositeRecorder, MemoryRecorder, PrintRecorder

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common import ProtocolError
 from repro.core import ImprovedTradeoffElection, SmallIdElection
-from repro.lowerbound import SingleSendAdapter, single_send_factory
+from repro.lowerbound import single_send_factory
 from repro.net.ports import CanonicalPortMap
 from repro.sync.algorithm import SyncAlgorithm
 from repro.sync.engine import SyncNetwork

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.stats import ConfidenceInterval, bootstrap_mean_ci
+from repro.analysis.stats import bootstrap_mean_ci
 
 
 class TestBootstrapCI:

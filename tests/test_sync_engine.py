@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import Decision, ProtocolError, SimulationLimitExceeded
+from repro.common import ProtocolError, SimulationLimitExceeded
 from repro.net.ports import CanonicalPortMap
 from repro.sync.algorithm import SyncAlgorithm
 from repro.sync.engine import SyncNetwork

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import AfekGafniElection, ImprovedTradeoffElection
 from repro.lowerbound.terminating import (
-    IsolationOutcome,
     forms_terminating_components,
     isolated_execution,
 )

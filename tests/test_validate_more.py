@@ -1,7 +1,6 @@
 """Additional validation-helper coverage (repro.analysis.validate)."""
 
 from repro.analysis import election_valid
-from repro.common import Decision
 
 
 class FakeResult:
