@@ -1,0 +1,214 @@
+"""Scenario churn — the workload layer swept end to end (scenarios subsystem).
+
+Runs every named scenario (``partition_heal``, ``rolling_restart``,
+``flapping_leader``, ``staggered_joins``, ``election_storm``) on both
+object engines over a grid of clique sizes and seeds, reporting the
+per-epoch convergence metrics the ROADMAP churn items ask for: failover
+latency, leadership-agreement fraction, epoch churn, and message
+overhead versus a fault-free election.  Shape assertions:
+
+* every scenario run re-converges — exactly one agreed leader at the
+  end, on every engine, every n, every seed;
+* disruption scenarios really churn: partition runs mint one epoch per
+  component plus the heal epoch, flapping runs burn one epoch per kill;
+* overhead is proportionate: k disruptions cost within a constant
+  factor of k + 1 fault-free elections (the recovery path re-elects,
+  it does not thrash);
+* **ablation #4** (detector lag vs failover latency): sweeping the
+  perfect-detector lag on ``rolling_restart`` shifts measured failover
+  latency by exactly the lag delta — detection and re-election costs
+  compose additively, so the detector budget is a pure latency knob.
+
+Run standalone (CI smoke): ``python benchmarks/bench_scenario_churn.py --smoke``;
+``--json PATH`` writes the BENCH_*.json trajectory artifact that
+``check_regression.py`` gates against ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Table
+from repro.scenarios import ScenarioRunner, get_scenario
+
+from _harness import bench_once, emit, emit_json
+
+NS = [32, 64]
+SEEDS = [0, 1, 2]
+SMOKE_NS = [16, 32]
+SMOKE_SEEDS = [0, 1]
+
+SCENARIOS = [
+    "partition_heal",
+    "rolling_restart",
+    "flapping_leader",
+    "staggered_joins",
+    "election_storm",
+]
+ENGINES = ["sync", "async"]
+ABLATION_LAGS = [1.0, 2.0, 4.0]
+
+
+def run_sweep(ns=NS, seeds=SEEDS):
+    table = Table(
+        [
+            "scenario",
+            "engine",
+            "n",
+            "agreed runs",
+            "epoch churn",
+            "mean failover",
+            "agreed frac",
+            "mean msgs",
+            "overhead",
+        ],
+        title="Scenario churn: every named scenario on both engines",
+    )
+    rows = []
+    for name in SCENARIOS:
+        for engine in ENGINES:
+            for n in ns:
+                results = [
+                    ScenarioRunner(
+                        get_scenario(name, n), n, engine=engine, seed=seed
+                    ).run()
+                    for seed in seeds
+                ]
+                agreed = sum(r.metrics.final_agreed for r in results) / len(results)
+                churn = sum(r.metrics.epoch_churn for r in results) / len(results)
+                failovers = [
+                    lat for r in results for lat in r.metrics.failover_latencies
+                ]
+                mean_failover = (
+                    sum(failovers) / len(failovers) if failovers else float("nan")
+                )
+                agreed_frac = sum(
+                    r.metrics.agreed_fraction for r in results
+                ) / len(results)
+                mean_msgs = sum(
+                    r.metrics.total_messages for r in results
+                ) / len(results)
+                overhead = sum(
+                    r.metrics.message_overhead for r in results
+                ) / len(results)
+                elections = sum(r.metrics.elections for r in results) / len(results)
+                rows.append(
+                    (name, engine, n, agreed, churn, mean_failover,
+                     agreed_frac, mean_msgs, overhead, elections)
+                )
+                table.add_row(
+                    name, engine, n, agreed, churn,
+                    f"{mean_failover:.2f}", f"{agreed_frac:.2f}",
+                    f"{mean_msgs:.0f}", f"{overhead:.2f}",
+                )
+    return table, rows
+
+
+def run_lag_ablation(ns, seeds):
+    """Ablation #4: detector lag vs measured failover latency."""
+    table = Table(
+        ["lag", "n", "mean failover", "epoch churn"],
+        title="Ablation #4: perfect-detector lag vs failover latency "
+        "(rolling_restart, sync engine)",
+    )
+    rows = []
+    n = ns[-1]
+    for lag in ABLATION_LAGS:
+        results = [
+            ScenarioRunner(
+                get_scenario("rolling_restart", n), n, engine="sync",
+                seed=seed, lag=lag,
+            ).run()
+            for seed in seeds
+        ]
+        failovers = [lat for r in results for lat in r.metrics.failover_latencies]
+        mean_failover = sum(failovers) / len(failovers)
+        churn = sum(r.metrics.epoch_churn for r in results) / len(results)
+        rows.append((lag, n, mean_failover, churn))
+        table.add_row(lag, n, f"{mean_failover:.2f}", churn)
+    return table, rows
+
+
+def check(rows, ablation_rows) -> None:
+    for (name, engine, n, agreed, churn, mean_failover,
+         agreed_frac, _msgs, overhead, elections) in rows:
+        # Re-convergence: one agreed leader at the end of every run.
+        assert agreed == 1.0, (name, engine, n, agreed)
+        # Disruption scenarios really churn epochs.
+        if name == "partition_heal":
+            assert churn >= 4, (name, engine, n, churn)  # initial + 2 + heal
+            assert mean_failover == mean_failover and mean_failover > 0
+        if name == "flapping_leader":
+            assert churn >= 4, (name, engine, n, churn)  # 3 kills + survivor
+        if name == "election_storm":
+            # Elections without disruption keep agreement almost always.
+            assert agreed_frac > 0.5, (name, engine, n, agreed_frac)
+        # Proportionate recovery: total traffic stays within a constant
+        # factor of one fault-free election per minted epoch (in-act
+        # kill churn included), so the recovery path re-elects rather
+        # than thrashing.
+        assert elections >= 1
+        assert overhead <= 2.5 * churn, (name, engine, n, overhead, churn)
+    # Ablation #4: failover latency composes additively with the lag —
+    # monotone in the lag, with a slope of about one per lag unit.
+    latencies = [latency for _lag, _n, latency, _churn in ablation_rows]
+    lags = [lag for lag, _n, _latency, _churn in ablation_rows]
+    for (lo_lag, lo), (hi_lag, hi) in zip(
+        zip(lags, latencies), zip(lags[1:], latencies[1:])
+    ):
+        assert hi > lo, (lo_lag, lo, hi_lag, hi)
+        delta = (hi - lo) / (hi_lag - lo_lag)
+        assert 0.5 <= delta <= 2.0, (lo_lag, hi_lag, delta)
+
+
+def metrics_from(rows, ablation_rows):
+    """Seed-deterministic metrics (+ directions) for the regression gate."""
+    metrics = {}
+    directions = {}
+    for (name, engine, n, agreed, churn, mean_failover,
+         agreed_frac, mean_msgs, _overhead, _elections) in rows:
+        key = f"{name}/{engine}/n={n}"
+        metrics[f"{key}/messages"] = mean_msgs
+        metrics[f"{key}/epoch_churn"] = churn
+        metrics[f"{key}/agreed_runs"] = agreed
+        directions[f"{key}/agreed_runs"] = "higher"
+        metrics[f"{key}/agreed_fraction"] = round(agreed_frac, 4)
+        directions[f"{key}/agreed_fraction"] = "higher"
+        if mean_failover == mean_failover:  # not NaN
+            metrics[f"{key}/mean_failover_latency"] = mean_failover
+    for lag, n, latency, _churn in ablation_rows:
+        metrics[f"ablation/lag={lag:g}/n={n}/mean_failover_latency"] = latency
+    return metrics, directions
+
+
+def test_bench_scenario_churn(benchmark):
+    table, rows = bench_once(benchmark, run_sweep)
+    ablation_table, ablation_rows = run_lag_ablation(NS, SEEDS)
+    emit("scenario_churn", table.render() + "\n\n" + ablation_table.render())
+    check(rows, ablation_rows)
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized sweep")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a BENCH_*.json trajectory artifact")
+    args = parser.parse_args(argv)
+    ns = SMOKE_NS if args.smoke else NS
+    seeds = SMOKE_SEEDS if args.smoke else SEEDS
+    table, rows = run_sweep(ns=ns, seeds=seeds)
+    ablation_table, ablation_rows = run_lag_ablation(ns, seeds)
+    print(table.render())
+    print(ablation_table.render())
+    check(rows, ablation_rows)
+    if args.json:
+        metrics, directions = metrics_from(rows, ablation_rows)
+        emit_json(args.json, "scenario_churn", metrics,
+                  smoke=args.smoke, directions=directions)
+    print("OK: every scenario re-converged to one agreed leader")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,109 @@
+"""A partition drill on the scenario layer.
+
+The on-call nightmare, replayed deterministically: a 32-machine
+coordination cell is split down the middle by a switch failure.  Each
+half, certain the other is dead, elects its own coordinator — a
+split-brain window.  The switch comes back, the halves rediscover each
+other, and the cell must re-converge on exactly one coordinator.
+
+The scenario subsystem replays the whole incident as three election
+acts (initial, partition, heal) and measures what an SRE would ask for
+afterwards: how long was leadership split or absent, how fast did
+failover complete, and what did the churn cost in messages compared to
+a quiet day.
+
+A second act runs a *custom* timeline built from the same declarative
+pieces: quarantine one node behind a partition, crash the leader while
+the partition is up, and verify the cell still converges after heal.
+
+Run: ``PYTHONPATH=src python examples/partition_drill.py [n]``
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.scenarios import (  # noqa: E402
+    Scenario,
+    ScenarioRunner,
+    crash,
+    get_scenario,
+    partition,
+    run_scenario,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def describe(result) -> None:
+    metrics = result.metrics
+    for epoch in result.epochs:
+        leaders = "+".join(str(i) for i in epoch.leader_ids) or "-"
+        print(
+            f"  act {epoch.epoch:>2} [{epoch.trigger:^9}] "
+            f"t={epoch.t_start:>6.1f}..{epoch.t_end:<6.1f} "
+            f"members={len(epoch.members):>2}  leader(s)={leaders:<7} "
+            f"messages={epoch.messages}"
+        )
+    print()
+    for interval in metrics.agreement_intervals:
+        state = "agreed" if interval.agreed else "SPLIT/NONE"
+        leaders = ", ".join(str(i) for i in interval.leaders) or "nobody"
+        print(
+            f"  {interval.start:>6.1f} .. {interval.end:<6.1f} "
+            f"{state:<10} (leaders: {leaders})"
+        )
+    print()
+    failover = metrics.mean_failover_latency
+    print(f"  epoch churn        : {metrics.epoch_churn}")
+    print(f"  mean failover      : "
+          f"{'-' if failover is None else f'{failover:.1f} rounds'}")
+    print(f"  agreement fraction : {metrics.agreed_fraction:.0%}")
+    print(f"  message overhead   : {metrics.message_overhead:.2f}x a quiet election")
+    print(f"  final coordinator  : {metrics.final_leader_id} "
+          f"({'agreed' if metrics.final_agreed else 'NO AGREEMENT'})")
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+
+    banner(f"Drill 1: switch failure splits the {n}-machine cell in half")
+    result = run_scenario(get_scenario("partition_heal", n), n, engine="sync", seed=7)
+    describe(result)
+    split = next(e for e in result.epochs if e.trigger == "partition")
+    assert len(split.leader_ids) == 2, "each half should elect its own coordinator"
+    assert result.metrics.final_agreed, "the heal must re-converge"
+    print("\n  -> split-brain window measured, heal re-converged on one leader")
+
+    banner("Drill 2: custom timeline — quarantine a node, crash the leader")
+    # Quarantine node 0 behind a partition while everyone else stays
+    # connected, then crash the sitting coordinator mid-window: the
+    # majority side fails over on its own, and the heal reabsorbs the
+    # quarantined node without a fresh split.  (The crash names the
+    # concrete index n-1 — the max-ID node the initial election made
+    # leader — because the symbolic "leader" target refuses to resolve
+    # while two components each believe in their own coordinator.)
+    quarantine = Scenario(
+        name="quarantine_drill",
+        description="isolate one node, crash the leader during the window",
+        events=(
+            partition(((0,), tuple(range(1, n))), start=20.0, end=90.0),
+            crash(n - 1, 50.0),
+        ),
+    )
+    result = ScenarioRunner(quarantine, n, engine="sync", seed=7).run()
+    describe(result)
+    assert result.metrics.final_agreed
+    assert result.metrics.crashes == 1
+    print("\n  -> leader died during the quarantine window; the majority side")
+    print("     failed over and the heal produced a single agreed coordinator")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

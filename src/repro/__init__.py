@@ -16,8 +16,11 @@ The package provides:
 * :mod:`repro.analysis` — experiment runner, power-law fitting, paper
   style tables and validation helpers;
 * :mod:`repro.faults` — crash-fault injection, failure-detector oracles,
-  and fault-tolerant (monarchical / epoch re-election) algorithms for
-  failover scenarios on both engines.
+  partition masks, and fault-tolerant (monarchical / epoch re-election)
+  algorithms for failover scenarios on both engines;
+* :mod:`repro.scenarios` — declarative churn timelines (crash/recover,
+  joins, partitions with automatic heal, repeated elections) executed
+  act by act on any engine with per-epoch convergence metrics.
 
 Quickstart::
 

@@ -21,6 +21,14 @@ Commands
     message cost after the first crash.  ``monarchical`` and ``reelect``
     additionally accept ``--engine async``.
 
+``scenarios {list,run,sweep}``
+    The workload layer: declarative event timelines (partitions with
+    automatic heal, crash-recovery with persisted epoch state, joins,
+    repeated elections) executed by the scenario runner with per-epoch
+    convergence metrics — failover latency, leadership-agreement
+    intervals, epoch churn, and message overhead vs a fault-free
+    baseline.  ``run NAME --json -`` prints the full JSON report.
+
 Examples
 --------
 
@@ -37,6 +45,10 @@ Examples
     python -m repro faults monarchical --n 256 --drop 0.02 --seeds 0 1 2
     python -m repro faults reelect --n 64 --kill-leader --drop 1.0 --drop-kinds ree_coord --max-drops 3
     python -m repro run improved_tradeoff --n 100000 --engine fast --param ell=5
+    python -m repro scenarios list
+    python -m repro scenarios run partition_heal --n 64 --seed 1 --json -
+    python -m repro scenarios run rolling_restart --n 32 --engine fast
+    python -m repro scenarios sweep election_storm --ns 32 64 --seeds 0 1 2
 """
 
 from __future__ import annotations
@@ -347,6 +359,134 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _write_json(path: str, payload: Any) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {path}")
+
+
+def cmd_scenarios_list(_args: argparse.Namespace) -> int:
+    from repro.scenarios import NAMED_SCENARIOS, get_scenario
+
+    table = Table(
+        ["name", "timeline", "description"], title="Named scenarios (n=64 preview)"
+    )
+    for name in sorted(NAMED_SCENARIOS):
+        scenario = get_scenario(name, 64)
+        table.add_row(name, scenario.summary(), scenario.description)
+    print(table.render())
+    return 0
+
+
+def cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioRunner, get_scenario, scenario_report
+
+    scenario = get_scenario(args.name, args.n)
+    try:
+        runner = ScenarioRunner(
+            scenario,
+            args.n,
+            engine=args.engine,
+            seed=args.seed,
+            inner=args.inner,
+            lag=args.lag,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = runner.run()
+    metrics = result.metrics
+    table = Table(
+        ["epoch", "trigger", "t_event", "t_start", "duration", "leader(s)",
+         "messages", "failover"],
+        title=(
+            f"scenario {scenario.name} on {args.engine} engine "
+            f"(n={args.n}, seed={args.seed}, inner={runner.inner})"
+        ),
+    )
+    for e in result.epochs:
+        table.add_row(
+            e.epoch,
+            e.trigger,
+            e.t_event,
+            e.t_start,
+            e.duration,
+            "+".join(str(i) for i in e.leader_ids) or "-",
+            e.messages,
+            f"{e.failover_latency:.1f}" if e.trigger != "initial" else "-",
+        )
+    print(table.render())
+    mean_failover = metrics.mean_failover_latency
+    print(
+        f"elections={metrics.elections} epoch_churn={metrics.epoch_churn} "
+        f"mean_failover_latency="
+        f"{'-' if mean_failover is None else f'{mean_failover:.2f}'} "
+        f"agreed_fraction={metrics.agreed_fraction:.2f} "
+        f"message_overhead={metrics.message_overhead:.2f}x"
+    )
+    print(
+        f"final leader: {metrics.final_leader_id} "
+        f"({'agreed by all up nodes' if metrics.final_agreed else 'NO AGREEMENT'})"
+    )
+    for note in result.notes:
+        print(f"note: {note}")
+    if args.json:
+        _write_json(args.json, scenario_report(result))
+    return 0 if metrics.final_agreed else 1
+
+
+def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    table = Table(
+        ["n", "seed", "elections", "epoch churn", "mean failover",
+         "agreed frac", "messages", "overhead", "final agreed"],
+        title=f"scenario sweep: {args.name} on {args.engine} engine",
+    )
+    metrics_out: Dict[str, Any] = {}
+    failures = 0
+    for n in args.ns:
+        for seed in args.seeds:
+            scenario = get_scenario(args.name, n)
+            try:
+                runner = ScenarioRunner(
+                    scenario, n, engine=args.engine, seed=seed,
+                    inner=args.inner, lag=args.lag,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            m = runner.run().metrics
+            failures += not m.final_agreed
+            mean_failover = m.mean_failover_latency
+            table.add_row(
+                n, seed, m.elections, m.epoch_churn,
+                "-" if mean_failover is None else f"{mean_failover:.2f}",
+                f"{m.agreed_fraction:.2f}", m.total_messages,
+                f"{m.message_overhead:.2f}", m.final_agreed,
+            )
+            key = f"n={n}/seed={seed}"
+            metrics_out[f"{key}/messages"] = m.total_messages
+            metrics_out[f"{key}/epoch_churn"] = m.epoch_churn
+            if mean_failover is not None:
+                metrics_out[f"{key}/mean_failover_latency"] = mean_failover
+    print(table.render())
+    if args.json:
+        _write_json(
+            args.json,
+            {"scenario": args.name, "engine": args.engine, "metrics": metrics_out},
+        )
+    if failures:
+        print(f"note: {failures} run(s) ended without an agreed leader")
+    return 1 if failures else 0
+
+
 def plan_summary(plan) -> str:
     parts = []
     if plan.crashes:
@@ -445,6 +585,53 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--n", type=int, default=512)
     report_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     report_p.set_defaults(func=cmd_report)
+
+    from repro.scenarios import NAMED_SCENARIOS
+
+    scen_p = sub.add_parser(
+        "scenarios", help="declarative churn timelines (partitions, restarts, joins)"
+    )
+    scen_sub = scen_p.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("list", help="list the named scenarios").set_defaults(
+        func=cmd_scenarios_list
+    )
+
+    def _scenario_run_args(p) -> None:
+        p.add_argument("name", choices=sorted(NAMED_SCENARIOS))
+        p.add_argument(
+            "--engine", choices=["sync", "async", "fast"], default="sync",
+            help="engine for every election act (fast: crash/join/elect subset)",
+        )
+        p.add_argument(
+            "--inner", default=None,
+            help="inner election algorithm (default: afek_gafni sync, "
+            "async_tradeoff async, improved_tradeoff fast)",
+        )
+        p.add_argument("--lag", type=float, default=1.0, help="detector detection lag")
+
+    run_scen_p = scen_sub.add_parser(
+        "run", help="run one scenario and print per-epoch convergence metrics"
+    )
+    _scenario_run_args(run_scen_p)
+    run_scen_p.add_argument("--n", type=int, default=64, help="initial clique size")
+    run_scen_p.add_argument("--seed", type=int, default=0)
+    run_scen_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full JSON report ('-' prints to stdout)",
+    )
+    run_scen_p.set_defaults(func=cmd_scenarios_run)
+
+    sweep_scen_p = scen_sub.add_parser(
+        "sweep", help="sweep one scenario over clique sizes and seeds"
+    )
+    _scenario_run_args(sweep_scen_p)
+    sweep_scen_p.add_argument("--ns", type=int, nargs="+", default=[32, 64])
+    sweep_scen_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    sweep_scen_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the sweep metrics as JSON ('-' prints to stdout)",
+    )
+    sweep_scen_p.set_defaults(func=cmd_scenarios_sweep)
     return parser
 
 

@@ -162,6 +162,8 @@ def run_fast_trial(
     mode: str = "auto",
     max_rounds: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
+    crashes: Optional[Sequence[Any]] = None,
+    keep_result: bool = False,
 ) -> RunRecord:
     """Run one election on the vectorized engine and flatten the result.
 
@@ -170,6 +172,8 @@ def run_fast_trial(
     Imports :mod:`repro.fastsync` lazily, so the runner module itself
     keeps working without numpy; ``mode`` selects the port model
     (``auto``/``exact``/``scale``, see the fastsync engine docs).
+    ``crashes`` is a deterministic ``(node, at-round)`` crash-stop
+    schedule, honored by the crash-aware vectorized ports only.
     """
     from repro.fastsync import FastSyncNetwork, get_fast_algorithm
 
@@ -179,9 +183,11 @@ def run_fast_trial(
         alg = algorithm()
     else:
         alg = algorithm
-    net = FastSyncNetwork(n, ids=ids, seed=seed, mode=mode, max_rounds=max_rounds)
+    net = FastSyncNetwork(
+        n, ids=ids, seed=seed, mode=mode, max_rounds=max_rounds, crashes=crashes
+    )
     result = net.run(alg)
-    return RunRecord(
+    record = RunRecord(
         n=n,
         seed=seed,
         messages=result.messages,
@@ -199,6 +205,13 @@ def run_fast_trial(
             "wall_time_s": result.wall_time_s,
         },
     )
+    if result.crashed:
+        record.extra["crashed"] = list(result.crashed)
+        record.extra["unique_surviving_leader"] = result.unique_surviving_leader
+        record.extra["surviving_leader_id"] = result.surviving_leader_id
+    if keep_result:
+        record.extra["result"] = result
+    return record
 
 
 def sweep_sync(

@@ -255,7 +255,7 @@ class AsyncNetwork:
         if self.fault_runtime is not None:
             for when, node in self.fault_runtime.observe_send(self._now, u, kind):
                 self._push(when, _EVENT_CRASH, node, -1, None)
-            copies = self.fault_runtime.deliveries(u, v, kind)
+            copies = self.fault_runtime.deliveries(u, v, kind, self._now)
         for _ in range(copies):
             self._push(deliver_at, _EVENT_DELIVER, v, j, payload)
 

@@ -38,6 +38,12 @@ class VectorAlgorithm:
     #: Registry name of the object-model twin (for diagnostics).
     name: str = "?"
 
+    #: Whether the port honors the engine's crash masks
+    #: (:attr:`FastSyncNetwork.alive`).  Crash-aware ports must filter
+    #: senders and referees through the mask every round; the engine
+    #: refuses to run a crash schedule against a port that does not.
+    supports_crashes: bool = False
+
     def run(self, net: "FastSyncNetwork") -> None:
         """Execute the full round schedule on ``net`` (see module docs)."""
         raise NotImplementedError

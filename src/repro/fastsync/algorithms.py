@@ -47,20 +47,31 @@ def _compete_iteration(
     a sender survives iff all ``m`` of its referees responded to it.
     Returns ``(survivors, response_count)`` and accounts both message
     batches; the referee round's :meth:`tick` happens inside.
+
+    Crash masks: competes are *sent* (and counted) regardless of the
+    destination's fate — exactly like the object engine, where the
+    send is accounted and the delivery dropped — but a referee that is
+    dead in the referee round neither receives nor responds, so its
+    senders lose the iteration for want of a response.
     """
     ids = net.ids
     dst = net.first_ports(senders, m)
     net.count_messages(dst.size, compete_kind)
     net.tick()
+    crashy = net.has_crashes
     sid = ids[senders]
     best = init.copy()
     rows = len(senders)
     chunk = max(1, _ROW_CHUNK // max(m, 1))
     for start in range(0, rows, chunk):
         stop = min(rows, start + chunk)
-        np.maximum.at(
-            best, dst[start:stop].reshape(-1), np.repeat(sid[start:stop], m)
-        )
+        flat = dst[start:stop].reshape(-1)
+        rep = np.repeat(sid[start:stop], m)
+        if crashy:
+            delivered = net.alive[flat]
+            flat = flat[delivered]
+            rep = rep[delivered]
+        np.maximum.at(best, flat, rep)
     responses = int(np.count_nonzero(best > init))
     net.count_messages(responses, response_kind)
     ok = np.empty(rows, dtype=bool)
@@ -71,9 +82,21 @@ def _compete_iteration(
 
 
 class VectorImprovedTradeoffElection(VectorAlgorithm):
-    """Vectorized Theorem 3.10 tradeoff election (twin: ``improved_tradeoff``)."""
+    """Vectorized Theorem 3.10 tradeoff election (twin: ``improved_tradeoff``).
+
+    The only crash-aware port so far: under a
+    :class:`~repro.fastsync.FastSyncNetwork` crash schedule, crashed
+    survivors drop out at the start of the round their crash lands on,
+    dead referees never respond (so their senders lose the iteration),
+    and only nodes alive in the silent decision round decide — matching
+    the object engine's crash-stop semantics bit for bit in ``exact``
+    mode (``tests/test_fastsync_crash.py``).  Crash runs take the
+    materialized path even for full fan-out, so they cost ``O(n·m)``
+    memory where the analytic branch costs ``O(1)``.
+    """
 
     name = "improved_tradeoff"
+    supports_crashes = True
 
     COMPETE = "compete"
     RESPONSE = "response"
@@ -91,14 +114,17 @@ class VectorImprovedTradeoffElection(VectorAlgorithm):
 
     def run(self, net) -> None:
         n, ids = net.n, net.ids
+        crashy = net.has_crashes
         survivors = np.arange(n, dtype=np.int64)
         for i in range(1, self.k - 1):
             m = self.referee_count(n, i)
             net.tick()  # round 2i-1: competes (prior tally already applied)
+            if crashy:
+                survivors = survivors[net.alive[survivors]]
             if m == 0:  # n == 1: the lone node competes at nobody
                 net.tick()
                 continue
-            if m == n - 1:
+            if m == n - 1 and not crashy:
                 s_count = len(survivors)
                 net.count_messages(s_count * m, self.COMPETE)
                 net.tick()
@@ -119,8 +145,21 @@ class VectorImprovedTradeoffElection(VectorAlgorithm):
                 net, survivors, m, init, self.COMPETE, self.RESPONSE
             )
         net.tick()  # round 2k-3: surviving IDs are broadcast
+        if crashy:
+            survivors = survivors[net.alive[survivors]]
         net.count_messages(len(survivors) * (n - 1), self.FINAL)
         net.tick()  # round 2k-2: silent decision round
+        if crashy:
+            # Only nodes alive in the decision round decide; the winner
+            # must both have broadcast and still be alive to lead.
+            decided = int(net.alive.sum())
+            if len(survivors):
+                winner = int(survivors[int(np.argmax(ids[survivors]))])
+                leaders = [winner] if net.alive[winner] else []
+            else:
+                leaders = []
+            net.decide(leaders, decided_count=decided)
+            return
         winner = int(survivors[int(np.argmax(ids[survivors]))])
         net.decide([winner])
 

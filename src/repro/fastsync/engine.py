@@ -53,11 +53,11 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common import SimulationLimitExceeded
+from repro.common import SimulationLimitExceeded, SurvivorAccounting
 from repro.net.ports import PortMap
 
 __all__ = ["ArrayPortMap", "FastRunResult", "FastSyncNetwork"]
@@ -106,11 +106,12 @@ class ArrayPortMap(PortMap):
 
 
 @dataclass
-class FastRunResult:
+class FastRunResult(SurvivorAccounting):
     """Summary of one vectorized execution (mirrors ``SyncRunResult``)."""
 
     n: int
     mode: str
+    ids: List[int]
     rounds_executed: int
     messages: int
     last_send_round: int
@@ -122,7 +123,7 @@ class FastRunResult:
     messages_by_kind: Dict[str, int]
     sends_by_round: Dict[int, int]
     wall_time_s: float
-    crashed: List[int] = field(default_factory=list)  # fastsync runs fault-free
+    crashed: List[int] = field(default_factory=list)  # crash-mask casualties
     fault_metrics: Optional[object] = None
 
     @property
@@ -146,6 +147,7 @@ class FastSyncNetwork:
         mode: str = "auto",
         exact_limit: int = 2048,
         max_rounds: Optional[int] = None,
+        crashes: Optional[Sequence[Tuple[int, float]]] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need n >= 1")
@@ -179,6 +181,31 @@ class FastSyncNetwork:
             self._rng = np.random.default_rng(np.random.PCG64(seed))
             self._ports = None
 
+        # Crash masks (the ROADMAP "array extension"): a deterministic
+        # crash-stop schedule of (node, at-round) pairs, applied at the
+        # start of round ``at`` exactly like the object engine's
+        # CrashFault handling.  ``alive`` is the shared ground-truth
+        # mask crash-aware algorithms filter senders/referees through.
+        schedule: List[Tuple[float, int]] = []
+        if crashes:
+            seen_nodes = set()
+            for node, at in crashes:
+                node = int(node)
+                if not 0 <= node < n:
+                    raise ValueError(f"crash target {node} out of range for n={n}")
+                if node in seen_nodes:
+                    raise ValueError(f"node {node} is scheduled to crash twice")
+                if at < 0:
+                    raise ValueError("crash schedule entries need at >= 0")
+                seen_nodes.add(node)
+                schedule.append((float(at), node))
+            if len(schedule) >= n:
+                raise ValueError("cannot schedule every node to crash")
+        self._crash_schedule = sorted(schedule)
+        self._crash_idx = 0
+        self.alive = np.ones(n, dtype=bool)
+        self.crashed_at: Dict[int, float] = {}
+
         self.round = 0
         self.messages_total = 0
         self.last_send_round = 0
@@ -187,6 +214,11 @@ class FastSyncNetwork:
         self._leaders: Optional[List[int]] = None
         self._decided_count = 0
         self._ran = False
+
+    @property
+    def has_crashes(self) -> bool:
+        """Whether this run carries a crash schedule (mask path active)."""
+        return bool(self._crash_schedule)
 
     # ------------------------------------------------------------------ #
     # port model
@@ -216,13 +248,31 @@ class FastSyncNetwork:
     # ------------------------------------------------------------------ #
     # round/message accounting (called by algorithms)
 
+    def _apply_crash(self, node: int, at: float) -> None:
+        """Crash-stop ``node`` (skipped if it would leave nobody alive)."""
+        if self.alive[node] and int(self.alive.sum()) > 1:
+            self.alive[node] = False
+            self.crashed_at[node] = at
+
     def tick(self) -> int:
-        """Advance the global round counter by one synchronous round."""
+        """Advance the global round counter by one synchronous round.
+
+        Scheduled crashes with ``at <= round`` take effect here — at the
+        *start* of the round, before that round's deliveries and sends —
+        matching the object engine's ``_apply_due_crashes`` semantics.
+        """
         self.round += 1
         if self.round > self.max_rounds:
             raise SimulationLimitExceeded(
                 f"no termination after {self.max_rounds} rounds (n={self.n})"
             )
+        while (
+            self._crash_idx < len(self._crash_schedule)
+            and self._crash_schedule[self._crash_idx][0] <= self.round
+        ):
+            at, node = self._crash_schedule[self._crash_idx]
+            self._crash_idx += 1
+            self._apply_crash(node, at)
         return self.round
 
     def count_messages(self, count: int, kind: str) -> None:
@@ -342,6 +392,13 @@ class FastSyncNetwork:
         """Execute ``algorithm`` once and summarize the run."""
         if self._ran:
             raise RuntimeError("a FastSyncNetwork is single-use, like SyncNetwork")
+        if self.has_crashes and not getattr(algorithm, "supports_crashes", False):
+            raise ValueError(
+                f"{type(algorithm).__name__} has no crash-mask support; "
+                "only crash-aware vectorized ports (improved_tradeoff) can run "
+                "under a crash schedule — use the object engine with a FaultPlan "
+                "for the other algorithms"
+            )
         self._ran = True
         start = time.perf_counter()
         algorithm.run(self)
@@ -350,18 +407,27 @@ class FastSyncNetwork:
             raise RuntimeError(
                 f"{type(algorithm).__name__}.run() returned without calling decide()"
             )
+        # Post-quiescence crashes still happen (to the machines, not the
+        # protocol), mirroring SyncNetwork's drain of pending crashes.
+        while self._crash_idx < len(self._crash_schedule):
+            at, node = self._crash_schedule[self._crash_idx]
+            self._crash_idx += 1
+            self._apply_crash(node, at)
+        never_woke = sum(1 for at in self.crashed_at.values() if at <= 1)
         return FastRunResult(
             n=self.n,
             mode=self.mode,
+            ids=[int(i) for i in self.ids],
             rounds_executed=self.round,
             messages=self.messages_total,
             last_send_round=self.last_send_round,
             leaders=list(self._leaders),
             leader_ids=[int(self.ids[u]) for u in self._leaders],
             decided_count=self._decided_count,
-            awake_count=self.n,
-            halted_count=self.n,
+            awake_count=self.n - never_woke,
+            halted_count=self._decided_count if self.has_crashes else self.n,
             messages_by_kind=dict(self.messages_by_kind),
             sends_by_round=dict(self.sends_by_round),
             wall_time_s=wall,
+            crashed=sorted(self.crashed_at),
         )

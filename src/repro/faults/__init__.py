@@ -27,6 +27,7 @@ from repro.faults.plan import (
     FaultPlan,
     LeaderKillPolicy,
     LinkFaults,
+    PartitionMask,
 )
 from repro.faults.reelect import AsyncReElectionElection, ReElectionElection
 from repro.faults.runner import FailoverReport, run_failover_trial
@@ -35,6 +36,7 @@ from repro.faults.runtime import FaultMetrics, FaultRuntime
 __all__ = [
     "CrashFault",
     "LinkFaults",
+    "PartitionMask",
     "LeaderKillPolicy",
     "DetectorSpec",
     "FaultPlan",

@@ -50,7 +50,15 @@ __all__ = [
 
 
 class FailureDetector:
-    """Base oracle: suspicion queries over the run's ground truth."""
+    """Base oracle: suspicion queries over the run's ground truth.
+
+    When the fault plan carries :class:`~repro.faults.plan.PartitionMask`
+    windows the oracle is *partition-aware*: from ``start + lag`` until
+    ``end + lag`` a node also suspects every peer outside its component —
+    a timeout detector cannot distinguish a crashed peer from an
+    unreachable one.  Partition suspicions clear when the heal becomes
+    visible (``end + lag``); crash suspicions never do.
+    """
 
     def __init__(
         self,
@@ -59,6 +67,7 @@ class FailureDetector:
         runtime: Optional[FaultRuntime] = None,
         port_map=None,
         lag: float = 1.0,
+        partitions: Tuple = (),
     ) -> None:
         self.node = node
         self.ids = list(ids)
@@ -66,13 +75,14 @@ class FailureDetector:
         self.runtime = runtime
         self.port_map = port_map
         self.lag = lag
+        self.partitions = tuple(partitions)
 
     # ------------------------------------------------------------------ #
     # the oracle interface algorithms use
 
     def suspects(self, now: float) -> FrozenSet[int]:
         """IDs of the peers this node currently suspects."""
-        return frozenset(self.ids[u] for u in self._suspect_indices(now))
+        return frozenset(self.ids[u] for u in self._all_suspect_indices(now))
 
     def alive(self, now: float) -> List[int]:
         """Membership minus suspects, sorted ascending."""
@@ -98,7 +108,7 @@ class FailureDetector:
         """
         if self.port_map is None:
             raise RuntimeError("detector has no port map attached")
-        suspected = self._suspect_indices(now)
+        suspected = self._all_suspect_indices(now)
         return [
             port
             for port in range(len(self.ids) - 1)
@@ -106,23 +116,52 @@ class FailureDetector:
         ]
 
     def last_transition(self, now: float) -> float:
-        """When the (ground-truth) suspicion set last grew; 0 if never.
+        """When the (ground-truth) suspicion set last changed; 0 if never.
 
         For a perfect detector this is the detection time of the newest
-        crash already visible at ``now`` — the epoch start the
-        re-election wrapper renumbers inner rounds from.
+        crash — or partition start/heal — already visible at ``now``: the
+        epoch start the re-election wrapper renumbers inner rounds from.
         """
-        if self.runtime is None:
-            return 0.0
-        times = [
-            when + self.lag
-            for when in self.runtime.crashed_at.values()
-            if when + self.lag <= now
-        ]
+        times = []
+        if self.runtime is not None:
+            times.extend(
+                when + self.lag
+                for when in self.runtime.crashed_at.values()
+                if when + self.lag <= now
+            )
+        for mask in self.partitions:
+            if mask.start + self.lag <= now:
+                times.append(mask.start + self.lag)
+            if mask.end is not None and mask.end + self.lag <= now:
+                times.append(mask.end + self.lag)
         return max(times, default=0.0)
 
     # ------------------------------------------------------------------ #
     # ground truth plumbing
+
+    def _partition_suspect_indices(self, now: float) -> FrozenSet[int]:
+        """Peers currently unreachable behind an active partition mask.
+
+        The visibility window is the mask window shifted by the
+        detection lag: separation becomes suspected at ``start + lag``
+        and is forgiven at ``end + lag``.
+        """
+        if not self.partitions:
+            return frozenset()
+        suspected = set()
+        for mask in self.partitions:
+            if now < mask.start + self.lag:
+                continue
+            if mask.end is not None and now >= mask.end + self.lag:
+                continue
+            for peer in range(len(self.ids)):
+                if peer != self.node and mask.separates(self.node, peer):
+                    suspected.add(peer)
+        return frozenset(suspected)
+
+    def _all_suspect_indices(self, now: float) -> FrozenSet[int]:
+        """Crash/noise suspicions plus partition separations."""
+        return self._suspect_indices(now) | self._partition_suspect_indices(now)
 
     def _crashed_indices(self, now: float) -> FrozenSet[int]:
         """Crashes old enough to have been detected (crash + lag <= now)."""
@@ -160,8 +199,11 @@ class EventuallyPerfectDetector(FailureDetector):
         lag: float = 1.0,
         noise_horizon: float = 0.0,
         false_prob: float = 0.0,
+        partitions: Tuple = (),
     ) -> None:
-        super().__init__(node, ids, runtime=runtime, port_map=port_map, lag=lag)
+        super().__init__(
+            node, ids, runtime=runtime, port_map=port_map, lag=lag, partitions=partitions
+        )
         self.noise_horizon = noise_horizon
         self.false_prob = false_prob
         self._windows: Optional[List[Optional[Tuple[float, float]]]] = None
@@ -203,7 +245,10 @@ def engine_detector(
     a default perfect detector over a crash-free ground truth.
     """
     spec = plan.detector if plan is not None else DetectorSpec()
-    return make_detector(spec, node, ids, runtime, port_map=port_map)
+    partitions = plan.partitions if plan is not None else ()
+    return make_detector(
+        spec, node, ids, runtime, port_map=port_map, partitions=partitions
+    )
 
 
 def make_detector(
@@ -212,10 +257,14 @@ def make_detector(
     ids: List[int],
     runtime: Optional[FaultRuntime],
     port_map=None,
+    partitions: Tuple = (),
 ) -> FailureDetector:
     """Instantiate the oracle described by a :class:`DetectorSpec`."""
     if spec.kind == "perfect":
-        return PerfectDetector(node, ids, runtime=runtime, port_map=port_map, lag=spec.lag)
+        return PerfectDetector(
+            node, ids, runtime=runtime, port_map=port_map, lag=spec.lag,
+            partitions=partitions,
+        )
     return EventuallyPerfectDetector(
         node,
         ids,
@@ -224,4 +273,5 @@ def make_detector(
         lag=spec.lag,
         noise_horizon=spec.noise_horizon,
         false_prob=spec.false_prob,
+        partitions=partitions,
     )

@@ -18,11 +18,12 @@ deliveries); on the asynchronous engine ``at`` is a timestamp.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "CrashFault",
     "LinkFaults",
+    "PartitionMask",
     "LeaderKillPolicy",
     "DetectorSpec",
     "FaultPlan",
@@ -100,6 +101,69 @@ class LinkFaults:
 
 
 @dataclass(frozen=True)
+class PartitionMask:
+    """Split the clique into components for a time window.
+
+    While ``start <= now < end`` (``end=None``: for the rest of the run)
+    every message whose endpoints sit in *different* components is
+    silently discarded at send time — the network behaves like disjoint
+    sub-cliques.  A node that appears in no component is *isolated*: it
+    can reach nobody and nobody can reach it (useful for quarantining a
+    single node without enumerating the rest).  Healing is automatic:
+    once ``now >= end`` the mask stops matching and full connectivity
+    returns; messages dropped during the window are gone (the network
+    does not replay them).
+
+    Partition drops are decided *before* the stochastic link rules and
+    consume no randomness, so adding a mask never perturbs the drop/
+    duplication RNG stream of an otherwise identical plan.  Detectors
+    are partition-aware: from ``start + lag`` each node also suspects
+    the peers outside its component (a timeout detector cannot tell a
+    crashed peer from an unreachable one), which is what lets the
+    re-election wrapper elect one leader *per component*.
+    """
+
+    components: Tuple[Tuple[int, ...], ...]
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a PartitionMask needs at least one component")
+        seen: Dict[int, int] = {}
+        for c, comp in enumerate(self.components):
+            if not comp:
+                raise ValueError("partition components cannot be empty")
+            for u in comp:
+                if u < 0:
+                    raise ValueError("component members must be node indices >= 0")
+                if u in seen:
+                    raise ValueError(f"node {u} appears in two partition components")
+                seen[u] = c
+        if self.start < 0:
+            raise ValueError("partition start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("partition end must be after its start")
+        object.__setattr__(self, "_component_of", seen)
+
+    def component_of(self, u: int) -> Optional[int]:
+        """The component index of node ``u`` (``None`` = isolated)."""
+        return self._component_of.get(u)
+
+    def active(self, now: float) -> bool:
+        return now >= self.start and (self.end is None or now < self.end)
+
+    def separates(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` sit in different components (time-free)."""
+        cu = self._component_of.get(u)
+        cv = self._component_of.get(v)
+        return cu is None or cv is None or cu != cv
+
+    def blocks(self, src: int, dst: int, now: float) -> bool:
+        return self.active(now) and self.separates(src, dst)
+
+
+@dataclass(frozen=True)
 class LeaderKillPolicy:
     """Adversarial churn: crash whoever announces leadership first.
 
@@ -173,6 +237,7 @@ class FaultPlan:
 
     crashes: Tuple[CrashFault, ...] = ()
     links: Tuple[LinkFaults, ...] = ()
+    partitions: Tuple[PartitionMask, ...] = ()
     policies: Tuple[LeaderKillPolicy, ...] = ()
     detector: DetectorSpec = field(default_factory=DetectorSpec)
     protect: Tuple[int, ...] = ()
@@ -190,6 +255,10 @@ class FaultPlan:
     def has_link_faults(self) -> bool:
         return bool(self.links)
 
+    @property
+    def has_partitions(self) -> bool:
+        return bool(self.partitions)
+
     def validate_for(self, n: int) -> None:
         """Check node indices against a concrete clique size."""
         for crash in self.crashes:
@@ -204,3 +273,10 @@ class FaultPlan:
             for endpoint in (rule.src, rule.dst):
                 if endpoint is not None and not 0 <= endpoint < n:
                     raise ValueError(f"link rule endpoint {endpoint} out of range")
+        for mask in self.partitions:
+            for comp in mask.components:
+                for u in comp:
+                    if u >= n:
+                        raise ValueError(
+                            f"partition component member {u} out of range for n={n}"
+                        )

@@ -25,9 +25,11 @@ Mechanics
   start.  The inner algorithm therefore runs on a perfectly healthy
   clique and keeps its correctness guarantees verbatim; the wrapper
   never needs to know how it works inside.
-* **Tagging.**  Inner messages travel as ``("ree", epoch, payload)``;
-  anything tagged with a stale epoch is dropped on receipt (a crashed
-  leader's last words cannot pollute the next epoch).
+* **Tagging.**  Inner messages travel as ``("ree", epoch, attempt,
+  payload)``; anything tagged with a stale epoch or attempt is dropped
+  on receipt (a crashed leader's last words cannot pollute the next
+  epoch, and a timed-out attempt's stragglers cannot pollute the
+  retry).
 * **Commit.**  When the inner algorithm elects, the winner broadcasts
   ``("ree_coord", epoch, id)`` to the survivors and every node commits —
   turns its tentative leader into an irrevocable engine decision — only
@@ -44,6 +46,24 @@ Mechanics
   Followers ignore duplicate coords, so retransmission costs messages
   but never correctness (regression: ``tests/test_fault_reelect.py``,
   lossy-commit cases).
+* **Epoch-restart timeout (attempts).**  Loss on *inner* algorithm
+  messages used to wedge an epoch forever: the inner election stalls
+  waiting for a reply the network dropped, no coord is ever announced,
+  and the run only ends at the engine's round limit.  Each epoch is now
+  divided into bounded *attempts* of ``restart_rounds`` rounds
+  (``restart_delay`` time units on the asynchronous engine): a node
+  that reaches the attempt boundary without a tentative leader discards
+  the stalled inner instance and re-runs the inner election from
+  scratch, tagging messages with the new attempt number.  On the
+  synchronous engine the attempt number is *computed* from the globally
+  consistent epoch start (``(round - epoch_start) // restart_rounds``),
+  so all undecided nodes switch attempts in lockstep; on the
+  asynchronous engine restart timers fire per node and stragglers catch
+  up when they see a higher attempt tag.  Nodes holding a tentative
+  leader never restart — the commit retransmit path already covers
+  them.  ``restart_rounds=0`` disables the timeout (the pre-fix
+  behavior); ``None`` picks an adaptive default generous enough that it
+  only fires on genuine stalls.
 
 Any crash — leader or not — advances the epoch: membership changed, so
 the election re-runs among the new survivor set.  That keeps the epoch
@@ -115,7 +135,9 @@ class _SyncSubClique:
     # communication ------------------------------------------------------ #
 
     def send(self, port: int, payload: Any) -> None:
-        self._ctx.send(self._v2r[port], (TAG, self._owner.epoch, payload))
+        self._ctx.send(
+            self._v2r[port], (TAG, self._owner.epoch, self._owner.attempt, payload)
+        )
 
     def send_many(self, ports, payload: Any) -> None:
         for port in ports:
@@ -149,25 +171,32 @@ class ReElectionElection(SyncAlgorithm):
         self,
         inner: Union[str, Callable[[], Any]] = "afek_gafni",
         commit_rounds: int = 4,
+        restart_rounds: Optional[int] = None,
         inner_params: Optional[Dict[str, Any]] = None,
         **extra_inner_params: Any,
     ) -> None:
         if commit_rounds < 1:
             raise ValueError("need commit_rounds >= 1")
+        if restart_rounds is not None and restart_rounds < 0:
+            raise ValueError("restart_rounds must be >= 0 (0 disables the timeout)")
         params = dict(inner_params or {})
         params.update(extra_inner_params)
         self.factory = _resolve_factory(inner, params if params else None)
         self.commit_rounds = commit_rounds
+        self.restart_rounds = restart_rounds
         self.epoch = -1
+        self.attempt = 0
         self.inner: Optional[SyncAlgorithm] = None
         self.proxy: Optional[_SyncSubClique] = None
         self.inner_halted = False
         self.epoch_start = 1
+        self.attempt_start = 1
         self.tentative: Optional[int] = None
         self.commit_left: Optional[int] = None
         self.pending_coord_round: Optional[int] = None
         self.leader_hint: Optional[int] = None
         self.epochs_run = 0
+        self.attempts_run = 0
 
     # ------------------------------------------------------------------ #
     # wrapper <- inner callbacks
@@ -186,10 +215,33 @@ class ReElectionElection(SyncAlgorithm):
     # ------------------------------------------------------------------ #
     # epoch machinery
 
+    def _restart_window(self, ctx) -> int:
+        """Rounds per attempt; 0 disables the epoch-restart timeout.
+
+        The adaptive default is far beyond any healthy inner election
+        (the registered algorithms finish in O(ell) rounds), so it only
+        fires on genuine loss-induced stalls.
+        """
+        if self.restart_rounds is not None:
+            return self.restart_rounds
+        return max(64, 2 * ctx.n)
+
+    def _wake_inner(self, ctx) -> None:
+        """(Re)instantiate the inner algorithm for the current attempt."""
+        self.inner = self.factory()
+        self.inner_halted = False
+        self.proxy._decision = None
+        self.proxy.round = ctx.round - self.attempt_start + 1
+        self.proxy.wake_round = self.proxy.round
+        self.attempts_run += 1
+        self.inner.on_wake(self.proxy)
+
     def _restart(self, ctx, suspects: frozenset) -> None:
         self.epoch = len(suspects)
         self.epochs_run += 1
         self.epoch_start = max(1, int(ctx.detector.last_transition(ctx.round)))
+        self.attempt = 0
+        self.attempt_start = self.epoch_start
         self.inner_halted = False
         self.tentative = None
         self.commit_left = None
@@ -205,10 +257,29 @@ class ReElectionElection(SyncAlgorithm):
             self.tentative = ctx.my_id
             self.commit_left = self.commit_rounds
             return
-        self.inner = self.factory()
-        self.proxy.round = ctx.round - self.epoch_start + 1
-        self.proxy.wake_round = self.proxy.round
-        self.inner.on_wake(self.proxy)
+        self._wake_inner(ctx)
+
+    def _maybe_restart_attempt(self, ctx) -> None:
+        """Bounded epoch-restart: retry a stalled inner election.
+
+        The due attempt number is a pure function of the (globally
+        consistent) epoch start and the round number, so every node that
+        is still leaderless switches attempts in the same round and the
+        retry runs on a consistently tagged sub-clique.  Nodes already
+        holding (or announcing) a tentative leader stay on their attempt
+        — the commit retransmit path delivers the coord to restarted
+        peers, which then commit as followers.
+        """
+        window = self._restart_window(ctx)
+        if window <= 0 or self.inner is None:
+            return
+        if self.tentative is not None or self.pending_coord_round is not None:
+            return
+        due = (ctx.round - self.epoch_start) // window
+        if due > self.attempt:
+            self.attempt = due
+            self.attempt_start = self.epoch_start + due * window
+            self._wake_inner(ctx)
 
     def on_wake(self, ctx) -> None:
         self._restart(ctx, ctx.detector.suspects(ctx.round))
@@ -226,14 +297,21 @@ class ReElectionElection(SyncAlgorithm):
             self.tentative = ctx.my_id
             self.commit_left = self.commit_rounds
             self.pending_coord_round = None
-        # Route the inbox: current-epoch inner traffic is translated onto
-        # the virtual sub-clique, stale epochs are dropped.
+        # Bounded epoch-restart timeout: stale-attempt traffic delivered
+        # this round is dropped by the routing filter below.
+        self._maybe_restart_attempt(ctx)
+        # Route the inbox: current-epoch/attempt inner traffic is
+        # translated onto the virtual sub-clique, stale tags are dropped.
         inner_inbox: List[Tuple[int, Any]] = []
         for port, payload in inbox:
             kind = payload[0]
             if kind == TAG:
-                _tag, epoch, inner_payload = payload
-                if epoch == self.epoch and not self.inner_halted:
+                _tag, epoch, attempt, inner_payload = payload
+                if (
+                    epoch == self.epoch
+                    and attempt == self.attempt
+                    and not self.inner_halted
+                ):
                     virtual = self._r2v.get(port)
                     if virtual is not None:
                         inner_inbox.append((virtual, inner_payload))
@@ -243,7 +321,7 @@ class ReElectionElection(SyncAlgorithm):
                     self.tentative = leader_id
                     self.commit_left = self.commit_rounds
         if self.inner is not None and not self.inner_halted:
-            self.proxy.round = ctx.round - self.epoch_start + 1
+            self.proxy.round = ctx.round - self.attempt_start + 1
             self.inner.on_round(self.proxy, inner_inbox)
         # Commit countdown: crash-free rounds since the announcement.
         if self.commit_left is not None:
@@ -301,7 +379,9 @@ class _AsyncSubClique:
         return self.rng.sample(range(self.port_count), m)
 
     def send(self, port: int, payload: Any) -> None:
-        self._ctx.send(self._v2r[port], (TAG, self._owner.epoch, payload))
+        self._ctx.send(
+            self._v2r[port], (TAG, self._owner.epoch, self._owner.attempt, payload)
+        )
 
     def send_many(self, ports, payload: Any) -> None:
         for port in ports:
@@ -342,23 +422,33 @@ class AsyncReElectionElection(AsyncAlgorithm):
 
     POLL = "reelect-poll"
     COMMIT = "reelect-commit"
+    RESTART = "reelect-restart"
 
     def __init__(
         self,
         inner: Union[str, Callable[[], Any]] = "async_tradeoff",
         commit_delay: float = 4.0,
         poll_interval: float = 0.5,
+        restart_delay: Optional[float] = None,
         inner_params: Optional[Dict[str, Any]] = None,
         **extra_inner_params: Any,
     ) -> None:
         if commit_delay <= 0 or poll_interval <= 0:
             raise ValueError("commit_delay and poll_interval must be > 0")
+        if restart_delay is not None and restart_delay < 0:
+            raise ValueError("restart_delay must be >= 0 (0 disables the timeout)")
         params = dict(inner_params or {})
         params.update(extra_inner_params)
         self.factory = _resolve_factory(inner, params if params else None)
         self.commit_delay = commit_delay
         self.poll_interval = poll_interval
+        if restart_delay is None:
+            # Adaptive: far beyond a healthy inner election's time span
+            # (delays are <= 1 per hop), so it only fires on stalls.
+            restart_delay = max(64.0, 8.0 * commit_delay)
+        self.restart_delay = restart_delay
         self.epoch = -1
+        self.attempt = 0
         self.inner: Optional[AsyncAlgorithm] = None
         self.proxy: Optional[_AsyncSubClique] = None
         self.inner_halted = False
@@ -367,6 +457,7 @@ class AsyncReElectionElection(AsyncAlgorithm):
         self.leader_hint: Optional[int] = None
         self.done = False
         self.epochs_run = 0
+        self.attempts_run = 0
 
     # ------------------------------------------------------------------ #
     # wrapper <- inner callbacks
@@ -388,9 +479,20 @@ class AsyncReElectionElection(AsyncAlgorithm):
     # ------------------------------------------------------------------ #
     # epoch machinery
 
+    def _wake_inner(self, ctx) -> None:
+        """(Re)instantiate the inner algorithm for the current attempt."""
+        self.inner = self.factory()
+        self.inner_halted = False
+        self.proxy._decision = None
+        self.attempts_run += 1
+        self.inner.on_wake(self.proxy)
+        if self.restart_delay > 0:
+            ctx.set_timer(self.restart_delay, (self.RESTART, self.epoch, self.attempt))
+
     def _restart(self, ctx, suspects: frozenset) -> None:
         self.epoch = len(suspects)
         self.epochs_run += 1
+        self.attempt = 0
         self.inner_halted = False
         self.tentative = None
         self.commit_token = None
@@ -403,8 +505,12 @@ class AsyncReElectionElection(AsyncAlgorithm):
             self.inner_halted = True
             self._arm_commit(ctx, ctx.my_id)
             return
-        self.inner = self.factory()
-        self.inner.on_wake(self.proxy)
+        self._wake_inner(ctx)
+
+    def _catch_up_attempt(self, ctx, attempt: int) -> None:
+        """Adopt a peer's higher attempt number (async restart skew)."""
+        self.attempt = attempt
+        self._wake_inner(ctx)
 
     def _check_epoch(self, ctx) -> None:
         suspects = ctx.detector.suspects(ctx.now)
@@ -420,13 +526,20 @@ class AsyncReElectionElection(AsyncAlgorithm):
             return
         kind = payload[0]
         if kind == TAG:
-            _tag, epoch, inner_payload = payload
+            _tag, epoch, attempt, inner_payload = payload
             if epoch > self.epoch:
                 self._check_epoch(ctx)
-            if epoch == self.epoch and not self.inner_halted:
-                virtual = self._r2v.get(port)
-                if virtual is not None:
-                    self.inner.on_message(self.proxy, virtual, inner_payload)
+            if epoch == self.epoch:
+                if (
+                    attempt > self.attempt
+                    and self.tentative is None
+                    and self.inner is not None
+                ):
+                    self._catch_up_attempt(ctx, attempt)
+                if attempt == self.attempt and not self.inner_halted:
+                    virtual = self._r2v.get(port)
+                    if virtual is not None:
+                        self.inner.on_message(self.proxy, virtual, inner_payload)
         elif kind == COORD:
             _tag, epoch, leader_id = payload
             if epoch > self.epoch:
@@ -448,6 +561,17 @@ class AsyncReElectionElection(AsyncAlgorithm):
                 # the sync wrapper's lossy-link guard.
                 ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
             ctx.set_timer(self.poll_interval, self.POLL)
+            return
+        if isinstance(tag, tuple) and tag[0] == self.RESTART:
+            # Bounded epoch-restart timeout: retry a stalled inner
+            # election.  Stale timers (older epoch/attempt) are ignored;
+            # a node holding a tentative leader lets the commit path run.
+            _name, epoch, attempt = tag
+            if epoch != self.epoch or attempt != self.attempt:
+                return
+            if self.tentative is None and self.inner is not None:
+                self.attempt += 1
+                self._wake_inner(ctx)
             return
         if isinstance(tag, tuple) and tag[0] == self.COMMIT:
             _name, epoch, leader_id = tag

@@ -39,6 +39,7 @@ class FaultMetrics:
     suppressed_crashes: int = 0
     dropped_messages: int = 0
     duplicated_messages: int = 0
+    partition_blocked: int = 0
     # node index -> (crash time, first time any alive node suspected it)
     first_suspected: Dict[int, float] = field(default_factory=dict)
 
@@ -57,7 +58,8 @@ class FaultMetrics:
     def summary(self) -> str:
         return (
             f"crashes={self.crash_count} policy_kills={len(self.policy_kills)} "
-            f"dropped={self.dropped_messages} duplicated={self.duplicated_messages}"
+            f"dropped={self.dropped_messages} duplicated={self.duplicated_messages} "
+            f"partition_blocked={self.partition_blocked}"
         )
 
 
@@ -162,12 +164,19 @@ class FaultRuntime:
     # ------------------------------------------------------------------ #
     # link faults
 
-    def deliveries(self, src: int, dst: int, kind: str) -> int:
+    def deliveries(self, src: int, dst: int, kind: str, now: float = 0.0) -> int:
         """How many copies of this message reach ``dst`` (0, 1 or 2).
 
-        Consumes randomness only when a rule matches, so fault-free
-        traffic does not perturb the fault RNG stream.
+        ``now`` is the send round/time; active
+        :class:`~repro.faults.plan.PartitionMask` windows are checked
+        first (and consume no randomness), then the stochastic link
+        rules.  Consumes randomness only when a link rule matches, so
+        fault-free traffic does not perturb the fault RNG stream.
         """
+        for mask in self.plan.partitions:
+            if mask.blocks(src, dst, now):
+                self.metrics.partition_blocked += 1
+                return 0
         for i, rule in enumerate(self.plan.links):
             if not rule.matches(src, dst, kind):
                 continue

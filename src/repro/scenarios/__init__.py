@@ -1,0 +1,74 @@
+"""Declarative event timelines for churn workloads (the scenario layer).
+
+This subsystem turns the repo from "one election per run" into a
+workload simulator: a :class:`Scenario` declares *what happens to the
+network over time* — ``crash(node, t)``, ``recover(node, t)`` (persisted
+epoch state, elect-lower-epoch rejoin), ``join(t)``,
+``partition(components, t_start, t_end)`` with automatic heal, and
+``elect(t)`` for repeated elections — and a :class:`ScenarioRunner`
+executes the timeline on the synchronous, asynchronous, or fast engine,
+reusing the fault subsystem (detector specs, link faults,
+kill-the-frontrunner policies, partition masks) for every election act.
+
+Results come back as per-epoch convergence metrics: failover latency,
+leadership-agreement intervals, epoch churn, and message/round overhead
+against a fault-free baseline.  A library of named scenarios
+(``partition_heal``, ``rolling_restart``, ``flapping_leader``,
+``staggered_joins``, ``election_storm``) backs the ``python -m repro
+scenarios`` CLI and ``benchmarks/bench_scenario_churn.py``.
+"""
+
+from repro.scenarios.events import (
+    LAST_CRASHED,
+    LEADER,
+    CrashEvent,
+    ElectEvent,
+    JoinEvent,
+    PartitionEvent,
+    RecoverEvent,
+    Scenario,
+    crash,
+    elect,
+    join,
+    partition,
+    recover,
+)
+from repro.scenarios.library import NAMED_SCENARIOS, get_scenario
+from repro.scenarios.metrics import (
+    AgreementInterval,
+    EpochRecord,
+    ScenarioMetrics,
+    scenario_report,
+)
+from repro.scenarios.runner import (
+    NodeState,
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
+)
+
+__all__ = [
+    "LEADER",
+    "LAST_CRASHED",
+    "CrashEvent",
+    "RecoverEvent",
+    "JoinEvent",
+    "PartitionEvent",
+    "ElectEvent",
+    "Scenario",
+    "crash",
+    "recover",
+    "join",
+    "partition",
+    "elect",
+    "NAMED_SCENARIOS",
+    "get_scenario",
+    "EpochRecord",
+    "AgreementInterval",
+    "ScenarioMetrics",
+    "scenario_report",
+    "NodeState",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+]

@@ -1,0 +1,252 @@
+"""The declarative scenario event model.
+
+A :class:`Scenario` is an immutable description of *what happens to the
+network over time*: a name, a tuple of timestamped events, and a handful
+of ambient knobs (membership policy, in-run adversarial churn, lossy
+links).  It contains no randomness and no engine state — the same
+``(scenario, n, engine, seed)`` tuple always replays the same execution
+(``tests/test_scenario_determinism.py``).
+
+Five event types span the ROADMAP churn axes:
+
+* :func:`crash` — crash-stop a node.  The target may be a concrete node
+  index or the symbolic :data:`LEADER`, which the runner resolves to the
+  currently agreed leader at fire time (for "kill whoever is in charge"
+  timelines that cannot know indices in advance).
+* :func:`recover` — a crashed node restarts with its *persisted epoch
+  state* and rejoins.  Recovery follows the elect-lower-epoch contract:
+  the rejoining node's persisted epoch can never exceed the component's
+  current epoch, so it adopts the current leader as a follower instead
+  of contesting leadership (the runner asserts this invariant).  The
+  symbolic target :data:`LAST_CRASHED` resolves to the most recently
+  crashed node that is still down.
+* :func:`join` — a brand-new node (fresh ID, epoch 0) joins the clique.
+* :func:`partition` — split the clique into components for a time
+  window, with automatic heal at ``end``.
+* :func:`elect` — force a fresh election on the current membership
+  (repeated-election workloads).
+
+Scenario time is the host engine's time axis: rounds on the synchronous
+and fast engines, time units on the asynchronous engine.  Election acts
+are *atomic* — an event whose timestamp falls inside a running election
+takes effect at the act boundary; in-flight churn is modeled by the
+in-run ``kill_policy`` and ``link_faults`` instead (see
+``DESIGN.md`` "Scenarios subsystem" for the exact contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.faults.plan import LeaderKillPolicy, LinkFaults
+
+__all__ = [
+    "LEADER",
+    "LAST_CRASHED",
+    "CrashEvent",
+    "RecoverEvent",
+    "JoinEvent",
+    "PartitionEvent",
+    "ElectEvent",
+    "Scenario",
+    "crash",
+    "recover",
+    "join",
+    "partition",
+    "elect",
+]
+
+#: Symbolic crash target: the currently agreed leader at fire time.
+LEADER = "leader"
+#: Symbolic recover target: the most recently crashed node still down.
+LAST_CRASHED = "last_crashed"
+
+
+def _check_at(at: float) -> None:
+    if at < 0:
+        raise ValueError("event times must be >= 0")
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash-stop ``node`` (index or :data:`LEADER`) at time ``at``."""
+
+    node: Union[int, str]
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if isinstance(self.node, str):
+            if self.node != LEADER:
+                raise ValueError(f"unknown symbolic crash target {self.node!r}")
+        elif self.node < 0:
+            raise ValueError("crash target must be a node index >= 0")
+
+
+@dataclass(frozen=True)
+class RecoverEvent:
+    """Restart ``node`` (index or :data:`LAST_CRASHED`) at time ``at``."""
+
+    node: Union[int, str]
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if isinstance(self.node, str):
+            if self.node != LAST_CRASHED:
+                raise ValueError(f"unknown symbolic recover target {self.node!r}")
+        elif self.node < 0:
+            raise ValueError("recover target must be a node index >= 0")
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """A new node (fresh ID unless ``node_id`` pins one) joins at ``at``."""
+
+    at: float
+    node_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.node_id is not None and self.node_id < 1:
+            raise ValueError("joining node IDs must be >= 1")
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Split into ``components`` during ``[start, end)``; heal at ``end``.
+
+    Components name *initial* node indices; every current member of the
+    clique at fire time must be covered (joined nodes inherit the
+    component of nobody — scenarios that mix joins and partitions must
+    order the partition first or list the join's index explicitly).
+    """
+
+    components: Tuple[Tuple[int, ...], ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.start)
+        if len(self.components) < 2:
+            raise ValueError("a partition needs at least two components")
+        # Component and window rules are PartitionMask's (one source of
+        # truth): non-empty disjoint components, end after start.
+        from repro.faults.plan import PartitionMask
+
+        PartitionMask(components=self.components, start=self.start, end=self.end)
+
+    @property
+    def at(self) -> float:
+        return self.start
+
+
+@dataclass(frozen=True)
+class ElectEvent:
+    """Force a fresh election on the current membership at ``at``."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+
+
+Event = Union[CrashEvent, RecoverEvent, JoinEvent, PartitionEvent, ElectEvent]
+
+
+def crash(node: Union[int, str], at: float) -> CrashEvent:
+    """Declare ``crash(node, t)`` — see :class:`CrashEvent`."""
+    return CrashEvent(node=node, at=at)
+
+
+def recover(node: Union[int, str], at: float) -> RecoverEvent:
+    """Declare ``recover(node, t)`` — see :class:`RecoverEvent`."""
+    return RecoverEvent(node=node, at=at)
+
+
+def join(at: float, node_id: Optional[int] = None) -> JoinEvent:
+    """Declare ``join(new_node, t)`` — see :class:`JoinEvent`."""
+    return JoinEvent(at=at, node_id=node_id)
+
+
+def partition(
+    components: Tuple[Tuple[int, ...], ...], start: float, end: float
+) -> PartitionEvent:
+    """Declare ``partition(components, t_start, t_end)`` with auto-heal."""
+    return PartitionEvent(components=tuple(tuple(c) for c in components), start=start, end=end)
+
+
+def elect(at: float) -> ElectEvent:
+    """Declare ``elect(t)`` — a forced re-election on the same clique."""
+    return ElectEvent(at=at)
+
+
+#: Re-election policies: elect only when leadership is lost, or on every
+#: membership change (joins/recoveries/non-leader crashes included).
+MEMBERSHIP_POLICIES = ("leader_loss", "membership_change")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic timeline of events (see module docstring).
+
+    ``membership_policy`` decides which events force a re-election:
+    ``"leader_loss"`` (default) re-elects only when the agreed leader
+    becomes unavailable, ``"membership_change"`` re-elects on every
+    membership transition (joins and recoveries included) — the
+    coordination-service flavor where the member list is part of the
+    replicated state.
+
+    ``kill_policy`` injects in-run adversarial churn (kill the
+    frontrunner at its announcement) into the *initial* election act;
+    ``link_faults`` apply to every act and must be wildcard rules
+    (``src``/``dst`` of ``None``) because act-local node indices shift
+    with the membership.
+    """
+
+    name: str
+    description: str = ""
+    events: Tuple[Event, ...] = ()
+    membership_policy: str = "leader_loss"
+    kill_policy: Optional[LeaderKillPolicy] = None
+    link_faults: Tuple[LinkFaults, ...] = ()
+    min_n: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.membership_policy not in MEMBERSHIP_POLICIES:
+            raise ValueError(
+                f"membership_policy must be one of {MEMBERSHIP_POLICIES}, "
+                f"got {self.membership_policy!r}"
+            )
+        for rule in self.link_faults:
+            if rule.src is not None or rule.dst is not None:
+                raise ValueError(
+                    "scenario link faults must be wildcard rules (src/dst None); "
+                    "act-local node indices shift with the membership"
+                )
+        windows = sorted(
+            (e for e in self.events if isinstance(e, PartitionEvent)),
+            key=lambda e: e.start,
+        )
+        for a, b in zip(windows, windows[1:]):
+            if b.start < a.end:
+                raise ValueError("partition windows cannot overlap")
+
+    def sorted_events(self) -> Tuple[Event, ...]:
+        """Events in fire order (stable for equal timestamps)."""
+        return tuple(sorted(self.events, key=lambda e: e.at))
+
+    def summary(self) -> str:
+        counts: dict = {}
+        for e in self.events:
+            key = type(e).__name__.replace("Event", "").lower()
+            counts[key] = counts.get(key, 0) + 1
+        parts = [f"{v}x {k}" for k, v in sorted(counts.items())]
+        if self.kill_policy is not None:
+            parts.append(f"kill-leader x{self.kill_policy.max_kills}")
+        if self.link_faults:
+            parts.append("lossy links")
+        return ", ".join(parts) if parts else "single election"

@@ -1,0 +1,260 @@
+"""Per-epoch convergence metrics for scenario executions.
+
+The runner records one :class:`EpochRecord` per election act plus a
+timeline of leadership transitions; this module turns them into the
+re-convergence numbers the ROADMAP asks for:
+
+* **failover latency** — disruption time to the commit of the next
+  agreed leader, per failure-triggered epoch (detector lag included);
+* **leadership-agreement intervals** — the maximal time windows during
+  which every up node follows the same single leader, versus windows of
+  split or absent leadership (partitions produce one leader *per
+  component*, which counts as disagreement);
+* **epoch churn** — how many leader commits the scenario caused in
+  total, including leaders that were killed mid-scenario;
+* **message/round overhead** — total traffic and rounds relative to a
+  fault-free single election on the initial membership with the same
+  seed (the "what did the churn cost" ratio).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.export import records_to_jsonl
+from repro.analysis.runner import RunRecord
+
+__all__ = [
+    "CLOSING_WINDOW",
+    "EpochRecord",
+    "AgreementInterval",
+    "ScenarioMetrics",
+    "compute_metrics",
+    "scenario_report",
+]
+
+#: Extra observation time appended after the last leadership transition
+#: when computing agreement intervals, so the terminal state carries
+#: nonzero weight in ``agreed_fraction``.
+CLOSING_WINDOW = 8.0
+
+
+@dataclass
+class EpochRecord:
+    """One election act: who ran, why, when, and what it cost."""
+
+    epoch: int                    # first global epoch number this act minted
+    trigger: str                  # initial|failover|partition|heal|elect|membership
+    t_event: float                # the disruption that caused the act
+    t_start: float                # when the election began (>= t_event + lag)
+    duration: float               # engine-measured rounds / time units
+    t_end: float                  # t_start + duration (commit time)
+    members: List[int]            # global node indices that participated
+    member_ids: List[int]
+    leader_ids: List[int]         # every LEADER commit in the act (kills incl.)
+    surviving_leader_id: Optional[int]
+    messages: int
+    record: RunRecord             # flattened engine record (JSON-safe extra)
+    epochs_minted: int = 1        # commits + kill-aborted frontrunner epochs
+    reelection_time: Optional[float] = None  # in-act first-crash -> last commit
+    detection_latencies: List[float] = field(default_factory=list)
+    in_act_crashes: int = 0
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    partition_blocked: int = 0
+
+    @property
+    def failover_latency(self) -> float:
+        """Disruption-to-commit latency of this act."""
+        return self.t_end - self.t_event
+
+
+@dataclass(frozen=True)
+class AgreementInterval:
+    """A maximal window of constant leadership state."""
+
+    start: float
+    end: float
+    leaders: Tuple[int, ...]      # believed leader IDs across components
+    agreed: bool                  # exactly one leader, followed by all up nodes
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ScenarioMetrics:
+    """The flattened re-convergence summary of one scenario run."""
+
+    elections: int
+    epoch_churn: int
+    failover_latencies: List[float]
+    mean_failover_latency: Optional[float]
+    max_failover_latency: Optional[float]
+    agreement_intervals: List[AgreementInterval]
+    agreed_fraction: float
+    span: float
+    total_messages: int
+    total_rounds: float
+    baseline_messages: int
+    baseline_rounds: float
+    message_overhead: float
+    round_overhead: float
+    crashes: int
+    recoveries: int
+    joins: int
+    dropped_messages: int
+    duplicated_messages: int
+    partition_blocked: int
+    final_leader_id: Optional[int]
+    final_agreed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k != "agreement_intervals"
+        }
+        payload["agreement_intervals"] = [
+            {
+                "start": iv.start,
+                "end": iv.end,
+                "leaders": list(iv.leaders),
+                "agreed": iv.agreed,
+            }
+            for iv in self.agreement_intervals
+        ]
+        return payload
+
+
+def _intervals_from_timeline(
+    timeline: List[Tuple[float, Tuple[int, ...], bool]], span: float
+) -> List[AgreementInterval]:
+    """Collapse (time, leaders, agreed) transition points into intervals."""
+    if not timeline:
+        return []
+    points = sorted(timeline, key=lambda p: p[0])
+    intervals: List[AgreementInterval] = []
+    for i, (t, leaders, agreed) in enumerate(points):
+        end = points[i + 1][0] if i + 1 < len(points) else max(span, t)
+        if end > t:
+            intervals.append(
+                AgreementInterval(start=t, end=end, leaders=leaders, agreed=agreed)
+            )
+    # Merge adjacent intervals with identical state (transition points
+    # may repeat a state, e.g. a follower crash that changes nothing).
+    merged: List[AgreementInterval] = []
+    for iv in intervals:
+        if merged and merged[-1].leaders == iv.leaders and merged[-1].agreed == iv.agreed:
+            merged[-1] = AgreementInterval(
+                start=merged[-1].start, end=iv.end, leaders=iv.leaders, agreed=iv.agreed
+            )
+        else:
+            merged.append(iv)
+    return merged
+
+
+def compute_metrics(
+    epochs: List[EpochRecord],
+    timeline: List[Tuple[float, Tuple[int, ...], bool]],
+    baseline: RunRecord,
+    counts: Dict[str, int],
+    final_leader_id: Optional[int],
+    final_agreed: bool,
+) -> ScenarioMetrics:
+    """Assemble the summary (see the dataclass field docs)."""
+    span = max((e.t_end for e in epochs), default=0.0)
+    span = max(span, max((t for t, _l, _a in timeline), default=0.0))
+    # Observe the terminal state for one closing window so "converged at
+    # the very end" is distinguishable from "never converged".
+    span += CLOSING_WINDOW
+    intervals = _intervals_from_timeline(timeline, span)
+    agreed_time = sum(iv.span for iv in intervals if iv.agreed)
+    failovers = [
+        e.failover_latency for e in epochs if e.trigger in ("failover", "heal", "partition")
+    ]
+    # In-act churn (kill policies): first crash to last commit, measured
+    # by the failover trial from the actual event trace.
+    failovers += [
+        e.reelection_time
+        for e in epochs
+        if e.trigger not in ("failover", "heal", "partition")
+        and e.reelection_time is not None
+    ]
+    total_messages = sum(e.messages for e in epochs)
+    total_rounds = sum(e.duration for e in epochs)
+    baseline_messages = max(1, baseline.messages)
+    baseline_rounds = max(1.0, float(baseline.extra.get("rounds_executed", baseline.time)))
+    return ScenarioMetrics(
+        elections=len(epochs),
+        epoch_churn=sum(e.epochs_minted for e in epochs),
+        failover_latencies=failovers,
+        mean_failover_latency=(sum(failovers) / len(failovers)) if failovers else None,
+        max_failover_latency=max(failovers) if failovers else None,
+        agreement_intervals=intervals,
+        agreed_fraction=(agreed_time / span) if span > 0 else 0.0,
+        span=span,
+        total_messages=total_messages,
+        total_rounds=total_rounds,
+        baseline_messages=baseline.messages,
+        baseline_rounds=float(baseline.extra.get("rounds_executed", baseline.time)),
+        message_overhead=total_messages / baseline_messages,
+        round_overhead=total_rounds / baseline_rounds,
+        crashes=counts.get("crashes", 0),
+        recoveries=counts.get("recoveries", 0),
+        joins=counts.get("joins", 0),
+        dropped_messages=sum(e.dropped_messages for e in epochs),
+        duplicated_messages=sum(e.duplicated_messages for e in epochs),
+        partition_blocked=sum(e.partition_blocked for e in epochs),
+        final_leader_id=final_leader_id,
+        final_agreed=final_agreed,
+    )
+
+
+def scenario_report(result) -> Dict[str, Any]:
+    """A JSON-safe report for one :class:`~repro.scenarios.ScenarioResult`.
+
+    The per-act engine records ride along serialized through
+    :func:`repro.analysis.export.records_to_jsonl`, so downstream
+    tooling can load them with the standard record loaders.
+    """
+    records = [e.record for e in result.epochs]
+    return {
+        "scenario": result.scenario.name,
+        "description": result.scenario.description,
+        "engine": result.engine,
+        "n": result.n_initial,
+        "final_n": len(result.states),
+        "seed": result.seed,
+        "metrics": result.metrics.to_dict(),
+        "epochs": [
+            {
+                "epoch": e.epoch,
+                "trigger": e.trigger,
+                "t_event": e.t_event,
+                "t_start": e.t_start,
+                "duration": e.duration,
+                "t_end": e.t_end,
+                "failover_latency": e.failover_latency,
+                "members": e.members,
+                "member_ids": e.member_ids,
+                "leader_ids": e.leader_ids,
+                "surviving_leader_id": e.surviving_leader_id,
+                "messages": e.messages,
+                "epochs_minted": e.epochs_minted,
+                "reelection_time": e.reelection_time,
+                "detection_latencies": e.detection_latencies,
+                "in_act_crashes": e.in_act_crashes,
+                "dropped_messages": e.dropped_messages,
+                "partition_blocked": e.partition_blocked,
+            }
+            for e in result.epochs
+        ],
+        "records": [
+            json.loads(line) for line in records_to_jsonl(records).splitlines()
+        ],
+        "notes": result.notes,
+    }

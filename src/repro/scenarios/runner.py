@@ -1,0 +1,655 @@
+"""Execute a :class:`~repro.scenarios.Scenario` against a real engine.
+
+The runner is the orchestration layer the ROADMAP's churn items share:
+it walks the event timeline in fire order, keeps the *persistent* node
+states (up/down, persisted epoch, believed leader) that outlive any
+single engine run, and realizes every election epoch as one **act** — a
+standard run of the synchronous, asynchronous, or fast engine over the
+current membership, configured through the existing fault subsystem
+(:class:`~repro.faults.FaultPlan` detector specs, ``LinkFaults``,
+``LeaderKillPolicy`` churn, and the new ``PartitionMask``).
+
+Execution contract
+------------------
+
+* **Acts are atomic.**  An event whose timestamp lands inside a running
+  election takes effect at the act boundary (elections are serialized:
+  an act never starts before the previous one ended).  In-flight churn
+  is modeled *inside* acts by the scenario's ``kill_policy`` and
+  ``link_faults``, which the engines apply with measured detection and
+  re-election latencies.
+* **Failure-triggered acts start after the detection lag.**  A leader
+  crash at ``t`` is detected at ``t + lag`` (the act's detector spec),
+  so measured failover latency composes the oracle lag with the real
+  engine-measured election and commit time.
+* **Partitions run as one act.**  The partition window is a single
+  full-membership engine run carrying a :class:`~repro.faults.PartitionMask`
+  — cross-component traffic is dropped by the runtime and the
+  partition-aware detectors make the re-election wrapper elect one
+  leader *per component* in the same run.  The heal triggers a fresh
+  full-membership act at ``end + lag``.
+* **Recovery is elect-lower-epoch.**  A recovering node rejoins with
+  its persisted epoch, which can never exceed the group's current epoch
+  (epochs only grow, and any leadership change the node missed bumped
+  the group further).  It therefore adopts the current leader and epoch
+  as a follower; it never contests leadership on rejoin.  The runner
+  asserts the invariant.
+* **Joins** allocate a fresh ID and epoch 0, then follow the same
+  adoption path.  Under ``membership_policy="membership_change"`` every
+  join/recovery additionally forces a re-election (the coordination-
+  service flavor); under the default ``"leader_loss"`` only lost
+  leadership does.
+
+Everything is deterministic per ``(scenario, n, engine, seed)``: act
+seeds are derived from the run seed and the act index, and all engine
+randomness flows from them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import DetectorSpec, FaultPlan, PartitionMask
+from repro.scenarios.events import (
+    LAST_CRASHED,
+    LEADER,
+    CrashEvent,
+    ElectEvent,
+    JoinEvent,
+    PartitionEvent,
+    RecoverEvent,
+    Scenario,
+)
+from repro.scenarios.metrics import EpochRecord, ScenarioMetrics, compute_metrics
+
+__all__ = ["NodeState", "ScenarioResult", "ScenarioRunner", "run_scenario"]
+
+ENGINES = ("sync", "async", "fast")
+
+
+@dataclass
+class NodeState:
+    """Persistent per-node scenario state (outlives individual acts)."""
+
+    index: int
+    node_id: int
+    up: bool = True
+    epoch: int = 0                      # persisted across crash/recover
+    leader: Optional[int] = None        # believed leader ID
+    crashed_times: List[float] = field(default_factory=list)
+    recovered_times: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario execution produced."""
+
+    scenario: Scenario
+    engine: str
+    n_initial: int
+    seed: int
+    epochs: List[EpochRecord]
+    states: List[NodeState]
+    baseline: Any                       # RunRecord of the fault-free election
+    metrics: ScenarioMetrics
+    notes: List[str]
+
+    @property
+    def final_leader_id(self) -> Optional[int]:
+        return self.metrics.final_leader_id
+
+    @property
+    def final_agreed(self) -> bool:
+        return self.metrics.final_agreed
+
+
+class ScenarioRunner:
+    """Drive one scenario on one engine (see module docstring)."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        n: int,
+        *,
+        engine: str = "sync",
+        seed: int = 0,
+        inner: Optional[str] = None,
+        lag: float = 1.0,
+        commit_rounds: int = 4,
+        commit_delay: float = 4.0,
+        poll_interval: float = 0.5,
+        restart_rounds: Optional[int] = None,
+        restart_delay: Optional[float] = None,
+        ids: Optional[Sequence[int]] = None,
+        max_events: int = 5_000_000,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if n < max(2, scenario.min_n):
+            raise ValueError(
+                f"scenario {scenario.name!r} needs n >= {max(2, scenario.min_n)}"
+            )
+        if lag < 0:
+            raise ValueError("detector lag must be >= 0")
+        if engine == "fast":
+            unsupported = []
+            if scenario.kill_policy is not None:
+                unsupported.append("kill policies")
+            if scenario.link_faults:
+                unsupported.append("link faults")
+            if any(isinstance(e, PartitionEvent) for e in scenario.events):
+                unsupported.append("partitions")
+            if unsupported:
+                raise ValueError(
+                    "the fast engine runs the crash/join/recover/elect scenario "
+                    f"subset only; {scenario.name!r} needs {' and '.join(unsupported)} "
+                    "— use --engine sync or async"
+                )
+        self.scenario = scenario
+        self.engine = engine
+        self.n = n
+        self.seed = seed
+        if inner is None:
+            inner = {
+                "sync": "afek_gafni",
+                "async": "async_tradeoff",
+                "fast": "improved_tradeoff",
+            }[engine]
+        self.inner = inner
+        self.lag = lag
+        self.commit_rounds = commit_rounds
+        self.commit_delay = commit_delay
+        self.poll_interval = poll_interval
+        self.restart_rounds = restart_rounds
+        self.restart_delay = restart_delay
+        self.max_events = max_events
+        if ids is None:
+            ids = list(range(1, n + 1))
+        if len(ids) != n or len(set(ids)) != n:
+            raise ValueError(f"need {n} distinct initial IDs")
+        self._initial_ids = list(ids)
+
+    # ------------------------------------------------------------------ #
+    # state helpers
+
+    def _up_states(self) -> List[NodeState]:
+        return [st for st in self.states if st.up]
+
+    def _id_to_state(self, node_id: int) -> Optional[NodeState]:
+        for st in self.states:
+            if st.node_id == node_id:
+                return st
+        return None
+
+    def _group_of(self, st: NodeState) -> List[NodeState]:
+        """The up members that can currently reach ``st`` (incl. itself).
+
+        Under a partition, a node outside every component is isolated —
+        reachable by nobody, including other unlisted nodes.
+        """
+        up = self._up_states()
+        if self._partition is None:
+            return up
+        comp = self._component_index(st.index)
+        if comp is None:
+            return [m for m in up if m.index == st.index]
+        return [m for m in up if self._component_index(m.index) == comp]
+
+    def _component_index(self, index: int) -> Optional[int]:
+        assert self._partition is not None
+        for c, comp in enumerate(self._partition.components):
+            if index in comp:
+                return c
+        return None
+
+    def _believed_leaders(self) -> Tuple[int, ...]:
+        """Distinct believed-leader IDs whose nodes are actually up."""
+        leaders = set()
+        for st in self._up_states():
+            if st.leader is None:
+                continue
+            owner = self._id_to_state(st.leader)
+            if owner is not None and owner.up:
+                leaders.add(st.leader)
+        return tuple(sorted(leaders))
+
+    def _is_agreed(self) -> bool:
+        """Exactly one up leader, followed by every up node, no split."""
+        if self._partition is not None:
+            return False
+        up = self._up_states()
+        if not up:
+            return False
+        beliefs = {st.leader for st in up}
+        if len(beliefs) != 1:
+            return False
+        leader = next(iter(beliefs))
+        if leader is None:
+            return False
+        owner = self._id_to_state(leader)
+        return owner is not None and owner.up
+
+    def _mark(self, t: float) -> None:
+        self._timeline.append((t, self._believed_leaders(), self._is_agreed()))
+
+    def _note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------ #
+    # act execution
+
+    def _act_seed(self, index: Any) -> int:
+        return random.Random(f"scenario:{self.scenario.name}:{self.seed}:{index}").getrandbits(32)
+
+    def _reelect_factory(self):
+        if self.engine == "sync":
+            from repro.faults import ReElectionElection
+
+            return lambda: ReElectionElection(
+                inner=self.inner,
+                commit_rounds=self.commit_rounds,
+                restart_rounds=self.restart_rounds,
+            )
+        from repro.faults import AsyncReElectionElection
+
+        return lambda: AsyncReElectionElection(
+            inner=self.inner,
+            commit_delay=self.commit_delay,
+            poll_interval=self.poll_interval,
+            restart_delay=self.restart_delay,
+        )
+
+    @staticmethod
+    def _sanitize_record(record) -> None:
+        """Make ``record.extra`` JSON-safe (exports ride through it)."""
+        record.extra.pop("result", None)
+        fm = record.extra.pop("fault_metrics", None)
+        if fm is not None:
+            record.extra["fault_summary"] = {
+                "crashes": fm.crash_count,
+                "policy_kills": len(fm.policy_kills),
+                "dropped": fm.dropped_messages,
+                "duplicated": fm.duplicated_messages,
+                "partition_blocked": fm.partition_blocked,
+            }
+
+    def _run_act(
+        self,
+        trigger: str,
+        t_event: float,
+        t_start: float,
+        members: List[NodeState],
+        *,
+        masks: Tuple[PartitionMask, ...] = (),
+        policies: Tuple = (),
+    ) -> EpochRecord:
+        members = sorted(members, key=lambda st: st.index)
+        m = len(members)
+        member_ids = [st.node_id for st in members]
+        act_index = len(self.epochs)
+        act_seed = self._act_seed(act_index)
+        plan = FaultPlan(
+            links=self.scenario.link_faults,
+            partitions=masks,
+            policies=tuple(policies),
+            detector=DetectorSpec(kind="perfect", lag=self.lag),
+        )
+
+        if self.engine == "fast":
+            from repro.analysis.runner import run_fast_trial
+
+            record = run_fast_trial(m, self.inner, seed=act_seed, ids=member_ids)
+            duration = float(record.extra["rounds_executed"])
+            leader_ids = [record.elected_id] if record.elected_id is not None else []
+            surviving = record.elected_id
+            outputs = [surviving] * m
+            detection_latencies: List[float] = []
+            in_act_crashes = dropped = duplicated = blocked = 0
+            epochs_minted = max(1, len(leader_ids))
+            reelection_time = None
+        else:
+            from repro.faults import run_failover_trial
+
+            kwargs: Dict[str, Any] = {}
+            if self.engine == "async":
+                kwargs["wake_times"] = {u: 0.0 for u in range(m)}
+                kwargs["max_events"] = self.max_events
+            report = run_failover_trial(
+                self.engine,
+                m,
+                self._reelect_factory(),
+                plan,
+                seed=act_seed,
+                ids=member_ids,
+                **kwargs,
+            )
+            record = report.record
+            result = record.extra["result"]
+            if self.engine == "sync":
+                duration = float(record.extra["rounds_executed"])
+            else:
+                duration = float(record.time)
+            leader_ids = list(result.leader_ids)
+            surviving = result.surviving_leader_id
+            outputs = [
+                result.outputs[u]
+                if result.decisions[u] is not None and result.outputs[u] is not None
+                else (result.ids[u] if u in result.leaders else None)
+                for u in range(m)
+            ]
+            fm = result.fault_metrics
+            detection_latencies = list(report.detection_latencies)
+            in_act_crashes = len(result.crashed)
+            dropped = fm.dropped_messages if fm else 0
+            duplicated = fm.duplicated_messages if fm else 0
+            blocked = fm.partition_blocked if fm else 0
+            # Every committed leader is an epoch, and so is every
+            # frontrunner a kill policy aborted before its commit.
+            aborted = sum(1 for u in result.crashed if u not in result.leaders)
+            epochs_minted = max(1, len(leader_ids) + aborted)
+            reelection_time = report.reelection_time
+        self._sanitize_record(record)
+
+        # Persist the outcome: every participant moves to the new epoch
+        # and adopts the leader its own engine run committed to (per
+        # component under a partition mask).
+        first_epoch = self.epoch_counter + 1
+        self.epoch_counter += epochs_minted
+        for local, st in enumerate(members):
+            crashed_in_act = False
+            if self.engine != "fast":
+                crashed_in_act = local in record.extra.get("crashed", [])
+            if crashed_in_act:
+                st.up = False
+                st.crashed_times.append(t_start + duration)
+                self.counts["crashes"] += 1
+                continue
+            st.epoch = self.epoch_counter
+            belief = outputs[local] if local < len(outputs) else None
+            st.leader = belief if belief is not None else surviving
+        t_end = t_start + duration
+        epoch = EpochRecord(
+            epoch=first_epoch,
+            trigger=trigger,
+            t_event=t_event,
+            t_start=t_start,
+            duration=duration,
+            t_end=t_end,
+            members=[st.index for st in members],
+            member_ids=member_ids,
+            leader_ids=leader_ids,
+            surviving_leader_id=surviving,
+            messages=record.messages,
+            record=record,
+            epochs_minted=epochs_minted,
+            reelection_time=reelection_time,
+            detection_latencies=detection_latencies,
+            in_act_crashes=in_act_crashes,
+            dropped_messages=dropped,
+            duplicated_messages=duplicated,
+            partition_blocked=blocked,
+        )
+        self.epochs.append(epoch)
+        self.act_floor = t_end
+        self._mark(t_end)
+        return epoch
+
+    # ------------------------------------------------------------------ #
+    # event handling
+
+    def _resolve_crash_target(self, node) -> Optional[NodeState]:
+        if node == LEADER:
+            leaders = self._believed_leaders()
+            if len(leaders) != 1:
+                self._note(f"crash(leader) skipped: leaders={list(leaders)}")
+                return None
+            return self._id_to_state(leaders[0])
+        if not 0 <= node < len(self.states):
+            self._note(f"crash({node}) skipped: no such node")
+            return None
+        return self.states[node]
+
+    def _resolve_recover_target(self, node) -> Optional[NodeState]:
+        if node == LAST_CRASHED:
+            down = [st for st in self.states if not st.up and st.crashed_times]
+            if not down:
+                self._note("recover(last_crashed) skipped: nobody is down")
+                return None
+            return max(down, key=lambda st: (st.crashed_times[-1], st.index))
+        if not 0 <= node < len(self.states):
+            self._note(f"recover({node}) skipped: no such node")
+            return None
+        return self.states[node]
+
+    def _on_crash(self, ev: CrashEvent) -> None:
+        st = self._resolve_crash_target(ev.node)
+        if st is None or not st.up:
+            if st is not None:
+                self._note(f"crash({st.index}) skipped: already down")
+            return
+        if len(self._up_states()) <= 1:
+            self._note(f"crash({st.index}) suppressed: last node standing")
+            return
+        was_leader = st.node_id in self._believed_leaders()
+        st.up = False
+        st.crashed_times.append(ev.at)
+        self.counts["crashes"] += 1
+        self._mark(ev.at)
+        needs_election = was_leader or (
+            self.scenario.membership_policy == "membership_change"
+        )
+        if not needs_election:
+            return
+        group = self._group_of(st) if self._partition is not None else self._up_states()
+        if not group:
+            self._note(f"crash({st.index}): empty survivor group, no election")
+            return
+        trigger = "failover" if was_leader else "membership"
+        t_start = max(ev.at + self.lag, self.act_floor)
+        masks = self._active_masks(group)
+        self._run_act(trigger, ev.at, t_start, group, masks=masks)
+
+    def _on_recover(self, ev: RecoverEvent) -> None:
+        st = self._resolve_recover_target(ev.node)
+        if st is None or st.up:
+            if st is not None:
+                self._note(f"recover({st.index}) skipped: already up")
+            return
+        st.up = True
+        st.recovered_times.append(ev.at)
+        self.counts["recoveries"] += 1
+        # Elect-lower-epoch: the persisted epoch can never exceed the
+        # group's — the node missed every transition while it was down.
+        assert st.epoch <= self.epoch_counter, (
+            f"recovered node {st.index} carries epoch {st.epoch} > "
+            f"current {self.epoch_counter}"
+        )
+        stale_epoch = st.epoch
+        group = self._group_of(st)
+        peers = [m for m in group if m.index != st.index]
+        leaders = sorted(
+            {m.leader for m in peers if m.leader is not None}
+        )
+        st.leader = leaders[0] if len(leaders) == 1 else None
+        st.epoch = max(m.epoch for m in group) if peers else st.epoch
+        self._note(
+            f"recover({st.index}): rejoined with persisted epoch {stale_epoch}, "
+            f"adopted epoch {st.epoch} leader {st.leader}"
+        )
+        self._mark(ev.at)
+        if self.scenario.membership_policy == "membership_change":
+            t_start = max(ev.at, self.act_floor)
+            self._run_act("membership", ev.at, t_start, group,
+                          masks=self._active_masks(group))
+
+    def _on_join(self, ev: JoinEvent) -> None:
+        node_id = ev.node_id
+        taken = {st.node_id for st in self.states}
+        if node_id is None:
+            node_id = max(taken) + 1
+        elif node_id in taken:
+            raise ValueError(f"join at t={ev.at}: node ID {node_id} already in use")
+        st = NodeState(index=len(self.states), node_id=node_id)
+        leaders = self._believed_leaders()
+        st.leader = leaders[0] if len(leaders) == 1 else None
+        st.epoch = self.epoch_counter
+        self.states.append(st)
+        self.counts["joins"] += 1
+        self._mark(ev.at)
+        if self.scenario.membership_policy == "membership_change":
+            t_start = max(ev.at, self.act_floor)
+            group = self._up_states() if self._partition is None else self._group_of(st)
+            self._run_act("membership", ev.at, t_start, group,
+                          masks=self._active_masks(group))
+
+    def _active_masks(self, members: List[NodeState]) -> Tuple[PartitionMask, ...]:
+        """The act-local partition mask, if a partition is active."""
+        if self._partition is None:
+            return ()
+        local_components = []
+        member_indexes = [st.index for st in members]
+        for comp in self._partition.components:
+            local = tuple(
+                i for i, g in enumerate(member_indexes) if g in comp
+            )
+            if local:
+                local_components.append(local)
+        if len(local_components) < 2:
+            return ()  # the act runs entirely inside one component
+        return (PartitionMask(components=tuple(local_components), start=0.0, end=None),)
+
+    def _on_partition(self, ev: PartitionEvent) -> None:
+        if self._partition is not None:
+            self._note(f"partition at t={ev.start} skipped: one is already active")
+            return
+        for comp in ev.components:
+            for u in comp:
+                if not 0 <= u < len(self.states):
+                    raise ValueError(f"partition component member {u} does not exist")
+        self._partition = ev
+        self._mark(ev.start)  # the split itself breaks agreement
+        members = self._up_states()
+        t_start = max(ev.start, self.act_floor)
+        self._run_act(
+            "partition", ev.start, t_start, members, masks=self._active_masks(members)
+        )
+
+    def _on_heal(self, at: float) -> None:
+        self._partition = None
+        self._mark(at)
+        members = self._up_states()
+        t_start = max(at + self.lag, self.act_floor)
+        self._run_act("heal", at, t_start, members)
+
+    def _on_elect(self, ev: ElectEvent) -> None:
+        members = self._up_states()
+        t_start = max(ev.at, self.act_floor)
+        self._run_act(
+            "elect", ev.at, t_start, members, masks=self._active_masks(members)
+        )
+
+    # ------------------------------------------------------------------ #
+    # main loop
+
+    def run(self) -> ScenarioResult:
+        self.states = [
+            NodeState(index=i, node_id=self._initial_ids[i]) for i in range(self.n)
+        ]
+        self.epochs: List[EpochRecord] = []
+        self.notes: List[str] = []
+        self.counts = {"crashes": 0, "recoveries": 0, "joins": 0}
+        self.epoch_counter = 0
+        self.act_floor = 0.0
+        self._partition: Optional[PartitionEvent] = None
+        self._timeline: List[Tuple[float, Tuple[int, ...], bool]] = []
+        self._mark(0.0)
+
+        # The initial election (with the scenario's in-run churn policy).
+        policies = (self.scenario.kill_policy,) if self.scenario.kill_policy else ()
+        self._run_act("initial", 0.0, 0.0, self._up_states(), policies=policies)
+
+        # Fire events in order; partition heals interleave at their end
+        # times.  Windows are half-open ([start, end)), so a heal at t
+        # processes *before* any event at t — a new partition may start
+        # exactly where the previous one ended.
+        agenda: List[Tuple[float, int, int, str, Any]] = []
+        for i, ev in enumerate(self.scenario.sorted_events()):
+            agenda.append((ev.at, 1, i, "event", ev))
+            if isinstance(ev, PartitionEvent):
+                agenda.append((ev.end, 0, i, "heal", ev))
+        agenda.sort(key=lambda item: (item[0], item[1], item[2]))
+        for _at, _prio, _seq, kind, ev in agenda:
+            if kind == "heal":
+                if self._partition is ev:
+                    self._on_heal(ev.end)
+                continue
+            if isinstance(ev, CrashEvent):
+                self._on_crash(ev)
+            elif isinstance(ev, RecoverEvent):
+                self._on_recover(ev)
+            elif isinstance(ev, JoinEvent):
+                self._on_join(ev)
+            elif isinstance(ev, PartitionEvent):
+                self._on_partition(ev)
+            elif isinstance(ev, ElectEvent):
+                self._on_elect(ev)
+
+        baseline = self._run_baseline()
+        leaders = self._believed_leaders()
+        final_leader = leaders[0] if len(leaders) == 1 else None
+        metrics = compute_metrics(
+            self.epochs,
+            self._timeline,
+            baseline,
+            self.counts,
+            final_leader_id=final_leader,
+            final_agreed=self._is_agreed(),
+        )
+        return ScenarioResult(
+            scenario=self.scenario,
+            engine=self.engine,
+            n_initial=self.n,
+            seed=self.seed,
+            epochs=self.epochs,
+            states=self.states,
+            baseline=baseline,
+            metrics=metrics,
+            notes=self.notes,
+        )
+
+    def _run_baseline(self):
+        """The fault-free single election the overhead ratios divide by."""
+        seed = self._act_seed("baseline")
+        if self.engine == "fast":
+            from repro.analysis.runner import run_fast_trial
+
+            record = run_fast_trial(self.n, self.inner, seed=seed, ids=self._initial_ids)
+        else:
+            from repro.faults import run_failover_trial
+
+            plan = FaultPlan(detector=DetectorSpec(kind="perfect", lag=self.lag))
+            kwargs: Dict[str, Any] = {}
+            if self.engine == "async":
+                kwargs["wake_times"] = {u: 0.0 for u in range(self.n)}
+                kwargs["max_events"] = self.max_events
+            report = run_failover_trial(
+                self.engine,
+                self.n,
+                self._reelect_factory(),
+                plan,
+                seed=seed,
+                ids=self._initial_ids,
+                **kwargs,
+            )
+            record = report.record
+        self._sanitize_record(record)
+        return record
+
+
+def run_scenario(
+    scenario: Scenario, n: int, *, engine: str = "sync", seed: int = 0, **config: Any
+) -> ScenarioResult:
+    """One-call convenience wrapper around :class:`ScenarioRunner`."""
+    return ScenarioRunner(scenario, n, engine=engine, seed=seed, **config).run()

@@ -262,7 +262,7 @@ class SyncNetwork:
         copies = 1
         if self.fault_runtime is not None:
             self.fault_runtime.observe_send(self.round, u, kind)
-            copies = self.fault_runtime.deliveries(u, v, kind)
+            copies = self.fault_runtime.deliveries(u, v, kind, self.round)
         for _ in range(copies):
             self._inboxes_next.setdefault(v, []).append((j, payload))
 

@@ -1,0 +1,105 @@
+"""The ``python -m repro scenarios`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParsing:
+    def test_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["scenarios", "list"]).scenario_command == "list"
+        args = parser.parse_args(
+            ["scenarios", "run", "partition_heal", "--n", "64", "--seed", "1",
+             "--json", "-"]
+        )
+        assert args.name == "partition_heal" and args.json == "-"
+        args = parser.parse_args(
+            ["scenarios", "sweep", "election_storm", "--ns", "16", "32",
+             "--seeds", "0", "1"]
+        )
+        assert args.ns == [16, 32]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "run", "nope"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+
+class TestList:
+    def test_lists_all_named_scenarios(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("partition_heal", "rolling_restart", "flapping_leader",
+                     "staggered_joins", "election_storm"):
+            assert name in out
+
+
+class TestRun:
+    def test_partition_heal_acceptance(self, capsys):
+        """The acceptance-criteria invocation: JSON on stdout, exit 0."""
+        assert main(
+            ["scenarios", "run", "partition_heal", "--n", "64", "--seed", "1",
+             "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "agreed by all up nodes" in out
+        payload = json.loads(out[out.index("{"):])
+        metrics = payload["metrics"]
+        assert metrics["final_agreed"] is True
+        assert metrics["final_leader_id"] is not None
+        assert metrics["mean_failover_latency"] > 0
+        assert metrics["epoch_churn"] >= 4
+        assert metrics["message_overhead"] > 1.0
+        triggers = [e["trigger"] for e in payload["epochs"]]
+        assert triggers == ["initial", "partition", "heal"]
+
+    def test_json_file_output(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(
+            ["scenarios", "run", "election_storm", "--n", "16",
+             "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["scenario"] == "election_storm"
+        assert len(payload["records"]) == payload["metrics"]["elections"]
+
+    def test_fast_engine_subset(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(
+            ["scenarios", "run", "rolling_restart", "--n", "16", "--engine", "fast"]
+        ) == 0
+        assert "agreed by all up nodes" in capsys.readouterr().out
+
+    def test_fast_engine_refusal_is_a_clean_error(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(
+            ["scenarios", "run", "partition_heal", "--n", "16", "--engine", "fast"]
+        ) == 2
+        assert "fast engine" in capsys.readouterr().err
+
+    def test_async_engine(self, capsys):
+        assert main(
+            ["scenarios", "run", "flapping_leader", "--n", "12",
+             "--engine", "async"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epoch_churn=4" in out
+
+
+class TestSweep:
+    def test_sweep_table_and_json(self, capsys):
+        assert main(
+            ["scenarios", "sweep", "rolling_restart", "--ns", "8", "12",
+             "--seeds", "0", "1", "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["scenario"] == "rolling_restart"
+        assert "n=8/seed=0/messages" in payload["metrics"]

@@ -65,6 +65,12 @@ class TestExamples:
         assert "you-win!" in out
         assert "leader id 99" in out
 
+    def test_partition_drill(self):
+        out = run_example("partition_drill.py", "16")
+        assert "split-brain window measured" in out
+        assert "single agreed coordinator" in out
+        assert "SPLIT/NONE" in out
+
     @pytest.mark.slow
     def test_complexity_scaling_runs(self):
         # full size but fast enough (~1 min); asserts the plot renders.

@@ -1,0 +1,138 @@
+"""The declarative scenario event model and the named-scenario library."""
+
+import pytest
+
+from repro.faults import LeaderKillPolicy, LinkFaults
+from repro.scenarios import (
+    LAST_CRASHED,
+    LEADER,
+    NAMED_SCENARIOS,
+    Scenario,
+    crash,
+    elect,
+    get_scenario,
+    join,
+    partition,
+    recover,
+)
+
+
+class TestEventValidation:
+    def test_builders_produce_events(self):
+        ev = crash(3, 2.0)
+        assert (ev.node, ev.at) == (3, 2.0)
+        assert recover(LAST_CRASHED, 5.0).node == LAST_CRASHED
+        assert crash(LEADER, 1.0).node == LEADER
+        assert join(4.0).node_id is None
+        assert elect(9.0).at == 9.0
+        window = partition(((0, 1), (2, 3)), 1.0, 5.0)
+        assert window.at == 1.0 and window.end == 5.0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            crash(0, -1.0)
+        with pytest.raises(ValueError):
+            elect(-0.5)
+
+    def test_unknown_symbolic_targets_rejected(self):
+        with pytest.raises(ValueError):
+            crash("boss", 1.0)
+        with pytest.raises(ValueError):
+            recover("leader", 1.0)  # leader is a crash target, not a recover one
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            partition(((0, 1),), 0.0, 5.0)  # one component is no partition
+        with pytest.raises(ValueError):
+            partition(((0, 1), (1, 2)), 0.0, 5.0)  # overlap
+        with pytest.raises(ValueError):
+            partition(((0,), (1,)), 5.0, 5.0)  # empty window
+
+    def test_join_id_validation(self):
+        with pytest.raises(ValueError):
+            join(1.0, node_id=0)
+
+
+class TestScenarioValidation:
+    def test_membership_policy_checked(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", membership_policy="anarchy")
+
+    def test_link_faults_must_be_wildcard(self):
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x",
+                link_faults=(LinkFaults(drop_prob=0.5, dst=3),),
+            )
+
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x",
+                events=(
+                    partition(((0,), (1,)), 0.0, 10.0),
+                    partition(((0,), (1,)), 5.0, 15.0),
+                ),
+            )
+
+    def test_disjoint_windows_accepted_in_any_declaration_order(self):
+        # Overlap checking must sort by start time, not declaration order.
+        sc = Scenario(
+            name="x",
+            events=(
+                partition(((0,), (1,)), 50.0, 60.0),
+                partition(((0,), (1,)), 0.0, 40.0),
+            ),
+        )
+        assert [e.at for e in sc.sorted_events()] == [0.0, 50.0]
+
+    def test_back_to_back_windows_accepted(self):
+        # Windows are half-open: [0, 40) and [40, 60) do not overlap.
+        Scenario(
+            name="x",
+            events=(
+                partition(((0,), (1,)), 0.0, 40.0),
+                partition(((0,), (1,)), 40.0, 60.0),
+            ),
+        )
+
+    def test_sorted_events(self):
+        sc = Scenario(name="x", events=(elect(9.0), crash(0, 1.0)))
+        assert [e.at for e in sc.sorted_events()] == [1.0, 9.0]
+
+    def test_summary_mentions_churn(self):
+        sc = Scenario(
+            name="x",
+            events=(crash(0, 1.0), crash(1, 2.0)),
+            kill_policy=LeaderKillPolicy(max_kills=2),
+        )
+        assert "2x crash" in sc.summary()
+        assert "kill-leader" in sc.summary()
+
+
+class TestLibrary:
+    def test_five_named_scenarios(self):
+        assert sorted(NAMED_SCENARIOS) == [
+            "election_storm",
+            "flapping_leader",
+            "partition_heal",
+            "rolling_restart",
+            "staggered_joins",
+        ]
+
+    @pytest.mark.parametrize("name", sorted(NAMED_SCENARIOS))
+    def test_builders_return_scenarios(self, name):
+        sc = get_scenario(name, 32)
+        assert isinstance(sc, Scenario)
+        assert sc.name == name
+        assert sc.description
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="partition_heal"):
+            get_scenario("partition_hell", 32)
+
+    def test_partition_heal_halves_cover_the_clique(self):
+        sc = get_scenario("partition_heal", 10)
+        window = sc.events[0]
+        members = sorted(u for comp in window.components for u in comp)
+        assert members == list(range(10))
