@@ -18,16 +18,25 @@ Commands
     Run one election under a fault plan (crash schedules, kill-the-
     frontrunner churn, message drop/duplication, failure detectors) and
     report failover metrics: detection latency, re-election time, and
-    message cost after the first crash.  ``monarchical`` and ``reelect``
-    additionally accept ``--engine async``.
+    message cost after the first crash.  ``monarchical``, ``reelect``
+    and ``quorum_reelect`` additionally accept ``--engine async``.
 
 ``scenarios {list,run,sweep}``
     The workload layer: declarative event timelines (partitions with
     automatic heal, crash-recovery with persisted epoch state, joins,
-    repeated elections) executed by the scenario runner with per-epoch
-    convergence metrics — failover latency, leadership-agreement
-    intervals, epoch churn, and message overhead vs a fault-free
-    baseline.  ``run NAME --json -`` prints the full JSON report.
+    repeated elections, Byzantine slander) executed by the scenario
+    runner with per-epoch convergence metrics — failover latency,
+    leadership-agreement intervals, epoch churn, split-brain acts, and
+    message overhead vs a fault-free baseline.  ``run`` accepts a named
+    scenario or a path to a JSON timeline file; ``--quorum`` gates every
+    act's commits on a majority quorum; ``run NAME --json -`` prints
+    the full JSON report.
+
+``adversary {run,sweep}``
+    Byzantine elections: run ``quorum_reelect`` (or plain ``reelect``
+    with ``--no-quorum``) under message tampering, detector slander and
+    crash schedules; ``sweep`` traces the honest-vs-Byzantine overhead
+    curve of EXPERIMENTS.md S3.
 
 Examples
 --------
@@ -47,8 +56,13 @@ Examples
     python -m repro run improved_tradeoff --n 100000 --engine fast --param ell=5
     python -m repro scenarios list
     python -m repro scenarios run partition_heal --n 64 --seed 1 --json -
+    python -m repro scenarios run partition_heal --n 9 --quorum
     python -m repro scenarios run rolling_restart --n 32 --engine fast
+    python -m repro scenarios run my_timeline.json --n 16
     python -m repro scenarios sweep election_storm --ns 32 64 --seeds 0 1 2
+    python -m repro adversary run --n 9 --slander 0:8@5-60 --crash 3@10
+    python -m repro adversary run --n 9 --byzantine 0 --tamper forge:compete --no-quorum
+    python -m repro adversary sweep --ns 8 16 32 --mode both --json -
 """
 
 from __future__ import annotations
@@ -262,9 +276,15 @@ def _fault_factory(name: str, engine: str, params: Dict[str, Any]):
         ReElectionElection,
     )
 
+    from repro.adversary import (
+        AsyncQuorumReElectionElection,
+        QuorumReElectionElection,
+    )
+
     dual = {
         "monarchical": (MonarchicalElection, AsyncMonarchicalElection),
         "reelect": (ReElectionElection, AsyncReElectionElection),
+        "quorum_reelect": (QuorumReElectionElection, AsyncQuorumReElectionElection),
     }
     if name in dual:
         cls = dual[name][0] if engine == "sync" else dual[name][1]
@@ -384,11 +404,35 @@ def cmd_scenarios_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scenarios_run(args: argparse.Namespace) -> int:
-    from repro.scenarios import ScenarioRunner, get_scenario, scenario_report
+def _scenario_source(text: str) -> str:
+    """Argparse validator: a named scenario or a JSON timeline file."""
+    import os
 
-    scenario = get_scenario(args.name, args.n)
+    from repro.scenarios import NAMED_SCENARIOS
+
+    if text in NAMED_SCENARIOS or text.endswith(".json") or os.path.exists(text):
+        return text
+    known = ", ".join(sorted(NAMED_SCENARIOS))
+    raise argparse.ArgumentTypeError(
+        f"unknown scenario {text!r}; known scenarios: {known} "
+        "(or pass a path to a .json timeline)"
+    )
+
+
+def _load_scenario(name: str, n: int):
+    """Resolve a CLI scenario argument: library name or JSON file."""
+    from repro.scenarios import NAMED_SCENARIOS, get_scenario, scenario_from_json
+
+    if name in NAMED_SCENARIOS:
+        return get_scenario(name, n)
+    return scenario_from_json(name)
+
+
+def cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioRunner, ScenarioSchemaError, scenario_report
+
     try:
+        scenario = _load_scenario(args.name, args.n)
         runner = ScenarioRunner(
             scenario,
             args.n,
@@ -396,8 +440,9 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             inner=args.inner,
             lag=args.lag,
+            quorum=args.quorum,
         )
-    except ValueError as exc:
+    except (ScenarioSchemaError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     result = runner.run()
@@ -428,7 +473,8 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
         f"mean_failover_latency="
         f"{'-' if mean_failover is None else f'{mean_failover:.2f}'} "
         f"agreed_fraction={metrics.agreed_fraction:.2f} "
-        f"message_overhead={metrics.message_overhead:.2f}x"
+        f"message_overhead={metrics.message_overhead:.2f}x "
+        f"split_brain_acts={metrics.split_brain_acts}"
     )
     print(
         f"final leader: {metrics.final_leader_id} "
@@ -442,7 +488,7 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
 
 
 def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
-    from repro.scenarios import ScenarioRunner, get_scenario
+    from repro.scenarios import ScenarioRunner, ScenarioSchemaError
 
     table = Table(
         ["n", "seed", "elections", "epoch churn", "mean failover",
@@ -453,13 +499,13 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     failures = 0
     for n in args.ns:
         for seed in args.seeds:
-            scenario = get_scenario(args.name, n)
             try:
+                scenario = _load_scenario(args.name, n)
                 runner = ScenarioRunner(
                     scenario, n, engine=args.engine, seed=seed,
-                    inner=args.inner, lag=args.lag,
+                    inner=args.inner, lag=args.lag, quorum=args.quorum,
                 )
-            except ValueError as exc:
+            except (ScenarioSchemaError, ValueError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
             m = runner.run().metrics
@@ -484,6 +530,248 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         )
     if failures:
         print(f"note: {failures} run(s) ended without an agreed leader")
+    return 1 if failures else 0
+
+
+def _parse_slander(text: str):
+    """``ACCUSER:VICTIM@START[-END]`` -> SlanderWindow (e.g. ``0:8@5-60``)."""
+    from repro.adversary import SlanderWindow
+
+    try:
+        nodes, window = text.split("@", 1)
+        accuser, victim = nodes.split(":", 1)
+        if "-" in window:
+            start, end = window.split("-", 1)
+            end_val = float(end) if end else None
+        else:
+            start, end_val = window, None
+        accuser_i, victim_i, start_f = int(accuser), int(victim), float(start)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"slander spec {text!r} is not ACCUSER:VICTIM@START[-END] (e.g. 0:8@5-60)"
+        ) from None
+    try:
+        # Semantic errors (self-slander, end before start) keep their own
+        # messages instead of being misreported as format errors.
+        return SlanderWindow(
+            accuser=accuser_i, victims=(victim_i,), start=start_f, end=end_val
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_tamper(text: str):
+    """``MODE[:KIND,KIND...]`` -> TamperRule (e.g. ``forge:compete``)."""
+    from repro.adversary import TamperRule
+
+    mode, _, kinds = text.partition(":")
+    try:
+        return TamperRule(
+            mode=mode, kinds=tuple(kinds.split(",")) if kinds else None
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _build_adversary_plan(args: argparse.Namespace):
+    from repro.adversary import AdversaryPlan
+
+    if not args.byzantine and not args.slander and not args.tamper:
+        return None
+    return AdversaryPlan(
+        byzantine=tuple(args.byzantine),
+        tampers=tuple(args.tamper),
+        slanders=tuple(args.slander),
+    )
+
+
+def _adversary_fault_plan(args: argparse.Namespace, adversary):
+    from repro.faults import DetectorSpec, FaultPlan
+
+    return FaultPlan(
+        crashes=tuple(args.crash),
+        detector=DetectorSpec(kind="perfect", lag=args.lag),
+        adversary=adversary,
+    )
+
+
+def _adversary_factory(args: argparse.Namespace, engine: str):
+    from repro.adversary import (
+        AsyncQuorumReElectionElection,
+        QuorumReElectionElection,
+    )
+    from repro.faults import AsyncReElectionElection, ReElectionElection
+
+    inner = args.inner
+    if args.no_quorum:
+        if engine == "sync":
+            return lambda: ReElectionElection(inner=inner or "afek_gafni")
+        return lambda: AsyncReElectionElection(inner=inner or "async_tradeoff")
+    if engine == "sync":
+        return lambda: QuorumReElectionElection(
+            inner=inner or "afek_gafni", threshold=args.threshold
+        )
+    return lambda: AsyncQuorumReElectionElection(
+        inner=inner or "async_tradeoff", threshold=args.threshold
+    )
+
+
+def cmd_adversary_run(args: argparse.Namespace) -> int:
+    from repro.faults import run_failover_trial
+
+    try:
+        adversary = _build_adversary_plan(args)
+        plan = _adversary_fault_plan(args, adversary)
+        plan.validate_for(args.n)
+        factory = _adversary_factory(args, args.engine)
+        factory()  # eager validation: threshold range, inner algorithm name
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    algo = "reelect" if args.no_quorum else "quorum_reelect"
+    table = Table(
+        ["seed", "survivor leader", "elected id", "crashes", "tampered",
+         "messages", "time"],
+        title=(
+            f"adversary: {algo} on {args.engine} engine (n={args.n}) "
+            f"byzantine={sorted(set(args.byzantine))} "
+            f"slanders={len(args.slander)} tampers={len(args.tamper)} "
+            f"crashes={len(args.crash)}"
+        ),
+    )
+    failures = 0
+    for seed in args.seeds:
+        kwargs: Dict[str, Any] = {}
+        if args.engine == "async":
+            kwargs["wake_times"] = {u: 0.0 for u in range(args.n)}
+            kwargs["max_events"] = 20_000_000
+        try:
+            report = run_failover_trial(
+                args.engine, args.n, factory, plan, seed=seed, **kwargs,
+            )
+        except SimulationLimitExceeded as exc:
+            failures += 1
+            table.add_row(seed, "STALLED", "-", "-", "-", "-", str(exc))
+            continue
+        fm = report.record.extra["result"].fault_metrics
+        failures += not report.unique_surviving_leader
+        table.add_row(
+            seed,
+            report.unique_surviving_leader,
+            report.surviving_leader_id,
+            report.crashes,
+            fm.tampered_messages if fm else 0,
+            report.record.messages,
+            f"{report.record.time:.2f}",
+        )
+    print(table.render())
+    if failures:
+        print(
+            f"note: {failures}/{len(args.seeds)} runs ended without a unique "
+            "surviving leader"
+        )
+    return 1 if failures else 0
+
+
+def cmd_adversary_sweep(args: argparse.Namespace) -> int:
+    """Honest vs Byzantine overhead curve (EXPERIMENTS.md S3)."""
+    from repro.adversary import AdversaryPlan, SlanderWindow, TamperRule
+    from repro.faults import CrashFault, DetectorSpec, FaultPlan, run_failover_trial
+
+    table = Table(
+        ["n", "f", "honest msgs", "byz msgs", "overhead", "honest time",
+         "byz time", "converged"],
+        title=f"adversary sweep: honest vs Byzantine quorum_reelect "
+        f"({args.engine} engine, mode={args.mode})",
+    )
+    try:
+        factory = _adversary_factory(args, args.engine)
+        factory()  # eager validation: threshold range, inner algorithm name
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    metrics_out: Dict[str, Any] = {}
+    failures = 0
+    for n in args.ns:
+        f = max(1, min(args.f, (n - 1) // 2 - 1)) if args.f else max(1, n // 4)
+        f = min(f, (n - 1) // 2)
+        if args.mode in ("slander", "both") and f < 1:
+            print(f"note: n={n} is too small for a slander sweep point; skipped",
+                  file=sys.stderr)
+            continue
+        tampers = ()
+        slanders = ()
+        if args.mode in ("forge", "both"):
+            tampers = (TamperRule(mode="forge", kinds=("compete",)),)
+        if args.mode in ("slander", "both"):
+            # Byzantine node 0 slanders the f top-ID nodes from t=2 on.
+            slanders = (
+                SlanderWindow(
+                    accuser=0, victims=tuple(range(n - f, n)), start=2.0
+                ),
+            )
+        detector = DetectorSpec(kind="perfect", lag=args.lag)
+        crashes = (CrashFault(node=1, at=4.0),) if args.crash_one else ()
+        try:
+            adversary = AdversaryPlan(byzantine=(0,), tampers=tampers, slanders=slanders)
+            honest_plan = FaultPlan(crashes=crashes, detector=detector)
+            byz_plan = FaultPlan(crashes=crashes, detector=detector, adversary=adversary)
+            byz_plan.validate_for(n)
+        except ValueError as exc:
+            print(f"error: n={n}: {exc}", file=sys.stderr)
+            return 2
+        h_msgs: List[int] = []
+        b_msgs: List[int] = []
+        h_time: List[float] = []
+        b_time: List[float] = []
+        converged = True
+        for seed in args.seeds:
+            kwargs: Dict[str, Any] = {}
+            if args.engine == "async":
+                kwargs["wake_times"] = {u: 0.0 for u in range(n)}
+                kwargs["max_events"] = 20_000_000
+            try:
+                honest = run_failover_trial(
+                    args.engine, n, factory, honest_plan, seed=seed, **kwargs
+                )
+                byz = run_failover_trial(
+                    args.engine, n, factory, byz_plan, seed=seed, **kwargs
+                )
+            except SimulationLimitExceeded:
+                # The plain wrapper (--no-quorum) legitimately stalls
+                # under slander; a stalled seed fails the sweep point
+                # instead of killing the whole sweep with a traceback.
+                converged = False
+                continue
+            converged &= honest.unique_surviving_leader
+            converged &= byz.unique_surviving_leader
+            h_msgs.append(honest.record.messages)
+            b_msgs.append(byz.record.messages)
+            h_time.append(honest.record.time)
+            b_time.append(byz.record.time)
+        failures += not converged
+        if not h_msgs:
+            table.add_row(n, f, "-", "-", "STALLED", "-", "-", converged)
+            continue
+        hm = sum(h_msgs) / len(h_msgs)
+        bm = sum(b_msgs) / len(b_msgs)
+        overhead = bm / max(hm, 1.0)
+        table.add_row(
+            n, f, f"{hm:.0f}", f"{bm:.0f}", f"{overhead:.2f}x",
+            f"{sum(h_time) / len(h_time):.1f}",
+            f"{sum(b_time) / len(b_time):.1f}", converged,
+        )
+        metrics_out[f"n={n}/honest_messages"] = hm
+        metrics_out[f"n={n}/byzantine_messages"] = bm
+        metrics_out[f"n={n}/overhead"] = round(overhead, 4)
+    print(table.render())
+    if args.json:
+        _write_json(
+            args.json,
+            {"engine": args.engine, "mode": args.mode, "metrics": metrics_out},
+        )
+    if failures:
+        print(f"note: {failures} sweep point(s) failed to converge")
     return 1 if failures else 0
 
 
@@ -597,7 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     def _scenario_run_args(p) -> None:
-        p.add_argument("name", choices=sorted(NAMED_SCENARIOS))
+        p.add_argument(
+            "name", type=_scenario_source,
+            help=f"named scenario ({', '.join(sorted(NAMED_SCENARIOS))}) "
+            "or a path to a JSON timeline file",
+        )
         p.add_argument(
             "--engine", choices=["sync", "async", "fast"], default="sync",
             help="engine for every election act (fast: crash/join/elect subset)",
@@ -608,6 +900,11 @@ def build_parser() -> argparse.ArgumentParser:
             "async_tradeoff async, improved_tradeoff fast)",
         )
         p.add_argument("--lag", type=float, default=1.0, help="detector detection lag")
+        p.add_argument(
+            "--quorum", action="store_true",
+            help="majority-quorum commit gating: minority components never "
+            "elect (quorum_reelect wrappers for every act)",
+        )
 
     run_scen_p = scen_sub.add_parser(
         "run", help="run one scenario and print per-epoch convergence metrics"
@@ -632,6 +929,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep metrics as JSON ('-' prints to stdout)",
     )
     sweep_scen_p.set_defaults(func=cmd_scenarios_sweep)
+
+    adv_p = sub.add_parser(
+        "adversary",
+        help="Byzantine runs: message tampering, detector slander, quorum safety",
+    )
+    adv_sub = adv_p.add_subparsers(dest="adversary_command", required=True)
+
+    def _adversary_common(p) -> None:
+        p.add_argument(
+            "--engine", choices=["sync", "async"], default="sync",
+            help="object engine for the quorum_reelect wrapper",
+        )
+        p.add_argument(
+            "--inner", default=None,
+            help="inner election algorithm (default: afek_gafni sync, "
+            "async_tradeoff async)",
+        )
+        p.add_argument("--lag", type=float, default=1.0, help="detector detection lag")
+        p.add_argument(
+            "--threshold", type=float, default=0.5,
+            help="quorum fraction over the full membership (default: majority)",
+        )
+        p.add_argument(
+            "--no-quorum", action="store_true",
+            help="run the plain reelect wrapper instead (shows the split-brain "
+            "and stall failure modes the quorum layer closes)",
+        )
+
+    run_adv_p = adv_sub.add_parser(
+        "run", help="one election under a Byzantine adversary plan"
+    )
+    _adversary_common(run_adv_p)
+    run_adv_p.add_argument("--n", type=int, default=9, help="clique size")
+    run_adv_p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    run_adv_p.add_argument(
+        "--byzantine", type=int, nargs="+", default=[], metavar="NODE",
+        help="adversarial node indices (senders subject to tamper rules)",
+    )
+    run_adv_p.add_argument(
+        "--slander", action="append", default=[], type=_parse_slander,
+        metavar="A:V@S[-E]",
+        help="slander window: accuser A falsely suspects victim V during "
+        "[S, E) (repeatable), e.g. 0:8@5-60",
+    )
+    run_adv_p.add_argument(
+        "--tamper", action="append", default=[], type=_parse_tamper,
+        metavar="MODE[:KINDS]",
+        help="tamper rule for the byzantine senders: corrupt, forge, replay "
+        "or equivocate, optionally limited to payload kinds, e.g. forge:compete",
+    )
+    run_adv_p.add_argument(
+        "--crash", action="append", default=[], type=_parse_crash,
+        metavar="NODE@WHEN", help="crash node NODE at round/time WHEN (repeatable)",
+    )
+    run_adv_p.set_defaults(func=cmd_adversary_run)
+
+    sweep_adv_p = adv_sub.add_parser(
+        "sweep", help="honest vs Byzantine overhead curve (EXPERIMENTS.md S3)"
+    )
+    _adversary_common(sweep_adv_p)
+    sweep_adv_p.add_argument("--ns", type=int, nargs="+", default=[8, 16, 32])
+    sweep_adv_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    sweep_adv_p.add_argument(
+        "--mode", choices=["slander", "forge", "both"], default="both",
+        help="which Byzantine behaviors the hostile runs carry",
+    )
+    sweep_adv_p.add_argument(
+        "--f", type=int, default=0,
+        help="slander victims per run (0 = n/4, capped below n/2)",
+    )
+    sweep_adv_p.add_argument(
+        "--crash-one", action="store_true",
+        help="additionally crash one node early in both arms of the sweep",
+    )
+    sweep_adv_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the overhead metrics as JSON ('-' prints to stdout)",
+    )
+    sweep_adv_p.set_defaults(func=cmd_adversary_sweep)
     return parser
 
 

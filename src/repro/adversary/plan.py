@@ -1,0 +1,226 @@
+"""Declarative Byzantine adversary schedules.
+
+An :class:`AdversaryPlan` extends a :class:`~repro.faults.plan.FaultPlan`
+from the crash/omission world into the Byzantine one: a fixed set of
+*adversarial* node indices may tamper with the messages they send
+(:class:`TamperRule` — corrupt payload fields, forge sender IDs, replay
+stale traffic, equivocate to different receivers) and may *slander*
+honest peers through the failure-detector rumor mill
+(:class:`SlanderWindow` — an alive victim is falsely suspected for a
+time window).  Like everything else in the fault layer the plan is pure
+data: all stochastic tampering decisions are drawn inside
+:class:`~repro.adversary.runtime.AdversaryRuntime` from the run seed, so
+``(seed, FaultPlan)`` still pins the whole execution.
+
+Authenticated links
+-------------------
+
+Following the standard authenticated-link construction (and the quorum
+patterns of the reliable-secure-distributed-programming literature), the
+adversary tampers with *protocol payloads*, not with the fault-tolerant
+wrappers' control envelopes: when a payload is a wrapper-tagged tuple
+whose last element is itself a tagged tuple (``("ree", epoch, attempt,
+inner)``), corruption applies to the innermost tuple and the envelope
+tags survive intact.  Replay re-delivers whole stale link payloads —
+stale envelope tags included — which the epoch-tag filters of the
+wrappers are expected to (and do) reject.  See ``docs/MODEL.md``
+("Byzantine adversary semantics") for the model discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["TAMPER_MODES", "TamperRule", "SlanderWindow", "AdversaryPlan"]
+
+#: The four message-tampering models, in increasing order of cunning.
+TAMPER_MODES = ("corrupt", "forge", "replay", "equivocate")
+
+
+@dataclass(frozen=True)
+class TamperRule:
+    """One message-tampering behavior of the Byzantine nodes.
+
+    A rule applies to a send iff the sender is in the plan's
+    ``byzantine`` set (or equals the rule's ``src`` pin), the receiver
+    matches ``dst`` (``None`` = any), and the message kind matches
+    ``kinds`` — where *kind* is the payload's own tag **or** the tag of
+    its innermost tuple, so ``("ree", epoch, attempt, ("compete", id))``
+    matches a rule for ``"compete"`` (wrapped traffic stays targetable).
+
+    Modes
+    -----
+
+    ``corrupt``
+        Integer fields of the (innermost) payload are shifted by
+        ``magnitude`` — the classic corrupted-payload fault.
+    ``forge``
+        Integer fields equal to the sender's real ID are replaced with
+        ``forge_id`` (default: one more than the largest ID in the run —
+        an ID that beats every honest competitor).  This is the forged
+        frontrunner: the Byzantine node impersonates a node that should
+        win.
+    ``replay``
+        The previous payload carried by the same directed link is
+        delivered *again* after the current one (envelope tags and all);
+        the first message on a link has nothing to replay.
+    ``equivocate``
+        Integer fields are shifted by ``magnitude * (dst + 1)`` — every
+        receiver of the "same" broadcast sees a different value, the
+        defining Byzantine behavior quorum protocols exist to survive.
+
+    ``prob`` draws per matching message from the run-seeded adversary
+    RNG; ``max_tampers`` bounds the rule's total alterations.
+    """
+
+    mode: str
+    prob: float = 1.0
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    kinds: Optional[Tuple[str, ...]] = None
+    magnitude: int = 1
+    forge_id: Optional[int] = None
+    max_tampers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in TAMPER_MODES:
+            raise ValueError(
+                f"unknown tamper mode {self.mode!r}; known modes: {TAMPER_MODES}"
+            )
+        if not 0.0 < self.prob <= 1.0:
+            raise ValueError(f"tamper prob must be in (0, 1], got {self.prob!r}")
+        if self.magnitude == 0 and self.mode in ("corrupt", "equivocate"):
+            raise ValueError("corrupt/equivocate need a nonzero magnitude")
+        if self.forge_id is not None and self.mode != "forge":
+            raise ValueError("forge_id only applies to mode='forge'")
+        if self.max_tampers is not None and self.max_tampers < 1:
+            raise ValueError("max_tampers must be >= 1 when set")
+
+    def matches(self, src: int, dst: int, kinds: Tuple[str, ...]) -> bool:
+        """Whether this rule claims a ``src -> dst`` send of these kinds.
+
+        ``kinds`` carries the payload's envelope tag and its innermost
+        tag (often the same string).
+        """
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.kinds is not None and not set(self.kinds) & set(kinds):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class SlanderWindow:
+    """Detector slander: ``accuser`` falsely accuses ``victims`` of death.
+
+    During ``[start + lag, end + lag)`` (the detector's usual visibility
+    shift; ``end=None`` = the rest of the run) every node *except the
+    victims themselves* additionally suspects the victims — the rumor is
+    believed network-wide, exactly like a partition separation, and a
+    timeout detector cannot refute it because suspicion is unilateral.
+    Victims keep trusting themselves, which is precisely the split-brain
+    seed the quorum layer exists to neutralize.
+
+    A slander dies with its accuser: if the accuser crashed at or before
+    ``start`` the window never opens (nobody spreads the rumor).
+    """
+
+    accuser: int
+    victims: Tuple[int, ...]
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.accuser < 0:
+            raise ValueError("slander accuser must be a node index >= 0")
+        if not self.victims:
+            raise ValueError("a slander window needs at least one victim")
+        if len(set(self.victims)) != len(self.victims):
+            raise ValueError("slander victims must be distinct")
+        for victim in self.victims:
+            if victim < 0:
+                raise ValueError("slander victims must be node indices >= 0")
+            if victim == self.accuser:
+                raise ValueError("a node cannot slander itself")
+        if self.start < 0:
+            raise ValueError("slander start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("slander end must be after its start")
+
+    def active(self, now: float, lag: float) -> bool:
+        """Whether the rumor is currently believed (lag-shifted window)."""
+        if now < self.start + lag:
+            return False
+        return self.end is None or now < self.end + lag
+
+
+@dataclass(frozen=True)
+class AdversaryPlan:
+    """The Byzantine side of a fault schedule.
+
+    ``byzantine`` lists the adversarial node indices; tamper rules
+    without a ``src`` pin apply to every Byzantine sender (a rule *with*
+    a pin implicitly marks that node adversarial too).  Slander windows
+    name their accuser explicitly.  A plan with neither tampering nor
+    slander is rejected — use a plain :class:`~repro.faults.FaultPlan`
+    for crash-only schedules.
+    """
+
+    byzantine: Tuple[int, ...] = ()
+    tampers: Tuple[TamperRule, ...] = ()
+    slanders: Tuple[SlanderWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.byzantine)) != len(self.byzantine):
+            raise ValueError("byzantine node indices must be distinct")
+        for u in self.byzantine:
+            if u < 0:
+                raise ValueError("byzantine members must be node indices >= 0")
+        if not self.tampers and not self.slanders:
+            raise ValueError(
+                "an AdversaryPlan must tamper or slander; use a plain FaultPlan "
+                "for crash/omission-only schedules"
+            )
+        for rule in self.tampers:
+            if rule.src is not None:
+                continue
+            if not self.byzantine:
+                raise ValueError(
+                    "tamper rules without a src pin need a nonempty byzantine set"
+                )
+
+    @property
+    def adversarial_nodes(self) -> frozenset:
+        """Every node the plan makes adversarial (byzantine + accusers + pins)."""
+        nodes = set(self.byzantine)
+        nodes.update(rule.src for rule in self.tampers if rule.src is not None)
+        nodes.update(window.accuser for window in self.slanders)
+        return frozenset(nodes)
+
+    def is_adversarial_sender(self, u: int) -> bool:
+        """Whether ``u``'s sends are subject to tampering."""
+        return u in self.byzantine or any(rule.src == u for rule in self.tampers)
+
+    def validate_for(self, n: int) -> None:
+        """Check node indices against a concrete clique size."""
+        for u in sorted(self.adversarial_nodes):
+            if u >= n:
+                raise ValueError(f"adversarial node {u} out of range for n={n}")
+        for rule in self.tampers:
+            if rule.dst is not None and rule.dst >= n:
+                raise ValueError(f"tamper rule dst {rule.dst} out of range for n={n}")
+        for window in self.slanders:
+            for victim in window.victims:
+                if victim >= n:
+                    raise ValueError(
+                        f"slander victim {victim} out of range for n={n}"
+                    )
+        if len(self.adversarial_nodes) >= max(1, (n + 1) // 2):
+            raise ValueError(
+                "the adversary corrupts f >= n/2 nodes; the quorum layer is "
+                "specified for f < n/2 (Kutten et al.'s sublinear bounds break "
+                "at half the clique, and so does majority quorum)"
+            )

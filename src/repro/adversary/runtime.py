@@ -1,0 +1,220 @@
+"""Per-run Byzantine tampering state (the adversary's message hand).
+
+The :class:`AdversaryRuntime` is to an :class:`~repro.adversary.plan.AdversaryPlan`
+what :class:`~repro.faults.runtime.FaultRuntime` is to a fault plan: the
+single mutable object that turns declarative tamper rules into concrete
+per-message decisions.  It is owned by the ``FaultRuntime`` (created
+lazily when the fault plan carries an adversary) and consulted from
+:meth:`~repro.faults.runtime.FaultRuntime.delivered_payloads`, the hook
+both engines route every send through.
+
+All stochastic choices come from one ``random.Random`` seeded from the
+run seed (``adversary:<seed>``), consumed in engine-call order, so the
+Byzantine behavior is as replayable as every other fault.  Rules with
+``prob=1.0`` consume no randomness at all — adding a deterministic
+tamper rule never perturbs the stochastic stream of another.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.adversary.plan import AdversaryPlan, TamperRule
+
+__all__ = ["AdversaryRuntime", "payload_kinds"]
+
+
+def payload_kinds(payload: Any) -> Tuple[str, ...]:
+    """The envelope tag and the innermost tag of a (possibly nested) payload.
+
+    ``("compete", 7)`` yields ``("compete",)``; the re-election wrapper's
+    ``("ree", epoch, attempt, ("compete", 7))`` yields
+    ``("ree", "compete")`` so tamper rules can target wrapped protocol
+    traffic by its real kind.
+    """
+    kinds: List[str] = []
+    seen = 0
+    while (
+        isinstance(payload, tuple)
+        and payload
+        and isinstance(payload[0], str)
+        and seen < 8  # defensive bound against pathological nesting
+    ):
+        kinds.append(payload[0])
+        seen += 1
+        if isinstance(payload[-1], tuple):
+            payload = payload[-1]
+        else:
+            break
+    if not kinds:
+        if isinstance(payload, str):
+            kinds.append(payload)
+        else:
+            kinds.append(type(payload).__name__)
+    if len(kinds) > 2:
+        kinds = [kinds[0], kinds[-1]]
+    return tuple(kinds)
+
+
+def _map_innermost(payload: Any, fn) -> Any:
+    """Apply ``fn`` to the innermost tagged tuple of a nested payload.
+
+    Envelope tuples (those whose last element is itself a tagged tuple)
+    are rebuilt untouched — this is the authenticated-link contract: the
+    adversary rewrites protocol payloads, not wrapper control tags.
+    Identity is preserved end to end: when ``fn`` leaves the innermost
+    payload alone, the *original* envelope object comes back, so callers
+    can use ``is`` to tell "tampered" from "matched but unchanged".
+    """
+    if (
+        isinstance(payload, tuple)
+        and payload
+        and isinstance(payload[-1], tuple)
+        and payload[-1]
+        and isinstance(payload[-1][0], str)
+    ):
+        inner = _map_innermost(payload[-1], fn)
+        if inner is payload[-1]:
+            return payload
+        return payload[:-1] + (inner,)
+    return fn(payload)
+
+
+class AdversaryRuntime:
+    """Ground-truth Byzantine message state for one run."""
+
+    def __init__(
+        self, plan: AdversaryPlan, n: int, ids: List[int], seed: int, metrics
+    ) -> None:
+        plan.validate_for(n)
+        self.plan = plan
+        self.n = n
+        self.ids = list(ids)
+        self.metrics = metrics
+        self.rng = random.Random(f"adversary:{seed}")
+        self._tampers_left: List[Optional[int]] = [
+            rule.max_tampers for rule in plan.tampers
+        ]
+        # Last payload actually carried by each directed link (replay food).
+        self._link_memory: Dict[Tuple[int, int], Any] = {}
+        self._default_forge_id = (max(ids) + 1) if ids else 1
+
+    # ------------------------------------------------------------------ #
+    # the FaultRuntime-facing hook
+
+    def deliver(self, src: int, dst: int, payload: Any, copies: int) -> List[Any]:
+        """The payloads ``dst`` actually receives for this send.
+
+        ``copies`` is the link-fault verdict (0 = dropped, 2 =
+        duplicated); tampering applies per surviving copy, and a replay
+        rule may append the link's previous payload.  Honest senders
+        pass through untouched (and still feed the replay memory, so a
+        Byzantine replay can regurgitate honest traffic).
+        """
+        if copies <= 0:
+            return []
+        out: List[Any] = []
+        adversarial = self.plan.is_adversarial_sender(src)
+        kinds = payload_kinds(payload) if adversarial else ()
+        last = payload
+        for _ in range(copies):
+            delivered = payload
+            if adversarial:
+                delivered = self._apply_rules(src, dst, kinds, payload)
+            if isinstance(delivered, _ReplayMarker):
+                out.append(delivered.current)
+                out.append(delivered.stale)
+                last = delivered.current
+            else:
+                out.append(delivered)
+                last = delivered
+        self._link_memory[(src, dst)] = last
+        return out
+
+    # ------------------------------------------------------------------ #
+    # rule machinery
+
+    def _apply_rules(
+        self, src: int, dst: int, kinds: Tuple[str, ...], payload: Any
+    ) -> Any:
+        """First matching rule decides this copy's fate (like LinkFaults)."""
+        for i, rule in enumerate(self.plan.tampers):
+            if not rule.matches(src, dst, kinds):
+                continue
+            left = self._tampers_left[i]
+            if left is not None and left <= 0:
+                continue
+            if rule.prob < 1.0 and self.rng.random() >= rule.prob:
+                return payload
+            tampered = self._tamper(rule, src, dst, payload)
+            if tampered is payload:
+                return payload  # nothing to rewrite: not counted, no budget
+            if left is not None:
+                self._tampers_left[i] = left - 1
+            self.metrics.note_tamper(rule.mode)
+            return tampered
+        return payload
+
+    def _tamper(self, rule: TamperRule, src: int, dst: int, payload: Any):
+        if rule.mode == "replay":
+            stale = self._link_memory.get((src, dst))
+            if stale is None:
+                return payload  # first message on the link: nothing to replay
+            return _ReplayMarker(payload, stale)
+        if rule.mode == "corrupt":
+            return _map_innermost(
+                payload, lambda p: _shift_ints(p, rule.magnitude)
+            )
+        if rule.mode == "equivocate":
+            return _map_innermost(
+                payload, lambda p: _shift_ints(p, rule.magnitude * (dst + 1))
+            )
+        # forge: impersonate forge_id wherever the sender named itself
+        forge_id = rule.forge_id if rule.forge_id is not None else self._default_forge_id
+        my_id = self.ids[src]
+        return _map_innermost(payload, lambda p: _swap_ints(p, my_id, forge_id))
+
+
+class _ReplayMarker:
+    """Internal marker: deliver ``current``, then ``stale`` once more."""
+
+    __slots__ = ("current", "stale")
+
+    def __init__(self, current: Any, stale: Any) -> None:
+        self.current = current
+        self.stale = stale
+
+
+def _shift_ints(payload: Any, delta: int) -> Any:
+    """Shift every integer field of a tagged tuple (or bare int) by ``delta``."""
+    if isinstance(payload, tuple):
+        changed = False
+        fields: List[Any] = []
+        for i, value in enumerate(payload):
+            if i > 0 and isinstance(value, int) and not isinstance(value, bool):
+                fields.append(value + delta)
+                changed = True
+            else:
+                fields.append(value)
+        return tuple(fields) if changed else payload
+    if isinstance(payload, int) and not isinstance(payload, bool):
+        return payload + delta
+    return payload
+
+
+def _swap_ints(payload: Any, old: int, new: int) -> Any:
+    """Replace integer fields equal to ``old`` with ``new``."""
+    if isinstance(payload, tuple):
+        changed = False
+        fields = []
+        for value in payload:
+            if isinstance(value, int) and not isinstance(value, bool) and value == old:
+                fields.append(new)
+                changed = True
+            else:
+                fields.append(value)
+        return tuple(fields) if changed else payload
+    if payload == old and isinstance(payload, int) and not isinstance(payload, bool):
+        return new
+    return payload

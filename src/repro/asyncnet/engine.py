@@ -251,13 +251,23 @@ class AsyncNetwork:
         self.metrics.messages_by_kind[kind] += 1
         if self.recorder is not None:
             self.recorder.on_send(self._now, u, port, v, j, payload)
-        copies = 1
-        if self.fault_runtime is not None:
-            for when, node in self.fault_runtime.observe_send(self._now, u, kind):
-                self._push(when, _EVENT_CRASH, node, -1, None)
-            copies = self.fault_runtime.deliveries(u, v, kind, self._now)
-        for _ in range(copies):
+        if self.fault_runtime is None:
             self._push(deliver_at, _EVENT_DELIVER, v, j, payload)
+            return
+        for when, node in self.fault_runtime.observe_send(self._now, u, kind):
+            self._push(when, _EVENT_CRASH, node, -1, None)
+        for delivered in self.fault_runtime.delivered_payloads(
+            u, v, kind, payload, self._now
+        ):
+            # Byzantine rewrites (and replayed stale copies) are traced
+            # separately from the honest on_send record above.
+            if (
+                delivered is not payload
+                and self.recorder is not None
+                and hasattr(self.recorder, "on_tamper")
+            ):
+                self.recorder.on_tamper(self._now, u, v, payload, delivered)
+            self._push(deliver_at, _EVENT_DELIVER, v, j, delivered)
 
     def _set_timer(self, u: int, delay: float, tag: Any) -> None:
         if self._halted[u] or self._crashed[u]:

@@ -19,6 +19,7 @@ from repro.core.improved_tradeoff import ImprovedTradeoffElection
 from repro.core.kutten16 import Kutten16Election
 from repro.core.las_vegas import LasVegasElection
 from repro.core.small_id import SmallIdElection
+from repro.adversary.quorum import QuorumReElectionElection
 from repro.faults.monarchical import MonarchicalElection
 from repro.faults.reelect import ReElectionElection
 
@@ -171,6 +172,16 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             paper_ref="faults: epoch re-election wrapper",
             messages_formula="inner per epoch + (commit_rounds+1)*n' coord",
             time_formula="inner + commit_rounds per epoch",
+        ),
+        AlgorithmSpec(
+            name="quorum_reelect",
+            factory=QuorumReElectionElection,
+            engine="sync",
+            deterministic=False,  # depends on the wrapped inner algorithm
+            wakeup=("simultaneous", "adversarial"),
+            paper_ref="adversary: quorum-safe re-election (f < n/2)",
+            messages_formula="reelect + (n-1) coord fan-out + quorum acks",
+            time_formula="reelect + ack round trip per commit",
         ),
     ]
 }

@@ -7,9 +7,10 @@ synchronous clique as flat numpy arrays — ids, candidate flags and
 per-round message batches — so the paper's tradeoff frontiers can be
 measured at ``n ≥ 10^5`` (see ``benchmarks/bench_fastsync_scale.py``).
 
-Three registry algorithms have vectorized ports (the Theorem 3.10
-tradeoff family, the Afek–Gafni baseline and the Theorem 3.16 Las Vegas
-sampler); each is cross-validated against its object-model twin — same
+Four registry algorithms have vectorized ports (the Theorem 3.10
+tradeoff family, the Afek–Gafni baseline, the Theorem 3.16 Las Vegas
+sampler and the Theorem 3.15 small-ID windows); each is cross-validated
+against its object-model twin — same
 seed, same port map, identical winner and message/round counts — in
 ``tests/test_fastsync_equivalence.py``.  See DESIGN.md ("Fast vectorized
 engine") for the array layout and the equivalence guarantees.
@@ -35,6 +36,7 @@ from repro.fastsync.algorithms import (
     VectorAfekGafniElection,
     VectorImprovedTradeoffElection,
     VectorLasVegasElection,
+    VectorSmallIdElection,
 )
 from repro.fastsync.engine import ArrayPortMap, FastRunResult, FastSyncNetwork
 from repro.fastsync.registry import FAST_ALGORITHMS, get_fast_algorithm
@@ -47,6 +49,7 @@ __all__ = [
     "VectorAfekGafniElection",
     "VectorImprovedTradeoffElection",
     "VectorLasVegasElection",
+    "VectorSmallIdElection",
     "FAST_ALGORITHMS",
     "get_fast_algorithm",
 ]

@@ -1,10 +1,11 @@
-"""Vectorized ports of three registry algorithms.
+"""Vectorized ports of four registry algorithms.
 
 Each port reproduces its object-model twin's round schedule, message
 kinds and survivor logic on index arrays — see the twins' module
 docstrings (:mod:`repro.core.improved_tradeoff`,
-:mod:`repro.core.afek_gafni`, :mod:`repro.core.las_vegas`) for the
-protocol rationale; only the vectorization is documented here.
+:mod:`repro.core.afek_gafni`, :mod:`repro.core.las_vegas`,
+:mod:`repro.core.small_id`) for the protocol rationale; only the
+vectorization is documented here.
 
 Full-fan-out iterations (``m = n - 1``) are never materialized: when a
 survivor contacts *every* peer the referee outcome is analytic — every
@@ -29,6 +30,7 @@ __all__ = [
     "VectorAfekGafniElection",
     "VectorImprovedTradeoffElection",
     "VectorLasVegasElection",
+    "VectorSmallIdElection",
 ]
 
 #: Cap on temporary row elements per scatter/gather chunk (keeps peak
@@ -219,6 +221,58 @@ class VectorAfekGafniElection(VectorAlgorithm):
         if n >= 2:
             net.tick()  # round 2K+2: followers receive the announcement
         net.decide(candidates.tolist())
+
+
+class VectorSmallIdElection(VectorAlgorithm):
+    """Vectorized Algorithm 1 / Theorem 3.15 (twin: ``small_id``).
+
+    The object twin's round structure is embarrassingly data-parallel:
+    the ID range is cut into windows of width ``d·g``; rounds tick
+    silently until the first window that contains an ID, whose members
+    broadcast their ballots; everyone decides on the minimum ballot one
+    round later.  The port alone is a one-liner over the id array —
+    ``w = min((ids + d·g - 1) // (d·g))`` — which makes ``small_id`` the
+    cheapest vectorized algorithm in the registry: zero messages until
+    the deciding window, then one ``O(b·n)`` accounting step for the
+    ``b ≤ d·g`` broadcasters.  Matches the twin bit for bit in exact
+    mode: same rounds, same message counts, same winner
+    (``tests/test_fastsync_small_id.py``).
+    """
+
+    name = "small_id"
+
+    BALLOT = "ballot"
+
+    def __init__(self, d: int, g: int = 1) -> None:
+        if d < 1:
+            raise ValueError("need d >= 1")
+        if g < 1:
+            raise ValueError("need integer g >= 1")
+        self.d = d
+        self.g = g
+
+    def run(self, net) -> None:
+        n, ids = net.n, net.ids
+        if self.d > n:
+            raise ValueError("need d <= n")
+        if int(ids.min()) < 1 or int(ids.max()) > n * self.g:
+            raise ValueError(
+                f"Algorithm 1 requires IDs in [1, n*g] = [1, {n * self.g}]; "
+                f"got {int(ids.min() if ids.min() < 1 else ids.max())}"
+            )
+        width = self.d * self.g
+        windows = (ids + width - 1) // width
+        opening = int(windows.min())
+        # Rounds 1 .. opening-1 are silent; the window's members
+        # broadcast in round ``opening`` and everyone decides in the
+        # round after, exactly like the per-node twin.
+        for _ in range(opening):
+            net.tick()
+        broadcasters = np.nonzero(windows == opening)[0]
+        net.count_messages(len(broadcasters) * (n - 1), self.BALLOT)
+        net.tick()
+        winner = int(broadcasters[int(np.argmin(ids[broadcasters]))])
+        net.decide([winner])
 
 
 class VectorLasVegasElection(VectorAlgorithm):

@@ -16,6 +16,7 @@ from repro.fastsync.algorithms import (
     VectorAfekGafniElection,
     VectorImprovedTradeoffElection,
     VectorLasVegasElection,
+    VectorSmallIdElection,
 )
 
 __all__ = ["FAST_ALGORITHMS", "get_fast_algorithm"]
@@ -24,6 +25,7 @@ FAST_ALGORITHMS: Dict[str, Callable[..., VectorAlgorithm]] = {
     "improved_tradeoff": VectorImprovedTradeoffElection,
     "afek_gafni": VectorAfekGafniElection,
     "las_vegas": VectorLasVegasElection,
+    "small_id": VectorSmallIdElection,
 }
 
 

@@ -68,6 +68,7 @@ class FailureDetector:
         port_map=None,
         lag: float = 1.0,
         partitions: Tuple = (),
+        slanders: Tuple = (),
     ) -> None:
         self.node = node
         self.ids = list(ids)
@@ -76,6 +77,7 @@ class FailureDetector:
         self.port_map = port_map
         self.lag = lag
         self.partitions = tuple(partitions)
+        self.slanders = tuple(slanders)
 
     # ------------------------------------------------------------------ #
     # the oracle interface algorithms use
@@ -134,6 +136,13 @@ class FailureDetector:
                 times.append(mask.start + self.lag)
             if mask.end is not None and mask.end + self.lag <= now:
                 times.append(mask.end + self.lag)
+        for window in self.slanders:
+            if self._slander_dead(window):
+                continue
+            if window.start + self.lag <= now:
+                times.append(window.start + self.lag)
+            if window.end is not None and window.end + self.lag <= now:
+                times.append(window.end + self.lag)
         return max(times, default=0.0)
 
     # ------------------------------------------------------------------ #
@@ -159,9 +168,40 @@ class FailureDetector:
                     suspected.add(peer)
         return frozenset(suspected)
 
+    def _slander_dead(self, window) -> bool:
+        """Whether the accuser crashed before its rumor could spread."""
+        if self.runtime is None:
+            return False
+        crashed = self.runtime.crashed_at.get(window.accuser)
+        return crashed is not None and crashed <= window.start
+
+    def _slander_suspect_indices(self, now: float) -> FrozenSet[int]:
+        """Alive peers falsely suspected through an active slander window.
+
+        The rumor is believed network-wide for the lag-shifted window —
+        a timeout detector cannot refute a unilateral "X is dead" claim
+        — except by the victims themselves, who keep trusting their own
+        pulse.  A slander dies with its accuser: windows whose accuser
+        crashed at or before their start never open.
+        """
+        if not self.slanders:
+            return frozenset()
+        suspected = set()
+        for window in self.slanders:
+            if not window.active(now, self.lag) or self._slander_dead(window):
+                continue
+            for victim in window.victims:
+                if victim != self.node and victim < len(self.ids):
+                    suspected.add(victim)
+        return frozenset(suspected)
+
     def _all_suspect_indices(self, now: float) -> FrozenSet[int]:
-        """Crash/noise suspicions plus partition separations."""
-        return self._suspect_indices(now) | self._partition_suspect_indices(now)
+        """Crash/noise suspicions plus partition separations plus slander."""
+        return (
+            self._suspect_indices(now)
+            | self._partition_suspect_indices(now)
+            | self._slander_suspect_indices(now)
+        )
 
     def _crashed_indices(self, now: float) -> FrozenSet[int]:
         """Crashes old enough to have been detected (crash + lag <= now)."""
@@ -200,9 +240,11 @@ class EventuallyPerfectDetector(FailureDetector):
         noise_horizon: float = 0.0,
         false_prob: float = 0.0,
         partitions: Tuple = (),
+        slanders: Tuple = (),
     ) -> None:
         super().__init__(
-            node, ids, runtime=runtime, port_map=port_map, lag=lag, partitions=partitions
+            node, ids, runtime=runtime, port_map=port_map, lag=lag,
+            partitions=partitions, slanders=slanders,
         )
         self.noise_horizon = noise_horizon
         self.false_prob = false_prob
@@ -246,8 +288,10 @@ def engine_detector(
     """
     spec = plan.detector if plan is not None else DetectorSpec()
     partitions = plan.partitions if plan is not None else ()
+    slanders = plan.slanders if plan is not None else ()
     return make_detector(
-        spec, node, ids, runtime, port_map=port_map, partitions=partitions
+        spec, node, ids, runtime, port_map=port_map, partitions=partitions,
+        slanders=slanders,
     )
 
 
@@ -258,12 +302,13 @@ def make_detector(
     runtime: Optional[FaultRuntime],
     port_map=None,
     partitions: Tuple = (),
+    slanders: Tuple = (),
 ) -> FailureDetector:
     """Instantiate the oracle described by a :class:`DetectorSpec`."""
     if spec.kind == "perfect":
         return PerfectDetector(
             node, ids, runtime=runtime, port_map=port_map, lag=spec.lag,
-            partitions=partitions,
+            partitions=partitions, slanders=slanders,
         )
     return EventuallyPerfectDetector(
         node,
@@ -274,4 +319,5 @@ def make_detector(
         noise_horizon=spec.noise_horizon,
         false_prob=spec.false_prob,
         partitions=partitions,
+        slanders=slanders,
     )

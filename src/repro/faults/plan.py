@@ -18,7 +18,7 @@ deliveries); on the asynchronous engine ``at`` is a timestamp.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
     "CrashFault",
@@ -233,6 +233,12 @@ class FaultPlan:
     to pin a known survivor in adversarial sweeps).  Independently of
     ``protect``, the runtime refuses any crash that would leave zero
     alive nodes.
+
+    ``adversary`` optionally attaches a Byzantine
+    :class:`~repro.adversary.plan.AdversaryPlan` — message tampering and
+    detector slander on top of the crash/omission schedule.  The import
+    is deferred so the crash-only fault layer keeps zero dependencies on
+    the adversary package.
     """
 
     crashes: Tuple[CrashFault, ...] = ()
@@ -241,6 +247,7 @@ class FaultPlan:
     policies: Tuple[LeaderKillPolicy, ...] = ()
     detector: DetectorSpec = field(default_factory=DetectorSpec)
     protect: Tuple[int, ...] = ()
+    adversary: Optional[Any] = None
 
     def __post_init__(self) -> None:
         seen = set()
@@ -250,6 +257,14 @@ class FaultPlan:
             seen.add(crash.node)
         if seen & set(self.protect):
             raise ValueError("a node cannot be both protected and scheduled to crash")
+        if self.adversary is not None:
+            from repro.adversary.plan import AdversaryPlan
+
+            if not isinstance(self.adversary, AdversaryPlan):
+                raise ValueError(
+                    "FaultPlan.adversary must be a repro.adversary.AdversaryPlan, "
+                    f"got {type(self.adversary).__name__}"
+                )
 
     @property
     def has_link_faults(self) -> bool:
@@ -258,6 +273,15 @@ class FaultPlan:
     @property
     def has_partitions(self) -> bool:
         return bool(self.partitions)
+
+    @property
+    def has_adversary(self) -> bool:
+        return self.adversary is not None
+
+    @property
+    def slanders(self) -> Tuple:
+        """The adversary's slander windows (empty without an adversary)."""
+        return self.adversary.slanders if self.adversary is not None else ()
 
     def validate_for(self, n: int) -> None:
         """Check node indices against a concrete clique size."""
@@ -280,3 +304,5 @@ class FaultPlan:
                         raise ValueError(
                             f"partition component member {u} out of range for n={n}"
                         )
+        if self.adversary is not None:
+            self.adversary.validate_for(n)

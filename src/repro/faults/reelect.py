@@ -195,6 +195,7 @@ class ReElectionElection(SyncAlgorithm):
         self.commit_left: Optional[int] = None
         self.pending_coord_round: Optional[int] = None
         self.leader_hint: Optional[int] = None
+        self.abstained = False
         self.epochs_run = 0
         self.attempts_run = 0
 
@@ -205,12 +206,57 @@ class ReElectionElection(SyncAlgorithm):
         # Announce over the survivor ports; activate my own tentative
         # one round later, in lockstep with the followers receiving it.
         assert self.proxy is not None
-        ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+        ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
         self.pending_coord_round = ctx.round + 1
 
     def _inner_followed(self, leader_id: Optional[int]) -> None:
         if leader_id is not None:
             self.leader_hint = leader_id
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks (the quorum wrapper overrides these; see
+    # repro.adversary.quorum for the Byzantine-tolerant variant)
+
+    def _coord_ports(self):
+        """Real ports the coord broadcast travels over (base: survivors)."""
+        return self.proxy._v2r
+
+    def _admit_epoch(self, ctx) -> bool:
+        """Whether this node may elect in the freshly started epoch.
+
+        Called after the survivor sub-clique is built but before the
+        inner algorithm wakes; returning ``False`` makes the node
+        abstain — it decides NON_LEADER (naming nobody) and halts.  The
+        base wrapper always runs the election; the quorum wrapper gates
+        on majority membership.
+        """
+        return True
+
+    def _commit_ready(self, ctx) -> bool:
+        """Whether the commit countdown may advance this round (base: yes)."""
+        return True
+
+    def _handle_coord(self, ctx, port: int, payload) -> None:
+        """React to a coord announcement (base: adopt same-epoch leaders)."""
+        _tag, epoch, leader_id = payload
+        if epoch == self.epoch and self.tentative is None:
+            self.tentative = leader_id
+            self.commit_left = self.commit_rounds
+
+    def _handle_extra(self, ctx, port: int, payload) -> None:
+        """React to wrapper-level kinds beyond TAG/COORD (base: none)."""
+
+    def _abstain(self, ctx) -> None:
+        """Opt out of the current run: no leader can be elected here."""
+        self.abstained = True
+        self.inner = None
+        self.inner_halted = True
+        self.tentative = None
+        self.commit_left = None
+        self.pending_coord_round = None
+        if ctx.decision is None:
+            ctx.decide_follower(None)
+        ctx.halt()
 
     # ------------------------------------------------------------------ #
     # epoch machinery
@@ -250,6 +296,9 @@ class ReElectionElection(SyncAlgorithm):
         live = ctx.detector.live_ports(ctx.round)
         self.proxy = _SyncSubClique(self, ctx, live)
         self._r2v = {real: v for v, real in enumerate(live)}
+        if not self._admit_epoch(ctx):
+            self._abstain(ctx)
+            return
         if self.proxy.n == 1:
             # Sole survivor: nothing to elect.
             self.inner = None
@@ -288,6 +337,8 @@ class ReElectionElection(SyncAlgorithm):
         suspects = ctx.detector.suspects(ctx.round)
         if len(suspects) > self.epoch:
             self._restart(ctx, suspects)
+        if self.abstained:
+            return
         # Activate my own leadership announcement (symmetric with the
         # round in which followers receive the coord broadcast).
         if (
@@ -316,26 +367,31 @@ class ReElectionElection(SyncAlgorithm):
                     if virtual is not None:
                         inner_inbox.append((virtual, inner_payload))
             elif kind == COORD:
-                _tag, epoch, leader_id = payload
-                if epoch == self.epoch and self.tentative is None:
-                    self.tentative = leader_id
-                    self.commit_left = self.commit_rounds
+                self._handle_coord(ctx, port, payload)
+            else:
+                self._handle_extra(ctx, port, payload)
         if self.inner is not None and not self.inner_halted:
             self.proxy.round = ctx.round - self.attempt_start + 1
             self.inner.on_round(self.proxy, inner_inbox)
         # Commit countdown: crash-free rounds since the announcement.
+        # The countdown only advances while _commit_ready holds (always,
+        # for the base wrapper; quorum-satisfied, for the quorum one) —
+        # a stalled countdown keeps retransmitting so missing acks or
+        # lost coords can still arrive.
         if self.commit_left is not None:
-            self.commit_left -= 1
-            if self.commit_left <= 0:
-                if self.tentative == ctx.my_id:
-                    # Final retransmit at commit: a follower that lost
-                    # every window copy still learns the leader.
-                    ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
-                    ctx.decide_leader()
-                else:
-                    ctx.decide_follower(self.tentative)
-                ctx.halt()
-            elif self.tentative == ctx.my_id:
+            if self._commit_ready(ctx):
+                self.commit_left -= 1
+                if self.commit_left <= 0:
+                    if self.tentative == ctx.my_id:
+                        # Final retransmit at commit: a follower that lost
+                        # every window copy still learns the leader.
+                        ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
+                        ctx.decide_leader()
+                    else:
+                        ctx.decide_follower(self.tentative)
+                    ctx.halt()
+                    return
+            if self.commit_left > 0 and self.tentative == ctx.my_id:
                 # Bounded retransmit (commit_rounds - 1 copies): the links
                 # are not assumed reliable, so the coord broadcast is
                 # repeated every commit-window round.  Any single lost
@@ -344,7 +400,7 @@ class ReElectionElection(SyncAlgorithm):
                 # that never learns its leader (ROADMAP: message-loss-
                 # tolerant re-election).  Followers treat duplicates as
                 # no-ops, so retransmits only cost messages.
-                ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+                ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
 
 
 # --------------------------------------------------------------------- #
@@ -464,7 +520,7 @@ class AsyncReElectionElection(AsyncAlgorithm):
 
     def _inner_elected(self, ctx) -> None:
         assert self.proxy is not None
-        ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+        ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
         self._arm_commit(ctx, ctx.my_id)
 
     def _inner_followed(self, leader_id: Optional[int]) -> None:
@@ -475,6 +531,43 @@ class AsyncReElectionElection(AsyncAlgorithm):
         self.tentative = leader_id
         self.commit_token = (self.epoch, leader_id)
         ctx.set_timer(self.commit_delay, (self.COMMIT, self.epoch, leader_id))
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks (see ReElectionElection and repro.adversary.quorum)
+
+    def _coord_ports(self):
+        """Real ports the coord broadcast travels over (base: survivors)."""
+        return self.proxy._v2r
+
+    def _admit_epoch(self, ctx) -> bool:
+        """Whether this node may elect in the freshly started epoch."""
+        return True
+
+    def _commit_ready(self, ctx) -> bool:
+        """Whether a due commit timer may fire the commit (base: yes)."""
+        return True
+
+    def _handle_coord(self, ctx, port: int, payload) -> None:
+        """React to a coord announcement (base: adopt same-epoch leaders)."""
+        _tag, epoch, leader_id = payload
+        if epoch > self.epoch:
+            self._check_epoch(ctx)
+        if epoch == self.epoch and self.tentative is None:
+            self._arm_commit(ctx, leader_id)
+
+    def _handle_extra(self, ctx, port: int, payload) -> None:
+        """React to wrapper-level kinds beyond TAG/COORD (base: none)."""
+
+    def _abstain(self, ctx) -> None:
+        """Opt out of the current run: no leader can be elected here."""
+        self.done = True
+        self.inner = None
+        self.inner_halted = True
+        self.tentative = None
+        self.commit_token = None
+        if ctx.decision is None:
+            ctx.decide_follower(None)
+        ctx.halt()
 
     # ------------------------------------------------------------------ #
     # epoch machinery
@@ -500,6 +593,9 @@ class AsyncReElectionElection(AsyncAlgorithm):
         live = ctx.detector.live_ports(ctx.now)
         self.proxy = _AsyncSubClique(self, ctx, live)
         self._r2v = {real: v for v, real in enumerate(live)}
+        if not self._admit_epoch(ctx):
+            self._abstain(ctx)
+            return
         if self.proxy.n == 1:
             self.inner = None
             self.inner_halted = True
@@ -519,7 +615,8 @@ class AsyncReElectionElection(AsyncAlgorithm):
 
     def on_wake(self, ctx) -> None:
         self._restart(ctx, ctx.detector.suspects(ctx.now))
-        ctx.set_timer(self.poll_interval, self.POLL)
+        if not self.done:  # an abstaining node halts at wake
+            ctx.set_timer(self.poll_interval, self.POLL)
 
     def on_message(self, ctx, port: int, payload: Any) -> None:
         if self.done:
@@ -529,6 +626,8 @@ class AsyncReElectionElection(AsyncAlgorithm):
             _tag, epoch, attempt, inner_payload = payload
             if epoch > self.epoch:
                 self._check_epoch(ctx)
+                if self.done:
+                    return
             if epoch == self.epoch:
                 if (
                     attempt > self.attempt
@@ -541,17 +640,17 @@ class AsyncReElectionElection(AsyncAlgorithm):
                     if virtual is not None:
                         self.inner.on_message(self.proxy, virtual, inner_payload)
         elif kind == COORD:
-            _tag, epoch, leader_id = payload
-            if epoch > self.epoch:
-                self._check_epoch(ctx)
-            if epoch == self.epoch and self.tentative is None:
-                self._arm_commit(ctx, leader_id)
+            self._handle_coord(ctx, port, payload)
+        else:
+            self._handle_extra(ctx, port, payload)
 
     def on_timer(self, ctx, tag: Any) -> None:
         if self.done:
             return
         if tag == self.POLL:
             self._check_epoch(ctx)
+            if self.done:  # an epoch restart may have ended in abstention
+                return
             if self.commit_token is not None and self.commit_token == (
                 self.epoch,
                 ctx.my_id,
@@ -559,7 +658,7 @@ class AsyncReElectionElection(AsyncAlgorithm):
                 # Bounded retransmit while my commit timer runs (at most
                 # commit_delay / poll_interval copies) — the async twin of
                 # the sync wrapper's lossy-link guard.
-                ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+                ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
             ctx.set_timer(self.poll_interval, self.POLL)
             return
         if isinstance(tag, tuple) and tag[0] == self.RESTART:
@@ -578,10 +677,18 @@ class AsyncReElectionElection(AsyncAlgorithm):
             if self.commit_token != (epoch, leader_id) or epoch != self.epoch:
                 return  # aborted by an epoch restart
             self._check_epoch(ctx)
+            if self.done:
+                return
             if self.commit_token != (epoch, leader_id) or epoch != self.epoch:
                 return
+            if leader_id == ctx.my_id and not self._commit_ready(ctx):
+                # Quorum pending: retransmit the coord (re-soliciting
+                # acks lost to drops) and re-arm the commit timer.
+                ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
+                ctx.set_timer(self.commit_delay, tag)
+                return
             if leader_id == ctx.my_id:
-                ctx.send_many(self.proxy._v2r, (COORD, self.epoch, ctx.my_id))
+                ctx.send_many(self._coord_ports(), (COORD, self.epoch, ctx.my_id))
                 ctx.decide_leader()
             else:
                 ctx.decide_follower(leader_id)

@@ -40,12 +40,21 @@ class FaultMetrics:
     dropped_messages: int = 0
     duplicated_messages: int = 0
     partition_blocked: int = 0
+    # Byzantine accounting: total altered sends plus a per-mode breakdown
+    # (corrupt/forge/replay/equivocate), filled by the AdversaryRuntime.
+    tampered_messages: int = 0
+    tampered_by_mode: Dict[str, int] = field(default_factory=dict)
     # node index -> (crash time, first time any alive node suspected it)
     first_suspected: Dict[int, float] = field(default_factory=dict)
 
     @property
     def crash_count(self) -> int:
         return len(self.crashes)
+
+    def note_tamper(self, mode: str) -> None:
+        """Record one Byzantine message alteration of ``mode``."""
+        self.tampered_messages += 1
+        self.tampered_by_mode[mode] = self.tampered_by_mode.get(mode, 0) + 1
 
     def detection_latencies(self, crashed_at: Dict[int, float]) -> List[float]:
         """Measured crash→first-suspicion latency per detected crash."""
@@ -59,7 +68,8 @@ class FaultMetrics:
         return (
             f"crashes={self.crash_count} policy_kills={len(self.policy_kills)} "
             f"dropped={self.dropped_messages} duplicated={self.duplicated_messages} "
-            f"partition_blocked={self.partition_blocked}"
+            f"partition_blocked={self.partition_blocked} "
+            f"tampered={self.tampered_messages}"
         )
 
 
@@ -85,6 +95,15 @@ class FaultRuntime:
         self._kill_marked: set = set()  # nodes already targeted by a policy
         # Per-link-rule remaining drop budget (None = unbounded).
         self._drops_left: List[Optional[int]] = [rule.max_drops for rule in plan.links]
+        self.adversary = None
+        if plan.adversary is not None:
+            # Deferred import: the crash-only fault layer stays free of
+            # the adversary package unless a plan actually carries one.
+            from repro.adversary.runtime import AdversaryRuntime
+
+            self.adversary = AdversaryRuntime(
+                plan.adversary, n, self.ids, seed, self.metrics
+            )
 
     # ------------------------------------------------------------------ #
     # ground truth queries
@@ -192,6 +211,23 @@ class FaultRuntime:
                 return 2
             return 1
         return 1
+
+    def delivered_payloads(
+        self, src: int, dst: int, kind: str, payload, now: float = 0.0
+    ):
+        """The payload list ``dst`` receives for this send (tamper-aware).
+
+        Composes :meth:`deliveries` (partitions + stochastic link rules
+        decide how many copies survive) with the Byzantine
+        :class:`~repro.adversary.runtime.AdversaryRuntime` (which may
+        rewrite each surviving copy, or append a replayed stale one).
+        Engines call this instead of :meth:`deliveries`; without an
+        adversary it degenerates to ``[payload] * copies``.
+        """
+        copies = self.deliveries(src, dst, kind, now)
+        if self.adversary is None:
+            return [payload] * copies
+        return self.adversary.deliver(src, dst, payload, copies)
 
     # ------------------------------------------------------------------ #
     # detector support

@@ -27,11 +27,18 @@ from repro.scenarios.events import (
     PartitionEvent,
     RecoverEvent,
     Scenario,
+    SlanderEvent,
     crash,
     elect,
     join,
     partition,
     recover,
+    slander,
+)
+from repro.scenarios.dsl import (
+    ScenarioSchemaError,
+    scenario_from_json,
+    scenario_to_json,
 )
 from repro.scenarios.library import NAMED_SCENARIOS, get_scenario
 from repro.scenarios.metrics import (
@@ -55,12 +62,17 @@ __all__ = [
     "JoinEvent",
     "PartitionEvent",
     "ElectEvent",
+    "SlanderEvent",
     "Scenario",
     "crash",
     "recover",
     "join",
     "partition",
     "elect",
+    "slander",
+    "ScenarioSchemaError",
+    "scenario_from_json",
+    "scenario_to_json",
     "NAMED_SCENARIOS",
     "get_scenario",
     "EpochRecord",

@@ -1,0 +1,341 @@
+"""JSON serialization for scenario timelines (the file-based DSL).
+
+The ROADMAP asks for a "scenario DSL from JSON/YAML files": this module
+is the JSON half (YAML would be an extra dependency; JSON is stdlib and
+round-trips losslessly).  ``repro scenarios run path.json`` loads a
+timeline from disk through :func:`scenario_from_json`, and
+:func:`scenario_to_json` writes any :class:`~repro.scenarios.Scenario`
+— library-built or hand-made — back out, with an exact round-trip
+guarantee (``tests/test_scenario_dsl.py``).
+
+Schema (all times are engine time units; node references are initial
+node indices, or the symbolic strings the event model already accepts):
+
+.. code-block:: json
+
+    {
+      "name": "my_timeline",
+      "description": "optional",
+      "membership_policy": "leader_loss",
+      "min_n": 2,
+      "events": [
+        {"type": "crash",     "node": 3,           "at": 10.0},
+        {"type": "crash",     "node": "leader",    "at": 40.0},
+        {"type": "recover",   "node": "last_crashed", "at": 60.0},
+        {"type": "join",      "at": 80.0, "node_id": 99},
+        {"type": "partition", "components": [[0, 1], [2, 3]],
+                              "start": 100.0, "end": 140.0},
+        {"type": "elect",     "at": 160.0},
+        {"type": "slander",   "accuser": 0, "victim": "leader",
+                              "at": 180.0, "duration": 50.0}
+      ],
+      "kill_policy": {"delay": 1.0, "max_kills": 2},
+      "link_faults": [{"drop_prob": 0.05}],
+      "adversary": {
+        "byzantine": [0],
+        "tampers":  [{"mode": "forge", "kinds": ["compete"]}],
+        "slanders": [{"accuser": 0, "victims": [5], "start": 5.0, "end": 50.0}]
+      }
+    }
+
+Schema violations raise :class:`ScenarioSchemaError` carrying the JSON
+path of the offending field (``events[2].node: ...``), so a typo in a
+hand-written timeline points at itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.faults.plan import LeaderKillPolicy, LinkFaults
+from repro.scenarios.events import (
+    CrashEvent,
+    ElectEvent,
+    JoinEvent,
+    PartitionEvent,
+    RecoverEvent,
+    Scenario,
+    SlanderEvent,
+)
+
+__all__ = ["ScenarioSchemaError", "scenario_from_json", "scenario_to_json"]
+
+
+class ScenarioSchemaError(ValueError):
+    """A scenario JSON document violates the schema (path included)."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise ScenarioSchemaError(f"{path}: {message}")
+
+
+def _require(data: Dict[str, Any], key: str, path: str) -> Any:
+    if key not in data:
+        _fail(path, f"missing required field {key!r}")
+    return data[key]
+
+
+def _check_keys(data: Dict[str, Any], allowed: Tuple[str, ...], path: str) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        _fail(
+            path,
+            f"unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}",
+        )
+
+
+def _as_dict(value: Any, path: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        _fail(path, f"expected an object, got {type(value).__name__}")
+    return value
+
+
+def _as_list(value: Any, path: str) -> List[Any]:
+    if not isinstance(value, list):
+        _fail(path, f"expected an array, got {type(value).__name__}")
+    return value
+
+
+def _build(cls, kwargs: Dict[str, Any], path: str):
+    """Instantiate a frozen model class, re-raising with the JSON path."""
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioSchemaError(f"{path}: {exc}") from None
+
+
+# --------------------------------------------------------------------- #
+# loading
+
+_EVENT_FIELDS = {
+    "crash": ("type", "node", "at"),
+    "recover": ("type", "node", "at"),
+    "join": ("type", "at", "node_id"),
+    "partition": ("type", "components", "start", "end"),
+    "elect": ("type", "at"),
+    "slander": ("type", "accuser", "victim", "at", "duration"),
+}
+
+
+def _event_from(data: Dict[str, Any], path: str):
+    kind = _require(data, "type", path)
+    if kind not in _EVENT_FIELDS:
+        _fail(path, f"unknown event type {kind!r}; known: {sorted(_EVENT_FIELDS)}")
+    _check_keys(data, _EVENT_FIELDS[kind], path)
+    body = {k: v for k, v in data.items() if k != "type"}
+    if kind == "crash":
+        _require(data, "node", path)
+        return _build(CrashEvent, body, path)
+    if kind == "recover":
+        _require(data, "node", path)
+        return _build(RecoverEvent, body, path)
+    if kind == "join":
+        return _build(JoinEvent, body, path)
+    if kind == "partition":
+        comps = _as_list(_require(data, "components", path), f"{path}.components")
+        body["components"] = tuple(
+            tuple(_as_list(c, f"{path}.components[{i}]")) for i, c in enumerate(comps)
+        )
+        return _build(PartitionEvent, body, path)
+    if kind == "elect":
+        return _build(ElectEvent, body, path)
+    return _build(SlanderEvent, body, path)
+
+
+def _kill_policy_from(data: Dict[str, Any], path: str) -> LeaderKillPolicy:
+    _check_keys(data, ("kinds", "delay", "max_kills"), path)
+    if "kinds" in data:
+        data = dict(data, kinds=tuple(_as_list(data["kinds"], f"{path}.kinds")))
+    return _build(LeaderKillPolicy, data, path)
+
+
+def _link_fault_from(data: Dict[str, Any], path: str) -> LinkFaults:
+    _check_keys(
+        data, ("drop_prob", "duplicate_prob", "src", "dst", "kinds", "max_drops"), path
+    )
+    if data.get("kinds") is not None:
+        data = dict(data, kinds=tuple(_as_list(data["kinds"], f"{path}.kinds")))
+    return _build(LinkFaults, data, path)
+
+
+def _adversary_from(data: Dict[str, Any], path: str):
+    from repro.adversary.plan import AdversaryPlan, SlanderWindow, TamperRule
+
+    _check_keys(data, ("byzantine", "tampers", "slanders"), path)
+    tampers = []
+    for i, entry in enumerate(_as_list(data.get("tampers", []), f"{path}.tampers")):
+        entry = _as_dict(entry, f"{path}.tampers[{i}]")
+        _check_keys(
+            entry,
+            ("mode", "prob", "src", "dst", "kinds", "magnitude", "forge_id",
+             "max_tampers"),
+            f"{path}.tampers[{i}]",
+        )
+        if entry.get("kinds") is not None:
+            entry = dict(
+                entry,
+                kinds=tuple(_as_list(entry["kinds"], f"{path}.tampers[{i}].kinds")),
+            )
+        tampers.append(_build(TamperRule, entry, f"{path}.tampers[{i}]"))
+    slanders = []
+    for i, entry in enumerate(_as_list(data.get("slanders", []), f"{path}.slanders")):
+        entry = _as_dict(entry, f"{path}.slanders[{i}]")
+        _check_keys(
+            entry, ("accuser", "victims", "start", "end"), f"{path}.slanders[{i}]"
+        )
+        if "victims" in entry:
+            entry = dict(
+                entry,
+                victims=tuple(
+                    _as_list(entry["victims"], f"{path}.slanders[{i}].victims")
+                ),
+            )
+        slanders.append(_build(SlanderWindow, entry, f"{path}.slanders[{i}]"))
+    byzantine = tuple(_as_list(data.get("byzantine", []), f"{path}.byzantine"))
+    return _build(
+        AdversaryPlan,
+        {"byzantine": byzantine, "tampers": tuple(tampers), "slanders": tuple(slanders)},
+        path,
+    )
+
+
+_TOP_FIELDS = (
+    "name",
+    "description",
+    "membership_policy",
+    "min_n",
+    "events",
+    "kill_policy",
+    "link_faults",
+    "adversary",
+)
+
+
+def scenario_from_json(source: Union[str, Dict[str, Any]]) -> Scenario:
+    """Parse a scenario from a JSON document.
+
+    ``source`` may be an already-parsed dict, a path to a ``.json``
+    file, or a raw JSON string (anything that starts with ``{``).
+    """
+    if isinstance(source, str):
+        if source.lstrip().startswith("{"):
+            try:
+                source = json.loads(source)
+            except json.JSONDecodeError as exc:
+                raise ScenarioSchemaError(f"invalid JSON: {exc}") from None
+        else:
+            if not os.path.isfile(source):
+                raise ScenarioSchemaError(f"no such scenario file: {source}")
+            try:
+                with open(source) as fh:
+                    source = json.load(fh)
+            except OSError as exc:
+                raise ScenarioSchemaError(f"cannot read scenario file: {exc}") from None
+            except json.JSONDecodeError as exc:
+                raise ScenarioSchemaError(f"{source}: invalid JSON: {exc}") from None
+    data = _as_dict(source, "$")
+    _check_keys(data, _TOP_FIELDS, "$")
+    name = _require(data, "name", "$")
+    if not isinstance(name, str) or not name:
+        _fail("$.name", "must be a nonempty string")
+    events = []
+    for i, entry in enumerate(_as_list(data.get("events", []), "$.events")):
+        events.append(_event_from(_as_dict(entry, f"$.events[{i}]"), f"$.events[{i}]"))
+    kill_policy = None
+    if data.get("kill_policy") is not None:
+        kill_policy = _kill_policy_from(
+            _as_dict(data["kill_policy"], "$.kill_policy"), "$.kill_policy"
+        )
+    link_faults = tuple(
+        _link_fault_from(_as_dict(entry, f"$.link_faults[{i}]"), f"$.link_faults[{i}]")
+        for i, entry in enumerate(_as_list(data.get("link_faults", []), "$.link_faults"))
+    )
+    adversary = None
+    if data.get("adversary") is not None:
+        adversary = _adversary_from(
+            _as_dict(data["adversary"], "$.adversary"), "$.adversary"
+        )
+    return _build(
+        Scenario,
+        {
+            "name": name,
+            "description": data.get("description", ""),
+            "events": tuple(events),
+            "membership_policy": data.get("membership_policy", "leader_loss"),
+            "kill_policy": kill_policy,
+            "link_faults": link_faults,
+            "adversary": adversary,
+            "min_n": data.get("min_n", 2),
+        },
+        "$",
+    )
+
+
+# --------------------------------------------------------------------- #
+# dumping
+
+_EVENT_TYPES = {
+    CrashEvent: "crash",
+    RecoverEvent: "recover",
+    JoinEvent: "join",
+    PartitionEvent: "partition",
+    ElectEvent: "elect",
+    SlanderEvent: "slander",
+}
+
+
+def _clean(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop ``None`` fields (they are all optional in the schema)."""
+    return {k: v for k, v in data.items() if v is not None}
+
+
+def _listify(value: Any) -> Any:
+    """Tuples -> lists, recursively (JSON has no tuples)."""
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    return value
+
+
+def scenario_to_json(scenario: Scenario) -> Dict[str, Any]:
+    """The JSON document for a scenario (inverse of :func:`scenario_from_json`)."""
+    events = []
+    for event in scenario.events:
+        body = {k: _listify(v) for k, v in _clean(asdict(event)).items()}
+        events.append({"type": _EVENT_TYPES[type(event)], **body})
+    doc: Dict[str, Any] = {
+        "name": scenario.name,
+        "description": scenario.description,
+        "membership_policy": scenario.membership_policy,
+        "min_n": scenario.min_n,
+        "events": events,
+    }
+    if scenario.kill_policy is not None:
+        doc["kill_policy"] = {
+            k: _listify(v) for k, v in asdict(scenario.kill_policy).items()
+        }
+    if scenario.link_faults:
+        doc["link_faults"] = [
+            _clean({k: _listify(v) for k, v in asdict(rule).items()})
+            for rule in scenario.link_faults
+        ]
+    if scenario.adversary is not None:
+        plan = scenario.adversary
+        doc["adversary"] = _clean(
+            {
+                "byzantine": _listify(plan.byzantine),
+                "tampers": [
+                    _clean({k: _listify(v) for k, v in asdict(rule).items()})
+                    for rule in plan.tampers
+                ]
+                or None,
+                "slanders": [
+                    _clean({k: _listify(v) for k, v in asdict(window).items()})
+                    for window in plan.slanders
+                ]
+                or None,
+            }
+        )
+    return doc

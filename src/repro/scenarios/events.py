@@ -49,12 +49,14 @@ __all__ = [
     "JoinEvent",
     "PartitionEvent",
     "ElectEvent",
+    "SlanderEvent",
     "Scenario",
     "crash",
     "recover",
     "join",
     "partition",
     "elect",
+    "slander",
 ]
 
 #: Symbolic crash target: the currently agreed leader at fire time.
@@ -152,7 +154,44 @@ class ElectEvent:
         _check_at(self.at)
 
 
-Event = Union[CrashEvent, RecoverEvent, JoinEvent, PartitionEvent, ElectEvent]
+@dataclass(frozen=True)
+class SlanderEvent:
+    """Byzantine ``accuser`` slanders ``victim`` as dead at ``at``.
+
+    The victim may be a concrete node index or the symbolic
+    :data:`LEADER` ("assassinate the reign by rumor").  The rumor is
+    believed for ``duration`` time units *inside the triggered act*: the
+    runner starts a re-election act at ``at + lag`` whose adversary plan
+    carries the matching :class:`~repro.adversary.SlanderWindow`, so the
+    honest majority re-elects while the slandered victim — still alive —
+    either splits the brain (plain ``reelect``) or rejoins as a follower
+    (``--quorum``).  The accuser must be up at fire time or the event is
+    skipped (dead nodes spread no rumors).
+    """
+
+    accuser: int
+    victim: Union[int, str]
+    at: float
+    duration: float = 1000.0
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.accuser < 0:
+            raise ValueError("slander accuser must be a node index >= 0")
+        if isinstance(self.victim, str):
+            if self.victim != LEADER:
+                raise ValueError(f"unknown symbolic slander victim {self.victim!r}")
+        elif self.victim < 0:
+            raise ValueError("slander victim must be a node index >= 0")
+        elif self.victim == self.accuser:
+            raise ValueError("a node cannot slander itself")
+        if self.duration <= 0:
+            raise ValueError("slander duration must be > 0")
+
+
+Event = Union[
+    CrashEvent, RecoverEvent, JoinEvent, PartitionEvent, ElectEvent, SlanderEvent
+]
 
 
 def crash(node: Union[int, str], at: float) -> CrashEvent:
@@ -182,6 +221,13 @@ def elect(at: float) -> ElectEvent:
     return ElectEvent(at=at)
 
 
+def slander(
+    accuser: int, victim: Union[int, str], at: float, duration: float = 1000.0
+) -> SlanderEvent:
+    """Declare ``slander(accuser, victim, t)`` — see :class:`SlanderEvent`."""
+    return SlanderEvent(accuser=accuser, victim=victim, at=at, duration=duration)
+
+
 #: Re-election policies: elect only when leadership is lost, or on every
 #: membership change (joins/recoveries/non-leader crashes included).
 MEMBERSHIP_POLICIES = ("leader_loss", "membership_change")
@@ -203,6 +249,13 @@ class Scenario:
     ``link_faults`` apply to every act and must be wildcard rules
     (``src``/``dst`` of ``None``) because act-local node indices shift
     with the membership.
+
+    ``adversary`` attaches a Byzantine
+    :class:`~repro.adversary.AdversaryPlan` whose node indices name
+    *initial* scenario nodes; the runner remaps them to act-local
+    indices per act (members absent from an act simply drop out of the
+    remapped plan).  Slander events add further act-local windows on
+    top.
     """
 
     name: str
@@ -211,11 +264,19 @@ class Scenario:
     membership_policy: str = "leader_loss"
     kill_policy: Optional[LeaderKillPolicy] = None
     link_faults: Tuple[LinkFaults, ...] = ()
+    adversary: Optional[object] = None
     min_n: int = 2
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
+        if self.adversary is not None:
+            from repro.adversary.plan import AdversaryPlan
+
+            if not isinstance(self.adversary, AdversaryPlan):
+                raise ValueError(
+                    "Scenario.adversary must be a repro.adversary.AdversaryPlan"
+                )
         if self.membership_policy not in MEMBERSHIP_POLICIES:
             raise ValueError(
                 f"membership_policy must be one of {MEMBERSHIP_POLICIES}, "
@@ -249,4 +310,6 @@ class Scenario:
             parts.append(f"kill-leader x{self.kill_policy.max_kills}")
         if self.link_faults:
             parts.append("lossy links")
+        if self.adversary is not None:
+            parts.append("byzantine")
         return ", ".join(parts) if parts else "single election"

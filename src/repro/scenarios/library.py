@@ -16,6 +16,7 @@ Run them via ``python -m repro scenarios run NAME`` or
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, List
 
 from repro.faults.plan import LeaderKillPolicy
@@ -28,6 +29,7 @@ from repro.scenarios.events import (
     join,
     partition,
     recover,
+    slander,
 )
 
 __all__ = [
@@ -38,6 +40,9 @@ __all__ = [
     "flapping_leader",
     "staggered_joins",
     "election_storm",
+    "slandered_leader",
+    "forged_frontrunner",
+    "poisson_churn",
 ]
 
 
@@ -129,12 +134,100 @@ def election_storm(n: int, repeats: int = 4) -> Scenario:
     )
 
 
+def slandered_leader(n: int, slanders: int = 2) -> Scenario:
+    """Byzantine node 0 serially slanders each sitting leader as dead.
+
+    Nobody actually crashes: the detectors lie, the honest majority
+    re-elects, and the slandered ex-leader — alive and initially
+    convinced of its reign — is the split-brain seed.  Run with
+    ``--quorum`` the victim rejoins as a follower via coord catch-up
+    (split-brain metric 0); without it the victim never learns the new
+    reign and the act records a stall.
+    """
+    slanders = max(1, slanders)
+    events = tuple(
+        slander(0, LEADER, 20.0 + 40.0 * i, duration=1000.0)
+        for i in range(slanders)
+    )
+    return Scenario(
+        name="slandered_leader",
+        description="Byzantine detector slander deposes live leaders by rumor",
+        events=events,
+        min_n=4,
+    )
+
+
+def forged_frontrunner(n: int) -> Scenario:
+    """Byzantine node 0 forges the frontrunner ID, reigns, then dies.
+
+    Every ``compete`` message node 0 sends claims an ID larger than the
+    whole universe, so the honest referees crown the forger in the
+    initial act (its *announcement* still carries the real ID — the
+    coord envelope is authenticated).  The forger is then crashed and
+    the honest survivors re-elect cleanly, measuring what one Byzantine
+    reign costs end to end.
+    """
+    from repro.adversary.plan import AdversaryPlan, TamperRule
+
+    return Scenario(
+        name="forged_frontrunner",
+        description="Byzantine node forges a winning ID, reigns, then crashes",
+        events=(crash(0, 30.0),),
+        adversary=AdversaryPlan(
+            byzantine=(0,),
+            tampers=(TamperRule(mode="forge", kinds=("compete",)),),
+        ),
+        min_n=4,
+    )
+
+
+def poisson_churn(
+    n: int,
+    rate: float = 0.04,
+    horizon: float = 240.0,
+    seed: int = 0,
+    recovery_delay: float = 25.0,
+) -> Scenario:
+    """Randomized churn: leader crashes arrive as a Poisson process.
+
+    Crash arrivals are drawn with exponential inter-arrival gaps of mean
+    ``1/rate`` until ``horizon``; each crash targets the sitting leader
+    and is followed ``recovery_delay`` later by the recovery of the most
+    recently downed node, so the clique churns without shrinking away.
+    The timeline is a pure function of ``(rate, horizon, seed)`` — the
+    generator's randomness is its own, never the engines' (ROADMAP:
+    "randomized churn generators, Poisson crash arrival").
+    """
+    if rate <= 0:
+        raise ValueError("poisson_churn needs a positive arrival rate")
+    if horizon <= 0:
+        raise ValueError("poisson_churn needs a positive horizon")
+    rng = random.Random(f"poisson:{rate}:{horizon}:{seed}")
+    events: List = []
+    t = 20.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        at = round(t, 3)
+        events.append(crash(LEADER, at))
+        events.append(recover(LAST_CRASHED, at + recovery_delay))
+    return Scenario(
+        name="poisson_churn",
+        description=f"Poisson leader churn (rate={rate:g}, horizon={horizon:g})",
+        events=tuple(events),
+    )
+
+
 NAMED_SCENARIOS: Dict[str, Callable[[int], Scenario]] = {
     "partition_heal": partition_heal,
     "rolling_restart": rolling_restart,
     "flapping_leader": flapping_leader,
     "staggered_joins": staggered_joins,
     "election_storm": election_storm,
+    "slandered_leader": slandered_leader,
+    "forged_frontrunner": forged_frontrunner,
+    "poisson_churn": poisson_churn,
 }
 
 

@@ -64,6 +64,8 @@ class EpochRecord:
     dropped_messages: int = 0
     duplicated_messages: int = 0
     partition_blocked: int = 0
+    tampered_messages: int = 0    # Byzantine alterations inside the act
+    concurrent_leaders: int = 1   # leaders alive at act end (> 1 = split brain)
 
     @property
     def failover_latency(self) -> float:
@@ -109,6 +111,10 @@ class ScenarioMetrics:
     dropped_messages: int
     duplicated_messages: int
     partition_blocked: int
+    tampered_messages: int
+    # Acts that ended with more than one leader simultaneously alive —
+    # the split-brain count the quorum layer drives to zero.
+    split_brain_acts: int
     final_leader_id: Optional[int]
     final_agreed: bool
 
@@ -209,6 +215,8 @@ def compute_metrics(
         dropped_messages=sum(e.dropped_messages for e in epochs),
         duplicated_messages=sum(e.duplicated_messages for e in epochs),
         partition_blocked=sum(e.partition_blocked for e in epochs),
+        tampered_messages=sum(e.tampered_messages for e in epochs),
+        split_brain_acts=sum(1 for e in epochs if e.concurrent_leaders > 1),
         final_leader_id=final_leader_id,
         final_agreed=final_agreed,
     )
@@ -250,6 +258,8 @@ def scenario_report(result) -> Dict[str, Any]:
                 "in_act_crashes": e.in_act_crashes,
                 "dropped_messages": e.dropped_messages,
                 "partition_blocked": e.partition_blocked,
+                "tampered_messages": e.tampered_messages,
+                "concurrent_leaders": e.concurrent_leaders,
             }
             for e in result.epochs
         ],

@@ -61,6 +61,7 @@ from repro.scenarios.events import (
     PartitionEvent,
     RecoverEvent,
     Scenario,
+    SlanderEvent,
 )
 from repro.scenarios.metrics import EpochRecord, ScenarioMetrics, compute_metrics
 
@@ -122,6 +123,7 @@ class ScenarioRunner:
         poll_interval: float = 0.5,
         restart_rounds: Optional[int] = None,
         restart_delay: Optional[float] = None,
+        quorum: bool = False,
         ids: Optional[Sequence[int]] = None,
         max_events: int = 5_000_000,
     ) -> None:
@@ -141,6 +143,12 @@ class ScenarioRunner:
                 unsupported.append("link faults")
             if any(isinstance(e, PartitionEvent) for e in scenario.events):
                 unsupported.append("partitions")
+            if quorum:
+                unsupported.append("quorum gating")
+            if scenario.adversary is not None or any(
+                isinstance(e, SlanderEvent) for e in scenario.events
+            ):
+                unsupported.append("adversaries")
             if unsupported:
                 raise ValueError(
                     "the fast engine runs the crash/join/recover/elect scenario "
@@ -164,6 +172,7 @@ class ScenarioRunner:
         self.poll_interval = poll_interval
         self.restart_rounds = restart_rounds
         self.restart_delay = restart_delay
+        self.quorum = quorum
         self.max_events = max_events
         if ids is None:
             ids = list(range(1, n + 1))
@@ -245,16 +254,22 @@ class ScenarioRunner:
 
     def _reelect_factory(self):
         if self.engine == "sync":
-            from repro.faults import ReElectionElection
+            if self.quorum:
+                from repro.adversary import QuorumReElectionElection as cls
+            else:
+                from repro.faults import ReElectionElection as cls
 
-            return lambda: ReElectionElection(
+            return lambda: cls(
                 inner=self.inner,
                 commit_rounds=self.commit_rounds,
                 restart_rounds=self.restart_rounds,
             )
-        from repro.faults import AsyncReElectionElection
+        if self.quorum:
+            from repro.adversary import AsyncQuorumReElectionElection as acls
+        else:
+            from repro.faults import AsyncReElectionElection as acls
 
-        return lambda: AsyncReElectionElection(
+        return lambda: acls(
             inner=self.inner,
             commit_delay=self.commit_delay,
             poll_interval=self.poll_interval,
@@ -273,7 +288,77 @@ class ScenarioRunner:
                 "dropped": fm.dropped_messages,
                 "duplicated": fm.duplicated_messages,
                 "partition_blocked": fm.partition_blocked,
+                "tampered": fm.tampered_messages,
             }
+
+    def _act_adversary(self, members: List[NodeState], slanders: Tuple = ()):
+        """The act-local Byzantine plan: scenario plan + event slanders.
+
+        Scenario-level adversary indices name *initial* nodes; this
+        remaps them onto act-local positions (and drops entries whose
+        nodes are not in the act).  ``slanders`` are extra
+        :class:`~repro.adversary.SlanderWindow` specs, already in
+        act-local time but still in global node indices.
+        """
+        from dataclasses import replace
+
+        from repro.adversary.plan import AdversaryPlan
+
+        plan = self.scenario.adversary
+        if plan is None and not slanders:
+            return None
+        pos = {st.index: local for local, st in enumerate(members)}
+        byzantine: List[int] = []
+        tampers: List[Any] = []
+        windows: List[Any] = []
+        if plan is not None:
+            byzantine = [pos[u] for u in plan.byzantine if u in pos]
+            for rule in plan.tampers:
+                if rule.src is not None and rule.src not in pos:
+                    continue
+                if rule.dst is not None and rule.dst not in pos:
+                    continue
+                if rule.src is None and not byzantine:
+                    continue  # every byzantine sender left the act
+                tampers.append(
+                    replace(
+                        rule,
+                        src=None if rule.src is None else pos[rule.src],
+                        dst=None if rule.dst is None else pos[rule.dst],
+                    )
+                )
+            windows.extend(self._remap_slanders(plan.slanders, pos))
+        windows.extend(self._remap_slanders(slanders, pos))
+        if not tampers and not windows:
+            return None
+        act_plan = AdversaryPlan(
+            byzantine=tuple(byzantine), tampers=tuple(tampers), slanders=tuple(windows)
+        )
+        try:
+            act_plan.validate_for(len(members))
+        except ValueError as exc:
+            # The membership shrank under the adversary (e.g. crashes left
+            # f >= n/2 of the act corrupted): the guarantees are void, so
+            # the act runs honestly and the note records why.
+            self._note(f"adversary dropped for this act: {exc}")
+            return None
+        return act_plan
+
+    @staticmethod
+    def _remap_slanders(slanders: Tuple, pos: Dict[int, int]) -> List[Any]:
+        from dataclasses import replace
+
+        out = []
+        for window in slanders:
+            if window.accuser not in pos:
+                continue  # dead accusers spread no rumors
+            victims = tuple(pos[v] for v in window.victims if v in pos)
+            if not victims:
+                continue
+            out.append(
+                replace(window, accuser=pos[window.accuser], victims=victims)
+            )
+        return out
 
     def _run_act(
         self,
@@ -284,6 +369,7 @@ class ScenarioRunner:
         *,
         masks: Tuple[PartitionMask, ...] = (),
         policies: Tuple = (),
+        slanders: Tuple = (),
     ) -> EpochRecord:
         members = sorted(members, key=lambda st: st.index)
         m = len(members)
@@ -295,6 +381,7 @@ class ScenarioRunner:
             partitions=masks,
             policies=tuple(policies),
             detector=DetectorSpec(kind="perfect", lag=self.lag),
+            adversary=self._act_adversary(members, slanders),
         )
 
         if self.engine == "fast":
@@ -306,25 +393,65 @@ class ScenarioRunner:
             surviving = record.elected_id
             outputs = [surviving] * m
             detection_latencies: List[float] = []
-            in_act_crashes = dropped = duplicated = blocked = 0
+            in_act_crashes = dropped = duplicated = blocked = tampered = 0
+            concurrent = 1 if surviving is not None else 0
             epochs_minted = max(1, len(leader_ids))
             reelection_time = None
         else:
+            from repro.analysis.runner import RunRecord
+            from repro.common import SimulationLimitExceeded
             from repro.faults import run_failover_trial
 
             kwargs: Dict[str, Any] = {}
             if self.engine == "async":
                 kwargs["wake_times"] = {u: 0.0 for u in range(m)}
                 kwargs["max_events"] = self.max_events
-            report = run_failover_trial(
-                self.engine,
-                m,
-                self._reelect_factory(),
-                plan,
-                seed=act_seed,
-                ids=member_ids,
-                **kwargs,
-            )
+            try:
+                report = run_failover_trial(
+                    self.engine,
+                    m,
+                    self._reelect_factory(),
+                    plan,
+                    seed=act_seed,
+                    ids=member_ids,
+                    **kwargs,
+                )
+            except SimulationLimitExceeded as exc:
+                # A node wedged without ever learning a leader (the plain
+                # wrapper under slander is the canonical case: the victim
+                # is excluded from every coord broadcast).  Record the act
+                # as stalled — nobody's belief is updated, agreement is
+                # broken — instead of aborting the whole scenario.
+                self._note(f"{trigger} act at t={t_event:g} stalled: {exc}")
+                record = RunRecord(
+                    n=m, seed=act_seed, messages=0, time=0.0,
+                    unique_leader=False, elected_id=None, leaders=0,
+                    decided=0, awake=m, params={},
+                    extra={"rounds_executed": 0.0, "stalled": True},
+                )
+                self.epoch_counter += 1
+                epoch = EpochRecord(
+                    epoch=self.epoch_counter,
+                    trigger=trigger,
+                    t_event=t_event,
+                    t_start=t_start,
+                    duration=0.0,
+                    t_end=t_start,
+                    members=[st.index for st in members],
+                    member_ids=member_ids,
+                    leader_ids=[],
+                    surviving_leader_id=None,
+                    messages=0,
+                    record=record,
+                    epochs_minted=1,
+                    reelection_time=None,
+                    detection_latencies=[],
+                    concurrent_leaders=0,
+                )
+                self.epochs.append(epoch)
+                self.act_floor = t_start
+                self._mark(t_start)
+                return epoch
             record = report.record
             result = record.extra["result"]
             if self.engine == "sync":
@@ -345,6 +472,10 @@ class ScenarioRunner:
             dropped = fm.dropped_messages if fm else 0
             duplicated = fm.duplicated_messages if fm else 0
             blocked = fm.partition_blocked if fm else 0
+            tampered = fm.tampered_messages if fm else 0
+            # Leaders simultaneously alive when the act ended: > 1 means
+            # the act really split the brain (per-component leaders).
+            concurrent = len(result.surviving_leaders)
             # Every committed leader is an epoch, and so is every
             # frontrunner a kill policy aborted before its commit.
             aborted = sum(1 for u in result.crashed if u not in result.leaders)
@@ -368,7 +499,15 @@ class ScenarioRunner:
                 continue
             st.epoch = self.epoch_counter
             belief = outputs[local] if local < len(outputs) else None
-            st.leader = belief if belief is not None else surviving
+            if belief is not None:
+                st.leader = belief
+            elif self.quorum:
+                # Under quorum gating a None output is an abstention —
+                # the node is leaderless, it did not silently adopt the
+                # (unreachable) majority leader.
+                st.leader = None
+            else:
+                st.leader = surviving
         t_end = t_start + duration
         epoch = EpochRecord(
             epoch=first_epoch,
@@ -390,6 +529,8 @@ class ScenarioRunner:
             dropped_messages=dropped,
             duplicated_messages=duplicated,
             partition_blocked=blocked,
+            tampered_messages=tampered,
+            concurrent_leaders=concurrent,
         )
         self.epochs.append(epoch)
         self.act_floor = t_end
@@ -550,6 +691,56 @@ class ScenarioRunner:
             "elect", ev.at, t_start, members, masks=self._active_masks(members)
         )
 
+    def _on_slander(self, ev: SlanderEvent) -> None:
+        """Byzantine rumor: run a re-election act under a slander window.
+
+        The victim stays *up* — only the detectors lie about it.  The
+        act elects among the honest majority; with ``quorum`` enabled
+        the victim rejoins as a follower (coord catch-up), without it
+        the act legitimately splits the brain (victim keeps its old
+        belief, possibly its old reign).
+        """
+        from repro.adversary.plan import SlanderWindow
+
+        if not 0 <= ev.accuser < len(self.states):
+            self._note(f"slander by {ev.accuser} skipped: no such node")
+            return
+        accuser = self.states[ev.accuser]
+        if not accuser.up:
+            self._note(f"slander by {accuser.index} skipped: accuser is down")
+            return
+        if ev.victim == LEADER:
+            leaders = self._believed_leaders()
+            if len(leaders) != 1:
+                self._note(f"slander(leader) skipped: leaders={list(leaders)}")
+                return
+            victim = self._id_to_state(leaders[0])
+        elif not 0 <= ev.victim < len(self.states):
+            self._note(f"slander({ev.victim}) skipped: no such node")
+            return
+        else:
+            victim = self.states[ev.victim]
+        if victim is None or not victim.up:
+            self._note("slander skipped: victim is down (no rumor needed)")
+            return
+        if victim.index == accuser.index:
+            self._note(f"slander({victim.index}) skipped: self-slander")
+            return
+        self._mark(ev.at)  # the rumor breaks agreement until re-election
+        group = self._group_of(accuser) if self._partition is not None else self._up_states()
+        if victim.index not in [st.index for st in group]:
+            self._note("slander skipped: victim unreachable from accuser")
+            return
+        window = SlanderWindow(
+            accuser=accuser.index, victims=(victim.index,), start=0.0,
+            end=ev.duration,
+        )
+        t_start = max(ev.at + self.lag, self.act_floor)
+        self._run_act(
+            "slander", ev.at, t_start, group,
+            masks=self._active_masks(group), slanders=(window,),
+        )
+
     # ------------------------------------------------------------------ #
     # main loop
 
@@ -595,6 +786,8 @@ class ScenarioRunner:
                 self._on_partition(ev)
             elif isinstance(ev, ElectEvent):
                 self._on_elect(ev)
+            elif isinstance(ev, SlanderEvent):
+                self._on_slander(ev)
 
         baseline = self._run_baseline()
         leaders = self._believed_leaders()

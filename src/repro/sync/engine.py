@@ -259,12 +259,23 @@ class SyncNetwork:
         self.metrics.record_send(self.round, kind, opened)
         if self.recorder is not None:
             self.recorder.on_send(self.round, u, port, v, j, payload)
-        copies = 1
-        if self.fault_runtime is not None:
-            self.fault_runtime.observe_send(self.round, u, kind)
-            copies = self.fault_runtime.deliveries(u, v, kind, self.round)
-        for _ in range(copies):
+        if self.fault_runtime is None:
             self._inboxes_next.setdefault(v, []).append((j, payload))
+            return
+        self.fault_runtime.observe_send(self.round, u, kind)
+        for delivered in self.fault_runtime.delivered_payloads(
+            u, v, kind, payload, self.round
+        ):
+            # Byzantine rewrites (and replayed stale copies) are traced
+            # separately: on_send above logged what the sender handed
+            # the network, on_tamper logs what the receiver will see.
+            if (
+                delivered is not payload
+                and self.recorder is not None
+                and hasattr(self.recorder, "on_tamper")
+            ):
+                self.recorder.on_tamper(self.round, u, v, payload, delivered)
+            self._inboxes_next.setdefault(v, []).append((j, delivered))
 
     def _decide(self, u: int, decision: Decision, output: Optional[int]) -> None:
         previous = self.decisions[u]

@@ -13,7 +13,12 @@ class TraceEvent:
     """One recorded event.
 
     ``kind`` is one of ``send``, ``deliver``, ``wake``, ``decide``,
-    ``crash``; ``when`` is the round number (sync) or timestamp (async).
+    ``crash``, ``tamper``; ``when`` is the round number (sync) or
+    timestamp (async).  A ``tamper`` event records a Byzantine rewrite
+    in flight: ``detail`` is ``(dst, original, delivered)`` — the
+    payload the sender handed the network and the one the receiver will
+    actually see (replayed stale copies appear here too, since the
+    original send never carried them).
     """
 
     kind: str
@@ -45,6 +50,9 @@ class MemoryRecorder:
 
     def on_crash(self, when, u) -> None:
         self.events.append(TraceEvent("crash", float(when), u, ()))
+
+    def on_tamper(self, when, u, v, original, delivered) -> None:
+        self.events.append(TraceEvent("tamper", float(when), u, (v, original, delivered)))
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -85,6 +93,9 @@ class PrintRecorder:
     def on_crash(self, when, u) -> None:
         self._emit(TraceEvent("crash", float(when), u, ()))
 
+    def on_tamper(self, when, u, v, original, delivered) -> None:
+        self._emit(TraceEvent("tamper", float(when), u, (v, original, delivered)))
+
 
 class CompositeRecorder:
     """Fans every hook out to several recorders."""
@@ -116,3 +127,8 @@ class CompositeRecorder:
         for r in self.recorders:
             if hasattr(r, "on_crash"):
                 r.on_crash(*args)
+
+    def on_tamper(self, *args) -> None:
+        for r in self.recorders:
+            if hasattr(r, "on_tamper"):
+                r.on_tamper(*args)

@@ -1,0 +1,92 @@
+"""Cross-engine validation of the vectorized ``small_id`` port.
+
+The small-ID election is deterministic and consumes no randomness, so
+the exact-mode equivalence is the strictest in the suite: every counter
+must match the object twin for any ID assignment from the linear-size
+universe, including adversarially clumped and maximally spread ones.
+"""
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core import SmallIdElection  # noqa: E402
+from repro.fastsync import FastSyncNetwork, VectorSmallIdElection  # noqa: E402
+from repro.ids import assign_random, small_universe  # noqa: E402
+
+from tests.test_fastsync_equivalence import assert_twin_runs_match  # noqa: E402
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n", [2, 3, 7, 16, 33, 64])
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    def test_default_ids_match(self, n, d):
+        if d > n:
+            pytest.skip("d <= n required")
+        assert_twin_runs_match(
+            n, seed=7, vector_factory=lambda: VectorSmallIdElection(d=d),
+            object_factory=lambda: SmallIdElection(d=d),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    def test_small_universe_ids_match(self, seed, g):
+        n, d = 24, 4
+        rng = random.Random(f"small-id-equiv:{seed}")
+        ids = assign_random(small_universe(n, g), n, rng)
+        assert_twin_runs_match(
+            n, seed=seed, ids=ids,
+            vector_factory=lambda: VectorSmallIdElection(d=d, g=g),
+            object_factory=lambda: SmallIdElection(d=d, g=g),
+        )
+
+    def test_single_node(self):
+        assert_twin_runs_match(
+            1, seed=0, vector_factory=lambda: VectorSmallIdElection(d=1),
+            object_factory=lambda: SmallIdElection(d=1),
+        )
+
+    def test_clumped_window_ids(self):
+        # Every ID inside the very first window: maximal broadcast fan-out.
+        n = 16
+        ids = list(range(1, n + 1))
+        assert_twin_runs_match(
+            n, seed=3, ids=ids,
+            vector_factory=lambda: VectorSmallIdElection(d=n),
+            object_factory=lambda: SmallIdElection(d=n),
+        )
+
+    def test_late_window_ids(self):
+        # All IDs at the top of the universe: many silent rounds first.
+        n, g = 12, 2
+        ids = list(range(n * g - n + 1, n * g + 1))
+        assert_twin_runs_match(
+            n, seed=5, ids=ids,
+            vector_factory=lambda: VectorSmallIdElection(d=2, g=g),
+            object_factory=lambda: SmallIdElection(d=2, g=g),
+        )
+
+
+class TestValidation:
+    def test_rejects_out_of_universe_ids(self):
+        net = FastSyncNetwork(4, ids=[1, 2, 3, 9], seed=0, mode="exact")
+        with pytest.raises(ValueError, match=r"IDs in \[1, n\*g\]"):
+            net.run(VectorSmallIdElection(d=2))
+
+    def test_rejects_oversized_d(self):
+        net = FastSyncNetwork(4, seed=0, mode="exact")
+        with pytest.raises(ValueError, match="d <= n"):
+            net.run(VectorSmallIdElection(d=5))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            VectorSmallIdElection(d=0)
+        with pytest.raises(ValueError):
+            VectorSmallIdElection(d=1, g=0)
+
+    def test_registry_exposes_fast_twin(self):
+        from repro.core import get_algorithm
+
+        assert get_algorithm("small_id").has_fast

@@ -1,0 +1,157 @@
+"""Quorum safety, property-tested: one epoch never commits two leaders.
+
+The protocol argument of ``quorum_reelect`` reduces to two facts about
+:class:`~repro.adversary.QuorumPolicy` + :class:`~repro.adversary.VoteLedger`:
+majority quorums intersect, and a voter's vote binds once per epoch.
+Hypothesis drives the ledger with adversarial schedules — arbitrary
+partitions deciding who can reach whom, slander deciding who *tries* to
+vote for whom, Byzantine voters re-voting for every candidate — and the
+commit set per epoch must never exceed one.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import QuorumPolicy, VoteLedger
+
+
+class TestQuorumPolicy:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 9, 100, 101])
+    def test_majority_size(self, n):
+        policy = QuorumPolicy(n=n)
+        assert policy.quorum_size == n // 2 + 1
+        assert 2 * policy.quorum_size > n  # two quorums always intersect
+
+    @pytest.mark.parametrize("threshold", [0.5, 0.6, 0.75, 0.99])
+    @pytest.mark.parametrize("n", [3, 10, 33])
+    def test_threshold_sizes_intersect(self, n, threshold):
+        policy = QuorumPolicy(n=n, threshold=threshold)
+        assert policy.quorum_size > threshold * n
+        assert 2 * policy.quorum_size > n
+
+    def test_rejects_sub_majority_threshold(self):
+        with pytest.raises(ValueError, match="majority"):
+            QuorumPolicy(n=9, threshold=0.4)
+
+    def test_rejects_empty_membership(self):
+        with pytest.raises(ValueError):
+            QuorumPolicy(n=0)
+
+    def test_satisfied(self):
+        policy = QuorumPolicy(n=9)
+        assert not policy.satisfied(4)
+        assert not policy.satisfied(policy.quorum_size - 1)
+        assert policy.satisfied(policy.quorum_size)
+        assert policy.satisfied(9)
+
+
+class TestVoteLedger:
+    def test_vote_once(self):
+        ledger = VoteLedger(QuorumPolicy(n=5))
+        assert ledger.grant(0, voter=1, candidate="a")
+        # A re-vote (equivocated or replayed ack) binds to the first grant.
+        assert not ledger.grant(0, voter=1, candidate="b")
+        assert ledger.tally(0, "a") == 1
+        assert ledger.tally(0, "b") == 0
+
+    def test_votes_are_per_epoch(self):
+        ledger = VoteLedger(QuorumPolicy(n=5))
+        ledger.grant(0, voter=1, candidate="a")
+        assert ledger.grant(1, voter=1, candidate="b")
+
+    def test_commit_requires_quorum(self):
+        ledger = VoteLedger(QuorumPolicy(n=5))
+        for voter in range(2):
+            ledger.grant(0, voter, "a")
+        assert not ledger.commit(0, "a")
+        ledger.grant(0, 2, "a")
+        assert ledger.commit(0, "a")
+        assert ledger.commits_in(0) == {"a"}
+
+
+@st.composite
+def vote_schedules(draw):
+    """An adversarial grant schedule over one membership.
+
+    Every voter may try to vote many times for many candidates across
+    several epochs — modeling slander-driven re-elections, partitioned
+    sub-elections, equivocated acks and replayed acks all at once.  The
+    ledger's vote-once rule is the only defense in play.
+    """
+    n = draw(st.integers(min_value=2, max_value=25))
+    threshold = draw(st.sampled_from([0.5, 0.6, 2 / 3]))
+    grants = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),      # epoch
+                st.integers(min_value=0, max_value=n - 1),  # voter
+                st.integers(min_value=0, max_value=n - 1),  # candidate
+            ),
+            max_size=200,
+        )
+    )
+    return n, threshold, grants
+
+
+class TestSafetyProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(vote_schedules())
+    def test_no_two_leaders_per_epoch(self, schedule):
+        n, threshold, grants = schedule
+        ledger = VoteLedger(QuorumPolicy(n=n, threshold=threshold))
+        for epoch, voter, candidate in grants:
+            ledger.grant(epoch, voter, candidate)
+            # The adversary tries to commit everyone after every grant.
+            for contender in range(n):
+                ledger.commit(epoch, contender)
+        for epoch in range(4):
+            committed = ledger.commits_in(epoch)
+            assert len(committed) <= 1, (n, threshold, epoch, committed)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=31),
+        threshold=st.sampled_from([0.5, 0.6, 2 / 3]),
+        data=st.data(),
+    )
+    def test_partitioned_components_cannot_both_commit(self, n, threshold, data):
+        """Split the voters; each side votes unanimously for its own
+        candidate.  At most one side can ever reach quorum."""
+        cut = data.draw(st.integers(min_value=1, max_value=n - 1))
+        ledger = VoteLedger(QuorumPolicy(n=n, threshold=threshold))
+        for voter in range(cut):
+            ledger.grant(0, voter, "left")
+        for voter in range(cut, n):
+            ledger.grant(0, voter, "right")
+        ledger.commit(0, "left")
+        ledger.commit(0, "right")
+        assert len(ledger.commits_in(0)) <= 1
+        # And the arithmetic behind it: both sides holding a quorum would
+        # need more voters than exist.
+        q = ledger.policy.quorum_size
+        assert not (cut >= q and n - cut >= q)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=25),
+        data=st.data(),
+    )
+    def test_byzantine_double_voters_cannot_double_commit(self, n, data):
+        """f < n/2 Byzantine voters vote for *both* candidates; the
+        ledger binds each to its first vote, so safety holds."""
+        f = data.draw(st.integers(min_value=1, max_value=(n - 1) // 2))
+        ledger = VoteLedger(QuorumPolicy(n=n))
+        byzantine = list(range(f))
+        honest = list(range(f, n))
+        half = len(honest) // 2
+        for voter in byzantine:
+            ledger.grant(0, voter, "a")
+            ledger.grant(0, voter, "b")  # the double vote: must not bind
+        for voter in honest[:half]:
+            ledger.grant(0, voter, "a")
+        for voter in honest[half:]:
+            ledger.grant(0, voter, "b")
+        ledger.commit(0, "a")
+        ledger.commit(0, "b")
+        assert len(ledger.commits_in(0)) <= 1

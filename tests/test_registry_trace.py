@@ -23,6 +23,8 @@ class TestRegistry:
             # the fault-tolerant layer
             "monarchical",
             "reelect",
+            # the Byzantine adversary layer
+            "quorum_reelect",
         }
         assert set(ALGORITHMS) == expected
 

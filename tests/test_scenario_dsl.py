@@ -1,0 +1,129 @@
+"""The JSON scenario DSL: round-trips, schema errors, CLI file loading."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    NAMED_SCENARIOS,
+    ScenarioSchemaError,
+    get_scenario,
+    scenario_from_json,
+    scenario_to_json,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(NAMED_SCENARIOS))
+    def test_every_library_scenario_round_trips(self, name):
+        scenario = get_scenario(name, 16)
+        doc = scenario_to_json(scenario)
+        # Through a real serialization boundary, not just dict identity.
+        rebuilt = scenario_from_json(json.loads(json.dumps(doc)))
+        assert rebuilt == scenario
+
+    def test_round_trip_from_raw_json_string(self):
+        scenario = get_scenario("partition_heal", 8)
+        text = json.dumps(scenario_to_json(scenario))
+        assert scenario_from_json(text) == scenario
+
+    def test_round_trip_from_file(self, tmp_path):
+        scenario = get_scenario("forged_frontrunner", 9)
+        path = tmp_path / "timeline.json"
+        path.write_text(json.dumps(scenario_to_json(scenario)))
+        assert scenario_from_json(str(path)) == scenario
+
+
+class TestSchemaErrors:
+    def test_missing_name(self):
+        with pytest.raises(ScenarioSchemaError, match=r"\$: missing required field 'name'"):
+            scenario_from_json({"events": []})
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ScenarioSchemaError, match=r"\$: unknown field"):
+            scenario_from_json({"name": "x", "evnts": []})
+
+    def test_unknown_event_type_names_known_ones(self):
+        with pytest.raises(ScenarioSchemaError, match=r"events\[0\].*unknown event type"):
+            scenario_from_json({"name": "x", "events": [{"type": "explode", "at": 1}]})
+
+    def test_event_field_typo_carries_path(self):
+        with pytest.raises(ScenarioSchemaError, match=r"events\[1\]"):
+            scenario_from_json(
+                {
+                    "name": "x",
+                    "events": [
+                        {"type": "elect", "at": 5},
+                        {"type": "crash", "nod": 3, "at": 10},
+                    ],
+                }
+            )
+
+    def test_domain_errors_carry_path(self):
+        with pytest.raises(ScenarioSchemaError, match=r"events\[0\]"):
+            scenario_from_json(
+                {"name": "x", "events": [{"type": "crash", "node": -1, "at": 5}]}
+            )
+        with pytest.raises(ScenarioSchemaError, match=r"\$\.adversary"):
+            scenario_from_json(
+                {"name": "x", "adversary": {"byzantine": [0]}}
+            )
+
+    def test_symbolic_targets_parse(self):
+        scenario = scenario_from_json(
+            {
+                "name": "symbols",
+                "events": [
+                    {"type": "crash", "node": "leader", "at": 5},
+                    {"type": "recover", "node": "last_crashed", "at": 25},
+                    {"type": "slander", "accuser": 0, "victim": "leader", "at": 40},
+                ],
+            }
+        )
+        assert len(scenario.events) == 3
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ScenarioSchemaError, match="invalid JSON"):
+            scenario_from_json("{not json")
+
+    def test_missing_file(self):
+        with pytest.raises(ScenarioSchemaError, match="no such scenario file"):
+            scenario_from_json("definitely/not/here.json")
+
+    def test_directory_path_is_a_schema_error(self):
+        with pytest.raises(ScenarioSchemaError, match="no such scenario file"):
+            scenario_from_json("src")
+
+    def test_bad_membership_policy(self):
+        with pytest.raises(ScenarioSchemaError, match="membership_policy"):
+            scenario_from_json({"name": "x", "membership_policy": "anarchy"})
+
+
+class TestCLIFileLoading:
+    def test_run_accepts_json_path(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        scenario = get_scenario("rolling_restart", 8)
+        path = tmp_path / "restart.json"
+        path.write_text(json.dumps(scenario_to_json(scenario)))
+        assert main(["scenarios", "run", str(path), "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "rolling_restart" in out
+        assert "agreed by all up nodes" in out
+
+    def test_run_reports_schema_errors(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x", "events": [{"type": "explode"}]}')
+        assert main(["scenarios", "run", str(path), "--n", "8"]) == 2
+        assert "unknown event type" in capsys.readouterr().err
+
+    def test_quorum_flag_parses_and_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            ["scenarios", "run", "partition_heal", "--n", "9", "--quorum"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "split_brain_acts=0" in out

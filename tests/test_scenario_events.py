@@ -111,12 +111,15 @@ class TestScenarioValidation:
 
 
 class TestLibrary:
-    def test_five_named_scenarios(self):
+    def test_named_scenarios(self):
         assert sorted(NAMED_SCENARIOS) == [
             "election_storm",
             "flapping_leader",
+            "forged_frontrunner",
             "partition_heal",
+            "poisson_churn",
             "rolling_restart",
+            "slandered_leader",
             "staggered_joins",
         ]
 
