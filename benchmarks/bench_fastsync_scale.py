@@ -51,8 +51,8 @@ SMOKE_NS = [512, 4096]
 SMOKE_SEEDS = [0, 1]
 
 
-def run_sweep(ns=FULL_NS, seeds=FULL_SEEDS):
-    from repro.analysis import Table, run_fast_trial
+def run_sweep(ns=FULL_NS, seeds=FULL_SEEDS, batch=False):
+    from repro.analysis import Table, run_fast_batch, run_fast_trial
 
     table = Table(
         ["algorithm", "n", "mode", "messages", "rounds", "unique", "wall s/run"],
@@ -61,9 +61,15 @@ def run_sweep(ns=FULL_NS, seeds=FULL_SEEDS):
     rows = []
     for name, params, label in CONFIGS:
         for n in ns:
-            records = [
-                run_fast_trial(n, name, seed=seed, params=params) for seed in seeds
-            ]
+            if batch:
+                # One batched engine run per (algorithm, n) point: the
+                # whole seed sweep shares setup and the faster batched
+                # sampler (see bench_fastsync_batch.py for the ratio).
+                records = run_fast_batch(n, name, seeds=list(seeds), params=params)
+            else:
+                records = [
+                    run_fast_trial(n, name, seed=seed, params=params) for seed in seeds
+                ]
             messages = sum(r.messages for r in records) / len(records)
             rounds = sum(r.time for r in records) / len(records)
             wall = sum(r.extra["wall_time_s"] for r in records) / len(records)
@@ -146,6 +152,11 @@ def main(argv) -> int:
     parser.add_argument("--smoke", action="store_true", help="CI-sized sweep")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write a BENCH_*.json trajectory artifact")
+    parser.add_argument("--batch", action="store_true",
+                        help="dispatch each (algorithm, n) point's seeds as one "
+                        "batched engine run (several times faster end-to-end at "
+                        "n = 10^5; scale-mode counts differ from the unbatched "
+                        "baseline, so the CI gate runs unbatched)")
     args = parser.parse_args(argv)
     try:
         import numpy  # noqa: F401
@@ -155,7 +166,7 @@ def main(argv) -> int:
         return 2
     ns = SMOKE_NS if args.smoke else FULL_NS
     seeds = SMOKE_SEEDS if args.smoke else FULL_SEEDS
-    table, rows = run_sweep(ns=ns, seeds=seeds)
+    table, rows = run_sweep(ns=ns, seeds=seeds, batch=args.batch)
     print(table.render())
     check(rows)
     if args.json:

@@ -54,12 +54,15 @@ Examples
     python -m repro faults monarchical --n 256 --drop 0.02 --seeds 0 1 2
     python -m repro faults reelect --n 64 --kill-leader --drop 1.0 --drop-kinds ree_coord --max-drops 3
     python -m repro run improved_tradeoff --n 100000 --engine fast --param ell=5
+    python -m repro run improved_tradeoff --n 100000 --engine fast --seeds 0 1 2 3 --batch 4
+    python -m repro run adversarial_2round --n 100000 --engine fast --roots 1
     python -m repro scenarios list
     python -m repro scenarios run partition_heal --n 64 --seed 1 --json -
     python -m repro scenarios run partition_heal --n 9 --quorum
     python -m repro scenarios run rolling_restart --n 32 --engine fast
     python -m repro scenarios run my_timeline.json --n 16
     python -m repro scenarios sweep election_storm --ns 32 64 --seeds 0 1 2
+    python -m repro scenarios sweep election_storm --ns 32 64 --engine fast --batch
     python -m repro adversary run --n 9 --slander 0:8@5-60 --crash 3@10
     python -m repro adversary run --n 9 --byzantine 0 --tamper forge:compete --no-quorum
     python -m repro adversary sweep --ns 8 16 32 --mode both --json -
@@ -72,7 +75,13 @@ import random
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.analysis import Table, run_async_trial, run_fast_trial, run_sync_trial
+from repro.analysis import (
+    Table,
+    run_async_trial,
+    run_fast_batch,
+    run_fast_trial,
+    run_sync_trial,
+)
 from repro.common import SimulationLimitExceeded
 from repro.core import ALGORITHMS, get_algorithm
 from repro.ids import assign_random, small_universe, tradeoff_universe
@@ -127,14 +136,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     if engine == "fast":
         if spec.engine != "sync":
             raise SystemExit("error: the fast engine vectorizes sync algorithms only")
-        if args.roots is not None:
-            raise SystemExit("error: the fast engine supports simultaneous wake-up only")
         try:
-            spec.make_fast()
+            from repro.fastsync import get_fast_algorithm
+
+            fast_cls = get_fast_algorithm(spec.name)
         except ImportError as exc:
             raise SystemExit(f"error: {exc}") from None
         except KeyError as exc:
             raise SystemExit(f"error: {exc.args[0]}") from None
+        if args.roots is not None and not getattr(fast_cls, "supports_roots", False):
+            raise SystemExit(
+                f"error: the fast port of {spec.name} supports simultaneous "
+                "wake-up only (adversarial_2round accepts --roots)"
+            )
+    if args.batch is not None:
+        if engine != "fast":
+            raise SystemExit("error: --batch needs --engine fast")
+        if args.batch < 1:
+            raise SystemExit(f"error: --batch must be >= 1, got {args.batch}")
     params = dict(kv.split("=", 1) for kv in args.param)
     params = {k: _parse_param(v) for k, v in params.items()}
     columns = ["seed", "unique leader", "elected id", "messages", "time", "decided"]
@@ -144,38 +163,69 @@ def cmd_run(args: argparse.Namespace) -> int:
         columns,
         title=f"{spec.name} (n={args.n}, {spec.paper_ref}, engine={engine}) params={params}",
     )
-    failures = 0
-    for seed in args.seeds:
+    def _fast_workload(seed: int):
+        """IDs and wake-up roots for one fast run (same draws as sync)."""
         rng = random.Random(f"cli:{args.n}:{seed}")
         ids = _ids_for(args.name, args.n, params, rng)
-        if engine == "fast":
-            record = run_fast_trial(args.n, args.name, seed=seed, ids=ids, params=params)
-        elif spec.engine == "sync":
-            awake = None
-            if args.roots is not None:
-                awake = rng.sample(range(args.n), args.roots)
-            elif spec.wakeup == ("adversarial",):
-                awake = [0]
-            record = run_sync_trial(
-                args.n, spec.make(**params), seed=seed, ids=ids, awake=awake
-            )
+        if args.roots is not None:
+            roots = rng.sample(range(args.n), args.roots)
+        elif spec.wakeup == ("adversarial",):
+            roots = [0]
         else:
-            wake_times = None
-            if args.name == "async_afek_gafni":
-                wake_times = {u: 0.0 for u in range(args.n)}
-            elif args.roots is not None:
-                wake_times = {u: 0.0 for u in rng.sample(range(args.n), args.roots)}
-            record = run_async_trial(
-                args.n,
-                spec.make(**params),
-                seed=seed,
-                ids=ids,
-                wake_times=wake_times,
-                max_events=20_000_000,
+            roots = None
+        return ids, roots
+
+    records: List[Any] = []
+    if engine == "fast" and args.batch is not None:
+        # Batched lanes share one configuration: the first seed of each
+        # chunk fixes the ID assignment (and roots) for its lanes.
+        for start in range(0, len(args.seeds), args.batch):
+            chunk = args.seeds[start : start + args.batch]
+            ids, roots = _fast_workload(chunk[0])
+            records.extend(
+                run_fast_batch(
+                    args.n, args.name, seeds=chunk, ids=ids, roots=roots, params=params
+                )
             )
+    else:
+        for seed in args.seeds:
+            rng = random.Random(f"cli:{args.n}:{seed}")
+            if engine == "fast":
+                ids, roots = _fast_workload(seed)
+                record = run_fast_trial(
+                    args.n, args.name, seed=seed, ids=ids, roots=roots, params=params
+                )
+            elif spec.engine == "sync":
+                ids = _ids_for(args.name, args.n, params, rng)
+                awake = None
+                if args.roots is not None:
+                    awake = rng.sample(range(args.n), args.roots)
+                elif spec.wakeup == ("adversarial",):
+                    awake = [0]
+                record = run_sync_trial(
+                    args.n, spec.make(**params), seed=seed, ids=ids, awake=awake
+                )
+            else:
+                ids = _ids_for(args.name, args.n, params, rng)
+                wake_times = None
+                if args.name == "async_afek_gafni":
+                    wake_times = {u: 0.0 for u in range(args.n)}
+                elif args.roots is not None:
+                    wake_times = {u: 0.0 for u in rng.sample(range(args.n), args.roots)}
+                record = run_async_trial(
+                    args.n,
+                    spec.make(**params),
+                    seed=seed,
+                    ids=ids,
+                    wake_times=wake_times,
+                    max_events=20_000_000,
+                )
+            records.append(record)
+    failures = 0
+    for record in records:
         failures += not record.unique_leader
         row = [
-            seed,
+            record.seed,
             record.unique_leader,
             record.elected_id,
             record.messages,
@@ -488,8 +538,11 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
 
 
 def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
-    from repro.scenarios import ScenarioRunner, ScenarioSchemaError
+    from repro.scenarios import ScenarioRunner, ScenarioSchemaError, run_scenario_batch
 
+    if args.batch and args.engine != "fast":
+        print("error: --batch needs --engine fast", file=sys.stderr)
+        return 2
     table = Table(
         ["n", "seed", "elections", "epoch churn", "mean failover",
          "agreed frac", "messages", "overhead", "final agreed"],
@@ -498,17 +551,32 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     metrics_out: Dict[str, Any] = {}
     failures = 0
     for n in args.ns:
-        for seed in args.seeds:
+        results_by_seed: Dict[int, Any] = {}
+        if args.batch:
             try:
                 scenario = _load_scenario(args.name, n)
-                runner = ScenarioRunner(
-                    scenario, n, engine=args.engine, seed=seed,
+                batch_results = run_scenario_batch(
+                    scenario, n, list(args.seeds), engine="fast",
                     inner=args.inner, lag=args.lag, quorum=args.quorum,
                 )
             except (ScenarioSchemaError, ValueError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            m = runner.run().metrics
+            results_by_seed = dict(zip(args.seeds, batch_results))
+        for seed in args.seeds:
+            if args.batch:
+                m = results_by_seed[seed].metrics
+            else:
+                try:
+                    scenario = _load_scenario(args.name, n)
+                    runner = ScenarioRunner(
+                        scenario, n, engine=args.engine, seed=seed,
+                        inner=args.inner, lag=args.lag, quorum=args.quorum,
+                    )
+                except (ScenarioSchemaError, ValueError) as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                m = runner.run().metrics
             failures += not m.final_agreed
             mean_failover = m.mean_failover_latency
             table.add_row(
@@ -805,12 +873,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument(
         "--roots", type=int, default=None,
-        help="adversarial wake-up: number of initially awake nodes",
+        help="adversarial wake-up: number of initially awake nodes "
+        "(on the fast engine only adversarial_2round accepts this)",
     )
     run_p.add_argument(
         "--engine", choices=["auto", "sync", "async", "fast"], default="auto",
         help="engine override; 'fast' selects the vectorized numpy engine "
-        "(improved_tradeoff/afek_gafni/las_vegas, simultaneous wake-up)",
+        "(every sync algorithm has a port; adversarial_2round also takes "
+        "--roots, the rest assume simultaneous wake-up)",
+    )
+    run_p.add_argument(
+        "--batch", type=int, default=None, metavar="LANES",
+        help="fast engine only: execute the seeds in batched engine runs of "
+        "LANES lanes each (one FastSyncNetwork execution per chunk; lanes "
+        "of a chunk share the first seed's ID assignment and roots)",
     )
     run_p.set_defaults(func=cmd_run)
 
@@ -924,6 +1000,12 @@ def build_parser() -> argparse.ArgumentParser:
     _scenario_run_args(sweep_scen_p)
     sweep_scen_p.add_argument("--ns", type=int, nargs="+", default=[32, 64])
     sweep_scen_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    sweep_scen_p.add_argument(
+        "--batch", action="store_true",
+        help="batch the seed replicas per (scenario, n) point: concurrent "
+        "election acts with the same membership run as one multi-lane "
+        "fast-engine execution (needs --engine fast; same results)",
+    )
     sweep_scen_p.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the sweep metrics as JSON ('-' prints to stdout)",

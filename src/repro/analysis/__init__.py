@@ -11,6 +11,7 @@ from repro.analysis.plot import bar_chart, scatter
 from repro.analysis.runner import (
     RunRecord,
     run_async_trial,
+    run_fast_batch,
     run_fast_trial,
     run_sync_trial,
     sweep_async,
@@ -33,6 +34,7 @@ __all__ = [
     "run_sync_trial",
     "run_async_trial",
     "run_fast_trial",
+    "run_fast_batch",
     "sweep_sync",
     "sweep_async",
     "sweep_fast",

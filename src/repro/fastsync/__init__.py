@@ -7,13 +7,18 @@ synchronous clique as flat numpy arrays — ids, candidate flags and
 per-round message batches — so the paper's tradeoff frontiers can be
 measured at ``n ≥ 10^5`` (see ``benchmarks/bench_fastsync_scale.py``).
 
-Four registry algorithms have vectorized ports (the Theorem 3.10
-tradeoff family, the Afek–Gafni baseline, the Theorem 3.16 Las Vegas
-sampler and the Theorem 3.15 small-ID windows); each is cross-validated
-against its object-model twin — same
-seed, same port map, identical winner and message/round counts — in
-``tests/test_fastsync_equivalence.py``.  See DESIGN.md ("Fast vectorized
-engine") for the array layout and the equivalence guarantees.
+Every synchronous registry algorithm has a vectorized port (the Theorem
+3.10 tradeoff family, the Afek–Gafni baseline, the Theorem 3.16 Las
+Vegas sampler, the Theorem 3.15 small-ID windows, the Monte Carlo
+baseline of [16] and the Theorem 4.1 adversarial wake-up election);
+each is cross-validated against its object-model twin — same seed, same
+port map, identical winner and message/round counts — in
+``tests/test_fastsync_equivalence.py`` and the per-port twin suites.
+One engine run can also execute a whole *batch* of seeds of the same
+configuration (``FastSyncNetwork(n, seeds=[...])``), bit-exact to the
+sequential single runs in exact mode.  See DESIGN.md ("Fast vectorized
+engine" and "Batched fast engine") for the array layout and the
+equivalence guarantees.
 
 numpy is an *optional* dependency: the rest of the ``repro`` package
 works without it, and importing :mod:`repro.fastsync` without numpy
@@ -33,8 +38,10 @@ except ImportError as exc:  # pragma: no cover - exercised via sys.modules stub
 
 from repro.fastsync.algorithm import VectorAlgorithm
 from repro.fastsync.algorithms import (
+    VectorAdversarial2RoundElection,
     VectorAfekGafniElection,
     VectorImprovedTradeoffElection,
+    VectorKutten16Election,
     VectorLasVegasElection,
     VectorSmallIdElection,
 )
@@ -46,8 +53,10 @@ __all__ = [
     "FastRunResult",
     "FastSyncNetwork",
     "VectorAlgorithm",
+    "VectorAdversarial2RoundElection",
     "VectorAfekGafniElection",
     "VectorImprovedTradeoffElection",
+    "VectorKutten16Election",
     "VectorLasVegasElection",
     "VectorSmallIdElection",
     "FAST_ALGORITHMS",

@@ -17,9 +17,15 @@ does per round, operating on index arrays.  The contract:
 * finish by calling :meth:`FastSyncNetwork.decide` with the leader
   node(s).
 
+Batched execution (:meth:`run_batch`) follows the same contract against
+the engine's lane-aware primitives (``*_lanes``): state lives in global
+``lane * n + node`` index arrays, every message batch is accounted per
+lane, ``tick(active)`` carries the mask of lanes still running, and each
+lane finishes with :meth:`FastSyncNetwork.decide_lane`.
+
 Ports assume the simultaneous wake-up regime (every node awake in round
-1), which is the regime all three currently ported algorithms are
-registered for at scale.
+1) unless they declare :attr:`supports_roots` and honor the engine's
+``roots`` wake-up schedule (currently ``adversarial_2round``).
 """
 
 from __future__ import annotations
@@ -44,6 +50,18 @@ class VectorAlgorithm:
     #: refuses to run a crash schedule against a port that does not.
     supports_crashes: bool = False
 
+    #: Whether the port implements :meth:`run_batch` (the batch axis).
+    supports_batch: bool = False
+
+    #: Whether the port honors an adversarial wake-up schedule
+    #: (:attr:`FastSyncNetwork.roots`).  Ports without it assume every
+    #: node wakes in round 1.
+    supports_roots: bool = False
+
     def run(self, net: "FastSyncNetwork") -> None:
         """Execute the full round schedule on ``net`` (see module docs)."""
         raise NotImplementedError
+
+    def run_batch(self, net: "FastSyncNetwork") -> None:
+        """Execute every lane of a batched ``net`` (see module docs)."""
+        raise NotImplementedError(f"{type(self).__name__} has no batched port")

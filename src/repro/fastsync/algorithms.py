@@ -1,11 +1,12 @@
-"""Vectorized ports of four registry algorithms.
+"""Vectorized ports of six registry algorithms.
 
 Each port reproduces its object-model twin's round schedule, message
 kinds and survivor logic on index arrays — see the twins' module
 docstrings (:mod:`repro.core.improved_tradeoff`,
 :mod:`repro.core.afek_gafni`, :mod:`repro.core.las_vegas`,
-:mod:`repro.core.small_id`) for the protocol rationale; only the
-vectorization is documented here.
+:mod:`repro.core.small_id`, :mod:`repro.core.kutten16`,
+:mod:`repro.core.adversarial_2round`) for the protocol rationale; only
+the vectorization is documented here.
 
 Full-fan-out iterations (``m = n - 1``) are never materialized: when a
 survivor contacts *every* peer the referee outcome is analytic — every
@@ -14,6 +15,14 @@ response count follow in O(S) — and this is what keeps the final
 broadcast rounds O(1) memory at ``n = 10^5``.  The analytic branches are
 exercised by the small-``n`` cross-engine equivalence tests (``n = 2``
 hits them on every iteration).
+
+Every port implements both the single-run protocol (:meth:`run`) and
+the batched one (:meth:`run_batch`): batch state lives in *global*
+``lane * n + node`` index arrays, every survivor/candidate array is kept
+sorted so :meth:`FastSyncNetwork.lane_segments` can slice it per lane,
+and per-lane termination (``tick(active)``) lets decided lanes stop
+paying tick cost — the Las Vegas port is the one whose lanes genuinely
+finish in different rounds.
 """
 
 from __future__ import annotations
@@ -24,11 +33,13 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.fastsync.algorithm import VectorAlgorithm
-from repro.mathutil import ceil_pow_frac
+from repro.mathutil import ceil_pow_frac, ceil_sqrt
 
 __all__ = [
+    "VectorAdversarial2RoundElection",
     "VectorAfekGafniElection",
     "VectorImprovedTradeoffElection",
+    "VectorKutten16Election",
     "VectorLasVegasElection",
     "VectorSmallIdElection",
 ]
@@ -36,6 +47,31 @@ __all__ = [
 #: Cap on temporary row elements per scatter/gather chunk (keeps peak
 #: memory for an n = 10^5, m ≈ 300 iteration in the tens of megabytes).
 _ROW_CHUNK = 8_000_000
+
+#: Edge budget per batched lane group: a compete iteration materializes
+#: at most this many destination entries at once (~128 MB of int32), so
+#: a 64-lane n = 10^5 batch never holds the whole batch's edge matrix.
+_GROUP_EDGES = 32_000_000
+
+
+def _lane_groups(net, sorted_idx: np.ndarray, m: int):
+    """Yield ``(row_start, row_stop)`` lane-aligned groups of ``sorted_idx``.
+
+    Groups pack consecutive lanes while the group's edge count
+    (``rows * m``) stays under :data:`_GROUP_EDGES`; a single lane always
+    forms a group even when it exceeds the budget (its scatter passes
+    sub-chunk by rows).
+    """
+    starts, stops = net.lane_segments(sorted_idx)
+    batch = net.batch
+    b0 = 0
+    width = max(m, 1)
+    while b0 < batch:
+        b1 = b0 + 1
+        while b1 < batch and (stops[b1] - starts[b0]) * width <= _GROUP_EDGES:
+            b1 += 1
+        yield int(starts[b0]), int(stops[b1 - 1])
+        b0 = b1
 
 
 def _compete_iteration(
@@ -83,22 +119,101 @@ def _compete_iteration(
     return senders[ok], responses
 
 
+def _compete_iteration_lanes(
+    net, senders: np.ndarray, m: int, init: np.ndarray, compete_kind: str, response_kind: str
+) -> np.ndarray:
+    """Batched :func:`_compete_iteration` over sorted global sender indices.
+
+    ``init`` is the ``(batch * n,)`` referee floor in *rank space*
+    (``net.ids_rank_flat`` values, or ``-1``): max-compete logic runs on
+    int32 ranks — order-isomorphic to the IDs — which halves the
+    scatter/gather traffic of the hot round.  The survivor check prunes
+    through column 0 first: only ~``rows/m`` senders win their first
+    referee, so the full all-columns gather runs on a sliver of rows.
+    """
+    net.count_messages_lanes(net.rows_per_lane(senders) * m, compete_kind)
+    net.tick()
+    crashy = net.has_crashes
+    sid_all = net.ids_rank_flat[senders]
+    best = init.copy()
+    rows = len(senders)
+    chunk = max(1, _ROW_CHUNK // max(m, 1))
+    alive_flat = net.alive_flat
+    ok = np.empty(rows, dtype=bool)
+    # Lanes are independent, so each lane group runs its sample-scatter-
+    # check pipeline end to end and frees its edge matrix before the
+    # next group starts — peak memory is one group, not the whole batch.
+    for gs, ge in _lane_groups(net, senders, m):
+        dst = net.first_ports_lanes(senders[gs:ge], m)
+        for start in range(0, ge - gs, chunk):
+            stop = min(ge - gs, start + chunk)
+            flat = dst[start:stop].reshape(-1)
+            rep = np.repeat(sid_all[gs + start : gs + stop], m)
+            if crashy:
+                delivered = alive_flat[flat]
+                flat = flat[delivered]
+                rep = rep[delivered]
+            np.maximum.at(best, flat, rep)
+        # Column-0 pruning (sound with crash masks too: a dead referee's
+        # floor never equals a live sender's rank — referees are never
+        # self): only ~rows/m senders win their first referee, so the
+        # full all-columns gather runs on a sliver of rows.
+        sid = sid_all[gs:ge]
+        group_ok = best[dst[:, 0]] == sid
+        cand = np.nonzero(group_ok)[0]
+        if len(cand) and m > 1:
+            group_ok[cand] = (best[dst[cand]] == sid[cand, None]).all(axis=1)
+        ok[gs:ge] = group_ok
+    responded = (best > init).reshape(net.batch, net.n)
+    net.count_messages_lanes(responded.sum(axis=1), response_kind)
+    return senders[ok]
+
+
+def _rank_referee_grants(
+    alive: Optional[np.ndarray],
+    size: int,
+    flat: np.ndarray,
+    rep: np.ndarray,
+    crashy: bool,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Referee grants for rank competitions (``kutten16`` / ``las_vegas``).
+
+    A referee grants ``win`` to the unique maximum rank among the
+    competes *delivered* to it and ``lose`` to the rest.  Returns the
+    per-compete ``is_win`` mask and (when crash-aware) the delivered
+    mask — undelivered competes are neither won nor lost.
+    """
+    best = np.zeros(size, dtype=np.int64)
+    if crashy:
+        delivered = alive[flat]
+        np.maximum.at(best, flat[delivered], rep[delivered])
+        hits = delivered & (rep == best[flat])
+    else:
+        delivered = None
+        np.maximum.at(best, flat, rep)
+        hits = rep == best[flat]
+    top_count = np.zeros(size, dtype=np.int64)
+    np.add.at(top_count, flat[hits], 1)
+    is_win = hits & (top_count[flat] == 1)
+    return is_win, delivered
+
+
 class VectorImprovedTradeoffElection(VectorAlgorithm):
     """Vectorized Theorem 3.10 tradeoff election (twin: ``improved_tradeoff``).
 
-    The only crash-aware port so far: under a
-    :class:`~repro.fastsync.FastSyncNetwork` crash schedule, crashed
-    survivors drop out at the start of the round their crash lands on,
-    dead referees never respond (so their senders lose the iteration),
-    and only nodes alive in the silent decision round decide — matching
-    the object engine's crash-stop semantics bit for bit in ``exact``
-    mode (``tests/test_fastsync_crash.py``).  Crash runs take the
-    materialized path even for full fan-out, so they cost ``O(n·m)``
-    memory where the analytic branch costs ``O(1)``.
+    Crash-aware: under a :class:`~repro.fastsync.FastSyncNetwork` crash
+    schedule, crashed survivors drop out at the start of the round their
+    crash lands on, dead referees never respond (so their senders lose
+    the iteration), and only nodes alive in the silent decision round
+    decide — matching the object engine's crash-stop semantics bit for
+    bit in ``exact`` mode (``tests/test_fastsync_crash.py``).  Crash
+    runs take the materialized path even for full fan-out, so they cost
+    ``O(n·m)`` memory where the analytic branch costs ``O(1)``.
     """
 
     name = "improved_tradeoff"
     supports_crashes = True
+    supports_batch = True
 
     COMPETE = "compete"
     RESPONSE = "response"
@@ -165,15 +280,82 @@ class VectorImprovedTradeoffElection(VectorAlgorithm):
         winner = int(survivors[int(np.argmax(ids[survivors]))])
         net.decide([winner])
 
+    def run_batch(self, net) -> None:
+        n, ids_flat = net.n, net.ids_flat
+        batch = net.batch
+        crashy = net.has_crashes
+        survivors = np.arange(batch * n, dtype=np.int64)
+        for i in range(1, self.k - 1):
+            m = self.referee_count(n, i)
+            net.tick()
+            if crashy:
+                survivors = survivors[net.alive_flat[survivors]]
+            if m == 0:
+                net.tick()
+                continue
+            if m == n - 1 and not crashy:
+                net.count_messages_lanes(net.rows_per_lane(survivors) * m, self.COMPETE)
+                net.tick()
+                starts, stops = net.lane_segments(survivors)
+                responses = np.zeros(batch, dtype=np.int64)
+                keep = []
+                for b in range(batch):
+                    seg = survivors[starts[b] : stops[b]]
+                    if len(seg) == 1:
+                        responses[b] = n - 1
+                        keep.append(seg)
+                    elif len(seg) >= 2:
+                        responses[b] = n
+                        if n > 2:
+                            keep.append(seg[[int(np.argmax(ids_flat[seg]))]])
+                        else:
+                            keep.append(seg)
+                net.count_messages_lanes(responses, self.RESPONSE)
+                survivors = np.concatenate(keep) if keep else survivors[:0]
+                continue
+            init = np.full(batch * n, -1, dtype=np.int32)
+            survivors = _compete_iteration_lanes(
+                net, survivors, m, init, self.COMPETE, self.RESPONSE
+            )
+        net.tick()  # round 2k-3: surviving IDs are broadcast
+        if crashy:
+            survivors = survivors[net.alive_flat[survivors]]
+        net.count_messages_lanes(net.rows_per_lane(survivors) * (n - 1), self.FINAL)
+        net.tick()  # round 2k-2: silent decision round
+        starts, stops = net.lane_segments(survivors)
+        for b in range(batch):
+            seg = survivors[starts[b] : stops[b]] - b * n
+            if crashy:
+                decided = int(net.alive[b].sum())
+                if len(seg):
+                    winner = int(seg[int(np.argmax(net.ids[seg]))])
+                    leaders = [winner] if net.alive[b, winner] else []
+                else:
+                    leaders = []
+                net.decide_lane(b, leaders, decided_count=decided)
+            else:
+                winner = int(seg[int(np.argmax(net.ids[seg]))])
+                net.decide_lane(b, [winner])
+
 
 class VectorAfekGafniElection(VectorAlgorithm):
     """Vectorized Afek–Gafni reconstruction (twin: ``afek_gafni``).
 
     Simultaneous wake-up only: at scale every node starts as a candidate,
     which is the head-to-head configuration the benchmarks sweep.
+
+    Crash-aware, with one faithful sharp edge: the reconstruction's
+    final iteration contacts *every* peer, so any crash that lands
+    before the last referee round starves every candidate of a response
+    and the protocol stalls — on both engines, which raise
+    ``SimulationLimitExceeded`` in lockstep.  Crashes at or after the
+    announcement round behave gracefully (dead followers simply never
+    decide).
     """
 
     name = "afek_gafni"
+    supports_crashes = True
+    supports_batch = True
 
     COMPETE = "compete"
     RESPONSE = "response"
@@ -190,14 +372,17 @@ class VectorAfekGafniElection(VectorAlgorithm):
 
     def run(self, net) -> None:
         n, ids = net.n, net.ids
+        crashy = net.has_crashes
         candidates = np.arange(n, dtype=np.int64)
         for i in range(1, self.iterations + 1):
             m = self.referee_count(n, i)
             net.tick()  # round 2i-1: competes
+            if crashy:
+                candidates = candidates[net.alive[candidates]]
             if m == 0:  # n == 1
                 net.tick()
                 continue
-            if m == n - 1:
+            if m == n - 1 and not crashy:
                 s_count = len(candidates)
                 net.count_messages(s_count * m, self.COMPETE)
                 net.tick()
@@ -215,12 +400,84 @@ class VectorAfekGafniElection(VectorAlgorithm):
                 net, candidates, m, init, self.COMPETE, self.RESPONSE
             )
         net.tick()  # round 2K+1: the surviving candidate announces
-        if len(candidates) == 0:  # pragma: no cover - the max ID always survives
-            raise RuntimeError("afek_gafni lost every candidate")
+        if crashy:
+            candidates = candidates[net.alive[candidates]]
+        if len(candidates) == 0:
+            if not crashy:  # pragma: no cover - the max ID always survives
+                raise RuntimeError("afek_gafni lost every candidate")
+            # Every candidate crashed (or lost to a dead referee): nobody
+            # announces and the object engine's referees idle until the
+            # round limit — replicate the stall.
+            while True:
+                net.tick()
         net.count_messages(len(candidates) * (n - 1), self.ELECTED)
         if n >= 2:
             net.tick()  # round 2K+2: followers receive the announcement
+        if crashy:
+            # The winner decided LEADER at the announcement round — that
+            # decision is permanent even if it crashes afterwards; the
+            # followers decide only if alive when the broadcast lands.
+            winner = int(candidates[int(np.argmax(ids[candidates]))])
+            decided = int(net.alive.sum()) + (0 if net.alive[winner] else 1)
+            net.decide([winner], decided_count=decided)
+            return
         net.decide(candidates.tolist())
+
+    def run_batch(self, net) -> None:
+        n, ids_flat = net.n, net.ids_flat
+        batch = net.batch
+        crashy = net.has_crashes
+        candidates = np.arange(batch * n, dtype=np.int64)
+        for i in range(1, self.iterations + 1):
+            m = self.referee_count(n, i)
+            net.tick()
+            if crashy:
+                candidates = candidates[net.alive_flat[candidates]]
+            if m == 0:
+                net.tick()
+                continue
+            if m == n - 1 and not crashy:
+                net.count_messages_lanes(net.rows_per_lane(candidates) * m, self.COMPETE)
+                net.tick()
+                starts, stops = net.lane_segments(candidates)
+                responses = np.zeros(batch, dtype=np.int64)
+                keep = []
+                for b in range(batch):
+                    seg = candidates[starts[b] : stops[b]]
+                    if len(seg):
+                        responses[b] = n - 1
+                        keep.append(seg[[int(np.argmax(ids_flat[seg]))]])
+                net.count_messages_lanes(responses, self.RESPONSE)
+                candidates = np.concatenate(keep) if keep else candidates[:0]
+                continue
+            init = np.full(batch * n, -1, dtype=np.int32)
+            init[candidates] = net.ids_rank_flat[candidates]
+            candidates = _compete_iteration_lanes(
+                net, candidates, m, init, self.COMPETE, self.RESPONSE
+            )
+        net.tick()  # round 2K+1: the surviving candidates announce
+        if crashy:
+            candidates = candidates[net.alive_flat[candidates]]
+        counts = net.rows_per_lane(candidates)
+        if (counts == 0).any():
+            if not crashy:  # pragma: no cover - the max ID always survives
+                raise RuntimeError("afek_gafni lost every candidate")
+            # A lane with no announcer stalls; sequential runs of its
+            # seed raise the same SimulationLimitExceeded.
+            while True:
+                net.tick()
+        net.count_messages_lanes(counts * (n - 1), self.ELECTED)
+        if n >= 2:
+            net.tick()  # round 2K+2: followers receive the announcement
+        starts, stops = net.lane_segments(candidates)
+        for b in range(batch):
+            seg = candidates[starts[b] : stops[b]] - b * n
+            if crashy:
+                winner = int(seg[int(np.argmax(net.ids[seg]))])
+                decided = int(net.alive[b].sum()) + (0 if net.alive[b, winner] else 1)
+                net.decide_lane(b, [winner], decided_count=decided)
+            else:
+                net.decide_lane(b, seg.tolist())
 
 
 class VectorSmallIdElection(VectorAlgorithm):
@@ -237,9 +494,15 @@ class VectorSmallIdElection(VectorAlgorithm):
     ``b ≤ d·g`` broadcasters.  Matches the twin bit for bit in exact
     mode: same rounds, same message counts, same winner
     (``tests/test_fastsync_small_id.py``).
+
+    Crash-aware: a window whose members all died stays silent, so the
+    opening round is the first window with a *live* member; the minimum
+    live broadcaster leads only if it survives into the decision round.
     """
 
     name = "small_id"
+    supports_crashes = True
+    supports_batch = True
 
     BALLOT = "ballot"
 
@@ -251,7 +514,7 @@ class VectorSmallIdElection(VectorAlgorithm):
         self.d = d
         self.g = g
 
-    def run(self, net) -> None:
+    def _windows(self, net) -> np.ndarray:
         n, ids = net.n, net.ids
         if self.d > n:
             raise ValueError("need d <= n")
@@ -261,7 +524,25 @@ class VectorSmallIdElection(VectorAlgorithm):
                 f"got {int(ids.min() if ids.min() < 1 else ids.max())}"
             )
         width = self.d * self.g
-        windows = (ids + width - 1) // width
+        return (ids + width - 1) // width
+
+    def run(self, net) -> None:
+        n, ids = net.n, net.ids
+        windows = self._windows(net)
+        if net.has_crashes:
+            # The opening round is the first window with a live member;
+            # every round ticks (crashes land inside tick()).
+            while True:
+                r = net.tick()
+                broadcasters = np.nonzero((windows == r) & net.alive)[0]
+                if len(broadcasters):
+                    break
+            net.count_messages(len(broadcasters) * (n - 1), self.BALLOT)
+            net.tick()
+            winner = int(broadcasters[int(np.argmin(ids[broadcasters]))])
+            leaders = [winner] if net.alive[winner] else []
+            net.decide(leaders, decided_count=int(net.alive.sum()))
+            return
         opening = int(windows.min())
         # Rounds 1 .. opening-1 are silent; the window's members
         # broadcast in round ``opening`` and everyone decides in the
@@ -274,11 +555,49 @@ class VectorSmallIdElection(VectorAlgorithm):
         winner = int(broadcasters[int(np.argmin(ids[broadcasters]))])
         net.decide([winner])
 
+    def run_batch(self, net) -> None:
+        n, ids = net.n, net.ids
+        batch = net.batch
+        windows = self._windows(net)
+        # stage 0: scanning for the opening window; 1: broadcast sent,
+        # deciding next round; 2: done.
+        stage = np.zeros(batch, dtype=np.int64)
+        broadcasters: list = [None] * batch
+        while (stage < 2).any():
+            active = stage < 2
+            net.tick(active)
+            counts = np.zeros(batch, dtype=np.int64)
+            for b in np.nonzero(active)[0]:
+                if stage[b] == 1:
+                    seg = broadcasters[b]
+                    winner = int(seg[int(np.argmin(ids[seg]))])
+                    leaders = [winner] if net.alive[b, winner] else []
+                    net.decide_lane(b, leaders, decided_count=int(net.alive[b].sum()))
+                    stage[b] = 2
+                    continue
+                r = int(net.lane_round[b])
+                seg = np.nonzero((windows == r) & net.alive[b])[0]
+                if len(seg):
+                    broadcasters[b] = seg
+                    counts[b] = len(seg) * (n - 1)
+                    stage[b] = 1
+            net.count_messages_lanes(counts, self.BALLOT)
+
 
 class VectorLasVegasElection(VectorAlgorithm):
-    """Vectorized Theorem 3.16 Las Vegas election (twin: ``las_vegas``)."""
+    """Vectorized Theorem 3.16 Las Vegas election (twin: ``las_vegas``).
+
+    Crash-aware: dead nodes flip no candidacy coins, dead referees grant
+    nothing (so their candidates can never collect a full win set), a
+    candidate must be alive in the broadcast round to announce, and the
+    unique announcer leads only if it survives into the decision round.
+    In batch mode lanes finish in different phases — decided lanes stop
+    ticking and drawing while the stragglers keep restarting.
+    """
 
     name = "las_vegas"
+    supports_crashes = True
+    supports_batch = True
 
     COMPETE = "compete"
     WIN = "win"
@@ -316,35 +635,339 @@ class VectorLasVegasElection(VectorAlgorithm):
             net.tick()
             net.decide([0])
             return
+        crashy = net.has_crashes
         m = self.referee_count(n)
         announcers = np.empty(0, dtype=np.int64)
         phase = 0
         while True:
             net.tick()  # round 3p+1: verify previous announcements / compete
             if len(announcers) == 1:
-                net.decide([int(announcers[0])])
+                winner = int(announcers[0])
+                if crashy:
+                    leaders = [winner] if net.alive[winner] else []
+                    net.decide(leaders, decided_count=int(net.alive.sum()))
+                else:
+                    net.decide([winner])
                 return
             # Zero or several announcers: every node restarts the phase.
             self.phases_run = phase + 1
             prob = self.candidate_probability(n, phase)
-            cand = np.nonzero(net.bernoulli(prob))[0]
+            coin = net.bernoulli(prob)
+            if crashy:
+                coin &= net.alive
+            cand = np.nonzero(coin)[0]
             ranks = net.rank_draws(cand, n**4)
             dst = net.sampled_targets(cand, m)
             net.count_messages(dst.size, self.COMPETE)
             net.tick()  # round 3p+2: referees grant win/lose per compete
             flat = dst.reshape(-1)
             rep = np.repeat(ranks, m)
-            best = np.zeros(n, dtype=np.int64)
-            np.maximum.at(best, flat, rep)
-            hits = rep == best[flat]
-            top_count = np.zeros(n, dtype=np.int64)
-            np.add.at(top_count, flat[hits], 1)
-            is_win = hits & (top_count[flat] == 1)
+            is_win, delivered = _rank_referee_grants(net.alive, n, flat, rep, crashy)
             wins = int(np.count_nonzero(is_win))
+            considered = int(np.count_nonzero(delivered)) if crashy else flat.size
             net.count_messages(wins, self.WIN)
-            net.count_messages(flat.size - wins, self.LOSE)
+            net.count_messages(considered - wins, self.LOSE)
             net.tick()  # round 3p+3: all-win candidates broadcast
             ok = is_win.reshape(len(cand), m).all(axis=1) if len(cand) else np.empty(0, bool)
             announcers = cand[ok]
+            if crashy:
+                announcers = announcers[net.alive[announcers]]
             net.count_messages(len(announcers) * (n - 1), self.ANNOUNCE)
             phase += 1
+
+    def run_batch(self, net) -> None:
+        n = net.n
+        batch = net.batch
+        if n == 1:
+            net.tick()
+            for b in range(batch):
+                net.decide_lane(b, [0])
+            return
+        crashy = net.has_crashes
+        m = self.referee_count(n)
+        announcers = [np.empty(0, dtype=np.int64) for _ in range(batch)]  # lane-local
+        active = np.ones(batch, dtype=bool)
+        phase = 0
+        while active.any():
+            net.tick(active)  # round 3p+1: verify previous announcements
+            for b in np.nonzero(active)[0]:
+                if len(announcers[b]) == 1:
+                    winner = int(announcers[b][0])
+                    if crashy:
+                        leaders = [winner] if net.alive[b, winner] else []
+                        net.decide_lane(b, leaders, decided_count=int(net.alive[b].sum()))
+                    else:
+                        net.decide_lane(b, [winner])
+                    active[b] = False
+            if not active.any():
+                return
+            act_idx = np.nonzero(active)[0]
+            self.phases_run = phase + 1
+            prob = self.candidate_probability(n, phase)
+            coin = net.bernoulli_lanes(prob, lanes=act_idx)
+            if crashy:
+                coin &= net.alive
+            cand = np.nonzero(coin.reshape(-1))[0]
+            ranks = net.rank_draws_lanes(cand, n**4)
+            dst = net.sampled_targets_lanes(cand, m)
+            net.count_messages_lanes(net.rows_per_lane(cand) * m, self.COMPETE)
+            net.tick(active)  # round 3p+2: referees grant win/lose
+            flat = dst.reshape(-1)
+            rep = np.repeat(ranks, m)
+            is_win, delivered = _rank_referee_grants(
+                net.alive_flat, batch * n, flat, rep, crashy
+            )
+            lanes_of = flat // n
+            wins_lanes = np.bincount(lanes_of[is_win], minlength=batch)
+            if crashy:
+                considered = np.bincount(lanes_of[delivered], minlength=batch)
+            else:
+                considered = np.bincount(lanes_of, minlength=batch)
+            net.count_messages_lanes(wins_lanes, self.WIN)
+            net.count_messages_lanes(considered - wins_lanes, self.LOSE)
+            net.tick(active)  # round 3p+3: all-win candidates broadcast
+            ok = is_win.reshape(len(cand), m).all(axis=1) if len(cand) else np.empty(0, bool)
+            ann = cand[ok]
+            if crashy:
+                ann = ann[net.alive_flat[ann]]
+            net.count_messages_lanes(net.rows_per_lane(ann) * (n - 1), self.ANNOUNCE)
+            starts, stops = net.lane_segments(ann)
+            for b in act_idx:
+                announcers[b] = ann[starts[b] : stops[b]] - b * n
+            phase += 1
+
+
+class VectorKutten16Election(VectorAlgorithm):
+    """Vectorized 2-round Monte Carlo baseline (twin: ``kutten16``).
+
+    Round 1: every node flips the ``c1·ln n/n`` candidacy coin;
+    candidates draw a rank and contact ``⌈c2·√(n·ln n)⌉`` sampled
+    referees.  Round 2: referees grant ``win`` to the unique maximum
+    rank.  Round 3 (silent): candidates whose referees all granted
+    ``win`` decide LEADER — zero or several leaders are possible, which
+    is the Monte Carlo failure mode the twin measures.  With no
+    candidates at all the run ends after round 2, like the twin.
+
+    Crash-aware: dead nodes flip no coins, dead referees grant nothing,
+    and a winning candidate must survive into round 3 to decide.
+    """
+
+    name = "kutten16"
+    supports_crashes = True
+    supports_batch = True
+
+    COMPETE = "compete"
+    WIN = "win"
+    LOSE = "lose"
+
+    def __init__(self, candidate_coeff: float = 2.0, referee_coeff: float = 2.0) -> None:
+        if candidate_coeff <= 0 or referee_coeff <= 0:
+            raise ValueError("coefficients must be positive")
+        self.candidate_coeff = candidate_coeff
+        self.referee_coeff = referee_coeff
+
+    def candidate_probability(self, n: int) -> float:
+        if n < 2:
+            return 1.0
+        return min(1.0, self.candidate_coeff * math.log(n) / n)
+
+    def referee_count(self, n: int) -> int:
+        if n < 2:
+            return 0
+        return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
+
+    def run(self, net) -> None:
+        n = net.n
+        crashy = net.has_crashes
+        net.tick()  # round 1: candidacy coins + competes
+        if n == 1:
+            net.decide([0])
+            return
+        coin = net.bernoulli(self.candidate_probability(n))
+        if crashy:
+            coin &= net.alive
+        alive1 = net.alive.copy() if crashy else None
+        cand = np.nonzero(coin)[0]
+        m = self.referee_count(n)
+        ranks = net.rank_draws(cand, n**4)
+        dst = net.sampled_targets(cand, m)
+        net.count_messages(dst.size, self.COMPETE)
+        net.tick()  # round 2: referees grant win/lose; non-candidates halt
+        if len(cand) == 0:
+            # Nobody competed: every live node decided NON_LEADER in
+            # round 1 and the run ends after the silent referee round.
+            decided = int(alive1.sum()) if crashy else n
+            net.decide([], decided_count=decided)
+            return
+        flat = dst.reshape(-1)
+        rep = np.repeat(ranks, m)
+        is_win, delivered = _rank_referee_grants(net.alive, n, flat, rep, crashy)
+        wins = int(np.count_nonzero(is_win))
+        considered = int(np.count_nonzero(delivered)) if crashy else flat.size
+        net.count_messages(wins, self.WIN)
+        net.count_messages(considered - wins, self.LOSE)
+        net.tick()  # round 3 (silent): candidates tally their verdicts
+        ok = is_win.reshape(len(cand), m).all(axis=1)
+        winners = cand[ok]
+        if crashy:
+            winners = winners[net.alive[winners]]
+            # Non-candidates decided (permanently) in round 1 while
+            # alive; candidates decide in round 3 only if still alive.
+            decided = int((alive1 & ~coin).sum()) + int(net.alive[cand].sum())
+            net.decide(winners.tolist(), decided_count=decided)
+            return
+        net.decide(winners.tolist())
+
+    def run_batch(self, net) -> None:
+        n = net.n
+        batch = net.batch
+        crashy = net.has_crashes
+        net.tick()  # round 1
+        if n == 1:
+            for b in range(batch):
+                net.decide_lane(b, [0])
+            return
+        coin = net.bernoulli_lanes(self.candidate_probability(n))
+        if crashy:
+            coin &= net.alive
+        alive1 = net.alive.copy() if crashy else None
+        cand = np.nonzero(coin.reshape(-1))[0]
+        m = self.referee_count(n)
+        ranks = net.rank_draws_lanes(cand, n**4)
+        dst = net.sampled_targets_lanes(cand, m)
+        cand_lanes = net.rows_per_lane(cand)
+        net.count_messages_lanes(cand_lanes * m, self.COMPETE)
+        active = cand_lanes > 0
+        net.tick()  # round 2: every lane runs its referee round
+        for b in np.nonzero(~active)[0]:
+            decided = int(alive1[b].sum()) if crashy else n
+            net.decide_lane(b, [], decided_count=decided)
+        if not active.any():
+            return
+        flat = dst.reshape(-1)
+        rep = np.repeat(ranks, m)
+        is_win, delivered = _rank_referee_grants(
+            net.alive_flat, batch * n, flat, rep, crashy
+        )
+        lanes_of = flat // n
+        wins_lanes = np.bincount(lanes_of[is_win], minlength=batch)
+        if crashy:
+            considered = np.bincount(lanes_of[delivered], minlength=batch)
+        else:
+            considered = np.bincount(lanes_of, minlength=batch)
+        net.count_messages_lanes(wins_lanes, self.WIN)
+        net.count_messages_lanes(considered - wins_lanes, self.LOSE)
+        net.tick(active)  # round 3 (silent) for lanes with candidates
+        ok = is_win.reshape(len(cand), m).all(axis=1)
+        winners = cand[ok]
+        if crashy:
+            winners = winners[net.alive_flat[winners]]
+        starts, stops = net.lane_segments(winners)
+        c_starts, c_stops = net.lane_segments(cand)
+        for b in np.nonzero(active)[0]:
+            seg = winners[starts[b] : stops[b]] - b * n
+            if crashy:
+                lane_cand = cand[c_starts[b] : c_stops[b]] - b * n
+                decided = int((alive1[b] & ~coin[b]).sum()) + int(
+                    net.alive[b][lane_cand].sum()
+                )
+                net.decide_lane(b, seg.tolist(), decided_count=decided)
+            else:
+                net.decide_lane(b, seg.tolist())
+
+
+class VectorAdversarial2RoundElection(VectorAlgorithm):
+    """Vectorized Theorem 4.1 election (twin: ``adversarial_2round``).
+
+    The only wake-up-aware port: the engine's ``roots`` schedule names
+    the adversarially woken nodes (default: everyone).  Round 1: roots
+    send wake-ups over ``⌈√n⌉`` sampled ports.  Round 2: every node
+    that *received* a wake-up flips the ``log(1/ε)/⌈√n⌉`` candidacy
+    coin (receipt-based reading — see the twin's module docstring);
+    candidates broadcast their ranks.  Round 3: the unique maximum rank
+    leads; rank collisions elect nobody; with zero candidates only the
+    awake nodes decide (as followers) and the sleepers sleep on —
+    the ε-probability failure the theorem prices in.
+    """
+
+    name = "adversarial_2round"
+    supports_batch = True
+    supports_roots = True
+
+    WAKE = "wake"
+    RANK = "rank"
+
+    def __init__(self, epsilon: float = 0.05) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("need 0 < epsilon < 1")
+        self.epsilon = epsilon
+
+    def candidate_probability(self, n: int) -> float:
+        return min(1.0, math.log(1.0 / self.epsilon) / ceil_sqrt(n))
+
+    def run(self, net) -> None:
+        n = net.n
+        roots = net.roots if net.roots is not None else np.arange(n, dtype=np.int64)
+        net.tick()  # round 1: roots send wake-ups
+        if n == 1:
+            net.decide([0])
+            return
+        m = min(ceil_sqrt(n), n - 1)
+        dst = net.sampled_targets(roots, m)
+        net.count_messages(dst.size, self.WAKE)
+        net.tick()  # round 2: wake-up receivers flip candidacy coins
+        eligible = np.zeros(n, dtype=bool)
+        eligible[np.unique(dst.reshape(-1))] = True
+        coin = net.bernoulli(self.candidate_probability(n))
+        cand = np.nonzero(eligible & coin)[0]
+        ranks = net.rank_draws(cand, n**4)
+        net.count_messages(len(cand) * (n - 1), self.RANK)
+        net.tick()  # round 3: every rank receiver decides
+        if len(cand) == 0:
+            is_root = np.zeros(n, dtype=bool)
+            is_root[roots] = True
+            awake = int((is_root | eligible).sum())
+            net.decide([], decided_count=awake, awake_count=awake)
+            return
+        top = int(ranks.max())
+        holders = cand[ranks == top]
+        leaders = [int(holders[0])] if len(holders) == 1 else []
+        net.decide(leaders, decided_count=n, awake_count=n)
+
+    def run_batch(self, net) -> None:
+        n = net.n
+        batch = net.batch
+        roots = net.roots if net.roots is not None else np.arange(n, dtype=np.int64)
+        net.tick()  # round 1
+        if n == 1:
+            for b in range(batch):
+                net.decide_lane(b, [0])
+            return
+        m = min(ceil_sqrt(n), n - 1)
+        roots_g = (np.arange(batch, dtype=np.int64)[:, None] * n + roots[None, :]).reshape(-1)
+        eligible = np.zeros(batch * n, dtype=bool)
+        for gs, ge in _lane_groups(net, roots_g, m):
+            dst = net.sampled_targets_lanes(roots_g[gs:ge], m)
+            eligible[dst.reshape(-1)] = True
+        net.count_messages_lanes(np.full(batch, len(roots) * m, dtype=np.int64), self.WAKE)
+        net.tick()  # round 2
+        coin = net.bernoulli_lanes(self.candidate_probability(n))
+        cand = np.nonzero(eligible & coin.reshape(-1))[0]
+        ranks = net.rank_draws_lanes(cand, n**4)
+        net.count_messages_lanes(net.rows_per_lane(cand) * (n - 1), self.RANK)
+        net.tick()  # round 3
+        is_root = np.zeros(n, dtype=bool)
+        is_root[roots] = True
+        eligible2 = eligible.reshape(batch, n)
+        starts, stops = net.lane_segments(cand)
+        for b in range(batch):
+            seg = cand[starts[b] : stops[b]]
+            if len(seg) == 0:
+                awake = int((is_root | eligible2[b]).sum())
+                net.decide_lane(b, [], decided_count=awake, awake_count=awake)
+                continue
+            r = ranks[starts[b] : stops[b]]
+            top = int(r.max())
+            holders = seg[r == top]
+            leaders = [int(holders[0] - b * n)] if len(holders) == 1 else []
+            net.decide_lane(b, leaders, decided_count=n, awake_count=n)

@@ -46,6 +46,24 @@ Two port-model modes
 
 ``mode="auto"`` picks ``exact`` for ``n ≤ exact_limit`` (default 2048)
 and ``scale`` above.
+
+The batch axis
+--------------
+
+``FastSyncNetwork(n, seeds=[s0, s1, ...])`` (or ``batch=k``, which
+expands to ``seeds=[seed, seed+1, ..., seed+k-1]``) runs *many
+independent elections of the same (n, algorithm) configuration in one
+engine execution*: state arrays grow a leading lane dimension
+(``alive`` is ``(batch, n)``), every lane draws from its **own** RNG
+streams seeded exactly like a single run with that lane's seed, crash
+masks apply per lane, and per-lane termination lets finished lanes stop
+paying tick cost.  ``run()`` then returns one :class:`FastRunResult`
+per lane.  In ``exact`` mode lane ``b`` replays a single run with seed
+``seeds[b]`` bit for bit (``tests/test_fastsync_batch.py``); in
+``scale`` mode lanes are deterministic per ``(n, seed, mode)`` and
+distribution-equivalent, but the batched path uses a faster int32
+collision-resampling sampler, so its draws differ from the legacy
+single-run scale stream (see DESIGN.md "Batched fast engine").
 """
 
 from __future__ import annotations
@@ -60,11 +78,20 @@ import numpy as np
 from repro.common import SimulationLimitExceeded, SurvivorAccounting
 from repro.net.ports import PortMap
 
-__all__ = ["ArrayPortMap", "FastRunResult", "FastSyncNetwork"]
+__all__ = ["ArrayPortMap", "DEFAULT_EXACT_LIMIT", "FastRunResult", "FastSyncNetwork"]
+
+#: ``mode="auto"``'s exact/scale crossover; also the ceiling below which
+#: the scenario batch coordinator may group acts into multi-lane runs
+#: (exact-mode lanes replay single runs bit for bit).
+DEFAULT_EXACT_LIMIT = 2048
 
 #: Above this many row elements, distinct-target generation falls back to
 #: chunked argpartition instead of whole-matrix rejection sampling.
 _KEY_CHUNK_ELEMS = 30_000_000
+
+#: Safety valve for the collision-resampling loops: statistically the
+#: loops converge geometrically, so this is never reached.
+_RESAMPLE_LIMIT = 500
 
 
 class ArrayPortMap(PortMap):
@@ -125,6 +152,7 @@ class FastRunResult(SurvivorAccounting):
     wall_time_s: float
     crashed: List[int] = field(default_factory=list)  # crash-mask casualties
     fault_metrics: Optional[object] = None
+    seed: Optional[int] = None  # the run (or lane) seed, when known
 
     @property
     def unique_leader(self) -> bool:
@@ -135,8 +163,111 @@ class FastRunResult(SurvivorAccounting):
         return self.leader_ids[0] if self.unique_leader else None
 
 
+def _random_port_matrix(rng: np.random.Generator, n: int) -> np.ndarray:
+    """An ``(n, n-1)`` matrix whose rows are random orderings of peers."""
+    if n == 1:
+        return np.empty((1, 0), dtype=np.int64)
+    keys = rng.random((n, n))
+    np.fill_diagonal(keys, np.inf)  # self is never a peer: sorts last
+    return np.argsort(keys, axis=1, kind="stable")[:, : n - 1]
+
+
+def _validated_schedule(
+    crashes: Sequence[Tuple[int, float]], n: int
+) -> List[Tuple[float, int]]:
+    """Normalize one crash schedule to a sorted ``(at, node)`` list."""
+    schedule: List[Tuple[float, int]] = []
+    seen_nodes = set()
+    for node, at in crashes:
+        node = int(node)
+        if not 0 <= node < n:
+            raise ValueError(f"crash target {node} out of range for n={n}")
+        if node in seen_nodes:
+            raise ValueError(f"node {node} is scheduled to crash twice")
+        if at < 0:
+            raise ValueError("crash schedule entries need at >= 0")
+        seen_nodes.add(node)
+        schedule.append((float(at), node))
+    if len(schedule) >= n:
+        raise ValueError("cannot schedule every node to crash")
+    return sorted(schedule)
+
+
+def _sample_distinct(
+    rng: np.random.Generator, src_local: np.ndarray, m: int, n: int
+) -> np.ndarray:
+    """``m`` distinct uniform peers (≠ self) per row — the batched sampler.
+
+    The batched scale path treats a target row as a *set* (every port's
+    referee logic is symmetric over columns), which unlocks the two
+    tricks the legacy single-run sampler cannot use:
+
+    * rows are kept **sorted in place** — duplicate detection costs one
+      copy-free int32 sort per pass instead of the legacy fancy-index
+      copy plus int64 ``np.sort`` copy;
+    * the self-peer is excluded by remapping draws from ``[0, n-1)``
+      that hit ``src`` onto the reserved value ``n-1`` (exactly uniform
+      over the peers), instead of the branchy shift-add.
+
+    Only the colliding *positions* are redrawn (in a sorted row they are
+    the adjacent-equal slots; one copy of each value survives, the rest
+    get fresh uniform draws, and the affected rows re-sort and recheck).
+    By exchangeability of the iid redraws this converges to the uniform
+    distinct-set distribution — same as the legacy whole-row rejection,
+    but with redraw volume proportional to the collisions, which is what
+    keeps the mid-range ``m² >> n`` iterations cheap (see DESIGN.md
+    "Batched fast engine").  For ``m`` above half the peer count the
+    *excluded* set is sampled instead.
+    """
+    rows = len(src_local)
+    if m == 0 or rows == 0:
+        return np.empty((rows, m), dtype=np.int32)
+    src32 = src_local.astype(np.int32)
+    if m == n - 1:
+        full = np.arange(n - 1, dtype=np.int32)[None, :]
+        return full + (full >= src32[:, None])
+    if m > (n - 1) // 2:
+        # Complement trick: draw the n-1-m excluded peers (cheap), keep
+        # the rest.  nonzero() walks row-major, so the reshape is exact.
+        excluded = _sample_distinct(rng, src_local, (n - 1) - m, n)
+        keep = np.ones((rows, n), dtype=bool)
+        keep[np.arange(rows), src_local] = False
+        keep[np.arange(rows)[:, None], excluded] = False
+        return np.nonzero(keep)[1].astype(np.int32).reshape(rows, m)
+    last = np.int32(n - 1)
+    draw = rng.integers(0, n - 1, size=(rows, m), dtype=np.int32)
+    np.copyto(draw, last, where=draw == src32[:, None])
+    if m == 1:
+        return draw
+    draw.sort(axis=1)
+    dup = draw[:, 1:] == draw[:, :-1]
+    pending = np.nonzero(dup.any(axis=1))[0]
+    for _ in range(_RESAMPLE_LIMIT):
+        if not len(pending):
+            return draw
+        # In a sorted row, duplicate positions are the adjacent-equal
+        # slots: redraw exactly those (keeping one copy of each value),
+        # re-sort the affected rows in place, and recheck only them.
+        sub = draw[pending]
+        r_idx, c_idx = np.nonzero(sub[:, 1:] == sub[:, :-1])
+        fresh = rng.integers(0, n - 1, size=len(r_idx), dtype=np.int32)
+        np.copyto(fresh, last, where=fresh == src32[pending[r_idx]])
+        sub[r_idx, c_idx + 1] = fresh
+        sub.sort(axis=1)
+        draw[pending] = sub
+        pending = pending[(sub[:, 1:] == sub[:, :-1]).any(axis=1)]
+    raise RuntimeError(  # pragma: no cover - statistically unreachable
+        "distinct-target resampling failed to converge"
+    )
+
+
 class FastSyncNetwork:
-    """An ``n``-clique executing one :class:`VectorAlgorithm` end to end."""
+    """An ``n``-clique executing one :class:`VectorAlgorithm` end to end.
+
+    With ``seeds=[...]`` (or ``batch=k``) the network runs in *batch
+    mode*: one execution simulates ``len(seeds)`` independent elections
+    (lanes) of the same configuration — see the module docstring.
+    """
 
     def __init__(
         self,
@@ -144,10 +275,14 @@ class FastSyncNetwork:
         *,
         ids: Optional[Sequence[int]] = None,
         seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        batch: Optional[int] = None,
         mode: str = "auto",
-        exact_limit: int = 2048,
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
         max_rounds: Optional[int] = None,
         crashes: Optional[Sequence[Tuple[int, float]]] = None,
+        lane_crashes: Optional[Sequence[Optional[Sequence[Tuple[int, float]]]]] = None,
+        roots: Optional[Sequence[int]] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need n >= 1")
@@ -156,6 +291,27 @@ class FastSyncNetwork:
         self.n = n
         self.seed = seed
         self.mode = ("exact" if n <= exact_limit else "scale") if mode == "auto" else mode
+
+        # ---- batch-axis resolution -------------------------------------
+        if seeds is not None:
+            lane_seeds = [int(s) for s in seeds]
+            if not lane_seeds:
+                raise ValueError("need at least one lane seed")
+            if batch is not None and batch != len(lane_seeds):
+                raise ValueError(
+                    f"batch={batch} disagrees with len(seeds)={len(lane_seeds)}"
+                )
+            self.batch: Optional[int] = len(lane_seeds)
+            self.lane_seeds: Optional[Tuple[int, ...]] = tuple(lane_seeds)
+        elif batch is not None:
+            if batch < 1:
+                raise ValueError("need batch >= 1")
+            self.batch = int(batch)
+            self.lane_seeds = tuple(seed + b for b in range(self.batch))
+        else:
+            self.batch = None
+            self.lane_seeds = None
+
         if ids is None:
             id_array = np.arange(1, n + 1, dtype=np.int64)
         else:
@@ -167,77 +323,168 @@ class FastSyncNetwork:
         self.ids = id_array
         self.max_rounds = max_rounds if max_rounds is not None else max(4096, 32 * n)
 
-        if self.mode == "exact":
-            # Mirror SyncNetwork's seeding schedule: one master stream,
-            # one 64-bit draw per node, in node order.  (SyncNetwork only
-            # skips its port-policy draw when a port map is supplied —
-            # which is exactly how the twin run is constructed.)
-            master = random.Random(seed)
-            self._node_rngs = [random.Random(master.getrandbits(64)) for _ in range(n)]
-            self._rng = np.random.default_rng(np.random.PCG64(seed))
-            self._ports = self._random_port_matrix()
+        # ---- adversarial wake-up roots ---------------------------------
+        if roots is not None:
+            root_list = sorted({int(u) for u in roots})
+            if not root_list:
+                raise ValueError("need at least one initially-awake root")
+            if not all(0 <= u < n for u in root_list):
+                raise ValueError("root indices must be in [0, n)")
+            self.roots: Optional[np.ndarray] = np.asarray(root_list, dtype=np.int64)
         else:
+            self.roots = None
+
+        # ---- randomness ------------------------------------------------
+        if self.batch is None:
+            if self.mode == "exact":
+                # Mirror SyncNetwork's seeding schedule: one master stream,
+                # one 64-bit draw per node, in node order.  (SyncNetwork only
+                # skips its port-policy draw when a port map is supplied —
+                # which is exactly how the twin run is constructed.)
+                master = random.Random(seed)
+                self._node_rngs = [random.Random(master.getrandbits(64)) for _ in range(n)]
+                self._rng = np.random.default_rng(np.random.PCG64(seed))
+                self._ports = _random_port_matrix(self._rng, n)
+            else:
+                self._node_rngs = None
+                self._rng = np.random.default_rng(np.random.PCG64(seed))
+                self._ports = None
+            self._lane_node_rngs = None
+            self._lane_ports = None
+            self._lane_rngs = None
+        else:
+            if self.batch * n > 2**31 - 1:
+                raise ValueError(
+                    f"batch * n = {self.batch * n} exceeds the int32 index "
+                    "space; split the sweep into smaller batches"
+                )
             self._node_rngs = None
-            self._rng = np.random.default_rng(np.random.PCG64(seed))
+            self._rng = None
             self._ports = None
+            if self.mode == "exact":
+                # Lane b is seeded exactly like a single run with seed
+                # seeds[b]: same master schedule, same port matrix.
+                self._lane_node_rngs = []
+                self._lane_ports = np.empty((self.batch, n, max(0, n - 1)), dtype=np.int64)
+                for b, s in enumerate(self.lane_seeds):
+                    master = random.Random(s)
+                    self._lane_node_rngs.append(
+                        [random.Random(master.getrandbits(64)) for _ in range(n)]
+                    )
+                    rng_b = np.random.default_rng(np.random.PCG64(s))
+                    self._lane_ports[b] = _random_port_matrix(rng_b, n)
+                self._lane_rngs = None
+            else:
+                self._lane_node_rngs = None
+                self._lane_ports = None
+                self._lane_rngs = [
+                    np.random.default_rng(np.random.PCG64(s)) for s in self.lane_seeds
+                ]
+            self.ids_flat = np.tile(self.ids, self.batch)
+            self._ids_rank_flat: Optional[np.ndarray] = None
 
-        # Crash masks (the ROADMAP "array extension"): a deterministic
-        # crash-stop schedule of (node, at-round) pairs, applied at the
-        # start of round ``at`` exactly like the object engine's
-        # CrashFault handling.  ``alive`` is the shared ground-truth
-        # mask crash-aware algorithms filter senders/referees through.
-        schedule: List[Tuple[float, int]] = []
-        if crashes:
-            seen_nodes = set()
-            for node, at in crashes:
-                node = int(node)
-                if not 0 <= node < n:
-                    raise ValueError(f"crash target {node} out of range for n={n}")
-                if node in seen_nodes:
-                    raise ValueError(f"node {node} is scheduled to crash twice")
-                if at < 0:
-                    raise ValueError("crash schedule entries need at >= 0")
-                seen_nodes.add(node)
-                schedule.append((float(at), node))
-            if len(schedule) >= n:
-                raise ValueError("cannot schedule every node to crash")
-        self._crash_schedule = sorted(schedule)
-        self._crash_idx = 0
-        self.alive = np.ones(n, dtype=bool)
-        self.crashed_at: Dict[int, float] = {}
+        # ---- crash masks -----------------------------------------------
+        # (the ROADMAP "array extension"): a deterministic crash-stop
+        # schedule of (node, at-round) pairs, applied at the start of
+        # round ``at`` exactly like the object engine's CrashFault
+        # handling.  ``alive`` is the shared ground-truth mask
+        # crash-aware algorithms filter senders/referees through.  In
+        # batch mode ``crashes`` is shared by every lane; ``lane_crashes``
+        # gives each lane its own schedule.
+        if self.batch is None:
+            if lane_crashes is not None:
+                raise ValueError("lane_crashes needs batch mode (pass seeds= or batch=)")
+            self._crash_schedule = _validated_schedule(crashes or (), n)
+            self._crash_idx = 0
+            self.alive = np.ones(n, dtype=bool)
+            self.crashed_at: Dict[int, float] = {}
+        else:
+            if crashes is not None and lane_crashes is not None:
+                raise ValueError("pass either crashes (shared) or lane_crashes, not both")
+            if lane_crashes is not None:
+                if len(lane_crashes) != self.batch:
+                    raise ValueError(
+                        f"need {self.batch} lane crash schedules, got {len(lane_crashes)}"
+                    )
+                self._lane_crash_schedules = [
+                    _validated_schedule(sched or (), n) for sched in lane_crashes
+                ]
+            else:
+                shared = _validated_schedule(crashes or (), n)
+                self._lane_crash_schedules = [list(shared) for _ in range(self.batch)]
+            self._lane_crash_idx = [0] * self.batch
+            self.alive = np.ones((self.batch, n), dtype=bool)
+            self.lane_crashed_at: List[Dict[int, float]] = [
+                {} for _ in range(self.batch)
+            ]
 
+        # ---- accounting ------------------------------------------------
         self.round = 0
-        self.messages_total = 0
-        self.last_send_round = 0
-        self.messages_by_kind: Dict[str, int] = {}
-        self.sends_by_round: Dict[int, int] = {}
-        self._leaders: Optional[List[int]] = None
-        self._decided_count = 0
+        if self.batch is None:
+            self.messages_total = 0
+            self.last_send_round = 0
+            self.messages_by_kind: Dict[str, int] = {}
+            self.sends_by_round: Dict[int, int] = {}
+            self._leaders: Optional[List[int]] = None
+            self._decided_count = 0
+            self._awake_override: Optional[int] = None
+        else:
+            self.lane_round = np.zeros(self.batch, dtype=np.int64)
+            self._messages_lanes = np.zeros(self.batch, dtype=np.int64)
+            self._last_send_lanes = np.zeros(self.batch, dtype=np.int64)
+            self._kind_lanes: Dict[str, np.ndarray] = {}
+            self._round_lanes: Dict[int, np.ndarray] = {}
+            self._lane_leaders: List[Optional[List[int]]] = [None] * self.batch
+            self._lane_decided = np.zeros(self.batch, dtype=np.int64)
+            self._lane_awake: List[Optional[int]] = [None] * self.batch
         self._ran = False
 
     @property
     def has_crashes(self) -> bool:
         """Whether this run carries a crash schedule (mask path active)."""
-        return bool(self._crash_schedule)
+        if self.batch is None:
+            return bool(self._crash_schedule)
+        return any(self._lane_crash_schedules)
+
+    @property
+    def alive_flat(self) -> np.ndarray:
+        """The ``(batch * n,)`` view of the per-lane alive masks."""
+        return self.alive.reshape(-1)
+
+    @property
+    def ids_rank_flat(self) -> np.ndarray:
+        """Rank-compressed IDs (``int32``, per lane), for cheap comparisons.
+
+        ``ids_rank_flat[g]`` is the rank of node ``g % n``'s ID within
+        the (lane-shared) ID array — order-isomorphic to the IDs, so
+        max-compete logic can run on int32 ranks instead of arbitrary
+        int64 identifiers, halving scatter/gather traffic.
+        """
+        if self._ids_rank_flat is None:
+            rank = np.empty(self.n, dtype=np.int32)
+            rank[np.argsort(self.ids)] = np.arange(self.n, dtype=np.int32)
+            self._ids_rank_flat = np.tile(rank, self.batch)
+        return self._ids_rank_flat
 
     # ------------------------------------------------------------------ #
     # port model
 
-    def _random_port_matrix(self) -> np.ndarray:
-        """An ``(n, n-1)`` matrix whose rows are random orderings of peers."""
-        n = self.n
-        if n == 1:
-            return np.empty((1, 0), dtype=np.int64)
-        keys = self._rng.random((n, n))
-        np.fill_diagonal(keys, np.inf)  # self is never a peer: sorts last
-        return np.argsort(keys, axis=1, kind="stable")[:, : n - 1]
-
-    def port_map(self) -> ArrayPortMap:
+    def port_map(self, lane: Optional[int] = None) -> ArrayPortMap:
         """The materialized mapping, for running an object-model twin.
 
         Only available in ``exact`` mode — ``scale`` mode never holds the
-        ``O(n^2)`` matrix, by design.
+        ``O(n^2)`` matrix, by design.  In batch mode pass the ``lane``
+        whose wiring you want (each lane has its own matrix).
         """
+        if self.batch is not None:
+            if self._lane_ports is None:
+                raise RuntimeError(
+                    "port_map() needs mode='exact'; scale mode does not materialize "
+                    "the O(n^2) port matrix"
+                )
+            if lane is None:
+                raise RuntimeError("batch mode: pass port_map(lane=b)")
+            return ArrayPortMap(self._lane_ports[lane])
         if self._ports is None:
             raise RuntimeError(
                 "port_map() needs mode='exact'; scale mode does not materialize "
@@ -254,25 +501,46 @@ class FastSyncNetwork:
             self.alive[node] = False
             self.crashed_at[node] = at
 
-    def tick(self) -> int:
+    def _apply_crash_lane(self, lane: int, node: int, at: float) -> None:
+        if self.alive[lane, node] and int(self.alive[lane].sum()) > 1:
+            self.alive[lane, node] = False
+            self.lane_crashed_at[lane][node] = at
+
+    def tick(self, active: Optional[np.ndarray] = None) -> int:
         """Advance the global round counter by one synchronous round.
 
         Scheduled crashes with ``at <= round`` take effect here — at the
         *start* of the round, before that round's deliveries and sends —
         matching the object engine's ``_apply_due_crashes`` semantics.
+        In batch mode ``active`` is a ``(batch,)`` bool mask of lanes
+        still running: finished lanes stop ticking (their round counters
+        freeze and their pending crashes wait for the post-run drain).
         """
         self.round += 1
         if self.round > self.max_rounds:
             raise SimulationLimitExceeded(
                 f"no termination after {self.max_rounds} rounds (n={self.n})"
             )
-        while (
-            self._crash_idx < len(self._crash_schedule)
-            and self._crash_schedule[self._crash_idx][0] <= self.round
-        ):
-            at, node = self._crash_schedule[self._crash_idx]
-            self._crash_idx += 1
-            self._apply_crash(node, at)
+        if self.batch is None:
+            while (
+                self._crash_idx < len(self._crash_schedule)
+                and self._crash_schedule[self._crash_idx][0] <= self.round
+            ):
+                at, node = self._crash_schedule[self._crash_idx]
+                self._crash_idx += 1
+                self._apply_crash(node, at)
+            return self.round
+        lanes = range(self.batch) if active is None else np.nonzero(active)[0]
+        for b in lanes:
+            self.lane_round[b] += 1
+            sched = self._lane_crash_schedules[b]
+            i = self._lane_crash_idx[b]
+            r = self.lane_round[b]
+            while i < len(sched) and sched[i][0] <= r:
+                at, node = sched[i]
+                i += 1
+                self._apply_crash_lane(b, node, at)
+            self._lane_crash_idx[b] = i
         return self.round
 
     def count_messages(self, count: int, kind: str) -> None:
@@ -285,10 +553,48 @@ class FastSyncNetwork:
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + count
         self.sends_by_round[self.round] = self.sends_by_round.get(self.round, 0) + count
 
-    def decide(self, leader_nodes: Sequence[int], decided_count: Optional[int] = None) -> None:
-        """Record the election outcome (every node has decided and halted)."""
+    def count_messages_lanes(self, counts: np.ndarray, kind: str) -> None:
+        """Per-lane :meth:`count_messages`: ``counts`` is ``(batch,)``."""
+        counts = np.asarray(counts, dtype=np.int64)
+        mask = counts > 0
+        if not mask.any():
+            return
+        sent = np.where(mask, counts, 0)
+        self._messages_lanes += sent
+        self._last_send_lanes[mask] = self.lane_round[mask]
+        kind_arr = self._kind_lanes.setdefault(kind, np.zeros(self.batch, dtype=np.int64))
+        kind_arr += sent
+        round_arr = self._round_lanes.setdefault(
+            self.round, np.zeros(self.batch, dtype=np.int64)
+        )
+        round_arr += sent
+
+    def decide(
+        self,
+        leader_nodes: Sequence[int],
+        decided_count: Optional[int] = None,
+        awake_count: Optional[int] = None,
+    ) -> None:
+        """Record the election outcome (every node has decided and halted).
+
+        ``awake_count`` overrides the default all-awake accounting for
+        ports running under an adversarial wake-up schedule.
+        """
         self._leaders = [int(u) for u in leader_nodes]
         self._decided_count = self.n if decided_count is None else int(decided_count)
+        self._awake_override = awake_count
+
+    def decide_lane(
+        self,
+        lane: int,
+        leader_nodes: Sequence[int],
+        decided_count: Optional[int] = None,
+        awake_count: Optional[int] = None,
+    ) -> None:
+        """Per-lane :meth:`decide` (a finished lane stops ticking)."""
+        self._lane_leaders[lane] = [int(u) for u in leader_nodes]
+        self._lane_decided[lane] = self.n if decided_count is None else int(decided_count)
+        self._lane_awake[lane] = awake_count
 
     # ------------------------------------------------------------------ #
     # sampling primitives (mode-dependent)
@@ -364,7 +670,7 @@ class FastSyncNetwork:
             dst = draw + (draw >= src_col)
             if m > 1:
                 pending = np.arange(rows)
-                for _ in range(500):
+                for _ in range(_RESAMPLE_LIMIT):
                     chk = np.sort(dst[pending], axis=1)
                     bad = (chk[:, 1:] == chk[:, :-1]).any(axis=1)
                     if not bad.any():
@@ -386,48 +692,236 @@ class FastSyncNetwork:
         return out
 
     # ------------------------------------------------------------------ #
+    # batched sampling primitives (operate on *global* indices lane*n+u)
+
+    def lane_segments(self, src_global: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(starts, stops)`` slicing a sorted global index array per lane."""
+        edges = np.arange(1, self.batch + 1, dtype=np.int64) * self.n
+        stops = np.searchsorted(src_global, edges, side="left")
+        starts = np.concatenate(([0], stops[:-1]))
+        return starts, stops
+
+    def rows_per_lane(self, src_global: np.ndarray) -> np.ndarray:
+        """How many of the sorted global rows fall in each lane."""
+        starts, stops = self.lane_segments(src_global)
+        return stops - starts
+
+    def first_ports_lanes(self, src_global: np.ndarray, m: int) -> np.ndarray:
+        """Batched :meth:`first_ports`; rows keyed by global index."""
+        if m > self.n - 1:
+            raise ValueError(f"cannot use {m} of {self.n - 1} ports")
+        n = self.n
+        if self._lane_ports is not None:
+            lane = src_global // n
+            node = src_global - lane * n
+            return self._lane_ports[lane, node, :m] + (lane * n)[:, None]
+        return self._distinct_targets_lanes(src_global, m)
+
+    def sampled_targets_lanes(self, src_global: np.ndarray, m: int) -> np.ndarray:
+        """Batched :meth:`sampled_targets`; rows keyed by global index."""
+        if m > self.n - 1:
+            raise ValueError(f"cannot sample {m} of {self.n - 1} ports")
+        n = self.n
+        if self._lane_node_rngs is not None:
+            out = np.empty((len(src_global), m), dtype=np.int64)
+            port_range = range(n - 1)
+            for row, g in enumerate(src_global):
+                b, u = divmod(int(g), n)
+                ports = self._lane_node_rngs[b][u].sample(port_range, m)
+                out[row] = self._lane_ports[b, u, ports] + b * n
+            return out
+        return self._distinct_targets_lanes(src_global, m)
+
+    def bernoulli_lanes(
+        self, p: float, lanes: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One coin per node per lane — ``(batch, n)`` bool.
+
+        ``lanes`` restricts the draw to those lane indices (finished
+        lanes stop consuming randomness); other rows come back False.
+        """
+        out = np.zeros((self.batch, self.n), dtype=bool)
+        lane_list = range(self.batch) if lanes is None else [int(b) for b in lanes]
+        if self._lane_node_rngs is not None:
+            for b in lane_list:
+                out[b] = np.fromiter(
+                    (rng.random() < p for rng in self._lane_node_rngs[b]),
+                    dtype=bool,
+                    count=self.n,
+                )
+        else:
+            for b in lane_list:
+                out[b] = self._lane_rngs[b].random(self.n) < p
+        return out
+
+    def rank_draws_lanes(self, src_global: np.ndarray, high: int) -> np.ndarray:
+        """Batched :meth:`rank_draws`; rows keyed by global index."""
+        n = self.n
+        if self._lane_node_rngs is not None:
+            return np.fromiter(
+                (
+                    self._lane_node_rngs[int(g) // n][int(g) % n].randrange(1, high + 1)
+                    for g in src_global
+                ),
+                dtype=np.int64,
+                count=len(src_global),
+            )
+        out = np.empty(len(src_global), dtype=np.int64)
+        starts, stops = self.lane_segments(src_global)
+        capped = min(high, 2**62)
+        for b in range(self.batch):
+            s, e = starts[b], stops[b]
+            if s == e:
+                continue
+            out[s:e] = self._lane_rngs[b].integers(
+                1, capped + 1, size=e - s, dtype=np.int64
+            )
+        return out
+
+    def _distinct_targets_lanes(self, src_global: np.ndarray, m: int) -> np.ndarray:
+        """Per-lane distinct sampling through the optimized int32 path.
+
+        Returns global int32 targets (the constructor guarantees
+        ``batch * n`` fits int32).
+        """
+        n = self.n
+        out = np.empty((len(src_global), m), dtype=np.int32)
+        starts, stops = self.lane_segments(src_global)
+        for b in range(self.batch):
+            s, e = starts[b], stops[b]
+            if s == e:
+                continue
+            local = src_global[s:e] - b * n
+            np.add(
+                _sample_distinct(self._lane_rngs[b], local, m, n),
+                np.int32(b * n),
+                out=out[s:e],
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
     # execution
 
-    def run(self, algorithm) -> FastRunResult:
-        """Execute ``algorithm`` once and summarize the run."""
+    def run(self, algorithm):
+        """Execute ``algorithm`` once and summarize the run.
+
+        Single mode returns one :class:`FastRunResult`; batch mode
+        returns a list with one result per lane, in lane order.
+        """
         if self._ran:
             raise RuntimeError("a FastSyncNetwork is single-use, like SyncNetwork")
         if self.has_crashes and not getattr(algorithm, "supports_crashes", False):
             raise ValueError(
                 f"{type(algorithm).__name__} has no crash-mask support; "
-                "only crash-aware vectorized ports (improved_tradeoff) can run "
-                "under a crash schedule — use the object engine with a FaultPlan "
-                "for the other algorithms"
+                "only crash-aware vectorized ports can run under a crash "
+                "schedule — use the object engine with a FaultPlan for the "
+                "other algorithms"
+            )
+        if self.roots is not None and not getattr(algorithm, "supports_roots", False):
+            raise ValueError(
+                f"{type(algorithm).__name__} assumes simultaneous wake-up; "
+                "only wake-up-aware vectorized ports (adversarial_2round) "
+                "accept a roots= schedule"
             )
         self._ran = True
-        start = time.perf_counter()
-        algorithm.run(self)
-        wall = time.perf_counter() - start
-        if self._leaders is None:
-            raise RuntimeError(
-                f"{type(algorithm).__name__}.run() returned without calling decide()"
+        if self.batch is None:
+            start = time.perf_counter()
+            algorithm.run(self)
+            wall = time.perf_counter() - start
+            if self._leaders is None:
+                raise RuntimeError(
+                    f"{type(algorithm).__name__}.run() returned without calling decide()"
+                )
+            # Post-quiescence crashes still happen (to the machines, not
+            # the protocol), mirroring SyncNetwork's drain of pending
+            # crashes.
+            while self._crash_idx < len(self._crash_schedule):
+                at, node = self._crash_schedule[self._crash_idx]
+                self._crash_idx += 1
+                self._apply_crash(node, at)
+            never_woke = sum(1 for at in self.crashed_at.values() if at <= 1)
+            if self._awake_override is not None:
+                awake = self._awake_override
+                halted = self._decided_count
+            else:
+                awake = self.n - never_woke
+                halted = self._decided_count if self.has_crashes else self.n
+            return FastRunResult(
+                n=self.n,
+                mode=self.mode,
+                ids=[int(i) for i in self.ids],
+                rounds_executed=self.round,
+                messages=self.messages_total,
+                last_send_round=self.last_send_round,
+                leaders=list(self._leaders),
+                leader_ids=[int(self.ids[u]) for u in self._leaders],
+                decided_count=self._decided_count,
+                awake_count=awake,
+                halted_count=halted,
+                messages_by_kind=dict(self.messages_by_kind),
+                sends_by_round=dict(self.sends_by_round),
+                wall_time_s=wall,
+                crashed=sorted(self.crashed_at),
+                seed=self.seed,
             )
-        # Post-quiescence crashes still happen (to the machines, not the
-        # protocol), mirroring SyncNetwork's drain of pending crashes.
-        while self._crash_idx < len(self._crash_schedule):
-            at, node = self._crash_schedule[self._crash_idx]
-            self._crash_idx += 1
-            self._apply_crash(node, at)
-        never_woke = sum(1 for at in self.crashed_at.values() if at <= 1)
-        return FastRunResult(
-            n=self.n,
-            mode=self.mode,
-            ids=[int(i) for i in self.ids],
-            rounds_executed=self.round,
-            messages=self.messages_total,
-            last_send_round=self.last_send_round,
-            leaders=list(self._leaders),
-            leader_ids=[int(self.ids[u]) for u in self._leaders],
-            decided_count=self._decided_count,
-            awake_count=self.n - never_woke,
-            halted_count=self._decided_count if self.has_crashes else self.n,
-            messages_by_kind=dict(self.messages_by_kind),
-            sends_by_round=dict(self.sends_by_round),
-            wall_time_s=wall,
-            crashed=sorted(self.crashed_at),
-        )
+        if not getattr(algorithm, "supports_batch", False):
+            raise ValueError(
+                f"{type(algorithm).__name__} has no batched implementation; "
+                "run it one seed at a time (omit seeds=/batch=)"
+            )
+        start = time.perf_counter()
+        algorithm.run_batch(self)
+        wall = time.perf_counter() - start
+        results: List[FastRunResult] = []
+        # Box the shared IDs once; each lane gets its own shallow copy so
+        # mutating one record's ids cannot leak into its siblings.
+        ids_list = [int(i) for i in self.ids]
+        for b in range(self.batch):
+            if self._lane_leaders[b] is None:
+                raise RuntimeError(
+                    f"{type(algorithm).__name__}.run_batch() finished without "
+                    f"deciding lane {b}"
+                )
+            sched = self._lane_crash_schedules[b]
+            i = self._lane_crash_idx[b]
+            while i < len(sched):
+                at, node = sched[i]
+                i += 1
+                self._apply_crash_lane(b, node, at)
+            self._lane_crash_idx[b] = i
+            crashed_at = self.lane_crashed_at[b]
+            never_woke = sum(1 for at in crashed_at.values() if at <= 1)
+            lane_has_crashes = bool(sched)
+            decided = int(self._lane_decided[b])
+            if self._lane_awake[b] is not None:
+                awake = int(self._lane_awake[b])
+                halted = decided
+            else:
+                awake = self.n - never_woke
+                halted = decided if lane_has_crashes else self.n
+            leaders = self._lane_leaders[b]
+            results.append(
+                FastRunResult(
+                    n=self.n,
+                    mode=self.mode,
+                    ids=list(ids_list),
+                    rounds_executed=int(self.lane_round[b]),
+                    messages=int(self._messages_lanes[b]),
+                    last_send_round=int(self._last_send_lanes[b]),
+                    leaders=list(leaders),
+                    leader_ids=[int(self.ids[u]) for u in leaders],
+                    decided_count=decided,
+                    awake_count=awake,
+                    halted_count=halted,
+                    messages_by_kind={
+                        k: int(v[b]) for k, v in self._kind_lanes.items() if v[b] > 0
+                    },
+                    sends_by_round={
+                        r: int(v[b]) for r, v in self._round_lanes.items() if v[b] > 0
+                    },
+                    wall_time_s=wall / self.batch,
+                    crashed=sorted(crashed_at),
+                    seed=self.lane_seeds[b],
+                )
+            )
+        return results

@@ -13,8 +13,10 @@ from typing import Callable, Dict
 
 from repro.fastsync.algorithm import VectorAlgorithm
 from repro.fastsync.algorithms import (
+    VectorAdversarial2RoundElection,
     VectorAfekGafniElection,
     VectorImprovedTradeoffElection,
+    VectorKutten16Election,
     VectorLasVegasElection,
     VectorSmallIdElection,
 )
@@ -26,6 +28,8 @@ FAST_ALGORITHMS: Dict[str, Callable[..., VectorAlgorithm]] = {
     "afek_gafni": VectorAfekGafniElection,
     "las_vegas": VectorLasVegasElection,
     "small_id": VectorSmallIdElection,
+    "kutten16": VectorKutten16Election,
+    "adversarial_2round": VectorAdversarial2RoundElection,
 }
 
 

@@ -52,6 +52,7 @@ from repro.scenarios.runner import (
     ScenarioResult,
     ScenarioRunner,
     run_scenario,
+    run_scenario_batch,
 )
 
 __all__ = [
@@ -83,4 +84,5 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "run_scenario",
+    "run_scenario_batch",
 ]

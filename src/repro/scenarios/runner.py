@@ -65,7 +65,13 @@ from repro.scenarios.events import (
 )
 from repro.scenarios.metrics import EpochRecord, ScenarioMetrics, compute_metrics
 
-__all__ = ["NodeState", "ScenarioResult", "ScenarioRunner", "run_scenario"]
+__all__ = [
+    "NodeState",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "run_scenario_batch",
+]
 
 ENGINES = ("sync", "async", "fast")
 
@@ -252,6 +258,17 @@ class ScenarioRunner:
     def _act_seed(self, index: Any) -> int:
         return random.Random(f"scenario:{self.scenario.name}:{self.seed}:{index}").getrandbits(32)
 
+    def _fast_trial(self, m: int, member_ids: Sequence[int], act_seed: int):
+        """One fast-engine election act.
+
+        The single dispatch point for every fast-engine run the scenario
+        makes — :func:`run_scenario_batch` overrides it per replica to
+        collect concurrent acts into one batched engine execution.
+        """
+        from repro.analysis.runner import run_fast_trial
+
+        return run_fast_trial(m, self.inner, seed=act_seed, ids=list(member_ids))
+
     def _reelect_factory(self):
         if self.engine == "sync":
             if self.quorum:
@@ -385,9 +402,7 @@ class ScenarioRunner:
         )
 
         if self.engine == "fast":
-            from repro.analysis.runner import run_fast_trial
-
-            record = run_fast_trial(m, self.inner, seed=act_seed, ids=member_ids)
+            record = self._fast_trial(m, member_ids, act_seed)
             duration = float(record.extra["rounds_executed"])
             leader_ids = [record.elected_id] if record.elected_id is not None else []
             surviving = record.elected_id
@@ -816,9 +831,7 @@ class ScenarioRunner:
         """The fault-free single election the overhead ratios divide by."""
         seed = self._act_seed("baseline")
         if self.engine == "fast":
-            from repro.analysis.runner import run_fast_trial
-
-            record = run_fast_trial(self.n, self.inner, seed=seed, ids=self._initial_ids)
+            record = self._fast_trial(self.n, self._initial_ids, seed)
         else:
             from repro.faults import run_failover_trial
 
@@ -846,3 +859,130 @@ def run_scenario(
 ) -> ScenarioResult:
     """One-call convenience wrapper around :class:`ScenarioRunner`."""
     return ScenarioRunner(scenario, n, engine=engine, seed=seed, **config).run()
+
+
+def run_scenario_batch(
+    scenario: Scenario,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    engine: str = "fast",
+    **config: Any,
+) -> List[ScenarioResult]:
+    """Run one timeline under many seeds, batching fast-engine acts.
+
+    One replica :class:`ScenarioRunner` per seed executes in lockstep;
+    whenever several replicas are waiting on an election act with the
+    same membership (the common case — event timelines are mostly
+    seed-independent), their acts run as **one** batched
+    :class:`~repro.fastsync.FastSyncNetwork` execution with one lane per
+    replica.  Results are always exactly the sequential ones: batched
+    lanes are bit-identical to single runs in exact mode, so acts are
+    only grouped while the membership fits the engine's exact limit
+    (``n ≤ 2048``); larger acts — where scale mode's batched sampler
+    draws a different stream — and replicas whose memberships diverged
+    (e.g. after ``crash(LEADER)`` under a randomized inner election)
+    fall back to single-lane runs.
+
+    Only the ``fast`` engine has a batched path; other engines (or a
+    single seed) run sequentially.
+    """
+    if engine != "fast" or len(seeds) <= 1:
+        return [
+            ScenarioRunner(scenario, n, engine=engine, seed=s, **config).run()
+            for s in seeds
+        ]
+
+    import threading
+
+    from repro.analysis.runner import run_fast_batch, run_fast_trial
+    from repro.fastsync.engine import DEFAULT_EXACT_LIMIT
+
+    runners = [
+        ScenarioRunner(scenario, n, engine=engine, seed=s, **config) for s in seeds
+    ]
+    total = len(runners)
+    lock = threading.Condition()
+    pending: Dict[int, Tuple[int, Tuple[int, ...], int]] = {}
+    replies: Dict[int, Any] = {}
+    done: List[int] = []
+    results: List[Optional[ScenarioResult]] = [None] * total
+    errors: List[BaseException] = []
+
+    def dispatch_for(idx: int):
+        def dispatch(m: int, member_ids: Sequence[int], act_seed: int):
+            with lock:
+                pending[idx] = (m, tuple(member_ids), act_seed)
+                lock.notify_all()
+                while idx not in replies and not errors:
+                    lock.wait()
+                if errors:
+                    raise RuntimeError("scenario batch aborted")
+                return replies.pop(idx)
+
+        return dispatch
+
+    def worker(idx: int) -> None:
+        try:
+            runners[idx]._fast_trial = dispatch_for(idx)
+            results[idx] = runners[idx].run()
+        except BaseException as exc:  # propagate to the coordinator
+            errors.append(exc)
+        finally:
+            with lock:
+                done.append(idx)
+                lock.notify_all()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True) for i in range(total)
+    ]
+    for t in threads:
+        t.start()
+    # Acts are grouped into batched runs only below the engine's exact
+    # limit, where lanes replay single runs bit for bit; scale-mode
+    # batched sampling draws a different stream, so bigger acts run
+    # single-lane to keep the results == sequential-sweep contract.
+    exact_limit = DEFAULT_EXACT_LIMIT
+    while True:
+        with lock:
+            while len(pending) + len(done) < total and not errors:
+                lock.wait()
+            if errors:
+                lock.notify_all()
+                break
+            if not pending:  # every replica finished
+                break
+            # Group the waiting acts by membership signature; each group
+            # becomes one batched engine run (lanes in replica order).
+            groups: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
+            for idx in sorted(pending):
+                m, ids, _ = pending[idx]
+                groups.setdefault((m, ids), []).append(idx)
+            inner = runners[0].inner
+            try:
+                for (m, ids), members in groups.items():
+                    if len(members) == 1 or m > exact_limit:
+                        for idx in members:
+                            replies[idx] = run_fast_trial(
+                                m, inner, seed=pending[idx][2], ids=list(ids)
+                            )
+                    else:
+                        act_seeds = [pending[idx][2] for idx in members]
+                        records = run_fast_batch(
+                            m, inner, seeds=act_seeds, ids=list(ids)
+                        )
+                        for idx, record in zip(members, records):
+                            replies[idx] = record
+            except BaseException as exc:
+                # Unblock every waiting replica (their dispatch raises
+                # and the worker threads exit) before re-raising below.
+                errors.append(exc)
+                lock.notify_all()
+                break
+            pending.clear()
+            lock.notify_all()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return [r for r in results if r is not None]

@@ -86,3 +86,78 @@ class TestBounds:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunFastBatch:
+    """``repro run --engine fast --batch`` and the fast wake-up flags."""
+
+    def test_batched_run_prints_one_row_per_seed(self, capsys):
+        pytest.importorskip("numpy")
+        assert (
+            main(
+                ["run", "improved_tradeoff", "--n", "64", "--engine", "fast",
+                 "--seeds", "0", "1", "2", "3", "--batch", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("yes") >= 4
+
+    def test_batched_rows_match_unbatched_in_exact_mode(self, capsys):
+        pytest.importorskip("numpy")
+        # Lanes of one chunk share the first seed's ID assignment, so a
+        # one-chunk batch reproduces the unbatched first-seed workload.
+        main(["run", "las_vegas", "--n", "64", "--engine", "fast",
+              "--seeds", "0", "1", "--batch", "2"])
+        batched = capsys.readouterr().out
+        main(["run", "las_vegas", "--n", "64", "--engine", "fast",
+              "--seeds", "0", "1"])
+        plain = capsys.readouterr().out
+
+        def rows(text):
+            return [
+                line.split()[:6] for line in text.splitlines()
+                if line and line.split()[0] in ("0", "1")
+            ]
+
+        assert rows(batched) == rows(plain)
+
+    def test_fast_roots_for_adversarial_2round(self, capsys):
+        pytest.importorskip("numpy")
+        assert (
+            main(["run", "adversarial_2round", "--n", "128", "--engine", "fast",
+                  "--roots", "4", "--param", "epsilon=0.02"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Theorem 4.1" in out
+
+    def test_fast_kutten16_runs(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["run", "kutten16", "--n", "256", "--engine", "fast"]) == 0
+        assert "[16]" in capsys.readouterr().out
+
+    def test_batch_requires_fast_engine(self):
+        with pytest.raises(SystemExit, match="--engine fast"):
+            main(["run", "improved_tradeoff", "--n", "64", "--batch", "2"])
+
+    def test_batch_must_be_positive(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(SystemExit, match=">= 1"):
+            main(["run", "improved_tradeoff", "--n", "64", "--engine", "fast",
+                  "--batch", "0"])
+
+    def test_roots_rejected_for_simultaneous_only_ports(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(SystemExit, match="simultaneous"):
+            main(["run", "afek_gafni", "--n", "64", "--engine", "fast",
+                  "--roots", "2"])
+
+    def test_list_reports_fast_ports_for_every_sync_algorithm(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            name = line.split()[0] if line.strip() else ""
+            if name in ("kutten16", "adversarial_2round", "small_id"):
+                assert "yes" in line, line

@@ -132,6 +132,129 @@ class TestCIConsistency:
         assert "baselines" in experiments
 
 
+class TestApiDoc:
+    """docs/API.md must describe the surface that actually exists."""
+
+    def doc(self) -> str:
+        return read("docs/API.md")
+
+    def test_every_dotted_path_resolves(self):
+        """Every backticked ``repro.xxx.Yyy`` path imports and resolves."""
+        import importlib
+
+        paths = set(re.findall(r"`(repro(?:\.\w+)+)`", self.doc()))
+        assert paths, "API.md should reference dotted repro paths"
+        for path in paths:
+            parts = path.split(".")
+            obj = None
+            for split in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:split]))
+                except ImportError:
+                    continue
+                for attr in parts[split:]:
+                    assert hasattr(obj, attr), f"{path}: missing {attr}"
+                    obj = getattr(obj, attr)
+                break
+            assert obj is not None, f"{path} does not import"
+
+    def test_documented_signatures_match(self):
+        """Keyword arguments named in the signature blocks must exist."""
+        import inspect
+
+        from repro.analysis import run_fast_batch, run_fast_trial, sweep_fast
+        from repro.fastsync import FastSyncNetwork
+        from repro.scenarios import ScenarioRunner, run_scenario_batch
+
+        for func, required in [
+            (FastSyncNetwork.__init__,
+             {"ids", "seed", "seeds", "batch", "mode", "exact_limit",
+              "max_rounds", "crashes", "lane_crashes", "roots"}),
+            (run_fast_trial, {"seed", "ids", "mode", "crashes", "roots"}),
+            (run_fast_batch, {"seeds", "ids", "mode", "crashes",
+                              "lane_crashes", "roots"}),
+            (sweep_fast, {"seeds", "batch"}),
+            (ScenarioRunner.__init__,
+             {"engine", "seed", "inner", "lag", "quorum"}),
+            (run_scenario_batch, {"engine"}),
+        ]:
+            parameters = set(inspect.signature(func).parameters)
+            missing = required - parameters
+            assert not missing, f"{func.__qualname__} lost kwargs {missing}"
+
+    def test_capability_flags_exist(self):
+        from repro.fastsync import VectorAlgorithm
+
+        for flag in ("supports_crashes", "supports_batch", "supports_roots"):
+            assert flag in self.doc()
+            assert hasattr(VectorAlgorithm, flag), flag
+
+    def test_fast_registry_listing_is_complete(self):
+        from repro.fastsync import FAST_ALGORITHMS
+
+        for name in FAST_ALGORITHMS:
+            assert f"`{name}`" in self.doc(), f"API.md misses fast port {name}"
+
+    def test_named_scenarios_listing_is_complete(self):
+        from repro.scenarios import NAMED_SCENARIOS
+
+        for name in NAMED_SCENARIOS:
+            assert name in self.doc(), f"API.md misses scenario {name}"
+
+    def test_readme_links_the_reference(self):
+        assert "docs/API.md" in read("README.md")
+        assert "docs/TUTORIAL.md" in read("README.md")
+
+
+class TestTutorialDoc:
+    """Every TUTORIAL.md command and code block must still work."""
+
+    def doc(self) -> str:
+        return read("docs/TUTORIAL.md")
+
+    def cli_lines(self):
+        for line in re.findall(
+            r"^(?:PYTHONPATH=src )?python -m repro (.+)$", self.doc(), re.MULTILINE
+        ):
+            yield line.split("#")[0].split()
+
+    def test_cli_commands_parse(self):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        lines = list(self.cli_lines())
+        assert len(lines) >= 10, "tutorial should walk through the CLI"
+        for argv in lines:
+            args = parser.parse_args(argv)
+            assert args.command
+
+    def test_python_blocks_execute(self):
+        blocks = re.findall(r"```python\n(.*?)```", self.doc(), re.DOTALL)
+        assert blocks, "tutorial should carry runnable code"
+        for block in blocks:
+            snippet = block.replace("1024", "64").replace("100_000", "256")
+            snippet = snippet.replace("4096", "256")
+            exec(compile(snippet, "<TUTORIAL>", "exec"), {})  # noqa: S102
+
+    def test_json_timeline_loads(self):
+        from repro.scenarios import scenario_from_json
+
+        blocks = re.findall(r"```json\n(.*?)```", self.doc(), re.DOTALL)
+        assert blocks, "tutorial should carry a JSON timeline"
+        for block in blocks:
+            scenario = scenario_from_json(block)
+            assert scenario.events
+
+    def test_referenced_bench_files_exist(self):
+        for target in set(re.findall(r"(bench_\w+\.py)", self.doc())):
+            assert (ROOT / "benchmarks" / target).exists(), target
+        assert "check_regression.py" in self.doc()
+
+    def test_mentions_the_speedup_contract(self):
+        assert "3x" in self.doc()
+        assert "--batch" in self.doc()
+
+
 class TestModelDoc:
     def test_deviations_match_code_markers(self):
         """Every deviation documented in MODEL.md is also documented at

@@ -1,0 +1,307 @@
+"""The batch axis: one engine run executing many independent seeds.
+
+The contract under test (see DESIGN.md "Batched fast engine"): in exact
+mode, lane ``b`` of ``FastSyncNetwork(n, seeds=[...])`` is **bit-exact**
+to a single run with seed ``seeds[b]`` — same winners, same message
+totals, per-kind and per-round counts, round counters, survivor
+accounting — with and without crash masks, for every ported algorithm.
+Scale-mode lanes are deterministic per ``(n, seed, mode)`` and
+independent of the batch composition.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy")
+
+from repro.fastsync import (  # noqa: E402
+    FastSyncNetwork,
+    VectorAdversarial2RoundElection,
+    VectorAfekGafniElection,
+    VectorImprovedTradeoffElection,
+    VectorKutten16Election,
+    VectorLasVegasElection,
+    VectorSmallIdElection,
+)
+
+from tests.helpers import make_ids  # noqa: E402
+
+LANE_FIELDS = (
+    "n",
+    "mode",
+    "ids",
+    "seed",
+    "rounds_executed",
+    "messages",
+    "last_send_round",
+    "leaders",
+    "leader_ids",
+    "decided_count",
+    "awake_count",
+    "halted_count",
+    "messages_by_kind",
+    "sends_by_round",
+    "crashed",
+)
+
+MAKERS = {
+    "improved_tradeoff": lambda: VectorImprovedTradeoffElection(ell=5),
+    "afek_gafni": lambda: VectorAfekGafniElection(ell=4),
+    "las_vegas": lambda: VectorLasVegasElection(referee_coeff=0.5),
+    "small_id": lambda: VectorSmallIdElection(d=4, g=8),
+    "kutten16": lambda: VectorKutten16Election(),
+    "adversarial_2round": lambda: VectorAdversarial2RoundElection(),
+}
+
+#: Crash schedules that keep each algorithm live (afek_gafni stalls on
+#: any crash before its full-fan-out referee round, so it gets a late
+#: one; adversarial_2round has no crash support).
+CRASHES = {
+    "improved_tradeoff": [(15, 1), (3, 2)],
+    "afek_gafni": [(3, 6)],
+    "las_vegas": [(15, 1), (3, 2)],
+    "small_id": [(0, 1), (5, 2)],
+    "kutten16": [(15, 1), (3, 2)],
+}
+
+
+def assert_lanes_match_singles(n, seeds, maker, *, ids=None, crashes=None,
+                               lane_crashes=None, roots=None):
+    """Batched lanes must replay the sequential single runs bit for bit."""
+    singles = []
+    for b, seed in enumerate(seeds):
+        lane_sched = crashes if lane_crashes is None else lane_crashes[b]
+        singles.append(
+            FastSyncNetwork(
+                n, ids=ids, seed=seed, mode="exact", crashes=lane_sched, roots=roots
+            ).run(maker())
+        )
+    lanes = FastSyncNetwork(
+        n, ids=ids, seeds=seeds, mode="exact", crashes=crashes,
+        lane_crashes=lane_crashes, roots=roots,
+    ).run(maker())
+    assert len(lanes) == len(seeds)
+    for single, lane in zip(singles, lanes):
+        for field in LANE_FIELDS:
+            assert getattr(single, field) == getattr(lane, field), field
+    return lanes
+
+
+class TestBatchedEqualsSequential:
+    @pytest.mark.parametrize("name", sorted(MAKERS))
+    def test_exact_lanes_replay_single_runs(self, name):
+        ids = make_ids(16, seed=2) if name != "small_id" else None
+        roots = [0, 5] if name == "adversarial_2round" else None
+        assert_lanes_match_singles(
+            16, [0, 1, 2, 3], MAKERS[name], ids=ids, roots=roots
+        )
+
+    @pytest.mark.parametrize("name", sorted(CRASHES))
+    def test_exact_lanes_replay_single_runs_under_shared_crashes(self, name):
+        assert_lanes_match_singles(
+            16, [0, 1, 2, 3], MAKERS[name], crashes=CRASHES[name]
+        )
+
+    def test_per_lane_crash_schedules(self):
+        lane_crashes = [[(15, 1)], None, [(3, 2), (7, 4)]]
+        lanes = assert_lanes_match_singles(
+            16, [5, 6, 7], MAKERS["improved_tradeoff"], lane_crashes=lane_crashes
+        )
+        assert lanes[0].crashed == [15]
+        assert lanes[1].crashed == []
+        assert lanes[2].crashed == [3, 7]
+
+    def test_lanes_may_finish_in_different_rounds(self):
+        # Las Vegas lanes terminate phase by phase; a decided lane's
+        # round counter freezes while stragglers keep restarting.  A low
+        # flat candidacy probability makes phase-1 failures likely, so
+        # lanes genuinely diverge (seeds 0..7 at n=24 split 4 vs 7).
+        lanes = FastSyncNetwork(24, seeds=list(range(8)), mode="exact").run(
+            VectorLasVegasElection(candidate_prob_fn=lambda n, p: 0.05)
+        )
+        rounds = {lane.rounds_executed for lane in lanes}
+        assert len(rounds) > 1, "want lanes finishing in different phases"
+        for lane in lanes:
+            assert lane.unique_leader
+
+    def test_kutten16_zero_candidate_lane_ends_after_round_two(self):
+        # Forcing tiny candidacy odds makes empty-candidate lanes likely;
+        # those end at round 2 with zero messages like the object twin.
+        lanes = FastSyncNetwork(16, seeds=list(range(20)), mode="exact").run(
+            VectorKutten16Election(candidate_coeff=0.05)
+        )
+        empty = [lane for lane in lanes if lane.messages == 0]
+        assert empty, "want at least one candidate-free lane"
+        for lane in empty:
+            assert lane.rounds_executed == 2
+            assert lane.leaders == []
+            assert lane.decided_count == 16
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_batch_property_exact_bit_equality(data):
+    """Hypothesis: any (algorithm, n, seeds, crash mask) batched run is
+    bit-exact to the sequential single runs in exact mode."""
+    name = data.draw(st.sampled_from(sorted(MAKERS)), label="algorithm")
+    n = data.draw(st.integers(min_value=2, max_value=48), label="n")
+    k = data.draw(st.integers(min_value=1, max_value=5), label="lanes")
+    seeds = data.draw(
+        st.lists(st.integers(0, 2**31 - 1), min_size=k, max_size=k), label="seeds"
+    )
+    ids = make_ids(n, seed=data.draw(st.integers(0, 7), label="id_seed"))
+    maker = MAKERS[name]
+    if name == "small_id":
+        ids = None  # small_id needs the [1, n*g] universe; default 1..n works
+        maker = lambda: VectorSmallIdElection(d=min(4, n), g=8)  # noqa: E731
+    roots = None
+    if name == "adversarial_2round":
+        root_count = data.draw(st.integers(1, n), label="roots")
+        roots = sorted(
+            data.draw(
+                st.sets(st.integers(0, n - 1), min_size=root_count, max_size=root_count)
+            )
+        )
+    crashes = None
+    if name in ("improved_tradeoff", "las_vegas", "kutten16", "small_id"):
+        if data.draw(st.booleans(), label="crashy") and n >= 3:
+            victims = data.draw(
+                st.sets(st.integers(0, n - 1), min_size=1, max_size=min(3, n - 2)),
+                label="victims",
+            )
+            crashes = [
+                (u, data.draw(st.integers(1, 6), label=f"at{u}")) for u in sorted(victims)
+            ]
+    assert_lanes_match_singles(n, seeds, maker, ids=ids, crashes=crashes,
+                               roots=roots)
+
+
+class TestScaleModeLanes:
+    def test_lane_results_do_not_depend_on_batch_composition(self):
+        solo = FastSyncNetwork(4096, seeds=[7], mode="scale").run(
+            VectorImprovedTradeoffElection(ell=5)
+        )[0]
+        packed = FastSyncNetwork(4096, seeds=[5, 7, 9], mode="scale").run(
+            VectorImprovedTradeoffElection(ell=5)
+        )[1]
+        for field in LANE_FIELDS:
+            assert getattr(solo, field) == getattr(packed, field), field
+
+    def test_scale_lanes_are_deterministic(self):
+        runs = [
+            FastSyncNetwork(4096, seeds=[0, 1], mode="scale").run(
+                VectorLasVegasElection()
+            )
+            for _ in range(2)
+        ]
+        for a, b in zip(*runs):
+            assert a.messages == b.messages
+            assert a.leaders == b.leaders
+            assert a.sends_by_round == b.sends_by_round
+
+    def test_scale_lanes_elect_the_max_id(self):
+        lanes = FastSyncNetwork(4096, seeds=list(range(6)), mode="scale").run(
+            VectorImprovedTradeoffElection(ell=5)
+        )
+        assert all(lane.unique_leader and lane.elected_id == 4096 for lane in lanes)
+
+
+class TestEngineValidation:
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch >= 1"):
+            FastSyncNetwork(8, batch=0)
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError, match="lane seed"):
+            FastSyncNetwork(8, seeds=[])
+
+    def test_batch_and_seeds_must_agree(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            FastSyncNetwork(8, seeds=[0, 1], batch=3)
+
+    def test_batch_expands_to_consecutive_seeds(self):
+        net = FastSyncNetwork(8, seed=5, batch=3)
+        assert net.lane_seeds == (5, 6, 7)
+
+    def test_lane_crashes_need_batch_mode(self):
+        with pytest.raises(ValueError, match="batch mode"):
+            FastSyncNetwork(8, lane_crashes=[[(0, 1)]])
+
+    def test_shared_and_per_lane_crashes_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            FastSyncNetwork(
+                8, seeds=[0, 1], crashes=[(0, 1)], lane_crashes=[None, None]
+            )
+
+    def test_lane_crashes_length_must_match(self):
+        with pytest.raises(ValueError, match="lane crash schedules"):
+            FastSyncNetwork(8, seeds=[0, 1], lane_crashes=[[(0, 1)]])
+
+    def test_unbatchable_algorithm_refused(self):
+        class NoBatch(VectorImprovedTradeoffElection):
+            supports_batch = False
+
+        with pytest.raises(ValueError, match="batched"):
+            FastSyncNetwork(8, seeds=[0, 1]).run(NoBatch())
+
+    def test_roots_require_wakeup_aware_port(self):
+        with pytest.raises(ValueError, match="wake-up"):
+            FastSyncNetwork(8, seeds=[0, 1], roots=[0]).run(
+                VectorImprovedTradeoffElection()
+            )
+
+    def test_undecided_lane_is_an_error(self):
+        class Lazy(VectorImprovedTradeoffElection):
+            def run_batch(self, net):
+                super().run_batch(net)
+                net._lane_leaders[1] = None  # simulate a port bug
+
+        with pytest.raises(RuntimeError, match="lane 1"):
+            FastSyncNetwork(8, seeds=[0, 1]).run(Lazy())
+
+
+class TestRunnerIntegration:
+    def test_run_fast_batch_matches_run_fast_trial(self):
+        from repro.analysis import run_fast_batch, run_fast_trial
+
+        seeds = [3, 4, 5]
+        singles = [
+            run_fast_trial(32, "improved_tradeoff", seed=s, params={"ell": 3})
+            for s in seeds
+        ]
+        batched = run_fast_batch(
+            32, "improved_tradeoff", seeds=seeds, params={"ell": 3}
+        )
+        for single, lane in zip(singles, batched):
+            assert lane.extra["batch"] == 3
+            assert (single.seed, single.messages, single.elected_id, single.time) == (
+                lane.seed, lane.messages, lane.elected_id, lane.time
+            )
+
+    def test_sweep_fast_batched_equals_unbatched_in_exact_mode(self):
+        from repro.analysis import sweep_fast
+
+        plain = sweep_fast([16, 32], "afek_gafni", seeds=[0, 1, 2], params={"ell": 4})
+        batched = sweep_fast(
+            [16, 32], "afek_gafni", seeds=[0, 1, 2], params={"ell": 4}, batch=2
+        )
+        assert [(r.n, r.seed, r.messages, r.elected_id) for r in plain] == [
+            (r.n, r.seed, r.messages, r.elected_id) for r in batched
+        ]
+
+    def test_sweep_fast_batch_rejects_per_seed_ids(self):
+        from repro.analysis import sweep_fast
+
+        with pytest.raises(ValueError, match="ids_for_n"):
+            sweep_fast([16], "afek_gafni", seeds=[0, 1], batch=2,
+                       ids_for_n=lambda n, rng: list(range(1, n + 1)))
+
+    def test_run_fast_batch_with_roots(self):
+        from repro.analysis import run_fast_batch
+
+        records = run_fast_batch(
+            64, "adversarial_2round", seeds=[0, 1], roots=[0, 1, 2]
+        )
+        assert len(records) == 2
+        for record in records:
+            assert record.extra["engine"] == "fast"

@@ -16,7 +16,6 @@ pytest.importorskip("numpy")
 from repro.core.improved_tradeoff import ImprovedTradeoffElection  # noqa: E402
 from repro.fastsync import (  # noqa: E402
     FastSyncNetwork,
-    VectorAfekGafniElection,
     VectorImprovedTradeoffElection,
 )
 from repro.faults import CrashFault, FaultPlan  # noqa: E402
@@ -105,9 +104,11 @@ class TestEngineMask:
             FastSyncNetwork(4, crashes=[(1, -1)])
 
     def test_unsupported_algorithm_refused(self):
+        from repro.fastsync import VectorAdversarial2RoundElection
+
         net = FastSyncNetwork(8, seed=0, crashes=[(1, 2)])
         with pytest.raises(ValueError, match="crash-mask support"):
-            net.run(VectorAfekGafniElection(ell=4))
+            net.run(VectorAdversarial2RoundElection())
 
     def test_scale_mode_crash_runs_are_deterministic(self):
         runs = [

@@ -155,15 +155,21 @@ class TestExecution:
 class TestRegistry:
     def test_unknown_name_suggests_known(self):
         with pytest.raises(KeyError, match="las_vegas"):
-            get_fast_algorithm("kutten16")
+            get_fast_algorithm("monarchical")
 
     def test_core_registry_announces_fast_twins(self):
         from repro.core import ALGORITHMS
 
-        assert ALGORITHMS["improved_tradeoff"].has_fast
-        assert ALGORITHMS["afek_gafni"].has_fast
-        assert ALGORITHMS["las_vegas"].has_fast
-        assert not ALGORITHMS["kutten16"].has_fast
+        for name in (
+            "improved_tradeoff",
+            "afek_gafni",
+            "las_vegas",
+            "small_id",
+            "kutten16",
+            "adversarial_2round",
+        ):
+            assert ALGORITHMS[name].has_fast, name
+        assert not ALGORITHMS["monarchical"].has_fast
 
     def test_make_fast_builds_parameterized_port(self):
         from repro.core import ALGORITHMS
