@@ -38,6 +38,16 @@ Commands
     crash schedules; ``sweep`` traces the honest-vs-Byzantine overhead
     curve of EXPERIMENTS.md S3.
 
+``trace {record,inspect,stats,diff}``
+    The telemetry subsystem's CLI: record single runs to schema-versioned
+    JSONL (object engines stream per-message events, the fast engine
+    writes per-round aggregates), filter and pretty-print a trace
+    (``--timeline`` renders an ASCII per-node grid), summarize one, or
+    diff two traces — the diff localizes the first round whose send
+    totals differ, the tool of choice for pinning down a cross-engine
+    divergence.  ``run``, ``scenarios run`` and ``adversary run`` also
+    accept ``--trace PATH`` to record while they execute.
+
 Examples
 --------
 
@@ -66,6 +76,12 @@ Examples
     python -m repro adversary run --n 9 --slander 0:8@5-60 --crash 3@10
     python -m repro adversary run --n 9 --byzantine 0 --tamper forge:compete --no-quorum
     python -m repro adversary sweep --ns 8 16 32 --mode both --json -
+    python -m repro run improved_tradeoff --n 256 --trace run.jsonl
+    python -m repro scenarios run flapping_leader --n 8 --trace scenario.jsonl
+    python -m repro trace record improved_tradeoff --n 256 --engine fast -o fast.jsonl
+    python -m repro trace inspect run.jsonl --kind decide --timeline
+    python -m repro trace stats fast.jsonl
+    python -m repro trace diff run.jsonl fast.jsonl
 """
 
 from __future__ import annotations
@@ -154,8 +170,32 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit("error: --batch needs --engine fast")
         if args.batch < 1:
             raise SystemExit(f"error: --batch must be >= 1, got {args.batch}")
+    if args.trace is not None:
+        if len(args.seeds) != 1:
+            raise SystemExit("error: --trace records one run; pass exactly one seed")
+        if args.batch is not None:
+            raise SystemExit("error: --trace and --batch are mutually exclusive")
     params = dict(kv.split("=", 1) for kv in args.param)
     params = {k: _parse_param(v) for k, v in params.items()}
+    trace_recorder = None
+    telemetry = None
+    if args.trace is not None:
+        if engine == "fast":
+            # No per-message objects in the vectorized engine: the trace
+            # carries its per-round aggregate counters instead.
+            from repro.telemetry import FastTelemetry
+
+            telemetry = FastTelemetry()
+        else:
+            from repro.telemetry import JsonlRecorder, RunContext
+
+            trace_recorder = JsonlRecorder(
+                args.trace,
+                context=RunContext(
+                    algorithm=args.name, n=args.n, seed=args.seeds[0],
+                    engine=engine, params=params,
+                ),
+            )
     columns = ["seed", "unique leader", "elected id", "messages", "time", "decided"]
     if engine == "fast":
         columns.append("wall s")
@@ -193,7 +233,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             if engine == "fast":
                 ids, roots = _fast_workload(seed)
                 record = run_fast_trial(
-                    args.n, args.name, seed=seed, ids=ids, roots=roots, params=params
+                    args.n, args.name, seed=seed, ids=ids, roots=roots, params=params,
+                    telemetry=telemetry,
                 )
             elif spec.engine == "sync":
                 ids = _ids_for(args.name, args.n, params, rng)
@@ -203,7 +244,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 elif spec.wakeup == ("adversarial",):
                     awake = [0]
                 record = run_sync_trial(
-                    args.n, spec.make(**params), seed=seed, ids=ids, awake=awake
+                    args.n, spec.make(**params), seed=seed, ids=ids, awake=awake,
+                    recorder=trace_recorder,
                 )
             else:
                 ids = _ids_for(args.name, args.n, params, rng)
@@ -219,8 +261,24 @@ def cmd_run(args: argparse.Namespace) -> int:
                     ids=ids,
                     wake_times=wake_times,
                     max_events=20_000_000,
+                    recorder=trace_recorder,
                 )
             records.append(record)
+    if trace_recorder is not None:
+        trace_recorder.close()
+        print(f"trace: wrote {trace_recorder.events_written} events to {args.trace}")
+    elif telemetry is not None:
+        from repro.telemetry import RunContext, dump_events
+
+        written = dump_events(
+            args.trace,
+            telemetry.events(),
+            context=RunContext(
+                algorithm=args.name, n=args.n, seed=args.seeds[0],
+                engine="fast", mode=telemetry.mode, params=params,
+            ),
+        )
+        print(f"trace: wrote {written} aggregate events to {args.trace}")
     failures = 0
     for record in records:
         failures += not record.unique_leader
@@ -481,6 +539,16 @@ def _load_scenario(name: str, n: int):
 def cmd_scenarios_run(args: argparse.Namespace) -> int:
     from repro.scenarios import ScenarioRunner, ScenarioSchemaError, scenario_report
 
+    trace_recorder = None
+    if args.trace is not None:
+        from repro.telemetry import JsonlRecorder, RunContext
+
+        trace_recorder = JsonlRecorder(
+            args.trace,
+            context=RunContext(
+                scenario=args.name, n=args.n, seed=args.seed, engine=args.engine,
+            ),
+        )
     try:
         scenario = _load_scenario(args.name, args.n)
         runner = ScenarioRunner(
@@ -491,11 +559,17 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
             inner=args.inner,
             lag=args.lag,
             quorum=args.quorum,
+            recorder=trace_recorder,
         )
     except (ScenarioSchemaError, ValueError) as exc:
+        if trace_recorder is not None:
+            trace_recorder.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     result = runner.run()
+    if trace_recorder is not None:
+        trace_recorder.close()
+        print(f"trace: wrote {trace_recorder.events_written} events to {args.trace}")
     metrics = result.metrics
     table = Table(
         ["epoch", "trigger", "t_event", "t_start", "duration", "leader(s)",
@@ -687,6 +761,10 @@ def _adversary_factory(args: argparse.Namespace, engine: str):
 def cmd_adversary_run(args: argparse.Namespace) -> int:
     from repro.faults import run_failover_trial
 
+    if args.trace is not None and len(args.seeds) != 1:
+        print("error: --trace records one run; pass exactly one seed",
+              file=sys.stderr)
+        return 2
     try:
         adversary = _build_adversary_plan(args)
         plan = _adversary_fault_plan(args, adversary)
@@ -696,6 +774,18 @@ def cmd_adversary_run(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    trace_recorder = None
+    if args.trace is not None:
+        from repro.telemetry import JsonlRecorder, RunContext
+
+        algo_name = "reelect" if args.no_quorum else "quorum_reelect"
+        trace_recorder = JsonlRecorder(
+            args.trace,
+            context=RunContext(
+                algorithm=algo_name, n=args.n, seed=args.seeds[0],
+                engine=args.engine,
+            ),
+        )
     algo = "reelect" if args.no_quorum else "quorum_reelect"
     table = Table(
         ["seed", "survivor leader", "elected id", "crashes", "tampered",
@@ -715,7 +805,8 @@ def cmd_adversary_run(args: argparse.Namespace) -> int:
             kwargs["max_events"] = 20_000_000
         try:
             report = run_failover_trial(
-                args.engine, args.n, factory, plan, seed=seed, **kwargs,
+                args.engine, args.n, factory, plan, seed=seed,
+                recorder=trace_recorder, **kwargs,
             )
         except SimulationLimitExceeded as exc:
             failures += 1
@@ -732,6 +823,9 @@ def cmd_adversary_run(args: argparse.Namespace) -> int:
             report.record.messages,
             f"{report.record.time:.2f}",
         )
+    if trace_recorder is not None:
+        trace_recorder.close()
+        print(f"trace: wrote {trace_recorder.events_written} events to {args.trace}")
     print(table.render())
     if failures:
         print(
@@ -843,6 +937,111 @@ def cmd_adversary_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """`repro trace record NAME -o PATH` == `repro run NAME --trace PATH`."""
+    run_args = argparse.Namespace(
+        name=args.name,
+        n=args.n,
+        seeds=[args.seed],
+        param=args.param,
+        roots=args.roots,
+        engine=args.engine,
+        batch=None,
+        trace=args.out,
+    )
+    return cmd_run(run_args)
+
+
+def _load_trace_or_fail(path: str):
+    from repro.telemetry import TraceSchemaError, load_trace
+
+    try:
+        return load_trace(path)
+    except (OSError, TraceSchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _trace_banner(path: str, trace) -> str:
+    context = ", ".join(f"{k}={v!r}" for k, v in sorted(trace.context.items()))
+    return f"{path}: schema {trace.schema}" + (f" [{context}]" if context else "")
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_timeline
+
+    trace = _load_trace_or_fail(args.path)
+    if trace is None:
+        return 2
+    print(_trace_banner(args.path, trace))
+    selected = list(zip(trace.events, trace.annotations))
+    if args.kind:
+        selected = [(e, a) for e, a in selected if e.kind in args.kind]
+    if args.node is not None:
+        selected = [(e, a) for e, a in selected if e.node == args.node]
+    shown = selected if args.limit == 0 else selected[: args.limit]
+    for e, a in shown:
+        ann = ""
+        if a:
+            ann = "  [" + " ".join(f"{k}={v}" for k, v in sorted(a.items())) + "]"
+        print(f"t={e.when:<8g} node={e.node:<5} {e.kind:<8} {e.detail!r}{ann}")
+    if len(shown) < len(selected):
+        print(f"... {len(selected) - len(shown)} more matching events (raise --limit)")
+    print(f"{len(selected)} of {len(trace.events)} events matched")
+    if args.timeline:
+        print()
+        print(render_timeline(trace))
+    return 0
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.telemetry import trace_stats
+
+    trace = _load_trace_or_fail(args.path)
+    if trace is None:
+        return 2
+    s = trace_stats(trace)
+    print(_trace_banner(args.path, trace))
+    print(
+        f"events: {s.events}  nodes: {s.nodes}  rounds: {s.rounds}  "
+        f"messages: {s.messages}"
+    )
+    if s.first_when is not None:
+        print(f"span: t={s.first_when:g} .. t={s.last_when:g}")
+    print(
+        "events by kind: "
+        + (", ".join(f"{k}={v}" for k, v in s.by_kind.items()) or "-")
+    )
+    print(
+        "payload kinds:  "
+        + (", ".join(f"{k}={v}" for k, v in s.payload_kinds.items()) or "-")
+    )
+    print(f"decides: {s.decides}  crashes: {s.crashes}  tampered: {s.tampered}")
+    if args.json:
+        _write_json(args.json, {"context": trace.context, "stats": asdict(s)})
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_traces
+
+    trace_a = _load_trace_or_fail(args.a)
+    if trace_a is None:
+        return 2
+    trace_b = _load_trace_or_fail(args.b)
+    if trace_b is None:
+        return 2
+    diff = diff_traces(trace_a, trace_b)
+    print(diff.summary())
+    for line in diff.context_diffs:
+        print(f"  {line}")
+    for line in diff.notes:
+        print(f"  {line}")
+    return 0 if diff.identical else 1
+
+
 def plan_summary(plan) -> str:
     parts = []
     if plan.crashes:
@@ -887,6 +1086,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast engine only: execute the seeds in batched engine runs of "
         "LANES lanes each (one FastSyncNetwork execution per chunk; lanes "
         "of a chunk share the first seed's ID assignment and roots)",
+    )
+    run_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the run to a JSONL trace (single seed; object engines "
+        "stream per-message events, the fast engine writes per-round "
+        "aggregate counters)",
     )
     run_p.set_defaults(func=cmd_run)
 
@@ -992,6 +1197,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="write the full JSON report ('-' prints to stdout)",
     )
+    run_scen_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record every act's per-message events to a JSONL trace, "
+        "annotated with act/epoch coordinates (sync/async engines only)",
+    )
     run_scen_p.set_defaults(func=cmd_scenarios_run)
 
     sweep_scen_p = scen_sub.add_parser(
@@ -1065,6 +1275,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash", action="append", default=[], type=_parse_crash,
         metavar="NODE@WHEN", help="crash node NODE at round/time WHEN (repeatable)",
     )
+    run_adv_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the run (incl. tamper events) to a JSONL trace "
+        "(single seed)",
+    )
     run_adv_p.set_defaults(func=cmd_adversary_run)
 
     sweep_adv_p = adv_sub.add_parser(
@@ -1090,6 +1305,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the overhead metrics as JSON ('-' prints to stdout)",
     )
     sweep_adv_p.set_defaults(func=cmd_adversary_sweep)
+
+    trace_p = sub.add_parser(
+        "trace", help="record, inspect, summarize and diff JSONL run traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    rec_p = trace_sub.add_parser(
+        "record", help="run one algorithm and write its trace (= run --trace)"
+    )
+    rec_p.add_argument("name", choices=sorted(ALGORITHMS))
+    rec_p.add_argument("--n", type=int, default=64, help="clique size")
+    rec_p.add_argument("--seed", type=int, default=0)
+    rec_p.add_argument(
+        "--engine", choices=["auto", "sync", "async", "fast"], default="auto",
+        help="engine override (fast traces carry per-round aggregate counters)",
+    )
+    rec_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm parameter (repeatable), e.g. --param ell=5",
+    )
+    rec_p.add_argument(
+        "--roots", type=int, default=None,
+        help="number of initially awake nodes (default: all)",
+    )
+    rec_p.add_argument(
+        "-o", "--out", required=True, metavar="PATH", help="trace output path"
+    )
+    rec_p.set_defaults(func=cmd_trace_record)
+
+    ins_p = trace_sub.add_parser(
+        "inspect", help="pretty-print the events of one trace"
+    )
+    ins_p.add_argument("path", help="trace file written by --trace / trace record")
+    ins_p.add_argument(
+        "--kind", action="append", default=None, metavar="KIND",
+        help="only these event kinds (repeatable), e.g. --kind decide",
+    )
+    ins_p.add_argument("--node", type=int, default=None, help="only this node")
+    ins_p.add_argument(
+        "--limit", type=int, default=40, help="max events to print (0 = all)"
+    )
+    ins_p.add_argument(
+        "--timeline", action="store_true",
+        help="append an ASCII per-node timeline (rows=nodes, columns=rounds)",
+    )
+    ins_p.set_defaults(func=cmd_trace_inspect)
+
+    stats_p = trace_sub.add_parser("stats", help="summary statistics of one trace")
+    stats_p.add_argument("path", help="trace file")
+    stats_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the stats as JSON ('-' prints to stdout)",
+    )
+    stats_p.set_defaults(func=cmd_trace_stats)
+
+    diff_p = trace_sub.add_parser(
+        "diff", help="localize the first round where two traces part ways"
+    )
+    diff_p.add_argument("a", help="baseline trace")
+    diff_p.add_argument("b", help="candidate trace")
+    diff_p.set_defaults(func=cmd_trace_diff)
     return parser
 
 

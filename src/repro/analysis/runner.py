@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.asyncnet.engine import AsyncNetwork, AsyncRunResult
 from repro.sync.engine import SyncNetwork, SyncRunResult
+from repro.telemetry.metrics import run_metrics
 
 __all__ = [
     "RunRecord",
@@ -50,6 +51,7 @@ def _fault_extra(result: Any, extra: Dict[str, Any]) -> Dict[str, Any]:
         extra["unique_surviving_leader"] = result.unique_surviving_leader
         extra["surviving_leader_id"] = result.surviving_leader_id
         extra["fault_metrics"] = result.fault_metrics
+    extra["metrics"] = run_metrics(result).as_dict()
     return extra
 
 
@@ -189,6 +191,7 @@ def _fast_record(
         record.extra["crashed"] = list(result.crashed)
         record.extra["unique_surviving_leader"] = result.unique_surviving_leader
         record.extra["surviving_leader_id"] = result.surviving_leader_id
+    record.extra["metrics"] = run_metrics(result).as_dict()
     return record
 
 
@@ -204,6 +207,8 @@ def run_fast_trial(
     crashes: Optional[Sequence[Any]] = None,
     roots: Optional[Sequence[int]] = None,
     keep_result: bool = False,
+    telemetry: Optional[Any] = None,
+    profile: bool = False,
 ) -> RunRecord:
     """Run one election on the vectorized engine and flatten the result.
 
@@ -216,16 +221,27 @@ def run_fast_trial(
     schedule, honored by the crash-aware vectorized ports only;
     ``roots`` is an adversarial wake-up schedule, honored by the
     wake-up-aware ports only (``adversarial_2round``).
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.FastTelemetry` for
+    per-round aggregate counters; ``profile=True`` wraps the kernels in
+    wall-clock phase timers and reports them under ``extra["profile"]``.
     """
     from repro.fastsync import FastSyncNetwork
 
+    profiler = None
+    if profile:
+        from repro.telemetry.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
     alg = _fast_algorithm(algorithm, params)
     net = FastSyncNetwork(
         n, ids=ids, seed=seed, mode=mode, max_rounds=max_rounds, crashes=crashes,
-        roots=roots,
+        roots=roots, telemetry=telemetry, profiler=profiler,
     )
     result = net.run(alg)
     record = _fast_record(n, seed, result, params)
+    if profiler is not None:
+        record.extra["profile"] = profiler.as_dict()
     if keep_result:
         record.extra["result"] = result
     return record
@@ -244,6 +260,8 @@ def run_fast_batch(
     lane_crashes: Optional[Sequence[Any]] = None,
     roots: Optional[Sequence[int]] = None,
     keep_result: bool = False,
+    telemetry: Optional[Any] = None,
+    profile: bool = False,
 ) -> List[RunRecord]:
     """Run one *batched* vectorized execution — one record per lane seed.
 
@@ -258,15 +276,24 @@ def run_fast_batch(
     """
     from repro.fastsync import FastSyncNetwork
 
+    profiler = None
+    if profile:
+        from repro.telemetry.profile import PhaseProfiler
+
+        profiler = PhaseProfiler()
     alg = _fast_algorithm(algorithm, params)
     net = FastSyncNetwork(
         n, ids=ids, seeds=list(seeds), mode=mode, max_rounds=max_rounds,
         crashes=crashes, lane_crashes=lane_crashes, roots=roots,
+        telemetry=telemetry, profiler=profiler,
     )
     records = []
     for seed, result in zip(seeds, net.run(alg)):
         record = _fast_record(n, seed, result, params)
         record.extra["batch"] = len(list(seeds))
+        if profiler is not None:
+            # One execution, one timer set: every lane record shares it.
+            record.extra["profile"] = profiler.as_dict()
         if keep_result:
             record.extra["result"] = result
         records.append(record)

@@ -101,22 +101,24 @@ def _compete_iteration(
     best = init.copy()
     rows = len(senders)
     chunk = max(1, _ROW_CHUNK // max(m, 1))
-    for start in range(0, rows, chunk):
-        stop = min(rows, start + chunk)
-        flat = dst[start:stop].reshape(-1)
-        rep = np.repeat(sid[start:stop], m)
-        if crashy:
-            delivered = net.alive[flat]
-            flat = flat[delivered]
-            rep = rep[delivered]
-        np.maximum.at(best, flat, rep)
+    with net.profile("scatter"):
+        for start in range(0, rows, chunk):
+            stop = min(rows, start + chunk)
+            flat = dst[start:stop].reshape(-1)
+            rep = np.repeat(sid[start:stop], m)
+            if crashy:
+                delivered = net.alive[flat]
+                flat = flat[delivered]
+                rep = rep[delivered]
+            np.maximum.at(best, flat, rep)
     responses = int(np.count_nonzero(best > init))
     net.count_messages(responses, response_kind)
-    ok = np.empty(rows, dtype=bool)
-    for start in range(0, rows, chunk):
-        stop = min(rows, start + chunk)
-        ok[start:stop] = (best[dst[start:stop]] == sid[start:stop, None]).all(axis=1)
-    return senders[ok], responses
+    with net.profile("compaction"):
+        ok = np.empty(rows, dtype=bool)
+        for start in range(0, rows, chunk):
+            stop = min(rows, start + chunk)
+            ok[start:stop] = (best[dst[start:stop]] == sid[start:stop, None]).all(axis=1)
+        return senders[ok], responses
 
 
 def _compete_iteration_lanes(
@@ -145,25 +147,27 @@ def _compete_iteration_lanes(
     # next group starts — peak memory is one group, not the whole batch.
     for gs, ge in _lane_groups(net, senders, m):
         dst = net.first_ports_lanes(senders[gs:ge], m)
-        for start in range(0, ge - gs, chunk):
-            stop = min(ge - gs, start + chunk)
-            flat = dst[start:stop].reshape(-1)
-            rep = np.repeat(sid_all[gs + start : gs + stop], m)
-            if crashy:
-                delivered = alive_flat[flat]
-                flat = flat[delivered]
-                rep = rep[delivered]
-            np.maximum.at(best, flat, rep)
+        with net.profile("scatter"):
+            for start in range(0, ge - gs, chunk):
+                stop = min(ge - gs, start + chunk)
+                flat = dst[start:stop].reshape(-1)
+                rep = np.repeat(sid_all[gs + start : gs + stop], m)
+                if crashy:
+                    delivered = alive_flat[flat]
+                    flat = flat[delivered]
+                    rep = rep[delivered]
+                np.maximum.at(best, flat, rep)
         # Column-0 pruning (sound with crash masks too: a dead referee's
         # floor never equals a live sender's rank — referees are never
         # self): only ~rows/m senders win their first referee, so the
         # full all-columns gather runs on a sliver of rows.
-        sid = sid_all[gs:ge]
-        group_ok = best[dst[:, 0]] == sid
-        cand = np.nonzero(group_ok)[0]
-        if len(cand) and m > 1:
-            group_ok[cand] = (best[dst[cand]] == sid[cand, None]).all(axis=1)
-        ok[gs:ge] = group_ok
+        with net.profile("compaction"):
+            sid = sid_all[gs:ge]
+            group_ok = best[dst[:, 0]] == sid
+            cand = np.nonzero(group_ok)[0]
+            if len(cand) and m > 1:
+                group_ok[cand] = (best[dst[cand]] == sid[cand, None]).all(axis=1)
+            ok[gs:ge] = group_ok
     responded = (best > init).reshape(net.batch, net.n)
     net.count_messages_lanes(responded.sum(axis=1), response_kind)
     return senders[ok]

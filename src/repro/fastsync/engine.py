@@ -77,6 +77,7 @@ import numpy as np
 
 from repro.common import SimulationLimitExceeded, SurvivorAccounting
 from repro.net.ports import PortMap
+from repro.telemetry.profile import NULL_PROFILE
 
 __all__ = ["ArrayPortMap", "DEFAULT_EXACT_LIMIT", "FastRunResult", "FastSyncNetwork"]
 
@@ -283,6 +284,8 @@ class FastSyncNetwork:
         crashes: Optional[Sequence[Tuple[int, float]]] = None,
         lane_crashes: Optional[Sequence[Optional[Sequence[Tuple[int, float]]]]] = None,
         roots: Optional[Sequence[int]] = None,
+        telemetry: Optional[object] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         if n < 1:
             raise ValueError("need n >= 1")
@@ -439,6 +442,21 @@ class FastSyncNetwork:
             self._lane_awake: List[Optional[int]] = [None] * self.batch
         self._ran = False
 
+        # ---- observability ---------------------------------------------
+        # Both hooks are opt-in and None by default: the disabled paths
+        # are a single attribute test per round / accounting call, which
+        # the telemetry-overhead bench keeps within budget.
+        self._telemetry = telemetry
+        self._profiler = profiler
+        if telemetry is not None:
+            telemetry.bind(self)
+
+    def profile(self, name: str):
+        """A timing context for one kernel phase (no-op when disabled)."""
+        if self._profiler is None:
+            return NULL_PROFILE
+        return self._profiler.phase(name)
+
     @property
     def has_crashes(self) -> bool:
         """Whether this run carries a crash schedule (mask path active)."""
@@ -529,6 +547,9 @@ class FastSyncNetwork:
                 at, node = self._crash_schedule[self._crash_idx]
                 self._crash_idx += 1
                 self._apply_crash(node, at)
+            if self._telemetry is not None:
+                survivors = int(self.alive.sum()) if self._crash_schedule else self.n
+                self._telemetry.on_tick(0, self.round, survivors)
             return self.round
         lanes = range(self.batch) if active is None else np.nonzero(active)[0]
         for b in lanes:
@@ -541,6 +562,9 @@ class FastSyncNetwork:
                 i += 1
                 self._apply_crash_lane(b, node, at)
             self._lane_crash_idx[b] = i
+            if self._telemetry is not None:
+                survivors = int(self.alive[b].sum()) if sched else self.n
+                self._telemetry.on_tick(int(b), int(self.lane_round[b]), survivors)
         return self.round
 
     def count_messages(self, count: int, kind: str) -> None:
@@ -552,6 +576,8 @@ class FastSyncNetwork:
         self.last_send_round = self.round
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + count
         self.sends_by_round[self.round] = self.sends_by_round.get(self.round, 0) + count
+        if self._telemetry is not None:
+            self._telemetry.on_send(0, self.round, kind, count)
 
     def count_messages_lanes(self, counts: np.ndarray, kind: str) -> None:
         """Per-lane :meth:`count_messages`: ``counts`` is ``(batch,)``."""
@@ -568,6 +594,11 @@ class FastSyncNetwork:
             self.round, np.zeros(self.batch, dtype=np.int64)
         )
         round_arr += sent
+        if self._telemetry is not None:
+            for b in np.nonzero(mask)[0]:
+                self._telemetry.on_send(
+                    int(b), int(self.lane_round[b]), kind, int(counts[b])
+                )
 
     def decide(
         self,
@@ -583,6 +614,8 @@ class FastSyncNetwork:
         self._leaders = [int(u) for u in leader_nodes]
         self._decided_count = self.n if decided_count is None else int(decided_count)
         self._awake_override = awake_count
+        if self._telemetry is not None:
+            self._telemetry.on_decide(0, self.round, self._leaders)
 
     def decide_lane(
         self,
@@ -595,6 +628,10 @@ class FastSyncNetwork:
         self._lane_leaders[lane] = [int(u) for u in leader_nodes]
         self._lane_decided[lane] = self.n if decided_count is None else int(decided_count)
         self._lane_awake[lane] = awake_count
+        if self._telemetry is not None:
+            self._telemetry.on_decide(
+                int(lane), int(self.lane_round[lane]), self._lane_leaders[lane]
+            )
 
     # ------------------------------------------------------------------ #
     # sampling primitives (mode-dependent)
@@ -609,22 +646,24 @@ class FastSyncNetwork:
         """
         if m > self.n - 1:
             raise ValueError(f"cannot use {m} of {self.n - 1} ports")
-        if self._ports is not None:
-            return self._ports[src, :m]
-        return self._distinct_targets(src, m)
+        with self.profile("sampling"):
+            if self._ports is not None:
+                return self._ports[src, :m]
+            return self._distinct_targets(src, m)
 
     def sampled_targets(self, src: np.ndarray, m: int) -> np.ndarray:
         """Destinations of "send over ``m`` sampled ports" (``ctx.sample_ports``)."""
         if m > self.n - 1:
             raise ValueError(f"cannot sample {m} of {self.n - 1} ports")
-        if self._node_rngs is not None:
-            out = np.empty((len(src), m), dtype=np.int64)
-            port_range = range(self.n - 1)
-            for row, u in enumerate(src):
-                ports = self._node_rngs[u].sample(port_range, m)
-                out[row] = self._ports[u, ports]
-            return out
-        return self._distinct_targets(src, m)
+        with self.profile("sampling"):
+            if self._node_rngs is not None:
+                out = np.empty((len(src), m), dtype=np.int64)
+                port_range = range(self.n - 1)
+                for row, u in enumerate(src):
+                    ports = self._node_rngs[u].sample(port_range, m)
+                    out[row] = self._ports[u, ports]
+                return out
+            return self._distinct_targets(src, m)
 
     def bernoulli(self, p: float) -> np.ndarray:
         """One biased coin per node (all ``n`` nodes draw, in node order)."""
@@ -711,26 +750,28 @@ class FastSyncNetwork:
         if m > self.n - 1:
             raise ValueError(f"cannot use {m} of {self.n - 1} ports")
         n = self.n
-        if self._lane_ports is not None:
-            lane = src_global // n
-            node = src_global - lane * n
-            return self._lane_ports[lane, node, :m] + (lane * n)[:, None]
-        return self._distinct_targets_lanes(src_global, m)
+        with self.profile("sampling"):
+            if self._lane_ports is not None:
+                lane = src_global // n
+                node = src_global - lane * n
+                return self._lane_ports[lane, node, :m] + (lane * n)[:, None]
+            return self._distinct_targets_lanes(src_global, m)
 
     def sampled_targets_lanes(self, src_global: np.ndarray, m: int) -> np.ndarray:
         """Batched :meth:`sampled_targets`; rows keyed by global index."""
         if m > self.n - 1:
             raise ValueError(f"cannot sample {m} of {self.n - 1} ports")
         n = self.n
-        if self._lane_node_rngs is not None:
-            out = np.empty((len(src_global), m), dtype=np.int64)
-            port_range = range(n - 1)
-            for row, g in enumerate(src_global):
-                b, u = divmod(int(g), n)
-                ports = self._lane_node_rngs[b][u].sample(port_range, m)
-                out[row] = self._lane_ports[b, u, ports] + b * n
-            return out
-        return self._distinct_targets_lanes(src_global, m)
+        with self.profile("sampling"):
+            if self._lane_node_rngs is not None:
+                out = np.empty((len(src_global), m), dtype=np.int64)
+                port_range = range(n - 1)
+                for row, g in enumerate(src_global):
+                    b, u = divmod(int(g), n)
+                    ports = self._lane_node_rngs[b][u].sample(port_range, m)
+                    out[row] = self._lane_ports[b, u, ports] + b * n
+                return out
+            return self._distinct_targets_lanes(src_global, m)
 
     def bernoulli_lanes(
         self, p: float, lanes: Optional[np.ndarray] = None

@@ -15,7 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.analysis.runner import RunRecord, run_async_trial, run_sync_trial
 from repro.common import Decision
 from repro.faults.plan import FaultPlan
-from repro.trace.events import MemoryRecorder, TraceEvent
+from repro.trace.events import CompositeRecorder, MemoryRecorder, TraceEvent
 
 __all__ = ["FailoverReport", "run_failover_trial"]
 
@@ -93,9 +93,18 @@ def run_failover_trial(
     max_rounds: Optional[int] = None,
     max_events: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
+    recorder: Optional[Any] = None,
 ) -> FailoverReport:
-    """One fault-injected election with measured failover metrics."""
-    recorder = MemoryRecorder()
+    """One fault-injected election with measured failover metrics.
+
+    ``recorder`` fans in an extra event sink (e.g. a
+    :class:`~repro.telemetry.JsonlRecorder`) alongside the internal
+    :class:`~repro.trace.MemoryRecorder` the measurements come from.
+    """
+    memory = MemoryRecorder()
+    trial_recorder: Any = memory
+    if recorder is not None:
+        trial_recorder = CompositeRecorder(memory, recorder)
     if engine == "sync":
         record = run_sync_trial(
             n,
@@ -106,7 +115,7 @@ def run_failover_trial(
             max_rounds=max_rounds,
             params=params,
             faults=plan,
-            recorder=recorder,
+            recorder=trial_recorder,
             keep_result=True,
         )
     elif engine == "async":
@@ -120,9 +129,14 @@ def run_failover_trial(
             max_events=max_events,
             params=params,
             faults=plan,
-            recorder=recorder,
+            recorder=trial_recorder,
             keep_result=True,
         )
     else:
         raise ValueError(f"unknown engine {engine!r} (want 'sync' or 'async')")
-    return _measure(record, record.extra["result"], recorder.events)
+    report = _measure(record, record.extra["result"], memory.events)
+    if report.reelection_time is not None:
+        # Surface the measured failover latency through the standard
+        # metrics channel too, next to the engine-derived numbers.
+        record.extra["metrics"]["gauges"]["failover_latency"] = report.reelection_time
+    return report

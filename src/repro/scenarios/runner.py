@@ -132,6 +132,7 @@ class ScenarioRunner:
         quorum: bool = False,
         ids: Optional[Sequence[int]] = None,
         max_events: int = 5_000_000,
+        recorder: Optional[Any] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -141,6 +142,12 @@ class ScenarioRunner:
             )
         if lag < 0:
             raise ValueError("detector lag must be >= 0")
+        if engine == "fast" and recorder is not None:
+            raise ValueError(
+                "the fast engine has no per-event recorder hooks — record "
+                "scenario traces with --engine sync or async (fast runs "
+                "expose aggregate telemetry only)"
+            )
         if engine == "fast":
             unsupported = []
             if scenario.kill_policy is not None:
@@ -180,6 +187,7 @@ class ScenarioRunner:
         self.restart_delay = restart_delay
         self.quorum = quorum
         self.max_events = max_events
+        self.recorder = recorder
         if ids is None:
             ids = list(range(1, n + 1))
         if len(ids) != n or len(set(ids)) != n:
@@ -251,6 +259,12 @@ class ScenarioRunner:
 
     def _note(self, text: str) -> None:
         self.notes.append(text)
+
+    def _annotate(self, **fields: Any) -> None:
+        """Stamp scenario coordinates onto the trace stream, if any."""
+        annotate = getattr(self.recorder, "annotate", None)
+        if annotate is not None:
+            annotate(**fields)
 
     # ------------------------------------------------------------------ #
     # act execution
@@ -421,6 +435,9 @@ class ScenarioRunner:
             if self.engine == "async":
                 kwargs["wake_times"] = {u: 0.0 for u in range(m)}
                 kwargs["max_events"] = self.max_events
+            self._annotate(
+                act=act_index, trigger=trigger, epoch=self.epoch_counter + 1
+            )
             try:
                 report = run_failover_trial(
                     self.engine,
@@ -429,6 +446,7 @@ class ScenarioRunner:
                     plan,
                     seed=act_seed,
                     ids=member_ids,
+                    recorder=self.recorder,
                     **kwargs,
                 )
             except SimulationLimitExceeded as exc:
@@ -840,6 +858,7 @@ class ScenarioRunner:
             if self.engine == "async":
                 kwargs["wake_times"] = {u: 0.0 for u in range(self.n)}
                 kwargs["max_events"] = self.max_events
+            self._annotate(act=None, epoch=None, trigger="baseline")
             report = run_failover_trial(
                 self.engine,
                 self.n,
@@ -847,9 +866,11 @@ class ScenarioRunner:
                 plan,
                 seed=seed,
                 ids=self._initial_ids,
+                recorder=self.recorder,
                 **kwargs,
             )
             record = report.record
+            self._annotate(trigger=None)
         self._sanitize_record(record)
         return record
 

@@ -1,0 +1,46 @@
+"""Run context attached to exported traces.
+
+A :class:`RunContext` names the configuration a trace came from —
+algorithm, clique size, seed, engine, port-model mode — plus the
+scenario coordinates (act, epoch) and batch lane when applicable.  It
+rides in the JSONL header line and its mutable fields (``act``,
+``epoch``) can be re-annotated mid-stream by scenario runners, so every
+event line carries the coordinates active when it was written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["RunContext"]
+
+
+@dataclass
+class RunContext:
+    """Where a trace came from: the run's identifying coordinates."""
+
+    algorithm: Optional[str] = None
+    n: Optional[int] = None
+    seed: Optional[int] = None
+    engine: Optional[str] = None       # sync | async | fast
+    mode: Optional[str] = None         # fast engine: exact | scale
+    scenario: Optional[str] = None
+    act: Optional[int] = None          # scenario act index
+    epoch: Optional[int] = None        # scenario epoch counter
+    lane: Optional[int] = None         # fast engine batch lane
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict, dropping unset (``None``/empty) fields."""
+        out = {}
+        for key, value in asdict(self).items():
+            if value is None or (key == "params" and not value):
+                continue
+            out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunContext":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})

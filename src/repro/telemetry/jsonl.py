@@ -1,0 +1,250 @@
+"""Schema-versioned JSONL trace export.
+
+One trace file is a header line followed by one JSON object per event::
+
+    {"schema": "repro.trace/1", "context": {"algorithm": "...", ...}}
+    {"k": "send", "t": 1.0, "u": 0, "d": [...]}
+    ...
+
+The header carries the :class:`~repro.telemetry.RunContext`; event lines
+carry the kind/when/node/detail of one :class:`~repro.trace.TraceEvent`,
+plus any stream annotations (scenario act/epoch) active when the event
+was written.  Payload details are encoded with a small tagged scheme so
+:func:`load_trace` round-trips them exactly:
+
+* tuples become ``{"%t": [...]}`` (plain JSON lists stay lists),
+* :class:`~repro.common.Decision` members become ``{"%D": name}``,
+* dicts become ``{"%m": {...}}`` (string keys only),
+* anything else degrades to ``{"%r": repr(value)}`` — lossy by design;
+  the repr string is what comes back.
+
+:class:`JsonlRecorder` implements the full recorder hook protocol, so it
+plugs in anywhere a recorder goes today (engines, failover trials,
+scenario runners, ``CompositeRecorder`` fan-outs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from repro.common import Decision
+from repro.telemetry.context import RunContext
+from repro.trace.events import EventRecorder, TraceEvent
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "JsonlRecorder",
+    "Trace",
+    "TraceSchemaError",
+    "load_trace",
+    "dump_events",
+]
+
+SCHEMA_VERSION = 1
+SCHEMA = f"repro.trace/{SCHEMA_VERSION}"
+
+
+class TraceSchemaError(ValueError):
+    """The file is not a (supported) repro trace."""
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"%t": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, Decision):
+        return {"%D": value.name}
+    if isinstance(value, dict):
+        return {"%m": {str(k): _encode(v) for k, v in value.items()}}
+    return {"%r": repr(value)}
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    if isinstance(value, dict):
+        if "%t" in value:
+            return tuple(_decode(v) for v in value["%t"])
+        if "%D" in value:
+            return Decision[value["%D"]]
+        if "%m" in value:
+            return {k: _decode(v) for k, v in value["%m"].items()}
+        if "%r" in value:
+            return value["%r"]
+    return value
+
+
+class JsonlRecorder(EventRecorder):
+    """Streams every hook to a JSONL file as it happens.
+
+    ``sink`` is a path or an open text file.  ``context`` (a
+    :class:`RunContext` or plain dict) goes in the header line;
+    :meth:`annotate` sets per-event fields (e.g. scenario ``act`` and
+    ``epoch``) attached to every subsequent line; ``kinds`` filters like
+    every other recorder.  Use as a context manager, or :meth:`close`
+    explicitly, to flush the underlying file.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, IO[str]],
+        *,
+        context: Union[RunContext, Dict[str, Any], None] = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(kinds)
+        if isinstance(sink, str):
+            self._fh: IO[str] = open(sink, "w")
+            self._owns = True
+        else:
+            self._fh = sink
+            self._owns = False
+        if isinstance(context, RunContext):
+            context = context.as_dict()
+        self.context = dict(context or {})
+        self._annotations: Dict[str, Any] = {}
+        self.events_written = 0
+        self._fh.write(json.dumps({"schema": SCHEMA, "context": _encode(self.context)},
+                                  sort_keys=True) + "\n")
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach ``fields`` to every event written from now on.
+
+        A field set to ``None`` is cleared.  Scenario runners use this to
+        stamp the act/epoch coordinates onto mid-scenario events.
+        """
+        for key, value in fields.items():
+            if value is None:
+                self._annotations.pop(key, None)
+            else:
+                self._annotations[key] = value
+
+    def emit(self, event: TraceEvent) -> None:
+        """Write one ready-made event (fast-engine aggregates use this)."""
+        line: Dict[str, Any] = {
+            "k": event.kind,
+            "t": event.when,
+            "u": event.node,
+            "d": _encode(tuple(event.detail)),
+        }
+        if self._annotations:
+            line["a"] = _encode(dict(self._annotations))
+        self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def _record(self, event: TraceEvent) -> None:
+        self.emit(event)
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+@dataclass
+class Trace:
+    """One loaded trace: header context plus the event stream."""
+
+    schema: str
+    context: Dict[str, Any]
+    events: List[TraceEvent]
+    #: Per-event stream annotations (``{}`` when none) — same length as
+    #: ``events``; scenario traces carry ``act``/``epoch`` here.
+    annotations: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def run_context(self) -> RunContext:
+        return RunContext.from_dict(self.context)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+def _parse_header(line: str, where: str) -> Dict[str, Any]:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"{where}: header line is not JSON: {exc}") from None
+    if not isinstance(header, dict) or "schema" not in header:
+        raise TraceSchemaError(f"{where}: missing schema header line")
+    schema = header["schema"]
+    if not str(schema).startswith("repro.trace/"):
+        raise TraceSchemaError(f"{where}: unknown schema {schema!r}")
+    version = str(schema).split("/", 1)[1]
+    if not version.isdigit() or int(version) > SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"{where}: schema {schema!r} is newer than supported ({SCHEMA})"
+        )
+    return header
+
+
+def load_trace(source: Union[str, IO[str]]) -> Trace:
+    """Load one JSONL trace written by :class:`JsonlRecorder`.
+
+    ``source`` is a path or an open text file.  Raises
+    :class:`TraceSchemaError` for missing/foreign/newer headers and for
+    malformed event lines.
+    """
+    if isinstance(source, str):
+        with open(source) as fh:
+            return _load(fh, source)
+    return _load(source, getattr(source, "name", "<trace>"))
+
+
+def _load(fh: IO[str], where: str) -> Trace:
+    lines = [line for line in fh if line.strip()]
+    if not lines:
+        raise TraceSchemaError(f"{where}: empty file, not a trace")
+    header = _parse_header(lines[0], where)
+    events: List[TraceEvent] = []
+    annotations: List[Dict[str, Any]] = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"{where}:{i}: not JSON: {exc}") from None
+        try:
+            detail = _decode(payload["d"])
+            events.append(
+                TraceEvent(
+                    kind=str(payload["k"]),
+                    when=float(payload["t"]),
+                    node=int(payload["u"]),
+                    detail=detail if isinstance(detail, tuple) else tuple(detail),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceSchemaError(f"{where}:{i}: malformed event: {exc}") from None
+        annotations.append(_decode(payload.get("a", {})) or {})
+    return Trace(
+        schema=str(header["schema"]),
+        context=_decode(header.get("context", {})) or {},
+        events=events,
+        annotations=annotations,
+    )
+
+
+def dump_events(
+    sink: Union[str, IO[str]],
+    events: Iterable[TraceEvent],
+    *,
+    context: Union[RunContext, Dict[str, Any], None] = None,
+) -> int:
+    """Write ready-made events as one trace file; returns the count."""
+    with JsonlRecorder(sink, context=context) as rec:
+        for event in events:
+            rec.emit(event)
+        return rec.events_written

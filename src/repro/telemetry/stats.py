@@ -1,0 +1,228 @@
+"""Trace analysis: summary stats, diffs and the ASCII timeline.
+
+These operate on loaded :class:`~repro.telemetry.Trace` objects and are
+engine-agnostic: object-engine traces carry per-message ``send`` events,
+fast-engine traces carry per-round ``round`` aggregates, and both reduce
+to the same per-round send totals — which is what :func:`diff_traces`
+compares to localize the first round where two runs part ways (the
+natural tool for pinning down a fast-vs-object equivalence failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.jsonl import Trace
+from repro.trace.events import TraceEvent
+
+__all__ = ["TraceStats", "trace_stats", "TraceDiff", "diff_traces", "render_timeline"]
+
+
+def _round_of(event: TraceEvent) -> int:
+    """The integer round/time bucket an event belongs to."""
+    return int(event.when)
+
+
+def sends_per_round(trace: Trace) -> Dict[int, int]:
+    """Per-round send totals, from either event style.
+
+    ``round`` aggregates (fast engine) take precedence; otherwise the
+    per-message ``send`` events are bucketed by integer round (async
+    traces bucket by whole time units).
+    """
+    aggregates = trace.of_kind("round")
+    if aggregates:
+        return {_round_of(e): int(e.detail[0]) for e in aggregates if e.detail[0]}
+    out: Dict[int, int] = {}
+    for e in trace.of_kind("send"):
+        r = _round_of(e)
+        out[r] = out.get(r, 0) + 1
+    return out
+
+
+def messages_by_kind(trace: Trace) -> Dict[str, int]:
+    """Per-payload-kind totals, from either event style."""
+    aggregates = trace.of_kind("round")
+    out: Dict[str, int] = {}
+    if aggregates:
+        for e in aggregates:
+            for kind, count in e.detail[2]:
+                out[kind] = out.get(kind, 0) + int(count)
+        return dict(sorted(out.items()))
+    for e in trace.of_kind("send"):
+        payload = e.detail[3] if len(e.detail) > 3 else None
+        kind = getattr(payload, "kind", None)
+        if kind is None and isinstance(payload, tuple) and payload:
+            kind = payload[0]
+        key = str(kind) if kind is not None else "?"
+        out[key] = out.get(key, 0) + 1
+    return dict(sorted(out.items()))
+
+
+@dataclass
+class TraceStats:
+    """Summary of one trace."""
+
+    events: int
+    by_kind: Dict[str, int]
+    nodes: int
+    messages: int
+    rounds: int
+    first_when: Optional[float]
+    last_when: Optional[float]
+    sends_by_round: Dict[int, int]
+    payload_kinds: Dict[str, int]
+    decides: int
+    crashes: int
+    tampered: int
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    events = trace.events
+    by_kind: Dict[str, int] = {}
+    for e in events:
+        by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+    per_round = sends_per_round(trace)
+    nodes = {e.node for e in events if e.node >= 0}
+    return TraceStats(
+        events=len(events),
+        by_kind=dict(sorted(by_kind.items())),
+        nodes=len(nodes),
+        messages=sum(per_round.values()),
+        rounds=max(per_round) if per_round else 0,
+        first_when=min((e.when for e in events), default=None),
+        last_when=max((e.when for e in events), default=None),
+        sends_by_round=per_round,
+        payload_kinds=messages_by_kind(trace),
+        decides=by_kind.get("decide", 0),
+        crashes=by_kind.get("crash", 0),
+        tampered=by_kind.get("tamper", 0),
+    )
+
+
+@dataclass
+class TraceDiff:
+    """Where two traces part ways, at per-round aggregate granularity."""
+
+    identical: bool
+    first_diff_round: Optional[int] = None
+    counts_a: Optional[int] = None      # sends at the diverging round
+    counts_b: Optional[int] = None
+    context_diffs: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.identical:
+            return "traces agree (per-round send totals and payload kinds match)"
+        if self.first_diff_round is not None:
+            return (
+                f"first divergence at round {self.first_diff_round}: "
+                f"{self.counts_a} vs {self.counts_b} sends"
+            )
+        return "; ".join(self.notes) or "traces differ"
+
+
+def diff_traces(a: Trace, b: Trace) -> TraceDiff:
+    """Compare two traces and localize the first differing round."""
+    context_diffs = []
+    for key in sorted(set(a.context) | set(b.context)):
+        va, vb = a.context.get(key), b.context.get(key)
+        if va != vb:
+            context_diffs.append(f"context[{key}]: {va!r} vs {vb!r}")
+    rounds_a = sends_per_round(a)
+    rounds_b = sends_per_round(b)
+    first_diff = None
+    ca = cb = None
+    for r in sorted(set(rounds_a) | set(rounds_b)):
+        if rounds_a.get(r, 0) != rounds_b.get(r, 0):
+            first_diff, ca, cb = r, rounds_a.get(r, 0), rounds_b.get(r, 0)
+            break
+    notes = []
+    kinds_a, kinds_b = messages_by_kind(a), messages_by_kind(b)
+    if kinds_a != kinds_b:
+        for kind in sorted(set(kinds_a) | set(kinds_b)):
+            if kinds_a.get(kind, 0) != kinds_b.get(kind, 0):
+                notes.append(
+                    f"kind {kind}: {kinds_a.get(kind, 0)} vs {kinds_b.get(kind, 0)}"
+                )
+    # Event counts only signal divergence between same-style traces: a
+    # per-message trace and an aggregate trace of the same run differ in
+    # event count structurally, not semantically.
+    if bool(a.of_kind("round")) == bool(b.of_kind("round")):
+        if len(a.events) != len(b.events):
+            notes.append(f"event counts: {len(a.events)} vs {len(b.events)}")
+    identical = first_diff is None and not notes
+    return TraceDiff(
+        identical=identical,
+        first_diff_round=first_diff,
+        counts_a=ca,
+        counts_b=cb,
+        context_diffs=context_diffs,
+        notes=notes,
+    )
+
+
+#: Timeline glyph per event kind, later entries win within one cell.
+_GLYPHS: List[Tuple[str, str]] = [
+    ("deliver", "r"),
+    ("wake", "w"),
+    ("send", "S"),
+    ("tamper", "T"),
+    ("decide", "D"),
+    ("crash", "X"),
+]
+_PRIORITY = {kind: i for i, (kind, _) in enumerate(_GLYPHS)}
+_GLYPH = dict(_GLYPHS)
+
+
+def render_timeline(
+    trace: Trace, *, max_nodes: int = 40, max_rounds: int = 100
+) -> str:
+    """An ASCII per-node timeline: rows are nodes, columns are rounds.
+
+    Cell glyphs: ``S`` send, ``r`` receive, ``w`` wake, ``D`` decide,
+    ``X`` crash, ``T`` tamper (highest-priority event wins per cell).
+    Long traces are windowed to the last ``max_rounds`` rounds and the
+    first ``max_nodes`` nodes, with a note when truncated.
+    """
+    events = [e for e in trace.events if e.node >= 0]
+    if not events:
+        per_round = sends_per_round(trace)
+        if not per_round:
+            return "(no per-node events in this trace)"
+        lines = ["aggregate trace (no per-node events); sends per round:"]
+        peak = max(per_round.values())
+        for r in sorted(per_round):
+            bar = "#" * max(1, round(60 * per_round[r] / peak))
+            lines.append(f"  round {r:>4}: {bar} {per_round[r]}")
+        return "\n".join(lines)
+    nodes = sorted({e.node for e in events})
+    rounds = sorted({_round_of(e) for e in events})
+    notes = []
+    if len(rounds) > max_rounds:
+        rounds = rounds[-max_rounds:]
+        notes.append(f"(showing the last {max_rounds} rounds)")
+    if len(nodes) > max_nodes:
+        nodes = nodes[:max_nodes]
+        notes.append(f"(showing the first {max_nodes} of {len({e.node for e in events})} nodes)")
+    round_col = {r: i for i, r in enumerate(rounds)}
+    grid = {u: ["."] * len(rounds) for u in nodes}
+    for e in events:
+        col = round_col.get(_round_of(e))
+        if col is None or e.node not in grid:
+            continue
+        cell = grid[e.node][col]
+        if cell == "." or _PRIORITY[e.kind] > _PRIORITY.get(
+            next((k for k, g in _GLYPHS if g == cell), "deliver"), -1
+        ):
+            grid[e.node][col] = _GLYPH[e.kind]
+    width = max(len(str(u)) for u in nodes)
+    header = " " * (width + 7) + "".join(str(r % 10) for r in rounds)
+    lines = [f"rounds {rounds[0]}..{rounds[-1]} (column = round, digit = round mod 10)"]
+    lines.append(header)
+    for u in nodes:
+        lines.append(f"node {u:>{width}}  " + "".join(grid[u]))
+    lines.append("legend: S send  r receive  w wake  D decide  X crash  T tamper")
+    lines.extend(notes)
+    return "\n".join(lines)

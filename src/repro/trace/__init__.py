@@ -14,10 +14,19 @@ graph plus an event log).
 """
 
 from repro.trace.events import (
+    EVENT_KINDS,
     CompositeRecorder,
+    EventRecorder,
     MemoryRecorder,
     PrintRecorder,
     TraceEvent,
 )
 
-__all__ = ["TraceEvent", "MemoryRecorder", "PrintRecorder", "CompositeRecorder"]
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "EventRecorder",
+    "MemoryRecorder",
+    "PrintRecorder",
+    "CompositeRecorder",
+]

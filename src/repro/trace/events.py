@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
-__all__ = ["TraceEvent", "MemoryRecorder", "PrintRecorder", "CompositeRecorder"]
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "EventRecorder",
+    "MemoryRecorder",
+    "PrintRecorder",
+    "CompositeRecorder",
+]
+
+#: Every hook the engines may call; ``deliver`` is async-engine only.
+EVENT_KINDS = ("send", "deliver", "wake", "decide", "crash", "tamper")
 
 
 @dataclass(frozen=True)
@@ -30,29 +41,79 @@ class TraceEvent:
         return f"[{self.when:>7.2f}] {self.kind:<7} node={self.node} {self.detail}"
 
 
-class MemoryRecorder:
-    """Collects every event in order; convenient in tests."""
+class EventRecorder:
+    """Base recorder: turns every hook into one :class:`TraceEvent`.
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    Subclasses implement :meth:`_record`; an optional ``kinds`` filter
+    drops non-matching events *before* they are built, so filtered
+    events cost nothing and never count toward any subclass bound.
+    """
+
+    def __init__(self, kinds: Optional[Sequence[str]] = None) -> None:
+        self.kinds = set(kinds) if kinds else None
+
+    def _record(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _emit(self, kind: str, when, node: int, detail: tuple) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self._record(TraceEvent(kind, float(when), node, detail))
 
     def on_send(self, when, u, port, v, peer_port, payload) -> None:
-        self.events.append(TraceEvent("send", float(when), u, (port, v, peer_port, payload)))
+        self._emit("send", when, u, (port, v, peer_port, payload))
 
     def on_deliver(self, when, v, port, payload) -> None:
-        self.events.append(TraceEvent("deliver", float(when), v, (port, payload)))
+        self._emit("deliver", when, v, (port, payload))
 
     def on_wake(self, when, u) -> None:
-        self.events.append(TraceEvent("wake", float(when), u, ()))
+        self._emit("wake", when, u, ())
 
     def on_decide(self, when, u, decision, output) -> None:
-        self.events.append(TraceEvent("decide", float(when), u, (decision, output)))
+        self._emit("decide", when, u, (decision, output))
 
     def on_crash(self, when, u) -> None:
-        self.events.append(TraceEvent("crash", float(when), u, ()))
+        self._emit("crash", when, u, ())
 
     def on_tamper(self, when, u, v, original, delivered) -> None:
-        self.events.append(TraceEvent("tamper", float(when), u, (v, original, delivered)))
+        self._emit("tamper", when, u, (v, original, delivered))
+
+
+class MemoryRecorder(EventRecorder):
+    """Collects every event in order; convenient in tests.
+
+    ``max_events`` bounds the log for long scenario runs: once full, the
+    *oldest* events are evicted (the recent tail is what failover
+    analysis reads) and ``dropped_events`` counts the evictions.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(kinds)
+        if max_events is not None and max_events < 1:
+            raise ValueError("need max_events >= 1")
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._events: List[TraceEvent] = []
+        self._ring = deque(maxlen=max_events) if max_events is not None else None
+
+    def _record(self, event: TraceEvent) -> None:
+        if self._ring is None:
+            self._events.append(event)
+            return
+        if len(self._ring) == self.max_events:
+            self.dropped_events += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The recorded log (bounded mode: the most recent window)."""
+        if self._ring is None:
+            return self._events
+        return list(self._ring)
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -61,74 +122,48 @@ class MemoryRecorder:
         return [e for e in self.events if e.kind == "send" and e.node == node]
 
 
-class PrintRecorder:
-    """Prints events as they happen (capped), for the examples."""
+class PrintRecorder(EventRecorder):
+    """Prints events as they happen (capped), for the examples.
+
+    Only events that pass the ``kinds`` filter count toward the cap, and
+    the one-time suppression notice fires on the first *matching* event
+    past the limit — filtered-out traffic can neither consume the budget
+    nor trigger the notice.
+    """
 
     def __init__(self, limit: int = 50, kinds: Optional[Sequence[str]] = None) -> None:
+        super().__init__(kinds)
         self.limit = limit
-        self.kinds = set(kinds) if kinds else None
         self._printed = 0
 
-    def _emit(self, event: TraceEvent) -> None:
-        if self.kinds is not None and event.kind not in self.kinds:
-            return
+    def _record(self, event: TraceEvent) -> None:
         if self._printed < self.limit:
             print(event)
         elif self._printed == self.limit:
             print(f"... (suppressing further trace output after {self.limit} events)")
         self._printed += 1
 
-    def on_send(self, when, u, port, v, peer_port, payload) -> None:
-        self._emit(TraceEvent("send", float(when), u, (port, v, peer_port, payload)))
-
-    def on_deliver(self, when, v, port, payload) -> None:
-        self._emit(TraceEvent("deliver", float(when), v, (port, payload)))
-
-    def on_wake(self, when, u) -> None:
-        self._emit(TraceEvent("wake", float(when), u, ()))
-
-    def on_decide(self, when, u, decision, output) -> None:
-        self._emit(TraceEvent("decide", float(when), u, (decision, output)))
-
-    def on_crash(self, when, u) -> None:
-        self._emit(TraceEvent("crash", float(when), u, ()))
-
-    def on_tamper(self, when, u, v, original, delivered) -> None:
-        self._emit(TraceEvent("tamper", float(when), u, (v, original, delivered)))
-
 
 class CompositeRecorder:
-    """Fans every hook out to several recorders."""
+    """Fans every hook out to several recorders.
+
+    Dispatch is by name: any ``on_*`` attribute resolves to a fan-out
+    over the child recorders that implement it, so partial recorders
+    keep working and new hooks need no changes here.  (Engines guard
+    optional hooks with ``hasattr``, which this satisfies for every
+    ``on_*`` name — a child missing the hook is simply skipped.)
+    """
 
     def __init__(self, *recorders: Any) -> None:
         self.recorders = recorders
 
-    def on_send(self, *args) -> None:
-        for r in self.recorders:
-            if hasattr(r, "on_send"):
-                r.on_send(*args)
+    def __getattr__(self, name: str) -> Callable[..., None]:
+        if not name.startswith("on_"):
+            raise AttributeError(name)
+        hooks = [getattr(r, name) for r in self.recorders if hasattr(r, name)]
 
-    def on_deliver(self, *args) -> None:
-        for r in self.recorders:
-            if hasattr(r, "on_deliver"):
-                r.on_deliver(*args)
+        def fanout(*args: Any) -> None:
+            for hook in hooks:
+                hook(*args)
 
-    def on_wake(self, *args) -> None:
-        for r in self.recorders:
-            if hasattr(r, "on_wake"):
-                r.on_wake(*args)
-
-    def on_decide(self, *args) -> None:
-        for r in self.recorders:
-            if hasattr(r, "on_decide"):
-                r.on_decide(*args)
-
-    def on_crash(self, *args) -> None:
-        for r in self.recorders:
-            if hasattr(r, "on_crash"):
-                r.on_crash(*args)
-
-    def on_tamper(self, *args) -> None:
-        for r in self.recorders:
-            if hasattr(r, "on_tamper"):
-                r.on_tamper(*args)
+        return fanout

@@ -1,0 +1,198 @@
+"""JSONL trace export: schema, round-trip fidelity, golden file."""
+
+import io
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import Decision
+from repro.telemetry import (
+    SCHEMA,
+    JsonlRecorder,
+    RunContext,
+    TraceSchemaError,
+    dump_events,
+    load_trace,
+)
+from repro.trace.events import EVENT_KINDS, TraceEvent
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "golden_trace_improved_tradeoff_n16.jsonl")
+
+# Payload values the recorder hooks actually see: message dataclass
+# fields flattened into tuples, Decision enums, dicts, plain scalars.
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(-(10**9), 10**9)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8)
+    | st.sampled_from(list(Decision))
+)
+_values = st.recursive(
+    _scalars,
+    lambda inner: (
+        st.lists(inner, max_size=3)
+        | st.lists(inner, max_size=3).map(tuple)
+        | st.dictionaries(st.text(max_size=5), inner, max_size=3)
+    ),
+    max_leaves=8,
+)
+_events = st.lists(
+    st.builds(
+        TraceEvent,
+        kind=st.sampled_from(EVENT_KINDS + ("round",)),
+        when=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        node=st.integers(-1, 10**6),
+        detail=st.lists(_values, max_size=4).map(tuple),
+    ),
+    max_size=20,
+)
+
+
+class TestRoundTrip:
+    @given(events=_events)
+    @settings(max_examples=60, deadline=None)
+    def test_dump_load_roundtrip_is_exact(self, events):
+        sink = io.StringIO()
+        written = dump_events(sink, events, context={"n": 4, "seed": 0})
+        assert written == len(events)
+        sink.seek(0)
+        trace = load_trace(sink)
+        assert trace.schema == SCHEMA
+        assert trace.context == {"n": 4, "seed": 0}
+        assert trace.events == events
+
+    def test_run_context_header_roundtrip(self):
+        sink = io.StringIO()
+        ctx = RunContext(algorithm="improved_tradeoff", n=8, seed=3,
+                         engine="sync", params={"ell": 3})
+        dump_events(sink, [], context=ctx)
+        sink.seek(0)
+        trace = load_trace(sink)
+        assert trace.run_context.algorithm == "improved_tradeoff"
+        assert trace.run_context.params == {"ell": 3}
+        # Fields left unset are dropped from the header entirely.
+        assert "scenario" not in trace.context
+
+    def test_decision_and_tuple_payloads_roundtrip(self):
+        events = [
+            TraceEvent("decide", 4.0, 1, (Decision.LEADER, 780)),
+            TraceEvent("send", 1.0, 0, (2, 5, 1, ("compete", 780, 3))),
+        ]
+        sink = io.StringIO()
+        dump_events(sink, events)
+        sink.seek(0)
+        loaded = load_trace(sink).events
+        assert loaded == events
+        assert loaded[0].detail[0] is Decision.LEADER
+        assert isinstance(loaded[1].detail[3], tuple)
+
+    def test_unknown_objects_degrade_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        sink = io.StringIO()
+        dump_events(sink, [TraceEvent("send", 1.0, 0, (Opaque(),))])
+        sink.seek(0)
+        assert load_trace(sink).events[0].detail == ("<opaque>",)
+
+
+class TestRecorder:
+    def test_hooks_write_events(self):
+        sink = io.StringIO()
+        with JsonlRecorder(sink) as rec:
+            rec.on_wake(0, 3)
+            rec.on_send(1, 0, 2, 5, 1, ("compete", 7))
+            rec.on_decide(2, 5, Decision.LEADER, 7)
+        sink.seek(0)
+        trace = load_trace(sink)
+        assert [e.kind for e in trace.events] == ["wake", "send", "decide"]
+        assert rec.events_written == 3
+
+    def test_kinds_filter(self):
+        sink = io.StringIO()
+        rec = JsonlRecorder(sink, kinds=["decide"])
+        rec.on_send(1, 0, 2, 5, 1, ("compete", 7))
+        rec.on_decide(2, 5, Decision.LEADER, 7)
+        rec.close()
+        sink.seek(0)
+        assert [e.kind for e in load_trace(sink).events] == ["decide"]
+
+    def test_annotations_attach_and_clear(self):
+        sink = io.StringIO()
+        rec = JsonlRecorder(sink)
+        rec.annotate(act=2, epoch=1)
+        rec.on_wake(0, 0)
+        rec.annotate(act=None)
+        rec.on_wake(0, 1)
+        rec.close()
+        sink.seek(0)
+        trace = load_trace(sink)
+        assert trace.annotations == [{"act": 2, "epoch": 1}, {"epoch": 1}]
+
+    def test_writes_to_path(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlRecorder(path, context={"n": 2}) as rec:
+            rec.on_wake(0, 0)
+        trace = load_trace(path)
+        assert trace.context == {"n": 2}
+        assert len(trace.events) == 1
+
+
+class TestSchemaErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceSchemaError, match="empty"):
+            load_trace(str(path))
+
+    def test_missing_header(self):
+        with pytest.raises(TraceSchemaError, match="schema"):
+            load_trace(io.StringIO('{"k": "send"}\n'))
+
+    def test_foreign_schema(self):
+        with pytest.raises(TraceSchemaError, match="unknown schema"):
+            load_trace(io.StringIO('{"schema": "other/1"}\n'))
+
+    def test_newer_version_rejected(self):
+        with pytest.raises(TraceSchemaError, match="newer"):
+            load_trace(io.StringIO('{"schema": "repro.trace/999"}\n'))
+
+    def test_malformed_event_line(self):
+        data = json.dumps({"schema": SCHEMA}) + '\n{"k": "send"}\n'
+        with pytest.raises(TraceSchemaError, match="malformed"):
+            load_trace(io.StringIO(data))
+
+    def test_non_json_event_line(self):
+        data = json.dumps({"schema": SCHEMA}) + "\nnot json\n"
+        with pytest.raises(TraceSchemaError, match="not JSON"):
+            load_trace(io.StringIO(data))
+
+
+class TestGoldenTrace:
+    """A recorded sync run must reproduce the committed golden file."""
+
+    def test_improved_tradeoff_n16_matches_golden(self, tmp_path):
+        from repro.__main__ import main
+
+        out = str(tmp_path / "fresh.jsonl")
+        assert main(["trace", "record", "improved_tradeoff", "--n", "16",
+                     "--seed", "0", "--engine", "sync", "-o", out]) == 0
+        with open(out) as fh:
+            fresh = fh.read()
+        with open(GOLDEN) as fh:
+            golden = fh.read()
+        assert fresh == golden
+
+    def test_golden_is_loadable_and_sane(self):
+        trace = load_trace(GOLDEN)
+        assert trace.schema == SCHEMA
+        assert trace.run_context.algorithm == "improved_tradeoff"
+        assert trace.run_context.n == 16
+        decides = trace.of_kind("decide")
+        assert len(decides) == 16
+        assert sum(d.detail[0] is Decision.LEADER for d in decides) == 1
