@@ -1,0 +1,216 @@
+"""Sharded sweep scheduler — wall-clock speedup with bit-identical output.
+
+PR 7's scheduler (``repro.analysis.sweep(grid, workers=N)``) shards
+``(n, algorithm, seed-block)`` cells across worker processes.  Because
+every seed owns its RNG streams, the sharded records must be **bit
+identical** to the sequential ones — parallelism buys wall-clock only.
+This bench quantifies exactly that on a ragged mixed-engine grid (large
+fast-engine cells next to small object-engine cells, the shape the
+ragged-aware big-cells-first ordering exists for).  Shape assertions:
+
+* **bit-identity** (every mode): ``sweep(grid, workers=N)`` equals the
+  ``workers=1`` records field by field under
+  ``repro.analysis.canonical_record`` (volatile wall-clock extras
+  stripped), and the merged metric counters are identical too;
+* **speedup** (full mode, ≥ 4 cores): ``workers=4`` completes the full
+  grid at least **2.5x faster** than ``workers=1``.  The floor is only
+  asserted when the host actually has 4 cores — on smaller machines (and
+  in smoke mode, where cells are too brief to amortize pool startup) the
+  bench still verifies bit-identity and reports the measured ratio.
+
+Run standalone::
+
+    python benchmarks/bench_sweep_parallel.py             # full grid, 4 workers
+    python benchmarks/bench_sweep_parallel.py --smoke     # CI-sized, 2 workers
+    python benchmarks/bench_sweep_parallel.py --smoke --workers 2 --json \
+        bench-artifacts/BENCH_sweep_parallel.json
+
+The ``--json`` artifact carries the seed-deterministic message totals
+that ``benchmarks/check_regression.py`` gates in CI against
+``benchmarks/baselines/BENCH_sweep_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from _harness import bench_once, emit, emit_json
+
+#: The acceptance floor for the full-grid run at 4 workers.
+MIN_SPEEDUP = 2.5
+
+#: Cores the speedup assertion needs; below this the pool is oversubscribed
+#: and the floor is reported, not asserted.
+MIN_CORES = 4
+
+
+def full_grid():
+    from repro.analysis import RunSpec
+
+    return [
+        RunSpec(algorithm="improved_tradeoff", n=100_000, engine="fast",
+                seeds=tuple(range(12)), params={"ell": 3}),
+        RunSpec(algorithm="las_vegas", n=60_000, engine="fast",
+                seeds=tuple(range(12))),
+        RunSpec(algorithm="improved_tradeoff", n=1024, engine="sync",
+                seeds=tuple(range(8)), params={"ell": 5}),
+        RunSpec(algorithm="async_tradeoff", n=256, engine="async",
+                seeds=tuple(range(4)), params={"k": 2}),
+    ]
+
+
+def smoke_grid():
+    from repro.analysis import RunSpec
+
+    return [
+        RunSpec(algorithm="improved_tradeoff", n=4096, engine="fast",
+                seeds=(0, 1, 2, 3), params={"ell": 5}),
+        RunSpec(algorithm="las_vegas", n=2048, engine="fast", seeds=(0, 1)),
+        RunSpec(algorithm="improved_tradeoff", n=128, engine="sync",
+                seeds=(0, 1), params={"ell": 3}),
+        RunSpec(algorithm="async_tradeoff", n=64, engine="async",
+                seeds=(0,), params={"k": 2}),
+    ]
+
+
+def run_comparison(grid, workers: int):
+    """Sequential vs sharded execution of one grid, with merged metrics."""
+    from repro.analysis import Table, canonical_record, sweep
+    from repro.telemetry.metrics import MetricsRegistry
+
+    sequential_registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    sequential = sweep(grid, workers=1, registry=sequential_registry)
+    sequential_s = time.perf_counter() - t0
+
+    sharded_registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    sharded = sweep(grid, workers=workers, registry=sharded_registry)
+    sharded_s = time.perf_counter() - t0
+
+    speedup = sequential_s / sharded_s if sharded_s > 0 else float("inf")
+    gauges = sharded_registry.as_dict()["gauges"]
+    table = Table(
+        ["spec", "engine", "records", "messages", "1-worker s",
+         f"{workers}-worker s", "speedup", "steals"],
+        title=f"Sharded sweep, {workers} workers over {len(grid)} specs",
+    )
+    rows = []
+    cursor = 0
+    for spec in grid:
+        block = sequential[cursor : cursor + len(spec.seeds)]
+        cursor += len(spec.seeds)
+        rows.append(
+            {
+                "spec": spec,
+                "records": len(block),
+                "messages": sum(r.messages for r in block),
+            }
+        )
+        table.add_row(
+            f"{spec.algorithm}/n={spec.n}", spec.resolved_engine(),
+            len(block), sum(r.messages for r in block),
+            f"{sequential_s:.2f}", f"{sharded_s:.2f}",
+            f"{speedup:.2f}x", gauges.get("sweep.steals", 0),
+        )
+    result = {
+        "rows": rows,
+        "sequential": [canonical_record(r) for r in sequential],
+        "sharded": [canonical_record(r) for r in sharded],
+        "sequential_counters": sequential_registry.as_dict()["counters"],
+        "sharded_counters": sharded_registry.as_dict()["counters"],
+        "sequential_s": sequential_s,
+        "sharded_s": sharded_s,
+        "speedup": speedup,
+        "workers": workers,
+        "gauges": gauges,
+    }
+    return table, result
+
+
+def check(result, *, require_speedup: bool) -> None:
+    assert result["sharded"] == result["sequential"], (
+        "sharded sweep records differ from the sequential run"
+    )
+    assert result["sharded_counters"] == result["sequential_counters"], (
+        "merged metric counters differ between worker counts",
+        result["sharded_counters"], result["sequential_counters"],
+    )
+    if require_speedup:
+        assert result["speedup"] >= MIN_SPEEDUP, (
+            f"sweep(workers={result['workers']}) must be >= {MIN_SPEEDUP}x "
+            f"faster than workers=1 on the full grid; measured "
+            f"{result['speedup']:.2f}x ({result['sequential_s']:.2f}s vs "
+            f"{result['sharded_s']:.2f}s)"
+        )
+
+
+def metrics_from(result):
+    metrics = {}
+    for row in result["rows"]:
+        spec = row["spec"]
+        key = f"{spec.algorithm}/{spec.resolved_engine()}/n={spec.n}"
+        metrics[f"{key}/total_messages"] = row["messages"]
+        metrics[f"{key}/records"] = row["records"]
+    info = {
+        "wall_s": {
+            "workers=1": result["sequential_s"],
+            f"workers={result['workers']}": result["sharded_s"],
+        },
+        "speedup": result["speedup"],
+        "steals": result["gauges"].get("sweep.steals", 0),
+        "cpu_count": os.cpu_count(),
+    }
+    return metrics, info
+
+
+def test_bench_sweep_parallel(benchmark):
+    import pytest
+
+    pytest.importorskip("numpy")
+    table, result = bench_once(
+        benchmark, lambda: run_comparison(smoke_grid(), workers=2)
+    )
+    emit("sweep_parallel", table.render())
+    check(result, require_speedup=False)
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized grid")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: 2 smoke, 4 full)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a BENCH_*.json trajectory artifact")
+    args = parser.parse_args(argv)
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print("bench_sweep_parallel needs numpy (pip install numpy, "
+              "or pip install -e '.[fast]')", file=sys.stderr)
+        return 2
+    workers = args.workers or (2 if args.smoke else 4)
+    grid = smoke_grid() if args.smoke else full_grid()
+    table, result = run_comparison(grid, workers)
+    print(table.render())
+    # The speedup floor is asserted on the full grid only, and only when
+    # the host actually has the cores — smoke cells are too brief to
+    # amortize pool startup, and 1-core CI boxes cannot parallelize.
+    cores = os.cpu_count() or 1
+    require_speedup = not args.smoke and cores >= MIN_CORES
+    check(result, require_speedup=require_speedup)
+    if not require_speedup and not args.smoke:
+        print(f"note: speedup floor not asserted ({cores} cores < {MIN_CORES})")
+    if args.json:
+        metrics, info = metrics_from(result)
+        emit_json(args.json, "sweep_parallel", metrics, smoke=args.smoke, info=info)
+    print(f"OK: bit-identical records at workers={workers}; "
+          f"measured speedup {result['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

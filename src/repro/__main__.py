@@ -91,17 +91,18 @@ import random
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.analysis import (
-    Table,
-    run_async_trial,
-    run_fast_batch,
-    run_fast_trial,
-    run_sync_trial,
-)
+from repro.analysis import RunSpec, Table, execute_spec, run
 from repro.common import SimulationLimitExceeded
 from repro.core import ALGORITHMS, get_algorithm
 from repro.ids import assign_random, small_universe, tradeoff_universe
 from repro.lowerbound import bounds
+
+try:
+    from repro.fastsync.xp import BackendUnavailable
+except ImportError:  # numpy missing: the seam never resolves, nothing to catch
+
+    class BackendUnavailable(ImportError):  # type: ignore[no-redef]
+        """Placeholder so ``main`` can catch the seam error unconditionally."""
 
 
 def _parse_param(text: str) -> Any:
@@ -114,8 +115,15 @@ def _parse_param(text: str) -> Any:
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
+    try:
+        from repro.fastsync.xp import available_backends
+
+        backends = ",".join(available_backends()) or "-"
+    except ImportError:
+        # numpy missing: the fast engine is unavailable, see repro.fastsync.
+        backends = "-"
     table = Table(
-        ["name", "engine", "fast", "wake-up", "paper", "messages", "time"],
+        ["name", "engine", "fast", "backends", "wake-up", "paper", "messages", "time"],
         title="Registered algorithms",
     )
     for spec in ALGORITHMS.values():
@@ -123,6 +131,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
             spec.name,
             spec.engine,
             "yes" if spec.has_fast else "-",
+            backends if spec.has_fast else "-",
             "+".join(spec.wakeup),
             spec.paper_ref,
             spec.messages_formula,
@@ -223,8 +232,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             chunk = args.seeds[start : start + args.batch]
             ids, roots = _fast_workload(chunk[0])
             records.extend(
-                run_fast_batch(
-                    args.n, args.name, seeds=chunk, ids=ids, roots=roots, params=params
+                execute_spec(
+                    RunSpec(
+                        algorithm=args.name,
+                        n=args.n,
+                        engine="fast",
+                        seeds=tuple(chunk),
+                        batch=len(chunk),
+                        params=params,
+                        ids=ids,
+                        roots=roots,
+                    )
                 )
             )
     else:
@@ -232,8 +250,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             rng = random.Random(f"cli:{args.n}:{seed}")
             if engine == "fast":
                 ids, roots = _fast_workload(seed)
-                record = run_fast_trial(
-                    args.n, args.name, seed=seed, ids=ids, roots=roots, params=params,
+                record = run(
+                    RunSpec(
+                        algorithm=args.name,
+                        n=args.n,
+                        engine="fast",
+                        seeds=(seed,),
+                        params=params,
+                        ids=ids,
+                        roots=roots,
+                    ),
                     telemetry=telemetry,
                 )
             elif spec.engine == "sync":
@@ -243,8 +269,16 @@ def cmd_run(args: argparse.Namespace) -> int:
                     awake = rng.sample(range(args.n), args.roots)
                 elif spec.wakeup == ("adversarial",):
                     awake = [0]
-                record = run_sync_trial(
-                    args.n, spec.make(**params), seed=seed, ids=ids, awake=awake,
+                record = run(
+                    RunSpec(
+                        algorithm=args.name,
+                        n=args.n,
+                        engine="sync",
+                        seeds=(seed,),
+                        params=params,
+                        ids=ids,
+                        awake=awake,
+                    ),
                     recorder=trace_recorder,
                 )
             else:
@@ -254,13 +288,17 @@ def cmd_run(args: argparse.Namespace) -> int:
                     wake_times = {u: 0.0 for u in range(args.n)}
                 elif args.roots is not None:
                     wake_times = {u: 0.0 for u in rng.sample(range(args.n), args.roots)}
-                record = run_async_trial(
-                    args.n,
-                    spec.make(**params),
-                    seed=seed,
-                    ids=ids,
-                    wake_times=wake_times,
-                    max_events=20_000_000,
+                record = run(
+                    RunSpec(
+                        algorithm=args.name,
+                        n=args.n,
+                        engine="async",
+                        seeds=(seed,),
+                        params=params,
+                        ids=ids,
+                        wake_times=wake_times,
+                        max_events=20_000_000,
+                    ),
                     recorder=trace_recorder,
                 )
             records.append(record)
@@ -617,6 +655,11 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     if args.batch and args.engine != "fast":
         print("error: --batch needs --engine fast", file=sys.stderr)
         return 2
+    if args.workers > 1 and args.batch:
+        # Batched lanes already share one engine run; sharding them
+        # across processes would change the lane grouping.
+        print("error: --workers and --batch are mutually exclusive", file=sys.stderr)
+        return 2
     table = Table(
         ["n", "seed", "elections", "epoch churn", "mean failover",
          "agreed frac", "messages", "overhead", "final agreed"],
@@ -624,6 +667,33 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     )
     metrics_out: Dict[str, Any] = {}
     failures = 0
+    parallel_metrics: Dict[Any, Dict[str, Any]] = {}
+    if args.workers > 1:
+        # Shard (n, seed) cells across worker processes: the scenario
+        # crosses the boundary as its JSON timeline and each worker
+        # replays it with the same per-seed RNG streams, so the table is
+        # bit-identical to the sequential sweep.
+        from repro.scenarios import scenario_to_json
+        from repro.sweep.scheduler import SweepCell, run_cells
+        from repro.sweep.worker import scenario_cell
+
+        cells = []
+        keys = []
+        try:
+            for n in args.ns:
+                scenario_json = scenario_to_json(_load_scenario(args.name, n))
+                for seed in args.seeds:
+                    payload = (
+                        scenario_json, n, seed, args.engine,
+                        args.inner, args.lag, args.quorum,
+                    )
+                    cells.append(SweepCell(index=len(cells), cost=n, payload=payload))
+                    keys.append((n, seed))
+        except (ScenarioSchemaError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        values = run_cells(cells, scenario_cell, workers=args.workers)
+        parallel_metrics = dict(zip(keys, values))
     for n in args.ns:
         results_by_seed: Dict[int, Any] = {}
         if args.batch:
@@ -638,7 +708,11 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
                 return 2
             results_by_seed = dict(zip(args.seeds, batch_results))
         for seed in args.seeds:
-            if args.batch:
+            if args.workers > 1:
+                from types import SimpleNamespace
+
+                m = SimpleNamespace(**parallel_metrics[(n, seed)])
+            elif args.batch:
                 m = results_by_seed[seed].metrics
             else:
                 try:
@@ -1217,6 +1291,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fast-engine execution (needs --engine fast; same results)",
     )
     sweep_scen_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the (n, seed) cells over N worker processes "
+        "(bit-identical to the sequential sweep; excludes --batch)",
+    )
+    sweep_scen_p.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the sweep metrics as JSON ('-' prints to stdout)",
     )
@@ -1372,7 +1451,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BackendUnavailable as exc:
+        # Backend selection (REPRO_ARRAY_BACKEND / --backend) names an
+        # uninstalled array library; the message carries the install hint.
+        raise SystemExit(f"error: {exc}") from None
 
 
 if __name__ == "__main__":

@@ -19,6 +19,8 @@ from repro.analysis.runner import (
     sweep_sync,
 )
 from repro.analysis.stats import Summary, success_rate, summarize
+from repro.sweep.api import execute_spec, run, sweep
+from repro.sweep.spec import RunSpec, canonical_record
 from repro.analysis.tables import Table, format_quantity
 from repro.analysis.validate import (
     agreement_ok,
@@ -31,6 +33,11 @@ __all__ = [
     "fit_power_law",
     "fit_polylog",
     "RunRecord",
+    "RunSpec",
+    "run",
+    "sweep",
+    "execute_spec",
+    "canonical_record",
     "run_sync_trial",
     "run_async_trial",
     "run_fast_trial",

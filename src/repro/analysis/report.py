@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
-from repro.analysis.runner import run_async_trial, run_sync_trial
 from repro.analysis.tables import Table
 from repro.asyncnet.schedulers import UnitDelayScheduler
 from repro.core import (
@@ -29,6 +28,8 @@ from repro.core import (
 from repro.ids import assign_random, small_universe, tradeoff_universe
 from repro.lowerbound import bounds
 from repro.mathutil import ceil_sqrt
+from repro.sweep.api import run
+from repro.sweep.spec import RunSpec
 
 __all__ = ["table1_report"]
 
@@ -57,7 +58,15 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
     )
     for ell in (3, 5):
         runs = [
-            run_sync_trial(n, lambda: ImprovedTradeoffElection(ell=ell), seed=s, ids=det_ids(s))
+            run(
+                RunSpec(
+                    algorithm=lambda: ImprovedTradeoffElection(ell=ell),
+                    n=n,
+                    engine="sync",
+                    seeds=(s,),
+                    ids=det_ids(s),
+                )
+            )
             for s in seeds
         ]
         table.add_row(
@@ -73,11 +82,14 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
         "-", "-", "-",
     )
     small_ids_runs = [
-        run_sync_trial(
-            n,
-            lambda: SmallIdElection(d=2, g=1),
-            seed=s,
-            ids=assign_random(small_universe(n, 1), n, random.Random(f"rs:{n}:{s}")),
+        run(
+            RunSpec(
+                algorithm=lambda: SmallIdElection(d=2, g=1),
+                n=n,
+                engine="sync",
+                seeds=(s,),
+                ids=assign_random(small_universe(n, 1), n, random.Random(f"rs:{n}:{s}")),
+            )
         )
         for s in seeds
     ]
@@ -93,8 +105,15 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
     # --- Synchronous, deterministic, adversarial wake-up --------------- #
     table.add_section("synchronous / deterministic / adversarial wake-up")
     ag_runs = [
-        run_sync_trial(
-            n, lambda: AfekGafniElection(ell=4), seed=s, ids=det_ids(s), awake=[0, 1]
+        run(
+            RunSpec(
+                algorithm=lambda: AfekGafniElection(ell=4),
+                n=n,
+                engine="sync",
+                seeds=(s,),
+                ids=det_ids(s),
+                awake=(0, 1),
+            )
         )
         for s in seeds
     ]
@@ -112,7 +131,10 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
 
     # --- Synchronous, randomized, simultaneous wake-up ----------------- #
     table.add_section("synchronous / randomized / simultaneous wake-up")
-    lv_runs = [run_sync_trial(n, lambda: LasVegasElection(), seed=s) for s in seeds]
+    lv_runs = [
+        run(RunSpec(algorithm=LasVegasElection, n=n, engine="sync", seeds=(s,)))
+        for s in seeds
+    ]
     table.add_row(
         "Alg Thm 3.16 (Las Vegas)",
         "3 (whp)",
@@ -124,7 +146,10 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
     table.add_row(
         "LB Thm 3.16 (Las Vegas)", "-", f">= {bounds.thm316_las_vegas_lb(n):,.0f}", "-", "-", "-"
     )
-    mc_runs = [run_sync_trial(n, lambda: Kutten16Election(), seed=s) for s in seeds]
+    mc_runs = [
+        run(RunSpec(algorithm=Kutten16Election, n=n, engine="sync", seeds=(s,)))
+        for s in seeds
+    ]
     table.add_row(
         "Alg [16] (Monte Carlo)",
         2,
@@ -137,11 +162,14 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
     # --- Synchronous, randomized, adversarial wake-up ------------------ #
     table.add_section("synchronous / randomized / adversarial wake-up")
     adv_runs = [
-        run_sync_trial(
-            n,
-            lambda: AdversarialTwoRoundElection(epsilon=0.05),
-            seed=s,
-            awake=random.Random(f"roots:{n}:{s}").sample(range(n), ceil_sqrt(n)),
+        run(
+            RunSpec(
+                algorithm=lambda: AdversarialTwoRoundElection(epsilon=0.05),
+                n=n,
+                engine="sync",
+                seeds=(s,),
+                awake=random.Random(f"roots:{n}:{s}").sample(range(n), ceil_sqrt(n)),
+            )
         )
         for s in seeds
     ]
@@ -161,12 +189,15 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
     table.add_section("asynchronous / randomized")
     for k in (2, 4):
         runs = [
-            run_async_trial(
-                n,
-                lambda: AsyncTradeoffElection(k=k),
-                seed=s,
+            run(
+                RunSpec(
+                    algorithm=lambda: AsyncTradeoffElection(k=k),
+                    n=n,
+                    engine="async",
+                    seeds=(s,),
+                    max_events=12_000_000,
+                ),
                 scheduler=UnitDelayScheduler(),
-                max_events=12_000_000,
             )
             for s in seeds
         ]
@@ -187,13 +218,16 @@ def table1_report(n: int = 512, seeds: Optional[Sequence[int]] = None) -> Table:
         "-",
     )
     ag_async_runs = [
-        run_async_trial(
-            n,
-            AsyncAfekGafniElection,
-            seed=s,
+        run(
+            RunSpec(
+                algorithm=AsyncAfekGafniElection,
+                n=n,
+                engine="async",
+                seeds=(s,),
+                wake_times={u: 0.0 for u in range(n)},
+                max_events=12_000_000,
+            ),
             scheduler=UnitDelayScheduler(),
-            wake_times={u: 0.0 for u in range(n)},
-            max_events=12_000_000,
         )
         for s in seeds
     ]

@@ -1,18 +1,27 @@
-"""Experiment runner: parameter sweeps over the two engines.
+"""Experiment records + deprecated per-engine runner shims.
 
 The runner flattens engine results into :class:`RunRecord` rows — the
 unit every bench and table works with — and guarantees determinism:
 record ``i`` of a sweep depends only on ``(n, seed)`` and the factory.
+
+Since the RunSpec redesign the execution logic lives in
+:mod:`repro.sweep.api`; the seven per-engine entrypoints below
+(``run_sync_trial`` … ``sweep_async``) are thin **deprecated** shims
+that build the equivalent :class:`~repro.sweep.RunSpec` and route
+through :func:`repro.analysis.run` / :func:`repro.analysis.sweep`.
+They produce bit-identical records to the new API and will be removed
+one release after the redesign.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.asyncnet.engine import AsyncNetwork, AsyncRunResult
-from repro.sync.engine import SyncNetwork, SyncRunResult
+from repro.asyncnet.engine import AsyncRunResult
+from repro.sync.engine import SyncRunResult
 from repro.telemetry.metrics import run_metrics
 
 __all__ = [
@@ -87,75 +96,6 @@ def _async_record(n: int, seed: int, result: AsyncRunResult, params: Dict[str, A
     )
 
 
-def run_sync_trial(
-    n: int,
-    algorithm_factory: Callable[[], Any],
-    *,
-    seed: int = 0,
-    ids: Optional[Sequence[int]] = None,
-    awake: Optional[Sequence[int]] = None,
-    max_rounds: Optional[int] = None,
-    params: Optional[Dict[str, Any]] = None,
-    faults: Optional[Any] = None,
-    recorder: Optional[Any] = None,
-    keep_result: bool = False,
-) -> RunRecord:
-    """Run one synchronous election and flatten the result.
-
-    ``faults`` takes a :class:`repro.faults.FaultPlan`; ``keep_result``
-    stashes the raw engine result under ``extra["result"]`` for callers
-    that need more than the flattened record (the failover runner).
-    """
-    net = SyncNetwork(
-        n,
-        algorithm_factory,
-        ids=ids,
-        seed=seed,
-        awake=awake,
-        max_rounds=max_rounds,
-        faults=faults,
-        recorder=recorder,
-    )
-    result = net.run()
-    record = _sync_record(n, seed, result, params or {})
-    if keep_result:
-        record.extra["result"] = result
-    return record
-
-
-def run_async_trial(
-    n: int,
-    algorithm_factory: Callable[[], Any],
-    *,
-    seed: int = 0,
-    ids: Optional[Sequence[int]] = None,
-    scheduler: Optional[Any] = None,
-    wake_times: Optional[Dict[int, float]] = None,
-    max_events: Optional[int] = None,
-    params: Optional[Dict[str, Any]] = None,
-    faults: Optional[Any] = None,
-    recorder: Optional[Any] = None,
-    keep_result: bool = False,
-) -> RunRecord:
-    """Run one asynchronous election and flatten the result."""
-    net = AsyncNetwork(
-        n,
-        algorithm_factory,
-        ids=ids,
-        seed=seed,
-        scheduler=scheduler,
-        wake_times=wake_times,
-        max_events=max_events,
-        faults=faults,
-        recorder=recorder,
-    )
-    result = net.run()
-    record = _async_record(n, seed, result, params or {})
-    if keep_result:
-        record.extra["result"] = result
-    return record
-
-
 def _fast_algorithm(algorithm: Any, params: Optional[Dict[str, Any]]) -> Any:
     from repro.fastsync import get_fast_algorithm
 
@@ -195,6 +135,93 @@ def _fast_record(
     return record
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.analysis.{old}() is deprecated; build a repro.analysis."
+        f"RunSpec and call repro.analysis.{new}() instead (this shim is "
+        "kept for one release)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_sync_trial(
+    n: int,
+    algorithm_factory: Callable[[], Any],
+    *,
+    seed: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    awake: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+    faults: Optional[Any] = None,
+    recorder: Optional[Any] = None,
+    keep_result: bool = False,
+) -> RunRecord:
+    """Deprecated shim: one synchronous election via the RunSpec executor.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`; ``keep_result``
+    stashes the raw engine result under ``extra["result"]`` for callers
+    that need more than the flattened record (the failover runner).
+    """
+    _deprecated("run_sync_trial", "run")
+    from repro.sweep.api import run
+    from repro.sweep.spec import RunSpec
+
+    return run(
+        RunSpec(
+            algorithm=algorithm_factory,
+            n=n,
+            engine="sync",
+            seeds=(seed,),
+            params=params or {},
+            ids=ids,
+            awake=awake,
+            max_rounds=max_rounds,
+            faults=faults,
+        ),
+        recorder=recorder,
+        keep_result=keep_result,
+    )
+
+
+def run_async_trial(
+    n: int,
+    algorithm_factory: Callable[[], Any],
+    *,
+    seed: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    scheduler: Optional[Any] = None,
+    wake_times: Optional[Dict[int, float]] = None,
+    max_events: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+    faults: Optional[Any] = None,
+    recorder: Optional[Any] = None,
+    keep_result: bool = False,
+) -> RunRecord:
+    """Deprecated shim: one asynchronous election via the RunSpec executor."""
+    _deprecated("run_async_trial", "run")
+    from repro.sweep.api import run
+    from repro.sweep.spec import RunSpec
+
+    return run(
+        RunSpec(
+            algorithm=algorithm_factory,
+            n=n,
+            engine="async",
+            seeds=(seed,),
+            params=params or {},
+            ids=ids,
+            wake_times=wake_times,
+            max_events=max_events,
+            faults=faults,
+        ),
+        recorder=recorder,
+        scheduler=scheduler,
+        keep_result=keep_result,
+    )
+
+
 def run_fast_trial(
     n: int,
     algorithm: Any,
@@ -210,41 +237,34 @@ def run_fast_trial(
     telemetry: Optional[Any] = None,
     profile: bool = False,
 ) -> RunRecord:
-    """Run one election on the vectorized engine and flatten the result.
+    """Deprecated shim: one vectorized election via the RunSpec executor.
 
     ``algorithm`` is a registry name (constructed with ``params``), a
-    zero-argument factory, or a ready :class:`~repro.fastsync.VectorAlgorithm`.
-    Imports :mod:`repro.fastsync` lazily, so the runner module itself
-    keeps working without numpy; ``mode`` selects the port model
-    (``auto``/``exact``/``scale``, see the fastsync engine docs).
+    zero-argument factory, or a ready :class:`~repro.fastsync.VectorAlgorithm`;
     ``crashes`` is a deterministic ``(node, at-round)`` crash-stop
-    schedule, honored by the crash-aware vectorized ports only;
-    ``roots`` is an adversarial wake-up schedule, honored by the
-    wake-up-aware ports only (``adversarial_2round``).
-
-    ``telemetry`` attaches a :class:`~repro.telemetry.FastTelemetry` for
-    per-round aggregate counters; ``profile=True`` wraps the kernels in
-    wall-clock phase timers and reports them under ``extra["profile"]``.
+    schedule and ``roots`` an adversarial wake-up schedule.
     """
-    from repro.fastsync import FastSyncNetwork
+    _deprecated("run_fast_trial", "run")
+    from repro.sweep.api import run
+    from repro.sweep.spec import RunSpec
 
-    profiler = None
-    if profile:
-        from repro.telemetry.profile import PhaseProfiler
-
-        profiler = PhaseProfiler()
-    alg = _fast_algorithm(algorithm, params)
-    net = FastSyncNetwork(
-        n, ids=ids, seed=seed, mode=mode, max_rounds=max_rounds, crashes=crashes,
-        roots=roots, telemetry=telemetry, profiler=profiler,
+    return run(
+        RunSpec(
+            algorithm=algorithm,
+            n=n,
+            engine="fast",
+            seeds=(seed,),
+            params=params or {},
+            ids=ids,
+            mode=mode,
+            max_rounds=max_rounds,
+            crashes=crashes,
+            roots=roots,
+            profile=profile,
+        ),
+        telemetry=telemetry,
+        keep_result=keep_result,
     )
-    result = net.run(alg)
-    record = _fast_record(n, seed, result, params)
-    if profiler is not None:
-        record.extra["profile"] = profiler.as_dict()
-    if keep_result:
-        record.extra["result"] = result
-    return record
 
 
 def run_fast_batch(
@@ -263,41 +283,36 @@ def run_fast_batch(
     telemetry: Optional[Any] = None,
     profile: bool = False,
 ) -> List[RunRecord]:
-    """Run one *batched* vectorized execution — one record per lane seed.
+    """Deprecated shim: one batched vectorized execution, one record per lane.
 
-    All lanes share the ``(n, ids, algorithm, params)`` configuration
-    (and the ``crashes``/``roots`` schedules unless ``lane_crashes``
-    gives each lane its own); lane ``b`` draws from RNG streams seeded
-    exactly like a single run with ``seeds[b]``.  In exact mode the
-    records are bit-identical to ``[run_fast_trial(..., seed=s) for s in
-    seeds]``; in scale mode lanes stay deterministic per ``(n, seed)``
-    but ride the faster batched sampler (see DESIGN.md "Batched fast
-    engine").
+    All lanes share the ``(n, ids, algorithm, params)`` configuration;
+    lane ``b`` draws from RNG streams seeded exactly like a single run
+    with ``seeds[b]`` (bit-identical in exact mode).
     """
-    from repro.fastsync import FastSyncNetwork
+    _deprecated("run_fast_batch", "sweep")
+    from repro.sweep.api import execute_spec
+    from repro.sweep.spec import RunSpec
 
-    profiler = None
-    if profile:
-        from repro.telemetry.profile import PhaseProfiler
-
-        profiler = PhaseProfiler()
-    alg = _fast_algorithm(algorithm, params)
-    net = FastSyncNetwork(
-        n, ids=ids, seeds=list(seeds), mode=mode, max_rounds=max_rounds,
-        crashes=crashes, lane_crashes=lane_crashes, roots=roots,
-        telemetry=telemetry, profiler=profiler,
+    seed_list = tuple(seeds)
+    return execute_spec(
+        RunSpec(
+            algorithm=algorithm,
+            n=n,
+            engine="fast",
+            seeds=seed_list,
+            batch=len(seed_list),
+            params=params or {},
+            ids=ids,
+            mode=mode,
+            max_rounds=max_rounds,
+            crashes=crashes,
+            lane_crashes=lane_crashes,
+            roots=roots,
+            profile=profile,
+        ),
+        telemetry=telemetry,
+        keep_result=keep_result,
     )
-    records = []
-    for seed, result in zip(seeds, net.run(alg)):
-        record = _fast_record(n, seed, result, params)
-        record.extra["batch"] = len(list(seeds))
-        if profiler is not None:
-            # One execution, one timer set: every lane record shares it.
-            record.extra["profile"] = profiler.as_dict()
-        if keep_result:
-            record.extra["result"] = result
-        records.append(record)
-    return records
 
 
 def sweep_sync(
@@ -310,29 +325,34 @@ def sweep_sync(
     max_rounds: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
 ) -> List[RunRecord]:
-    """Grid sweep: every ``n`` × every seed, deterministic.
+    """Deprecated shim: a synchronous grid sweep via the RunSpec executor.
 
     ``ids_for_n`` / ``awake_for_n`` receive a seeded RNG so workloads are
     reproducible per (n, seed).
     """
-    records = []
+    _deprecated("sweep_sync", "sweep")
+    from repro.sweep.api import sweep
+    from repro.sweep.spec import RunSpec
+
+    grid = []
     for n in ns:
         for seed in seeds:
             rng = random.Random(f"{n}:{seed}:workload")
             ids = ids_for_n(n, rng) if ids_for_n else None
             awake = awake_for_n(n, rng) if awake_for_n else None
-            records.append(
-                run_sync_trial(
-                    n,
-                    factory_for_n(n),
-                    seed=seed,
+            grid.append(
+                RunSpec(
+                    algorithm=factory_for_n(n),
+                    n=n,
+                    engine="sync",
+                    seeds=(seed,),
+                    params=params or {},
                     ids=ids,
                     awake=awake,
                     max_rounds=max_rounds,
-                    params=params,
                 )
             )
-    return records
+    return sweep(grid)
 
 
 def sweep_fast(
@@ -346,18 +366,17 @@ def sweep_fast(
     params: Optional[Dict[str, Any]] = None,
     batch: Optional[int] = None,
 ) -> List[RunRecord]:
-    """Vectorized-engine grid sweep (see :func:`sweep_sync`).
+    """Deprecated shim: a vectorized grid sweep via the RunSpec executor.
 
-    ``name`` must be a registry algorithm with a fast port; record ``i``
-    depends only on ``(n, seed, mode)`` like the other sweeps.
-
-    ``batch`` dispatches whole seed-batches per ``n`` point through one
-    :func:`run_fast_batch` execution per chunk of ``batch`` seeds —
-    several times faster per seed at ``n >= 10^5``.  Batched lanes share
+    ``batch`` dispatches whole seed-batches per ``n`` point through
+    multi-lane engine runs of ``batch`` lanes each; batched lanes share
     one ID assignment per ``n``, so ``batch`` and per-seed ``ids_for_n``
-    are mutually exclusive; records keep the per-seed layout (and are
-    bit-identical to the unbatched sweep in exact mode).
+    are mutually exclusive.
     """
+    _deprecated("sweep_fast", "sweep")
+    from repro.sweep.api import sweep
+    from repro.sweep.spec import RunSpec
+
     if batch is not None and batch < 1:
         raise ValueError("need batch >= 1")
     if batch is not None and ids_for_n is not None:
@@ -365,37 +384,38 @@ def sweep_fast(
             "batched sweeps share one ID assignment per n; "
             "ids_for_n draws per-seed IDs — drop one of the two"
         )
-    records = []
+    grid = []
     for n in ns:
         if batch is not None:
-            seed_list = list(seeds)
-            for start in range(0, len(seed_list), batch):
-                records.extend(
-                    run_fast_batch(
-                        n,
-                        name,
-                        seeds=seed_list[start : start + batch],
-                        mode=mode,
-                        max_rounds=max_rounds,
-                        params=params,
-                    )
+            grid.append(
+                RunSpec(
+                    algorithm=name,
+                    n=n,
+                    engine="fast",
+                    seeds=tuple(seeds),
+                    batch=batch,
+                    params=params or {},
+                    mode=mode,
+                    max_rounds=max_rounds,
                 )
+            )
             continue
         for seed in seeds:
             rng = random.Random(f"{n}:{seed}:workload")
             ids = ids_for_n(n, rng) if ids_for_n else None
-            records.append(
-                run_fast_trial(
-                    n,
-                    name,
-                    seed=seed,
+            grid.append(
+                RunSpec(
+                    algorithm=name,
+                    n=n,
+                    engine="fast",
+                    seeds=(seed,),
+                    params=params or {},
                     ids=ids,
                     mode=mode,
                     max_rounds=max_rounds,
-                    params=params,
                 )
             )
-    return records
+    return sweep(grid)
 
 
 def sweep_async(
@@ -408,7 +428,11 @@ def sweep_async(
     max_events: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
 ) -> List[RunRecord]:
-    """Asynchronous grid sweep (see :func:`sweep_sync`)."""
+    """Deprecated shim: an asynchronous grid sweep via the RunSpec executor."""
+    _deprecated("sweep_async", "sweep")
+    from repro.sweep.api import run
+    from repro.sweep.spec import RunSpec
+
     records = []
     for n in ns:
         for seed in seeds:
@@ -416,14 +440,17 @@ def sweep_async(
             scheduler = scheduler_for_n(n, rng) if scheduler_for_n else None
             wake_times = wake_times_for_n(n, rng) if wake_times_for_n else None
             records.append(
-                run_async_trial(
-                    n,
-                    factory_for_n(n),
-                    seed=seed,
+                run(
+                    RunSpec(
+                        algorithm=factory_for_n(n),
+                        n=n,
+                        engine="async",
+                        seeds=(seed,),
+                        params=params or {},
+                        wake_times=wake_times,
+                        max_events=max_events,
+                    ),
                     scheduler=scheduler,
-                    wake_times=wake_times,
-                    max_events=max_events,
-                    params=params,
                 )
             )
     return records

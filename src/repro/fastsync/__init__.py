@@ -31,7 +31,10 @@ except ImportError as exc:  # pragma: no cover - exercised via sys.modules stub
     raise ImportError(
         "repro.fastsync needs numpy, which is not installed. The vectorized "
         "engine is an optional extra: install it with `pip install numpy` "
-        "(or, from a checkout, `pip install -e '.[fast]'`). Every other repro "
+        "(or, from a checkout, `pip install -e '.[fast]'`). The kernels sit "
+        "behind the repro.fastsync.xp array-backend seam — numpy is the "
+        "default backend; cupy/torch are selectable via REPRO_ARRAY_BACKEND "
+        "or repro.fastsync.xp.set_backend once installed. Every other repro "
         "subpackage works without numpy — use repro.sync / repro.asyncnet "
         "instead."
     ) from exc
@@ -47,6 +50,7 @@ from repro.fastsync.algorithms import (
 )
 from repro.fastsync.engine import ArrayPortMap, FastRunResult, FastSyncNetwork
 from repro.fastsync.registry import FAST_ALGORITHMS, get_fast_algorithm
+from repro.fastsync.xp import available_backends, backend_name, set_backend, xp
 
 __all__ = [
     "ArrayPortMap",
@@ -61,4 +65,8 @@ __all__ = [
     "VectorSmallIdElection",
     "FAST_ALGORITHMS",
     "get_fast_algorithm",
+    "available_backends",
+    "backend_name",
+    "set_backend",
+    "xp",
 ]

@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional, Tuple
 
-import numpy as np
+from repro.fastsync.xp import xp as np
 
 from repro.fastsync.algorithm import VectorAlgorithm
 from repro.mathutil import ceil_pow_frac, ceil_sqrt

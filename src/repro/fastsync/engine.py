@@ -73,7 +73,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.fastsync.xp import xp as np
 
 from repro.common import SimulationLimitExceeded, SurvivorAccounting
 from repro.net.ports import PortMap

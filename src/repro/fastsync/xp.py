@@ -1,0 +1,178 @@
+"""Array-namespace seam for the vectorized kernels.
+
+Every fastsync kernel (sampling, scatter, compaction) reaches numpy
+through the :data:`xp` proxy instead of a hard ``import numpy as np``:
+
+    from repro.fastsync.xp import xp as np
+
+``xp`` resolves to a concrete array namespace **once per process**, the
+first time a kernel touches it.  The default is numpy — and because the
+proxy hands back the *actual* numpy attributes (cached on first lookup,
+so hot paths pay one instance-``__dict__`` hit, not a call), the default
+backend is bit-for-bit the engine PR 2 shipped.  Alternative backends
+are selected *before* the first kernel runs:
+
+* ``set_backend("cupy")`` — programmatic, e.g. at worker startup;
+* ``REPRO_ARRAY_BACKEND=cupy`` in the environment (what the sweep
+  scheduler forwards to its worker processes);
+* :class:`repro.analysis.RunSpec`'s ``backend=`` field, which calls
+  :func:`set_backend` inside the executing process.
+
+``cupy`` is a drop-in numpy namespace, so a GPU run is a backend string,
+not a rewrite.  ``torch`` is accepted as an *experimental* backend via
+its numpy-compatibility layer; both are optional dependencies and
+resolve to a guidance-carrying :class:`BackendUnavailable` when missing.
+Once resolved, the backend is pinned for the life of the process —
+re-selection raises instead of silently mixing array types mid-run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Any, List, Optional
+
+__all__ = [
+    "xp",
+    "BackendUnavailable",
+    "SUPPORTED_BACKENDS",
+    "available_backends",
+    "backend_name",
+    "set_backend",
+]
+
+#: Backends :func:`set_backend` accepts, in preference order.
+SUPPORTED_BACKENDS = ("numpy", "cupy", "torch")
+
+#: Environment variable consulted (once) at resolution time.
+BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+
+class BackendUnavailable(ImportError):
+    """A selected array backend cannot be imported (with guidance)."""
+
+
+_pending: Optional[str] = None  # set_backend() choice, pre-resolution
+_resolved: Optional[Any] = None  # the namespace module, post-resolution
+_resolved_name: Optional[str] = None
+
+
+def _import_backend(name: str) -> Any:
+    if name == "numpy":
+        try:
+            import numpy
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "array backend 'numpy' is not installed. The vectorized "
+                "engine needs it: `pip install numpy` (or `pip install -e "
+                "'.[fast]'` from a checkout)."
+            ) from exc
+        return numpy
+    if name == "cupy":
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "array backend 'cupy' is not installed. Install a CUDA-"
+                "matched wheel (e.g. `pip install cupy-cuda12x`) or drop "
+                "the backend selection (REPRO_ARRAY_BACKEND / "
+                "set_backend / RunSpec.backend) to use the numpy default."
+            ) from exc
+        return cupy
+    if name == "torch":
+        try:
+            import torch._numpy as torch_numpy  # numpy-compat layer
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "array backend 'torch' is experimental and needs torch >= "
+                "2.1 (its torch._numpy compatibility layer). Install torch "
+                "or drop the backend selection to use the numpy default."
+            ) from exc
+        return torch_numpy
+    raise BackendUnavailable(
+        f"unknown array backend {name!r}; supported: "
+        + ", ".join(SUPPORTED_BACKENDS)
+    )
+
+
+def _resolve() -> Any:
+    global _resolved, _resolved_name
+    if _resolved is None:
+        name = _pending or os.environ.get(BACKEND_ENV_VAR) or "numpy"
+        _resolved = _import_backend(name)
+        _resolved_name = name
+    return _resolved
+
+
+def set_backend(name: str) -> None:
+    """Select the array backend for this process (before kernels run).
+
+    Idempotent for the already-active backend; raises ``RuntimeError``
+    if a *different* backend has already been resolved — the namespace
+    is process-wide state, and mixing array types mid-run is never what
+    anyone wants.  Worker processes therefore call this (or inherit
+    ``REPRO_ARRAY_BACKEND``) at startup, before their first cell.
+    """
+    global _pending
+    if name not in SUPPORTED_BACKENDS:
+        raise BackendUnavailable(
+            f"unknown array backend {name!r}; supported: "
+            + ", ".join(SUPPORTED_BACKENDS)
+        )
+    if _resolved_name is not None:
+        if name != _resolved_name:
+            raise RuntimeError(
+                f"array backend already resolved to {_resolved_name!r} for "
+                f"this process; select {name!r} before the first fastsync "
+                "kernel runs (set_backend at startup, REPRO_ARRAY_BACKEND, "
+                "or RunSpec.backend)"
+            )
+        return
+    _pending = name
+
+
+def backend_name() -> str:
+    """The active backend's name (resolving it if necessary)."""
+    _resolve()
+    assert _resolved_name is not None
+    return _resolved_name
+
+
+def available_backends() -> List[str]:
+    """Importable backends, cheaply probed (no imports triggered)."""
+    return [
+        name
+        for name in SUPPORTED_BACKENDS
+        if importlib.util.find_spec(name) is not None
+    ]
+
+
+class _ArrayNamespace:
+    """Lazy attribute proxy over the resolved backend module.
+
+    The first access of each attribute resolves the backend and caches
+    the attribute on the instance, so subsequent lookups never re-enter
+    ``__getattr__`` — kernel inner loops see plain numpy objects.
+    """
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(_resolve(), attr)
+        object.__setattr__(self, attr, value)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = _resolved_name or f"unresolved (pending={_pending!r})"
+        return f"<repro.fastsync.xp namespace: {state}>"
+
+
+#: The namespace the kernels import (``from repro.fastsync.xp import xp as np``).
+xp = _ArrayNamespace()
+
+
+def _reset_for_tests() -> None:
+    """Clear resolution state (tests only — never in production code)."""
+    global _pending, _resolved, _resolved_name
+    _pending = None
+    _resolved = None
+    _resolved_name = None
+    xp.__dict__.clear()

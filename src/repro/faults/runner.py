@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.runner import RunRecord, run_async_trial, run_sync_trial
+from repro.analysis.runner import RunRecord
 from repro.common import Decision
 from repro.faults.plan import FaultPlan
 from repro.trace.events import CompositeRecorder, MemoryRecorder, TraceEvent
@@ -101,35 +101,44 @@ def run_failover_trial(
     :class:`~repro.telemetry.JsonlRecorder`) alongside the internal
     :class:`~repro.trace.MemoryRecorder` the measurements come from.
     """
+    from repro.sweep.api import run
+    from repro.sweep.spec import RunSpec
+
     memory = MemoryRecorder()
     trial_recorder: Any = memory
     if recorder is not None:
         trial_recorder = CompositeRecorder(memory, recorder)
     if engine == "sync":
-        record = run_sync_trial(
-            n,
-            algorithm_factory,
-            seed=seed,
-            ids=ids,
-            awake=awake,
-            max_rounds=max_rounds,
-            params=params,
-            faults=plan,
+        record = run(
+            RunSpec(
+                algorithm=algorithm_factory,
+                n=n,
+                engine="sync",
+                seeds=(seed,),
+                params=params or {},
+                ids=ids,
+                awake=awake,
+                max_rounds=max_rounds,
+                faults=plan,
+            ),
             recorder=trial_recorder,
             keep_result=True,
         )
     elif engine == "async":
-        record = run_async_trial(
-            n,
-            algorithm_factory,
-            seed=seed,
-            ids=ids,
-            scheduler=scheduler,
-            wake_times=wake_times,
-            max_events=max_events,
-            params=params,
-            faults=plan,
+        record = run(
+            RunSpec(
+                algorithm=algorithm_factory,
+                n=n,
+                engine="async",
+                seeds=(seed,),
+                params=params or {},
+                ids=ids,
+                wake_times=wake_times,
+                max_events=max_events,
+                faults=plan,
+            ),
             recorder=trial_recorder,
+            scheduler=scheduler,
             keep_result=True,
         )
     else:

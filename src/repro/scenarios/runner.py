@@ -279,9 +279,18 @@ class ScenarioRunner:
         makes — :func:`run_scenario_batch` overrides it per replica to
         collect concurrent acts into one batched engine execution.
         """
-        from repro.analysis.runner import run_fast_trial
+        from repro.sweep.api import run
+        from repro.sweep.spec import RunSpec
 
-        return run_fast_trial(m, self.inner, seed=act_seed, ids=list(member_ids))
+        return run(
+            RunSpec(
+                algorithm=self.inner,
+                n=m,
+                engine="fast",
+                seeds=(act_seed,),
+                ids=tuple(member_ids),
+            )
+        )
 
     def _reelect_factory(self):
         if self.engine == "sync":
@@ -916,8 +925,9 @@ def run_scenario_batch(
 
     import threading
 
-    from repro.analysis.runner import run_fast_batch, run_fast_trial
     from repro.fastsync.engine import DEFAULT_EXACT_LIMIT
+    from repro.sweep.api import execute_spec, run
+    from repro.sweep.spec import RunSpec
 
     runners = [
         ScenarioRunner(scenario, n, engine=engine, seed=s, **config) for s in seeds
@@ -984,13 +994,26 @@ def run_scenario_batch(
                 for (m, ids), members in groups.items():
                     if len(members) == 1 or m > exact_limit:
                         for idx in members:
-                            replies[idx] = run_fast_trial(
-                                m, inner, seed=pending[idx][2], ids=list(ids)
+                            replies[idx] = run(
+                                RunSpec(
+                                    algorithm=inner,
+                                    n=m,
+                                    engine="fast",
+                                    seeds=(pending[idx][2],),
+                                    ids=ids,
+                                )
                             )
                     else:
-                        act_seeds = [pending[idx][2] for idx in members]
-                        records = run_fast_batch(
-                            m, inner, seeds=act_seeds, ids=list(ids)
+                        act_seeds = tuple(pending[idx][2] for idx in members)
+                        records = execute_spec(
+                            RunSpec(
+                                algorithm=inner,
+                                n=m,
+                                engine="fast",
+                                seeds=act_seeds,
+                                batch=len(act_seeds),
+                                ids=ids,
+                            )
                         )
                         for idx, record in zip(members, records):
                             replies[idx] = record

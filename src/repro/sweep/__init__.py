@@ -1,0 +1,24 @@
+"""Sharded multi-process sweep scheduling behind the RunSpec API.
+
+One declarative :class:`RunSpec` describes an election run on any
+engine; :func:`run` executes one, :func:`sweep` shards a grid of them
+across worker processes with bit-identical results for every worker
+count.  See DESIGN.md ("Sweep scheduler & backend seam") for the
+scheduling model and the equivalence contract, and
+:mod:`repro.fastsync.xp` for the array-backend seam underneath the fast
+engine's kernels.
+"""
+
+from repro.sweep.api import execute_spec, run, sweep
+from repro.sweep.scheduler import SweepCell, run_cells
+from repro.sweep.spec import RunSpec, canonical_record
+
+__all__ = [
+    "RunSpec",
+    "run",
+    "sweep",
+    "execute_spec",
+    "canonical_record",
+    "SweepCell",
+    "run_cells",
+]

@@ -1,0 +1,401 @@
+"""``run(spec)`` / ``sweep(grid)``: the unified execution entrypoints.
+
+:func:`execute_spec` is the one place a :class:`RunSpec` turns into
+engine runs — sync, async and fast specs all dispatch here, and the
+legacy ``run_*_trial`` / ``sweep_*`` shims, the CLI and the sweep
+scheduler's worker processes are all thin layers over it.  :func:`run`
+executes a single-seed spec; :func:`sweep` fans a spec grid out over the
+sharded scheduler (``workers=1`` degrades to a plain in-process loop and
+stays bit-identical to any worker count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.sweep.scheduler import SweepCell, run_cells
+from repro.sweep.spec import RunSpec
+
+if False:  # import cycle guard: repro.analysis re-exports this module
+    from repro.analysis.runner import RunRecord  # noqa: F401
+
+__all__ = ["run", "sweep", "execute_spec"]
+
+#: Dual-engine fault-layer algorithms: the registry lists the sync class,
+#: the async twin is resolved here (mirrors the ``repro faults`` CLI).
+_DUAL_ENGINE = ("monarchical", "reelect", "quorum_reelect")
+
+
+def _object_factory(spec: RunSpec, engine: str) -> Callable[[], Any]:
+    """The zero-argument algorithm factory an object engine consumes."""
+    algorithm = spec.algorithm
+    if not isinstance(algorithm, str):
+        if callable(algorithm):
+            return algorithm
+        raise ValueError(
+            f"RunSpec.algorithm must be a registry name or a zero-argument "
+            f"factory for the {engine} engine, got {type(algorithm).__name__}"
+        )
+    name, params = algorithm, spec.params
+    if spec.quorum and name != "quorum_reelect":
+        # Quorum-safe wrapping: the named algorithm becomes the inner
+        # election of the quorum_reelect wrapper; params configure the
+        # wrapper (e.g. threshold=).
+        from repro.adversary import (
+            AsyncQuorumReElectionElection,
+            QuorumReElectionElection,
+        )
+
+        cls = (
+            QuorumReElectionElection if engine == "sync"
+            else AsyncQuorumReElectionElection
+        )
+        return lambda: cls(inner=name, **params)
+    if engine == "async" and name in _DUAL_ENGINE:
+        from repro.adversary import AsyncQuorumReElectionElection
+        from repro.faults import AsyncMonarchicalElection, AsyncReElectionElection
+
+        cls = {
+            "monarchical": AsyncMonarchicalElection,
+            "reelect": AsyncReElectionElection,
+            "quorum_reelect": AsyncQuorumReElectionElection,
+        }[name]
+        return lambda: cls(**params)
+    from repro.core.registry import get_algorithm
+
+    registry_spec = get_algorithm(name)
+    if registry_spec.engine != engine and name not in _DUAL_ENGINE:
+        raise ValueError(
+            f"{name} runs on the {registry_spec.engine} engine "
+            f"(spec resolved to {engine!r})"
+        )
+    return registry_spec.make(**params)
+
+
+def _trace_recorder(spec: RunSpec, engine: str, recorder: Optional[Any]):
+    """A JSONL recorder for ``spec.trace`` on the object engines."""
+    if spec.trace is None or engine == "fast":
+        return recorder, None
+    if recorder is not None:
+        raise ValueError("pass either RunSpec.trace or recorder=, not both")
+    from repro.telemetry import JsonlRecorder, RunContext
+
+    jsonl = JsonlRecorder(
+        spec.trace,
+        context=RunContext(
+            algorithm=spec.algorithm_name or repr(spec.algorithm),
+            n=spec.n,
+            seed=spec.seeds[0],
+            engine=engine,
+            params=spec.params,
+        ),
+    )
+    return jsonl, jsonl
+
+
+def _execute_object(
+    spec: RunSpec,
+    engine: str,
+    *,
+    recorder: Optional[Any],
+    scheduler: Optional[Any],
+    keep_result: bool,
+) -> List["RunRecord"]:
+    from repro.analysis.runner import _async_record, _sync_record
+    from repro.asyncnet.engine import AsyncNetwork
+    from repro.sync.engine import SyncNetwork
+
+    faults = spec.effective_faults()
+    factory = _object_factory(spec, engine)
+    trial_recorder, jsonl = _trace_recorder(spec, engine, recorder)
+    records = []
+    try:
+        for seed in spec.seeds:
+            if engine == "sync":
+                net = SyncNetwork(
+                    spec.n,
+                    factory,
+                    ids=spec.ids,
+                    seed=seed,
+                    awake=spec.awake,
+                    max_rounds=spec.max_rounds,
+                    faults=faults,
+                    recorder=trial_recorder,
+                )
+                result = net.run()
+                record = _sync_record(spec.n, seed, result, spec.params)
+            else:
+                net = AsyncNetwork(
+                    spec.n,
+                    factory,
+                    ids=spec.ids,
+                    seed=seed,
+                    scheduler=scheduler,
+                    wake_times=spec.wake_times,
+                    max_events=spec.max_events,
+                    faults=faults,
+                    recorder=trial_recorder,
+                )
+                result = net.run()
+                record = _async_record(spec.n, seed, result, spec.params)
+            if keep_result:
+                record.extra["result"] = result
+            records.append(record)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    if jsonl is not None:
+        records[0].extra["trace"] = {
+            "path": spec.trace,
+            "events": jsonl.events_written,
+        }
+    return records
+
+
+def _fast_profiler(spec: RunSpec) -> Optional[Any]:
+    if not spec.profile:
+        return None
+    from repro.telemetry.profile import PhaseProfiler
+
+    return PhaseProfiler()
+
+
+def _execute_fast(
+    spec: RunSpec, *, telemetry: Optional[Any], keep_result: bool
+) -> List["RunRecord"]:
+    from repro.analysis.runner import _fast_algorithm, _fast_record
+
+    if spec.faults is not None or spec.adversary is not None or spec.quorum:
+        raise ValueError(
+            "the fast engine takes deterministic crashes=/lane_crashes= "
+            "schedules only; faults/adversary/quorum plans run on the "
+            "object engines"
+        )
+    if spec.backend is not None:
+        from repro.fastsync.xp import set_backend
+
+        set_backend(spec.backend)
+    from repro.fastsync import FastSyncNetwork
+
+    fast_trace = telemetry
+    if spec.trace is not None and fast_trace is None:
+        from repro.telemetry import FastTelemetry
+
+        fast_trace = FastTelemetry()
+    records: List[RunRecord] = []
+    if spec.batch is not None:
+        seeds = list(spec.seeds)
+        for start in range(0, len(seeds), spec.batch):
+            chunk = seeds[start : start + spec.batch]
+            lane_crashes = None
+            if spec.lane_crashes is not None:
+                lane_crashes = spec.lane_crashes[start : start + spec.batch]
+            profiler = _fast_profiler(spec)
+            net = FastSyncNetwork(
+                spec.n,
+                ids=spec.ids,
+                seeds=chunk,
+                mode=spec.mode,
+                max_rounds=spec.max_rounds,
+                crashes=spec.crashes,
+                lane_crashes=lane_crashes,
+                roots=spec.roots,
+                telemetry=fast_trace,
+                profiler=profiler,
+            )
+            for seed, result in zip(chunk, net.run(_fast_algorithm(spec.algorithm, spec.params))):
+                record = _fast_record(spec.n, seed, result, spec.params)
+                record.extra["batch"] = len(chunk)
+                if profiler is not None:
+                    # One execution, one timer set: lanes share it.
+                    record.extra["profile"] = profiler.as_dict()
+                if keep_result:
+                    record.extra["result"] = result
+                records.append(record)
+    else:
+        for seed in spec.seeds:
+            profiler = _fast_profiler(spec)
+            net = FastSyncNetwork(
+                spec.n,
+                ids=spec.ids,
+                seed=seed,
+                mode=spec.mode,
+                max_rounds=spec.max_rounds,
+                crashes=spec.crashes,
+                roots=spec.roots,
+                telemetry=fast_trace,
+                profiler=profiler,
+            )
+            result = net.run(_fast_algorithm(spec.algorithm, spec.params))
+            record = _fast_record(spec.n, seed, result, spec.params)
+            if profiler is not None:
+                record.extra["profile"] = profiler.as_dict()
+            if keep_result:
+                record.extra["result"] = result
+            records.append(record)
+    if spec.trace is not None and telemetry is None:
+        from repro.telemetry import RunContext, dump_events
+
+        written = dump_events(
+            spec.trace,
+            fast_trace.events(),
+            context=RunContext(
+                algorithm=spec.algorithm_name or repr(spec.algorithm),
+                n=spec.n,
+                seed=spec.seeds[0],
+                engine="fast",
+                mode=fast_trace.mode,
+                params=spec.params,
+            ),
+        )
+        records[0].extra["trace"] = {"path": spec.trace, "events": written}
+    return records
+
+
+def execute_spec(
+    spec: RunSpec,
+    *,
+    recorder: Optional[Any] = None,
+    telemetry: Optional[Any] = None,
+    scheduler: Optional[Any] = None,
+    keep_result: bool = False,
+) -> List[RunRecord]:
+    """Execute every seed of one spec in-process, one record per seed.
+
+    The runtime-only knobs (``recorder`` event sinks, ``FastTelemetry``
+    binds, async ``scheduler`` adversaries, ``keep_result`` raw-result
+    stashing) are deliberately *not* spec fields: they carry live
+    objects, and specs must stay picklable.  Cells carrying them run in
+    the parent process.
+    """
+    engine = spec.resolved_engine()
+    if engine == "fast":
+        if recorder is not None or scheduler is not None:
+            raise ValueError(
+                "recorder=/scheduler= are object-engine knobs; the fast "
+                "engine takes telemetry= (FastTelemetry) instead"
+            )
+        return _execute_fast(spec, telemetry=telemetry, keep_result=keep_result)
+    if telemetry is not None:
+        raise ValueError("telemetry= (FastTelemetry) needs the fast engine")
+    if engine == "async":
+        return _execute_object(
+            spec, "async", recorder=recorder, scheduler=scheduler,
+            keep_result=keep_result,
+        )
+    if scheduler is not None:
+        raise ValueError("scheduler= adversaries need the async engine")
+    return _execute_object(
+        spec, "sync", recorder=recorder, scheduler=None, keep_result=keep_result,
+    )
+
+
+def run(
+    spec: RunSpec,
+    *,
+    recorder: Optional[Any] = None,
+    telemetry: Optional[Any] = None,
+    scheduler: Optional[Any] = None,
+    keep_result: bool = False,
+) -> RunRecord:
+    """Execute a single-seed :class:`RunSpec` and return its record."""
+    if len(spec.seeds) != 1 or spec.batch is not None:
+        raise ValueError(
+            "run() executes exactly one seed (no batch); use sweep() for "
+            "seed grids and batched lanes"
+        )
+    return execute_spec(
+        spec,
+        recorder=recorder,
+        telemetry=telemetry,
+        scheduler=scheduler,
+        keep_result=keep_result,
+    )[0]
+
+
+def _shard(spec: RunSpec, workers: int) -> List[RunSpec]:
+    """Split one spec into seed-block sub-specs (scheduler cells).
+
+    Fast batched specs shard on their lane-chunk boundaries — the exact
+    chunks the in-process executor would run, so lane grouping (and with
+    it bit-identity) is preserved.  Everything else blocks seeds so each
+    spec yields about ``4 * workers`` cells; every seed is independently
+    seeded, so the block size never affects results.
+    """
+    seeds = spec.seeds
+    if spec.batch is not None:
+        out = []
+        for start in range(0, len(seeds), spec.batch):
+            lane_crashes = None
+            if spec.lane_crashes is not None:
+                lane_crashes = spec.lane_crashes[start : start + spec.batch]
+            out.append(
+                dataclasses.replace(
+                    spec,
+                    seeds=seeds[start : start + spec.batch],
+                    lane_crashes=lane_crashes,
+                )
+            )
+        return out
+    if workers <= 1 or len(seeds) == 1:
+        return [spec]
+    block = max(1, math.ceil(len(seeds) / (workers * 4)))
+    return [
+        dataclasses.replace(spec, seeds=seeds[start : start + block])
+        for start in range(0, len(seeds), block)
+    ]
+
+
+def _cell_cost(spec: RunSpec) -> float:
+    """Relative cost estimate for ragged-aware ordering (big-n first)."""
+    return float(spec.n) * len(spec.seeds)
+
+
+def sweep(
+    specs: Union[RunSpec, Iterable[RunSpec]],
+    *,
+    workers: int = 1,
+    registry: Optional[Any] = None,
+    executor_factory: Optional[Callable[[int], Any]] = None,
+) -> List[RunRecord]:
+    """Execute a spec grid, optionally sharded across worker processes.
+
+    Records come back in grid order — spec-major, seed-minor — and are
+    **bit-identical** for every ``workers`` value (each seed owns its
+    RNG streams, so sharding never perturbs a draw; wall-clock ``extra``
+    fields are the only machine-dependent bits — see
+    :func:`repro.analysis.canonical_record`).  ``registry`` receives the
+    merged per-worker metric streams plus the scheduler's own gauges
+    (worker utilization, steal counts).  ``executor_factory`` overrides
+    the ``ProcessPoolExecutor`` constructor (tests inject broken pools);
+    ``workers=1`` — and any cell that cannot cross a process boundary —
+    runs in-process.
+    """
+    if isinstance(specs, RunSpec):
+        specs = [specs]
+    grid = list(specs)
+    for item in grid:
+        if not isinstance(item, RunSpec):
+            raise ValueError(
+                f"sweep() takes RunSpec items, got {type(item).__name__}"
+            )
+    cells = []
+    for spec in grid:
+        for shard in _shard(spec, workers):
+            cells.append(
+                SweepCell(
+                    index=len(cells), cost=_cell_cost(shard), payload=shard
+                )
+            )
+    from repro.sweep.worker import run_spec_cell
+
+    per_cell = run_cells(
+        cells,
+        run_spec_cell,
+        workers=workers,
+        registry=registry,
+        executor_factory=executor_factory,
+    )
+    return [record for cell_records in per_cell for record in cell_records]

@@ -1,0 +1,230 @@
+"""RunSpec: one declarative, picklable description of an election run.
+
+The seven legacy runner entrypoints (``run_sync_trial`` …
+``sweep_async``) each encoded one engine's keyword soup.  A
+:class:`RunSpec` is the union of that configuration space as plain
+data — algorithm, clique size, engine, seeds, parameters, fault and
+adversary plans, trace/profile flags — with two properties the legacy
+functions never had:
+
+* **picklable**: a spec (and the :class:`~repro.analysis.RunRecord` rows
+  it produces) crosses process boundaries, which is what lets the sweep
+  scheduler shard a grid across workers (``algorithm`` is normally a
+  registry *name*; zero-argument factories are accepted for in-process
+  runs but pin their cells to the parent process);
+* **uniform**: ``run(spec)`` and ``sweep(grid)`` replace the per-engine
+  entrypoints, so every bench, table and CLI path schedules through one
+  executor.
+
+Specs are frozen; derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["RunSpec", "canonical_record"]
+
+_ENGINES = ("auto", "sync", "async", "fast")
+_MODES = ("auto", "exact", "scale")
+# Mirrors repro.fastsync.xp.SUPPORTED_BACKENDS without importing the
+# numpy-guarded fastsync package (specs must build numpy-free).
+_BACKENDS = ("numpy", "cupy", "torch")
+
+#: ``extra`` keys that vary run-to-run on identical configurations
+#: (wall clocks, profiler timings, raw engine results).  Everything
+#: else in a record is seed-deterministic, which is what the sharded
+#: scheduler's bit-identity contract quantifies over.
+VOLATILE_EXTRA_KEYS = ("wall_time_s", "profile", "result", "trace")
+
+
+def _int_tuple(value: Any, label: str) -> Optional[Tuple[int, ...]]:
+    if value is None:
+        return None
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one election run (or seed-batch) needs, as data.
+
+    ``algorithm`` is a registry name (see ``repro list``); ``engine``
+    ``"auto"`` resolves to the registry engine, upgraded to ``"fast"``
+    for large fault-free runs with a vectorized port.  ``seeds`` is the
+    seed axis (``run()`` wants exactly one; ``sweep()`` fans out);
+    ``batch`` groups fast-engine seeds into multi-lane engine runs of
+    that many lanes.  ``faults``/``adversary``/``quorum`` configure the
+    object engines' fault layer; ``crashes``/``lane_crashes``/``roots``
+    are the fast engine's deterministic schedules; ``backend`` selects
+    the :mod:`repro.fastsync.xp` array namespace inside the executing
+    process; ``trace`` records the (single-seed) run to a JSONL path and
+    ``profile`` attaches kernel phase timers (fast engine).
+    """
+
+    algorithm: Any
+    n: int
+    engine: str = "auto"
+    seeds: Tuple[int, ...] = (0,)
+    batch: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    ids: Optional[Tuple[int, ...]] = None
+    awake: Optional[Tuple[int, ...]] = None
+    wake_times: Optional[Dict[int, float]] = None
+    roots: Optional[Tuple[int, ...]] = None
+    mode: str = "auto"
+    max_rounds: Optional[int] = None
+    max_events: Optional[int] = None
+    faults: Optional[Any] = None
+    adversary: Optional[Any] = None
+    quorum: bool = False
+    crashes: Optional[Tuple[Tuple[int, float], ...]] = None
+    lane_crashes: Optional[Tuple[Any, ...]] = None
+    backend: Optional[str] = None
+    trace: Optional[str] = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need n >= 1, got {self.n}")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {_ENGINES}"
+            )
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown port-model mode {self.mode!r}; expected one of {_MODES}"
+            )
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ValueError("need at least one seed")
+        object.__setattr__(self, "seeds", seeds)
+        if self.batch is not None and self.batch < 1:
+            raise ValueError(f"need batch >= 1, got {self.batch}")
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "ids", _int_tuple(self.ids, "ids"))
+        object.__setattr__(self, "awake", _int_tuple(self.awake, "awake"))
+        object.__setattr__(self, "roots", _int_tuple(self.roots, "roots"))
+        if self.wake_times is not None:
+            object.__setattr__(
+                self,
+                "wake_times",
+                {int(u): float(t) for u, t in dict(self.wake_times).items()},
+            )
+        if self.crashes is not None:
+            object.__setattr__(
+                self,
+                "crashes",
+                tuple((int(node), at) for node, at in self.crashes),
+            )
+        if self.lane_crashes is not None:
+            object.__setattr__(
+                self,
+                "lane_crashes",
+                tuple(
+                    None if lane is None else tuple(
+                        (int(node), at) for node, at in lane
+                    )
+                    for lane in self.lane_crashes
+                ),
+            )
+        if self.backend is not None and self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown array backend {self.backend!r}; "
+                f"expected one of {_BACKENDS}"
+            )
+        if self.faults is not None:
+            from repro.faults.plan import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise ValueError(
+                    "RunSpec.faults must be a repro.faults.FaultPlan, "
+                    f"got {type(self.faults).__name__}"
+                )
+        if self.adversary is not None:
+            from repro.adversary.plan import AdversaryPlan
+
+            if not isinstance(self.adversary, AdversaryPlan):
+                raise ValueError(
+                    "RunSpec.adversary must be a repro.adversary.AdversaryPlan, "
+                    f"got {type(self.adversary).__name__}"
+                )
+            if self.faults is not None and self.faults.adversary is not None:
+                raise ValueError(
+                    "both RunSpec.adversary and RunSpec.faults.adversary are "
+                    "set; attach the adversary in one place"
+                )
+        if self.trace is not None:
+            if len(seeds) != 1:
+                raise ValueError("trace records one run; pass exactly one seed")
+            if self.batch is not None:
+                raise ValueError("trace and batch are mutually exclusive")
+
+    @property
+    def algorithm_name(self) -> Optional[str]:
+        """The registry name, or ``None`` for factory-valued specs."""
+        return self.algorithm if isinstance(self.algorithm, str) else None
+
+    def resolved_engine(self) -> str:
+        """Resolve ``engine="auto"`` deterministically.
+
+        Named algorithms default to their registry engine; a fault-free
+        sync spec whose clique exceeds the exact-mode limit (2048) and
+        whose algorithm has a vectorized port upgrades to ``"fast"``.
+        Factory-valued specs default to ``"sync"``.
+        """
+        if self.engine != "auto":
+            return self.engine
+        if self.algorithm_name is None:
+            return "sync"
+        from repro.core.registry import get_algorithm
+
+        spec = get_algorithm(self.algorithm_name)
+        if (
+            spec.engine == "sync"
+            and self.n > 2048
+            and self.faults is None
+            and self.adversary is None
+            and not self.quorum
+            and spec.has_fast
+        ):
+            return "fast"
+        return spec.engine
+
+    def effective_faults(self) -> Optional[Any]:
+        """The fault plan the object engines receive (adversary attached)."""
+        if self.adversary is None:
+            return self.faults
+        from repro.faults.plan import FaultPlan
+
+        plan = self.faults if self.faults is not None else FaultPlan()
+        return dataclasses.replace(plan, adversary=self.adversary)
+
+
+def canonical_record(record: Any) -> Dict[str, Any]:
+    """A record as comparable data: volatile fields stripped.
+
+    Wall-clock ``extra`` entries (``wall_time_s``, ``profile`` timings,
+    raw ``result`` handles, trace receipts) differ between machines and
+    between runs of the *same* seed; everything else is deterministic
+    per ``(n, seed, configuration)``.  The scheduler equivalence suite
+    and the parallel-sweep bench compare records through this view.
+    """
+    return {
+        "n": record.n,
+        "seed": record.seed,
+        "messages": record.messages,
+        "time": record.time,
+        "unique_leader": record.unique_leader,
+        "elected_id": record.elected_id,
+        "leaders": record.leaders,
+        "decided": record.decided,
+        "awake": record.awake,
+        "params": dict(record.params),
+        "extra": {
+            key: value
+            for key, value in record.extra.items()
+            if key not in VOLATILE_EXTRA_KEYS
+        },
+    }

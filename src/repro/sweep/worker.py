@@ -1,0 +1,86 @@
+"""Worker-process entrypoints for the sharded sweep scheduler.
+
+Everything here is a module-level function: ``ProcessPoolExecutor``
+ships callables to workers by qualified name, so the cell functions (and
+the :func:`invoke_cell` wrapper that times them) must be importable —
+no lambdas, no closures.  Workers inherit the parent's environment, so
+``REPRO_ARRAY_BACKEND`` selects the fastsync array backend per process;
+a :class:`~repro.analysis.RunSpec` ``backend=`` field does the same from
+inside :func:`run_spec_cell`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["invoke_cell", "run_spec_cell", "scenario_cell"]
+
+
+def invoke_cell(
+    fn: Callable[[Any], Tuple[Any, Dict[str, Any]]], payload: Any
+) -> Tuple[Any, Dict[str, Any], int, float]:
+    """Run one cell function, returning (value, metrics, pid, wall_s).
+
+    The pid lets the parent map cells to worker slots (steal
+    accounting); the wall time feeds the utilization gauges.
+    """
+    start = time.perf_counter()
+    value, metrics = fn(payload)
+    return value, metrics, os.getpid(), time.perf_counter() - start
+
+
+def run_spec_cell(spec: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Execute one seed-block :class:`~repro.analysis.RunSpec` cell.
+
+    Returns the records plus this cell's metric stream — record and
+    message counters (deterministic, so the merged parent registry is
+    identical for every worker count) tagged by resolved engine.
+    """
+    from repro.sweep.api import execute_spec
+    from repro.telemetry.metrics import MetricsRegistry
+
+    records = execute_spec(spec)
+    registry = MetricsRegistry()
+    # Record-derived only: counters must sum to the same totals no
+    # matter how the scheduler blocked the seeds (the bit-identity
+    # contract covers the merged registry, not just the records).
+    registry.counter("sweep.records").inc(len(records))
+    registry.counter("sweep.messages").inc(sum(r.messages for r in records))
+    registry.counter(f"sweep.records[{spec.resolved_engine()}]").inc(len(records))
+    return records, registry.as_dict()
+
+
+def scenario_cell(payload: Tuple[str, int, int, str, Any, float, bool]):
+    """Execute one ``repro scenarios sweep`` cell in a worker process.
+
+    ``payload`` is ``(scenario_json, n, seed, engine, inner, lag,
+    quorum)`` — the scenario crosses the process boundary as its JSON
+    DSL form (lossless round-trip, see ``repro.scenarios.dsl``) and the
+    convergence metrics come back as a plain dict.
+    """
+    scenario_json, n, seed, engine, inner, lag, quorum = payload
+    from repro.scenarios import ScenarioRunner, scenario_from_json
+    from repro.telemetry.metrics import MetricsRegistry
+
+    scenario = scenario_from_json(scenario_json)
+    runner = ScenarioRunner(
+        scenario, n, engine=engine, seed=seed, inner=inner, lag=lag,
+        quorum=quorum,
+    )
+    m = runner.run().metrics
+    registry = MetricsRegistry()
+    registry.counter("sweep.records").inc(1)
+    registry.counter("sweep.messages").inc(int(m.total_messages))
+    registry.counter("sweep.records[scenario]").inc(1)
+    value = {
+        "elections": m.elections,
+        "epoch_churn": m.epoch_churn,
+        "mean_failover_latency": m.mean_failover_latency,
+        "agreed_fraction": m.agreed_fraction,
+        "total_messages": m.total_messages,
+        "message_overhead": m.message_overhead,
+        "final_agreed": m.final_agreed,
+    }
+    return value, registry.as_dict()

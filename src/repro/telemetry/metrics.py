@@ -110,6 +110,40 @@ class MetricsRegistry:
             },
         }
 
+    def merge(self, other: Any) -> None:
+        """Fold another registry (or its :meth:`as_dict` payload) into this one.
+
+        Counters add, gauges take the incoming value when set (last merge
+        wins — merge in a deterministic order), histogram summaries
+        combine exactly (count/total add, min/max extend).  The dict form
+        is what sweep worker processes ship back to the parent, so the
+        scheduler can aggregate per-worker metric streams without
+        pickling live registries.
+        """
+        payload = other.as_dict() if isinstance(other, MetricsRegistry) else other
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in payload.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, summary in payload.get("histograms", {}).items():
+            hist = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if not count:
+                continue
+            hist.count += count
+            hist.total += float(summary.get("total", 0.0))
+            for bound, pick in (("min", min), ("max", max)):
+                incoming = summary.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(hist, bound)
+                setattr(
+                    hist,
+                    bound,
+                    incoming if current is None else pick(current, incoming),
+                )
+
 
 def run_metrics(result: Any, *, failover_latency: Optional[float] = None) -> MetricsRegistry:
     """The standard election metrics of one engine result.

@@ -1,0 +1,207 @@
+"""The sharded sweep scheduler: bit-identity, stealing, degradation."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import RunSpec, canonical_record, execute_spec, sweep
+from repro.core import ImprovedTradeoffElection
+from repro.faults import CrashFault, DetectorSpec, FaultPlan
+from repro.sweep import SweepCell, run_cells
+from repro.sweep.worker import run_spec_cell
+from repro.telemetry.metrics import MetricsRegistry
+
+pytest.importorskip("numpy")
+
+
+def mixed_grid():
+    """Sync, async, fast (plain + batched) and a faulted cell."""
+    return [
+        RunSpec(algorithm="improved_tradeoff", n=64, engine="sync", seeds=(0, 1, 2)),
+        RunSpec(
+            algorithm="async_tradeoff",
+            n=32,
+            engine="async",
+            seeds=(0, 1),
+            params={"k": 2},
+        ),
+        RunSpec(algorithm="improved_tradeoff", n=512, engine="fast", seeds=(0, 1, 2, 3)),
+        RunSpec(
+            algorithm="improved_tradeoff",
+            n=256,
+            engine="fast",
+            seeds=(0, 1, 2, 3),
+            batch=2,
+        ),
+        RunSpec(
+            algorithm="monarchical",
+            n=16,
+            engine="sync",
+            seeds=(5,),
+            faults=FaultPlan(
+                crashes=(CrashFault(node=0, at=2.0),),
+                detector=DetectorSpec(kind="perfect", lag=1.0),
+            ),
+        ),
+    ]
+
+
+def canon(records):
+    return [canonical_record(r) for r in records]
+
+
+class TestBitIdentity:
+    def test_sharded_sweep_matches_sequential_and_legacy(self):
+        grid = mixed_grid()
+        sequential = sweep(grid, workers=1)
+        sharded = sweep(grid, workers=4)
+        assert canon(sharded) == canon(sequential)
+        # ... and both match the in-process executor spec-by-spec.
+        direct = [record for spec in grid for record in execute_spec(spec)]
+        assert canon(sequential) == canon(direct)
+
+    def test_sharded_sweep_matches_the_legacy_entrypoints(self):
+        import warnings
+
+        from repro.analysis import run_sync_trial, sweep_fast
+
+        grid = [
+            RunSpec(algorithm="improved_tradeoff", n=64, engine="sync", seeds=(0, 1)),
+            RunSpec(algorithm="improved_tradeoff", n=256, engine="fast", seeds=(0, 1)),
+        ]
+        sharded = sweep(grid, workers=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = [
+                run_sync_trial(64, ImprovedTradeoffElection, seed=s) for s in (0, 1)
+            ] + sweep_fast([256], "improved_tradeoff", seeds=[0, 1])
+        assert canon(sharded) == canon(legacy)
+
+    def test_merged_metrics_are_identical_across_worker_counts(self):
+        grid = mixed_grid()
+        counters = {}
+        for workers in (1, 2, 4):
+            registry = MetricsRegistry()
+            sweep(grid, workers=workers, registry=registry)
+            payload = registry.as_dict()
+            counters[workers] = payload["counters"]
+        assert counters[1] == counters[2] == counters[4]
+        assert counters[1]["sweep.records"] == 14
+        assert counters[1]["sweep.records[fast]"] == 8
+
+    def test_seed_block_boundaries_never_leak_into_results(self):
+        # Many seeds across few workers forces multi-seed blocks; every
+        # record must still match its single-seed run.
+        spec = RunSpec(
+            algorithm="improved_tradeoff", n=64, engine="sync", seeds=tuple(range(12))
+        )
+        sharded = sweep([spec], workers=2)
+        singles = [
+            record
+            for s in range(12)
+            for record in execute_spec(
+                RunSpec(algorithm="improved_tradeoff", n=64, engine="sync", seeds=(s,))
+            )
+        ]
+        assert canon(sharded) == canon(singles)
+
+
+class TestSchedulerGauges:
+    def test_scheduler_reports_workers_cells_steals_and_utilization(self):
+        registry = MetricsRegistry()
+        sweep(mixed_grid(), workers=2, registry=registry)
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["sweep.workers"] == 2
+        assert gauges["sweep.cells"] >= len(mixed_grid())
+        assert gauges["sweep.steals"] >= 0
+        assert gauges["sweep.elapsed_s"] > 0
+        utilization = [v for k, v in gauges.items() if k.startswith("sweep.worker_utilization[")]
+        assert utilization and all(0.0 <= u <= 1.0 for u in utilization)
+
+    def test_inline_runs_count_their_cells(self):
+        registry = MetricsRegistry()
+        sweep(mixed_grid(), workers=1, registry=registry)
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["sweep.inline_cells"] == gauges["sweep.cells"]
+        assert gauges["sweep.steals"] == 0
+
+
+class TestGracefulDegradation:
+    def test_non_picklable_cells_run_in_the_parent(self):
+        grid = [
+            RunSpec(algorithm=lambda: ImprovedTradeoffElection(), n=32, engine="sync"),
+            RunSpec(algorithm="improved_tradeoff", n=64, engine="sync", seeds=(0, 1)),
+        ]
+        with pytest.raises(Exception):
+            pickle.dumps(grid[0])
+        registry = MetricsRegistry()
+        records = sweep(grid, workers=2, registry=registry)
+        assert canon(records) == canon(
+            [record for spec in grid for record in execute_spec(spec)]
+        )
+        assert registry.as_dict()["gauges"]["sweep.inline_cells"] >= 1
+
+    def test_unconstructible_pool_degrades_to_in_process(self):
+        def broken_factory(workers):
+            raise OSError("no processes for you")
+
+        grid = mixed_grid()
+        records = sweep(grid, workers=4, executor_factory=broken_factory)
+        assert canon(records) == canon(sweep(grid, workers=1))
+
+    def test_pool_that_dies_mid_sweep_falls_back_inline(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        class DyingExecutor:
+            """Accepts submissions, then breaks on result collection."""
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                from concurrent.futures import Future
+
+                future = Future()
+                future.set_exception(BrokenProcessPool("worker died"))
+                return future
+
+        grid = mixed_grid()
+        records = sweep(grid, workers=4, executor_factory=lambda w: DyingExecutor())
+        assert canon(records) == canon(sweep(grid, workers=1))
+
+    def test_genuine_cell_exceptions_propagate(self):
+        grid = [RunSpec(algorithm="async_tradeoff", n=16, engine="sync")]
+        with pytest.raises(ValueError, match="engine"):
+            sweep(grid, workers=1)
+
+
+class TestRunCells:
+    def test_values_return_in_index_order_despite_cost_ordering(self):
+        cells = [
+            SweepCell(index=i, cost=cost, payload=spec)
+            for i, (cost, spec) in enumerate(
+                (n, RunSpec(algorithm="improved_tradeoff", n=n, engine="sync"))
+                for n in (8, 64, 16)
+            )
+        ]
+        values = run_cells(cells, run_spec_cell, workers=1)
+        assert [records[0].n for records in values] == [8, 64, 16]
+
+    def test_single_cell_never_builds_a_pool(self):
+        def exploding_factory(workers):  # pragma: no cover - must not run
+            raise AssertionError("pool built for a single cell")
+
+        cells = [
+            SweepCell(
+                index=0,
+                cost=1.0,
+                payload=RunSpec(algorithm="improved_tradeoff", n=16, engine="sync"),
+            )
+        ]
+        values = run_cells(
+            cells, run_spec_cell, workers=4, executor_factory=exploding_factory
+        )
+        assert values[0][0].unique_leader

@@ -1,0 +1,119 @@
+"""The fastsync array-namespace seam (``repro.fastsync.xp``)."""
+
+import importlib
+import importlib.util
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+# ``repro.fastsync`` re-exports the *proxy* under the name ``xp``, which
+# shadows the submodule as a package attribute — import the module itself.
+xp_module = importlib.import_module("repro.fastsync.xp")
+from repro.fastsync.xp import (
+    BACKEND_ENV_VAR,
+    SUPPORTED_BACKENDS,
+    BackendUnavailable,
+    available_backends,
+    backend_name,
+    set_backend,
+    xp,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_backend_state(monkeypatch):
+    """Each test starts (and leaves the process) unresolved + env-free."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    xp_module._reset_for_tests()
+    yield
+    xp_module._reset_for_tests()
+
+
+class TestResolution:
+    def test_default_backend_is_numpy(self):
+        assert backend_name() == "numpy"
+
+    def test_proxy_hands_back_real_numpy_attributes(self):
+        assert xp.arange is np.arange
+        assert xp.int64 is np.int64
+
+    def test_attribute_access_is_cached_on_the_proxy(self):
+        # First access resolves + caches; later lookups never re-enter
+        # __getattr__ (kernel hot loops see a plain instance attribute).
+        assert "cumsum" not in vars(xp)
+        first = xp.cumsum
+        assert vars(xp)["cumsum"] is first
+
+    def test_kernels_import_through_the_seam(self):
+        from repro.fastsync import engine
+
+        assert engine.np is xp
+
+    def test_env_var_selects_the_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert backend_name() == "numpy"
+
+    def test_env_var_naming_a_missing_backend_raises_guidance(self, monkeypatch):
+        if importlib.util.find_spec("cupy") is not None:
+            pytest.skip("cupy installed; the missing-backend path is moot")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cupy")
+        with pytest.raises(BackendUnavailable, match="cupy"):
+            backend_name()
+
+
+class TestSetBackend:
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(BackendUnavailable, match="supported"):
+            set_backend("fortran")
+
+    def test_set_before_resolution_wins(self):
+        set_backend("numpy")
+        assert backend_name() == "numpy"
+
+    def test_idempotent_for_the_active_backend(self):
+        assert backend_name() == "numpy"
+        set_backend("numpy")  # no error
+
+    def test_reselection_after_resolution_raises(self):
+        assert backend_name() == "numpy"
+        with pytest.raises(RuntimeError, match="already resolved"):
+            set_backend("cupy")
+
+    def test_missing_optional_backend_error_names_the_install(self):
+        for name, hint in (("cupy", "cupy-cuda"), ("torch", "torch")):
+            if importlib.util.find_spec(name) is not None:
+                continue
+            xp_module._reset_for_tests()
+            set_backend(name)
+            with pytest.raises(BackendUnavailable, match=hint):
+                backend_name()
+
+
+class TestAvailableBackends:
+    def test_numpy_is_probed_available(self):
+        assert "numpy" in available_backends()
+
+    def test_probe_matches_find_spec(self):
+        expected = [
+            name
+            for name in SUPPORTED_BACKENDS
+            if importlib.util.find_spec(name) is not None
+        ]
+        assert available_backends() == expected
+
+    def test_runspec_backend_names_are_the_seam_names(self):
+        from repro.sweep.spec import _BACKENDS
+
+        assert _BACKENDS == SUPPORTED_BACKENDS
+
+
+class TestBitIdentityThroughSeam:
+    def test_fast_engine_results_match_known_run(self):
+        # The seam must be invisible: a fast run through xp produces the
+        # same record the hard-imported numpy engine always produced.
+        from repro.analysis import RunSpec, run
+
+        record = run(RunSpec(algorithm="improved_tradeoff", n=512, engine="fast"))
+        assert record.unique_leader
+        assert record.decided == 512
