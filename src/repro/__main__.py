@@ -48,6 +48,22 @@ Commands
     divergence.  ``run``, ``scenarios run`` and ``adversary run`` also
     accept ``--trace PATH`` to record while they execute.
 
+``monitor check``
+    The runtime-verification CLI: sweep a spec grid (``--algorithms``,
+    ``--ns``, ``--seeds``, ``--param``) with record-level invariant
+    checks and theory-bound conformance against each algorithm's
+    envelope; exits non-zero on any violation or out-of-envelope
+    record.  ``--progress`` draws a live one-line progress bar,
+    ``--ledger`` appends the campaign to the persistent run ledger,
+    ``--records PATH`` keeps the raw rows as JSONL.
+
+``history`` / ``compare REF``
+    The run-ledger CLI: ``history`` lists past monitored sweeps
+    (newest last); ``compare`` diffs two entries — by index, negative
+    index, label, git-SHA or spec-hash prefix — and exits 1 when
+    per-algorithm message means regress beyond ``--slack`` or new
+    violation kinds appear.
+
 Examples
 --------
 
@@ -82,6 +98,12 @@ Examples
     python -m repro trace inspect run.jsonl --kind decide --timeline
     python -m repro trace stats fast.jsonl
     python -m repro trace diff run.jsonl fast.jsonl
+    python -m repro trace diff run.jsonl fast.jsonl --json -
+    python -m repro monitor check --ns 32 64 --seeds 0 1 2 --progress
+    python -m repro monitor check --algorithms las_vegas --ns 256 --ledger .repro/ledger.jsonl --label nightly
+    python -m repro history --limit 5
+    python -m repro compare -2 --to -1
+    python -m repro compare nightly --slack 0.05
 """
 
 from __future__ import annotations
@@ -526,15 +548,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _write_json(path: str, payload: Any) -> None:
-    import json
+    from repro.analysis.export import dump_json
 
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if path == "-":
-        print(text)
-    else:
-        with open(path, "w") as fh:
-            fh.write(text + "\n")
-        print(f"wrote {path}")
+    dump_json(path, payload)
 
 
 def cmd_scenarios_list(_args: argparse.Namespace) -> int:
@@ -668,6 +684,11 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
     metrics_out: Dict[str, Any] = {}
     failures = 0
     parallel_metrics: Dict[Any, Dict[str, Any]] = {}
+    progress = None
+    if getattr(args, "progress", False):
+        from repro.monitor import SweepProgress
+
+        progress = SweepProgress(live=True)
     if args.workers > 1:
         # Shard (n, seed) cells across worker processes: the scenario
         # crosses the boundary as its JSON timeline and each worker
@@ -692,8 +713,19 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         except (ScenarioSchemaError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        values = run_cells(cells, scenario_cell, workers=args.workers)
+        values = run_cells(
+            cells, scenario_cell, workers=args.workers, progress=progress
+        )
         parallel_metrics = dict(zip(keys, values))
+    elif progress is not None:
+        # Sequential/batched paths have no scheduler; drive the same
+        # listener manually so --progress behaves identically.
+        progress.start(
+            len(args.ns) * len(args.seeds),
+            float(sum(n for n in args.ns for _ in args.seeds)),
+            1,
+        )
+    sequential_cell = 0
     for n in args.ns:
         results_by_seed: Dict[int, Any] = {}
         if args.batch:
@@ -724,7 +756,25 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
                 except (ScenarioSchemaError, ValueError) as exc:
                     print(f"error: {exc}", file=sys.stderr)
                     return 2
+                cell = None
+                if progress is not None and args.workers <= 1:
+                    from types import SimpleNamespace
+
+                    cell = SimpleNamespace(index=sequential_cell, cost=float(n))
+                    progress.cell_start(cell)
+                import time as _time
+
+                t0 = _time.perf_counter()
                 m = runner.run().metrics
+                if cell is not None:
+                    progress.cell_finish(cell, _time.perf_counter() - t0, 0)
+            if args.workers <= 1 and args.batch and progress is not None:
+                from types import SimpleNamespace
+
+                cell = SimpleNamespace(index=sequential_cell, cost=float(n))
+                progress.cell_start(cell)
+                progress.cell_finish(cell, 0.0, 0)
+            sequential_cell += 1
             failures += not m.final_agreed
             mean_failover = m.mean_failover_latency
             table.add_row(
@@ -738,6 +788,8 @@ def cmd_scenarios_sweep(args: argparse.Namespace) -> int:
             metrics_out[f"{key}/epoch_churn"] = m.epoch_churn
             if mean_failover is not None:
                 metrics_out[f"{key}/mean_failover_latency"] = mean_failover
+    if progress is not None and args.workers <= 1:
+        progress.finish(progress.elapsed)
     print(table.render())
     if args.json:
         _write_json(
@@ -1099,6 +1151,8 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
     from repro.telemetry import diff_traces
 
     trace_a = _load_trace_or_fail(args.a)
@@ -1113,7 +1167,179 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
         print(f"  {line}")
     for line in diff.notes:
         print(f"  {line}")
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "a": args.a,
+                "b": args.b,
+                "summary": diff.summary(),
+                "diff": asdict(diff),
+            },
+        )
     return 0 if diff.identical else 1
+
+
+#: Fault-free ``monitor check`` defaults: every sync algorithm with a
+#: registered theory envelope (small_id needs its ID-density parameter).
+_MONITOR_DEFAULT_ALGORITHMS = [
+    "improved_tradeoff",
+    "afek_gafni",
+    "small_id",
+    "kutten16",
+    "las_vegas",
+    "adversarial_2round",
+]
+_MONITOR_DEFAULT_PARAMS: Dict[str, Dict[str, Any]] = {"small_id": {"d": 4}}
+
+
+def _monitor_specs(args: argparse.Namespace) -> List[RunSpec]:
+    specs = []
+    for name in args.algorithms:
+        algo = get_algorithm(name)
+        params = dict(_MONITOR_DEFAULT_PARAMS.get(name, {}))
+        for kv in args.param:
+            key, _, value = kv.partition("=")
+            params[key] = _parse_param(value)
+        for n in args.ns:
+            rng = random.Random(f"{name}:{n}:monitor")
+            specs.append(
+                RunSpec(
+                    algorithm=name,
+                    n=n,
+                    engine=algo.engine,
+                    seeds=tuple(args.seeds),
+                    params=params,
+                    ids=_ids_for(name, n, params, rng),
+                )
+            )
+    return specs
+
+
+def cmd_monitor_check(args: argparse.Namespace) -> int:
+    from repro.analysis import sweep
+    from repro.monitor import SweepMonitor, SweepProgress
+
+    try:
+        specs = _monitor_specs(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor = SweepMonitor(
+        slack=args.slack,
+        ledger=args.ledger,
+        label=args.label,
+        context={"cli": "monitor check", "ns": list(args.ns)},
+    )
+    progress = SweepProgress(live=True) if args.progress else None
+    records = sweep(
+        specs, workers=args.workers, monitor=monitor, progress=progress
+    )
+    table = Table(
+        ["algorithm", "paper", "runs", "conforming", "violations"],
+        title=f"monitored sweep (ns={list(args.ns)}, seeds={list(args.seeds)})",
+    )
+    by_algo: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        name = record.extra.get("algorithm", "?")
+        by_algo.setdefault(name, {"runs": 0})["runs"] += 1
+    failures_by_algo: Dict[str, int] = {}
+    for failure in monitor.conformance.failures:
+        failures_by_algo[failure.algorithm] = (
+            failures_by_algo.get(failure.algorithm, 0) + 1
+        )
+    violations_by_algo: Dict[str, int] = {}
+    for violation in monitor.violations:
+        name = violation.context.get("algorithm", "?")
+        violations_by_algo[name] = violations_by_algo.get(name, 0) + 1
+    for name in args.algorithms:
+        algo = get_algorithm(name)
+        runs = by_algo.get(name, {}).get("runs", 0)
+        table.add_row(
+            name,
+            algo.envelope.paper_ref if algo.envelope else "-",
+            runs,
+            runs - failures_by_algo.get(name, 0),
+            violations_by_algo.get(name, 0),
+        )
+    print(table.render())
+    print(monitor.summary())
+    if monitor.ledger_path:
+        print(f"ledger: appended to {monitor.ledger_path}")
+    if args.records:
+        from repro.analysis.export import records_to_jsonl
+
+        with open(args.records, "w") as fh:
+            fh.write(records_to_jsonl(records))
+        print(f"wrote {args.records}")
+    if args.json:
+        _write_json(args.json, monitor.as_dict())
+    return 0 if monitor.ok else 1
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.monitor import DEFAULT_LEDGER_PATH, read_ledger
+
+    args.ledger = args.ledger or DEFAULT_LEDGER_PATH
+    entries = read_ledger(args.ledger)
+    if not entries:
+        print(f"ledger {args.ledger} is empty")
+        return 0
+    shown = entries if args.limit == 0 else entries[-args.limit :]
+    offset = len(entries) - len(shown)
+    table = Table(
+        ["#", "when", "git", "label", "runs", "viol", "conform", "wall"],
+        title=f"run ledger: {args.ledger} ({len(entries)} entries)",
+    )
+    import datetime
+
+    for i, entry in enumerate(shown):
+        ts = entry.get("ts")
+        when = (
+            datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M")
+            if isinstance(ts, (int, float))
+            else "-"
+        )
+        sha = entry.get("git_sha") or "-"
+        conformance = entry.get("conformance") or {}
+        rate = conformance.get("rate")
+        wall = entry.get("wall_time_s")
+        table.add_row(
+            offset + i,
+            when,
+            sha[:8] if isinstance(sha, str) else "-",
+            entry.get("label") or "-",
+            entry.get("runs", "-"),
+            len(entry.get("violations") or ()),
+            f"{rate:.1%}" if isinstance(rate, (int, float)) else "-",
+            f"{wall:.1f}s" if isinstance(wall, (int, float)) else "-",
+        )
+    print(table.render())
+    if args.json:
+        _write_json(args.json, {"ledger": args.ledger, "entries": shown})
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.monitor import (
+        DEFAULT_LEDGER_PATH,
+        compare_entries,
+        read_ledger,
+        resolve_ref,
+    )
+
+    entries = read_ledger(args.ledger or DEFAULT_LEDGER_PATH)
+    try:
+        base = resolve_ref(entries, args.ref)
+        new = resolve_ref(entries, args.to)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = compare_entries(base, new, slack=args.slack)
+    print(diff.summary())
+    if args.json:
+        _write_json(args.json, diff.to_dict())
+    return 1 if diff.regressed else 0
 
 
 def plan_summary(plan) -> str:
@@ -1296,6 +1522,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to the sequential sweep; excludes --batch)",
     )
     sweep_scen_p.add_argument(
+        "--progress", action="store_true",
+        help="render a live progress line (cells done, ETA from the "
+        "completed-cost fraction) while the sweep runs",
+    )
+    sweep_scen_p.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the sweep metrics as JSON ('-' prints to stdout)",
     )
@@ -1444,7 +1675,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff_p.add_argument("a", help="baseline trace")
     diff_p.add_argument("b", help="candidate trace")
+    diff_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the diff as JSON ('-' prints to stdout)",
+    )
     diff_p.set_defaults(func=cmd_trace_diff)
+
+    mon_p = sub.add_parser(
+        "monitor",
+        help="online invariant monitors and theory-bound conformance",
+    )
+    mon_sub = mon_p.add_subparsers(dest="monitor_command", required=True)
+    check_p = mon_sub.add_parser(
+        "check",
+        help="monitored fault-free sweep: invariants + envelope conformance",
+    )
+    check_p.add_argument(
+        "--algorithms", nargs="+", default=list(_MONITOR_DEFAULT_ALGORITHMS),
+        choices=sorted(ALGORITHMS), metavar="NAME",
+        help="algorithms to check (default: every sync algorithm with a "
+        "registered theory envelope)",
+    )
+    check_p.add_argument("--ns", type=int, nargs="+", default=[32, 64])
+    check_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    check_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm parameter applied to every checked algorithm "
+        "(repeatable)",
+    )
+    check_p.add_argument(
+        "--slack", type=float, default=None,
+        help="override every envelope's slack constant (default: the "
+        "per-envelope calibrated constants)",
+    )
+    check_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the sweep over N worker processes",
+    )
+    check_p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append the sweep to this run ledger (see 'repro history')",
+    )
+    check_p.add_argument(
+        "--label", default=None, help="free-form label for the ledger entry"
+    )
+    check_p.add_argument(
+        "--progress", action="store_true",
+        help="render a live progress line while the sweep runs",
+    )
+    check_p.add_argument(
+        "--records", default=None, metavar="PATH",
+        help="also write the raw records as JSONL",
+    )
+    check_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the monitor report as JSON ('-' prints to stdout)",
+    )
+    check_p.set_defaults(func=cmd_monitor_check)
+
+    hist_p = sub.add_parser(
+        "history", help="list the persistent run ledger (.repro/ledger.jsonl)"
+    )
+    hist_p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger file (default: .repro/ledger.jsonl)",
+    )
+    hist_p.add_argument(
+        "--limit", type=int, default=10, help="entries to show (0 = all)"
+    )
+    hist_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the shown entries as JSON ('-' prints to stdout)",
+    )
+    hist_p.set_defaults(func=cmd_history)
+
+    cmp_p = sub.add_parser(
+        "compare",
+        help="diff message/round distributions between two ledger entries",
+    )
+    cmp_p.add_argument(
+        "ref", help="base entry: ledger index (0 oldest, -2 previous) or "
+        "git-SHA/spec-hash prefix",
+    )
+    cmp_p.add_argument(
+        "--to", default="-1", metavar="REF",
+        help="entry to compare against the base (default: latest)",
+    )
+    cmp_p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger file (default: .repro/ledger.jsonl)",
+    )
+    cmp_p.add_argument(
+        "--slack", type=float, default=0.10,
+        help="relative mean-message growth tolerated before the exit "
+        "status flags a regression (default 10%%)",
+    )
+    cmp_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the comparison as JSON ('-' prints to stdout)",
+    )
+    cmp_p.set_defaults(func=cmd_compare)
     return parser
 
 

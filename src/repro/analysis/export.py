@@ -15,7 +15,30 @@ from typing import Any, Iterable, List, Sequence
 
 from repro.analysis.runner import RunRecord
 
-__all__ = ["records_to_jsonl", "records_from_jsonl", "records_to_csv", "records_from_csv"]
+__all__ = [
+    "records_to_jsonl",
+    "records_from_jsonl",
+    "records_to_csv",
+    "records_from_csv",
+    "dump_json",
+]
+
+
+def dump_json(path: str, payload: Any) -> None:
+    """Write one JSON document to ``path`` (``-`` prints to stdout).
+
+    The shared sink behind every CLI ``--json`` flag (``trace stats``,
+    ``trace diff``, ``monitor check``, the sweeps): sorted keys, 2-space
+    indent, trailing newline, and a ``wrote <path>`` confirmation on
+    real files so scripted callers see where the artifact landed.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {path}")
 
 _FIELDS = [
     "n",

@@ -9,7 +9,7 @@ code can refuse meaningless combinations early.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.adversarial_2round import AdversarialTwoRoundElection
 from repro.core.afek_gafni import AfekGafniElection
@@ -56,6 +56,15 @@ class AlgorithmSpec:
         except ImportError:
             return False
         return self.name in FAST_ALGORITHMS
+
+    @property
+    def envelope(self) -> Optional[Any]:
+        """The theory-bound conformance envelope, or None when no
+        theorem statement covers this algorithm (absence of a bound is
+        not an error — reference rows have no envelope to check)."""
+        from repro.monitor.conformance import get_envelope
+
+        return get_envelope(self.name)
 
     def make_fast(self, **params: Any) -> Callable[[], Any]:
         """A zero-argument factory for the ``engine="fast"`` port.

@@ -1,0 +1,297 @@
+"""Theory-bound conformance: does each run stay inside its paper envelope?
+
+Every registered algorithm carries an *envelope* — the message and
+round/time curves its paper statement promises (Table 1 of the paper,
+evaluated by :mod:`repro.lowerbound.bounds`) times a configurable slack
+constant.  Asymptotic statements are rendered with constant 1, so the
+slack absorbs the hidden constant; the defaults below were calibrated
+against fault-free sweeps of this repo's implementations and hold with
+comfortable margin, while still catching a complexity regression of
+the kind the ledger's ``repro compare`` is meant to surface.
+
+:func:`check_record` measures one :class:`~repro.analysis.RunRecord`
+against its envelope; :func:`summarize` aggregates a sweep's results
+into a conformance rate.  Envelopes are looked up by algorithm name
+(``AlgorithmSpec.envelope`` exposes the same lookup), and parameterized
+curves read the run's ``params`` (``ell``, ``d``, ``epsilon``, ``k``…)
+with the registry's constructor defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.lowerbound import bounds
+
+__all__ = [
+    "Envelope",
+    "ConformanceResult",
+    "ConformanceSummary",
+    "ENVELOPES",
+    "get_envelope",
+    "check_record",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Expected message/round curves for one algorithm, with slack.
+
+    ``messages`` / ``rounds`` map ``(n, params)`` to the paper's curve;
+    a run conforms when ``measured <= slack * curve(n, params)``.
+    ``rounds=None`` means the statement bounds only messages (whp
+    statements whose round count the engine already caps).
+    """
+
+    algorithm: str
+    paper_ref: str
+    messages: Callable[[int, Dict[str, Any]], float]
+    rounds: Optional[Callable[[int, Dict[str, Any]], float]] = None
+    messages_slack: float = 2.0
+    rounds_slack: float = 1.5
+    notes: str = ""
+
+    def message_limit(self, n: int, params: Optional[Dict[str, Any]] = None,
+                      slack: Optional[float] = None) -> float:
+        factor = self.messages_slack if slack is None else slack
+        return factor * self.messages(n, params or {})
+
+    def round_limit(self, n: int, params: Optional[Dict[str, Any]] = None,
+                    slack: Optional[float] = None) -> Optional[float]:
+        if self.rounds is None:
+            return None
+        factor = self.rounds_slack if slack is None else slack
+        return factor * self.rounds(n, params or {})
+
+
+@dataclass
+class ConformanceResult:
+    """One record measured against one envelope."""
+
+    algorithm: str
+    n: int
+    seed: int
+    messages: int
+    message_limit: float
+    messages_ok: bool
+    time: Optional[float] = None
+    round_limit: Optional[float] = None
+    rounds_ok: bool = True
+    paper_ref: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.messages_ok and self.rounds_ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "seed": self.seed,
+            "messages": self.messages,
+            "message_limit": self.message_limit,
+            "messages_ok": self.messages_ok,
+            "time": self.time,
+            "round_limit": self.round_limit,
+            "rounds_ok": self.rounds_ok,
+            "ok": self.ok,
+            "paper_ref": self.paper_ref,
+        }
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "OUT OF ENVELOPE"
+        parts = [
+            f"{self.algorithm} n={self.n} seed={self.seed}: {verdict}",
+            f"messages {self.messages} <= {self.message_limit:.0f}"
+            + ("" if self.messages_ok else " FAILED"),
+        ]
+        if self.round_limit is not None:
+            parts.append(
+                f"time {self.time:g} <= {self.round_limit:g}"
+                + ("" if self.rounds_ok else " FAILED")
+            )
+        return " | ".join(parts)
+
+
+@dataclass
+class ConformanceSummary:
+    """Aggregate verdict over a sweep's conformance results."""
+
+    total: int = 0
+    conforming: int = 0
+    failures: List[ConformanceResult] = field(default_factory=list)
+
+    @property
+    def rate(self) -> float:
+        return 1.0 if self.total == 0 else self.conforming / self.total
+
+    @property
+    def ok(self) -> bool:
+        return self.conforming == self.total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "conforming": self.conforming,
+            "rate": self.rate,
+            "ok": self.ok,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+# --------------------------------------------------------------------- #
+# the registry of envelopes, one per algorithm name
+#
+# Slack constants calibrated against fault-free sweeps (n up to 512,
+# multiple seeds) of this repo's implementations; see
+# tests/test_monitor_conformance.py for the pinning sweep.
+
+
+def _ell(params: Dict[str, Any], default: int) -> int:
+    return int(params.get("ell", default))
+
+
+ENVELOPES: Dict[str, Envelope] = {
+    "improved_tradeoff": Envelope(
+        algorithm="improved_tradeoff",
+        paper_ref="Thm 3.10",
+        messages=lambda n, p: bounds.thm310_messages(n, _ell(p, 3)),
+        rounds=lambda n, p: float(bounds.thm310_rounds(_ell(p, 3))),
+        messages_slack=2.0,
+        rounds_slack=1.5,
+        notes="O(ell * n^(1+2/(ell+1))) messages in ell rounds",
+    ),
+    "afek_gafni": Envelope(
+        algorithm="afek_gafni",
+        paper_ref="[1]",
+        messages=lambda n, p: bounds.ag_messages(n, _ell(p, 4)),
+        rounds=lambda n, p: float(_ell(p, 4)),
+        messages_slack=2.0,
+        rounds_slack=1.5,
+        notes="O(ell * n^(1+2/ell)) messages in ell rounds",
+    ),
+    "small_id": Envelope(
+        algorithm="small_id",
+        paper_ref="Thm 3.15",
+        messages=lambda n, p: float(
+            bounds.thm315_messages(n, int(p["d"]), int(p.get("g", 1)))
+        ),
+        rounds=lambda n, p: float(bounds.thm315_rounds(n, int(p["d"]))),
+        messages_slack=1.0,  # the theorem's bound is exact, not asymptotic
+        rounds_slack=1.0,
+        notes="<= n*d*g messages, <= ceil(n/d) rounds (exact statement)",
+    ),
+    "kutten16": Envelope(
+        algorithm="kutten16",
+        paper_ref="[16]",
+        messages=lambda n, p: bounds.kutten16_messages(n),
+        rounds=lambda n, p: 2.0,
+        messages_slack=16.0,  # measured constant <= 8.8 across n in [16, 2048]
+        rounds_slack=1.0,
+        notes="O(sqrt(n) log^1.5 n) messages, 2 rounds, whp",
+    ),
+    "las_vegas": Envelope(
+        algorithm="las_vegas",
+        paper_ref="Thm 3.16",
+        messages=lambda n, p: bounds.thm316_las_vegas_messages(n),
+        rounds=lambda n, p: 3.0,
+        messages_slack=32.0,  # measured constant <= 18.5 (small-n log factors)
+        rounds_slack=1.0,
+        notes="O(n) messages and 3 rounds, whp",
+    ),
+    "adversarial_2round": Envelope(
+        algorithm="adversarial_2round",
+        paper_ref="Thm 4.1",
+        messages=lambda n, p: bounds.thm41_expected_messages(
+            n, float(p.get("epsilon", 0.05))
+        ),
+        rounds=lambda n, p: 2.0,
+        messages_slack=4.0,
+        rounds_slack=1.5,
+        notes="expected O(n^1.5 log(1/eps)) messages, 2 rounds per wave",
+    ),
+    "async_tradeoff": Envelope(
+        algorithm="async_tradeoff",
+        paper_ref="Thm 5.1",
+        messages=lambda n, p: bounds.thm51_messages(
+            n, int(p.get("k", bounds.thm51_max_k(n)))
+        ),
+        rounds=lambda n, p: float(
+            bounds.thm51_time(int(p.get("k", bounds.thm51_max_k(n))))
+        ),
+        messages_slack=24.0,  # measured constant <= 14.3 at small n
+        rounds_slack=2.0,
+        notes="O(n^(1+1/k)) messages, k+8 time units, whp",
+    ),
+    "async_afek_gafni": Envelope(
+        algorithm="async_afek_gafni",
+        paper_ref="Thm 5.14",
+        messages=lambda n, p: bounds.thm514_messages(n),
+        rounds=lambda n, p: max(4.0, bounds.thm514_time(n)),
+        messages_slack=4.0,
+        rounds_slack=8.0,  # measured time constant <= 4.9 x log2(n)
+        notes="O(n log n) messages, O(log n) time",
+    ),
+}
+
+
+def get_envelope(name: str) -> Optional[Envelope]:
+    """The envelope registered for ``name`` (None when no statement exists)."""
+    return ENVELOPES.get(name)
+
+
+def check_record(
+    record: Any,
+    *,
+    algorithm: Optional[str] = None,
+    slack: Optional[float] = None,
+) -> Optional[ConformanceResult]:
+    """Measure one :class:`~repro.analysis.RunRecord` against its envelope.
+
+    The algorithm name comes from ``record.extra["algorithm"]`` (stamped
+    by monitored sweeps) unless passed explicitly.  Returns ``None``
+    when no envelope is registered for the algorithm — absence of a
+    theorem is not a violation.  ``slack`` overrides *both* slack
+    constants (used by ``repro monitor check --slack``).
+    """
+    name = algorithm or record.extra.get("algorithm")
+    if name is None:
+        return None
+    envelope = get_envelope(name)
+    if envelope is None:
+        return None
+    params = dict(record.params)
+    message_limit = envelope.message_limit(record.n, params, slack)
+    round_limit = envelope.round_limit(record.n, params, slack)
+    measured_time = record.time
+    rounds_ok = True
+    if round_limit is not None and measured_time is not None:
+        rounds_ok = measured_time <= round_limit
+    return ConformanceResult(
+        algorithm=name,
+        n=record.n,
+        seed=record.seed,
+        messages=record.messages,
+        message_limit=message_limit,
+        messages_ok=record.messages <= message_limit,
+        time=measured_time,
+        round_limit=round_limit,
+        rounds_ok=rounds_ok,
+        paper_ref=envelope.paper_ref,
+    )
+
+
+def summarize(results: Sequence[Optional[ConformanceResult]]) -> ConformanceSummary:
+    """Aggregate a sweep's conformance checks (``None`` entries skipped)."""
+    summary = ConformanceSummary()
+    for result in results:
+        if result is None:
+            continue
+        summary.total += 1
+        if result.ok:
+            summary.conforming += 1
+        else:
+            summary.failures.append(result)
+    return summary

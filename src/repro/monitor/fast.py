@@ -1,0 +1,148 @@
+"""Monitoring the vectorized engine: aggregates + sampled-lane replay.
+
+The fast engine never materializes per-event Python objects, so the
+recorder-seam monitors cannot attach to it directly.  Two complementary
+paths cover it:
+
+:func:`check_fast_telemetry`
+    Checks one lane's :class:`~repro.telemetry.FastTelemetry`
+    aggregates — leader multiplicity from the decide tally, termination
+    from the decide round — at zero extra engine cost.  Coarse: it sees
+    counts, not per-node streams.
+
+:func:`monitor_fast_lane`
+    Full-strength monitoring of one *sampled* lane: runs the lane on
+    both engines via :func:`~repro.telemetry.trace_fast_lane` with a
+    :class:`~repro.monitor.MonitorSuite` fanned into the object twin's
+    recorder, so every invariant checks the exact-mode-equivalent
+    event stream live.  Violations found this way match a post-hoc
+    :meth:`~repro.monitor.MonitorSuite.replay` of the recorded events
+    bit-exactly (pinned by ``tests/test_monitor_fast.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.monitor.invariants import MonitorSuite
+from repro.monitor.violations import Violation, trace_slice
+
+__all__ = ["check_fast_telemetry", "monitor_fast_lane"]
+
+
+def check_fast_telemetry(
+    telemetry: Any,
+    lane: int = 0,
+    *,
+    bound: Optional[float] = None,
+    context: Optional[Dict[str, Any]] = None,
+) -> List[Violation]:
+    """Invariant checks over one lane's aggregate counters.
+
+    ``telemetry`` is a bound :class:`~repro.telemetry.FastTelemetry`
+    after the run.  Returns the violations derivable from aggregates:
+    multiple leaders in the decide tally (``unique_leader_per_epoch``),
+    no decision at all or activity past ``bound`` (``termination_bound``).
+    """
+    context = dict(context or {})
+    context.setdefault("engine", "fast")
+    context.setdefault("lane", lane)
+    events = telemetry.events(lane)
+    violations: List[Violation] = []
+
+    def report(monitor: str, message: str, when: Optional[float] = None) -> None:
+        violations.append(
+            Violation(
+                monitor=monitor,
+                message=message,
+                when=when,
+                context=dict(context),
+                trace_slice=trace_slice(events, when),
+            )
+        )
+
+    decide_round = telemetry.decide_round(lane)
+    leaders: Tuple[int, ...] = ()
+    entry = telemetry._decides.get(lane)
+    if entry is not None:
+        leaders = entry[1]
+    if len(leaders) > 1:
+        report(
+            "unique_leader_per_epoch",
+            f"{len(leaders)} leaders in the decide tally (nodes {sorted(leaders)})",
+            when=float(decide_round) if decide_round is not None else None,
+        )
+    if decide_round is None:
+        report("termination_bound", "lane finished without any decision")
+    elif bound is not None and decide_round > bound:
+        report(
+            "termination_bound",
+            f"decision at round {decide_round} exceeds the termination bound "
+            f"{bound:g}",
+            when=float(decide_round),
+        )
+    if bound is not None:
+        sends = telemetry.sends_by_round(lane)
+        late = [r for r in sends if r > bound]
+        if late:
+            report(
+                "termination_bound",
+                f"sends at round {min(late)} exceed the termination bound {bound:g}",
+                when=float(min(late)),
+            )
+    return violations
+
+
+def monitor_fast_lane(
+    n: int,
+    algorithm: str,
+    *,
+    seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
+    lane: int = 0,
+    ids: Optional[Sequence[int]] = None,
+    params: Optional[Dict[str, Any]] = None,
+    max_rounds: Optional[int] = None,
+    suite: Optional[MonitorSuite] = None,
+    quorum: bool = False,
+    bound: Optional[float] = None,
+) -> Tuple[Any, MonitorSuite]:
+    """Monitor one sampled fast lane at full event resolution.
+
+    Returns ``(lane_trace, suite)``: the
+    :class:`~repro.telemetry.LaneTrace` of the dual execution and the
+    finished suite.  Any aggregate mismatch between the engines is
+    itself reported as a ``fast_lane_equivalence`` violation — a fast
+    run whose twin disagrees is unverifiable, which is a finding, not
+    an error.
+    """
+    from repro.telemetry.fast import trace_fast_lane
+
+    if suite is None:
+        suite = MonitorSuite(
+            n=n,
+            ids=ids,
+            quorum=quorum,
+            bound=bound,
+            context={
+                "engine": "fast",
+                "algorithm": algorithm,
+                "lane": lane,
+                "seed": seed if seeds is None else list(seeds)[lane],
+            },
+        )
+    lane_trace = trace_fast_lane(
+        n,
+        algorithm,
+        seed=seed,
+        seeds=seeds,
+        lane=lane,
+        ids=ids,
+        params=params,
+        max_rounds=max_rounds,
+        recorder=suite,
+    )
+    suite.finish(lane_trace.sync_result)
+    for mismatch in lane_trace.mismatches:
+        suite.report("fast_lane_equivalence", f"engine aggregates diverge: {mismatch}")
+    return lane_trace, suite

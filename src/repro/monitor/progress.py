@@ -1,0 +1,181 @@
+"""Live sweep progress: cell events, worker utilization, cost-weighted ETA.
+
+The PR 7 scheduler reports to any object with the
+:class:`ProgressListener` hooks (all optional; errors in a listener are
+swallowed — a broken progress bar must never kill a long campaign).
+:class:`SweepProgress` is the standard listener: it accumulates
+:class:`ProgressEvent` records (tests read these) and, when ``live``,
+renders a single self-overwriting ASCII line::
+
+    sweep  37/96 cells  54.1% cost  workers=8  util 0.92  elapsed 12.4s  eta 10.5s
+
+The ETA extrapolates from the *completed cost fraction*, not the cell
+count — cells are ragged (cost ≈ n·len(seeds)), so finishing the many
+cheap cells first says little about the monster cells still running.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ProgressListener", "ProgressEvent", "SweepProgress"]
+
+
+class ProgressListener:
+    """No-op base: the hook surface the scheduler drives."""
+
+    def start(self, total_cells: int, total_cost: float, workers: int) -> None:
+        pass
+
+    def cell_start(self, cell: Any) -> None:
+        pass
+
+    def cell_finish(self, cell: Any, wall: float, slot: int) -> None:
+        pass
+
+    def finish(self, elapsed: float) -> None:
+        pass
+
+
+@dataclass
+class ProgressEvent:
+    """One observed scheduler event (``kind`` in start/cell_start/cell_finish/finish)."""
+
+    kind: str
+    index: Optional[int] = None
+    cost: float = 0.0
+    wall: float = 0.0
+    slot: Optional[int] = None
+    elapsed: float = 0.0
+    eta: Optional[float] = None
+
+
+class SweepProgress(ProgressListener):
+    """Accumulating listener with an optional live ASCII line.
+
+    ``live=None`` auto-enables rendering on a TTY ``stream``;
+    ``live=True`` forces it (the ``--progress`` CLI flag), ``live=False``
+    collects events silently (tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        stream: Any = None,
+        live: Optional[bool] = None,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            live = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.live = live
+        self.events: List[ProgressEvent] = []
+        self.total_cells = 0
+        self.total_cost = 0.0
+        self.workers = 1
+        self.completed_cells = 0
+        self.completed_cost = 0.0
+        self.busy_by_slot: Dict[int, float] = {}
+        self._t0: Optional[float] = None
+        self._rendered = False
+
+    # ---------------------------------------------------------------- #
+    # listener hooks
+
+    def start(self, total_cells: int, total_cost: float, workers: int) -> None:
+        self._t0 = time.perf_counter()
+        self.total_cells = total_cells
+        self.total_cost = total_cost
+        self.workers = workers
+        self.events.append(
+            ProgressEvent(kind="start", cost=total_cost, slot=workers)
+        )
+        self._render()
+
+    def cell_start(self, cell: Any) -> None:
+        self.events.append(
+            ProgressEvent(
+                kind="cell_start",
+                index=cell.index,
+                cost=cell.cost,
+                elapsed=self.elapsed,
+            )
+        )
+
+    def cell_finish(self, cell: Any, wall: float, slot: int) -> None:
+        self.completed_cells += 1
+        self.completed_cost += cell.cost
+        self.busy_by_slot[slot] = self.busy_by_slot.get(slot, 0.0) + wall
+        self.events.append(
+            ProgressEvent(
+                kind="cell_finish",
+                index=cell.index,
+                cost=cell.cost,
+                wall=wall,
+                slot=slot,
+                elapsed=self.elapsed,
+                eta=self.eta,
+            )
+        )
+        self._render()
+
+    def finish(self, elapsed: float) -> None:
+        self.events.append(ProgressEvent(kind="finish", elapsed=elapsed))
+        if self.live and self._rendered:
+            self.stream.write("\r" + self.render_line(final=True) + "\n")
+            self.stream.flush()
+
+    # ---------------------------------------------------------------- #
+    # derived state
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0 if self._t0 is None else time.perf_counter() - self._t0
+
+    @property
+    def cost_fraction(self) -> float:
+        return (
+            self.completed_cost / self.total_cost if self.total_cost > 0 else 0.0
+        )
+
+    @property
+    def eta(self) -> Optional[float]:
+        """Remaining seconds, extrapolated from the completed-cost fraction."""
+        fraction = self.cost_fraction
+        if fraction <= 0.0:
+            return None
+        elapsed = self.elapsed
+        return elapsed * (1.0 - fraction) / fraction
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across the worker slots seen so far."""
+        elapsed = self.elapsed
+        if elapsed <= 0.0 or not self.busy_by_slot:
+            return 0.0
+        busy = sum(self.busy_by_slot.values())
+        return min(1.0, busy / (elapsed * self.workers))
+
+    # ---------------------------------------------------------------- #
+    # rendering
+
+    def render_line(self, final: bool = False) -> str:
+        eta = self.eta
+        eta_part = "eta --" if eta is None else f"eta {eta:.1f}s"
+        if final:
+            eta_part = "done"
+        return (
+            f"sweep  {self.completed_cells}/{self.total_cells} cells  "
+            f"{self.cost_fraction:6.1%} cost  workers={self.workers}  "
+            f"util {self.utilization:.2f}  elapsed {self.elapsed:.1f}s  "
+            f"{eta_part}"
+        )
+
+    def _render(self) -> None:
+        if not self.live:
+            return
+        self._rendered = True
+        self.stream.write("\r" + self.render_line())
+        self.stream.flush()

@@ -1,0 +1,76 @@
+"""The :class:`Violation` record: what a monitor reports instead of raising.
+
+Monitors never assert — a sweep that trips an invariant keeps running
+and reports the violation as data, so a million-run campaign surfaces
+*every* bad run instead of dying on the first one.  Each violation
+carries the run coordinates it was observed under, the offending
+round/time, and a minimal trace slice (the events around the offense)
+so the failure is debuggable without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Violation", "trace_slice"]
+
+#: Rounds of context captured on either side of the offending round.
+SLICE_RADIUS = 1.0
+
+#: Hard cap on events in a violation's trace slice (dense rounds at
+#: large n would otherwise make violations megabyte-sized).
+SLICE_LIMIT = 24
+
+
+@dataclass
+class Violation:
+    """One invariant breach, flattened for reports and the ledger."""
+
+    monitor: str                      # invariant name, e.g. unique_leader_per_epoch
+    message: str                      # human-readable statement of the breach
+    when: Optional[float] = None      # offending round (sync) / time (async)
+    node: Optional[int] = None        # offending node index, if one exists
+    context: Dict[str, Any] = field(default_factory=dict)  # run coordinates
+    trace_slice: List[str] = field(default_factory=list)   # events around `when`
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (ledger entries and ``--json`` reports)."""
+        return {
+            "monitor": self.monitor,
+            "message": self.message,
+            "when": self.when,
+            "node": self.node,
+            "context": dict(self.context),
+            "trace_slice": list(self.trace_slice),
+        }
+
+    def __str__(self) -> str:
+        where = "" if self.when is None else f" at t={self.when:g}"
+        who = "" if self.node is None else f" node={self.node}"
+        return f"[{self.monitor}]{where}{who}: {self.message}"
+
+
+def trace_slice(
+    events: Sequence[Any],
+    when: Optional[float],
+    *,
+    radius: float = SLICE_RADIUS,
+    limit: int = SLICE_LIMIT,
+) -> List[str]:
+    """Render the events within ``when ± radius`` (capped at ``limit``).
+
+    ``events`` are :class:`~repro.trace.TraceEvent` instances (anything
+    with ``when`` and ``__str__`` works).  With ``when=None`` the tail
+    of the stream is captured instead — the offense happened at finish
+    time, so the most recent events are the relevant context.
+    """
+    if when is None:
+        window = list(events)[-limit:]
+    else:
+        window = [e for e in events if abs(e.when - when) <= radius]
+        if len(window) > limit:
+            # Keep the slice centered: trim symmetrically around `when`.
+            window.sort(key=lambda e: (abs(e.when - when), e.when))
+            window = sorted(window[:limit], key=lambda e: (e.when, e.node))
+    return [str(e) for e in window]

@@ -517,7 +517,16 @@ class ScenarioRunner:
             tampered = fm.tampered_messages if fm else 0
             # Leaders simultaneously alive when the act ended: > 1 means
             # the act really split the brain (per-component leaders).
-            concurrent = len(result.surviving_leaders)
+            # Routed through the unique_leader_per_epoch monitor over the
+            # act's event stream, so the scenario metric and the monitor
+            # verdict are one computation and can never disagree.
+            from repro.monitor import MonitorSuite, UniqueLeaderMonitor
+
+            unique_monitor = UniqueLeaderMonitor()
+            MonitorSuite(
+                monitors=[unique_monitor], n=m, ids=list(member_ids)
+            ).replay(report.events).finish(result)
+            concurrent = unique_monitor.concurrent_leaders
             # Every committed leader is an epoch, and so is every
             # frontrunner a kill policy aborted before its commit.
             aborted = sum(1 for u in result.crashed if u not in result.leaders)

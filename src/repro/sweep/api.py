@@ -359,6 +359,8 @@ def sweep(
     workers: int = 1,
     registry: Optional[Any] = None,
     executor_factory: Optional[Callable[[int], Any]] = None,
+    monitor: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> List[RunRecord]:
     """Execute a spec grid, optionally sharded across worker processes.
 
@@ -372,6 +374,15 @@ def sweep(
     the ``ProcessPoolExecutor`` constructor (tests inject broken pools);
     ``workers=1`` — and any cell that cannot cross a process boundary —
     runs in-process.
+
+    ``monitor`` is a :class:`repro.monitor.SweepMonitor`: after the
+    records are collected it runs record-level invariant checks and
+    theory-bound conformance over the whole grid (and appends a ledger
+    entry when configured) — read ``monitor.violations`` /
+    ``monitor.conformance`` afterwards.  ``progress`` is a
+    :class:`repro.monitor.ProgressListener` (e.g. ``SweepProgress``)
+    receiving live cell start/finish events from the scheduler.
+    Neither affects the records.
     """
     if isinstance(specs, RunSpec):
         specs = [specs]
@@ -397,5 +408,9 @@ def sweep(
         workers=workers,
         registry=registry,
         executor_factory=executor_factory,
+        progress=progress,
     )
-    return [record for cell_records in per_cell for record in cell_records]
+    records = [record for cell_records in per_cell for record in cell_records]
+    if monitor is not None:
+        monitor.observe_sweep(grid, records)
+    return records

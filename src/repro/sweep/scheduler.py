@@ -62,6 +62,19 @@ def _pool_errors():
     return (BrokenProcessPool, OSError, pickle.PicklingError, TypeError)
 
 
+def _notify(progress: Any, hook: str, *args: Any) -> None:
+    """Fire one progress hook; listener bugs never kill the sweep."""
+    if progress is None:
+        return
+    method = getattr(progress, hook, None)
+    if method is None:
+        return
+    try:
+        method(*args)
+    except Exception:
+        pass
+
+
 def run_cells(
     cells: List[SweepCell],
     fn: Callable[[Any], Any],
@@ -69,17 +82,23 @@ def run_cells(
     workers: int = 1,
     registry: Optional[MetricsRegistry] = None,
     executor_factory: Optional[Callable[[int], Any]] = None,
+    progress: Optional[Any] = None,
 ) -> List[Any]:
     """Execute every cell; return their values in cell-index order.
 
     ``fn`` must be a module-level function (worker processes import it
     by qualified name) mapping ``payload -> (value, metrics_dict)``.
     ``registry`` collects the merged metric streams and the scheduler
-    gauges; pass ``None`` to skip collection.
+    gauges; pass ``None`` to skip collection.  ``progress`` is an
+    optional :class:`repro.monitor.ProgressListener` receiving cell
+    start/finish events, worker slots, and wall times as the sweep runs.
     """
     from repro.sweep.worker import invoke_cell
 
     start = time.perf_counter()
+    _notify(
+        progress, "start", len(cells), sum(cell.cost for cell in cells), workers
+    )
     values: Dict[int, Any] = {}
     metric_payloads: Dict[int, Dict[str, Any]] = {}
     busy_by_slot: Dict[int, float] = {}
@@ -113,6 +132,7 @@ def run_cells(
                         for home, cell in enumerate(pool_cells):
                             future = executor.submit(invoke_cell, fn, cell.payload)
                             futures[future] = (cell, home % workers)
+                            _notify(progress, "cell_start", cell)
                     except _pool_errors():
                         pass  # whatever never got submitted re-runs inline
                     for future in as_completed(futures):
@@ -128,6 +148,7 @@ def run_cells(
                         steals += slot != home_slot
                         values[cell.index] = value
                         metric_payloads[cell.index] = metrics
+                        _notify(progress, "cell_finish", cell, wall, slot)
             except _pool_errors():
                 pass
             inline.extend(
@@ -138,11 +159,14 @@ def run_cells(
 
     inline_count = len(inline)
     for cell in sorted(inline, key=lambda cell: cell.index):
+        _notify(progress, "cell_start", cell)
         value, metrics, pid, wall = invoke_cell(fn, cell.payload)
         busy_by_slot[0] = busy_by_slot.get(0, 0.0) + wall
         values[cell.index] = value
         metric_payloads[cell.index] = metrics
+        _notify(progress, "cell_finish", cell, wall, 0)
 
+    _notify(progress, "finish", time.perf_counter() - start)
     if registry is not None:
         for index in sorted(metric_payloads):
             registry.merge(metric_payloads[index])

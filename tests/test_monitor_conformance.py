@@ -1,0 +1,165 @@
+"""Theory-bound conformance: envelopes, record checks, and the pinning sweep.
+
+The acceptance bar from the observability PR: every one of the six sync
+algorithms carries an envelope derived from its paper statement, and a
+fault-free smoke sweep conforms at 100% with zero invariant violations.
+The calibrated slack constants in ``repro.monitor.conformance`` are
+pinned here — if an implementation's message complexity regresses past
+its theorem curve, this file is what goes red.
+"""
+
+import pytest
+
+from repro.analysis.runner import RunRecord
+from repro.core import ALGORITHMS, get_algorithm
+from repro.lowerbound import bounds
+from repro.monitor import (
+    ENVELOPES,
+    SweepMonitor,
+    check_record,
+    get_envelope,
+    summarize,
+)
+from repro.sweep import RunSpec, sweep
+
+SYNC_SIX = [
+    "improved_tradeoff",
+    "afek_gafni",
+    "small_id",
+    "kutten16",
+    "las_vegas",
+    "adversarial_2round",
+]
+
+
+def record(name, n=64, seed=0, messages=10, time=2.0, params=None, **kw):
+    defaults = dict(
+        unique_leader=True,
+        elected_id=n,
+        leaders=1,
+        decided=n,
+        awake=n,
+    )
+    defaults.update(kw)
+    return RunRecord(
+        n=n,
+        seed=seed,
+        messages=messages,
+        time=time,
+        params=dict(params or {}),
+        extra={"algorithm": name},
+        **defaults,
+    )
+
+
+class TestEnvelopeRegistry:
+    @pytest.mark.parametrize("name", SYNC_SIX)
+    def test_every_sync_algorithm_has_an_envelope(self, name):
+        envelope = get_envelope(name)
+        assert envelope is not None
+        assert envelope.paper_ref
+        assert get_algorithm(name).envelope is envelope
+
+    @pytest.mark.parametrize("name", ["async_tradeoff", "async_afek_gafni"])
+    def test_async_algorithms_covered_too(self, name):
+        assert get_algorithm(name).envelope is not None
+
+    @pytest.mark.parametrize("name", ["monarchical", "reelect", "quorum_reelect"])
+    def test_wrappers_have_no_envelope(self, name):
+        # No theorem statement covers the fault wrappers; absence is not
+        # an error and check_record simply skips them.
+        assert get_algorithm(name).envelope is None
+        assert check_record(record(name)) is None
+
+    def test_every_envelope_names_a_registered_algorithm(self):
+        assert set(ENVELOPES) <= set(ALGORITHMS)
+
+    def test_limits_follow_the_paper_curves(self):
+        envelope = get_envelope("improved_tradeoff")
+        n, ell = 128, 5
+        assert envelope.message_limit(n, {"ell": ell}) == pytest.approx(
+            envelope.messages_slack * bounds.thm310_messages(n, ell)
+        )
+        assert envelope.round_limit(n, {"ell": ell}) == pytest.approx(
+            envelope.rounds_slack * ell
+        )
+        # Explicit slack overrides the calibrated constant.
+        assert envelope.message_limit(n, {"ell": ell}, slack=1.0) == pytest.approx(
+            bounds.thm310_messages(n, ell)
+        )
+
+    def test_small_id_envelope_is_exact(self):
+        envelope = get_envelope("small_id")
+        assert envelope.messages_slack == 1.0
+        assert envelope.message_limit(100, {"d": 4}) == pytest.approx(
+            bounds.thm315_messages(100, 4, 1)
+        )
+
+
+class TestCheckRecord:
+    def test_within_envelope(self):
+        result = check_record(record("las_vegas", n=64, messages=64, time=3.0))
+        assert result is not None and result.ok
+        assert result.messages_ok and result.rounds_ok
+        assert result.paper_ref == "Thm 3.16"
+
+    def test_message_blowout_flagged(self):
+        result = check_record(record("las_vegas", n=64, messages=10_000))
+        assert result is not None and not result.messages_ok
+        assert not result.ok
+        assert "FAILED" in str(result) and "OUT OF ENVELOPE" in str(result)
+
+    def test_round_blowout_flagged(self):
+        result = check_record(
+            record("improved_tradeoff", n=64, messages=10, time=50.0)
+        )
+        assert result is not None and result.messages_ok and not result.rounds_ok
+
+    def test_tiny_slack_override_flags_everything(self):
+        healthy = record("las_vegas", n=64, messages=64, time=3.0)
+        assert check_record(healthy).ok
+        assert not check_record(healthy, slack=0.01).ok
+
+    def test_algorithm_from_extra_or_argument(self):
+        anonymous = record("las_vegas", n=64, messages=64, time=3.0)
+        anonymous.extra.pop("algorithm")
+        assert check_record(anonymous) is None
+        assert check_record(anonymous, algorithm="las_vegas") is not None
+
+    def test_summarize(self):
+        results = [
+            check_record(record("las_vegas", n=64, messages=64, time=3.0)),
+            check_record(record("las_vegas", n=64, messages=99_999)),
+            None,  # unregistered algorithm: skipped, not counted
+        ]
+        summary = summarize(results)
+        assert summary.total == 2 and summary.conforming == 1
+        assert summary.rate == 0.5 and not summary.ok
+        assert len(summary.failures) == 1
+        assert summarize([]).rate == 1.0 and summarize([]).ok
+
+
+class TestPinningSweep:
+    """The calibration pin: fault-free runs of all six sync algorithms
+    stay inside their envelopes at the shipped slack constants."""
+
+    def test_smoke_sweep_fully_conforms(self):
+        specs = [
+            RunSpec(
+                algorithm=name,
+                n=n,
+                seeds=(0, 1),
+                params={"d": 4} if name == "small_id" else {},
+            )
+            for name in SYNC_SIX
+            for n in (16, 32)
+        ]
+        monitor = SweepMonitor()
+        records = sweep(specs, monitor=monitor)
+        assert len(records) == len(specs) * 2
+        assert monitor.violations == []
+        assert monitor.conformance.total == len(records)
+        assert monitor.conformance.ok and monitor.conformance.rate == 1.0
+        assert monitor.ok
+        # The sweep stamped every record with its algorithm name.
+        assert all("algorithm" in r.extra for r in records)

@@ -1,0 +1,99 @@
+"""Monitoring the vectorized engine: aggregate checks + sampled-lane replay.
+
+The fast engine has no recorder seam, so :func:`monitor_fast_lane` runs
+the sampled lane on both engines and fans the object twin's event stream
+into a live :class:`MonitorSuite`.  The acceptance bar here is
+bit-exactness: the violations found by monitoring the lane live must
+equal a post-hoc replay of the recorded events — same dicts, same order.
+:func:`check_fast_telemetry` covers the cheap aggregate-only path.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.monitor import MonitorSuite, check_fast_telemetry, monitor_fast_lane
+from repro.telemetry import FastTelemetry
+
+
+class TestMonitorFastLane:
+    @pytest.mark.parametrize("name", ["improved_tradeoff", "las_vegas"])
+    def test_clean_lane_no_violations(self, name):
+        lane, suite = monitor_fast_lane(16, name, seed=3)
+        assert lane.matches  # the engines agreed on every aggregate
+        assert suite.ok
+        assert lane.sync_result.unique_leader
+
+    def test_live_equals_replay_bit_exact(self):
+        context = {"engine": "fast", "algorithm": "improved_tradeoff"}
+        live = MonitorSuite(n=32, context=context)
+        lane, suite = monitor_fast_lane(
+            32, "improved_tradeoff", seed=7, suite=live
+        )
+        assert suite is live
+
+        replayed = MonitorSuite(n=32, context=context)
+        replayed.replay(lane.events).finish(lane.sync_result)
+
+        assert [v.to_dict() for v in live.violations] == [
+            v.to_dict() for v in replayed.violations
+        ]
+        # The lane stream is real: wakes, sends and decides all present.
+        kinds = {e.kind for e in lane.events}
+        assert {"wake", "send", "decide"} <= kinds
+
+    def test_batched_lane_selection(self):
+        lane, suite = monitor_fast_lane(
+            16, "improved_tradeoff", seeds=[4, 5, 6], lane=1
+        )
+        assert lane.lane == 1
+        assert suite.ok
+        assert suite.context["seed"] == 5
+
+    def test_bound_violation_reported(self):
+        # improved_tradeoff at ell=3 runs 3 rounds; a bound of 0.5 is
+        # impossible to satisfy, so termination_bound must fire.
+        _, suite = monitor_fast_lane(16, "improved_tradeoff", seed=0, bound=0.5)
+        assert any(v.monitor == "termination_bound" for v in suite.violations)
+
+
+class TestCheckFastTelemetry:
+    def test_clean_telemetry_via_real_run(self):
+        lane, _ = monitor_fast_lane(16, "las_vegas", seed=2)
+        violations = check_fast_telemetry(lane.telemetry)
+        assert violations == []
+
+    def test_two_leaders_in_tally(self):
+        telemetry = FastTelemetry()
+        telemetry.on_send(0, 1, "probe", 12)
+        telemetry.on_decide(0, 2, [3, 9])
+        violations = check_fast_telemetry(telemetry)
+        assert [v.monitor for v in violations] == ["unique_leader_per_epoch"]
+        assert "2 leaders" in violations[0].message
+        assert violations[0].context["engine"] == "fast"
+
+    def test_no_decision(self):
+        telemetry = FastTelemetry()
+        telemetry.on_send(0, 1, "probe", 4)
+        violations = check_fast_telemetry(telemetry)
+        assert [v.monitor for v in violations] == ["termination_bound"]
+        assert "without any decision" in violations[0].message
+
+    def test_bound_breaches(self):
+        telemetry = FastTelemetry()
+        telemetry.on_send(0, 1, "probe", 4)
+        telemetry.on_send(0, 7, "late", 1)
+        telemetry.on_decide(0, 7, [3])
+        violations = check_fast_telemetry(telemetry, bound=2.0)
+        monitors = [v.monitor for v in violations]
+        assert monitors == ["termination_bound", "termination_bound"]
+        assert "decision at round 7" in violations[0].message
+        assert "sends at round 7" in violations[1].message
+
+    def test_lane_isolation(self):
+        telemetry = FastTelemetry()
+        telemetry.on_decide(0, 2, [3])
+        telemetry.on_decide(1, 2, [3, 4])
+        assert check_fast_telemetry(telemetry, lane=0) == []
+        bad = check_fast_telemetry(telemetry, lane=1)
+        assert bad and bad[0].context["lane"] == 1

@@ -1,0 +1,134 @@
+"""Live sweep progress: scheduler events, cost-weighted ETA, crash immunity.
+
+The scheduler drives any :class:`ProgressListener`; ``SweepProgress``
+accumulates the events (asserted here) and optionally renders a live
+line (asserted on a fake TTY stream).  A listener that throws must never
+kill the sweep.
+"""
+
+import io
+
+from repro.monitor import ProgressListener, SweepProgress
+from repro.sweep import RunSpec, sweep
+from repro.sweep.scheduler import SweepCell, run_cells
+
+
+def cell_fn(payload):
+    return payload * 10, {}
+
+
+def cells(costs):
+    return [
+        SweepCell(index=i, cost=cost, payload=i) for i, cost in enumerate(costs)
+    ]
+
+
+class TestSchedulerEvents:
+    def test_inline_run_emits_full_event_stream(self):
+        progress = SweepProgress(live=False)
+        values = run_cells(cells([4.0, 2.0, 1.0]), cell_fn, progress=progress)
+        assert values == [0, 10, 20]
+        kinds = [e.kind for e in progress.events]
+        assert kinds[0] == "start" and kinds[-1] == "finish"
+        assert kinds.count("cell_start") == 3
+        assert kinds.count("cell_finish") == 3
+        start = progress.events[0]
+        assert start.cost == 7.0 and start.slot == 1  # total cost, workers
+        assert progress.completed_cells == 3
+        assert progress.completed_cost == 7.0
+        assert progress.cost_fraction == 1.0
+
+    def test_pooled_run_emits_per_cell_events(self):
+        progress = SweepProgress(live=False)
+        run_cells(cells([1.0] * 4), cell_fn, workers=2, progress=progress)
+        finishes = [e for e in progress.events if e.kind == "cell_finish"]
+        assert sorted(e.index for e in finishes) == [0, 1, 2, 3]
+        assert all(e.slot is not None for e in finishes)
+
+    def test_eta_appears_after_first_finish(self):
+        progress = SweepProgress(live=False)
+        run_cells(cells([1.0, 1.0]), cell_fn, progress=progress)
+        finishes = [e for e in progress.events if e.kind == "cell_finish"]
+        assert finishes[0].eta is not None and finishes[0].eta >= 0.0
+        # All cost done: nothing remains.
+        assert progress.eta == 0.0
+
+    def test_broken_listener_never_kills_the_sweep(self):
+        class Bomb(ProgressListener):
+            def cell_finish(self, cell, wall, slot):
+                raise RuntimeError("progress bars must be harmless")
+
+        values = run_cells(cells([1.0, 1.0]), cell_fn, progress=Bomb())
+        assert values == [0, 10]
+
+    def test_partial_listener_is_enough(self):
+        # Duck-typed listeners with a subset of the hooks are fine.
+        seen = []
+
+        class Finishes:
+            def cell_finish(self, cell, wall, slot):
+                seen.append(cell.index)
+
+        run_cells(cells([1.0, 1.0]), cell_fn, progress=Finishes())
+        assert sorted(seen) == [0, 1]
+
+
+class TestSweepIntegration:
+    def test_sweep_drives_progress_per_shard(self):
+        progress = SweepProgress(live=False)
+        records = sweep(
+            [RunSpec(algorithm="las_vegas", n=16, seeds=(0, 1, 2))],
+            progress=progress,
+        )
+        assert len(records) == 3
+        # One cell per shard; every shard start/finish observed.
+        starts = [e for e in progress.events if e.kind == "cell_start"]
+        finishes = [e for e in progress.events if e.kind == "cell_finish"]
+        assert len(starts) == len(finishes) == progress.total_cells
+        assert progress.cost_fraction == 1.0
+
+
+class TestRendering:
+    def make_tty(self):
+        stream = io.StringIO()
+        stream.isatty = lambda: True
+        return stream
+
+    def test_live_auto_detects_tty(self):
+        assert SweepProgress(stream=self.make_tty()).live
+        assert not SweepProgress(stream=io.StringIO()).live
+
+    def test_live_line_overwrites_and_finishes(self):
+        stream = self.make_tty()
+        progress = SweepProgress(stream=stream, live=True)
+        run_cells(cells([1.0, 1.0]), cell_fn, progress=progress)
+        out = stream.getvalue()
+        assert "\r" in out
+        assert "cells" in out
+        assert out.endswith("\n")
+        assert "done" in out.splitlines()[-1]
+
+    def test_silent_mode_writes_nothing(self):
+        stream = self.make_tty()
+        progress = SweepProgress(stream=stream, live=False)
+        run_cells(cells([1.0]), cell_fn, progress=progress)
+        assert stream.getvalue() == ""
+
+    def test_render_line_states(self):
+        progress = SweepProgress(live=False)
+        assert "eta --" in progress.render_line()
+        progress.start(4, 8.0, 2)
+        progress.cell_finish(SweepCell(index=0, cost=2.0, payload=0), 0.1, 0)
+        line = progress.render_line()
+        assert "1/4 cells" in line
+        assert "25.0% cost" in line
+        assert "workers=2" in line
+        assert "eta" in line
+        assert "done" in progress.render_line(final=True)
+
+    def test_utilization_bounded(self):
+        progress = SweepProgress(live=False)
+        progress.start(1, 1.0, 1)
+        # Claim absurd busy time: utilization still capped at 1.
+        progress.cell_finish(SweepCell(index=0, cost=1.0, payload=0), 1e6, 0)
+        assert progress.utilization == 1.0
