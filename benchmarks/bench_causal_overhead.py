@@ -1,0 +1,245 @@
+"""Observability overhead guard — spooling must stay near-free.
+
+PR 9's observability plane rides along with every sharded sweep: each
+cell appends one JSON snapshot to a per-worker spool file, and the
+collector (:func:`repro.obs.collect`) rebuilds the merged metrics from
+the shards alone.  The durable side channel is only worth having if it
+costs (almost) nothing, so this bench pins three budgets on a mixed
+object-engine grid (the PR 7 parallel-sweep shape, sized so the sync
+cells dominate and the per-cell file append is the only delta):
+
+* **spool budget** (full mode): the spooled arm
+  (``sweep(grid, spool_dir=...)``) stays within **15%** wall time of
+  the identical unspooled sweep — one ``open``/``write`` per cell;
+* **collector fidelity** (every mode, seed-deterministic, CI-gated):
+  the report rebuilt from the spool shards alone must match the live
+  parent registry *bit exactly* — record and message counters — so the
+  regression gate fails on any skew (``spool/drift`` pins to 0);
+* **causal shape** (every mode, seed-deterministic, CI-gated): the
+  happens-before graph of the reference ``improved_tradeoff`` trace
+  keeps its event/edge counts, maximum Lamport clock and critical-path
+  round length — the exact-mode invariant ``round_length ==
+  decide_round`` is asserted outright.
+
+Wall-clock ratios are machine-dependent and go in the ungated ``info``
+section; the gated ``metrics`` carry the drift count (always 0) plus
+the workload's record/message totals and the causal-graph shape.
+
+Run standalone::
+
+    python benchmarks/bench_causal_overhead.py            # full grid
+    python benchmarks/bench_causal_overhead.py --smoke    # CI-sized
+    python benchmarks/bench_causal_overhead.py --smoke --json \
+        bench-artifacts/BENCH_causal_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from _harness import bench_once, emit, emit_json
+
+#: Full-mode wall-clock budget: spooled sweep vs identical unspooled one.
+MAX_SPOOL_RATIO = 1.15
+
+#: Interleaved timing repetitions per arm (median is reported).
+FULL_REPS = 3
+SMOKE_REPS = 1
+
+
+def full_grid():
+    from repro.analysis import RunSpec
+
+    return [
+        RunSpec(algorithm="improved_tradeoff", n=256, seeds=tuple(range(6)),
+                params={"ell": 3}),
+        RunSpec(algorithm="afek_gafni", n=256, seeds=tuple(range(4))),
+        RunSpec(algorithm="las_vegas", n=128, seeds=tuple(range(4))),
+    ]
+
+
+def smoke_grid():
+    from repro.analysis import RunSpec
+
+    return [
+        RunSpec(algorithm="improved_tradeoff", n=64, seeds=(0, 1),
+                params={"ell": 3}),
+        RunSpec(algorithm="afek_gafni", n=64, seeds=(0, 1)),
+        RunSpec(algorithm="las_vegas", n=32, seeds=(0,)),
+    ]
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def run_comparison(grid, *, workers: int, reps: int):
+    """Unspooled vs spooled execution of one grid, plus causal shape."""
+    from repro.analysis import Table, sweep
+    from repro.obs import collect
+    from repro.telemetry.metrics import MetricsRegistry
+
+    off_times, on_times = [], []
+    off_registry = None
+    report = None
+    reports = []
+    with tempfile.TemporaryDirectory(prefix="bench-causal-") as tmp:
+        # Interleave the arms so drift in machine load hits both.
+        for rep in range(reps):
+            off_registry = MetricsRegistry()
+            t0 = time.perf_counter()
+            sweep(grid, workers=workers, registry=off_registry)
+            off_times.append(time.perf_counter() - t0)
+
+            spool = os.path.join(tmp, f"spool-{rep}")
+            t0 = time.perf_counter()
+            sweep(grid, workers=workers, spool_dir=spool)
+            on_times.append(time.perf_counter() - t0)
+            report = collect(spool)
+            reports.append(report.canonical_bytes())
+
+    # Collector fidelity: the spool shards alone reproduce the live
+    # parent's counters, and the canonical report is rep-stable.
+    live = off_registry.as_dict()["counters"]
+    canonical = report.canonical()["counters"]
+    drift = abs(canonical.get("sweep.records", 0) - live.get("sweep.records", 0))
+    drift += abs(
+        canonical.get("sweep.messages", 0) - live.get("sweep.messages", 0)
+    )
+    drift += sum(blob != reports[0] for blob in reports[1:])
+
+    off_s, on_s = _median(off_times), _median(on_times)
+    ratio = on_s / off_s if off_s > 0 else float("inf")
+    table = Table(
+        ["arm", "wall s", "ratio", "cells", "records", "messages", "drift"],
+        title=f"Spooling overhead, {workers} workers over {len(grid)} specs",
+    )
+    table.add_row("unspooled", f"{off_s:.3f}", "1.00x", report.cells,
+                  live.get("sweep.records", 0), live.get("sweep.messages", 0),
+                  "-")
+    table.add_row("spooled", f"{on_s:.3f}", f"{ratio:.2f}x", report.cells,
+                  report.records, report.messages, drift)
+    result = {
+        "off_s": off_s,
+        "on_s": on_s,
+        "ratio": ratio,
+        "drift": drift,
+        "records": report.records,
+        "messages": report.messages,
+        "workers": workers,
+    }
+    return table, result
+
+
+def run_causal(n: int):
+    """Graph the reference trace; its shape is seed-deterministic."""
+    from repro.analysis import RunSpec, execute_spec
+    from repro.telemetry import build_graph, critical_path, load_trace
+
+    with tempfile.TemporaryDirectory(prefix="bench-causal-") as tmp:
+        out = os.path.join(tmp, "trace.jsonl")
+        execute_spec(
+            RunSpec(algorithm="improved_tradeoff", n=n, seeds=(0,),
+                    params={"ell": 3}, trace=out)
+        )
+        trace = load_trace(out)
+    t0 = time.perf_counter()
+    graph = build_graph(trace)
+    path = critical_path(trace, graph)
+    build_s = time.perf_counter() - t0
+    assert path.round_length == path.decide_round, (
+        "exact-mode critical path must span exactly the decide rounds",
+        path.round_length, path.decide_round,
+    )
+    return {
+        "n": n,
+        "events": len(trace.events),
+        "message_edges": len(graph.message_edges),
+        "max_clock": max(graph.clocks),
+        "round_length": path.round_length,
+        "build_s": build_s,
+    }
+
+
+def check(result, *, require_budget: bool) -> None:
+    assert result["drift"] == 0, (
+        "spool-collected counters drifted from the live registry",
+        result["drift"],
+    )
+    if require_budget:
+        assert result["ratio"] <= MAX_SPOOL_RATIO, (
+            f"spooled sweep must stay within {MAX_SPOOL_RATIO:.2f}x of the "
+            f"unspooled arm; measured {result['ratio']:.2f}x "
+            f"({result['on_s']:.2f}s vs {result['off_s']:.2f}s)"
+        )
+
+
+def metrics_from(result, causal):
+    metrics = {
+        "sweep/records": result["records"],
+        "sweep/messages": result["messages"],
+        "spool/drift": result["drift"],
+        f"causal/n={causal['n']}/events": causal["events"],
+        f"causal/n={causal['n']}/message_edges": causal["message_edges"],
+        f"causal/n={causal['n']}/max_clock": causal["max_clock"],
+        f"causal/n={causal['n']}/round_length": causal["round_length"],
+    }
+    info = {
+        "wall_s": {"unspooled": result["off_s"], "spooled": result["on_s"]},
+        "spool_ratio": result["ratio"],
+        "graph_build_s": causal["build_s"],
+        "workers": result["workers"],
+        "cpu_count": os.cpu_count(),
+    }
+    return metrics, info
+
+
+def test_bench_causal_overhead(benchmark):
+    table, result = bench_once(
+        benchmark,
+        lambda: run_comparison(smoke_grid(), workers=2, reps=SMOKE_REPS),
+    )
+    emit("causal_overhead", table.render())
+    check(result, require_budget=False)
+    causal = run_causal(64)
+    assert causal["round_length"] >= 1
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized grid")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for both arms (default: 2)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a BENCH_*.json trajectory artifact")
+    args = parser.parse_args(argv)
+    grid = smoke_grid() if args.smoke else full_grid()
+    reps = SMOKE_REPS if args.smoke else FULL_REPS
+    table, result = run_comparison(grid, workers=args.workers, reps=reps)
+    print(table.render())
+    causal = run_causal(64 if args.smoke else 256)
+    print(
+        f"causal n={causal['n']}: {causal['events']} events, "
+        f"{causal['message_edges']} message edges, max clock "
+        f"{causal['max_clock']}, critical path {causal['round_length']} "
+        f"rounds (graph built in {causal['build_s'] * 1e3:.1f}ms)"
+    )
+    # The spool budget is asserted on the full grid only — smoke cells
+    # are too brief for the ratio to mean anything on shared CI boxes.
+    check(result, require_budget=not args.smoke)
+    if args.json:
+        metrics, info = metrics_from(result, causal)
+        emit_json(args.json, "causal_overhead", metrics, smoke=args.smoke,
+                  info=info)
+    print(f"OK: spool drift 0 at workers={result['workers']}; "
+          f"measured spool ratio {result['ratio']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

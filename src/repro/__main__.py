@@ -38,15 +38,19 @@ Commands
     crash schedules; ``sweep`` traces the honest-vs-Byzantine overhead
     curve of EXPERIMENTS.md S3.
 
-``trace {record,inspect,stats,diff}``
+``trace {record,inspect,stats,diff,causal}``
     The telemetry subsystem's CLI: record single runs to schema-versioned
     JSONL (object engines stream per-message events, the fast engine
     writes per-round aggregates), filter and pretty-print a trace
-    (``--timeline`` renders an ASCII per-node grid), summarize one, or
-    diff two traces — the diff localizes the first round whose send
-    totals differ, the tool of choice for pinning down a cross-engine
-    divergence.  ``run``, ``scenarios run`` and ``adversary run`` also
-    accept ``--trace PATH`` to record while they execute.
+    (``--timeline`` renders an ASCII per-node grid, ``--lane`` selects
+    one lane of a batched fast trace), summarize one, or diff two
+    traces — the diff localizes the first round whose send totals
+    differ, the tool of choice for pinning down a cross-engine
+    divergence.  ``causal`` runs the happens-before analysis: Lamport
+    clocks, the causal DAG and the critical path to the decide event,
+    with per-kind message attribution.  ``run``, ``scenarios run`` and
+    ``adversary run`` also accept ``--trace PATH`` to record while they
+    execute.
 
 ``monitor check``
     The runtime-verification CLI: sweep a spec grid (``--algorithms``,
@@ -59,10 +63,25 @@ Commands
 
 ``history`` / ``compare REF``
     The run-ledger CLI: ``history`` lists past monitored sweeps
-    (newest last); ``compare`` diffs two entries — by index, negative
-    index, label, git-SHA or spec-hash prefix — and exits 1 when
-    per-algorithm message means regress beyond ``--slack`` or new
+    (newest last); ``history prune --keep N`` bounds the ledger to its
+    newest N entries; ``compare`` diffs two entries — by index,
+    negative index, label, git-SHA or spec-hash prefix — and exits 1
+    when per-algorithm message means regress beyond ``--slack`` or new
     violation kinds appear.
+
+``top``
+    The observability-plane dashboard: run a monitored spec grid with
+    the live multi-line TTY display (overall ETA, one row per worker
+    slot, post-hoc violation/conformance counts) while workers spool
+    per-cell telemetry snapshots; prints the deterministic collected
+    sweep report afterwards.  Degrades to the one-line progress display
+    off a TTY.
+
+``report --html``
+    ``report`` regenerates the paper's Table 1; with ``--html OUT.html``
+    it instead writes a self-contained static campaign report (run
+    ledger, messages-vs-rounds tradeoff scatter against the theorem
+    envelopes, BENCH_*.json baselines, top-k critical paths).
 
 Examples
 --------
@@ -96,12 +115,18 @@ Examples
     python -m repro scenarios run flapping_leader --n 8 --trace scenario.jsonl
     python -m repro trace record improved_tradeoff --n 256 --engine fast -o fast.jsonl
     python -m repro trace inspect run.jsonl --kind decide --timeline
+    python -m repro trace inspect batched.jsonl --lane 1 --timeline
     python -m repro trace stats fast.jsonl
     python -m repro trace diff run.jsonl fast.jsonl
     python -m repro trace diff run.jsonl fast.jsonl --json -
+    python -m repro trace causal run.jsonl
+    python -m repro trace causal run.jsonl --json -
     python -m repro monitor check --ns 32 64 --seeds 0 1 2 --progress
     python -m repro monitor check --algorithms las_vegas --ns 256 --ledger .repro/ledger.jsonl --label nightly
+    python -m repro top --ns 32 64 --seeds 0 1 --workers 4
+    python -m repro report --html report.html --traces run.jsonl
     python -m repro history --limit 5
+    python -m repro history prune --keep 50
     python -m repro compare -2 --to -1
     python -m repro compare nightly --slack 0.05
 """
@@ -202,10 +227,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.batch < 1:
             raise SystemExit(f"error: --batch must be >= 1, got {args.batch}")
     if args.trace is not None:
-        if len(args.seeds) != 1:
-            raise SystemExit("error: --trace records one run; pass exactly one seed")
         if args.batch is not None:
-            raise SystemExit("error: --trace and --batch are mutually exclusive")
+            # One batched engine run traces all its lanes (lane-annotated
+            # JSONL); more than one chunk would overwrite the file.
+            if len(args.seeds) > args.batch:
+                raise SystemExit(
+                    "error: --trace with --batch records one batched engine "
+                    "run; pass at most --batch seeds"
+                )
+        elif len(args.seeds) != 1:
+            raise SystemExit("error: --trace records one run; pass exactly one seed")
     params = dict(kv.split("=", 1) for kv in args.param)
     params = {k: _parse_param(v) for k, v in params.items()}
     trace_recorder = None
@@ -213,10 +244,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace is not None:
         if engine == "fast":
             # No per-message objects in the vectorized engine: the trace
-            # carries its per-round aggregate counters instead.
-            from repro.telemetry import FastTelemetry
+            # carries its per-round aggregate counters instead.  Batched
+            # runs route the export through RunSpec.trace so every lane
+            # lands in the file (lane-annotated).
+            if args.batch is None:
+                from repro.telemetry import FastTelemetry
 
-            telemetry = FastTelemetry()
+                telemetry = FastTelemetry()
         else:
             from repro.telemetry import JsonlRecorder, RunContext
 
@@ -264,6 +298,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                         params=params,
                         ids=ids,
                         roots=roots,
+                        trace=args.trace,
                     )
                 )
             )
@@ -339,6 +374,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             ),
         )
         print(f"trace: wrote {written} aggregate events to {args.trace}")
+    elif args.trace is not None and records:
+        receipt = records[0].extra.get("trace") or {}
+        print(
+            f"trace: wrote {receipt.get('events', 0)} aggregate events to "
+            f"{args.trace}"
+        )
     failures = 0
     for record in records:
         failures += not record.unique_leader
@@ -386,6 +427,18 @@ def cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.html:
+        from repro.obs import write_campaign_report
+
+        path = write_campaign_report(
+            args.html,
+            ledger_path=args.ledger,
+            bench_dirs=tuple(args.bench_dir or ("benchmarks/baselines",)),
+            traces=tuple(args.traces or ()),
+            top_k=args.top_k,
+        )
+        print(f"wrote {path}")
+        return 0
     from repro.analysis.report import table1_report
 
     print(table1_report(n=args.n, seeds=args.seeds).render())
@@ -1094,12 +1147,24 @@ def _trace_banner(path: str, trace) -> str:
 
 
 def cmd_trace_inspect(args: argparse.Namespace) -> int:
-    from repro.telemetry import render_timeline
+    from repro.telemetry import filter_lane, render_timeline, trace_lanes
 
     trace = _load_trace_or_fail(args.path)
     if trace is None:
         return 2
     print(_trace_banner(args.path, trace))
+    full_trace = trace
+    if args.lane is not None:
+        lanes = trace_lanes(trace)
+        if args.lane not in (lanes or [0]):
+            print(
+                f"error: lane {args.lane} not in this trace (lanes: {lanes})",
+                file=sys.stderr,
+            )
+            return 2
+        trace = filter_lane(trace, args.lane)
+        if lanes:
+            print(f"lane {args.lane} of lanes {lanes}")
     selected = list(zip(trace.events, trace.annotations))
     if args.kind:
         selected = [(e, a) for e, a in selected if e.kind in args.kind]
@@ -1116,7 +1181,7 @@ def cmd_trace_inspect(args: argparse.Namespace) -> int:
     print(f"{len(selected)} of {len(trace.events)} events matched")
     if args.timeline:
         print()
-        print(render_timeline(trace))
+        print(render_timeline(full_trace, lane=args.lane))
     return 0
 
 
@@ -1178,6 +1243,39 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
             },
         )
     return 0 if diff.identical else 1
+
+
+def cmd_trace_causal(args: argparse.Namespace) -> int:
+    from repro.telemetry import build_graph, critical_path, explain
+
+    trace = _load_trace_or_fail(args.path)
+    if trace is None:
+        return 2
+    graph = build_graph(trace)
+    path = critical_path(trace, graph)
+    print(explain(trace, graph=graph))
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "context": trace.context,
+                "events": len(trace.events),
+                "message_edges": len(graph.message_edges),
+                "max_clock": max(graph.clocks, default=0),
+                "critical_path": {
+                    "hops": [hop.label() for hop in path.hops],
+                    "via": [hop.via for hop in path.hops],
+                    "span": path.span,
+                    "round_length": path.round_length,
+                    "decide_round": path.decide_round,
+                    "message_hops": path.message_hops,
+                    "messages_by_kind": dict(path.messages_by_kind),
+                    "messages_by_act": dict(path.messages_by_act),
+                    "clock": path.clock,
+                },
+            },
+        )
+    return 0
 
 
 #: Fault-free ``monitor check`` defaults: every sync algorithm with a
@@ -1320,6 +1418,50 @@ def cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_history_prune(args: argparse.Namespace) -> int:
+    from repro.monitor import DEFAULT_LEDGER_PATH, prune_ledger
+
+    path = args.ledger or DEFAULT_LEDGER_PATH
+    try:
+        result = prune_ledger(path, keep=args.keep)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"pruned {path}: kept {result['kept']}, dropped {result['dropped']}"
+    )
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.analysis import sweep
+    from repro.monitor import SweepMonitor
+    from repro.obs import SweepTop, collect, new_spool_dir
+
+    try:
+        specs = _monitor_specs(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor = SweepMonitor(
+        slack=args.slack,
+        ledger=args.ledger,
+        label=args.label,
+        context={"cli": "top", "ns": list(args.ns)},
+    )
+    spool = args.spool or new_spool_dir()
+    top = SweepTop(monitor=monitor)
+    sweep(specs, workers=args.workers, monitor=monitor, progress=top, spool_dir=spool)
+    top.finalize(monitor)
+    report = collect(spool)
+    print(report.summary())
+    print(monitor.summary())
+    print(f"spool: {spool}")
+    if monitor.ledger_path:
+        print(f"ledger: appended to {monitor.ledger_path}")
+    return 0 if monitor.ok else 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.monitor import (
         DEFAULT_LEDGER_PATH,
@@ -1449,10 +1591,35 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.set_defaults(func=cmd_faults)
 
     report_p = sub.add_parser(
-        "report", help="regenerate the paper's Table 1 with measured columns"
+        "report",
+        help="regenerate the paper's Table 1, or (--html) write a static "
+        "campaign report",
     )
     report_p.add_argument("--n", type=int, default=512)
     report_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    report_p.add_argument(
+        "--html", default=None, metavar="OUT.html",
+        help="write a self-contained HTML campaign report (ledger history, "
+        "tradeoff-vs-envelope scatter, bench baselines, critical paths) "
+        "instead of Table 1",
+    )
+    report_p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger feeding the HTML report (default: .repro/ledger.jsonl)",
+    )
+    report_p.add_argument(
+        "--bench-dir", action="append", default=None, metavar="DIR",
+        help="directory of BENCH_*.json artifacts (repeatable; default: "
+        "benchmarks/baselines)",
+    )
+    report_p.add_argument(
+        "--traces", nargs="+", default=None, metavar="PATH",
+        help="JSONL traces to rank by critical path in the HTML report",
+    )
+    report_p.add_argument(
+        "--top-k", type=int, default=5,
+        help="critical paths to include (default 5)",
+    )
     report_p.set_defaults(func=cmd_report)
 
     from repro.scenarios import NAMED_SCENARIOS
@@ -1660,6 +1827,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true",
         help="append an ASCII per-node timeline (rows=nodes, columns=rounds)",
     )
+    ins_p.add_argument(
+        "--lane", type=int, default=None,
+        help="batched fast traces: only this batch lane (see 'run --batch')",
+    )
     ins_p.set_defaults(func=cmd_trace_inspect)
 
     stats_p = trace_sub.add_parser("stats", help="summary statistics of one trace")
@@ -1680,6 +1851,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the diff as JSON ('-' prints to stdout)",
     )
     diff_p.set_defaults(func=cmd_trace_diff)
+
+    causal_p = trace_sub.add_parser(
+        "causal",
+        help="happens-before analysis: Lamport clocks and the critical "
+        "path to the decide event",
+    )
+    causal_p.add_argument("path", help="trace file")
+    causal_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the analysis as JSON ('-' prints to stdout)",
+    )
+    causal_p.set_defaults(func=cmd_trace_causal)
 
     mon_p = sub.add_parser(
         "monitor",
@@ -1733,8 +1916,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.set_defaults(func=cmd_monitor_check)
 
+    top_p = sub.add_parser(
+        "top",
+        help="live per-worker dashboard over a monitored sweep with "
+        "telemetry spooling",
+    )
+    top_p.add_argument(
+        "--algorithms", nargs="+", default=list(_MONITOR_DEFAULT_ALGORITHMS),
+        choices=sorted(ALGORITHMS), metavar="NAME",
+        help="algorithms to sweep (default: every sync algorithm with a "
+        "registered theory envelope)",
+    )
+    top_p.add_argument("--ns", type=int, nargs="+", default=[32, 64])
+    top_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    top_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm parameter applied to every algorithm (repeatable)",
+    )
+    top_p.add_argument(
+        "--slack", type=float, default=None,
+        help="override every envelope's slack constant",
+    )
+    top_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the sweep over N worker processes (one dashboard row "
+        "per worker slot)",
+    )
+    top_p.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="telemetry spool directory (default: a fresh "
+        ".repro/obs/<sweep-id>/)",
+    )
+    top_p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append the sweep to this run ledger (see 'repro history')",
+    )
+    top_p.add_argument(
+        "--label", default=None, help="free-form label for the ledger entry"
+    )
+    top_p.set_defaults(func=cmd_top)
+
     hist_p = sub.add_parser(
-        "history", help="list the persistent run ledger (.repro/ledger.jsonl)"
+        "history",
+        help="list or prune the persistent run ledger (.repro/ledger.jsonl)",
     )
     hist_p.add_argument(
         "--ledger", default=None, metavar="PATH",
@@ -1748,6 +1972,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the shown entries as JSON ('-' prints to stdout)",
     )
     hist_p.set_defaults(func=cmd_history)
+    hist_sub = hist_p.add_subparsers(dest="history_command", required=False)
+    prune_p = hist_sub.add_parser(
+        "prune", help="keep only the newest N entries of the ledger"
+    )
+    prune_p.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="entries to keep (0 empties the ledger)",
+    )
+    prune_p.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger file (default: .repro/ledger.jsonl)",
+    )
+    prune_p.set_defaults(func=cmd_history_prune)
 
     cmp_p = sub.add_parser(
         "compare",

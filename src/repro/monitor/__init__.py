@@ -49,6 +49,7 @@ from repro.monitor.ledger import (
     compare_entries,
     git_sha,
     make_entry,
+    prune_ledger,
     read_ledger,
     resolve_ref,
     spec_hash,
@@ -93,6 +94,7 @@ __all__ = [
     "git_sha",
     "make_entry",
     "append_entry",
+    "prune_ledger",
     "read_ledger",
     "resolve_ref",
     "compare_entries",

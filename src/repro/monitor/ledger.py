@@ -31,6 +31,7 @@ __all__ = [
     "make_entry",
     "append_entry",
     "read_ledger",
+    "prune_ledger",
     "resolve_ref",
     "compare_entries",
     "LedgerDiff",
@@ -173,6 +174,30 @@ def read_ledger(path: str = DEFAULT_LEDGER_PATH) -> List[Dict[str, Any]]:
             if isinstance(entry, dict):
                 entries.append(entry)
     return entries
+
+
+def prune_ledger(path: str = DEFAULT_LEDGER_PATH, *, keep: int) -> Dict[str, int]:
+    """Keep only the newest ``keep`` entries; returns kept/dropped counts.
+
+    The ledger is append-only by design, so unbounded campaigns grow it
+    without limit; pruning rewrites the file with the most recent
+    ``keep`` parseable entries (unparseable lines are dropped too — they
+    were already invisible to every reader).  The rewrite goes through a
+    temp file and an atomic replace, so a crash mid-prune never leaves a
+    truncated ledger.
+    """
+    if keep < 0:
+        raise ValueError("keep must be >= 0")
+    entries = read_ledger(path)
+    kept = entries[-keep:] if keep else []
+    if not os.path.exists(path):
+        return {"kept": 0, "dropped": 0}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        for entry in kept:
+            fh.write(json.dumps(entry, default=str) + "\n")
+    os.replace(tmp, path)
+    return {"kept": len(kept), "dropped": len(entries) - len(kept)}
 
 
 def resolve_ref(entries: Sequence[Dict[str, Any]], ref: str) -> Dict[str, Any]:

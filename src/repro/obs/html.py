@@ -1,0 +1,516 @@
+"""``repro report --html``: a self-contained static campaign report.
+
+One HTML file, zero dependencies and zero network fetches (inline CSS +
+inline SVG only), covering the observability plane's whole story:
+
+* the persistent run ledger as a history table plus stat tiles;
+* the messages-vs-rounds tradeoff scatter — the paper's central object —
+  with every ledger entry's per-algorithm means plotted against the
+  theorem envelopes from the conformance registry;
+* the checked-in ``BENCH_*.json`` trajectory (per-bench deterministic
+  metrics, one column per artifact directory);
+* the top-k critical-path explanations of any traces handed in
+  (:func:`repro.telemetry.causal.explain` verbatim, ranked by span).
+
+Charts follow the house dataviz rules: categorical hues in fixed order,
+one axis per chart, hairline grid, thin marks with surface rings, text
+in ink tokens (never the series color), a table view next to every
+chart, native ``<title>`` tooltips on the marks, and a dark mode that is
+its own stepped palette rather than an automatic flip.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["write_campaign_report", "build_campaign_report"]
+
+#: Categorical series palette (fixed order, light/dark stepped pairs).
+_SERIES = [
+    ("#2a78d6", "#3987e5"),   # blue
+    ("#eb6834", "#d95926"),   # orange
+    ("#1baf7a", "#199e70"),   # aqua
+    ("#eda100", "#c98500"),   # yellow
+    ("#e87ba4", "#d55181"),   # magenta
+    ("#008300", "#008300"),   # green
+    ("#4a3aa7", "#9085e9"),   # violet
+    ("#e34948", "#e66767"),   # red
+]
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --good: #0ca30c; --critical: #d03b3b;
+""" + "".join(
+    f"  --series-{i + 1}: {light};\n" for i, (light, _) in enumerate(_SERIES)
+) + """}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+""" + "".join(
+    f"    --series-{i + 1}: {dark};\n" for i, (_, dark) in enumerate(_SERIES)
+) + """  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 960px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 8px; }
+.sub { color: var(--ink-2); margin: 0 0 16px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 16px 0; }
+.tile {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 12px 16px; min-width: 120px;
+}
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 24px; font-weight: 600; }
+.card {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 16px; margin: 12px 0;
+}
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left; padding: 4px 10px; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; }
+td.num, th.num { text-align: right; }
+.legend { display: flex; gap: 16px; flex-wrap: wrap; margin: 8px 0; }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.legend .swatch { width: 10px; height: 10px; border-radius: 5px; }
+pre {
+  background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 12px; overflow-x: auto; font-size: 12px;
+}
+svg text { fill: var(--ink-3); font-size: 11px; }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .envelope { stroke-width: 2; fill: none; opacity: 0.45; }
+svg .pt { stroke: var(--surface); stroke-width: 2; }
+.muted { color: var(--ink-3); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html_mod.escape(str(value))
+
+
+def _series_var(index: int) -> str:
+    return f"var(--series-{index % len(_SERIES) + 1})"
+
+
+# --------------------------------------------------------------------- #
+# ledger section
+
+
+def _fmt_when(ts: Any) -> str:
+    import datetime
+
+    if not isinstance(ts, (int, float)):
+        return "-"
+    return datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M")
+
+
+def _ledger_table(entries: Sequence[Dict[str, Any]]) -> str:
+    rows = []
+    for i, entry in enumerate(entries):
+        conformance = entry.get("conformance") or {}
+        rate = conformance.get("rate")
+        wall = entry.get("wall_time_s")
+        messages = (entry.get("messages") or {}).get("mean")
+        sha = entry.get("git_sha") or "-"
+        cells = [
+            f"<td class=num>{i}</td>",
+            f"<td>{_esc(_fmt_when(entry.get('ts')))}</td>",
+            f"<td>{_esc(sha[:8] if isinstance(sha, str) else '-')}</td>",
+            f"<td>{_esc(entry.get('label') or '-')}</td>",
+            f"<td class=num>{_esc(entry.get('runs', '-'))}</td>",
+            "<td class=num>"
+            + (f"{messages:.1f}" if isinstance(messages, (int, float)) else "-")
+            + "</td>",
+            f"<td class=num>{len(entry.get('violations') or ())}</td>",
+            "<td class=num>"
+            + (f"{rate:.1%}" if isinstance(rate, (int, float)) else "-")
+            + "</td>",
+            "<td class=num>"
+            + (f"{wall:.1f}s" if isinstance(wall, (int, float)) else "-")
+            + "</td>",
+        ]
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    head = (
+        "<tr><th class=num>#</th><th>when</th><th>git</th><th>label</th>"
+        "<th class=num>runs</th><th class=num>mean msgs</th>"
+        "<th class=num>viol</th><th class=num>conform</th>"
+        "<th class=num>wall</th></tr>"
+    )
+    return f"<table>{head}{''.join(rows)}</table>"
+
+
+def _tiles(entries: Sequence[Dict[str, Any]]) -> str:
+    runs = sum(int(e.get("runs") or 0) for e in entries)
+    violations = sum(len(e.get("violations") or ()) for e in entries)
+    latest = entries[-1] if entries else {}
+    conformance = (latest.get("conformance") or {}).get("rate")
+    tiles = [
+        ("ledger entries", str(len(entries)), None),
+        ("monitored runs", str(runs), None),
+        (
+            "violations",
+            str(violations),
+            "var(--critical)" if violations else "var(--good)",
+        ),
+        (
+            "latest conformance",
+            f"{conformance:.1%}" if isinstance(conformance, (int, float)) else "--",
+            None,
+        ),
+    ]
+    out = []
+    for label, value, color in tiles:
+        style = f' style="color:{color}"' if color else ""
+        out.append(
+            f'<div class=tile><div class=label>{_esc(label)}</div>'
+            f"<div class=value{style}>{_esc(value)}</div></div>"
+        )
+    return '<div class=tiles>' + "".join(out) + "</div>"
+
+
+# --------------------------------------------------------------------- #
+# tradeoff scatter
+
+
+def _tradeoff_points(
+    entries: Sequence[Dict[str, Any]],
+) -> List[Tuple[str, float, float, str]]:
+    """``(algorithm, rounds_mean, messages_mean, entry_label)`` points."""
+    points = []
+    for i, entry in enumerate(entries):
+        by_algo = entry.get("by_algorithm") or {}
+        messages = by_algo.get("messages") or {}
+        times = by_algo.get("time") or {}
+        label = entry.get("label") or f"entry {i}"
+        for name in sorted(messages):
+            m = (messages.get(name) or {}).get("mean")
+            t = (times.get(name) or {}).get("mean")
+            if not m or t is None:
+                continue
+            points.append((name, float(t), float(m), str(label)))
+    return points
+
+
+def _envelope_limits(
+    entries: Sequence[Dict[str, Any]], algorithms: Sequence[str]
+) -> Dict[str, Tuple[float, int, str]]:
+    """Per-algorithm ``(message_limit, n, paper_ref)`` at the largest n."""
+    try:
+        from repro.monitor.conformance import get_envelope
+    except Exception:
+        return {}
+    ns: List[int] = []
+    for entry in entries:
+        context = entry.get("context") or {}
+        for n in context.get("ns") or ():
+            try:
+                ns.append(int(n))
+            except (TypeError, ValueError):
+                pass
+    n = max(ns) if ns else 64
+    limits = {}
+    for name in algorithms:
+        envelope = get_envelope(name)
+        if envelope is None:
+            continue
+        try:
+            limits[name] = (
+                float(envelope.message_limit(n)), n, envelope.paper_ref
+            )
+        except Exception:
+            continue
+    return limits
+
+
+def _tradeoff_svg(entries: Sequence[Dict[str, Any]]) -> str:
+    points = _tradeoff_points(entries)
+    if not points:
+        return '<p class=muted>(no per-algorithm distributions in the ledger yet)</p>'
+    algorithms = sorted({p[0] for p in points})
+    limits = _envelope_limits(entries, algorithms)
+    width, height = 640, 320
+    left, right, top, bottom = 60, 16, 12, 36
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points] + [lim for lim, _, _ in limits.values()]
+    x_min, x_max = 0.0, max(xs) * 1.15 + 1e-9
+    y_lo = min(ys) / 1.5
+    y_hi = max(ys) * 1.5
+    ly_lo, ly_hi = math.log10(max(y_lo, 1.0)), math.log10(max(y_hi, 10.0))
+
+    def sx(x: float) -> float:
+        return left + (x - x_min) / (x_max - x_min) * (width - left - right)
+
+    def sy(y: float) -> float:
+        ly = math.log10(max(y, 1.0))
+        return top + (ly_hi - ly) / (ly_hi - ly_lo) * (height - top - bottom)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        'aria-label="messages versus rounds tradeoff scatter">'
+    ]
+    # log-decade gridlines + y tick labels
+    for decade in range(math.ceil(ly_lo), math.floor(ly_hi) + 1):
+        y = sy(10 ** decade)
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{y:.1f}" '
+            f'x2="{width - right}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text x="{left - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{10 ** decade:,}</text>"
+        )
+    # x ticks (integer rounds)
+    step = max(1, int(x_max // 8) or 1)
+    tick = step
+    while tick <= x_max:
+        x = sx(tick)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - bottom + 16}" '
+            f'text-anchor="middle">{tick}</text>'
+        )
+        tick += step
+    # axes
+    parts.append(
+        f'<line class="axis" x1="{left}" y1="{height - bottom}" '
+        f'x2="{width - right}" y2="{height - bottom}"/>'
+    )
+    parts.append(
+        f'<line class="axis" x1="{left}" y1="{top}" x2="{left}" '
+        f'y2="{height - bottom}"/>'
+    )
+    parts.append(
+        f'<text x="{(left + width - right) / 2:.0f}" y="{height - 4}" '
+        'text-anchor="middle">rounds to decide (mean)</text>'
+    )
+    parts.append(
+        f'<text x="12" y="{(top + height - bottom) / 2:.0f}" '
+        f'text-anchor="middle" transform="rotate(-90 12 '
+        f'{(top + height - bottom) / 2:.0f})">messages (mean, log)</text>'
+    )
+    # theorem envelopes: horizontal guide at each algorithm's message limit
+    for name, (limit, n, ref) in sorted(limits.items()):
+        index = algorithms.index(name)
+        y = sy(limit)
+        parts.append(
+            f'<line class="envelope" stroke="{_series_var(index)}" '
+            f'x1="{left}" y1="{y:.1f}" x2="{width - right}" y2="{y:.1f}">'
+            f"<title>{_esc(name)} envelope ({_esc(ref)}) at n={n}: "
+            f"&#8804; {limit:,.0f} messages</title></line>"
+        )
+    # the measured points, oldest entries faded
+    labels = sorted({p[3] for p in points})
+    for name, t, m, label in points:
+        index = algorithms.index(name)
+        age = labels.index(label)
+        opacity = 0.35 + 0.65 * ((age + 1) / len(labels))
+        parts.append(
+            f'<circle class="pt" cx="{sx(t):.1f}" cy="{sy(m):.1f}" r="5" '
+            f'fill="{_series_var(index)}" opacity="{opacity:.2f}">'
+            f"<title>{_esc(name)} — {m:,.1f} messages, {t:g} rounds "
+            f"({_esc(label)})</title></circle>"
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span class=key><span class=swatch '
+        f'style="background:{_series_var(i)}"></span>{_esc(name)}</span>'
+        for i, name in enumerate(algorithms)
+    )
+    table_rows = "".join(
+        f"<tr><td>{_esc(name)}</td><td class=num>{t:g}</td>"
+        f"<td class=num>{m:,.1f}</td><td>{_esc(label)}</td></tr>"
+        for name, t, m, label in points
+    )
+    table = (
+        "<details><summary class=muted>table view</summary><table>"
+        "<tr><th>algorithm</th><th class=num>rounds</th>"
+        "<th class=num>messages</th><th>entry</th></tr>"
+        f"{table_rows}</table></details>"
+    )
+    return f'<div class=legend>{legend}</div>{"".join(parts)}{table}'
+
+
+# --------------------------------------------------------------------- #
+# bench trajectory
+
+
+def _load_bench_files(directory: str) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    if not os.path.isdir(directory):
+        return out
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(directory, name), encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict):
+            out[name[len("BENCH_"):-len(".json")]] = payload
+    return out
+
+
+def _bench_section(bench_dirs: Sequence[str]) -> str:
+    columns = [(d, _load_bench_files(d)) for d in bench_dirs]
+    columns = [(d, files) for d, files in columns if files]
+    if not columns:
+        return '<p class=muted>(no BENCH_*.json artifacts found)</p>'
+    benches = sorted({name for _, files in columns for name in files})
+    head = "<tr><th>bench</th><th>metric</th>" + "".join(
+        f"<th class=num>{_esc(directory)}</th>" for directory, _ in columns
+    ) + "</tr>"
+    rows = []
+    for bench in benches:
+        metrics = sorted({
+            key
+            for _, files in columns
+            for key in (files.get(bench, {}).get("metrics") or {})
+        })
+        for j, metric in enumerate(metrics):
+            cells = []
+            for _, files in columns:
+                value = (files.get(bench, {}).get("metrics") or {}).get(metric)
+                if isinstance(value, float):
+                    cells.append(f"<td class=num>{value:g}</td>")
+                elif value is None:
+                    cells.append("<td class=num>-</td>")
+                else:
+                    cells.append(f"<td class=num>{_esc(value)}</td>")
+            label = _esc(bench) if j == 0 else ""
+            rows.append(
+                f"<tr><td>{label}</td><td>{_esc(metric)}</td>{''.join(cells)}</tr>"
+            )
+    return f"<table>{head}{''.join(rows)}</table>"
+
+
+# --------------------------------------------------------------------- #
+# critical paths
+
+
+def _causal_section(traces: Sequence[str], top_k: int) -> str:
+    if not traces:
+        return (
+            '<p class=muted>(no traces supplied; pass --traces to rank '
+            "critical paths)</p>"
+        )
+    from repro.telemetry import load_trace
+    from repro.telemetry.causal import build_graph, critical_path, explain
+
+    ranked = []
+    for path in traces:
+        try:
+            trace = load_trace(path)
+            graph = build_graph(trace)
+            cp = critical_path(trace, graph)
+            ranked.append((cp.round_length, path, explain(trace, graph=graph)))
+        except Exception as exc:  # a bad trace should not sink the report
+            ranked.append((-1, path, f"(unreadable trace: {exc})"))
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+    blocks = []
+    for length, path, text in ranked[: max(0, top_k)]:
+        header = _esc(os.path.basename(path))
+        if length >= 0:
+            header += f" — critical path {length} rounds"
+        blocks.append(f"<h3>{header}</h3><pre>{_esc(text)}</pre>")
+    return "".join(blocks)
+
+
+# --------------------------------------------------------------------- #
+# assembly
+
+
+def build_campaign_report(
+    *,
+    ledger_path: str,
+    bench_dirs: Sequence[str] = ("benchmarks/baselines",),
+    traces: Sequence[str] = (),
+    top_k: int = 5,
+    title: str = "repro campaign report",
+) -> str:
+    """The report as one self-contained HTML string."""
+    from repro.monitor.ledger import read_ledger
+
+    entries = read_ledger(ledger_path)
+    sections = [
+        "<h2>Run ledger</h2>",
+        f'<p class=sub>{_esc(ledger_path)} — {len(entries)} entries</p>',
+        _tiles(entries),
+        "<div class=card>"
+        + (
+            _ledger_table(entries)
+            if entries
+            else '<p class=muted>(the ledger is empty)</p>'
+        )
+        + "</div>",
+        "<h2>Messages vs rounds tradeoff</h2>",
+        "<p class=sub>per-algorithm sweep means from every ledger entry "
+        "(older entries faded) against the theorem envelopes</p>",
+        f"<div class=card>{_tradeoff_svg(entries)}</div>",
+        "<h2>Bench trajectory</h2>",
+        "<p class=sub>seed-deterministic metrics from BENCH_*.json "
+        "artifacts</p>",
+        f"<div class=card>{_bench_section(bench_dirs)}</div>",
+        "<h2>Critical paths</h2>",
+        "<p class=sub>happens-before critical-path explanations, longest "
+        "first</p>",
+        f"<div class=card>{_causal_section(traces, top_k)}</div>",
+    ]
+    return (
+        "<!doctype html><html lang=en><head><meta charset=utf-8>"
+        f"<title>{_esc(title)}</title>"
+        '<meta name=viewport content="width=device-width, initial-scale=1">'
+        f"<style>{_CSS}</style></head><body><main>"
+        f"<h1>{_esc(title)}</h1>"
+        "<p class=sub>static, self-contained observability report — "
+        "ledger, tradeoff envelope conformance, bench baselines, causal "
+        "critical paths</p>"
+        + "".join(sections)
+        + "</main></body></html>"
+    )
+
+
+def write_campaign_report(
+    out_path: str,
+    *,
+    ledger_path: Optional[str] = None,
+    bench_dirs: Sequence[str] = ("benchmarks/baselines",),
+    traces: Sequence[str] = (),
+    top_k: int = 5,
+    title: str = "repro campaign report",
+) -> str:
+    """Write the campaign report; returns the output path."""
+    from repro.monitor.ledger import DEFAULT_LEDGER_PATH
+
+    content = build_campaign_report(
+        ledger_path=ledger_path or DEFAULT_LEDGER_PATH,
+        bench_dirs=bench_dirs,
+        traces=traces,
+        top_k=top_k,
+        title=title,
+    )
+    directory = os.path.dirname(out_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return out_path

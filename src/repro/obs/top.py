@@ -1,0 +1,152 @@
+"""``repro top``: a live multi-line TTY dashboard over a running sweep.
+
+:class:`SweepTop` extends :class:`~repro.monitor.SweepProgress` — it
+receives the same scheduler hooks — but renders a small dashboard
+instead of one line: the overall progress/ETA header, one row per
+worker slot (busy time, utilization, cells completed, last cell), and a
+status row fed by the :class:`~repro.monitor.SweepMonitor` results once
+the sweep finishes (violation and conformance counts are post-hoc by
+design — the monitor walks the records after collection).
+
+The dashboard needs cursor movement, so it only engages on a real TTY;
+anywhere else (CI logs, pipes) it degrades to the parent class's
+existing one-line ``\\r`` display.  Listener errors never propagate —
+the scheduler swallows them — and rendering is throttled to
+:data:`MIN_FRAME_S` so tiny cells don't turn the sweep into a terminal
+benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.monitor.progress import ProgressEvent, SweepProgress
+
+__all__ = ["SweepTop"]
+
+#: Minimum seconds between live frames (final frames always render).
+MIN_FRAME_S = 0.1
+
+
+class SweepTop(SweepProgress):
+    """Multi-line live dashboard; one-line fallback off-TTY.
+
+    Same constructor contract as :class:`SweepProgress`; pass
+    ``monitor=`` (a :class:`~repro.monitor.SweepMonitor`) so the final
+    frame can show violation/conformance counts, and call
+    :meth:`finalize` after ``sweep(...)`` returns to render them.
+    """
+
+    def __init__(
+        self,
+        *,
+        stream: Any = None,
+        live: Optional[bool] = None,
+        monitor: Optional[Any] = None,
+    ) -> None:
+        super().__init__(stream=stream, live=live)
+        self.monitor = monitor
+        self.cells_by_slot: Dict[int, int] = {}
+        self.last_cell_by_slot: Dict[int, int] = {}
+        self._height = 0
+        self._last_frame = 0.0
+        # Cursor movement needs a TTY; degrade to the one-line display.
+        self.multiline = self.live and bool(
+            getattr(self.stream, "isatty", lambda: False)()
+        )
+
+    # ---------------------------------------------------------------- #
+    # listener hooks
+
+    def cell_finish(self, cell: Any, wall: float, slot: int) -> None:
+        self.cells_by_slot[slot] = self.cells_by_slot.get(slot, 0) + 1
+        self.last_cell_by_slot[slot] = cell.index
+        super().cell_finish(cell, wall, slot)
+
+    def finish(self, elapsed: float) -> None:
+        if not self.multiline:
+            super().finish(elapsed)
+            return
+        self.events.append(ProgressEvent(kind="finish", elapsed=elapsed))
+        self._draw(final=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    def finalize(self, monitor: Optional[Any] = None) -> None:
+        """Render one last frame with the monitor's post-hoc verdicts."""
+        monitor = monitor if monitor is not None else self.monitor
+        self.monitor = monitor
+        if self.multiline:
+            self._draw(final=True)
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # ---------------------------------------------------------------- #
+    # rendering
+
+    @property
+    def throughput(self) -> float:
+        """Completed cells per second of elapsed wall time."""
+        elapsed = self.elapsed
+        return self.completed_cells / elapsed if elapsed > 0 else 0.0
+
+    def render_rows(self, final: bool = False) -> List[str]:
+        """The dashboard rows (header, workers, monitor status)."""
+        rows = [
+            self.render_line(final=final)
+            + f"  {self.throughput:.1f} cells/s"
+        ]
+        elapsed = self.elapsed or 1.0
+        for slot in range(self.workers):
+            busy = self.busy_by_slot.get(slot, 0.0)
+            util = min(1.0, busy / elapsed)
+            done = self.cells_by_slot.get(slot, 0)
+            last = self.last_cell_by_slot.get(slot)
+            last_part = f"last #{last}" if last is not None else "idle"
+            rows.append(
+                f"  worker {slot}  busy {busy:6.2f}s  util {util:.2f}  "
+                f"cells {done:>4}  {last_part}"
+            )
+        rows.append("  " + self._monitor_row())
+        return rows
+
+    def _monitor_row(self) -> str:
+        monitor = self.monitor
+        if monitor is None:
+            return "monitor: (none attached)"
+        conformance = getattr(monitor, "conformance", None)
+        if conformance is None or getattr(conformance, "total", 0) == 0:
+            return "monitor: violations --  conformance --  (post-hoc)"
+        violations = len(getattr(monitor, "violations", ()) or ())
+        return (
+            f"monitor: violations {violations}  "
+            f"conformance {conformance.conforming}/{conformance.total} "
+            f"({conformance.rate:.1%})"
+        )
+
+    def _draw(self, final: bool = False) -> None:
+        rows = self.render_rows(final=final)
+        out = []
+        if self._height:
+            out.append(f"\x1b[{self._height}A")
+        for row in rows:
+            out.append("\r\x1b[2K" + row + "\n")
+        # Leave the cursor at the frame's top-left-after-end so the next
+        # frame overwrites in place.
+        self.stream.write("".join(out))
+        self.stream.flush()
+        self._height = len(rows)
+        self._rendered = True
+
+    def _render(self) -> None:
+        if not self.live:
+            return
+        if not self.multiline:
+            super()._render()
+            return
+        now = time.perf_counter()
+        if now - self._last_frame < MIN_FRAME_S and self.completed_cells < self.total_cells:
+            return
+        self._last_frame = now
+        self._draw()

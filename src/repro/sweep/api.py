@@ -236,20 +236,27 @@ def _execute_fast(
                 record.extra["result"] = result
             records.append(record)
     if spec.trace is not None and telemetry is None:
-        from repro.telemetry import RunContext, dump_events
+        from repro.telemetry import JsonlRecorder, RunContext
 
-        written = dump_events(
-            spec.trace,
-            fast_trace.events(),
-            context=RunContext(
-                algorithm=spec.algorithm_name or repr(spec.algorithm),
-                n=spec.n,
-                seed=spec.seeds[0],
-                engine="fast",
-                mode=fast_trace.mode,
-                params=spec.params,
-            ),
+        context = RunContext(
+            algorithm=spec.algorithm_name or repr(spec.algorithm),
+            n=spec.n,
+            seed=spec.seeds[0],
+            engine="fast",
+            mode=fast_trace.mode,
+            params=spec.params,
         )
+        lanes = fast_trace.lanes
+        with JsonlRecorder(spec.trace, context=context) as jsonl:
+            for lane in lanes:
+                # Single-lane traces stay annotation-free (byte-stable
+                # with earlier exports); batched runs stamp each lane so
+                # render_timeline(lane=...) can untangle them.
+                if len(lanes) > 1:
+                    jsonl.annotate(lane=lane)
+                for event in fast_trace.events(lane):
+                    jsonl.emit(event)
+            written = jsonl.events_written
         records[0].extra["trace"] = {"path": spec.trace, "events": written}
     return records
 
@@ -361,6 +368,7 @@ def sweep(
     executor_factory: Optional[Callable[[int], Any]] = None,
     monitor: Optional[Any] = None,
     progress: Optional[Any] = None,
+    spool_dir: Optional[str] = None,
 ) -> List[RunRecord]:
     """Execute a spec grid, optionally sharded across worker processes.
 
@@ -383,6 +391,11 @@ def sweep(
     :class:`repro.monitor.ProgressListener` (e.g. ``SweepProgress``)
     receiving live cell start/finish events from the scheduler.
     Neither affects the records.
+
+    ``spool_dir`` enables cross-worker telemetry spooling: every process
+    that executes a cell appends its metric/profile snapshot to that
+    directory, and :func:`repro.obs.collect` merges the shards into a
+    deterministic :class:`~repro.obs.SweepReport` afterwards.
     """
     if isinstance(specs, RunSpec):
         specs = [specs]
@@ -409,6 +422,7 @@ def sweep(
         registry=registry,
         executor_factory=executor_factory,
         progress=progress,
+        spool_dir=spool_dir,
     )
     records = [record for cell_records in per_cell for record in cell_records]
     if monitor is not None:

@@ -83,6 +83,7 @@ def run_cells(
     registry: Optional[MetricsRegistry] = None,
     executor_factory: Optional[Callable[[int], Any]] = None,
     progress: Optional[Any] = None,
+    spool_dir: Optional[str] = None,
 ) -> List[Any]:
     """Execute every cell; return their values in cell-index order.
 
@@ -92,6 +93,9 @@ def run_cells(
     gauges; pass ``None`` to skip collection.  ``progress`` is an
     optional :class:`repro.monitor.ProgressListener` receiving cell
     start/finish events, worker slots, and wall times as the sweep runs.
+    ``spool_dir`` makes every executing process (pool workers and the
+    inline fallback) append per-cell snapshots to that directory —
+    see :mod:`repro.obs` for the collector and frontends.
     """
     from repro.sweep.worker import invoke_cell
 
@@ -130,7 +134,10 @@ def run_cells(
                 with executor:
                     try:
                         for home, cell in enumerate(pool_cells):
-                            future = executor.submit(invoke_cell, fn, cell.payload)
+                            future = executor.submit(
+                                invoke_cell, fn, cell.payload, spool_dir,
+                                cell.index,
+                            )
                             futures[future] = (cell, home % workers)
                             _notify(progress, "cell_start", cell)
                     except _pool_errors():
@@ -160,7 +167,9 @@ def run_cells(
     inline_count = len(inline)
     for cell in sorted(inline, key=lambda cell: cell.index):
         _notify(progress, "cell_start", cell)
-        value, metrics, pid, wall = invoke_cell(fn, cell.payload)
+        value, metrics, pid, wall = invoke_cell(
+            fn, cell.payload, spool_dir, cell.index
+        )
         busy_by_slot[0] = busy_by_slot.get(0, 0.0) + wall
         values[cell.index] = value
         metric_payloads[cell.index] = metrics

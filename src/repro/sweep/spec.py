@@ -156,10 +156,17 @@ class RunSpec:
                     "set; attach the adversary in one place"
                 )
         if self.trace is not None:
-            if len(seeds) != 1:
-                raise ValueError("trace records one run; pass exactly one seed")
             if self.batch is not None:
-                raise ValueError("trace and batch are mutually exclusive")
+                # A batched fast spec is ONE engine run; its trace carries
+                # every lane (lane-annotated).  More seeds than lanes would
+                # mean multiple engine runs overwriting the same file.
+                if len(seeds) > self.batch:
+                    raise ValueError(
+                        "trace with batch records one batched engine run; "
+                        "pass at most batch seeds"
+                    )
+            elif len(seeds) != 1:
+                raise ValueError("trace records one run; pass exactly one seed")
 
     @property
     def algorithm_name(self) -> Optional[str]:

@@ -13,22 +13,36 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 __all__ = ["invoke_cell", "run_spec_cell", "scenario_cell"]
 
 
 def invoke_cell(
-    fn: Callable[[Any], Tuple[Any, Dict[str, Any]]], payload: Any
+    fn: Callable[[Any], Tuple[Any, Dict[str, Any]]],
+    payload: Any,
+    spool_dir: Optional[str] = None,
+    cell_index: Optional[int] = None,
 ) -> Tuple[Any, Dict[str, Any], int, float]:
     """Run one cell function, returning (value, metrics, pid, wall_s).
 
     The pid lets the parent map cells to worker slots (steal
-    accounting); the wall time feeds the utilization gauges.
+    accounting); the wall time feeds the utilization gauges.  With a
+    ``spool_dir``, the cell's snapshot is also appended to this
+    process's spool shard (see :mod:`repro.obs.spool`) before the
+    result crosses the process boundary — so the spool survives a
+    parent crash and is observable while the sweep runs.
     """
     start = time.perf_counter()
     value, metrics = fn(payload)
-    return value, metrics, os.getpid(), time.perf_counter() - start
+    wall = time.perf_counter() - start
+    if spool_dir is not None and cell_index is not None:
+        from repro.obs.spool import spool_snapshot
+
+        spool_snapshot(
+            spool_dir, cell=cell_index, wall_s=wall, metrics=metrics
+        )
+    return value, metrics, os.getpid(), wall
 
 
 def run_spec_cell(spec: Any) -> Tuple[Any, Dict[str, Any]]:
@@ -49,6 +63,23 @@ def run_spec_cell(spec: Any) -> Tuple[Any, Dict[str, Any]]:
     registry.counter("sweep.records").inc(len(records))
     registry.counter("sweep.messages").inc(sum(r.messages for r in records))
     registry.counter(f"sweep.records[{spec.resolved_engine()}]").inc(len(records))
+    if getattr(spec, "profile", False):
+        # Fold the kernel-phase timings into the metric stream here, in
+        # the process that measured them — ``record.extra["profile"]``
+        # alone never crosses back into the parent registry, so
+        # ``profile=True`` sweeps used to lose all child-process kernel
+        # costs.  Batched lanes share one profiler dict; fold each
+        # distinct profiler once.
+        seen_profiles = set()
+        for record in records:
+            prof = record.extra.get("profile")
+            if not prof or id(prof) in seen_profiles:
+                continue
+            seen_profiles.add(id(prof))
+            for phase, agg in prof.items():
+                hist = registry.histogram(f"profile.{phase}")
+                hist.count += int(agg.get("calls", 0))
+                hist.total += float(agg.get("total_s", 0.0))
     return records, registry.as_dict()
 
 

@@ -15,12 +15,23 @@ The pieces:
 * :mod:`repro.telemetry.profile` — wall-clock phase timers around the
   fastsync kernels (:class:`PhaseProfiler`).
 * :mod:`repro.telemetry.stats` — trace summaries, first-divergence
-  diffs and the ASCII timeline backing ``repro trace``.
+  diffs and the lane-aware ASCII timeline backing ``repro trace``.
+* :mod:`repro.telemetry.causal` — happens-before analysis over loaded
+  traces: Lamport clocks, the causal DAG, :func:`critical_path` and the
+  :func:`explain` summary backing ``repro trace causal``.
 
 Everything here imports without numpy; only :func:`trace_fast_lane`
 needs the fast engine, and it imports it lazily.
 """
 
+from repro.telemetry.causal import (
+    CausalGraph,
+    CriticalPath,
+    build_graph,
+    critical_path,
+    explain,
+    lamport_clocks,
+)
 from repro.telemetry.context import RunContext
 from repro.telemetry.fast import AGGREGATE_NODE, FastTelemetry, LaneTrace, trace_fast_lane
 from repro.telemetry.jsonl import (
@@ -38,13 +49,17 @@ from repro.telemetry.stats import (
     TraceDiff,
     TraceStats,
     diff_traces,
+    filter_lane,
     render_timeline,
+    trace_lanes,
     trace_stats,
 )
 
 __all__ = [
     "AGGREGATE_NODE",
+    "CausalGraph",
     "Counter",
+    "CriticalPath",
     "FastTelemetry",
     "Gauge",
     "Histogram",
@@ -60,11 +75,17 @@ __all__ = [
     "TraceDiff",
     "TraceSchemaError",
     "TraceStats",
+    "build_graph",
+    "critical_path",
     "diff_traces",
     "dump_events",
+    "explain",
+    "filter_lane",
+    "lamport_clocks",
     "load_trace",
     "render_timeline",
     "run_metrics",
     "trace_fast_lane",
+    "trace_lanes",
     "trace_stats",
 ]

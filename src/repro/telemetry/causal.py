@@ -1,0 +1,389 @@
+"""Happens-before analysis: Lamport clocks, causal DAG, critical path.
+
+The trace recorders already capture everything a causal analysis needs —
+no schema change: event streams are written in chronological order, so
+the happens-before DAG is derived per :class:`~repro.telemetry.Trace`
+from two edge families:
+
+* **local program order** — consecutive events of the same node;
+* **message edges** — async traces carry explicit ``deliver`` events,
+  matched FIFO to their ``send`` (same destination, peer port and
+  payload); sync traces have no deliver events, but the engine contract
+  is exact — a message sent at round *r* is processed at round *r + 1* —
+  so each ``send`` anchors to the destination's first event at any later
+  round (its wake, if the delivery is what woke it).
+
+Lamport clocks fall out of one pass over the DAG (events are stored
+chronologically, which is a topological order): ``clock(e) = 1 +
+max(clock(pred))``.  :func:`critical_path` runs the dual longest-path
+sweep — for each event, the chain reaching it whose *start* is earliest
+(maximizing the round span; message hops break ties) — and reads off
+the chain ending at the decide event.  In exact mode the critical
+path's round length equals the observed decide round, which the causal
+test suite pins for every sync algorithm.
+
+Everything here is pure post-hoc analysis over loaded traces: nothing
+on any engine's hot path, O(events) plus FIFO matching.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common import Decision
+from repro.telemetry.jsonl import Trace
+from repro.trace.events import TraceEvent
+
+__all__ = [
+    "CausalGraph",
+    "CriticalPath",
+    "PathHop",
+    "build_graph",
+    "lamport_clocks",
+    "critical_path",
+    "explain",
+]
+
+
+def payload_kind(payload: Any) -> str:
+    """The message-kind tag of one send/deliver payload."""
+    kind = getattr(payload, "kind", None)
+    if kind is None and isinstance(payload, tuple) and payload:
+        kind = payload[0]
+    return str(kind) if kind is not None else "?"
+
+
+def _send_dst(event: TraceEvent) -> Optional[int]:
+    """Destination node of a ``send`` event (detail = port, v, peer, payload)."""
+    if len(event.detail) < 2:
+        return None
+    try:
+        return int(event.detail[1])
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass
+class CausalGraph:
+    """The happens-before DAG of one trace, with derived Lamport clocks.
+
+    ``preds[i]`` lists the indices of the events that happen-before
+    event ``i`` by a direct edge; ``message_edges`` maps the delivery
+    anchor (or explicit ``deliver`` event) back to its ``send`` along
+    with the payload kind, so paths can attribute their message hops.
+    """
+
+    trace: Trace
+    preds: List[List[int]]
+    clocks: List[int]
+    #: (src_index, dst_index) -> payload kind, message edges only.
+    message_edges: Dict[Tuple[int, int], str] = field(default_factory=dict)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self.trace.events
+
+
+def _local_edges(events: List[TraceEvent], preds: List[List[int]]) -> None:
+    last_of_node: Dict[int, int] = {}
+    for i, event in enumerate(events):
+        prev = last_of_node.get(event.node)
+        if prev is not None:
+            preds[i].append(prev)
+        last_of_node[event.node] = i
+
+
+def _deliver_edges(
+    events: List[TraceEvent],
+    preds: List[List[int]],
+    edges: Dict[Tuple[int, int], str],
+) -> None:
+    """Match explicit ``deliver`` events FIFO to their sends (async)."""
+    pending: Dict[Tuple[int, int, Any], List[int]] = {}
+    for i, event in enumerate(events):
+        if event.kind == "send":
+            dst = _send_dst(event)
+            if dst is None or len(event.detail) < 4:
+                continue
+            key = (dst, int(event.detail[2]), event.detail[3])
+            pending.setdefault(key, []).append(i)
+        elif event.kind == "deliver" and len(event.detail) >= 2:
+            key = (event.node, int(event.detail[0]), event.detail[1])
+            queue = pending.get(key)
+            if not queue:
+                continue
+            src = queue.pop(0)
+            preds[i].append(src)
+            edges[(src, i)] = payload_kind(event.detail[1])
+
+
+def _sync_anchor_edges(
+    events: List[TraceEvent],
+    preds: List[List[int]],
+    edges: Dict[Tuple[int, int], str],
+) -> None:
+    """Anchor sync sends to the destination's first next-round event.
+
+    The sync engine delivers a round-``r`` send at round ``r + 1`` (and
+    the delivery wakes a sleeping destination), so the earliest event of
+    the destination at ``when >= r + 1`` is causally after the send.
+    """
+    by_node: Dict[int, List[Tuple[float, int]]] = {}
+    for i, event in enumerate(events):
+        by_node.setdefault(event.node, []).append((event.when, i))
+    for i, event in enumerate(events):
+        if event.kind != "send":
+            continue
+        dst = _send_dst(event)
+        if dst is None:
+            continue
+        timeline = by_node.get(dst)
+        if not timeline:
+            continue
+        pos = bisect_left(timeline, (event.when + 1.0, -1))
+        if pos >= len(timeline):
+            continue
+        anchor = timeline[pos][1]
+        if anchor <= i:
+            continue
+        preds[anchor].append(i)
+        kind = payload_kind(event.detail[3]) if len(event.detail) >= 4 else "?"
+        edges[(i, anchor)] = kind
+
+
+def build_graph(trace: Trace) -> CausalGraph:
+    """Derive the happens-before DAG and Lamport clocks of one trace.
+
+    Works on any ``repro.trace/1`` stream: per-message object-engine
+    traces get full message edges; aggregate fast-engine traces (one
+    pseudo-node) degrade to pure program order, which is still the
+    correct causal chain for a lane-level stream.
+    """
+    events = trace.events
+    preds: List[List[int]] = [[] for _ in events]
+    edges: Dict[Tuple[int, int], str] = {}
+    _local_edges(events, preds)
+    if any(e.kind == "deliver" for e in events):
+        _deliver_edges(events, preds, edges)
+    else:
+        _sync_anchor_edges(events, preds, edges)
+    clocks = [0] * len(events)
+    for i in range(len(events)):
+        clocks[i] = 1 + max((clocks[p] for p in preds[i]), default=0)
+    return CausalGraph(trace=trace, preds=preds, clocks=clocks, message_edges=edges)
+
+
+def lamport_clocks(trace: Trace) -> List[int]:
+    """Just the per-event Lamport clocks (parallel to ``trace.events``)."""
+    return build_graph(trace).clocks
+
+
+@dataclass
+class PathHop:
+    """One event on a critical path, with the edge that reached it."""
+
+    index: int
+    event: TraceEvent
+    #: ``None`` for the chain start, ``"local"`` or a message kind.
+    via: Optional[str] = None
+
+    def label(self) -> str:
+        where = f"r{int(self.event.when)}"
+        node = self.event.node
+        name = "lane" if node < 0 else f"n{node}"
+        return f"{self.event.kind}@{where}/{name}"
+
+
+@dataclass
+class CriticalPath:
+    """The longest causal chain ending at a trace's decide event."""
+
+    hops: List[PathHop]
+    span: float                  #: when(end) - when(start)
+    round_length: int            #: integer rounds spanned, inclusive
+    decide_round: int            #: int(when) of the target decide event
+    message_hops: int            #: message edges along the chain
+    messages_by_kind: Dict[str, int]
+    #: Message hops bucketed by stream annotation (scenario ``act``).
+    messages_by_act: Dict[str, int] = field(default_factory=dict)
+    clock: int = 0               #: Lamport clock of the target event
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return [hop.event for hop in self.hops]
+
+    @property
+    def indices(self) -> List[int]:
+        return [hop.index for hop in self.hops]
+
+
+def _target_index(events: List[TraceEvent]) -> Optional[int]:
+    """The decide event the path must end at (leader decide preferred)."""
+    best = None
+    best_leader = None
+    for i, event in enumerate(events):
+        if event.kind != "decide":
+            continue
+        if best is None or event.when >= events[best].when:
+            best = i
+        decision = event.detail[0] if event.detail else None
+        is_leader = decision == Decision.LEADER or (
+            isinstance(decision, str) and decision == "LEADER"
+        )
+        if is_leader and (
+            best_leader is None or event.when >= events[best_leader].when
+        ):
+            best_leader = i
+    if best_leader is not None:
+        return best_leader
+    if best is not None:
+        return best
+    return len(events) - 1 if events else None
+
+
+def critical_path(trace: Trace, graph: Optional[CausalGraph] = None) -> CriticalPath:
+    """The longest causal chain ending at the trace's decide event.
+
+    "Longest" maximizes the chain's time span (its start is as early as
+    possible), then its message-hop count, then its total hop count — so
+    among chains covering the same rounds the cross-node message relay
+    wins over a node's idle local order.  Ties beyond that break on the
+    smaller predecessor index, which makes the path deterministic for
+    byte-stable golden summaries.  In exact mode the sync engine wakes
+    every node at round 1 and decides at round *R*, so ``round_length``
+    equals the observed decide round.
+    """
+    if graph is None:
+        graph = build_graph(trace)
+    events = graph.events
+    target = _target_index(events)
+    if target is None:
+        raise ValueError("empty trace: no events to build a causal path from")
+    # Per-event best chain: (start_when, message hops, hops, pred index).
+    start = [e.when for e in events]
+    msgs = [0] * len(events)
+    hops = [0] * len(events)
+    back: List[Optional[int]] = [None] * len(events)
+    for i, event in enumerate(events):
+        for p in graph.preds[i]:
+            is_msg = int((p, i) in graph.message_edges)
+            cand = (event.when - start[p], msgs[p] + is_msg, hops[p] + 1)
+            have = (event.when - start[i], msgs[i], hops[i])
+            if cand > have:
+                start[i] = start[p]
+                msgs[i] = msgs[p] + is_msg
+                hops[i] = hops[p] + 1
+                back[i] = p
+    chain: List[int] = []
+    cursor: Optional[int] = target
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = back[cursor]
+    chain.reverse()
+    path_hops: List[PathHop] = [PathHop(index=chain[0], event=events[chain[0]])]
+    messages_by_kind: Dict[str, int] = {}
+    messages_by_act: Dict[str, int] = {}
+    message_hops = 0
+    for src, dst in zip(chain, chain[1:]):
+        kind = graph.message_edges.get((src, dst))
+        if kind is None:
+            via = "local"
+        else:
+            via = kind
+            message_hops += 1
+            messages_by_kind[kind] = messages_by_kind.get(kind, 0) + 1
+            annotations = trace.annotations
+            act = None
+            if src < len(annotations):
+                act = annotations[src].get("act")
+            if act is not None:
+                key = str(act)
+                messages_by_act[key] = messages_by_act.get(key, 0) + 1
+        path_hops.append(PathHop(index=dst, event=events[dst], via=via))
+    first, last = events[chain[0]], events[chain[-1]]
+    return CriticalPath(
+        hops=path_hops,
+        span=last.when - first.when,
+        round_length=int(last.when) - int(first.when) + 1,
+        decide_round=int(last.when),
+        message_hops=message_hops,
+        messages_by_kind=dict(sorted(messages_by_kind.items())),
+        messages_by_act=dict(sorted(messages_by_act.items())),
+        clock=graph.clocks[target],
+    )
+
+
+#: Paths longer than this elide their middle in :func:`explain`.
+_MAX_RENDERED_HOPS = 12
+
+
+def _render_path(path: CriticalPath) -> List[str]:
+    hops = path.hops
+    if len(hops) > _MAX_RENDERED_HOPS:
+        head = _MAX_RENDERED_HOPS // 2
+        tail = _MAX_RENDERED_HOPS - head
+        elided = len(hops) - head - tail
+        shown = hops[:head] + [None] + hops[-tail:]
+    else:
+        elided = 0
+        shown = list(hops)
+    parts: List[str] = []
+    for hop in shown:
+        if hop is None:
+            parts.append(f"... ({elided} hops) ...")
+            continue
+        if hop.via is None:
+            parts.append(hop.label())
+        elif hop.via == "local":
+            parts.append(f"-> {hop.label()}")
+        else:
+            parts.append(f"={hop.via}=> {hop.label()}")
+    return parts
+
+
+def explain(trace: Trace, *, graph: Optional[CausalGraph] = None) -> str:
+    """An ASCII causal summary of one trace (deterministic per trace).
+
+    Names the decide event, the critical path's span and message hops,
+    the path itself, and the per-kind message attribution along it —
+    "where the rounds went", read straight off the happens-before DAG.
+    """
+    if graph is None:
+        graph = build_graph(trace)
+    path = critical_path(trace, graph)
+    context = trace.context
+    who = []
+    for key in ("algorithm", "n", "seed", "engine", "mode"):
+        value = context.get(key)
+        if value is not None:
+            who.append(f"{key}={value}")
+    lines = ["causal summary: " + (" ".join(who) or "(no run context)")]
+    end = path.hops[-1].event
+    end_node = "lane" if end.node < 0 else f"node {end.node}"
+    decision = ""
+    if end.kind == "decide" and end.detail:
+        decision = f" ({getattr(end.detail[0], 'name', end.detail[0])})"
+    lines.append(
+        f"decide at round {path.decide_round} by {end_node}{decision}: "
+        f"critical path covers {path.round_length} rounds, "
+        f"{path.message_hops} message hops, Lamport clock {path.clock}"
+    )
+    lines.append("path: " + " ".join(_render_path(path)))
+    if path.messages_by_kind:
+        kinds = "  ".join(
+            f"{kind}={count}" for kind, count in path.messages_by_kind.items()
+        )
+        lines.append(f"messages on path by kind: {kinds}")
+    if path.messages_by_act:
+        acts = "  ".join(
+            f"{act}={count}" for act, count in path.messages_by_act.items()
+        )
+        lines.append(f"messages on path by act: {acts}")
+    lines.append(
+        f"graph: {len(graph.events)} events, "
+        f"{len(graph.message_edges)} message edges, "
+        f"max clock {max(graph.clocks, default=0)}"
+    )
+    return "\n".join(lines)

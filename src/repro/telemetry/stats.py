@@ -16,12 +16,56 @@ from typing import Dict, List, Optional, Tuple
 from repro.telemetry.jsonl import Trace
 from repro.trace.events import TraceEvent
 
-__all__ = ["TraceStats", "trace_stats", "TraceDiff", "diff_traces", "render_timeline"]
+__all__ = [
+    "TraceStats",
+    "trace_stats",
+    "TraceDiff",
+    "diff_traces",
+    "render_timeline",
+    "trace_lanes",
+    "filter_lane",
+]
 
 
 def _round_of(event: TraceEvent) -> int:
     """The integer round/time bucket an event belongs to."""
     return int(event.when)
+
+
+def trace_lanes(trace: Trace) -> List[int]:
+    """The batch lanes annotated in a trace (empty: single-lane).
+
+    Batched fast-engine exports stamp every event line with its lane
+    (``{"a": {"lane": k}}``); single runs carry no lane annotations.
+    """
+    lanes = {
+        annotation["lane"]
+        for annotation in trace.annotations
+        if "lane" in annotation
+    }
+    return sorted(int(lane) for lane in lanes)
+
+
+def filter_lane(trace: Trace, lane: int) -> Trace:
+    """A view of one batch lane: events whose ``lane`` annotation matches.
+
+    Events with no lane annotation (single-lane traces) belong to lane
+    ``0``, so filtering an unannotated trace by lane 0 is the identity.
+    """
+    events: List[TraceEvent] = []
+    annotations = []
+    for i, event in enumerate(trace.events):
+        annotation = trace.annotations[i] if i < len(trace.annotations) else {}
+        if int(annotation.get("lane", 0)) != int(lane):
+            continue
+        events.append(event)
+        annotations.append(annotation)
+    return Trace(
+        schema=trace.schema,
+        context=trace.context,
+        events=events,
+        annotations=annotations,
+    )
 
 
 def sends_per_round(trace: Trace) -> Dict[int, int]:
@@ -33,7 +77,12 @@ def sends_per_round(trace: Trace) -> Dict[int, int]:
     """
     aggregates = trace.of_kind("round")
     if aggregates:
-        return {_round_of(e): int(e.detail[0]) for e in aggregates if e.detail[0]}
+        totals: Dict[int, int] = {}
+        for e in aggregates:
+            if e.detail[0]:
+                r = _round_of(e)
+                totals[r] = totals.get(r, 0) + int(e.detail[0])
+        return totals
     out: Dict[int, int] = {}
     for e in trace.of_kind("send"):
         r = _round_of(e)
@@ -177,7 +226,11 @@ _GLYPH = dict(_GLYPHS)
 
 
 def render_timeline(
-    trace: Trace, *, max_nodes: int = 40, max_rounds: int = 100
+    trace: Trace,
+    *,
+    max_nodes: int = 40,
+    max_rounds: int = 100,
+    lane: Optional[int] = None,
 ) -> str:
     """An ASCII per-node timeline: rows are nodes, columns are rounds.
 
@@ -185,13 +238,29 @@ def render_timeline(
     ``X`` crash, ``T`` tamper (highest-priority event wins per cell).
     Long traces are windowed to the last ``max_rounds`` rounds and the
     first ``max_nodes`` nodes, with a note when truncated.
+
+    Batched fast traces interleave their lanes; ``lane=`` renders just
+    one (see :func:`filter_lane`), and the header names the lanes either
+    way so an interleaved rendering is recognisable as such.
     """
+    lanes = trace_lanes(trace)
+    lane_header = None
+    if lane is not None:
+        if lanes and lane not in lanes:
+            return f"(lane {lane} not in this trace; lanes: {lanes})"
+        trace = filter_lane(trace, lane)
+        lane_header = f"lane {lane}" + (f" of lanes {lanes}" if lanes else "")
+    elif len(lanes) > 1:
+        lane_header = (
+            f"lanes {lanes} interleaved (pass lane= to filter)"
+        )
     events = [e for e in trace.events if e.node >= 0]
     if not events:
         per_round = sends_per_round(trace)
         if not per_round:
             return "(no per-node events in this trace)"
-        lines = ["aggregate trace (no per-node events); sends per round:"]
+        lines = [] if lane_header is None else [lane_header]
+        lines.append("aggregate trace (no per-node events); sends per round:")
         peak = max(per_round.values())
         for r in sorted(per_round):
             bar = "#" * max(1, round(60 * per_round[r] / peak))
@@ -219,7 +288,10 @@ def render_timeline(
             grid[e.node][col] = _GLYPH[e.kind]
     width = max(len(str(u)) for u in nodes)
     header = " " * (width + 7) + "".join(str(r % 10) for r in rounds)
-    lines = [f"rounds {rounds[0]}..{rounds[-1]} (column = round, digit = round mod 10)"]
+    lines = [] if lane_header is None else [lane_header]
+    lines.append(
+        f"rounds {rounds[0]}..{rounds[-1]} (column = round, digit = round mod 10)"
+    )
     lines.append(header)
     for u in nodes:
         lines.append(f"node {u:>{width}}  " + "".join(grid[u]))

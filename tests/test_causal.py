@@ -1,0 +1,175 @@
+"""Happens-before analysis: Lamport clocks, critical paths, ``trace causal``."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.__main__ import main
+from repro.analysis import RunSpec, execute_spec
+from repro.telemetry import (
+    build_graph,
+    critical_path,
+    explain,
+    lamport_clocks,
+    load_trace,
+)
+
+GOLDEN_TRACE = os.path.join(
+    os.path.dirname(__file__), "data", "golden_trace_improved_tradeoff_n16.jsonl"
+)
+GOLDEN_SUMMARY = os.path.join(
+    os.path.dirname(__file__), "data", "golden_causal_improved_tradeoff_n16.txt"
+)
+
+#: ``trace record NAME --n 16 --seed 0`` decide rounds, bit-pinned: the
+#: engines are deterministic per seed, so these only move if an
+#: algorithm's round structure changes.
+DECIDE_ROUNDS = {
+    "improved_tradeoff": 4,
+    "afek_gafni": 5,
+    "small_id": 2,
+    "kutten16": 3,
+    "las_vegas": 4,
+    "adversarial_2round": 3,
+}
+
+
+def _record(tmp_path, name, *extra):
+    out = str(tmp_path / f"{name}.jsonl")
+    args = ["trace", "record", name, "--n", "16", "--seed", "0", "-o", out]
+    assert main([*args, *extra]) == 0
+    return load_trace(out)
+
+
+class TestCriticalPathRoundLength:
+    """Exact-mode critical paths span exactly the observed decide rounds."""
+
+    @pytest.mark.parametrize("name", sorted(DECIDE_ROUNDS))
+    def test_round_length_equals_decide_round(self, tmp_path, name):
+        extra = ["--param", "d=4"] if name == "small_id" else []
+        trace = _record(tmp_path, name, *extra)
+        # The path targets the leader's decide (non-leaders may learn the
+        # outcome a round later).
+        observed = max(
+            int(e.when)
+            for e in trace.events
+            if e.kind == "decide" and "LEADER" == getattr(
+                e.detail[0], "name", str(e.detail[0])
+            )
+        )
+        path = critical_path(trace)
+        assert observed == DECIDE_ROUNDS[name]
+        assert path.decide_round == observed
+        assert path.round_length == observed
+
+    def test_path_is_causally_ordered(self, tmp_path):
+        trace = _record(tmp_path, "improved_tradeoff")
+        graph = build_graph(trace)
+        path = critical_path(trace, graph)
+        clocks = graph.clocks
+        indices = path.indices
+        assert indices == sorted(indices)
+        for earlier, later in zip(indices, indices[1:]):
+            assert clocks[earlier] < clocks[later]
+            assert later in [
+                i for i in range(len(clocks)) if earlier in graph.preds[i]
+            ]
+        assert path.hops[0].via is None
+        assert all(hop.via is not None for hop in path.hops[1:])
+        assert path.message_hops == sum(
+            1 for hop in path.hops if hop.via not in (None, "local")
+        )
+        assert sum(path.messages_by_kind.values()) == path.message_hops
+
+    def test_ends_at_leader_decide(self, tmp_path):
+        trace = _record(tmp_path, "improved_tradeoff")
+        path = critical_path(trace)
+        last = path.hops[-1].event
+        assert last.kind == "decide"
+        assert "LEADER" in str(last.detail[0])
+
+
+class TestLamportConsistency:
+    """Property: clocks respect program order and message causality."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_clocks_are_consistent(self, data, tmp_path_factory):
+        name = data.draw(
+            st.sampled_from(
+                ["improved_tradeoff", "afek_gafni", "las_vegas",
+                 "async_tradeoff", "monarchical"]
+            ),
+            label="algorithm",
+        )
+        n = data.draw(st.sampled_from([4, 8, 16]), label="n")
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        faults = None
+        if name == "monarchical" and data.draw(st.booleans(), label="crash"):
+            from repro.faults import CrashFault, FaultPlan
+
+            victim = data.draw(st.integers(0, n - 1), label="victim")
+            faults = FaultPlan(crashes=(CrashFault(node=victim, at=2.0),))
+        out = str(tmp_path_factory.mktemp("causal") / "t.jsonl")
+        execute_spec(
+            RunSpec(
+                algorithm=name, n=n, seeds=(seed,), trace=out, faults=faults
+            )
+        )
+        trace = load_trace(out)
+        graph = build_graph(trace)
+        clocks = graph.clocks
+        assert clocks == lamport_clocks(trace)
+        assert all(c >= 1 for c in clocks)
+        # Every happens-before edge advances the clock (message edges:
+        # the send strictly precedes the delivery anchor).
+        for i, preds in enumerate(graph.preds):
+            for p in preds:
+                assert clocks[p] < clocks[i]
+                assert trace.events[p].when <= trace.events[i].when
+        # Program order per node is non-decreasing in time and strictly
+        # increasing in clock.
+        last_seen = {}
+        for i, event in enumerate(trace.events):
+            if event.node in last_seen:
+                j = last_seen[event.node]
+                assert trace.events[j].when <= event.when
+                assert clocks[j] < clocks[i]
+            last_seen[event.node] = i
+        # Message edges carry their payload-kind attribution.
+        for (src, dst), kind in graph.message_edges.items():
+            assert trace.events[src].kind == "send"
+            assert isinstance(kind, str) and kind
+            assert src in graph.preds[dst]
+
+
+class TestGoldenSummary:
+    """The CLI causal summary of the golden trace is byte-stable."""
+
+    def test_cli_summary_matches_golden(self, capsys):
+        assert main(["trace", "causal", GOLDEN_TRACE]) == 0
+        out = capsys.readouterr().out
+        with open(GOLDEN_SUMMARY, encoding="utf-8") as fh:
+            assert out == fh.read()
+
+    def test_explain_matches_cli(self):
+        trace = load_trace(GOLDEN_TRACE)
+        with open(GOLDEN_SUMMARY, encoding="utf-8") as fh:
+            assert explain(trace) + "\n" == fh.read()
+
+    def test_cli_json_payload(self, tmp_path):
+        out = str(tmp_path / "causal.json")
+        assert main(["trace", "causal", GOLDEN_TRACE, "--json", out]) == 0
+        import json
+
+        with open(out, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        cp = payload["critical_path"]
+        assert cp["round_length"] == cp["decide_round"] == 4
+        assert cp["message_hops"] == 3
+        assert cp["messages_by_kind"] == {
+            "compete": 1, "final": 1, "response": 1
+        }
+        assert payload["events"] == 142
+        assert len(cp["hops"]) == len(cp["via"])

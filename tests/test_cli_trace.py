@@ -63,11 +63,23 @@ class TestRunTraceFlag:
             main(["run", "improved_tradeoff", "--n", "32", "--seeds", "0", "1",
                   "--trace", str(tmp_path / "x.jsonl")])
 
-    def test_trace_excludes_batch(self, tmp_path):
+    def test_batched_trace_records_every_lane(self, tmp_path, capsys):
         pytest.importorskip("numpy")
-        with pytest.raises(SystemExit, match="mutually exclusive"):
+        out = str(tmp_path / "batched.jsonl")
+        assert main(["run", "improved_tradeoff", "--n", "32", "--engine",
+                     "fast", "--seeds", "0", "1", "--batch", "2",
+                     "--trace", out]) == 0
+        assert "trace: wrote" in capsys.readouterr().out
+        from repro.telemetry import trace_lanes
+
+        assert trace_lanes(load_trace(out)) == [0, 1]
+
+    def test_trace_rejects_multiple_batched_runs(self, tmp_path):
+        pytest.importorskip("numpy")
+        with pytest.raises(SystemExit, match="at most --batch seeds"):
             main(["run", "improved_tradeoff", "--n", "32", "--engine", "fast",
-                  "--batch", "2", "--trace", str(tmp_path / "x.jsonl")])
+                  "--seeds", "0", "1", "2", "--batch", "2",
+                  "--trace", str(tmp_path / "x.jsonl")])
 
 
 class TestScenarioAndAdversaryTrace:

@@ -57,9 +57,19 @@ class TestValidation:
     def test_trace_wants_exactly_one_seed(self):
         with pytest.raises(ValueError, match="exactly one seed"):
             RunSpec(algorithm="improved_tradeoff", n=8, seeds=(0, 1), trace="t.jsonl")
-        with pytest.raises(ValueError, match="mutually exclusive"):
+
+    def test_trace_with_batch_wants_one_engine_run(self):
+        # One batched engine run traces every lane; a second chunk would
+        # overwrite the file.
+        spec = RunSpec(
+            algorithm="improved_tradeoff", n=8, engine="fast",
+            seeds=(0, 1), batch=2, trace="t.jsonl",
+        )
+        assert spec.trace == "t.jsonl"
+        with pytest.raises(ValueError, match="at most batch seeds"):
             RunSpec(
-                algorithm="improved_tradeoff", n=8, batch=1, trace="t.jsonl"
+                algorithm="improved_tradeoff", n=8, engine="fast",
+                seeds=(0, 1, 2), batch=2, trace="t.jsonl",
             )
 
     def test_run_wants_a_single_seed_spec(self):
