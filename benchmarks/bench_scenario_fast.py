@@ -1,0 +1,224 @@
+"""Scenario fleets on the vectorized fault runtime — speedup and drift.
+
+The fast engine now runs *faulted* scenario acts (partitions, kill
+policies, adversary slander) through the vectorized fault runtime, so a
+whole scenario timeline executes without falling back to the object
+engines.  This bench pins the two claims that make that useful:
+
+* **zero cross-engine drift** — for every scenario in the head-to-head
+  set, the fast and sync executions of the same ``(scenario, n, seed)``
+  produce the same act structure (trigger sequence, participating
+  members, member IDs), the same churn accounting, and the same agreed
+  final leader.  The drift count is exported as a baseline metric with
+  value 0, so *any* divergence fails the regression gate outright;
+* **>= 3x per-seed speedup** — at the head-to-head size the vectorized
+  run beats the object engine by far more than 3x (measured here at two
+  orders of magnitude), and at the fleet size ``n = 10^4`` the object
+  engine is lower-bounded by its (monotone-in-n) head-size wall time,
+  so the 3x bound holds there too.  A direct sync run at n=10^4
+  exceeds 600 s — infeasible in CI, which is precisely the point.
+
+``flapping_leader`` is deliberately absent from the drift set: its
+in-run kill policy churns the *in-act* leadership, where the object
+wrapper (detector-driven re-election) and the bare vectorized election
+legitimately diverge — see DESIGN.md "Vectorized fault runtime".
+
+Run standalone (CI smoke): ``python benchmarks/bench_scenario_fast.py --smoke``;
+``--json PATH`` writes the BENCH_*.json trajectory artifact that
+``check_regression.py`` gates against ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import Table
+from repro.scenarios import ScenarioRunner, get_scenario
+
+from _harness import bench_once, emit, emit_json
+
+#: Cross-engine drift is asserted on these invariants of a ScenarioResult.
+DRIFT_FIELDS = (
+    "final_leader_id",
+    "final_agreed",
+    "triggers",
+    "members",
+    "member_ids",
+    "crashes",
+    "recoveries",
+    "joins",
+)
+
+SCENARIOS = ["partition_heal", "rolling_restart", "slandered_leader"]
+
+HEAD_N, HEAD_SEEDS = 1024, [0, 1]
+SMOKE_HEAD_N, SMOKE_HEAD_SEEDS = 256, [0]
+#: Anchor for the n=10^4 speedup bound: one sync partition_heal at this
+#: size lower-bounds the object engine's 10^4 wall time (monotone in n).
+ANCHOR_N, SMOKE_ANCHOR_N = 1024, 512
+SCALE_N = 10_000
+MIN_SPEEDUP = 3.0
+
+
+def _invariants(result):
+    return {
+        "final_leader_id": result.metrics.final_leader_id,
+        "final_agreed": result.metrics.final_agreed,
+        "triggers": [e.trigger for e in result.epochs],
+        "members": [e.members for e in result.epochs],
+        "member_ids": [e.member_ids for e in result.epochs],
+        "crashes": result.metrics.crashes,
+        "recoveries": result.metrics.recoveries,
+        "joins": result.metrics.joins,
+    }
+
+
+def _timed_run(name, n, engine, seed):
+    t0 = time.perf_counter()
+    result = ScenarioRunner(get_scenario(name, n), n, engine=engine, seed=seed).run()
+    return result, time.perf_counter() - t0
+
+
+def run_head_to_head(n, seeds):
+    """Fast vs sync on every scenario: wall times and the drift census."""
+    table = Table(
+        ["scenario", "n", "seed", "sync s", "fast s", "speedup", "drift"],
+        title="Faulted scenarios: vectorized fault runtime vs the object engine",
+    )
+    rows = []
+    for name in SCENARIOS:
+        for seed in seeds:
+            sync_res, sync_t = _timed_run(name, n, "sync", seed)
+            fast_res, fast_t = _timed_run(name, n, "fast", seed)
+            sync_inv = _invariants(sync_res)
+            fast_inv = _invariants(fast_res)
+            drift = sum(sync_inv[f] != fast_inv[f] for f in DRIFT_FIELDS)
+            speedup = sync_t / fast_t
+            rows.append(
+                {
+                    "scenario": name,
+                    "n": n,
+                    "seed": seed,
+                    "sync_t": sync_t,
+                    "fast_t": fast_t,
+                    "speedup": speedup,
+                    "drift": drift,
+                    "agreed": fast_res.metrics.final_agreed,
+                    "messages": fast_res.metrics.total_messages,
+                    "epochs": len(fast_res.epochs),
+                }
+            )
+            table.add_row(
+                name, n, seed, f"{sync_t:.2f}", f"{fast_t:.3f}",
+                f"{speedup:.0f}x", drift,
+            )
+    return table, rows
+
+
+def run_scale_leg(seeds, anchor_n):
+    """The fleet size: fast at n=10^4, bounded against a sync anchor."""
+    table = Table(
+        ["leg", "n", "seed", "wall s", "agreed", "blocked"],
+        title=f"Fleet size: partition_heal at n={SCALE_N} (fast engine)",
+    )
+    _, anchor_t = _timed_run("partition_heal", anchor_n, "sync", seeds[0])
+    table.add_row("sync anchor", anchor_n, seeds[0], f"{anchor_t:.2f}", "-", "-")
+    rows = []
+    for seed in seeds:
+        res, fast_t = _timed_run("partition_heal", SCALE_N, "fast", seed)
+        split = next(e for e in res.epochs if e.trigger == "partition")
+        rows.append(
+            {
+                "seed": seed,
+                "fast_t": fast_t,
+                "anchor_t": anchor_t,
+                "agreed": res.metrics.final_agreed,
+                "blocked": split.partition_blocked,
+                "messages": res.metrics.total_messages,
+            }
+        )
+        table.add_row(
+            "fast", SCALE_N, seed, f"{fast_t:.2f}",
+            res.metrics.final_agreed, split.partition_blocked,
+        )
+    return table, rows
+
+
+def check(head_rows, scale_rows) -> None:
+    for row in head_rows:
+        # Zero cross-engine drift, run by run.
+        assert row["drift"] == 0, row
+        assert row["agreed"], row
+        # The vectorized run beats the object engine by >= 3x per seed.
+        assert row["speedup"] >= MIN_SPEEDUP, row
+    for row in scale_rows:
+        assert row["agreed"], row
+        assert row["blocked"] > 0, row  # the partition really cut traffic
+        # n=10^4 speedup bound: the object engine's wall time is monotone
+        # in n, so its (smaller) anchor run lower-bounds sync at n=10^4.
+        assert row["anchor_t"] >= MIN_SPEEDUP * row["fast_t"], row
+
+
+def metrics_from(head_rows, scale_rows):
+    """Seed-deterministic metrics (+ directions) for the regression gate."""
+    metrics = {}
+    directions = {}
+    info = {}
+    for row in head_rows:
+        key = f"{row['scenario']}/n={row['n']}/seed={row['seed']}"
+        metrics[f"{key}/drift"] = row["drift"]          # 0: any rise fails
+        metrics[f"{key}/messages"] = row["messages"]
+        metrics[f"{key}/epochs"] = row["epochs"]
+        metrics[f"{key}/agreed"] = float(row["agreed"])
+        directions[f"{key}/agreed"] = "higher"
+        info[f"{key}/speedup"] = round(row["speedup"], 1)
+    for row in scale_rows:
+        key = f"partition_heal/n={SCALE_N}/seed={row['seed']}"
+        metrics[f"{key}/messages"] = row["messages"]
+        metrics[f"{key}/partition_blocked"] = row["blocked"]
+        directions[f"{key}/partition_blocked"] = "higher"
+        metrics[f"{key}/agreed"] = 1.0
+        directions[f"{key}/agreed"] = "higher"
+        info[f"{key}/wall_s"] = round(row["fast_t"], 3)
+        info[f"{key}/sync_anchor_s"] = round(row["anchor_t"], 3)
+    return metrics, directions, info
+
+
+def test_bench_scenario_fast(benchmark):
+    head_table, head_rows = bench_once(
+        benchmark, lambda: run_head_to_head(SMOKE_HEAD_N, SMOKE_HEAD_SEEDS)
+    )
+    scale_table, scale_rows = run_scale_leg(SMOKE_HEAD_SEEDS, SMOKE_ANCHOR_N)
+    emit("scenario_fast", head_table.render() + "\n\n" + scale_table.render())
+    check(head_rows, scale_rows)
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized sweep")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a BENCH_*.json trajectory artifact")
+    args = parser.parse_args(argv)
+    head_n = SMOKE_HEAD_N if args.smoke else HEAD_N
+    seeds = SMOKE_HEAD_SEEDS if args.smoke else HEAD_SEEDS
+    anchor_n = SMOKE_ANCHOR_N if args.smoke else ANCHOR_N
+    head_table, head_rows = run_head_to_head(head_n, seeds)
+    scale_table, scale_rows = run_scale_leg(seeds, anchor_n)
+    print(head_table.render())
+    print(scale_table.render())
+    check(head_rows, scale_rows)
+    if args.json:
+        metrics, directions, info = metrics_from(head_rows, scale_rows)
+        emit_json(args.json, "scenario_fast", metrics,
+                  smoke=args.smoke, directions=directions, info=info)
+    print(
+        f"OK: zero cross-engine drift, >= {MIN_SPEEDUP:g}x per-seed speedup "
+        f"(head-to-head and at n={SCALE_N})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -239,6 +239,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit("error: --trace records one run; pass exactly one seed")
     params = dict(kv.split("=", 1) for kv in args.param)
     params = {k: _parse_param(v) for k, v in params.items()}
+    fault_plan = _partition_plan(args)
     trace_recorder = None
     telemetry = None
     if args.trace is not None:
@@ -298,6 +299,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                         params=params,
                         ids=ids,
                         roots=roots,
+                        faults=fault_plan,
                         trace=args.trace,
                     )
                 )
@@ -316,6 +318,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                         params=params,
                         ids=ids,
                         roots=roots,
+                        faults=fault_plan,
                     ),
                     telemetry=telemetry,
                 )
@@ -335,6 +338,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                         params=params,
                         ids=ids,
                         awake=awake,
+                        faults=fault_plan,
                     ),
                     recorder=trace_recorder,
                 )
@@ -354,6 +358,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                         params=params,
                         ids=ids,
                         wake_times=wake_times,
+                        faults=fault_plan,
                         max_events=20_000_000,
                     ),
                     recorder=trace_recorder,
@@ -455,6 +460,42 @@ def _parse_crash(text: str):
         raise argparse.ArgumentTypeError(
             f"crash spec {text!r} is not NODE@WHEN (e.g. 63@2)"
         ) from None
+
+
+def _parse_partition(text: str):
+    """``CUT@START-END`` (or ``CUT@START``): split {0..CUT-1} from the rest."""
+    try:
+        cut_text, window = text.split("@", 1)
+        cut = int(cut_text)
+        if "-" in window:
+            start_text, end_text = window.split("-", 1)
+            start, end = float(start_text), float(end_text)
+        else:
+            start, end = float(window), None
+        return cut, start, end
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"partition spec {text!r} is not CUT@START-END (e.g. 32@2-6)"
+        ) from None
+
+
+def _partition_plan(args: argparse.Namespace):
+    """The ``--partition`` flag as a one-mask :class:`FaultPlan` (or None)."""
+    if getattr(args, "partition", None) is None:
+        return None
+    from repro.faults import FaultPlan, PartitionMask
+
+    cut, start, end = args.partition
+    if not 0 < cut < args.n:
+        raise SystemExit(
+            f"error: --partition cut must be in (0, n), got {cut} with n={args.n}"
+        )
+    mask = PartitionMask(
+        components=(tuple(range(cut)), tuple(range(cut, args.n))),
+        start=start,
+        end=end,
+    )
+    return FaultPlan(partitions=(mask,))
 
 
 def _build_fault_plan(args: argparse.Namespace):
@@ -1127,6 +1168,7 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
         engine=args.engine,
         batch=None,
         trace=args.out,
+        partition=getattr(args, "partition", None),
     )
     return cmd_run(run_args)
 
@@ -1535,6 +1577,14 @@ def build_parser() -> argparse.ArgumentParser:
         "stream per-message events, the fast engine writes per-round "
         "aggregate counters)",
     )
+    run_p.add_argument(
+        "--partition", type=_parse_partition, default=None,
+        metavar="CUT@START-END",
+        help="split nodes {0..CUT-1} from {CUT..n-1} for rounds "
+        "[START, END) with automatic heal (omit -END for a permanent "
+        "split); runs on every engine, including the vectorized fault "
+        "runtime on --engine fast",
+    )
     run_p.set_defaults(func=cmd_run)
 
     bounds_p = sub.add_parser("bounds", help="evaluate the Table 1 formulas")
@@ -1805,6 +1855,12 @@ def build_parser() -> argparse.ArgumentParser:
     rec_p.add_argument(
         "--roots", type=int, default=None,
         help="number of initially awake nodes (default: all)",
+    )
+    rec_p.add_argument(
+        "--partition", type=_parse_partition, default=None,
+        metavar="CUT@START-END",
+        help="record under a partition window: split {0..CUT-1} from "
+        "{CUT..n-1} for rounds [START, END), healing at END",
     )
     rec_p.add_argument(
         "-o", "--out", required=True, metavar="PATH", help="trace output path"

@@ -127,10 +127,15 @@ def _fast_record(
             "wall_time_s": result.wall_time_s,
         },
     )
-    if result.crashed:
+    if result.crashed or result.fault_metrics is not None:
         record.extra["crashed"] = list(result.crashed)
         record.extra["unique_surviving_leader"] = result.unique_surviving_leader
         record.extra["surviving_leader_id"] = result.surviving_leader_id
+        record.extra["fault_metrics"] = result.fault_metrics
+        record.extra["leader_nodes"] = list(result.leaders)
+        record.extra["leader_ids"] = list(result.leader_ids)
+    if result.outputs is not None:
+        record.extra["outputs"] = list(result.outputs)
     record.extra["metrics"] = run_metrics(result).as_dict()
     return record
 

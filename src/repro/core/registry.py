@@ -58,6 +58,22 @@ class AlgorithmSpec:
         return self.name in FAST_ALGORITHMS
 
     @property
+    def has_fast_faults(self) -> bool:
+        """Whether the vectorized port runs full :class:`FaultPlan` folds.
+
+        True only when a fast twin exists *and* declares
+        ``supports_faults`` — the contract behind auto-routing faulted
+        specs onto the vectorized engine (see
+        :meth:`repro.sweep.RunSpec.resolved_engine`).
+        """
+        try:
+            from repro.fastsync import FAST_ALGORITHMS
+        except ImportError:
+            return False
+        port = FAST_ALGORITHMS.get(self.name)
+        return port is not None and getattr(port, "supports_faults", False)
+
+    @property
     def envelope(self) -> Optional[Any]:
         """The theory-bound conformance envelope, or None when no
         theorem statement covers this algorithm (absence of a bound is

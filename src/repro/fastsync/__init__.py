@@ -49,13 +49,17 @@ from repro.fastsync.algorithms import (
     VectorSmallIdElection,
 )
 from repro.fastsync.engine import ArrayPortMap, FastRunResult, FastSyncNetwork
+from repro.fastsync.faults import Delivered, FastFaultRuntime, delivered_total
 from repro.fastsync.registry import FAST_ALGORITHMS, get_fast_algorithm
 from repro.fastsync.xp import available_backends, backend_name, set_backend, xp
 
 __all__ = [
     "ArrayPortMap",
+    "Delivered",
+    "FastFaultRuntime",
     "FastRunResult",
     "FastSyncNetwork",
+    "delivered_total",
     "VectorAlgorithm",
     "VectorAdversarial2RoundElection",
     "VectorAfekGafniElection",

@@ -58,6 +58,13 @@ class VectorAlgorithm:
     #: node wakes in round 1.
     supports_roots: bool = False
 
+    #: Whether the port implements a FaultPlan fold — the per-receiver
+    #: round-by-round path driven through the engine's
+    #: :class:`~repro.fastsync.faults.FastFaultRuntime` (partitions,
+    #: link faults, kill policies, tampering).  The engine refuses to
+    #: attach ``faults=`` to a port that does not.
+    supports_faults: bool = False
+
     def run(self, net: "FastSyncNetwork") -> None:
         """Execute the full round schedule on ``net`` (see module docs)."""
         raise NotImplementedError

@@ -28,11 +28,13 @@ finish in different rounds.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Callable, Optional, Tuple
 
 from repro.fastsync.xp import xp as np
 
 from repro.fastsync.algorithm import VectorAlgorithm
+from repro.fastsync.faults import delivered_total
 from repro.mathutil import ceil_pow_frac, ceil_sqrt
 
 __all__ = [
@@ -202,6 +204,89 @@ def _rank_referee_grants(
     return is_win, delivered
 
 
+# --------------------------------------------------------------------- #
+# FaultPlan fold helpers (single-lane, exact or scale mode)
+#
+# Under a FaultPlan the analytic shortcuts above are unsound: a dropped
+# compete or a healed partition changes who responds to whom, so every
+# faulted round materializes its send batch and pushes it through the
+# engine's FastFaultRuntime — which burns the object engine's fault and
+# adversary RNG streams in the object engine's global send order (sender
+# ascending, port order within a sender).  The helpers below keep that
+# ordering contract; everything delivered comes back as per-kind
+# :class:`~repro.fastsync.faults.Delivered` batches in arrival order.
+
+
+def _send_batch(net, kind, src, dst, fields=()):
+    """Account one uniform-kind send batch and deliver it through the plan."""
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.size == 0:
+        return {}
+    net.count_messages(src.size, kind)
+    runtime = net.fault_runtime
+    runtime.observe_sends(net.round, src, kind)
+    return runtime.deliver(net.round, kind, src, dst, fields)
+
+
+def _send_mixed(net, kinds, src, dst, fields=()):
+    """Like :func:`_send_batch` for interleaved per-edge kinds (win/lose).
+
+    The per-edge ``kinds`` sequence preserves the object engine's
+    interleaving: a referee answers its competes in arrival order, so a
+    link rule watching only ``win`` must see the rule RNG consumed at
+    exactly the win positions of the interleaved stream.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.size == 0:
+        return {}
+    for kind, count in Counter(kinds).items():
+        net.count_messages(count, kind)
+    runtime = net.fault_runtime
+    runtime.observe_sends(net.round, src, kinds)
+    return runtime.deliver(net.round, kinds, src, dst, fields)
+
+
+def _first_max_pick(dst, val, floor):
+    """Indices of each receiver's first-arrival maximum above its floor.
+
+    Replicates the referee scan ``if payload[1] > best: keep`` over an
+    arrival-ordered edge list: only values strictly above ``floor[dst]``
+    count, and among copies tied at the receiver's maximum the earliest
+    arrival wins (the object scan replaces only on strict improvement).
+    Returns positions into ``dst``/``val``, sorted by receiver — which
+    is exactly the object engine's response send order (referees step in
+    node order, one response each).
+    """
+    keep = val > floor[dst]
+    idx = np.nonzero(keep)[0]
+    if idx.size == 0:
+        return idx
+    order = np.lexsort((idx, -val[idx], dst[idx]))
+    sd = dst[idx[order]]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = sd[1:] != sd[:-1]
+    return idx[order[first]]
+
+
+def _rank_grants_per_copy(dst, val, size):
+    """Per-copy ``win`` mask of the rank referees, tamper-tolerant.
+
+    Matches the object referee exactly: the running best starts at -1
+    (tampered ranks can go negative and must stay unelectable), and a
+    receiver grants ``win`` only to a *unique* copy of its final
+    maximum — a duplicated top rank ties with itself and loses.
+    """
+    best = np.full(size, -1, dtype=np.int64)
+    if dst.size:
+        np.maximum.at(best, dst, val)
+    hits = (val > -1) & (val == best[dst])
+    top = np.zeros(size, dtype=np.int64)
+    np.add.at(top, dst[hits], 1)
+    return hits & (top[dst] == 1)
+
+
 class VectorImprovedTradeoffElection(VectorAlgorithm):
     """Vectorized Theorem 3.10 tradeoff election (twin: ``improved_tradeoff``).
 
@@ -218,6 +303,7 @@ class VectorImprovedTradeoffElection(VectorAlgorithm):
     name = "improved_tradeoff"
     supports_crashes = True
     supports_batch = True
+    supports_faults = True
 
     COMPETE = "compete"
     RESPONSE = "response"
@@ -234,6 +320,9 @@ class VectorImprovedTradeoffElection(VectorAlgorithm):
         return min(ceil_pow_frac(n, iteration, self.k - 1), n - 1)
 
     def run(self, net) -> None:
+        if net.has_faults:
+            self._run_faulted(net)
+            return
         n, ids = net.n, net.ids
         crashy = net.has_crashes
         survivors = np.arange(n, dtype=np.int64)
@@ -283,6 +372,94 @@ class VectorImprovedTradeoffElection(VectorAlgorithm):
             return
         winner = int(survivors[int(np.argmax(ids[survivors]))])
         net.decide([winner])
+
+    def _run_faulted(self, net) -> None:
+        """The per-receiver fold under a FaultPlan (exact twin semantics).
+
+        Dropped or blocked responses starve their survivor; duplicated
+        responses over-count and keep it (``>= awaiting``, like the
+        twin's ``< awaiting`` demotion); tampered compete IDs enter the
+        referee's first-max scan as delivered, so a forged ID can steal
+        a response.  Outputs follow the twin's explicit election: the
+        winner's broadcast ID, per receiver, or ``None`` where every
+        broadcast was lost.
+        """
+        n, ids = net.n, net.ids
+        survivor = np.ones(n, dtype=bool)
+        awaiting = np.zeros(n, dtype=np.int64)
+        resp = None  # RESPONSE batch in flight into the next odd round
+        for i in range(1, self.k - 1):
+            m = self.referee_count(n, i)
+            net.tick()  # round 2i-1: tally iteration i-1, then compete
+            alive = net.alive
+            count = np.zeros(n, dtype=np.int64)
+            if resp is not None:
+                ok = alive[resp.dst]
+                np.add.at(count, resp.dst[ok], 1)
+            # A fully starved survivor (every response dropped or dead)
+            # demotes too: the tally runs even with nothing in flight.
+            survivor &= count >= awaiting
+            resp = None
+            senders = np.nonzero(alive & survivor)[0]
+            batch = {}
+            if senders.size and m > 0:
+                dst = net.first_ports(senders, m)
+                batch = _send_batch(
+                    net,
+                    self.COMPETE,
+                    np.repeat(senders, m),
+                    dst.reshape(-1),
+                    (np.repeat(ids[senders], m),),
+                )
+                awaiting[senders] = m
+            net.tick()  # round 2i: referees answer their first-arrival max
+            alive = net.alive
+            resp = None
+            comp = batch.get(self.COMPETE)
+            if comp is not None:
+                ok = alive[comp.dst]
+                cdst, csrc = comp.dst[ok], comp.src[ok]
+                cval = comp.fields[0][ok]
+                floor = np.full(n, -1, dtype=np.int64)
+                pick = _first_max_pick(cdst, cval, floor)
+                resp = _send_batch(net, self.RESPONSE, cdst[pick], csrc[pick]).get(
+                    self.RESPONSE
+                )
+        net.tick()  # round 2k-3: tally the last iteration, broadcast final
+        alive = net.alive
+        count = np.zeros(n, dtype=np.int64)
+        if resp is not None:
+            ok = alive[resp.dst]
+            np.add.at(count, resp.dst[ok], 1)
+        survivor &= count >= awaiting
+        senders = np.nonzero(alive & survivor)[0]
+        batch = {}
+        if senders.size and n > 1:
+            dst = net.first_ports(senders, n - 1)
+            batch = _send_batch(
+                net,
+                self.FINAL,
+                np.repeat(senders, n - 1),
+                dst.reshape(-1),
+                (np.repeat(ids[senders], n - 1),),
+            )
+        net.tick()  # round 2k-2: silent decision round
+        alive = net.alive
+        best = np.where(survivor, ids, np.int64(-1))
+        fin = batch.get(self.FINAL)
+        if fin is not None:
+            ok = alive[fin.dst]
+            np.maximum.at(best, fin.dst[ok], fin.fields[0][ok])
+        leader_mask = alive & survivor & (best == ids)
+        outputs: list = [None] * n
+        for u in np.nonzero(alive)[0]:
+            b = int(best[u])
+            outputs[int(u)] = b if b >= 0 else None
+        net.decide(
+            np.nonzero(leader_mask)[0].tolist(),
+            decided_count=int(alive.sum()),
+            outputs=outputs,
+        )
 
     def run_batch(self, net) -> None:
         n, ids_flat = net.n, net.ids_flat
@@ -360,6 +537,7 @@ class VectorAfekGafniElection(VectorAlgorithm):
     name = "afek_gafni"
     supports_crashes = True
     supports_batch = True
+    supports_faults = True
 
     COMPETE = "compete"
     RESPONSE = "response"
@@ -375,6 +553,9 @@ class VectorAfekGafniElection(VectorAlgorithm):
         return min(ceil_pow_frac(n, iteration, self.iterations), n - 1)
 
     def run(self, net) -> None:
+        if net.has_faults:
+            self._run_faulted(net)
+            return
         n, ids = net.n, net.ids
         crashy = net.has_crashes
         candidates = np.arange(n, dtype=np.int64)
@@ -426,6 +607,110 @@ class VectorAfekGafniElection(VectorAlgorithm):
             net.decide([winner], decided_count=decided)
             return
         net.decide(candidates.tolist())
+
+    def _run_faulted(self, net) -> None:
+        """The FaultPlan fold: drops can leave several (or zero) winners.
+
+        A candidate starved of any response drops out, so under message
+        loss *multiple* candidates can reach the announcement round each
+        believing it won — every one decides LEADER and broadcasts, and
+        each follower adopts the first ``elected`` payload it receives,
+        exactly like the twin.  Zero announcers (or followers cut off
+        from every announcement) leave stragglers spinning until the
+        round limit, on both engines.
+        """
+        n, ids = net.n, net.ids
+        candidate = np.ones(n, dtype=bool)
+        awaiting = np.zeros(n, dtype=np.int64)
+        resp = None
+        for i in range(1, self.iterations + 1):
+            m = self.referee_count(n, i)
+            net.tick()  # round 2i-1: tally iteration i-1, then compete
+            alive = net.alive
+            count = np.zeros(n, dtype=np.int64)
+            if resp is not None:
+                ok = alive[resp.dst]
+                np.add.at(count, resp.dst[ok], 1)
+            # Starved candidates (every response dead or dropped) demote
+            # too, so the tally runs even with nothing in flight.
+            candidate &= count >= awaiting
+            resp = None
+            senders = np.nonzero(alive & candidate)[0]
+            batch = {}
+            if senders.size and m > 0:
+                dst = net.first_ports(senders, m)
+                batch = _send_batch(
+                    net,
+                    self.COMPETE,
+                    np.repeat(senders, m),
+                    dst.reshape(-1),
+                    (np.repeat(ids[senders], m),),
+                )
+                awaiting[senders] = m
+            net.tick()  # round 2i: self-comparing referees answer
+            alive = net.alive
+            resp = None
+            comp = batch.get(self.COMPETE)
+            if comp is not None:
+                ok = alive[comp.dst]
+                cdst, csrc = comp.dst[ok], comp.src[ok]
+                cval = comp.fields[0][ok]
+                # A referee that is itself a live candidate floors the
+                # scan at its own ID (it implicitly competes at itself).
+                floor = np.where(candidate, ids, np.int64(-1))
+                pick = _first_max_pick(cdst, cval, floor)
+                resp = _send_batch(net, self.RESPONSE, cdst[pick], csrc[pick]).get(
+                    self.RESPONSE
+                )
+        net.tick()  # round 2K+1: surviving candidates announce
+        alive = net.alive
+        count = np.zeros(n, dtype=np.int64)
+        if resp is not None:
+            ok = alive[resp.dst]
+            np.add.at(count, resp.dst[ok], 1)
+        candidate &= count >= awaiting
+        announcers = np.nonzero(alive & candidate)[0]
+        decided = np.zeros(n, dtype=bool)
+        halted = np.zeros(n, dtype=bool)
+        outputs: list = [None] * n
+        batch = {}
+        if announcers.size:
+            decided[announcers] = True
+            halted[announcers] = True
+            for u in announcers:
+                outputs[int(u)] = int(ids[u])
+            if n > 1:
+                dst = net.first_ports(announcers, n - 1)
+                batch = _send_batch(
+                    net,
+                    self.ELECTED,
+                    np.repeat(announcers, n - 1),
+                    dst.reshape(-1),
+                    (np.repeat(ids[announcers], n - 1),),
+                )
+        leaders = announcers.tolist()
+        inflight = delivered_total(batch)
+        # Followers halt on their first elected payload; stragglers that
+        # never get one keep the run alive until the round limit (the
+        # twin's referees idle the same way).
+        while bool((net.alive & ~halted).any()) or inflight:
+            net.tick()
+            alive = net.alive
+            el = batch.get(self.ELECTED)
+            if el is not None:
+                ok = alive[el.dst] & ~halted[el.dst]
+                edst, eval_ = el.dst[ok], el.fields[0][ok]
+                order = np.argsort(edst, kind="stable")
+                edst, eval_ = edst[order], eval_[order]
+                first = np.ones(edst.size, dtype=bool)
+                first[1:] = edst[1:] != edst[:-1]
+                for d, v in zip(edst[first], eval_[first]):
+                    outputs[int(d)] = int(v)
+                decided[edst[first]] = True
+                halted[edst[first]] = True
+            batch = {}
+            inflight = 0
+        net.decide(leaders, decided_count=int(decided.sum()), outputs=outputs)
 
     def run_batch(self, net) -> None:
         n, ids_flat = net.n, net.ids_flat
@@ -507,6 +792,7 @@ class VectorSmallIdElection(VectorAlgorithm):
     name = "small_id"
     supports_crashes = True
     supports_batch = True
+    supports_faults = True
 
     BALLOT = "ballot"
 
@@ -530,7 +816,72 @@ class VectorSmallIdElection(VectorAlgorithm):
         width = self.d * self.g
         return (ids + width - 1) // width
 
+    def _run_faulted(self, net) -> None:
+        """FaultPlan fold: lost ballots re-open later windows.
+
+        A node that hears no ballot (partitioned away, or its window's
+        broadcasters all dropped) simply waits for its *own* window and
+        broadcasts then — so under partitions each component elects its
+        own minimum, and the fold runs window by window until every live
+        node has decided and nothing is in flight, like the twin.
+        """
+        n, ids = net.n, net.ids
+        windows = self._windows(net)
+        big = np.iinfo(np.int64).max
+        halted = np.zeros(n, dtype=bool)
+        decided = np.zeros(n, dtype=bool)
+        sent_round = np.zeros(n, dtype=np.int64)
+        outputs: list = [None] * n
+        leaders: list = []
+        batch = {}
+        while True:
+            r = net.tick()
+            alive = net.alive
+            act = alive & ~halted
+            bal = batch.get(self.BALLOT)
+            min_bal = np.full(n, big, dtype=np.int64)
+            has_bal = np.zeros(n, dtype=bool)
+            if bal is not None:
+                ok = act[bal.dst]
+                np.minimum.at(min_bal, bal.dst[ok], bal.fields[0][ok])
+                has_bal[bal.dst[ok]] = True
+            # Branch precedence mirrors the twin's handler: a node that
+            # broadcast last round decides (its own ID participates);
+            # otherwise any ballot decides it; otherwise its window may
+            # open this round.
+            deciders = act & (sent_round > 0) & (sent_round + 1 == r)
+            win_sent = np.minimum(min_bal, ids)
+            new_lead = deciders & (win_sent == ids)
+            leaders.extend(np.nonzero(new_lead)[0].tolist())
+            for u in np.nonzero(deciders)[0]:
+                outputs[int(u)] = int(win_sent[u])
+            rec = act & ~deciders & has_bal
+            for u in np.nonzero(rec)[0]:
+                outputs[int(u)] = int(min_bal[u])
+            decided |= deciders | rec
+            halted |= deciders | rec
+            bc = act & ~deciders & ~rec & (windows == r)
+            batch = {}
+            if bc.any():
+                idxs = np.nonzero(bc)[0]
+                if n > 1:
+                    dst = net.first_ports(idxs, n - 1)
+                    batch = _send_batch(
+                        net,
+                        self.BALLOT,
+                        np.repeat(idxs, n - 1),
+                        dst.reshape(-1),
+                        (np.repeat(ids[idxs], n - 1),),
+                    )
+                sent_round[bc] = r
+            if not (net.alive & ~halted).any() and delivered_total(batch) == 0:
+                break
+        net.decide(leaders, decided_count=int(decided.sum()), outputs=outputs)
+
     def run(self, net) -> None:
+        if net.has_faults:
+            self._run_faulted(net)
+            return
         n, ids = net.n, net.ids
         windows = self._windows(net)
         if net.has_crashes:
@@ -602,6 +953,7 @@ class VectorLasVegasElection(VectorAlgorithm):
     name = "las_vegas"
     supports_crashes = True
     supports_batch = True
+    supports_faults = True
 
     COMPETE = "compete"
     WIN = "win"
@@ -633,7 +985,119 @@ class VectorLasVegasElection(VectorAlgorithm):
             return 0
         return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
 
+    def _run_faulted(self, net) -> None:
+        """FaultPlan fold: per-receiver certification, phase by phase.
+
+        The twin's safety argument leans on announcements being reliable
+        broadcasts; under faults that breaks *per receiver* — a node
+        whose single announcement copy was dropped restarts while the
+        rest follow, and a duplicated copy fails the ``exactly one``
+        check.  The fold therefore tracks decisions per node and keeps
+        phasing until every live node decided and nothing is in flight.
+        """
+        n, ids = net.n, net.ids
+        if n == 1:
+            net.tick()
+            net.decide([0], outputs=[int(ids[0])])
+            return
+        m = self.referee_count(n)
+        halted = np.zeros(n, dtype=bool)
+        decided = np.zeros(n, dtype=bool)
+        announced = np.zeros(n, dtype=bool)
+        cand_mask = np.zeros(n, dtype=bool)
+        awaiting = np.zeros(n, dtype=np.int64)
+        outputs: list = [None] * n
+        leaders: list = []
+        ann_batch = {}
+        phase = 0
+        while True:
+            net.tick()  # round 3p+1: verify announcements / restart
+            alive = net.alive
+            act = alive & ~halted
+            ann = ann_batch.get(self.ANNOUNCE)
+            ann_count = np.zeros(n, dtype=np.int64)
+            ann_val = np.zeros(n, dtype=np.int64)
+            if ann is not None:
+                ok = act[ann.dst]
+                np.add.at(ann_count, ann.dst[ok], 1)
+                ann_val[ann.dst[ok]] = ann.fields[0][ok]
+            new_lead = act & announced & (ann_count == 0)
+            new_follow = act & ~announced & (ann_count == 1)
+            leaders.extend(np.nonzero(new_lead)[0].tolist())
+            for u in np.nonzero(new_lead)[0]:
+                outputs[int(u)] = int(ids[u])
+            for u in np.nonzero(new_follow)[0]:
+                outputs[int(u)] = int(ann_val[u])
+            decided |= new_lead | new_follow
+            halted |= new_lead | new_follow
+            undecided = act & ~new_lead & ~new_follow
+            if not undecided.any():
+                break
+            self.phases_run = phase + 1
+            announced &= ~undecided
+            prob = self.candidate_probability(n, phase)
+            coin = net.bernoulli(prob)
+            cand_mask = undecided & coin
+            cand = np.nonzero(cand_mask)[0]
+            comp_batch = {}
+            if cand.size:
+                ranks = net.rank_draws(cand, n**4)
+                dst = net.sampled_targets(cand, m)
+                comp_batch = _send_batch(
+                    net,
+                    self.COMPETE,
+                    np.repeat(cand, m),
+                    dst.reshape(-1),
+                    (np.repeat(ranks, m),),
+                )
+                awaiting[cand] = m
+            net.tick()  # round 3p+2: referees grant win/lose per copy
+            alive = net.alive
+            act = alive & ~halted
+            comp = comp_batch.get(self.COMPETE)
+            wl_batch = {}
+            if comp is not None:
+                ok = act[comp.dst]
+                cdst, csrc = comp.dst[ok], comp.src[ok]
+                cval = comp.fields[0][ok]
+                order = np.argsort(cdst, kind="stable")
+                cdst, csrc, cval = cdst[order], csrc[order], cval[order]
+                is_win = _rank_grants_per_copy(cdst, cval, n)
+                kinds = [self.WIN if w else self.LOSE for w in is_win]
+                wl_batch = _send_mixed(net, kinds, cdst, csrc)
+            if not (alive & ~halted).any() and delivered_total(wl_batch) == 0:
+                break
+            net.tick()  # round 3p+3: full-win candidates announce
+            alive = net.alive
+            act = alive & ~halted
+            win = wl_batch.get(self.WIN)
+            win_count = np.zeros(n, dtype=np.int64)
+            if win is not None:
+                ok = act[win.dst]
+                np.add.at(win_count, win.dst[ok], 1)
+            announcers = np.nonzero(
+                act & cand_mask & (awaiting > 0) & (win_count == awaiting)
+            )[0]
+            announced[announcers] = True
+            ann_batch = {}
+            if announcers.size:
+                dst = net.first_ports(announcers, n - 1)
+                ann_batch = _send_batch(
+                    net,
+                    self.ANNOUNCE,
+                    np.repeat(announcers, n - 1),
+                    dst.reshape(-1),
+                    (np.repeat(ids[announcers], n - 1),),
+                )
+            if not (alive & ~halted).any() and delivered_total(ann_batch) == 0:
+                break
+            phase += 1
+        net.decide(leaders, decided_count=int(decided.sum()), outputs=outputs)
+
     def run(self, net) -> None:
+        if net.has_faults:
+            self._run_faulted(net)
+            return
         n, ids = net.n, net.ids
         if n == 1:
             net.tick()
@@ -759,6 +1223,7 @@ class VectorKutten16Election(VectorAlgorithm):
     name = "kutten16"
     supports_crashes = True
     supports_batch = True
+    supports_faults = True
 
     COMPETE = "compete"
     WIN = "win"
@@ -780,7 +1245,82 @@ class VectorKutten16Election(VectorAlgorithm):
             return 0
         return min(n - 1, math.ceil(self.referee_coeff * math.sqrt(n * math.log(n))))
 
+    def _run_faulted(self, net) -> None:
+        """FaultPlan fold: the Monte Carlo tally under lossy links.
+
+        A dropped win (or a blocked compete) silently demotes its
+        candidate; a *duplicated* win over-counts and demotes it too
+        (the twin requires exactly ``awaiting`` wins).  Outputs are all
+        ``None`` except the self-declared leaders — the twin's election
+        is implicit.
+        """
+        n, ids = net.n, net.ids
+        net.tick()  # round 1: candidacy coins + competes
+        alive = net.alive
+        if n == 1:
+            net.decide([0], outputs=[int(ids[0])])
+            return
+        coin = net.bernoulli(self.candidate_probability(n))
+        cand_mask = alive & coin
+        alive1 = alive.copy()
+        cand = np.nonzero(cand_mask)[0]
+        m = self.referee_count(n)
+        comp_batch = {}
+        if cand.size:
+            ranks = net.rank_draws(cand, n**4)
+            dst = net.sampled_targets(cand, m)
+            comp_batch = _send_batch(
+                net,
+                self.COMPETE,
+                np.repeat(cand, m),
+                dst.reshape(-1),
+                (np.repeat(ranks, m),),
+            )
+        net.tick()  # round 2: referees grant win/lose; non-candidates halt
+        alive = net.alive
+        comp = comp_batch.get(self.COMPETE)
+        wl_batch = {}
+        if comp is not None:
+            ok = alive[comp.dst]
+            cdst, csrc = comp.dst[ok], comp.src[ok]
+            cval = comp.fields[0][ok]
+            order = np.argsort(cdst, kind="stable")
+            cdst, csrc, cval = cdst[order], csrc[order], cval[order]
+            is_win = _rank_grants_per_copy(cdst, cval, n)
+            kinds = [self.WIN if w else self.LOSE for w in is_win]
+            wl_batch = _send_mixed(net, kinds, cdst, csrc)
+        if not (alive & cand_mask).any() and delivered_total(wl_batch) == 0:
+            # No live candidate and nothing in flight: the run ends with
+            # the silent referee round, like the twin.
+            net.decide(
+                [],
+                decided_count=int((alive1 & ~coin).sum()),
+                outputs=[None] * n,
+            )
+            return
+        net.tick()  # round 3 (silent): candidates tally their verdicts
+        alive = net.alive
+        win = wl_batch.get(self.WIN)
+        win_count = np.zeros(n, dtype=np.int64)
+        if win is not None:
+            ok = alive[win.dst]
+            np.add.at(win_count, win.dst[ok], 1)
+        act3 = alive & cand_mask
+        lead = act3 & (win_count == m)
+        outputs: list = [None] * n
+        leaders = np.nonzero(lead)[0]
+        for u in leaders:
+            outputs[int(u)] = int(ids[u])
+        net.decide(
+            leaders.tolist(),
+            decided_count=int((alive1 & ~coin).sum()) + int(act3.sum()),
+            outputs=outputs,
+        )
+
     def run(self, net) -> None:
+        if net.has_faults:
+            self._run_faulted(net)
+            return
         n = net.n
         crashy = net.has_crashes
         net.tick()  # round 1: candidacy coins + competes
@@ -897,6 +1437,7 @@ class VectorAdversarial2RoundElection(VectorAlgorithm):
     name = "adversarial_2round"
     supports_batch = True
     supports_roots = True
+    supports_faults = True
 
     WAKE = "wake"
     RANK = "rank"
@@ -910,6 +1451,9 @@ class VectorAdversarial2RoundElection(VectorAlgorithm):
         return min(1.0, math.log(1.0 / self.epsilon) / ceil_sqrt(n))
 
     def run(self, net) -> None:
+        if net.has_faults:
+            self._run_faulted(net)
+            return
         n = net.n
         roots = net.roots if net.roots is not None else np.arange(n, dtype=np.int64)
         net.tick()  # round 1: roots send wake-ups
@@ -937,6 +1481,118 @@ class VectorAdversarial2RoundElection(VectorAlgorithm):
         holders = cand[ranks == top]
         leaders = [int(holders[0])] if len(holders) == 1 else []
         net.decide(leaders, decided_count=n, awake_count=n)
+
+    def _run_faulted(self, net) -> None:
+        """Fault fold: the twin's wake-round state machine, per receiver.
+
+        The closed-form shortcut of :meth:`run` assumes fault-free
+        delivery (every sampled wake-up arrives, every rank broadcast
+        reaches everyone); under a plan each node's wake round and each
+        receiver's surviving rank multiset must be tracked explicitly.
+        """
+        n, ids = net.n, net.ids
+        roots = net.roots if net.roots is not None else np.arange(n, dtype=np.int64)
+        net.tick()  # round 1: alive roots wake and send wake-ups
+        if n == 1:
+            net.decide([0], outputs=[int(ids[0])])
+            return
+        alive = net.alive
+        root_mask = np.zeros(n, dtype=bool)
+        root_mask[roots] = True
+        wake_round = np.zeros(n, dtype=np.int64)
+        wake_round[root_mask & alive] = 1
+        m = min(ceil_sqrt(n), n - 1)
+        senders = np.nonzero(root_mask & alive)[0]
+        wake_batch = {}
+        if senders.size:
+            dst = net.sampled_targets(senders, m)
+            wake_batch = _send_batch(
+                net, self.WAKE, np.repeat(senders, m), dst.reshape(-1)
+            )
+        if not (alive & (wake_round > 0)).any() and delivered_total(wake_batch) == 0:
+            # Every root crashed before waking: round 1 ran empty.
+            net.decide(
+                [],
+                decided_count=0,
+                awake_count=int((wake_round > 0).sum()),
+                outputs=[None] * n,
+            )
+            return
+        net.tick()  # round 2: wake-up receivers flip candidacy coins
+        alive = net.alive
+        got = np.zeros(n, dtype=bool)
+        for b in wake_batch.values():
+            ok = alive[b.dst]
+            got[b.dst[ok]] = True
+        wake_round[got & (wake_round == 0)] = 2
+        coin = net.bernoulli(self.candidate_probability(n))
+        cand_mask = got & coin
+        cand = np.nonzero(cand_mask)[0]
+        rank = np.zeros(n, dtype=np.int64)
+        rank_batch = {}
+        if cand.size:
+            rank[cand] = net.rank_draws(cand, n**4)
+            dst = net.first_ports(cand, n - 1)
+            rank_batch = _send_batch(
+                net,
+                self.RANK,
+                np.repeat(cand, n - 1),
+                dst.reshape(-1),
+                (np.repeat(rank[cand], n - 1), np.repeat(ids[cand], n - 1)),
+            )
+        # Awake non-root non-candidates become followers now (without
+        # halting — they stay up so in-flight broadcasts are not dropped).
+        decided = got & ~coin & ~root_mask
+        if not (alive & (wake_round > 0)).any() and delivered_total(rank_batch) == 0:
+            net.decide(
+                [],
+                decided_count=int(decided.sum()),
+                awake_count=int((wake_round > 0).sum()),
+                outputs=[None] * n,
+            )
+            return
+        net.tick()  # round 3: every awake node decides
+        alive = net.alive
+        got3 = np.zeros(n, dtype=bool)
+        for b in rank_batch.values():  # any kind wakes, stale replays included
+            ok = alive[b.dst]
+            got3[b.dst[ok]] = True
+        wake_round[got3 & (wake_round == 0)] = 3
+        rk = rank_batch.get(self.RANK)
+        has_rank = np.zeros(n, dtype=bool)
+        imin = np.iinfo(np.int64).min
+        best_rank = np.full(n, imin, dtype=np.int64)
+        top_cnt = np.zeros(n, dtype=np.int64)
+        best_sender = np.full(n, imin, dtype=np.int64)
+        if rk is not None:
+            ok = alive[rk.dst]
+            rdst, rval, rsend = rk.dst[ok], rk.fields[0][ok], rk.fields[1][ok]
+            has_rank[rdst] = True
+            np.maximum.at(best_rank, rdst, rval)
+            top = rval == best_rank[rdst]
+            np.add.at(top_cnt, rdst[top], 1)
+            # max(ranks) compares (rank, sender) tuples: the max sender
+            # among maximum-rank entries wins (used only when unique).
+            np.maximum.at(best_sender, rdst[top], rsend[top])
+        deciders = alive & (wake_round > 0)
+        newly = deciders & ~decided
+        beaten = has_rank & (best_rank >= rank)
+        lead_mask = newly & cand_mask & ~beaten
+        followers = newly & ~lead_mask
+        own_tie = cand_mask & (rank == best_rank)
+        good = followers & has_rank & (top_cnt <= 1) & ~own_tie
+        out_val = np.zeros(n, dtype=np.int64)
+        out_val[good] = best_sender[good]
+        out_val[lead_mask] = ids[lead_mask]
+        has_out = good | lead_mask
+        decided |= newly
+        outputs = [int(out_val[u]) if has_out[u] else None for u in range(n)]
+        net.decide(
+            np.nonzero(lead_mask)[0].tolist(),
+            decided_count=int(decided.sum()),
+            awake_count=int((wake_round > 0).sum()),
+            outputs=outputs,
+        )
 
     def run_batch(self, net) -> None:
         n = net.n

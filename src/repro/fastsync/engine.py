@@ -154,6 +154,10 @@ class FastRunResult(SurvivorAccounting):
     crashed: List[int] = field(default_factory=list)  # crash-mask casualties
     fault_metrics: Optional[object] = None
     seed: Optional[int] = None  # the run (or lane) seed, when known
+    #: Per-node decision values (``None`` = undecided or decided-None),
+    #: populated by the faulted folds so twin tests can compare the full
+    #: output vector against ``SyncRunResult.outputs``.
+    outputs: Optional[List[Optional[int]]] = None
 
     @property
     def unique_leader(self) -> bool:
@@ -284,6 +288,8 @@ class FastSyncNetwork:
         crashes: Optional[Sequence[Tuple[int, float]]] = None,
         lane_crashes: Optional[Sequence[Optional[Sequence[Tuple[int, float]]]]] = None,
         roots: Optional[Sequence[int]] = None,
+        faults: Optional[object] = None,
+        quorum: bool = False,
         telemetry: Optional[object] = None,
         profiler: Optional[object] = None,
     ) -> None:
@@ -421,6 +427,30 @@ class FastSyncNetwork:
                 {} for _ in range(self.batch)
             ]
 
+        # ---- fault runtime (FaultPlan-driven path) -----------------------
+        # ``faults=`` attaches a full FaultPlan — partitions, link rules,
+        # kill policies, tampering — through the FastFaultRuntime adapter;
+        # the lightweight ``crashes=`` mask path stays separate (and the
+        # two are mutually exclusive: a plan carries its own schedule).
+        self.quorum = bool(quorum)
+        if faults is not None:
+            if self.batch is not None:
+                raise ValueError(
+                    "faulted runs are single-lane; the sweep executor runs "
+                    "batched faulted specs one seed at a time"
+                )
+            if self._crash_schedule:
+                raise ValueError(
+                    "pass the crash schedule inside the FaultPlan when faults= is set"
+                )
+            from repro.fastsync.faults import FastFaultRuntime
+
+            self.fault_runtime: Optional[FastFaultRuntime] = FastFaultRuntime(
+                faults, n, [int(i) for i in self.ids], seed
+            )
+        else:
+            self.fault_runtime = None
+
         # ---- accounting ------------------------------------------------
         self.round = 0
         if self.batch is None:
@@ -431,6 +461,7 @@ class FastSyncNetwork:
             self._leaders: Optional[List[int]] = None
             self._decided_count = 0
             self._awake_override: Optional[int] = None
+            self._outputs: Optional[List[Optional[int]]] = None
         else:
             self.lane_round = np.zeros(self.batch, dtype=np.int64)
             self._messages_lanes = np.zeros(self.batch, dtype=np.int64)
@@ -463,6 +494,11 @@ class FastSyncNetwork:
         if self.batch is None:
             return bool(self._crash_schedule)
         return any(self._lane_crash_schedules)
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether a FaultPlan runtime is attached (faulted fold path)."""
+        return self.batch is None and self.fault_runtime is not None
 
     @property
     def alive_flat(self) -> np.ndarray:
@@ -519,6 +555,30 @@ class FastSyncNetwork:
             self.alive[node] = False
             self.crashed_at[node] = at
 
+    def _quorum_veto(self, leaders, outputs):
+        """Strip leaders that cannot reach a majority of the clique.
+
+        The fast-engine port of the ``quorum_reelect`` gate: a claimed
+        leader only stands if the alive nodes it can still reach (its
+        partition component at the final round, or everyone absent
+        partitions) form a strict majority of ``n``.  Vetoed leaders
+        also lose their entry in every adopter's output.
+        """
+        kept = []
+        vetoed_ids = set()
+        for u in leaders:
+            if self.fault_runtime is not None:
+                reach = self.fault_runtime.reachable_alive(int(u), self.round, self.alive)
+            else:
+                reach = int(self.alive.sum())
+            if reach > self.n // 2:
+                kept.append(u)
+            else:
+                vetoed_ids.add(int(self.ids[u]))
+        if vetoed_ids and outputs is not None:
+            outputs = [None if o in vetoed_ids else o for o in outputs]
+        return kept, outputs
+
     def _apply_crash_lane(self, lane: int, node: int, at: float) -> None:
         if self.alive[lane, node] and int(self.alive[lane].sum()) > 1:
             self.alive[lane, node] = False
@@ -547,8 +607,11 @@ class FastSyncNetwork:
                 at, node = self._crash_schedule[self._crash_idx]
                 self._crash_idx += 1
                 self._apply_crash(node, at)
+            if self.fault_runtime is not None:
+                self.fault_runtime.apply_due_crashes(self.alive, self.round)
             if self._telemetry is not None:
-                survivors = int(self.alive.sum()) if self._crash_schedule else self.n
+                faulty = bool(self._crash_schedule) or self.fault_runtime is not None
+                survivors = int(self.alive.sum()) if faulty else self.n
                 self._telemetry.on_tick(0, self.round, survivors)
             return self.round
         lanes = range(self.batch) if active is None else np.nonzero(active)[0]
@@ -605,15 +668,23 @@ class FastSyncNetwork:
         leader_nodes: Sequence[int],
         decided_count: Optional[int] = None,
         awake_count: Optional[int] = None,
+        outputs: Optional[Sequence[Optional[int]]] = None,
     ) -> None:
         """Record the election outcome (every node has decided and halted).
 
         ``awake_count`` overrides the default all-awake accounting for
-        ports running under an adversarial wake-up schedule.
+        ports running under an adversarial wake-up schedule.  The
+        faulted folds additionally pass the per-node ``outputs`` vector
+        (who each node thinks won), which under partitions genuinely
+        differs between receivers.
         """
         self._leaders = [int(u) for u in leader_nodes]
         self._decided_count = self.n if decided_count is None else int(decided_count)
         self._awake_override = awake_count
+        if outputs is not None:
+            if len(outputs) != self.n:
+                raise ValueError(f"need {self.n} outputs, got {len(outputs)}")
+            self._outputs = [None if o is None else int(o) for o in outputs]
         if self._telemetry is not None:
             self._telemetry.on_decide(0, self.round, self._leaders)
 
@@ -864,6 +935,13 @@ class FastSyncNetwork:
                 "only wake-up-aware vectorized ports (adversarial_2round) "
                 "accept a roots= schedule"
             )
+        if self.fault_runtime is not None and not getattr(
+            algorithm, "supports_faults", False
+        ):
+            raise ValueError(
+                f"{type(algorithm).__name__} has no FaultPlan fold; use the "
+                "object engine for plans against this algorithm"
+            )
         self._ran = True
         if self.batch is None:
             start = time.perf_counter()
@@ -880,13 +958,25 @@ class FastSyncNetwork:
                 at, node = self._crash_schedule[self._crash_idx]
                 self._crash_idx += 1
                 self._apply_crash(node, at)
-            never_woke = sum(1 for at in self.crashed_at.values() if at <= 1)
+            fault_metrics = None
+            if self.fault_runtime is not None:
+                self.fault_runtime.drain_pending(self.alive)
+                crashed_at = self.fault_runtime.crashed_at
+                fault_metrics = self.fault_runtime.metrics
+            else:
+                crashed_at = self.crashed_at
+            never_woke = sum(1 for at in crashed_at.values() if at <= 1)
             if self._awake_override is not None:
                 awake = self._awake_override
                 halted = self._decided_count
             else:
                 awake = self.n - never_woke
-                halted = self._decided_count if self.has_crashes else self.n
+                faulty = self.has_crashes or self.fault_runtime is not None
+                halted = self._decided_count if faulty else self.n
+            leaders = list(self._leaders)
+            outputs = self._outputs
+            if self.quorum and leaders:
+                leaders, outputs = self._quorum_veto(leaders, outputs)
             return FastRunResult(
                 n=self.n,
                 mode=self.mode,
@@ -894,16 +984,18 @@ class FastSyncNetwork:
                 rounds_executed=self.round,
                 messages=self.messages_total,
                 last_send_round=self.last_send_round,
-                leaders=list(self._leaders),
-                leader_ids=[int(self.ids[u]) for u in self._leaders],
+                leaders=leaders,
+                leader_ids=[int(self.ids[u]) for u in leaders],
                 decided_count=self._decided_count,
                 awake_count=awake,
                 halted_count=halted,
                 messages_by_kind=dict(self.messages_by_kind),
                 sends_by_round=dict(self.sends_by_round),
                 wall_time_s=wall,
-                crashed=sorted(self.crashed_at),
+                crashed=sorted(crashed_at),
+                fault_metrics=fault_metrics,
                 seed=self.seed,
+                outputs=outputs,
             )
         if not getattr(algorithm, "supports_batch", False):
             raise ValueError(

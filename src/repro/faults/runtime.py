@@ -159,6 +159,14 @@ class FaultRuntime:
             drained.append(heapq.heappop(self._pending))
         return drained
 
+    def kills_remaining(self) -> int:
+        """Total kill budget the policies have left (0 = all spent).
+
+        The vectorized adapter short-circuits whole send batches on
+        this, so it must stay O(#policies).
+        """
+        return sum(left for left in self._kills_left if left > 0)
+
     def observe_send(self, now: float, sender: int, kind: str) -> List[Tuple[float, int]]:
         """Feed one send to the kill policies; return newly scheduled crashes.
 

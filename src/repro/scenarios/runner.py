@@ -148,26 +148,6 @@ class ScenarioRunner:
                 "scenario traces with --engine sync or async (fast runs "
                 "expose aggregate telemetry only)"
             )
-        if engine == "fast":
-            unsupported = []
-            if scenario.kill_policy is not None:
-                unsupported.append("kill policies")
-            if scenario.link_faults:
-                unsupported.append("link faults")
-            if any(isinstance(e, PartitionEvent) for e in scenario.events):
-                unsupported.append("partitions")
-            if quorum:
-                unsupported.append("quorum gating")
-            if scenario.adversary is not None or any(
-                isinstance(e, SlanderEvent) for e in scenario.events
-            ):
-                unsupported.append("adversaries")
-            if unsupported:
-                raise ValueError(
-                    "the fast engine runs the crash/join/recover/elect scenario "
-                    f"subset only; {scenario.name!r} needs {' and '.join(unsupported)} "
-                    "— use --engine sync or async"
-                )
         self.scenario = scenario
         self.engine = engine
         self.n = n
@@ -201,10 +181,10 @@ class ScenarioRunner:
         return [st for st in self.states if st.up]
 
     def _id_to_state(self, node_id: int) -> Optional[NodeState]:
-        for st in self.states:
-            if st.node_id == node_id:
-                return st
-        return None
+        # IDs are distinct and never reassigned, so the index built in
+        # run() (and extended on joins) stays valid for the whole run —
+        # a linear scan here made every believed-leader lookup O(n).
+        return self._state_by_id.get(node_id)
 
     def _group_of(self, st: NodeState) -> List[NodeState]:
         """The up members that can currently reach ``st`` (incl. itself).
@@ -272,12 +252,21 @@ class ScenarioRunner:
     def _act_seed(self, index: Any) -> int:
         return random.Random(f"scenario:{self.scenario.name}:{self.seed}:{index}").getrandbits(32)
 
-    def _fast_trial(self, m: int, member_ids: Sequence[int], act_seed: int):
+    def _fast_trial(
+        self,
+        m: int,
+        member_ids: Sequence[int],
+        act_seed: int,
+        plan: Optional[FaultPlan] = None,
+    ):
         """One fast-engine election act.
 
         The single dispatch point for every fast-engine run the scenario
         makes — :func:`run_scenario_batch` overrides it per replica to
         collect concurrent acts into one batched engine execution.
+        ``plan`` carries the act-local :class:`FaultPlan` (partitions,
+        link rules, kill policies, tampering) into the engine's
+        vectorized fault runtime; fault-free acts pass ``None``.
         """
         from repro.sweep.api import run
         from repro.sweep.spec import RunSpec
@@ -289,8 +278,28 @@ class ScenarioRunner:
                 engine="fast",
                 seeds=(act_seed,),
                 ids=tuple(member_ids),
+                faults=plan,
+                quorum=self.quorum,
             )
         )
+
+    @staticmethod
+    def _act_plan_for_fast(plan: FaultPlan) -> Optional[FaultPlan]:
+        """The act plan the fast engine receives: ``None`` when inert.
+
+        The detector spec alone has no effect on the bare vectorized
+        elections (the fast acts run the inner election directly, not a
+        detector-driven re-election wrapper), so an act whose plan
+        carries nothing but the detector keeps the plain fast path.
+        """
+        if (
+            plan.links
+            or plan.partitions
+            or plan.policies
+            or plan.adversary is not None
+        ):
+            return plan
+        return None
 
     def _reelect_factory(self):
         if self.engine == "sync":
@@ -320,6 +329,7 @@ class ScenarioRunner:
     def _sanitize_record(record) -> None:
         """Make ``record.extra`` JSON-safe (exports ride through it)."""
         record.extra.pop("result", None)
+        record.extra.pop("outputs", None)
         fm = record.extra.pop("fault_metrics", None)
         if fm is not None:
             record.extra["fault_summary"] = {
@@ -425,15 +435,35 @@ class ScenarioRunner:
         )
 
         if self.engine == "fast":
-            record = self._fast_trial(m, member_ids, act_seed)
+            act_plan = self._act_plan_for_fast(plan)
+            record = self._fast_trial(m, member_ids, act_seed, plan=act_plan)
             duration = float(record.extra["rounds_executed"])
-            leader_ids = [record.elected_id] if record.elected_id is not None else []
-            surviving = record.elected_id
-            outputs = [surviving] * m
+            crashed_nodes = list(record.extra.get("crashed", []))
+            leader_nodes = record.extra.pop("leader_nodes", [])
+            fm = record.extra.get("fault_metrics")
+            if act_plan is None:
+                leader_ids = [record.elected_id] if record.elected_id is not None else []
+                surviving = record.elected_id
+                outputs = [surviving] * m
+                concurrent = 1 if surviving is not None else 0
+            else:
+                leader_ids = list(record.extra.pop("leader_ids", []))
+                surviving = record.extra.get("surviving_leader_id")
+                vec = record.extra.get("outputs")
+                outputs = list(vec) if vec is not None else [surviving] * m
+                # Leaders still alive at act end (the fast engine has no
+                # per-event stream for the unique-leader monitor replay).
+                concurrent = sum(
+                    1 for u in leader_nodes if u not in crashed_nodes
+                )
             detection_latencies: List[float] = []
-            in_act_crashes = dropped = duplicated = blocked = tampered = 0
-            concurrent = 1 if surviving is not None else 0
-            epochs_minted = max(1, len(leader_ids))
+            in_act_crashes = len(crashed_nodes)
+            dropped = fm.dropped_messages if fm else 0
+            duplicated = fm.duplicated_messages if fm else 0
+            blocked = fm.partition_blocked if fm else 0
+            tampered = fm.tampered_messages if fm else 0
+            aborted = sum(1 for u in crashed_nodes if u not in leader_nodes)
+            epochs_minted = max(1, len(leader_ids) + aborted)
             reelection_time = None
         else:
             from repro.analysis.runner import RunRecord
@@ -540,9 +570,7 @@ class ScenarioRunner:
         first_epoch = self.epoch_counter + 1
         self.epoch_counter += epochs_minted
         for local, st in enumerate(members):
-            crashed_in_act = False
-            if self.engine != "fast":
-                crashed_in_act = local in record.extra.get("crashed", [])
+            crashed_in_act = local in record.extra.get("crashed", [])
             if crashed_in_act:
                 st.up = False
                 st.crashed_times.append(t_start + duration)
@@ -688,6 +716,7 @@ class ScenarioRunner:
         st.leader = leaders[0] if len(leaders) == 1 else None
         st.epoch = self.epoch_counter
         self.states.append(st)
+        self._state_by_id[st.node_id] = st
         self.counts["joins"] += 1
         self._mark(ev.at)
         if self.scenario.membership_policy == "membership_change":
@@ -703,8 +732,9 @@ class ScenarioRunner:
         local_components = []
         member_indexes = [st.index for st in members]
         for comp in self._partition.components:
+            comp_set = set(comp)
             local = tuple(
-                i for i, g in enumerate(member_indexes) if g in comp
+                i for i, g in enumerate(member_indexes) if g in comp_set
             )
             if local:
                 local_components.append(local)
@@ -799,6 +829,7 @@ class ScenarioRunner:
         self.states = [
             NodeState(index=i, node_id=self._initial_ids[i]) for i in range(self.n)
         ]
+        self._state_by_id = {st.node_id: st for st in self.states}
         self.epochs: List[EpochRecord] = []
         self.notes: List[str] = []
         self.counts = {"crashes": 0, "recoveries": 0, "joins": 0}
@@ -912,14 +943,17 @@ def run_scenario_batch(
 
     One replica :class:`ScenarioRunner` per seed executes in lockstep;
     whenever several replicas are waiting on an election act with the
-    same membership (the common case — event timelines are mostly
-    seed-independent), their acts run as **one** batched
-    :class:`~repro.fastsync.FastSyncNetwork` execution with one lane per
-    replica.  Results are always exactly the sequential ones: batched
-    lanes are bit-identical to single runs in exact mode, so acts are
-    only grouped while the membership fits the engine's exact limit
-    (``n ≤ 2048``); larger acts — where scale mode's batched sampler
-    draws a different stream — and replicas whose memberships diverged
+    same membership and the same act fault plan (the common case —
+    event timelines are mostly seed-independent), their acts run as
+    **one** batched :class:`~repro.fastsync.FastSyncNetwork` execution
+    with one lane per replica.  Results are always exactly the
+    sequential ones: batched lanes are bit-identical to single runs in
+    exact mode, so acts are only grouped while the membership fits the
+    engine's exact limit (``n ≤ 2048``) and the group carries no fault
+    plan; larger acts — where scale mode's batched sampler draws a
+    different stream — faulted act groups (the vectorized fault
+    runtime's RNG replay is single-lane, so the executor serializes
+    them seed by seed), and replicas whose memberships diverged
     (e.g. after ``crash(LEADER)`` under a randomized inner election)
     fall back to single-lane runs.
 
@@ -943,16 +977,21 @@ def run_scenario_batch(
     ]
     total = len(runners)
     lock = threading.Condition()
-    pending: Dict[int, Tuple[int, Tuple[int, ...], int]] = {}
+    pending: Dict[int, Tuple[int, Tuple[int, ...], int, Optional[FaultPlan]]] = {}
     replies: Dict[int, Any] = {}
     done: List[int] = []
     results: List[Optional[ScenarioResult]] = [None] * total
     errors: List[BaseException] = []
 
     def dispatch_for(idx: int):
-        def dispatch(m: int, member_ids: Sequence[int], act_seed: int):
+        def dispatch(
+            m: int,
+            member_ids: Sequence[int],
+            act_seed: int,
+            plan: Optional[FaultPlan] = None,
+        ):
             with lock:
-                pending[idx] = (m, tuple(member_ids), act_seed)
+                pending[idx] = (m, tuple(member_ids), act_seed, plan)
                 lock.notify_all()
                 while idx not in replies and not errors:
                     lock.wait()
@@ -992,15 +1031,22 @@ def run_scenario_batch(
                 break
             if not pending:  # every replica finished
                 break
-            # Group the waiting acts by membership signature; each group
-            # becomes one batched engine run (lanes in replica order).
-            groups: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
+            # Group the waiting acts by membership + act-plan signature
+            # (plans are frozen dataclasses, so they hash and compare by
+            # value); each group becomes one batched engine run (lanes in
+            # replica order).  Faulted groups still go through the
+            # batched spec: the executor serializes them seed-by-seed —
+            # the fault runtime is single-lane — with identical records.
+            groups: Dict[
+                Tuple[int, Tuple[int, ...], Optional[FaultPlan]], List[int]
+            ] = {}
             for idx in sorted(pending):
-                m, ids, _ = pending[idx]
-                groups.setdefault((m, ids), []).append(idx)
+                m, ids, _, act_plan = pending[idx]
+                groups.setdefault((m, ids, act_plan), []).append(idx)
             inner = runners[0].inner
+            quorum = runners[0].quorum
             try:
-                for (m, ids), members in groups.items():
+                for (m, ids, act_plan), members in groups.items():
                     if len(members) == 1 or m > exact_limit:
                         for idx in members:
                             replies[idx] = run(
@@ -1010,6 +1056,8 @@ def run_scenario_batch(
                                     engine="fast",
                                     seeds=(pending[idx][2],),
                                     ids=ids,
+                                    faults=act_plan,
+                                    quorum=quorum,
                                 )
                             )
                     else:
@@ -1022,6 +1070,8 @@ def run_scenario_batch(
                                 seeds=act_seeds,
                                 batch=len(act_seeds),
                                 ids=ids,
+                                faults=act_plan,
+                                quorum=quorum,
                             )
                         )
                         for idx, record in zip(members, records):

@@ -167,25 +167,55 @@ def _execute_fast(
 ) -> List["RunRecord"]:
     from repro.analysis.runner import _fast_algorithm, _fast_record
 
-    if spec.faults is not None or spec.adversary is not None or spec.quorum:
-        raise ValueError(
-            "the fast engine takes deterministic crashes=/lane_crashes= "
-            "schedules only; faults/adversary/quorum plans run on the "
-            "object engines"
-        )
     if spec.backend is not None:
         from repro.fastsync.xp import set_backend
 
         set_backend(spec.backend)
     from repro.fastsync import FastSyncNetwork
 
+    faults = spec.effective_faults()
     fast_trace = telemetry
     if spec.trace is not None and fast_trace is None:
         from repro.telemetry import FastTelemetry
 
         fast_trace = FastTelemetry()
     records: List[RunRecord] = []
-    if spec.batch is not None:
+
+    def _run_single(seed: int, crashes: Optional[Any]) -> "RunRecord":
+        profiler = _fast_profiler(spec)
+        net = FastSyncNetwork(
+            spec.n,
+            ids=spec.ids,
+            seed=seed,
+            mode=spec.mode,
+            max_rounds=spec.max_rounds,
+            crashes=crashes,
+            roots=spec.roots,
+            faults=faults,
+            quorum=spec.quorum,
+            telemetry=fast_trace,
+            profiler=profiler,
+        )
+        result = net.run(_fast_algorithm(spec.algorithm, spec.params))
+        record = _fast_record(spec.n, seed, result, spec.params)
+        if profiler is not None:
+            record.extra["profile"] = profiler.as_dict()
+        if keep_result:
+            record.extra["result"] = result
+        return record
+
+    if spec.batch is not None and (faults is not None or spec.quorum):
+        # The fault runtime (and the quorum veto it feeds) is
+        # single-lane: per-edge RNG streams replay the object engine's
+        # draw order, which has no lane axis.  A batched faulted spec
+        # therefore serializes — one engine run per seed, same records,
+        # same shard boundaries.
+        for index, seed in enumerate(spec.seeds):
+            crashes = spec.crashes
+            if spec.lane_crashes is not None:
+                crashes = spec.lane_crashes[index]
+            records.append(_run_single(seed, crashes))
+    elif spec.batch is not None:
         seeds = list(spec.seeds)
         for start in range(0, len(seeds), spec.batch):
             chunk = seeds[start : start + spec.batch]
@@ -216,25 +246,7 @@ def _execute_fast(
                 records.append(record)
     else:
         for seed in spec.seeds:
-            profiler = _fast_profiler(spec)
-            net = FastSyncNetwork(
-                spec.n,
-                ids=spec.ids,
-                seed=seed,
-                mode=spec.mode,
-                max_rounds=spec.max_rounds,
-                crashes=spec.crashes,
-                roots=spec.roots,
-                telemetry=fast_trace,
-                profiler=profiler,
-            )
-            result = net.run(_fast_algorithm(spec.algorithm, spec.params))
-            record = _fast_record(spec.n, seed, result, spec.params)
-            if profiler is not None:
-                record.extra["profile"] = profiler.as_dict()
-            if keep_result:
-                record.extra["result"] = result
-            records.append(record)
+            records.append(_run_single(seed, spec.crashes))
     if spec.trace is not None and telemetry is None:
         from repro.telemetry import JsonlRecorder, RunContext
 

@@ -176,10 +176,16 @@ class RunSpec:
     def resolved_engine(self) -> str:
         """Resolve ``engine="auto"`` deterministically.
 
-        Named algorithms default to their registry engine; a fault-free
-        sync spec whose clique exceeds the exact-mode limit (2048) and
-        whose algorithm has a vectorized port upgrades to ``"fast"``.
-        Factory-valued specs default to ``"sync"``.
+        Named algorithms default to their registry engine; a sync spec
+        whose clique exceeds the exact-mode limit (2048) and whose
+        algorithm has a vectorized port upgrades to ``"fast"``.  Faulted
+        specs take the upgrade too when the port declares a FaultPlan
+        fold (``supports_faults``), so one plan drives whichever engine
+        the size calls for; quorum specs stay on the object engines
+        (``quorum=`` wraps the election in ``quorum_reelect`` there,
+        which has no vectorized twin — the fast engine's quorum gate is
+        explicit ``engine="fast"`` territory).  Factory-valued specs
+        default to ``"sync"``.
         """
         if self.engine != "auto":
             return self.engine
@@ -188,13 +194,13 @@ class RunSpec:
         from repro.core.registry import get_algorithm
 
         spec = get_algorithm(self.algorithm_name)
+        faulted = self.faults is not None or self.adversary is not None
         if (
             spec.engine == "sync"
             and self.n > 2048
-            and self.faults is None
-            and self.adversary is None
             and not self.quorum
             and spec.has_fast
+            and (not faulted or spec.has_fast_faults)
         ):
             return "fast"
         return spec.engine

@@ -76,12 +76,14 @@ class TestRun:
         ) == 0
         assert "agreed by all up nodes" in capsys.readouterr().out
 
-    def test_fast_engine_refusal_is_a_clean_error(self, capsys):
+    def test_partitioned_scenario_runs_on_fast(self, capsys):
         pytest.importorskip("numpy")
         assert main(
             ["scenarios", "run", "partition_heal", "--n", "16", "--engine", "fast"]
-        ) == 2
-        assert "fast engine" in capsys.readouterr().err
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fast engine" in out
+        assert "partition" in out
 
     def test_async_engine(self, capsys):
         assert main(

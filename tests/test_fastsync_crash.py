@@ -3,23 +3,24 @@
 In ``exact`` mode a fastsync run under a crash schedule must replay the
 object engine bit for bit: same port matrix, same crash rounds, same
 winners, message totals, per-kind counts, round counters and survivor
-accounting.  The object twin runs the plain (crash-oblivious)
-``improved_tradeoff`` under a ``FaultPlan`` crash schedule — the
-protocol tolerates missing responses by demoting survivors, so crashes
-change outcomes without stalling either engine.
+accounting — all asserted by :func:`tests.helpers.assert_twin_run`.
+The object twin runs the plain (crash-oblivious) ``improved_tradeoff``
+under a ``FaultPlan`` crash schedule — the protocol tolerates missing
+responses by demoting survivors, so crashes change outcomes without
+stalling either engine.
 """
 
 import pytest
 
 pytest.importorskip("numpy")
 
-from repro.core.improved_tradeoff import ImprovedTradeoffElection  # noqa: E402
 from repro.fastsync import (  # noqa: E402
     FastSyncNetwork,
     VectorImprovedTradeoffElection,
 )
-from repro.faults import CrashFault, FaultPlan  # noqa: E402
-from repro.sync.engine import SyncNetwork  # noqa: E402
+from repro.sweep import RunSpec  # noqa: E402
+
+from tests.helpers import assert_twin_run  # noqa: E402
 
 CASES = [
     # (n, seed, ell, crashes)
@@ -34,35 +35,18 @@ CASES = [
 ]
 
 
-def run_pair(n, seed, ell, crashes):
-    fast_net = FastSyncNetwork(n, seed=seed, mode="exact", crashes=crashes)
-    port_map = fast_net.port_map()
-    fast = fast_net.run(VectorImprovedTradeoffElection(ell=ell))
-    plan = FaultPlan(crashes=tuple(CrashFault(node=u, at=at) for u, at in crashes))
-    obj = SyncNetwork(
-        n,
-        lambda: ImprovedTradeoffElection(ell=ell),
-        seed=seed,
-        port_map=port_map,
-        faults=plan,
-    ).run()
-    return fast, obj
-
-
 class TestCrossEngineEquivalence:
     @pytest.mark.parametrize("n,seed,ell,crashes", CASES)
     def test_exact_mode_replays_the_object_engine(self, n, seed, ell, crashes):
-        fast, obj = run_pair(n, seed, ell, crashes)
-        assert fast.leader_ids == obj.leader_ids
-        assert fast.messages == obj.messages
-        assert fast.messages_by_kind == dict(obj.metrics.messages_by_kind)
-        assert fast.rounds_executed == obj.rounds_executed
-        assert fast.last_send_round == obj.last_send_round
-        assert fast.decided_count == obj.decided_count
-        assert fast.awake_count == obj.awake_count
-        assert sorted(fast.crashed) == sorted(obj.crashed)
-        assert fast.unique_surviving_leader == obj.unique_surviving_leader
-        assert fast.surviving_leader_id == obj.surviving_leader_id
+        assert_twin_run(
+            RunSpec(
+                algorithm="improved_tradeoff",
+                n=n,
+                seeds=(seed,),
+                params={"ell": ell},
+                crashes=tuple(crashes),
+            )
+        )
 
     def test_crash_free_schedule_is_a_noop(self):
         baseline = FastSyncNetwork(16, seed=9, mode="exact").run(

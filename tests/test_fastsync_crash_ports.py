@@ -5,10 +5,10 @@ this file covers the ports that gained crash-mask support with the batch
 engine: ``afek_gafni``, ``las_vegas`` and ``small_id`` (``kutten16``
 lives with its twin suite in ``tests/test_fastsync_new_ports.py``).
 Each exact-mode run under a crash schedule must replay the object engine
-bit for bit — including the *stall* modes: the Afek–Gafni
-reconstruction's final iteration contacts every peer, so an early crash
-starves every candidate on both engines, and a saturated Las Vegas
-referee count (``m = n - 1``) does the same.
+bit for bit (:func:`tests.helpers.assert_twin_run`) — including the
+*stall* modes: the Afek–Gafni reconstruction's final iteration contacts
+every peer, so an early crash starves every candidate on both engines,
+and a saturated Las Vegas referee count (``m = n - 1``) does the same.
 """
 
 import random
@@ -17,53 +17,21 @@ import pytest
 
 pytest.importorskip("numpy")
 
-from repro.common import SimulationLimitExceeded  # noqa: E402
-from repro.core import (  # noqa: E402
-    AfekGafniElection,
-    LasVegasElection,
-    SmallIdElection,
-)
-from repro.fastsync import (  # noqa: E402
-    FastSyncNetwork,
-    VectorAfekGafniElection,
-    VectorLasVegasElection,
-    VectorSmallIdElection,
-)
-from repro.faults import CrashFault, FaultPlan  # noqa: E402
-from repro.sync.engine import SyncNetwork  # noqa: E402
+from repro.sweep import RunSpec  # noqa: E402
+
+from tests.helpers import assert_twin_run  # noqa: E402
 
 
-def run_pair(n, seed, vector, object_factory, crashes, ids=None, max_rounds=None):
-    fast_net = FastSyncNetwork(
-        n, ids=ids, seed=seed, mode="exact", crashes=crashes, max_rounds=max_rounds
-    )
-    port_map = fast_net.port_map()
-    fast = fast_net.run(vector)
-    plan = FaultPlan(crashes=tuple(CrashFault(node=u, at=at) for u, at in crashes))
-    obj = SyncNetwork(
-        n,
-        object_factory,
+def crash_spec(algorithm, n, seed, crashes, params=None, ids=None, max_rounds=None):
+    return RunSpec(
+        algorithm=algorithm,
+        n=n,
+        seeds=(seed,),
+        params=params or {},
         ids=ids,
-        seed=seed,
-        port_map=port_map,
-        faults=plan,
+        crashes=tuple(crashes),
         max_rounds=max_rounds,
-    ).run()
-    return fast, obj
-
-
-def assert_crash_twins_match(fast, obj):
-    assert fast.leader_ids == obj.leader_ids
-    assert fast.messages == obj.messages
-    assert fast.messages_by_kind == dict(obj.metrics.messages_by_kind)
-    assert fast.sends_by_round == dict(obj.metrics.sends_by_round)
-    assert fast.rounds_executed == obj.rounds_executed
-    assert fast.last_send_round == obj.last_send_round
-    assert fast.decided_count == obj.decided_count
-    assert fast.awake_count == obj.awake_count
-    assert sorted(fast.crashed) == sorted(obj.crashed)
-    assert fast.unique_surviving_leader == obj.unique_surviving_leader
-    assert fast.surviving_leader_id == obj.surviving_leader_id
+    )
 
 
 class TestLasVegasCrashes:
@@ -80,25 +48,18 @@ class TestLasVegasCrashes:
         ],
     )
     def test_exact_mode_replays_the_object_engine(self, n, seed, coeff, crashes):
-        fast, obj = run_pair(
-            n,
-            seed,
-            VectorLasVegasElection(referee_coeff=coeff),
-            lambda: LasVegasElection(referee_coeff=coeff),
-            crashes,
+        fast, obj = assert_twin_run(
+            crash_spec("las_vegas", n, seed, crashes, {"referee_coeff": coeff})
         )
-        assert_crash_twins_match(fast, obj)
+        assert fast is not None and obj is not None
 
     def test_saturated_referee_count_stalls_both_engines(self):
         # At n=8 the default referee count caps at n-1, so every
         # candidate contacts the corpse and nobody ever wins a full set.
-        with pytest.raises(SimulationLimitExceeded):
-            FastSyncNetwork(8, seed=0, mode="exact", crashes=[(7, 1)],
-                            max_rounds=60).run(VectorLasVegasElection())
-        plan = FaultPlan(crashes=(CrashFault(node=7, at=1),))
-        with pytest.raises(SimulationLimitExceeded):
-            SyncNetwork(8, lambda: LasVegasElection(), seed=0, faults=plan,
-                        max_rounds=60).run()
+        fast, obj = assert_twin_run(
+            crash_spec("las_vegas", 8, 0, [(7, 1)], max_rounds=60)
+        )
+        assert fast is None and obj is None  # both engines hit the limit
 
 
 class TestAfekGafniCrashes:
@@ -113,29 +74,20 @@ class TestAfekGafniCrashes:
         ],
     )
     def test_late_crashes_replay_the_object_engine(self, n, seed, crashes):
-        fast, obj = run_pair(
-            n,
-            seed,
-            VectorAfekGafniElection(ell=4),
-            lambda: AfekGafniElection(ell=4),
-            crashes,
+        fast, obj = assert_twin_run(
+            crash_spec("afek_gafni", n, seed, crashes, {"ell": 4})
         )
-        assert_crash_twins_match(fast, obj)
+        assert fast is not None and obj is not None
 
     @pytest.mark.parametrize("crashes", [[(7, 1)], [(2, 2)], [(0, 4)]])
     def test_early_crashes_stall_both_engines(self, crashes):
         # The reconstruction's final iteration contacts every peer, so a
         # pre-announcement corpse denies every candidate a full response
         # set: nobody announces and the referees idle to the round limit.
-        with pytest.raises(SimulationLimitExceeded):
-            FastSyncNetwork(8, seed=0, mode="exact", crashes=crashes,
-                            max_rounds=64).run(VectorAfekGafniElection(ell=4))
-        plan = FaultPlan(
-            crashes=tuple(CrashFault(node=u, at=at) for u, at in crashes)
+        fast, obj = assert_twin_run(
+            crash_spec("afek_gafni", 8, 0, crashes, {"ell": 4}, max_rounds=64)
         )
-        with pytest.raises(SimulationLimitExceeded):
-            SyncNetwork(8, lambda: AfekGafniElection(ell=4), seed=0, faults=plan,
-                        max_rounds=64).run()
+        assert fast is None and obj is None
 
 
 class TestSmallIdCrashes:
@@ -151,27 +103,16 @@ class TestSmallIdCrashes:
     def test_exact_mode_replays_the_object_engine(self, n, seed, d, g, crashes):
         rng = random.Random(seed)
         ids = rng.sample(range(1, n * g + 1), n)
-        fast, obj = run_pair(
-            n,
-            seed,
-            VectorSmallIdElection(d=d, g=g),
-            lambda: SmallIdElection(d=d, g=g),
-            crashes,
-            ids=ids,
+        assert_twin_run(
+            crash_spec("small_id", n, seed, crashes, {"d": d, "g": g}, ids=ids)
         )
-        assert_crash_twins_match(fast, obj)
 
     def test_dead_window_stays_silent(self):
         # IDs 1..8, d=2: window 1 = {1, 2}.  Killing both holders at
         # round 1 pushes the opening to window 2 — one extra silent
         # round, and the minimum *live* broadcaster leads.
-        fast, obj = run_pair(
-            8,
-            0,
-            VectorSmallIdElection(d=2),
-            lambda: SmallIdElection(d=2),
-            [(0, 1), (1, 1)],
+        fast, _ = assert_twin_run(
+            crash_spec("small_id", 8, 0, [(0, 1), (1, 1)], {"d": 2})
         )
-        assert_crash_twins_match(fast, obj)
         assert fast.elected_id == 3
         assert fast.rounds_executed == 3

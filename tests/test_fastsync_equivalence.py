@@ -5,102 +5,54 @@ same materialized port map, same per-node RNG streams — and must produce
 *identical* winners, message totals, per-kind message counts and round
 counters.  This is the contract that makes scale-mode numbers
 trustworthy: the vectorized survivor logic is proven equal to the
-per-node protocol wherever both engines can run.
+per-node protocol wherever both engines can run.  The comparison itself
+lives in :func:`tests.helpers.assert_twin_run`, shared with the crash
+and fault twin suites.
 """
 
 import pytest
 
 pytest.importorskip("numpy")
 
-from repro.core import (  # noqa: E402
-    AfekGafniElection,
-    ImprovedTradeoffElection,
-    LasVegasElection,
-)
-from repro.fastsync import (  # noqa: E402
-    FastSyncNetwork,
-    VectorAfekGafniElection,
-    VectorImprovedTradeoffElection,
-    VectorLasVegasElection,
-)
-from repro.sync.engine import SyncNetwork  # noqa: E402
+from repro.sweep import RunSpec  # noqa: E402
 
-from tests.helpers import make_ids  # noqa: E402
+from tests.helpers import assert_twin_run, make_ids  # noqa: E402
 
 CASES = [
-    (
-        "improved_tradeoff/ell=3",
-        lambda: VectorImprovedTradeoffElection(ell=3),
-        lambda: ImprovedTradeoffElection(ell=3),
-    ),
-    (
-        "improved_tradeoff/ell=5",
-        lambda: VectorImprovedTradeoffElection(ell=5),
-        lambda: ImprovedTradeoffElection(ell=5),
-    ),
-    (
-        "improved_tradeoff/ell=9",
-        lambda: VectorImprovedTradeoffElection(ell=9),
-        lambda: ImprovedTradeoffElection(ell=9),
-    ),
-    (
-        "afek_gafni/ell=2",
-        lambda: VectorAfekGafniElection(ell=2),
-        lambda: AfekGafniElection(ell=2),
-    ),
-    (
-        "afek_gafni/ell=4",
-        lambda: VectorAfekGafniElection(ell=4),
-        lambda: AfekGafniElection(ell=4),
-    ),
-    (
-        "afek_gafni/ell=7",
-        lambda: VectorAfekGafniElection(ell=7),
-        lambda: AfekGafniElection(ell=7),
-    ),
-    (
-        "las_vegas",
-        lambda: VectorLasVegasElection(),
-        lambda: LasVegasElection(),
-    ),
+    ("improved_tradeoff/ell=3", "improved_tradeoff", {"ell": 3}),
+    ("improved_tradeoff/ell=5", "improved_tradeoff", {"ell": 5}),
+    ("improved_tradeoff/ell=9", "improved_tradeoff", {"ell": 9}),
+    ("afek_gafni/ell=2", "afek_gafni", {"ell": 2}),
+    ("afek_gafni/ell=4", "afek_gafni", {"ell": 4}),
+    ("afek_gafni/ell=7", "afek_gafni", {"ell": 7}),
+    ("las_vegas", "las_vegas", {}),
     (
         "las_vegas/tuned",
-        lambda: VectorLasVegasElection(candidate_coeff=1.0, referee_coeff=3.0),
-        lambda: LasVegasElection(candidate_coeff=1.0, referee_coeff=3.0),
+        "las_vegas",
+        {"candidate_coeff": 1.0, "referee_coeff": 3.0},
     ),
 ]
 CASE_IDS = [c[0] for c in CASES]
 
 
-def assert_twin_runs_match(n, seed, vector_factory, object_factory, ids=None):
-    """Run both engines on the same wiring/seed and compare everything."""
-    fast_net = FastSyncNetwork(n, ids=ids, seed=seed, mode="exact")
-    port_map = fast_net.port_map()
-    fast = fast_net.run(vector_factory())
-    obj = SyncNetwork(n, object_factory, ids=ids, seed=seed, port_map=port_map).run()
-
-    assert fast.messages == obj.messages
-    assert fast.rounds_executed == obj.rounds_executed
-    assert fast.last_send_round == obj.last_send_round
-    assert fast.leaders == obj.leaders
-    assert fast.elected_id == obj.elected_id
-    assert fast.unique_leader == obj.unique_leader
-    assert fast.decided_count == obj.decided_count
-    assert fast.messages_by_kind == dict(obj.metrics.messages_by_kind)
-    assert fast.sends_by_round == dict(obj.metrics.sends_by_round)
+def twin_run(n, seed, algorithm, params, ids=None):
+    spec = RunSpec(
+        algorithm=algorithm, n=n, seeds=(seed,), params=params, ids=ids
+    )
+    fast, _ = assert_twin_run(spec)
     return fast
 
 
-@pytest.mark.parametrize("name,vector_factory,object_factory", CASES, ids=CASE_IDS)
+@pytest.mark.parametrize("name,algorithm,params", CASES, ids=CASE_IDS)
 @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 16, 33, 64])
-def test_twins_agree_small(name, vector_factory, object_factory, n):
+def test_twins_agree_small(name, algorithm, params, n):
     for seed in (0, 1, 2):
-        assert_twin_runs_match(n, seed, vector_factory, object_factory)
+        twin_run(n, seed, algorithm, params)
 
 
-@pytest.mark.parametrize("name,vector_factory,object_factory", CASES, ids=CASE_IDS)
-def test_twins_agree_at_256(name, vector_factory, object_factory):
-    fast = assert_twin_runs_match(256, 7, vector_factory, object_factory)
+@pytest.mark.parametrize("name,algorithm,params", CASES, ids=CASE_IDS)
+def test_twins_agree_at_256(name, algorithm, params):
+    fast = twin_run(256, 7, algorithm, params)
     assert fast.unique_leader
 
 
@@ -108,13 +60,13 @@ SCRAMBLE_CASES = [CASES[0], CASES[1], CASES[4], CASES[6]]
 
 
 @pytest.mark.parametrize(
-    "name,vector_factory,object_factory",
+    "name,algorithm,params",
     SCRAMBLE_CASES,
     ids=[c[0] for c in SCRAMBLE_CASES],
 )
-def test_twins_agree_with_scrambled_ids(name, vector_factory, object_factory):
+def test_twins_agree_with_scrambled_ids(name, algorithm, params):
     ids = make_ids(96, seed=3)
-    fast = assert_twin_runs_match(96, 5, vector_factory, object_factory, ids=ids)
+    fast = twin_run(96, 5, algorithm, params, ids=ids)
     if not name.startswith("las_vegas"):  # deterministic twins elect the max ID
         assert fast.elected_id == max(ids)
 
@@ -125,19 +77,9 @@ def test_las_vegas_forced_restart_matches():
     def flaky_prob(n, phase):
         return 0.0 if phase == 0 else 1.0
 
-    assert_twin_runs_match(
-        24,
-        1,
-        lambda: VectorLasVegasElection(candidate_prob_fn=flaky_prob),
-        lambda: LasVegasElection(candidate_prob_fn=flaky_prob),
-    )
+    twin_run(24, 1, "las_vegas", {"candidate_prob_fn": flaky_prob})
 
 
 def test_las_vegas_collision_phase_matches():
     """An all-candidate phase (announce collisions likely) still matches."""
-    assert_twin_runs_match(
-        16,
-        2,
-        lambda: VectorLasVegasElection(candidate_prob_fn=lambda n, p: 1.0),
-        lambda: LasVegasElection(candidate_prob_fn=lambda n, p: 1.0),
-    )
+    twin_run(16, 2, "las_vegas", {"candidate_prob_fn": lambda n, p: 1.0})

@@ -1,7 +1,8 @@
 """Twin equivalence for the ``kutten16`` and ``adversarial_2round`` ports.
 
-Same contract as ``tests/test_fastsync_equivalence.py``: in exact mode a
-fastsync run and an object-model run from the same seed over the same
+Same contract as ``tests/test_fastsync_equivalence.py`` (and the same
+:func:`tests.helpers.assert_twin_run` oracle): in exact mode a fastsync
+run and an object-model run from the same seed over the same
 materialized port map must agree on winners and every complexity
 counter.  ``adversarial_2round`` additionally sweeps adversarial wake-up
 schedules (the engine's ``roots``), and ``kutten16`` sweeps crash masks.
@@ -11,68 +12,38 @@ import pytest
 
 pytest.importorskip("numpy")
 
-from repro.core import (  # noqa: E402
-    AdversarialTwoRoundElection,
-    Kutten16Election,
-)
 from repro.fastsync import (  # noqa: E402
     FastSyncNetwork,
     VectorAdversarial2RoundElection,
     VectorKutten16Election,
 )
-from repro.faults import CrashFault, FaultPlan  # noqa: E402
-from repro.sync.engine import SyncNetwork  # noqa: E402
+from repro.sweep import RunSpec  # noqa: E402
 
-from tests.helpers import make_ids  # noqa: E402
-
-
-def assert_twins_match(fast, obj):
-    assert fast.messages == obj.messages
-    assert fast.rounds_executed == obj.rounds_executed
-    assert fast.last_send_round == obj.last_send_round
-    assert fast.leaders == obj.leaders
-    assert fast.elected_id == obj.elected_id
-    assert fast.decided_count == obj.decided_count
-    assert fast.awake_count == obj.awake_count
-    assert fast.messages_by_kind == dict(obj.metrics.messages_by_kind)
-    assert fast.sends_by_round == dict(obj.metrics.sends_by_round)
+from tests.helpers import assert_twin_run, make_ids  # noqa: E402
 
 
 class TestKutten16Twins:
     @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 16, 33, 64])
     def test_twins_agree_small(self, n):
         for seed in (0, 1, 2):
-            fast_net = FastSyncNetwork(n, seed=seed, mode="exact")
-            port_map = fast_net.port_map() if n > 1 else None
-            fast = fast_net.run(VectorKutten16Election())
-            obj = SyncNetwork(
-                n, lambda: Kutten16Election(), seed=seed, port_map=port_map
-            ).run()
-            assert_twins_match(fast, obj)
+            assert_twin_run(RunSpec(algorithm="kutten16", n=n, seeds=(seed,)))
 
     def test_twins_agree_at_256_with_scrambled_ids(self):
-        ids = make_ids(256, seed=3)
-        fast_net = FastSyncNetwork(256, ids=ids, seed=7, mode="exact")
-        port_map = fast_net.port_map()
-        fast = fast_net.run(VectorKutten16Election())
-        obj = SyncNetwork(
-            256, lambda: Kutten16Election(), ids=ids, seed=7, port_map=port_map
-        ).run()
-        assert_twins_match(fast, obj)
+        assert_twin_run(
+            RunSpec(
+                algorithm="kutten16", n=256, seeds=(7,), ids=make_ids(256, seed=3)
+            )
+        )
 
     def test_tuned_coefficients_match(self):
-        fast_net = FastSyncNetwork(64, seed=5, mode="exact")
-        port_map = fast_net.port_map()
-        fast = fast_net.run(
-            VectorKutten16Election(candidate_coeff=4.0, referee_coeff=1.0)
+        assert_twin_run(
+            RunSpec(
+                algorithm="kutten16",
+                n=64,
+                seeds=(5,),
+                params={"candidate_coeff": 4.0, "referee_coeff": 1.0},
+            )
         )
-        obj = SyncNetwork(
-            64,
-            lambda: Kutten16Election(candidate_coeff=4.0, referee_coeff=1.0),
-            seed=5,
-            port_map=port_map,
-        ).run()
-        assert_twins_match(fast, obj)
 
     @pytest.mark.parametrize(
         "n,seed,crashes",
@@ -85,17 +56,12 @@ class TestKutten16Twins:
         ],
     )
     def test_crash_masks_replay_the_object_engine(self, n, seed, crashes):
-        fast_net = FastSyncNetwork(n, seed=seed, mode="exact", crashes=crashes)
-        port_map = fast_net.port_map()
-        fast = fast_net.run(VectorKutten16Election())
-        plan = FaultPlan(crashes=tuple(CrashFault(node=u, at=at) for u, at in crashes))
-        obj = SyncNetwork(
-            n, lambda: Kutten16Election(), seed=seed, port_map=port_map, faults=plan
-        ).run()
-        assert_twins_match(fast, obj)
-        assert sorted(fast.crashed) == sorted(obj.crashed)
-        assert fast.unique_surviving_leader == obj.unique_surviving_leader
-        assert fast.surviving_leader_id == obj.surviving_leader_id
+        fast, obj = assert_twin_run(
+            RunSpec(
+                algorithm="kutten16", n=n, seeds=(seed,), crashes=tuple(crashes)
+            )
+        )
+        assert fast is not None and obj is not None
 
     def test_validation(self):
         with pytest.raises(ValueError, match="positive"):
@@ -117,48 +83,36 @@ class TestAdversarial2RoundTwins:
     @pytest.mark.parametrize("n", [1, 2, 3, 8, 16, 33])
     @pytest.mark.parametrize("schedule", range(len(ROOT_SCHEDULES)))
     def test_twins_agree_across_wakeup_schedules(self, n, schedule):
-        roots = ROOT_SCHEDULES[schedule](n)
+        roots = tuple(ROOT_SCHEDULES[schedule](n))
         for seed in (0, 1, 2):
-            fast_net = FastSyncNetwork(n, seed=seed, mode="exact", roots=roots)
-            port_map = fast_net.port_map() if n > 1 else None
-            fast = fast_net.run(VectorAdversarial2RoundElection())
-            obj = SyncNetwork(
-                n,
-                lambda: AdversarialTwoRoundElection(),
-                seed=seed,
-                port_map=port_map,
-                awake=roots,
-            ).run()
-            assert_twins_match(fast, obj)
+            assert_twin_run(
+                RunSpec(
+                    algorithm="adversarial_2round", n=n, seeds=(seed,), roots=roots
+                )
+            )
 
     def test_epsilon_parameter_matches(self):
         for eps in (0.3, 0.01):
-            fast_net = FastSyncNetwork(64, seed=9, mode="exact", roots=[0, 1])
-            port_map = fast_net.port_map()
-            fast = fast_net.run(VectorAdversarial2RoundElection(epsilon=eps))
-            obj = SyncNetwork(
-                64,
-                lambda: AdversarialTwoRoundElection(epsilon=eps),
-                seed=9,
-                port_map=port_map,
-                awake=[0, 1],
-            ).run()
-            assert_twins_match(fast, obj)
+            assert_twin_run(
+                RunSpec(
+                    algorithm="adversarial_2round",
+                    n=64,
+                    seeds=(9,),
+                    roots=(0, 1),
+                    params={"epsilon": eps},
+                )
+            )
 
     def test_scrambled_ids_match(self):
-        ids = make_ids(48, seed=1)
-        fast_net = FastSyncNetwork(48, ids=ids, seed=3, mode="exact", roots=[5])
-        port_map = fast_net.port_map()
-        fast = fast_net.run(VectorAdversarial2RoundElection())
-        obj = SyncNetwork(
-            48,
-            lambda: AdversarialTwoRoundElection(),
-            ids=ids,
-            seed=3,
-            port_map=port_map,
-            awake=[5],
-        ).run()
-        assert_twins_match(fast, obj)
+        assert_twin_run(
+            RunSpec(
+                algorithm="adversarial_2round",
+                n=48,
+                seeds=(3,),
+                roots=(5,),
+                ids=make_ids(48, seed=1),
+            )
+        )
 
     def test_default_roots_is_everyone(self):
         # No roots= means the adversary woke the whole clique, which is a

@@ -12,11 +12,15 @@ import pytest
 
 pytest.importorskip("numpy")
 
-from repro.core import SmallIdElection  # noqa: E402
 from repro.fastsync import FastSyncNetwork, VectorSmallIdElection  # noqa: E402
 from repro.ids import assign_random, small_universe  # noqa: E402
+from repro.sweep.spec import RunSpec  # noqa: E402
 
-from tests.test_fastsync_equivalence import assert_twin_runs_match  # noqa: E402
+from tests.helpers import assert_twin_run  # noqa: E402
+
+
+def _spec(n, seed, *, ids=None, **params):
+    return RunSpec(algorithm="small_id", n=n, seeds=(seed,), params=params, ids=ids)
 
 
 class TestEquivalence:
@@ -25,10 +29,7 @@ class TestEquivalence:
     def test_default_ids_match(self, n, d):
         if d > n:
             pytest.skip("d <= n required")
-        assert_twin_runs_match(
-            n, seed=7, vector_factory=lambda: VectorSmallIdElection(d=d),
-            object_factory=lambda: SmallIdElection(d=d),
-        )
+        assert_twin_run(_spec(n, 7, d=d))
 
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     @pytest.mark.parametrize("g", [1, 2, 3])
@@ -36,37 +37,21 @@ class TestEquivalence:
         n, d = 24, 4
         rng = random.Random(f"small-id-equiv:{seed}")
         ids = assign_random(small_universe(n, g), n, rng)
-        assert_twin_runs_match(
-            n, seed=seed, ids=ids,
-            vector_factory=lambda: VectorSmallIdElection(d=d, g=g),
-            object_factory=lambda: SmallIdElection(d=d, g=g),
-        )
+        assert_twin_run(_spec(n, seed, ids=ids, d=d, g=g))
 
     def test_single_node(self):
-        assert_twin_runs_match(
-            1, seed=0, vector_factory=lambda: VectorSmallIdElection(d=1),
-            object_factory=lambda: SmallIdElection(d=1),
-        )
+        assert_twin_run(_spec(1, 0, d=1))
 
     def test_clumped_window_ids(self):
         # Every ID inside the very first window: maximal broadcast fan-out.
         n = 16
-        ids = list(range(1, n + 1))
-        assert_twin_runs_match(
-            n, seed=3, ids=ids,
-            vector_factory=lambda: VectorSmallIdElection(d=n),
-            object_factory=lambda: SmallIdElection(d=n),
-        )
+        assert_twin_run(_spec(n, 3, ids=list(range(1, n + 1)), d=n))
 
     def test_late_window_ids(self):
         # All IDs at the top of the universe: many silent rounds first.
         n, g = 12, 2
         ids = list(range(n * g - n + 1, n * g + 1))
-        assert_twin_runs_match(
-            n, seed=5, ids=ids,
-            vector_factory=lambda: VectorSmallIdElection(d=2, g=g),
-            object_factory=lambda: SmallIdElection(d=2, g=g),
-        )
+        assert_twin_run(_spec(n, 5, ids=ids, d=2, g=g))
 
 
 class TestValidation:

@@ -101,10 +101,25 @@ def test_single_seed_skips_the_coordinator():
 
 
 def test_batch_propagates_runner_validation_errors():
-    with pytest.raises(ValueError, match="fast engine"):
+    with pytest.raises(ValueError, match="needs n >="):
         run_scenario_batch(
-            get_scenario("partition_heal", 16), 16, [0, 1], engine="fast"
+            get_scenario("partition_heal", 16), 1, [0, 1], engine="fast"
         )
+
+
+def test_faulted_scenarios_batch_equals_sequential():
+    # Partition and slander timelines now run on the fast engine; the
+    # coordinator serializes their faulted acts (the fault runtime is
+    # single-lane) yet the batch must still equal the sequential sweep.
+    for name in ("partition_heal", "slandered_leader"):
+        scenario = get_scenario(name, 16)
+        seeds = [0, 1, 2]
+        sequential = [
+            ScenarioRunner(scenario, 16, engine="fast", seed=s).run()
+            for s in seeds
+        ]
+        batched = run_scenario_batch(scenario, 16, seeds, engine="fast")
+        assert_results_equal(sequential, batched, name)
 
 
 def test_acts_above_the_exact_limit_fall_back_to_single_lanes():

@@ -125,10 +125,28 @@ class TestFastEngineSubset:
         assert res.epochs[0].record.extra["engine"] == "fast"
 
     @pytest.mark.parametrize("name", ["partition_heal", "flapping_leader"])
-    def test_unsupported_scenarios_refused(self, name):
+    def test_faulted_scenarios_run_fast(self, name):
+        # Partitions, link faults and kill policies route through the
+        # vectorized fault runtime instead of refusing the fast engine.
         pytest.importorskip("numpy")
-        with pytest.raises(ValueError, match="fast engine"):
-            run(name, engine="fast")
+        res = run(name, engine="fast", seed=3)
+        assert res.metrics.final_agreed
+        assert res.epochs[0].record.extra["engine"] == "fast"
+
+    def test_partition_act_blocks_traffic_on_fast(self):
+        # The partition window runs as one full-membership fast act under
+        # the mask.  The bare vectorized election is not partition-
+        # tolerant (per-component leaders are a property of the object
+        # engines' detector-driven re-election wrapper), so the act
+        # commits nobody — and the heal act restores agreement.
+        pytest.importorskip("numpy")
+        res = run("partition_heal", engine="fast", seed=3)
+        split = [e for e in res.epochs if e.trigger == "partition"]
+        assert split and split[0].partition_blocked > 0
+        assert split[0].leader_ids == []
+        heal = [e for e in res.epochs if e.trigger == "heal"]
+        assert heal and len(heal[0].leader_ids) == 1
+        assert res.metrics.final_agreed
 
     def test_fast_agrees_with_sync_on_final_leader(self):
         pytest.importorskip("numpy")

@@ -1,0 +1,158 @@
+"""Property: random DSL timelines agree across the fast and sync engines.
+
+Hypothesis builds random :class:`~repro.scenarios.Scenario` timelines
+from the DSL primitives — crashes and recoveries, a partition window
+with its heal, slander rumors — and replays each one on the vectorized
+engine and on the object engine.  The two executions run different act
+code (the object engines wrap every act in the detector-driven
+re-election election; the fast engine runs the bare vectorized inner
+under the act's fault plan), so the property pins the *timeline-level*
+invariants that must match anyway:
+
+* identical act structure — one act per triggering event, with the same
+  trigger labels, the same participating node indices and the same
+  member IDs (``membership_policy="membership_change"`` makes every
+  membership transition mint an act, independent of leader beliefs);
+* identical churn accounting (crashes / recoveries / joins) and final
+  up/down pattern;
+* after the closing ``elect`` on the healed clique, both engines agree
+  on the same final leader.
+
+Crashes are generated *outside* the partition window on purpose: while
+a split is active the engines legitimately disagree about who leads
+(the object wrapper elects per component, the bare vectorized election
+starves across the cut), so a mid-partition ``crash`` could resolve
+``failover`` vs ``membership`` differently.  That divergence is a
+documented semantic, not a bug — see DESIGN.md.
+
+A failing (shrunk) timeline is dumped as replayable JSON via
+:func:`~repro.scenarios.scenario_to_json` so it can be re-run with
+``repro scenarios run`` or :func:`~repro.scenarios.scenario_from_json`.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.scenarios import (  # noqa: E402
+    Scenario,
+    crash,
+    elect,
+    partition,
+    recover,
+    run_scenario,
+    scenario_from_json,
+    scenario_to_json,
+    slander,
+)
+
+FAILED_TIMELINE_PATH = os.path.join(
+    tempfile.gettempdir(), "repro_failed_timeline.json"
+)
+
+
+@st.composite
+def timelines(draw):
+    """A random scenario plus the clique size it expects.
+
+    Shape: a churn phase (crashes/recoveries at t=10,20,...), then an
+    optional partition window [100, 160) over the quiet network, then a
+    slander phase (t=200,210,...), closed by a full-clique ``elect`` at
+    t=300.  The generator tracks the up-set so every event is legal
+    (no double crashes, no last-node kills, live accusers and victims).
+    """
+    n = draw(st.integers(min_value=6, max_value=10))
+    up = set(range(n))
+    down = set()
+    events = []
+
+    for step in range(draw(st.integers(min_value=0, max_value=3))):
+        at = 10.0 + 10.0 * step
+        if down and draw(st.booleans()):
+            node = draw(st.sampled_from(sorted(down)))
+            events.append(recover(node, at))
+            down.discard(node)
+            up.add(node)
+        elif len(up) > 4:
+            node = draw(st.sampled_from(sorted(up)))
+            events.append(crash(node, at))
+            up.discard(node)
+            down.add(node)
+
+    if draw(st.booleans()):
+        cut = draw(st.integers(min_value=1, max_value=n - 1))
+        halves = (tuple(range(cut)), tuple(range(cut, n)))
+        events.append(partition(halves, 100.0, 160.0))
+
+    for step in range(draw(st.integers(min_value=0, max_value=2))):
+        accuser = draw(st.sampled_from(sorted(up)))
+        victims = sorted(up - {accuser})
+        events.append(slander(accuser, draw(st.sampled_from(victims)),
+                              200.0 + 10.0 * step))
+
+    events.append(elect(300.0))
+    scenario = Scenario(
+        name="twin_property",
+        events=tuple(events),
+        membership_policy="membership_change",
+    )
+    return scenario, n, draw(st.integers(min_value=0, max_value=3))
+
+
+def _assert_timeline_twins(scenario, n, seed):
+    fast = run_scenario(scenario, n, engine="fast", seed=seed,
+                        inner="improved_tradeoff")
+    sync = run_scenario(scenario, n, engine="sync", seed=seed)
+
+    assert [e.trigger for e in fast.epochs] == [e.trigger for e in sync.epochs]
+    assert [e.members for e in fast.epochs] == [e.members for e in sync.epochs]
+    assert [e.member_ids for e in fast.epochs] == [
+        e.member_ids for e in sync.epochs
+    ]
+    assert [e.t_event for e in fast.epochs] == [e.t_event for e in sync.epochs]
+    for name in ("crashes", "recoveries", "joins"):
+        assert getattr(fast.metrics, name) == getattr(sync.metrics, name)
+    assert [st_.up for st_ in fast.states] == [st_.up for st_ in sync.states]
+    assert [st_.node_id for st_ in fast.states] == [
+        st_.node_id for st_ in sync.states
+    ]
+    # The closing elect runs on the healed, rumor-free clique: both
+    # engines elect the maximum live ID and everybody adopts it.
+    assert fast.final_agreed and sync.final_agreed
+    assert fast.final_leader_id == sync.final_leader_id
+
+
+@given(timelines())
+@settings(max_examples=10, deadline=None)
+def test_random_timelines_agree_across_engines(case):
+    scenario, n, seed = case
+    try:
+        _assert_timeline_twins(scenario, n, seed)
+    except AssertionError as exc:
+        replay = {
+            "scenario": scenario_to_json(scenario),
+            "n": n,
+            "seed": seed,
+            "engines": ["fast", "sync"],
+        }
+        with open(FAILED_TIMELINE_PATH, "w") as fh:
+            json.dump(replay, fh, indent=2)
+        raise AssertionError(
+            f"fast/sync divergence on a random timeline; replayable JSON "
+            f"dumped to {FAILED_TIMELINE_PATH}:\n"
+            f"{json.dumps(replay, indent=2)}"
+        ) from exc
+
+
+@given(timelines())
+@settings(max_examples=10, deadline=None)
+def test_random_timelines_round_trip_through_json(case):
+    scenario, _, _ = case
+    assert scenario_from_json(scenario_to_json(scenario)) == scenario
